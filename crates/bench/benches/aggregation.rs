@@ -1,0 +1,54 @@
+//! A1 microbenchmarks: Definition 2 aggregation throughput (min vs
+//! average, skip vs pessimistic), on realistic member-score columns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairrec_core::aggregate::{Aggregation, MissingPolicy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn columns(n_items: usize, group: usize, missing_rate: f64, seed: u64) -> Vec<Vec<Option<f64>>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_items)
+        .map(|_| {
+            (0..group)
+                .map(|_| {
+                    (!rng.gen_bool(missing_rate)).then(|| rng.gen_range(1.0..=5.0))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut bench = c.benchmark_group("aggregation");
+    bench.sample_size(20);
+
+    for &group_size in &[4usize, 16, 64] {
+        let cols = columns(10_000, group_size, 0.2, 7);
+        for aggregation in [Aggregation::Min, Aggregation::Average] {
+            for missing in [MissingPolicy::Skip, MissingPolicy::Pessimistic] {
+                let label = format!("{}_{:?}_g{}", aggregation.name(), missing, group_size);
+                bench.bench_with_input(
+                    BenchmarkId::new("10k_items", label),
+                    &cols,
+                    |b, cols| {
+                        b.iter(|| {
+                            let mut defined = 0usize;
+                            for col in cols {
+                                if aggregation.aggregate(black_box(col), missing).is_some() {
+                                    defined += 1;
+                                }
+                            }
+                            black_box(defined)
+                        })
+                    },
+                );
+            }
+        }
+    }
+    bench.finish();
+}
+
+criterion_group!(benches, bench_aggregation);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! A4 microbenchmarks: the Job 0–3 pipeline against the in-memory
+//! reference, and the engine's shuffle machinery in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairrec_core::predictions::{compute_group_predictions, GroupPredictionConfig};
+use fairrec_core::Group;
+use fairrec_data::{SyntheticConfig, SyntheticDataset};
+use fairrec_mapreduce::{mapreduce_group_predictions, JobConfig, PipelineConfig};
+use fairrec_ontology::snomed::clinical_fragment;
+use fairrec_similarity::{PeerSelector, RatingsSimilarity};
+use fairrec_types::GroupId;
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let ontology = clinical_fragment();
+    let data = SyntheticDataset::generate(
+        SyntheticConfig {
+            num_users: 300,
+            num_items: 600,
+            num_communities: 4,
+            ratings_per_user: 30,
+            seed: 5,
+            ..Default::default()
+        },
+        &ontology,
+    )
+    .expect("valid config");
+    let group = Group::new(GroupId::new(0), data.sample_group(4, None, 6)).expect("non-empty");
+    let triples = data.matrix.to_triples();
+
+    let mut bench = c.benchmark_group("group_predictions_9k_ratings");
+    bench.sample_size(10);
+
+    bench.bench_function("in_memory", |b| {
+        let measure = RatingsSimilarity::new(&data.matrix);
+        let selector = PeerSelector::new(0.0).expect("finite");
+        b.iter(|| {
+            black_box(
+                compute_group_predictions(
+                    &data.matrix,
+                    &measure,
+                    &selector,
+                    &group,
+                    GroupPredictionConfig::default(),
+                )
+                .expect("group exists"),
+            )
+        })
+    });
+
+    for workers in [1usize, 2] {
+        bench.bench_with_input(
+            BenchmarkId::new("mapreduce", format!("w{workers}")),
+            &workers,
+            |b, &workers| {
+                let config = PipelineConfig {
+                    delta: 0.0,
+                    job: JobConfig {
+                        num_workers: workers,
+                        num_partitions: workers * 2,
+                    },
+                    ..Default::default()
+                };
+                b.iter(|| {
+                    black_box(
+                        mapreduce_group_predictions(
+                            triples.clone(),
+                            data.matrix.num_items(),
+                            &group,
+                            &config,
+                        )
+                        .expect("pipeline runs"),
+                    )
+                })
+            },
+        );
+    }
+    bench.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

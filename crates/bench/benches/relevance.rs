@@ -1,0 +1,63 @@
+//! Equation 1 microbenchmarks: per-item prediction, batch prediction over
+//! a candidate set, and per-user top-k list construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairrec_core::relevance::RelevancePredictor;
+use fairrec_data::{SyntheticConfig, SyntheticDataset};
+use fairrec_ontology::snomed::clinical_fragment;
+use fairrec_similarity::{PeerSelector, Peers, RatingsSimilarity};
+use fairrec_types::{ItemId, UserId};
+use std::hint::black_box;
+
+fn bench_relevance(c: &mut Criterion) {
+    let ontology = clinical_fragment();
+    let data = SyntheticDataset::generate(
+        SyntheticConfig {
+            num_users: 400,
+            num_items: 800,
+            num_communities: 4,
+            ratings_per_user: 40,
+            seed: 8,
+            ..Default::default()
+        },
+        &ontology,
+    )
+    .expect("valid config");
+
+    let user = UserId::new(0);
+    let measure = RatingsSimilarity::new(&data.matrix);
+    let selector = PeerSelector::new(0.0).expect("finite");
+    let peers: Peers = selector.peers_of(&measure, user, data.matrix.user_ids(), &[]);
+    let candidates: Vec<ItemId> = data.matrix.unrated_by_all(&[user]);
+    let predictor = RelevancePredictor::new(&data.matrix);
+
+    let mut bench = c.benchmark_group("equation1");
+    bench.sample_size(20);
+    bench.bench_function("single_item", |b| {
+        let item = candidates[0];
+        b.iter(|| black_box(predictor.predict(&peers, black_box(item))))
+    });
+    bench.bench_with_input(
+        BenchmarkId::new("predict_many", candidates.len()),
+        &candidates,
+        |b, candidates| b.iter(|| black_box(predictor.predict_many(&peers, candidates))),
+    );
+    for k in [10usize, 50] {
+        bench.bench_with_input(BenchmarkId::new("top_k", k), &k, |b, &k| {
+            b.iter(|| black_box(predictor.top_k(&peers, &candidates, k)))
+        });
+    }
+    bench.finish();
+
+    let mut peer_bench = c.benchmark_group("peer_selection");
+    peer_bench.sample_size(10);
+    peer_bench.bench_function("pearson_400_users", |b| {
+        b.iter(|| {
+            black_box(selector.peers_of(&measure, black_box(user), data.matrix.user_ids(), &[]))
+        })
+    });
+    peer_bench.finish();
+}
+
+criterion_group!(benches, bench_relevance);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! A2 microbenchmarks: pairwise similarity throughput for the three §V
+//! measures (plus the hybrid) on a realistic cohort.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fairrec_data::{SyntheticConfig, SyntheticDataset};
+use fairrec_ontology::snomed::clinical_fragment;
+use fairrec_similarity::{
+    HybridSimilarity, ProfileSimilarity, RatingsSimilarity, Rescale01, SemanticSimilarity,
+    UserSimilarity,
+};
+use fairrec_types::UserId;
+use std::hint::black_box;
+
+fn bench_similarity(c: &mut Criterion) {
+    let ontology = clinical_fragment();
+    let data = SyntheticDataset::generate(
+        SyntheticConfig {
+            num_users: 300,
+            num_items: 600,
+            num_communities: 4,
+            ratings_per_user: 40,
+            seed: 3,
+            ..Default::default()
+        },
+        &ontology,
+    )
+    .expect("valid config");
+
+    let ratings = RatingsSimilarity::new(&data.matrix);
+    let profile = ProfileSimilarity::build(&data.profiles, &ontology);
+    let semantic = SemanticSimilarity::new(&data.profiles, &ontology);
+    let hybrid = HybridSimilarity::new()
+        .with(Rescale01::new(RatingsSimilarity::new(&data.matrix)), 1.0)
+        .with(&profile, 1.0)
+        .with(SemanticSimilarity::new(&data.profiles, &ontology), 1.0);
+
+    // 1000 deterministic user pairs.
+    let pairs: Vec<(UserId, UserId)> = (0..1_000u32)
+        .map(|i| (UserId::new(i % 300), UserId::new((i * 7 + 13) % 300)))
+        .collect();
+
+    let mut bench = c.benchmark_group("similarity_1k_pairs");
+    bench.sample_size(20);
+    bench.bench_function("ratings_pearson", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .filter_map(|&(u, v)| ratings.similarity(black_box(u), v))
+                .sum::<f64>()
+        })
+    });
+    bench.bench_function("profile_cosine", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .filter_map(|&(u, v)| profile.similarity(black_box(u), v))
+                .sum::<f64>()
+        })
+    });
+    bench.bench_function("semantic_harmonic", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .filter_map(|&(u, v)| semantic.similarity(black_box(u), v))
+                .sum::<f64>()
+        })
+    });
+    bench.bench_function("hybrid", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .filter_map(|&(u, v)| hybrid.similarity(black_box(u), v))
+                .sum::<f64>()
+        })
+    });
+    bench.finish();
+
+    // Profile vector construction (the one-off corpus pass).
+    let mut build = c.benchmark_group("profile_build");
+    build.sample_size(10);
+    build.bench_function("tfidf_300_users", |b| {
+        b.iter(|| black_box(ProfileSimilarity::build(&data.profiles, &ontology)))
+    });
+    build.finish();
+}
+
+criterion_group!(benches, bench_similarity);
+criterion_main!(benches);

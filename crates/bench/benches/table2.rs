@@ -1,0 +1,35 @@
+//! Criterion microbenchmarks for Table II cells (brute force vs
+//! Algorithm 1). The full paper grid — including the multi-second
+//! m = 30 brute-force cells — lives in the `table2` binary; here the
+//! smaller cells get statistically solid timings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairrec_bench::{realistic_pool, TABLE2_GROUP_SIZE, TABLE2_K};
+use fairrec_core::brute_force::brute_force;
+use fairrec_core::fairness::FairnessEvaluator;
+use fairrec_core::greedy::algorithm1;
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+
+    for &(m, z) in &[(10usize, 4usize), (10, 8), (20, 4), (20, 8), (30, 4)] {
+        let pool = realistic_pool(m, TABLE2_GROUP_SIZE, 2017);
+        let evaluator = FairnessEvaluator::new(&pool, TABLE2_K).expect("small group");
+        group.bench_with_input(
+            BenchmarkId::new("brute_force", format!("m{m}_z{z}")),
+            &z,
+            |b, &z| b.iter(|| black_box(brute_force(&pool, &evaluator, z))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("heuristic", format!("m{m}_z{z}")),
+            &z,
+            |b, &z| b.iter(|| black_box(algorithm1(&pool, z, TABLE2_K))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

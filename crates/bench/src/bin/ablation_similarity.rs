@@ -1,0 +1,107 @@
+//! **A2** — similarity-measure ablation on planted ground truth.
+//!
+//! The paper proposes RS / CS / SS (§V) but never evaluates them. With
+//! planted cohorts we can: peer-recovery precision against the plant,
+//! hold-out MAE/RMSE/coverage of the resulting Equation 1 predictions,
+//! and wall-clock cost per measure — over a δ sweep.
+//!
+//! ```sh
+//! cargo run --release -p fairrec-bench --bin ablation_similarity
+//! ```
+
+use fairrec_bench::timed;
+use fairrec_data::{SyntheticConfig, SyntheticDataset};
+use fairrec_engine::evaluation::{holdout_split, peer_recovery, prediction_quality};
+use fairrec_ontology::snomed::clinical_fragment;
+use fairrec_similarity::{
+    HybridSimilarity, PeerSelector, ProfileSimilarity, RatingsSimilarity, Rescale01,
+    SemanticSimilarity, UserSimilarity,
+};
+
+const SAMPLE: usize = 60;
+
+fn main() {
+    let ontology = clinical_fragment();
+    let data = SyntheticDataset::generate(
+        SyntheticConfig {
+            num_users: 150,
+            num_items: 300,
+            num_communities: 4,
+            ratings_per_user: 28,
+            seed: 22,
+            ..Default::default()
+        },
+        &ontology,
+    )
+    .expect("valid config");
+    let split = holdout_split(&data.matrix, 0.2, 9).expect("valid fraction");
+    println!(
+        "dataset: {} users, {} items, {} train / {} test ratings, 4 cohorts\n",
+        data.matrix.num_users(),
+        data.matrix.num_items(),
+        split.train.num_ratings(),
+        split.test.len()
+    );
+
+    let (profile, build_time) = timed(|| ProfileSimilarity::build(&data.profiles, &ontology));
+    println!("(profile tf-idf vector build: {:?})\n", build_time);
+
+    println!(
+        "{:<22} {:>5} | {:>9} {:>8} | {:>7} {:>7} {:>9} | {:>10}",
+        "measure", "δ", "peerPrec", "peers/u", "MAE", "RMSE", "coverage", "eval time"
+    );
+
+    type Runner<'a> = Box<dyn Fn(f64) -> (f64, f64, f64, f64, f64, std::time::Duration) + 'a>;
+    let eval = |measure: &dyn UserSimilarity, delta: f64| {
+        let selector = PeerSelector::new(delta).expect("finite").with_max_peers(25);
+        let ((r, q), t) = timed(|| {
+            (
+                peer_recovery(&split.train, &data.communities, &measure, &selector, SAMPLE),
+                prediction_quality(&split, &measure, &selector),
+            )
+        });
+        (r.precision, r.mean_peers, q.mae, q.rmse, q.coverage, t)
+    };
+
+    let rows: Vec<(&str, Runner<'_>, Vec<f64>)> = vec![
+        (
+            "ratings (RS)",
+            Box::new(|d| eval(&RatingsSimilarity::new(&split.train), d)),
+            vec![0.0, 0.3, 0.6],
+        ),
+        (
+            "profile tf-idf (CS)",
+            Box::new(|d| eval(&profile, d)),
+            vec![0.05, 0.15, 0.3],
+        ),
+        (
+            "semantic (SS)",
+            Box::new(|d| eval(&SemanticSimilarity::new(&data.profiles, &ontology), d)),
+            vec![0.15, 0.25, 0.4],
+        ),
+        (
+            "hybrid (RS+CS+SS)",
+            Box::new(|d| {
+                let h = HybridSimilarity::new()
+                    .with(Rescale01::new(RatingsSimilarity::new(&split.train)), 1.0)
+                    .with(&profile, 1.0)
+                    .with(SemanticSimilarity::new(&data.profiles, &ontology), 1.0);
+                eval(&h, d)
+            }),
+            vec![0.3, 0.4, 0.5],
+        ),
+    ];
+
+    for (name, run, deltas) in rows {
+        for d in deltas {
+            let (prec, peers, mae, rmse, cov, t) = run(d);
+            println!(
+                "{name:<22} {d:>5.2} | {prec:>9.3} {peers:>8.1} | {mae:>7.3} {rmse:>7.3} {cov:>9.3} | {t:>10?}"
+            );
+        }
+        println!();
+    }
+    println!("Chance peer precision at 4 cohorts ≈ 0.25. All measures recover the plant;");
+    println!("RS is sharpest where co-ratings exist, CS/SS survive cold users (no ratings),");
+    println!("and the hybrid inherits the best coverage.");
+}

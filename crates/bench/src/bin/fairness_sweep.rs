@@ -1,0 +1,88 @@
+//! **A3** — what the fairness-aware objective buys, swept over z and
+//! group diversity.
+//!
+//! For each group composition (cohesive = one cohort, diverse = one
+//! member per cohort) and each z, compares Algorithm 1 with plain top-z
+//! on fairness, value, and the fraction of members left with nothing
+//! from their top-k.
+//!
+//! ```sh
+//! cargo run --release -p fairrec-bench --bin fairness_sweep
+//! ```
+
+use fairrec_core::fairness::FairnessEvaluator;
+use fairrec_core::greedy::{algorithm1, plain_top_z};
+use fairrec_core::pool::CandidatePool;
+use fairrec_core::predictions::{compute_group_predictions, GroupPredictionConfig};
+use fairrec_core::Group;
+use fairrec_data::{SyntheticConfig, SyntheticDataset};
+use fairrec_ontology::snomed::clinical_fragment;
+use fairrec_similarity::{PeerSelector, RatingsSimilarity};
+use fairrec_types::GroupId;
+
+const K: usize = 5;
+const POOL: usize = 40;
+
+fn main() {
+    let ontology = clinical_fragment();
+    let data = SyntheticDataset::generate(
+        SyntheticConfig {
+            num_users: 160,
+            num_items: 320,
+            num_communities: 4,
+            ratings_per_user: 30,
+            seed: 20,
+            ..Default::default()
+        },
+        &ontology,
+    )
+    .expect("valid config");
+
+    let cohesive = data.sample_group(4, Some(0), 3);
+    let mut diverse = Vec::new();
+    for c in 0..4 {
+        diverse.extend(data.sample_group(1, Some(c), 40 + u64::from(c)));
+    }
+
+    for (label, members) in [("cohesive", cohesive), ("diverse", diverse)] {
+        let group = Group::new(GroupId::new(0), members).expect("non-empty");
+        let measure = RatingsSimilarity::new(&data.matrix);
+        let selector = PeerSelector::new(0.0).expect("finite");
+        let preds = compute_group_predictions(
+            &data.matrix,
+            &measure,
+            &selector,
+            &group,
+            GroupPredictionConfig::default(),
+        )
+        .expect("group exists");
+        let pool = CandidatePool::from_predictions(&preds, Some(POOL)).expect("pool");
+        let ev = FairnessEvaluator::new(&pool, K).expect("small group");
+
+        println!("\n=== {label} group {:?} (m = {POOL}, k = {K}) ===", group.members());
+        println!(
+            "{:>3} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} | {:>11}",
+            "z", "fair(A1)", "value(A1)", "left(A1)", "fair(top)", "value(top)", "left(top)", "value gain"
+        );
+        for z in [1usize, 2, 3, 4, 5, 6, 8, 10, 12, 16, 20] {
+            let a1 = algorithm1(&pool, z, K);
+            let top = plain_top_z(&pool, z);
+            let left = |positions: &[usize]| ev.unsatisfied_members(positions).len();
+            let va = ev.value(&pool, &a1.positions);
+            let vt = ev.value(&pool, &top.positions);
+            println!(
+                "{z:>3} | {:>9.2} {:>9.2} {:>9} | {:>9.2} {:>9.2} {:>9} | {:>+10.1}%",
+                ev.fairness(&a1.positions),
+                va,
+                left(&a1.positions),
+                ev.fairness(&top.positions),
+                vt,
+                left(&top.positions),
+                (va - vt) / vt.max(1e-12) * 100.0,
+            );
+        }
+    }
+    println!("\nReading: on diverse groups plain top-z leaves members without any of their");
+    println!("top-k items (left > 0) and its value collapses by the fairness factor, while");
+    println!("Algorithm 1 reaches fairness 1 at every z ≥ |G| (Proposition 1).");
+}

@@ -1,0 +1,98 @@
+//! **A4** — MapReduce pipeline scaling (the Fig. 2 decomposition).
+//!
+//! Sweeps dataset size × worker count, reporting per-job and total
+//! wall-clock, plus the in-memory reference path for comparison. On a
+//! single-core host the parallel speedup is bounded by the machine; the
+//! experiment still verifies that overheads stay proportional and that
+//! outputs are identical on every configuration.
+//!
+//! ```sh
+//! cargo run --release -p fairrec-bench --bin mapreduce_scaling
+//! ```
+
+use fairrec_bench::{fmt_ms, timed};
+use fairrec_core::predictions::{compute_group_predictions, GroupPredictionConfig};
+use fairrec_core::Group;
+use fairrec_data::{SyntheticConfig, SyntheticDataset};
+use fairrec_mapreduce::{mapreduce_group_predictions, JobConfig, PipelineConfig};
+use fairrec_ontology::snomed::clinical_fragment;
+use fairrec_similarity::{PeerSelector, RatingsSimilarity};
+use fairrec_types::GroupId;
+
+fn main() {
+    let ontology = clinical_fragment();
+    println!(
+        "{:>8} {:>9} {:>8} | {:>10} {:>10} {:>10} {:>10} {:>10} | {:>10} | {:>6}",
+        "users", "ratings", "workers", "job0 (ms)", "job1 (ms)", "job2 (ms)", "job3 (ms)", "total (ms)", "memory", "equal"
+    );
+
+    for &(num_users, num_items, per_user) in
+        &[(200u32, 400u32, 25u32), (500, 1_000, 40), (1_000, 2_000, 50)]
+    {
+        let data = SyntheticDataset::generate(
+            SyntheticConfig {
+                num_users,
+                num_items,
+                num_communities: 5,
+                ratings_per_user: per_user,
+                seed: 23,
+                ..Default::default()
+            },
+            &ontology,
+        )
+        .expect("valid config");
+        let group = Group::new(GroupId::new(0), data.sample_group(4, None, 4)).expect("non-empty");
+
+        // In-memory reference (once per dataset).
+        let measure = RatingsSimilarity::new(&data.matrix);
+        let selector = PeerSelector::new(0.0).expect("finite");
+        let (reference, mem_time) = timed(|| {
+            compute_group_predictions(
+                &data.matrix,
+                &measure,
+                &selector,
+                &group,
+                GroupPredictionConfig::default(),
+            )
+            .expect("group exists")
+        });
+
+        for workers in [1usize, 2, 4] {
+            let config = PipelineConfig {
+                delta: 0.0,
+                job: JobConfig {
+                    num_workers: workers,
+                    num_partitions: workers * 2,
+                },
+                ..Default::default()
+            };
+            let ((preds, report), _total) = timed(|| {
+                mapreduce_group_predictions(
+                    data.matrix.to_triples(),
+                    data.matrix.num_items(),
+                    &group,
+                    &config,
+                )
+                .expect("pipeline runs")
+            });
+            let job_ms = |m: fairrec_mapreduce::JobMetrics| m.map_duration + m.reduce_duration;
+            println!(
+                "{:>8} {:>9} {:>8} | {:>10} {:>10} {:>10} {:>10} {:>10} | {:>10} | {:>6}",
+                num_users,
+                data.matrix.num_ratings(),
+                workers,
+                fmt_ms(job_ms(report.job0)),
+                fmt_ms(job_ms(report.job1)),
+                fmt_ms(job_ms(report.job2)),
+                fmt_ms(job_ms(report.job3)),
+                fmt_ms(report.total_duration()),
+                fmt_ms(mem_time),
+                preds == reference,
+            );
+            assert_eq!(preds, reference, "pipeline must match the reference");
+        }
+    }
+    println!("\nReading: job 1 dominates (it shuffles every rating); the pipeline pays a");
+    println!("constant factor over the in-memory path for the shuffle materialisation —");
+    println!("the price of the scale-out programming model the paper targets.");
+}

@@ -1,0 +1,81 @@
+//! **A7** — Equation 1 against the standard baseline ladder.
+//!
+//! Hold-out MAE / RMSE / coverage for: global mean, user mean, item mean,
+//! damped bias model, item-kNN, and the paper's user-based CF (Equation 1
+//! with Pearson peers) at two δ settings.
+//!
+//! ```sh
+//! cargo run --release -p fairrec-bench --bin prediction_baselines
+//! ```
+
+use fairrec_bench::timed;
+use fairrec_core::baselines::{BiasModel, GlobalMean, ItemKnn, ItemMean, UserMean};
+use fairrec_data::{SyntheticConfig, SyntheticDataset};
+use fairrec_engine::evaluation::{holdout_split, prediction_quality, predictor_quality};
+use fairrec_ontology::snomed::clinical_fragment;
+use fairrec_similarity::{PeerSelector, RatingsSimilarity};
+
+fn main() {
+    let ontology = clinical_fragment();
+    let data = SyntheticDataset::generate(
+        SyntheticConfig {
+            num_users: 200,
+            num_items: 400,
+            num_communities: 4,
+            ratings_per_user: 30,
+            seed: 30,
+            ..Default::default()
+        },
+        &ontology,
+    )
+    .expect("valid config");
+    let split = holdout_split(&data.matrix, 0.2, 13).expect("valid fraction");
+    println!(
+        "hold-out evaluation: {} train / {} test ratings\n",
+        split.train.num_ratings(),
+        split.test.len()
+    );
+    println!(
+        "{:<26} {:>8} {:>8} {:>9} {:>12}",
+        "predictor", "MAE", "RMSE", "coverage", "eval time"
+    );
+
+    let global = GlobalMean::fit(&split.train);
+    let user_mean = UserMean::fit(&split.train);
+    let item_mean = ItemMean::fit(&split.train);
+    let bias = BiasModel::fit(&split.train);
+    let knn10 = ItemKnn::new(&split.train, 10);
+    let knn40 = ItemKnn::new(&split.train, 40);
+
+    let report = |name: &str, q: fairrec_engine::evaluation::PredictionQuality, t| {
+        println!(
+            "{name:<26} {:>8.3} {:>8.3} {:>9.3} {:>12?}",
+            q.mae, q.rmse, q.coverage, t
+        );
+    };
+
+    let (q, t) = timed(|| predictor_quality(&split, &global));
+    report("global mean", q, t);
+    let (q, t) = timed(|| predictor_quality(&split, &user_mean));
+    report("user mean", q, t);
+    let (q, t) = timed(|| predictor_quality(&split, &item_mean));
+    report("item mean", q, t);
+    let (q, t) = timed(|| predictor_quality(&split, &bias));
+    report("bias model (µ+bu+bi)", q, t);
+    let (q, t) = timed(|| predictor_quality(&split, &knn10));
+    report("item-knn (k=10)", q, t);
+    let (q, t) = timed(|| predictor_quality(&split, &knn40));
+    report("item-knn (k=40)", q, t);
+
+    for delta in [0.0, 0.3] {
+        let measure = RatingsSimilarity::new(&split.train);
+        let selector = PeerSelector::new(delta).expect("finite").with_max_peers(25);
+        let (q, t) = timed(|| prediction_quality(&split, &measure, &selector));
+        report(&format!("user CF / Eq. 1 (δ={delta})"), q, t);
+    }
+
+    println!("\nReading: the two neighbourhood models dominate — item-kNN edges out the");
+    println!("paper's user-based Equation 1 on MAE at higher coverage, while Eq. 1 stays");
+    println!("within a few hundredths and is the model the fairness machinery needs");
+    println!("(per-*user* relevance lists). Means and bias models trail far behind.");
+}

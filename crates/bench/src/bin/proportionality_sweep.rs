@@ -1,0 +1,91 @@
+//! **A9** — m-proportional fairness (the stronger notion from the paper's
+//! ref. [19]) swept over m and z.
+//!
+//! For a diverse caregiver group: how much package relevance does it cost
+//! to guarantee every member 1, 2, or 3 of their own top-k items, and how
+//! do Algorithm 1 (which only knows m = 1) and the proportional greedy
+//! compare under the generalised objective?
+//!
+//! ```sh
+//! cargo run --release -p fairrec-bench --bin proportionality_sweep
+//! ```
+
+use fairrec_core::greedy::algorithm1;
+use fairrec_core::pool::CandidatePool;
+use fairrec_core::predictions::{compute_group_predictions, GroupPredictionConfig};
+use fairrec_core::proportionality::{greedy_proportional, ProportionalityEvaluator};
+use fairrec_core::Group;
+use fairrec_data::{SyntheticConfig, SyntheticDataset};
+use fairrec_ontology::snomed::clinical_fragment;
+use fairrec_similarity::{PeerSelector, RatingsSimilarity};
+use fairrec_types::GroupId;
+
+const K: usize = 6;
+const POOL: usize = 40;
+
+fn main() {
+    let ontology = clinical_fragment();
+    let data = SyntheticDataset::generate(
+        SyntheticConfig {
+            num_users: 160,
+            num_items: 320,
+            num_communities: 4,
+            ratings_per_user: 30,
+            seed: 27,
+            ..Default::default()
+        },
+        &ontology,
+    )
+    .expect("valid config");
+    let mut members = Vec::new();
+    for c in 0..4 {
+        members.extend(data.sample_group(1, Some(c), 200 + u64::from(c)));
+    }
+    let group = Group::new(GroupId::new(0), members).expect("non-empty");
+    let measure = RatingsSimilarity::new(&data.matrix);
+    let selector = PeerSelector::new(0.0).expect("finite");
+    let preds = compute_group_predictions(
+        &data.matrix,
+        &measure,
+        &selector,
+        &group,
+        GroupPredictionConfig::default(),
+    )
+    .expect("group exists");
+    let pool = CandidatePool::from_predictions(&preds, Some(POOL)).expect("pool");
+
+    println!(
+        "diverse group {:?}, m-proportional sweep (k = {K}, pool = {POOL})\n",
+        group.members()
+    );
+    println!(
+        "{:>2} {:>3} | {:>10} {:>10} {:>12} | {:>10} {:>10} {:>12}",
+        "m", "z", "prop(alg1)", "Σrel(alg1)", "minCnt(alg1)", "prop(prop)", "Σrel(prop)", "minCnt(prop)"
+    );
+    for m in 1u32..=3 {
+        let ev = ProportionalityEvaluator::new(&pool, K, m).expect("small group");
+        for z in [4usize, 8, 12, 16] {
+            let a1 = algorithm1(&pool, z, K);
+            let gp = greedy_proportional(&pool, &ev, z);
+            let min_count = |sel: &[usize]| {
+                ev.satisfied_counts(sel).into_iter().min().unwrap_or(0)
+            };
+            println!(
+                "{m:>2} {z:>3} | {:>10.2} {:>10.2} {:>12} | {:>10.2} {:>10.2} {:>12}",
+                ev.proportionality(&a1.positions),
+                pool.sum_group_relevance(&a1.positions),
+                min_count(&a1.positions),
+                ev.proportionality(&gp.positions),
+                pool.sum_group_relevance(&gp.positions),
+                min_count(&gp.positions),
+            );
+        }
+        println!();
+    }
+    println!("Reading: two greedy strategies, two trade-offs. Algorithm 1's pairwise");
+    println!("criterion gravitates to items shared across members' lists, piling up");
+    println!("min-counts even at tight z; the quota-targeted greedy maximises relevance");
+    println!("subject to the quota (higher Σrel throughout) and *certifies*");
+    println!("proportionality 1 whenever z ≥ m·|G|. Below m·|G| no method can guarantee");
+    println!("the quota — visible in the m = 3, z = 4/8 rows.");
+}

@@ -1,0 +1,415 @@
+//! Baseline rating predictors (extension).
+//!
+//! The paper evaluates running time only; judging the *quality* of its
+//! user-based CF (Equation 1) needs comparators. This module provides the
+//! standard ladder, all behind one [`RatingPredictor`] trait:
+//!
+//! * [`GlobalMean`] — one number,
+//! * [`UserMean`] / [`ItemMean`] — per-entity means,
+//! * [`BiasModel`] — damped `µ + b_u + b_i` (the classic strong baseline),
+//! * [`ItemKnn`] — item-based CF with adjusted cosine, the canonical
+//!   alternative to the paper's user-based design.
+//!
+//! Experiment A7 (`fairrec-bench --bin prediction_baselines`) ranks them
+//! against Equation 1 on held-out data.
+
+use fairrec_types::{ItemId, RatingMatrix, UserId};
+
+/// A rating predictor: estimates `rating(u, i)` for unseen pairs.
+pub trait RatingPredictor {
+    /// The estimate, or `None` when the predictor has no basis for one.
+    fn predict(&self, user: UserId, item: ItemId) -> Option<f64>;
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Predicts the global mean rating for every pair.
+#[derive(Debug, Clone, Copy)]
+pub struct GlobalMean {
+    mean: f64,
+    defined: bool,
+}
+
+impl GlobalMean {
+    /// Computes the global mean of `matrix`.
+    pub fn fit(matrix: &RatingMatrix) -> Self {
+        let stats = matrix.stats();
+        Self {
+            mean: stats.mean_rating,
+            defined: stats.num_ratings > 0,
+        }
+    }
+}
+
+impl RatingPredictor for GlobalMean {
+    fn predict(&self, _: UserId, _: ItemId) -> Option<f64> {
+        self.defined.then_some(self.mean)
+    }
+
+    fn name(&self) -> &'static str {
+        "global-mean"
+    }
+}
+
+/// Predicts each user's own mean (global mean for rating-less users).
+#[derive(Debug, Clone)]
+pub struct UserMean<'a> {
+    matrix: &'a RatingMatrix,
+    global: GlobalMean,
+}
+
+impl<'a> UserMean<'a> {
+    /// Fits over `matrix`.
+    pub fn fit(matrix: &'a RatingMatrix) -> Self {
+        Self {
+            matrix,
+            global: GlobalMean::fit(matrix),
+        }
+    }
+}
+
+impl RatingPredictor for UserMean<'_> {
+    fn predict(&self, user: UserId, item: ItemId) -> Option<f64> {
+        self.matrix
+            .user_mean(user)
+            .or_else(|| self.global.predict(user, item))
+    }
+
+    fn name(&self) -> &'static str {
+        "user-mean"
+    }
+}
+
+/// Predicts each item's mean rating (global mean for unrated items).
+#[derive(Debug, Clone)]
+pub struct ItemMean<'a> {
+    matrix: &'a RatingMatrix,
+    global: GlobalMean,
+}
+
+impl<'a> ItemMean<'a> {
+    /// Fits over `matrix`.
+    pub fn fit(matrix: &'a RatingMatrix) -> Self {
+        Self {
+            matrix,
+            global: GlobalMean::fit(matrix),
+        }
+    }
+
+    fn item_mean(&self, item: ItemId) -> Option<f64> {
+        let mut n = 0usize;
+        let mut sum = 0.0;
+        for (_, r) in self.matrix.raters_of(item) {
+            sum += r;
+            n += 1;
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+}
+
+impl RatingPredictor for ItemMean<'_> {
+    fn predict(&self, user: UserId, item: ItemId) -> Option<f64> {
+        self.item_mean(item).or_else(|| self.global.predict(user, item))
+    }
+
+    fn name(&self) -> &'static str {
+        "item-mean"
+    }
+}
+
+/// Damped baseline `µ + b_u + b_i`:
+/// `b_i = Σ_{u∈U(i)} (r_ui − µ) / (λ_i + |U(i)|)`, then
+/// `b_u = Σ_{i∈I(u)} (r_ui − µ − b_i) / (λ_u + |I(u)|)`.
+///
+/// The damping terms shrink sparse estimates toward zero — the standard
+/// regularised form (λ defaults: 25 and 10, the folklore constants).
+#[derive(Debug, Clone)]
+pub struct BiasModel {
+    mu: f64,
+    user_bias: Vec<f64>,
+    item_bias: Vec<f64>,
+    defined: bool,
+}
+
+impl BiasModel {
+    /// Fits with default damping (λ_i = 25, λ_u = 10).
+    pub fn fit(matrix: &RatingMatrix) -> Self {
+        Self::fit_with(matrix, 25.0, 10.0)
+    }
+
+    /// Fits with explicit damping factors.
+    pub fn fit_with(matrix: &RatingMatrix, lambda_item: f64, lambda_user: f64) -> Self {
+        let stats = matrix.stats();
+        let mu = stats.mean_rating;
+        let mut item_bias = vec![0.0f64; matrix.num_items() as usize];
+        for item in matrix.item_ids() {
+            let mut n = 0usize;
+            let mut sum = 0.0;
+            for (_, r) in matrix.raters_of(item) {
+                sum += r - mu;
+                n += 1;
+            }
+            if n > 0 {
+                item_bias[item.index()] = sum / (lambda_item + n as f64);
+            }
+        }
+        let mut user_bias = vec![0.0f64; matrix.num_users() as usize];
+        for user in matrix.user_ids() {
+            let mut n = 0usize;
+            let mut sum = 0.0;
+            for (item, r) in matrix.ratings_of(user) {
+                sum += r - mu - item_bias[item.index()];
+                n += 1;
+            }
+            if n > 0 {
+                user_bias[user.index()] = sum / (lambda_user + n as f64);
+            }
+        }
+        Self {
+            mu,
+            user_bias,
+            item_bias,
+            defined: stats.num_ratings > 0,
+        }
+    }
+}
+
+impl RatingPredictor for BiasModel {
+    fn predict(&self, user: UserId, item: ItemId) -> Option<f64> {
+        if !self.defined {
+            return None;
+        }
+        let bu = self.user_bias.get(user.index()).copied().unwrap_or(0.0);
+        let bi = self.item_bias.get(item.index()).copied().unwrap_or(0.0);
+        Some((self.mu + bu + bi).clamp(1.0, 5.0))
+    }
+
+    fn name(&self) -> &'static str {
+        "bias-model"
+    }
+}
+
+/// Item-based k-nearest-neighbour CF with **adjusted cosine** similarity
+/// (user-mean-centred, the standard choice for item-item CF):
+///
+/// `sim(i, j) = Σ_u (r_ui − µ_u)(r_uj − µ_u) / (√Σ(r_ui − µ_u)² √Σ(r_uj − µ_u)²)`
+///
+/// summed over users who rated both. Prediction: the similarity-weighted
+/// mean of the target user's own ratings on the `k` most similar items
+/// they have rated, restricted to positive similarities.
+#[derive(Debug, Clone)]
+pub struct ItemKnn<'a> {
+    matrix: &'a RatingMatrix,
+    k: usize,
+    min_overlap: usize,
+}
+
+impl<'a> ItemKnn<'a> {
+    /// Creates the predictor (neighbourhood size `k`, minimum co-rater
+    /// overlap 2).
+    pub fn new(matrix: &'a RatingMatrix, k: usize) -> Self {
+        Self {
+            matrix,
+            k: k.max(1),
+            min_overlap: 2,
+        }
+    }
+
+    /// Adjusted-cosine similarity of two items.
+    pub fn item_similarity(&self, a: ItemId, b: ItemId) -> Option<f64> {
+        let (mut ia, mut ib) = (
+            self.matrix.raters_of(a).peekable(),
+            self.matrix.raters_of(b).peekable(),
+        );
+        let (mut num, mut da, mut db) = (0.0f64, 0.0f64, 0.0f64);
+        let mut n = 0usize;
+        // Merge-join over the sorted rater lists.
+        while let (Some(&(ua, ra)), Some(&(ub, rb))) = (ia.peek(), ib.peek()) {
+            match ua.cmp(&ub) {
+                std::cmp::Ordering::Less => {
+                    ia.next();
+                }
+                std::cmp::Ordering::Greater => {
+                    ib.next();
+                }
+                std::cmp::Ordering::Equal => {
+                    let mu = self.matrix.user_mean(ua).expect("rater has ratings");
+                    let (xa, xb) = (ra - mu, rb - mu);
+                    num += xa * xb;
+                    da += xa * xa;
+                    db += xb * xb;
+                    n += 1;
+                    ia.next();
+                    ib.next();
+                }
+            }
+        }
+        if n < self.min_overlap || da == 0.0 || db == 0.0 {
+            return None;
+        }
+        Some((num / (da.sqrt() * db.sqrt())).clamp(-1.0, 1.0))
+    }
+}
+
+impl RatingPredictor for ItemKnn<'_> {
+    fn predict(&self, user: UserId, item: ItemId) -> Option<f64> {
+        // Neighbours are drawn from the user's own rated items.
+        let mut neighbours: Vec<(f64, f64)> = self
+            .matrix
+            .ratings_of(user)
+            .filter(|&(j, _)| j != item)
+            .filter_map(|(j, r)| {
+                self.item_similarity(item, j)
+                    .filter(|&s| s > 0.0)
+                    .map(|s| (s, r))
+            })
+            .collect();
+        if neighbours.is_empty() {
+            return None;
+        }
+        neighbours.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite sims"));
+        neighbours.truncate(self.k);
+        let num: f64 = neighbours.iter().map(|(s, r)| s * r).sum();
+        let den: f64 = neighbours.iter().map(|(s, _)| s).sum();
+        (den > 0.0).then(|| num / den)
+    }
+
+    fn name(&self) -> &'static str {
+        "item-knn"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairrec_types::RatingMatrixBuilder;
+
+    fn matrix(rows: &[(u32, u32, f64)]) -> RatingMatrix {
+        let mut b = RatingMatrixBuilder::new();
+        for &(u, i, s) in rows {
+            b.add_raw(UserId::new(u), ItemId::new(i), s).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    /// Two "action" items (0, 1) loved by users 0-1, hated by user 2;
+    /// one "drama" item (2) with the reverse pattern.
+    fn polarised() -> RatingMatrix {
+        matrix(&[
+            (0, 0, 5.0),
+            (0, 1, 4.0),
+            (0, 2, 1.0),
+            (1, 0, 4.0),
+            (1, 1, 5.0),
+            (1, 2, 2.0),
+            (2, 0, 1.0),
+            (2, 1, 2.0),
+            (2, 2, 5.0),
+        ])
+    }
+
+    #[test]
+    fn global_mean_is_flat() {
+        let m = polarised();
+        let g = GlobalMean::fit(&m);
+        let expected = m.stats().mean_rating;
+        assert_eq!(g.predict(UserId::new(0), ItemId::new(9)), Some(expected));
+        assert_eq!(g.predict(UserId::new(9), ItemId::new(0)), Some(expected));
+        let empty = GlobalMean::fit(&matrix(&[]));
+        assert_eq!(empty.predict(UserId::new(0), ItemId::new(0)), None);
+    }
+
+    #[test]
+    fn user_and_item_means() {
+        let m = polarised();
+        let um = UserMean::fit(&m);
+        assert_eq!(um.predict(UserId::new(0), ItemId::new(7)), Some(10.0 / 3.0));
+        // Unknown user falls back to global.
+        assert_eq!(
+            um.predict(UserId::new(9), ItemId::new(0)),
+            Some(m.stats().mean_rating)
+        );
+        let im = ItemMean::fit(&m);
+        assert_eq!(im.predict(UserId::new(9), ItemId::new(0)), Some(10.0 / 3.0));
+        assert_eq!(
+            im.predict(UserId::new(0), ItemId::new(7)),
+            Some(m.stats().mean_rating)
+        );
+    }
+
+    #[test]
+    fn bias_model_orders_users_and_items() {
+        let m = polarised();
+        let bm = BiasModel::fit_with(&m, 0.0, 0.0); // undamped for clarity
+        // Item 0 is better-liked than item 2 by the raters' deviations…
+        let p_item0 = bm.predict(UserId::new(9), ItemId::new(0)).unwrap();
+        let p_item2 = bm.predict(UserId::new(9), ItemId::new(2)).unwrap();
+        // …both land inside the rating range.
+        assert!((1.0..=5.0).contains(&p_item0) && (1.0..=5.0).contains(&p_item2));
+        // Damping shrinks magnitudes toward µ.
+        let damped = BiasModel::fit_with(&m, 100.0, 100.0);
+        let mu = m.stats().mean_rating;
+        let d0 = damped.predict(UserId::new(9), ItemId::new(0)).unwrap();
+        assert!((d0 - mu).abs() < (p_item0 - mu).abs() + 1e-12);
+    }
+
+    #[test]
+    fn item_knn_similarity_detects_the_genres() {
+        let m = polarised();
+        let knn = ItemKnn::new(&m, 5);
+        let same = knn.item_similarity(ItemId::new(0), ItemId::new(1)).unwrap();
+        let cross = knn.item_similarity(ItemId::new(0), ItemId::new(2)).unwrap();
+        assert!(same > 0.0, "co-liked items should correlate: {same}");
+        assert!(cross < 0.0, "opposed items should anti-correlate: {cross}");
+    }
+
+    #[test]
+    fn item_knn_predicts_from_the_user_history() {
+        // User 3 rated only item 0 (5.0). Item 1 is similar to item 0, so
+        // the prediction for item 1 should be 5.0 (single neighbour).
+        let mut rows = vec![
+            (0, 0, 5.0),
+            (0, 1, 4.0),
+            (0, 2, 1.0),
+            (1, 0, 4.0),
+            (1, 1, 5.0),
+            (1, 2, 2.0),
+            (2, 0, 1.0),
+            (2, 1, 2.0),
+            (2, 2, 5.0),
+        ];
+        rows.push((3, 0, 5.0));
+        let m = matrix(&rows);
+        let knn = ItemKnn::new(&m, 3);
+        let p = knn.predict(UserId::new(3), ItemId::new(1)).unwrap();
+        assert_eq!(p, 5.0);
+        // Item 2 anti-correlates with everything the user rated ⇒ no
+        // positive neighbours ⇒ None.
+        assert_eq!(knn.predict(UserId::new(3), ItemId::new(2)), None);
+    }
+
+    #[test]
+    fn item_knn_edge_cases() {
+        let m = polarised();
+        let knn = ItemKnn::new(&m, 2);
+        // Unknown item: no raters, no similarity, no prediction.
+        assert_eq!(knn.predict(UserId::new(0), ItemId::new(9)), None);
+        // User with no ratings: nothing to extrapolate from.
+        assert_eq!(knn.predict(UserId::new(9), ItemId::new(0)), None);
+        // Overlap below min_overlap yields undefined similarity.
+        let sparse = matrix(&[(0, 0, 5.0), (0, 1, 4.0), (1, 0, 3.0), (2, 1, 2.0)]);
+        let knn = ItemKnn::new(&sparse, 2);
+        assert_eq!(knn.item_similarity(ItemId::new(0), ItemId::new(1)), None);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        let m = polarised();
+        assert_eq!(GlobalMean::fit(&m).name(), "global-mean");
+        assert_eq!(UserMean::fit(&m).name(), "user-mean");
+        assert_eq!(ItemMean::fit(&m).name(), "item-mean");
+        assert_eq!(BiasModel::fit(&m).name(), "bias-model");
+        assert_eq!(ItemKnn::new(&m, 5).name(), "item-knn");
+    }
+}

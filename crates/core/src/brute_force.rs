@@ -1,0 +1,242 @@
+//! Exact package selection — the §VI brute-force baseline.
+//!
+//! *"A brute-force method to locate the z most fair recommendations … is
+//! to first produce all (m choose z) possible combinations … and then pick
+//! the one with the maximum value(G, D). The complexity of this process is
+//! exponential."*
+//!
+//! The enumeration walks z-combinations of pool positions in lexicographic
+//! order; each combination is scored as `fairness · Σ relevanceG` using the
+//! precomputed satisfaction masks of [`FairnessEvaluator`], so the cost per
+//! combination is `O(z)` word operations. On equal value the first
+//! (lexicographically smallest) combination wins, making results
+//! deterministic and order-independent.
+
+use crate::fairness::FairnessEvaluator;
+use crate::greedy::Selection;
+use crate::pool::CandidatePool;
+
+/// Outcome of the exact search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BruteForceResult {
+    /// The optimal package (positions sorted ascending — a combination).
+    pub selection: Selection,
+    /// `value(G, D*)` of the optimum.
+    pub value: f64,
+    /// Number of combinations evaluated: `C(m, z)`.
+    pub combinations: u64,
+}
+
+/// Exhaustively maximises `value(G, D)` over all `|D| = z` subsets.
+///
+/// When `z ≥ m` the only package is the whole pool. `z = 0` yields the
+/// empty package with value 0.
+pub fn brute_force(
+    pool: &CandidatePool,
+    evaluator: &FairnessEvaluator,
+    z: usize,
+) -> BruteForceResult {
+    let m = pool.num_items();
+    let z = z.min(m);
+    if z == 0 {
+        return BruteForceResult {
+            selection: Selection::default(),
+            value: 0.0,
+            combinations: 0,
+        };
+    }
+
+    // Current combination: positions[0] < positions[1] < … < positions[z-1].
+    let mut current: Vec<usize> = (0..z).collect();
+    let mut best = current.clone();
+    let mut best_value = f64::NEG_INFINITY;
+    let mut combinations = 0u64;
+
+    loop {
+        combinations += 1;
+        // Score: OR of masks + sum of group scores, O(z).
+        let mut mask = 0u64;
+        let mut sum = 0.0;
+        for &j in &current {
+            mask |= evaluator.item_mask(j);
+            sum += pool.group_relevance(j);
+        }
+        let value = mask.count_ones() as f64 / evaluator.num_members() as f64 * sum;
+        if value > best_value {
+            best_value = value;
+            best.copy_from_slice(&current);
+        }
+
+        // Advance to the next combination in lexicographic order.
+        let mut i = z;
+        loop {
+            if i == 0 {
+                return BruteForceResult {
+                    selection: Selection {
+                        positions: best,
+                        steps: Vec::new(),
+                    },
+                    value: best_value,
+                    combinations,
+                };
+            }
+            i -= 1;
+            if current[i] != i + m - z {
+                break;
+            }
+        }
+        current[i] += 1;
+        for slot in i + 1..z {
+            current[slot] = current[slot - 1] + 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::algorithm1;
+    use fairrec_types::{ItemId, UserId};
+
+    fn pool(member_scores: Vec<Vec<Option<f64>>>, group_scores: Vec<f64>) -> CandidatePool {
+        let n_items = group_scores.len();
+        CandidatePool::from_parts(
+            (0..member_scores.len() as u32).map(UserId::new).collect(),
+            (0..n_items as u32).map(ItemId::new).collect(),
+            member_scores,
+            group_scores,
+        )
+    }
+
+    /// Reference: recursive enumeration, independent of the iterative walk.
+    fn reference_best(
+        pool: &CandidatePool,
+        ev: &FairnessEvaluator,
+        z: usize,
+    ) -> (Vec<usize>, f64, u64) {
+        fn recurse(
+            pool: &CandidatePool,
+            ev: &FairnessEvaluator,
+            start: usize,
+            left: usize,
+            acc: &mut Vec<usize>,
+            best: &mut (Vec<usize>, f64, u64),
+        ) {
+            if left == 0 {
+                best.2 += 1;
+                let v = ev.value(pool, acc);
+                if v > best.1 {
+                    best.1 = v;
+                    best.0 = acc.clone();
+                }
+                return;
+            }
+            for j in start..=pool.num_items() - left {
+                acc.push(j);
+                recurse(pool, ev, j + 1, left - 1, acc, best);
+                acc.pop();
+            }
+        }
+        let mut best = (Vec::new(), f64::NEG_INFINITY, 0u64);
+        recurse(pool, ev, 0, z, &mut Vec::new(), &mut best);
+        best
+    }
+
+    fn binomial(m: u64, z: u64) -> u64 {
+        if z > m {
+            return 0;
+        }
+        let z = z.min(m - z);
+        let mut out = 1u64;
+        for i in 0..z {
+            out = out * (m - i) / (i + 1);
+        }
+        out
+    }
+
+    #[test]
+    fn matches_recursive_reference() {
+        let p = pool(
+            vec![
+                vec![Some(5.0), Some(4.0), Some(1.0), Some(2.0), Some(3.0), Some(2.5)],
+                vec![Some(1.0), Some(2.0), Some(5.0), Some(4.0), Some(2.0), Some(3.5)],
+                vec![Some(2.0), Some(5.0), Some(2.0), Some(1.0), Some(4.5), Some(3.0)],
+            ],
+            vec![2.5, 3.5, 2.8, 2.2, 3.1, 3.0],
+        );
+        for z in 1..=5 {
+            let ev = FairnessEvaluator::new(&p, 2).unwrap();
+            let got = brute_force(&p, &ev, z);
+            let (ref_best, ref_value, ref_count) = reference_best(&p, &ev, z);
+            assert_eq!(got.combinations, ref_count, "z={z}");
+            assert_eq!(got.combinations, binomial(6, z as u64), "z={z}");
+            assert!((got.value - ref_value).abs() < 1e-12, "z={z}");
+            assert_eq!(got.selection.positions, ref_best, "z={z}");
+        }
+    }
+
+    #[test]
+    fn optimum_dominates_greedy() {
+        let p = pool(
+            vec![
+                vec![Some(4.9), Some(4.7), Some(1.1), Some(1.3), Some(3.0)],
+                vec![Some(1.2), Some(1.4), Some(4.8), Some(4.6), Some(3.1)],
+            ],
+            vec![3.9, 3.8, 3.7, 3.6, 3.5],
+        );
+        let ev = FairnessEvaluator::new(&p, 2).unwrap();
+        for z in 1..=4 {
+            let exact = brute_force(&p, &ev, z);
+            let greedy = algorithm1(&p, z, 2);
+            let greedy_value = ev.value(&p, &greedy.positions);
+            assert!(
+                exact.value >= greedy_value - 1e-12,
+                "exact {} < greedy {} at z={z}",
+                exact.value,
+                greedy_value
+            );
+        }
+    }
+
+    #[test]
+    fn z_zero_and_z_ge_m_edges() {
+        let p = pool(vec![vec![Some(3.0), Some(2.0)]], vec![3.0, 2.0]);
+        let ev = FairnessEvaluator::new(&p, 1).unwrap();
+        let none = brute_force(&p, &ev, 0);
+        assert!(none.selection.is_empty());
+        assert_eq!(none.combinations, 0);
+        let all = brute_force(&p, &ev, 5);
+        assert_eq!(all.selection.positions, vec![0, 1]);
+        assert_eq!(all.combinations, 1);
+    }
+
+    #[test]
+    fn prefers_fair_package_over_higher_relevance() {
+        // Items 0,1 both loved by member 0 only; item 2 is member 1's
+        // favourite with lower group relevance. value must pick fairness.
+        let p = pool(
+            vec![
+                vec![Some(5.0), Some(5.0), Some(1.0)],
+                vec![Some(1.0), Some(1.0), Some(4.0)],
+            ],
+            vec![3.0, 3.0, 2.5],
+        );
+        let ev = FairnessEvaluator::new(&p, 1).unwrap();
+        let got = brute_force(&p, &ev, 2);
+        // {0,1}: fairness ½, Σ=6 → 3.0. {0,2}: fairness 1, Σ=5.5 → 5.5.
+        assert_eq!(got.selection.positions, vec![0, 2]);
+        assert!((got.value - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_tie_break_is_lexicographic() {
+        // All values equal: the first combination must win.
+        let p = pool(
+            vec![vec![Some(3.0), Some(3.0), Some(3.0)]],
+            vec![1.0, 1.0, 1.0],
+        );
+        let ev = FairnessEvaluator::new(&p, 3).unwrap();
+        let got = brute_force(&p, &ev, 2);
+        assert_eq!(got.selection.positions, vec![0, 1]);
+    }
+}

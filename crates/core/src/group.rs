@@ -1,0 +1,105 @@
+//! Caregiver groups.
+
+use fairrec_types::{FairrecError, GroupId, Result, UserId};
+
+/// A caregiver's group of patients `G ⊆ U` (§III-B).
+///
+/// Members are stored sorted and de-duplicated; the paper's model never
+/// depends on member order, and a canonical order makes every downstream
+/// computation deterministic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Group {
+    id: GroupId,
+    members: Vec<UserId>,
+}
+
+impl Group {
+    /// Creates a group, sorting and de-duplicating `members`.
+    ///
+    /// # Errors
+    /// [`FairrecError::EmptyGroup`] when no members are given.
+    pub fn new(id: GroupId, members: impl IntoIterator<Item = UserId>) -> Result<Self> {
+        let mut members: Vec<UserId> = members.into_iter().collect();
+        if members.is_empty() {
+            return Err(FairrecError::EmptyGroup);
+        }
+        members.sort_unstable();
+        members.dedup();
+        Ok(Self { id, members })
+    }
+
+    /// The group id.
+    pub fn id(&self) -> GroupId {
+        self.id
+    }
+
+    /// The members, sorted ascending.
+    pub fn members(&self) -> &[UserId] {
+        &self.members
+    }
+
+    /// Number of members `|G|`.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Groups are never empty; present for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether `user` belongs to the group (binary search).
+    pub fn contains(&self, user: UserId) -> bool {
+        self.members.binary_search(&user).is_ok()
+    }
+
+    /// Position of `user` within the sorted member list.
+    pub fn member_index(&self, user: UserId) -> Option<usize> {
+        self.members.binary_search(&user).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn members_are_sorted_and_deduplicated() {
+        let g = Group::new(
+            GroupId::new(0),
+            [UserId::new(5), UserId::new(1), UserId::new(5), UserId::new(3)],
+        )
+        .unwrap();
+        assert_eq!(
+            g.members(),
+            &[UserId::new(1), UserId::new(3), UserId::new(5)]
+        );
+        assert_eq!(g.len(), 3);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn empty_groups_are_rejected() {
+        assert_eq!(
+            Group::new(GroupId::new(0), []).unwrap_err(),
+            FairrecError::EmptyGroup
+        );
+    }
+
+    #[test]
+    fn membership_and_index() {
+        let g = Group::new(GroupId::new(7), [UserId::new(2), UserId::new(9)]).unwrap();
+        assert_eq!(g.id(), GroupId::new(7));
+        assert!(g.contains(UserId::new(9)));
+        assert!(!g.contains(UserId::new(3)));
+        assert_eq!(g.member_index(UserId::new(2)), Some(0));
+        assert_eq!(g.member_index(UserId::new(9)), Some(1));
+        assert_eq!(g.member_index(UserId::new(4)), None);
+    }
+
+    #[test]
+    fn singleton_group_is_valid() {
+        let g = Group::new(GroupId::new(1), [UserId::new(0)]).unwrap();
+        assert_eq!(g.len(), 1);
+    }
+}

@@ -1,0 +1,258 @@
+//! The dense candidate pool consumed by the selection algorithms.
+//!
+//! §VI evaluates the heuristic against the brute force over a pool of `m`
+//! candidate recommendations. [`CandidatePool`] freezes a
+//! [`GroupPredictions`](crate::predictions::GroupPredictions) into that
+//! dense form: only items with a **defined group relevance** survive
+//! (items nobody can score cannot be ranked at all), optionally truncated
+//! to the best `m` by group relevance — the natural way a recommender
+//! shortlists before package selection.
+
+use crate::predictions::GroupPredictions;
+use fairrec_types::{FairrecError, ItemId, Relevance, Result, TopK, UserId};
+
+/// Dense per-member and group scores over a shortlist of candidates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidatePool {
+    members: Vec<UserId>,
+    items: Vec<ItemId>,
+    /// `member_scores[m][j]`; `None` where Equation 1 was undefined for
+    /// that member (the item still has a group score via the others).
+    member_scores: Vec<Vec<Option<Relevance>>>,
+    /// Dense: every pooled item has a group score.
+    group_scores: Vec<Relevance>,
+}
+
+impl CandidatePool {
+    /// Builds the pool from predictions, keeping items with defined group
+    /// relevance, optionally truncated to the top `max_items` by group
+    /// relevance (ties by ascending item id).
+    ///
+    /// # Errors
+    /// [`FairrecError::InvalidParameter`] if `max_items == Some(0)` or the
+    /// resulting pool would be empty.
+    pub fn from_predictions(
+        predictions: &GroupPredictions,
+        max_items: Option<usize>,
+    ) -> Result<Self> {
+        if max_items == Some(0) {
+            return Err(FairrecError::invalid_parameter(
+                "max_items",
+                "pool must keep at least one item",
+            ));
+        }
+        // Select surviving item positions.
+        let scored: Vec<usize> = (0..predictions.num_items())
+            .filter(|&j| predictions.group_relevance(j).is_some())
+            .collect();
+        let keep: Vec<usize> = match max_items {
+            Some(m) if m < scored.len() => {
+                let mut top = TopK::new(m);
+                for &j in &scored {
+                    // TopK keys by ItemId for ties; feed positions as ids.
+                    top.push(
+                        ItemId::new(u32::try_from(j).expect("pool fits in u32")),
+                        predictions.group_relevance(j).expect("scored"),
+                    );
+                }
+                let mut keep: Vec<usize> =
+                    top.into_items().into_iter().map(|i| i.index()).collect();
+                keep.sort_unstable(); // restore item-id order
+                keep
+            }
+            _ => scored,
+        };
+        if keep.is_empty() {
+            return Err(FairrecError::invalid_parameter(
+                "pool",
+                "no candidate has a defined group relevance",
+            ));
+        }
+
+        let items: Vec<ItemId> = keep.iter().map(|&j| predictions.items()[j]).collect();
+        let member_scores: Vec<Vec<Option<Relevance>>> = (0..predictions.members().len())
+            .map(|m| {
+                keep.iter()
+                    .map(|&j| predictions.member_relevance(m, j))
+                    .collect()
+            })
+            .collect();
+        let group_scores: Vec<Relevance> = keep
+            .iter()
+            .map(|&j| predictions.group_relevance(j).expect("scored"))
+            .collect();
+
+        Ok(Self {
+            members: predictions.members().to_vec(),
+            items,
+            member_scores,
+            group_scores,
+        })
+    }
+
+    /// Builds a pool directly from dense parts (tests, benches, MapReduce).
+    ///
+    /// # Panics
+    /// Panics on shape mismatches (internal assembly error).
+    pub fn from_parts(
+        members: Vec<UserId>,
+        items: Vec<ItemId>,
+        member_scores: Vec<Vec<Option<Relevance>>>,
+        group_scores: Vec<Relevance>,
+    ) -> Self {
+        assert_eq!(member_scores.len(), members.len(), "one row per member");
+        for row in &member_scores {
+            assert_eq!(row.len(), items.len(), "one score slot per item");
+        }
+        assert_eq!(group_scores.len(), items.len());
+        assert!(!items.is_empty(), "pool cannot be empty");
+        Self {
+            members,
+            items,
+            member_scores,
+            group_scores,
+        }
+    }
+
+    /// Group members.
+    pub fn members(&self) -> &[UserId] {
+        &self.members
+    }
+
+    /// Group size `n = |G|`.
+    pub fn num_members(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Pooled items (ascending item id).
+    pub fn items(&self) -> &[ItemId] {
+        &self.items
+    }
+
+    /// Pool size `m`.
+    pub fn num_items(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Per-member relevance at pool position `item_idx`.
+    pub fn member_relevance(&self, member_idx: usize, item_idx: usize) -> Option<Relevance> {
+        self.member_scores[member_idx][item_idx]
+    }
+
+    /// Group relevance at pool position `item_idx`.
+    pub fn group_relevance(&self, item_idx: usize) -> Relevance {
+        self.group_scores[item_idx]
+    }
+
+    /// All group scores, parallel to [`items`](Self::items).
+    pub fn group_scores(&self) -> &[Relevance] {
+        &self.group_scores
+    }
+
+    /// The per-member top-k list `A_u` as pool *positions* (not item ids),
+    /// best first, ties by ascending position.
+    pub fn top_k_positions(&self, member_idx: usize, k: usize) -> Vec<usize> {
+        let mut top = TopK::new(k);
+        for (j, score) in self.member_scores[member_idx].iter().enumerate() {
+            if let Some(s) = score {
+                top.push(ItemId::new(u32::try_from(j).expect("pool fits u32")), *s);
+            }
+        }
+        top.into_items().into_iter().map(|i| i.index()).collect()
+    }
+
+    /// Sum of group relevance over a set of pool positions (the Σ term of
+    /// the value function).
+    pub fn sum_group_relevance(&self, positions: &[usize]) -> Relevance {
+        positions.iter().map(|&j| self.group_scores[j]).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictions::GroupPredictions;
+
+    fn preds() -> GroupPredictions {
+        // 2 members, 4 items; item 1 unscored for everyone; item 3 scored
+        // only by member 1.
+        GroupPredictions::from_parts(
+            vec![UserId::new(0), UserId::new(1)],
+            (0..4).map(ItemId::new).collect(),
+            vec![
+                vec![Some(4.0), None, Some(1.0), None],
+                vec![Some(2.0), None, Some(5.0), Some(3.0)],
+            ],
+            vec![Some(3.0), None, Some(3.0), Some(3.0)],
+        )
+    }
+
+    #[test]
+    fn unscored_items_are_dropped() {
+        let pool = CandidatePool::from_predictions(&preds(), None).unwrap();
+        assert_eq!(
+            pool.items(),
+            &[ItemId::new(0), ItemId::new(2), ItemId::new(3)]
+        );
+        assert_eq!(pool.num_items(), 3);
+        assert_eq!(pool.num_members(), 2);
+        assert_eq!(pool.group_relevance(0), 3.0);
+        assert_eq!(pool.member_relevance(0, 2), None);
+    }
+
+    #[test]
+    fn truncation_keeps_best_by_group_score_in_item_order() {
+        let p = GroupPredictions::from_parts(
+            vec![UserId::new(0)],
+            (0..4).map(ItemId::new).collect(),
+            vec![vec![Some(1.0), Some(4.0), Some(2.0), Some(3.0)]],
+            vec![Some(1.0), Some(4.0), Some(2.0), Some(3.0)],
+        );
+        let pool = CandidatePool::from_predictions(&p, Some(2)).unwrap();
+        // Best two by group score are items 1 (4.0) and 3 (3.0), reported
+        // in ascending item order.
+        assert_eq!(pool.items(), &[ItemId::new(1), ItemId::new(3)]);
+        assert_eq!(pool.group_scores(), &[4.0, 3.0]);
+    }
+
+    #[test]
+    fn truncation_ties_break_by_item_id() {
+        let p = GroupPredictions::from_parts(
+            vec![UserId::new(0)],
+            (0..3).map(ItemId::new).collect(),
+            vec![vec![Some(2.0), Some(2.0), Some(2.0)]],
+            vec![Some(2.0), Some(2.0), Some(2.0)],
+        );
+        let pool = CandidatePool::from_predictions(&p, Some(2)).unwrap();
+        assert_eq!(pool.items(), &[ItemId::new(0), ItemId::new(1)]);
+    }
+
+    #[test]
+    fn empty_pool_is_an_error() {
+        let p = GroupPredictions::from_parts(
+            vec![UserId::new(0)],
+            vec![ItemId::new(0)],
+            vec![vec![None]],
+            vec![None],
+        );
+        assert!(CandidatePool::from_predictions(&p, None).is_err());
+        assert!(CandidatePool::from_predictions(&preds(), Some(0)).is_err());
+    }
+
+    #[test]
+    fn top_k_positions_skip_undefined_member_scores() {
+        let pool = CandidatePool::from_predictions(&preds(), None).unwrap();
+        // Member 0 scores: pos0=4.0, pos1=1.0, pos2=None.
+        assert_eq!(pool.top_k_positions(0, 2), vec![0, 1]);
+        assert_eq!(pool.top_k_positions(0, 5), vec![0, 1]);
+        // Member 1 scores: pos0=2.0, pos1=5.0, pos2=3.0.
+        assert_eq!(pool.top_k_positions(1, 2), vec![1, 2]);
+    }
+
+    #[test]
+    fn sum_group_relevance_over_positions() {
+        let pool = CandidatePool::from_predictions(&preds(), None).unwrap();
+        assert_eq!(pool.sum_group_relevance(&[0, 2]), 6.0);
+        assert_eq!(pool.sum_group_relevance(&[]), 0.0);
+    }
+}

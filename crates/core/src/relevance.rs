@@ -1,0 +1,220 @@
+//! Relevance prediction — Equation 1.
+//!
+//! For a user `u` with peers `P_u` and an item `i` that `u` has not rated:
+//!
+//! ```text
+//!                   Σ_{u′ ∈ P_u ∩ U(i)}  simU(u, u′) · rating(u′, i)
+//! relevance(u, i) = ───────────────────────────────────────────────
+//!                   Σ_{u′ ∈ P_u ∩ U(i)}  simU(u, u′)
+//! ```
+//!
+//! The prediction is **undefined** (`None`) when no peer has rated `i`, or
+//! when the similarity mass in the denominator is not strictly positive —
+//! the latter can only happen when the caller admits non-positive
+//! similarities through a negative δ, in which case a weighted "average"
+//! loses its meaning as one.
+
+use fairrec_similarity::Peers;
+use fairrec_types::{ItemId, RatingMatrix, Relevance, ScoredItem, TopK, UserId};
+use std::collections::HashMap;
+
+/// Predicts Equation 1 scores against a rating matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct RelevancePredictor<'a> {
+    matrix: &'a RatingMatrix,
+}
+
+impl<'a> RelevancePredictor<'a> {
+    /// Creates a predictor over `matrix`.
+    pub fn new(matrix: &'a RatingMatrix) -> Self {
+        Self { matrix }
+    }
+
+    /// The underlying matrix.
+    pub fn matrix(&self) -> &'a RatingMatrix {
+        self.matrix
+    }
+
+    /// Predicts `relevance(u, i)` for one item, given `u`'s peer list.
+    ///
+    /// `peers` comes from
+    /// [`PeerSelector`](fairrec_similarity::PeerSelector); the user itself
+    /// is never in it.
+    pub fn predict(&self, peers: &Peers, item: ItemId) -> Option<Relevance> {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        // Iterate the smaller side: raters of the item, probing the peer
+        // map — peer lists are usually the larger collection.
+        if peers.len() <= self.matrix.users_of(item).len() {
+            for &(peer, sim) in peers {
+                if let Some(r) = self.matrix.rating(peer, item) {
+                    num += sim * r;
+                    den += sim;
+                }
+            }
+        } else {
+            let peer_sim: HashMap<UserId, f64> = peers.iter().copied().collect();
+            for (rater, r) in self.matrix.raters_of(item) {
+                if let Some(&sim) = peer_sim.get(&rater) {
+                    num += sim * r;
+                    den += sim;
+                }
+            }
+        }
+        (den > 0.0).then(|| num / den)
+    }
+
+    /// Predicts over a candidate slice, preserving order; `None` entries
+    /// mark undefined predictions.
+    pub fn predict_many(&self, peers: &Peers, candidates: &[ItemId]) -> Vec<Option<Relevance>> {
+        // One peer→sim map reused across items.
+        let peer_sim: HashMap<UserId, f64> = peers.iter().copied().collect();
+        candidates
+            .iter()
+            .map(|&item| {
+                let mut num = 0.0;
+                let mut den = 0.0;
+                for (rater, r) in self.matrix.raters_of(item) {
+                    if let Some(&sim) = peer_sim.get(&rater) {
+                        num += sim * r;
+                        den += sim;
+                    }
+                }
+                (den > 0.0).then(|| num / den)
+            })
+            .collect()
+    }
+
+    /// The top-k list `A_u` (§III-A) over `candidates`.
+    pub fn top_k(&self, peers: &Peers, candidates: &[ItemId], k: usize) -> Vec<ScoredItem> {
+        let mut top = TopK::new(k);
+        for (item, score) in candidates
+            .iter()
+            .zip(self.predict_many(peers, candidates))
+            .filter_map(|(&i, s)| s.map(|s| (i, s)))
+        {
+            top.push(item, score);
+        }
+        top.into_sorted_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairrec_types::RatingMatrixBuilder;
+
+    fn matrix(rows: &[(u32, u32, f64)]) -> RatingMatrix {
+        let mut b = RatingMatrixBuilder::new();
+        for &(u, i, s) in rows {
+            b.add_raw(UserId::new(u), ItemId::new(i), s).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn peers(list: &[(u32, f64)]) -> Peers {
+        list.iter().map(|&(u, s)| (UserId::new(u), s)).collect()
+    }
+
+    #[test]
+    fn equation_1_hand_computed() {
+        // Peers u1 (sim .8, rated 5) and u2 (sim .4, rated 2); u3 rated but
+        // is not a peer.
+        let m = matrix(&[(1, 0, 5.0), (2, 0, 2.0), (3, 0, 1.0)]);
+        let p = peers(&[(1, 0.8), (2, 0.4)]);
+        let r = RelevancePredictor::new(&m).predict(&p, ItemId::new(0)).unwrap();
+        let expected = (0.8 * 5.0 + 0.4 * 2.0) / (0.8 + 0.4);
+        assert!((r - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prediction_is_a_convex_combination() {
+        let m = matrix(&[(1, 0, 2.0), (2, 0, 5.0)]);
+        let p = peers(&[(1, 0.9), (2, 0.1)]);
+        let r = RelevancePredictor::new(&m).predict(&p, ItemId::new(0)).unwrap();
+        assert!((2.0..=5.0).contains(&r));
+        // Heavier weight pulls toward that peer's rating.
+        assert!(r < 3.0);
+    }
+
+    #[test]
+    fn undefined_when_no_peer_rated() {
+        let m = matrix(&[(3, 0, 4.0)]);
+        let p = peers(&[(1, 0.8), (2, 0.4)]);
+        assert_eq!(
+            RelevancePredictor::new(&m).predict(&p, ItemId::new(0)),
+            None
+        );
+        assert_eq!(
+            RelevancePredictor::new(&m).predict(&peers(&[]), ItemId::new(0)),
+            None
+        );
+    }
+
+    #[test]
+    fn undefined_on_nonpositive_similarity_mass() {
+        let m = matrix(&[(1, 0, 5.0), (2, 0, 1.0)]);
+        // Negative-δ regime admitting anti-correlated "peers".
+        let p = peers(&[(1, -0.5), (2, 0.5)]);
+        assert_eq!(
+            RelevancePredictor::new(&m).predict(&p, ItemId::new(0)),
+            None
+        );
+    }
+
+    #[test]
+    fn both_probe_directions_agree() {
+        // Small peer list vs. large rater set and vice versa.
+        let mut rows = vec![(0u32, 0u32, 3.0)];
+        for u in 1..40 {
+            rows.push((u, 0, f64::from(u % 5) + 1.0));
+        }
+        let m = matrix(&rows);
+        let small = peers(&[(1, 0.5), (2, 0.5)]);
+        let big: Peers = (1..40).map(|u| (UserId::new(u), 0.1)).collect();
+        let pred = RelevancePredictor::new(&m);
+        // Few peers → peer-side iteration; many peers → rater-side.
+        let a = pred.predict(&small, ItemId::new(0)).unwrap();
+        let b = pred.predict_many(&small, &[ItemId::new(0)])[0].unwrap();
+        assert!((a - b).abs() < 1e-12);
+        let c = pred.predict(&big, ItemId::new(0)).unwrap();
+        let d = pred.predict_many(&big, &[ItemId::new(0)])[0].unwrap();
+        assert!((c - d).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predict_many_preserves_order_and_gaps() {
+        let m = matrix(&[(1, 0, 5.0), (1, 2, 3.0)]);
+        let p = peers(&[(1, 1.0)]);
+        let out = RelevancePredictor::new(&m).predict_many(
+            &p,
+            &[ItemId::new(2), ItemId::new(1), ItemId::new(0)],
+        );
+        assert_eq!(out, vec![Some(3.0), None, Some(5.0)]);
+    }
+
+    #[test]
+    fn top_k_returns_a_u() {
+        let m = matrix(&[
+            (1, 0, 5.0),
+            (1, 1, 1.0),
+            (1, 2, 4.0),
+            (1, 3, 3.0),
+        ]);
+        let p = peers(&[(1, 1.0)]);
+        let candidates: Vec<ItemId> = (0..4).map(ItemId::new).collect();
+        let top = RelevancePredictor::new(&m).top_k(&p, &candidates, 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].item, ItemId::new(0));
+        assert_eq!(top[1].item, ItemId::new(2));
+    }
+
+    #[test]
+    fn top_k_skips_undefined_predictions() {
+        let m = matrix(&[(1, 0, 5.0)]);
+        let p = peers(&[(1, 1.0)]);
+        let candidates: Vec<ItemId> = (0..5).map(ItemId::new).collect();
+        let top = RelevancePredictor::new(&m).top_k(&p, &candidates, 3);
+        assert_eq!(top.len(), 1, "only the predictable item qualifies");
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests over the whole selection stack: random candidate
+//! pools, checked against the paper's formal claims.
+
+use fairrec_core::{
+    algorithm1, brute_force, plain_top_z, swap_refine, CandidatePool, FairnessEvaluator,
+};
+use fairrec_types::{ItemId, UserId};
+use proptest::prelude::*;
+
+/// Random dense pool: n members × m items, all member scores defined in
+/// [1, 5], group scores the per-item mean (average aggregation).
+fn arb_pool() -> impl Strategy<Value = CandidatePool> {
+    (2usize..=5, 2usize..=9).prop_flat_map(|(n, m)| {
+        proptest::collection::vec(1.0f64..=5.0, n * m).prop_map(move |flat| {
+            let member_scores: Vec<Vec<Option<f64>>> = (0..n)
+                .map(|u| (0..m).map(|j| Some(flat[u * m + j])).collect())
+                .collect();
+            let group_scores: Vec<f64> = (0..m)
+                .map(|j| (0..n).map(|u| flat[u * m + j]).sum::<f64>() / n as f64)
+                .collect();
+            CandidatePool::from_parts(
+                (0..n as u32).map(UserId::new).collect(),
+                (0..m as u32).map(ItemId::new).collect(),
+                member_scores,
+                group_scores,
+            )
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Proposition 1: z ≥ |G| ⇒ fairness(G, D) = 1 for Algorithm 1's D
+    /// (all member predictions defined, k ≥ 1).
+    #[test]
+    fn proposition_1(pool in arb_pool(), k in 1usize..4) {
+        let n = pool.num_members();
+        let m = pool.num_items();
+        prop_assume!(m >= n); // need enough items for |D| ≥ |G|
+        let ev = FairnessEvaluator::new(&pool, k).unwrap();
+        for z in n..=m {
+            let sel = algorithm1(&pool, z, k);
+            prop_assert!(
+                (ev.fairness(&sel.positions) - 1.0).abs() < 1e-12,
+                "fairness < 1 at n={n} z={z} k={k}"
+            );
+        }
+    }
+
+    /// The exact optimum dominates every heuristic, and swap refinement
+    /// never loses value.
+    #[test]
+    fn exact_dominates_heuristics(pool in arb_pool(), z in 1usize..6, k in 1usize..4) {
+        let z = z.min(pool.num_items());
+        let ev = FairnessEvaluator::new(&pool, k).unwrap();
+        let exact = brute_force(&pool, &ev, z);
+        let greedy = algorithm1(&pool, z, k);
+        let greedy_value = ev.value(&pool, &greedy.positions);
+        prop_assert!(exact.value >= greedy_value - 1e-9,
+            "exact {} < greedy {}", exact.value, greedy_value);
+        let plain = plain_top_z(&pool, z);
+        prop_assert!(exact.value >= ev.value(&pool, &plain.positions) - 1e-9);
+        let refined = swap_refine(&pool, &ev, &greedy, 20);
+        prop_assert!(refined.value >= greedy_value - 1e-9);
+        prop_assert!(exact.value >= refined.value - 1e-9);
+    }
+
+    /// Greedy fairness is non-decreasing in z: supersets of selections can
+    /// only satisfy more members.
+    #[test]
+    fn greedy_fairness_monotone_in_z(pool in arb_pool(), k in 1usize..4) {
+        let ev = FairnessEvaluator::new(&pool, k).unwrap();
+        let mut prev = 0.0f64;
+        for z in 1..=pool.num_items() {
+            let sel = algorithm1(&pool, z, k);
+            let f = ev.fairness(&sel.positions);
+            prop_assert!(f >= prev - 1e-12, "fairness dropped at z={z}");
+            prev = f;
+        }
+    }
+
+    /// Algorithm 1 returns min(z, reachable) distinct positions and both
+    /// methods return valid pool positions.
+    #[test]
+    fn selections_are_well_formed(pool in arb_pool(), z in 0usize..8, k in 1usize..4) {
+        let ev = FairnessEvaluator::new(&pool, k).unwrap();
+        let greedy = algorithm1(&pool, z, k);
+        let mut seen = std::collections::HashSet::new();
+        for &j in &greedy.positions {
+            prop_assert!(j < pool.num_items());
+            prop_assert!(seen.insert(j), "duplicate position {j}");
+        }
+        prop_assert!(greedy.len() <= z.min(pool.num_items()));
+        if z > 0 {
+            let exact = brute_force(&pool, &ev, z);
+            let zz = z.min(pool.num_items());
+            prop_assert_eq!(exact.selection.len(), zz);
+            // Combinations count = C(m, zz).
+            let m = pool.num_items() as u64;
+            let mut c = 1u64;
+            for i in 0..zz as u64 {
+                c = c * (m - i) / (i + 1);
+            }
+            prop_assert_eq!(exact.combinations, c);
+        }
+    }
+
+    /// §VI: "the fairness of the produced results are identical in both
+    /// cases" — for z ≥ |G| both brute force and heuristic reach
+    /// fairness 1 (Proposition 1 makes greedy hit 1; the optimum cannot
+    /// do worse because value scales with fairness).
+    #[test]
+    fn table2_fairness_identical(pool in arb_pool(), k in 2usize..4) {
+        let n = pool.num_members();
+        prop_assume!(pool.num_items() >= n);
+        let ev = FairnessEvaluator::new(&pool, k).unwrap();
+        for z in n..=pool.num_items().min(n + 2) {
+            let greedy = algorithm1(&pool, z, k);
+            let exact = brute_force(&pool, &ev, z);
+            let fg = ev.fairness(&greedy.positions);
+            let fe = ev.fairness(&exact.selection.positions);
+            prop_assert!((fg - 1.0).abs() < 1e-12, "greedy fairness {fg} ≠ 1");
+            prop_assert!((fe - 1.0).abs() < 1e-12, "exact fairness {fe} ≠ 1");
+        }
+    }
+}

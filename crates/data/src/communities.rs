@@ -1,0 +1,134 @@
+//! The planted community ground truth.
+
+use fairrec_types::{ItemId, UserId};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Latent community assignments for users and items.
+///
+/// Communities model patient cohorts (e.g. disease groups): members of a
+/// cohort share document interests and clinical profiles. Assignments are
+/// round-robin with a shuffled tail so community sizes differ by at most
+/// one — balanced enough for stable experiments, irregular enough not to
+/// be an artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommunityModel {
+    user_community: Vec<u32>,
+    item_community: Vec<u32>,
+    num_communities: u32,
+}
+
+impl CommunityModel {
+    /// Assigns `num_users` users and `num_items` items to
+    /// `num_communities` communities.
+    ///
+    /// # Panics
+    /// Panics if `num_communities == 0`.
+    pub fn assign(num_users: u32, num_items: u32, num_communities: u32, rng: &mut StdRng) -> Self {
+        assert!(num_communities > 0, "need at least one community");
+        let mut user_community: Vec<u32> =
+            (0..num_users).map(|u| u % num_communities).collect();
+        let mut item_community: Vec<u32> =
+            (0..num_items).map(|i| i % num_communities).collect();
+        // Fisher–Yates so ids do not encode communities.
+        for slot in (1..user_community.len()).rev() {
+            user_community.swap(slot, rng.gen_range(0..=slot));
+        }
+        for slot in (1..item_community.len()).rev() {
+            item_community.swap(slot, rng.gen_range(0..=slot));
+        }
+        Self {
+            user_community,
+            item_community,
+            num_communities,
+        }
+    }
+
+    /// Number of communities.
+    pub fn num_communities(&self) -> u32 {
+        self.num_communities
+    }
+
+    /// Community of a user.
+    pub fn user_community(&self, u: UserId) -> u32 {
+        self.user_community[u.index()]
+    }
+
+    /// Community of an item.
+    pub fn item_community(&self, i: ItemId) -> u32 {
+        self.item_community[i.index()]
+    }
+
+    /// Whether two users share a community — the ground truth for peer
+    /// recovery experiments.
+    pub fn same_community(&self, a: UserId, b: UserId) -> bool {
+        self.user_community(a) == self.user_community(b)
+    }
+
+    /// All items of one community, ascending.
+    pub fn items_of_community(&self, community: u32) -> Vec<ItemId> {
+        self.item_community
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c == community)
+            .map(|(i, _)| ItemId::new(i as u32))
+            .collect()
+    }
+
+    /// All users of one community, ascending.
+    pub fn users_of_community(&self, community: u32) -> Vec<UserId> {
+        self.user_community
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c == community)
+            .map(|(u, _)| UserId::new(u as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sizes_are_balanced() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = CommunityModel::assign(103, 57, 4, &mut rng);
+        for c in 0..4 {
+            let users = m.users_of_community(c).len();
+            assert!((25..=26).contains(&users), "community {c}: {users} users");
+        }
+        let total: usize = (0..4).map(|c| m.items_of_community(c).len()).sum();
+        assert_eq!(total, 57);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = CommunityModel::assign(50, 50, 3, &mut StdRng::seed_from_u64(9));
+        let b = CommunityModel::assign(50, 50, 3, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+        let c = CommunityModel::assign(50, 50, 3, &mut StdRng::seed_from_u64(10));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn same_community_is_reflexive_and_symmetric() {
+        let m = CommunityModel::assign(20, 5, 3, &mut StdRng::seed_from_u64(2));
+        for a in 0..20u32 {
+            assert!(m.same_community(UserId::new(a), UserId::new(a)));
+            for b in 0..20u32 {
+                assert_eq!(
+                    m.same_community(UserId::new(a), UserId::new(b)),
+                    m.same_community(UserId::new(b), UserId::new(a))
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one community")]
+    fn zero_communities_rejected() {
+        CommunityModel::assign(5, 5, 0, &mut StdRng::seed_from_u64(0));
+    }
+}

@@ -1,0 +1,432 @@
+//! The synthetic dataset generator.
+
+use crate::communities::CommunityModel;
+use fairrec_ontology::Ontology;
+use fairrec_phr::{Gender, PatientProfile, PhrStore};
+use fairrec_types::{
+    ConceptId, ItemId, RatingMatrix, RatingMatrixBuilder, Result, UserId,
+};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Generator parameters. All fields have workable defaults; tune per
+/// experiment and record the values in `EXPERIMENTS.md`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticConfig {
+    /// Number of users `|U|`.
+    pub num_users: u32,
+    /// Number of items (health documents) `|I|`.
+    pub num_items: u32,
+    /// Number of planted communities.
+    pub num_communities: u32,
+    /// Ratings per user (each user rates exactly this many distinct items,
+    /// capped at `num_items`).
+    pub ratings_per_user: u32,
+    /// Probability that a rating lands on an in-community item.
+    pub in_community_bias: f64,
+    /// Mean rating for in-community items (before noise/clamping).
+    pub in_community_mean: f64,
+    /// Mean rating for out-of-community items.
+    pub out_community_mean: f64,
+    /// Half-width of the uniform rating noise.
+    pub rating_noise: f64,
+    /// Problems recorded per patient profile.
+    pub problems_per_user: u32,
+    /// Probability a recorded problem comes from the community's ontology
+    /// region (vs. anywhere).
+    pub problem_region_bias: f64,
+    /// Medications recorded per patient.
+    pub medications_per_user: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        Self {
+            num_users: 200,
+            num_items: 400,
+            num_communities: 4,
+            ratings_per_user: 30,
+            in_community_bias: 0.8,
+            in_community_mean: 4.3,
+            out_community_mean: 1.8,
+            rating_noise: 0.7,
+            problems_per_user: 2,
+            problem_region_bias: 0.85,
+            medications_per_user: 2,
+            seed: 42,
+        }
+    }
+}
+
+/// A generated dataset: ratings, profiles, and the planted ground truth.
+#[derive(Debug, Clone)]
+pub struct SyntheticDataset {
+    /// The rating matrix.
+    pub matrix: RatingMatrix,
+    /// Patient profiles (empty problems when the ontology has no regions).
+    pub profiles: PhrStore,
+    /// The planted community assignments.
+    pub communities: CommunityModel,
+    /// The configuration that produced the dataset.
+    pub config: SyntheticConfig,
+}
+
+impl SyntheticDataset {
+    /// Generates a dataset against `ontology` (profiles draw problems from
+    /// per-community ontology regions).
+    ///
+    /// # Errors
+    /// Propagates rating-matrix construction failures (impossible in
+    /// practice: the generator produces valid, duplicate-free triples).
+    pub fn generate(config: SyntheticConfig, ontology: &Ontology) -> Result<Self> {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let communities = CommunityModel::assign(
+            config.num_users,
+            config.num_items,
+            config.num_communities,
+            &mut rng,
+        );
+
+        let matrix = generate_ratings(&config, &communities, &mut rng)?;
+        let profiles = generate_profiles(&config, &communities, ontology, &mut rng);
+
+        Ok(Self {
+            matrix,
+            profiles,
+            communities,
+            config,
+        })
+    }
+
+    /// Samples a caregiver group of `size` members; `community` restricts
+    /// members to one cohort (homogeneous group), `None` mixes cohorts by
+    /// drawing uniformly.
+    pub fn sample_group(&self, size: usize, community: Option<u32>, seed: u64) -> Vec<UserId> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pool: Vec<UserId> = match community {
+            Some(c) => self.communities.users_of_community(c),
+            None => (0..self.config.num_users).map(UserId::new).collect(),
+        };
+        let mut pool = pool;
+        pool.shuffle(&mut rng);
+        pool.truncate(size.min(pool.len()));
+        pool.sort_unstable();
+        pool
+    }
+}
+
+fn generate_ratings(
+    config: &SyntheticConfig,
+    communities: &CommunityModel,
+    rng: &mut StdRng,
+) -> Result<RatingMatrix> {
+    let per_user = config.ratings_per_user.min(config.num_items) as usize;
+    let mut builder = RatingMatrixBuilder::with_capacity(config.num_users as usize * per_user)
+        .reserve_ids(config.num_users, config.num_items);
+
+    // Pre-materialise community item pools once.
+    let pools: Vec<Vec<ItemId>> = (0..config.num_communities)
+        .map(|c| communities.items_of_community(c))
+        .collect();
+    let all_items: Vec<ItemId> = (0..config.num_items).map(ItemId::new).collect();
+
+    let mut chosen: Vec<ItemId> = Vec::with_capacity(per_user);
+    let mut taken = vec![false; config.num_items as usize];
+    for u in 0..config.num_users {
+        let user = UserId::new(u);
+        let own = communities.user_community(user);
+        chosen.clear();
+        taken.iter_mut().for_each(|t| *t = false);
+        // Rejection-sample distinct items with community bias. The pool is
+        // much larger than per_user in every experiment, so this loop
+        // terminates quickly; a safety valve falls back to scanning.
+        let mut attempts = 0usize;
+        while chosen.len() < per_user {
+            attempts += 1;
+            let item = if rng.gen_bool(config.in_community_bias) && !pools[own as usize].is_empty()
+            {
+                pools[own as usize][rng.gen_range(0..pools[own as usize].len())]
+            } else {
+                all_items[rng.gen_range(0..all_items.len())]
+            };
+            if !taken[item.index()] {
+                taken[item.index()] = true;
+                chosen.push(item);
+            } else if attempts > per_user * 50 {
+                // Dense regime: take the first free items deterministically.
+                for &i in &all_items {
+                    if chosen.len() == per_user {
+                        break;
+                    }
+                    if !taken[i.index()] {
+                        taken[i.index()] = true;
+                        chosen.push(i);
+                    }
+                }
+            }
+        }
+        for &item in &chosen {
+            let base = if communities.item_community(item) == own {
+                config.in_community_mean
+            } else {
+                config.out_community_mean
+            };
+            let noise = rng.gen_range(-config.rating_noise..=config.rating_noise);
+            let score = (base + noise).round().clamp(1.0, 5.0);
+            builder.add_raw(user, item, score)?;
+        }
+    }
+    builder.build()
+}
+
+/// Regions: the children of the ontology root's first child when present
+/// (for the clinical fragment these are the body-system families), else
+/// the root's children, else no regions (profiles get no problems).
+fn community_regions(ontology: &Ontology, num_communities: u32) -> Vec<Vec<ConceptId>> {
+    let root = if ontology.is_empty() {
+        return vec![Vec::new(); num_communities as usize];
+    } else {
+        ontology.root()
+    };
+    let anchor = ontology.children(root).first().copied().unwrap_or(root);
+    let mut regions: Vec<ConceptId> = ontology.children(anchor).to_vec();
+    if regions.is_empty() {
+        regions = ontology.children(root).to_vec();
+    }
+    if regions.is_empty() {
+        return vec![Vec::new(); num_communities as usize];
+    }
+    // Community c draws from region c % |regions|; a region's pool is its
+    // leaf descendants (specific diagnoses), or the region node itself.
+    (0..num_communities)
+        .map(|c| {
+            let region = regions[(c as usize) % regions.len()];
+            let leaves = leaf_descendants(ontology, region);
+            if leaves.is_empty() {
+                vec![region]
+            } else {
+                leaves
+            }
+        })
+        .collect()
+}
+
+fn leaf_descendants(ontology: &Ontology, node: ConceptId) -> Vec<ConceptId> {
+    let mut out = Vec::new();
+    let mut stack = vec![node];
+    while let Some(cur) = stack.pop() {
+        let children = ontology.children(cur);
+        if children.is_empty() {
+            if cur != node {
+                out.push(cur);
+            }
+        } else {
+            stack.extend(children.iter().copied());
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+fn generate_profiles(
+    config: &SyntheticConfig,
+    communities: &CommunityModel,
+    ontology: &Ontology,
+    rng: &mut StdRng,
+) -> PhrStore {
+    let regions = community_regions(ontology, config.num_communities);
+    let all_problems: Vec<ConceptId> = regions.iter().flatten().copied().collect();
+    let mut store = PhrStore::with_capacity(config.num_users as usize);
+
+    for u in 0..config.num_users {
+        let user = UserId::new(u);
+        let own = communities.user_community(user) as usize;
+        let mut builder = PatientProfile::builder(user)
+            .gender(match rng.gen_range(0..2) {
+                0 => Gender::Female,
+                _ => Gender::Male,
+            })
+            .age(rng.gen_range(18..90));
+        for _ in 0..config.problems_per_user {
+            let pool = if rng.gen_bool(config.problem_region_bias) && !regions[own].is_empty() {
+                &regions[own]
+            } else if !all_problems.is_empty() {
+                &all_problems
+            } else {
+                continue;
+            };
+            builder = builder.problem(pool[rng.gen_range(0..pool.len())]);
+        }
+        for k in 0..config.medications_per_user {
+            // Community-specific medication pool: shared drugs are a
+            // within-cohort textual signal for the CS measure.
+            let med_id = rng.gen_range(0..4u32);
+            builder = builder.medication(format!(
+                "Medication-C{}-{} {} MG Tablet",
+                own,
+                med_id,
+                (k + 1) * 100
+            ));
+        }
+        store.upsert(builder.build());
+    }
+    store
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairrec_ontology::snomed::clinical_fragment;
+
+    fn small() -> SyntheticConfig {
+        SyntheticConfig {
+            num_users: 60,
+            num_items: 120,
+            num_communities: 3,
+            ratings_per_user: 20,
+            seed: 7,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn shape_matches_config() {
+        let ont = clinical_fragment();
+        let d = SyntheticDataset::generate(small(), &ont).unwrap();
+        assert_eq!(d.matrix.num_users(), 60);
+        assert_eq!(d.matrix.num_items(), 120);
+        assert_eq!(d.matrix.num_ratings(), 60 * 20);
+        assert_eq!(d.profiles.len(), 60);
+        for u in 0..60u32 {
+            assert_eq!(d.matrix.degree_of(UserId::new(u)), 20);
+            let p = d.profiles.get(UserId::new(u)).unwrap();
+            assert!(!p.problems.is_empty());
+            assert_eq!(p.medications.len(), 2);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ont = clinical_fragment();
+        let a = SyntheticDataset::generate(small(), &ont).unwrap();
+        let b = SyntheticDataset::generate(small(), &ont).unwrap();
+        assert_eq!(a.matrix, b.matrix);
+        assert_eq!(a.communities, b.communities);
+        let c = SyntheticDataset::generate(
+            SyntheticConfig {
+                seed: 8,
+                ..small()
+            },
+            &ont,
+        )
+        .unwrap();
+        assert_ne!(a.matrix, c.matrix);
+    }
+
+    #[test]
+    fn in_community_ratings_are_higher_on_average() {
+        let ont = clinical_fragment();
+        let d = SyntheticDataset::generate(small(), &ont).unwrap();
+        let (mut in_sum, mut in_n, mut out_sum, mut out_n) = (0.0, 0usize, 0.0, 0usize);
+        for t in d.matrix.to_triples() {
+            if d.communities.user_community(t.user) == d.communities.item_community(t.item) {
+                in_sum += t.rating.value();
+                in_n += 1;
+            } else {
+                out_sum += t.rating.value();
+                out_n += 1;
+            }
+        }
+        assert!(in_n > 0 && out_n > 0);
+        let (in_mean, out_mean) = (in_sum / in_n as f64, out_sum / out_n as f64);
+        assert!(
+            in_mean > out_mean + 1.0,
+            "plant too weak: in {in_mean:.2} vs out {out_mean:.2}"
+        );
+    }
+
+    #[test]
+    fn in_community_bias_shapes_the_sample() {
+        let ont = clinical_fragment();
+        let d = SyntheticDataset::generate(small(), &ont).unwrap();
+        let mut in_n = 0usize;
+        let total = d.matrix.num_ratings();
+        for t in d.matrix.to_triples() {
+            if d.communities.user_community(t.user) == d.communities.item_community(t.item) {
+                in_n += 1;
+            }
+        }
+        let frac = in_n as f64 / total as f64;
+        // Bias 0.8 with ~1/3 uniform fallback to own community ⇒ > 0.7.
+        assert!(frac > 0.7, "in-community fraction {frac:.2}");
+    }
+
+    #[test]
+    fn profile_problems_come_from_community_regions_mostly() {
+        let ont = clinical_fragment();
+        let cfg = SyntheticConfig {
+            problems_per_user: 3,
+            ..small()
+        };
+        let d = SyntheticDataset::generate(cfg, &ont).unwrap();
+        let regions = community_regions(&ont, cfg.num_communities);
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for p in d.profiles.iter() {
+            let own = d.communities.user_community(p.user) as usize;
+            for c in &p.problems {
+                total += 1;
+                if regions[own].contains(c) {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(
+            hits as f64 / total as f64 > 0.7,
+            "region bias too weak: {hits}/{total}"
+        );
+    }
+
+    #[test]
+    fn group_sampling_respects_community_and_size() {
+        let ont = clinical_fragment();
+        let d = SyntheticDataset::generate(small(), &ont).unwrap();
+        let g = d.sample_group(5, Some(1), 3);
+        assert_eq!(g.len(), 5);
+        for &u in &g {
+            assert_eq!(d.communities.user_community(u), 1);
+        }
+        let mixed = d.sample_group(10, None, 3);
+        assert_eq!(mixed.len(), 10);
+        let sorted = {
+            let mut s = mixed.clone();
+            s.sort_unstable();
+            s
+        };
+        assert_eq!(mixed, sorted, "groups come back sorted");
+        // Oversized requests cap at the pool.
+        let all = d.sample_group(10_000, Some(0), 3);
+        assert_eq!(all.len(), d.communities.users_of_community(0).len());
+    }
+
+    #[test]
+    fn dense_regime_fallback_fills_exactly() {
+        // ratings_per_user == num_items forces the fallback path.
+        let ont = clinical_fragment();
+        let cfg = SyntheticConfig {
+            num_users: 5,
+            num_items: 10,
+            ratings_per_user: 10,
+            num_communities: 2,
+            seed: 1,
+            ..Default::default()
+        };
+        let d = SyntheticDataset::generate(cfg, &ont).unwrap();
+        for u in 0..5u32 {
+            assert_eq!(d.matrix.degree_of(UserId::new(u)), 10);
+        }
+    }
+}

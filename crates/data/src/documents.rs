@@ -1,0 +1,185 @@
+//! Health-document corpus generator.
+//!
+//! The items the paper's system recommends are *documents* — curated web
+//! pages about diseases and treatments. For text-level examples and
+//! benches this module generates a corpus with per-topic vocabularies,
+//! aligned with the planted communities (topic t = community t), so the
+//! document side of the platform can be exercised end-to-end.
+
+use fairrec_types::ItemId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One generated document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthDocument {
+    /// Item id, aligned with the rating matrix.
+    pub item: ItemId,
+    /// Title line.
+    pub title: String,
+    /// Body text (bag of topic words).
+    pub body: String,
+    /// Topic index (= community index when aligned with a dataset).
+    pub topic: u32,
+}
+
+/// Per-topic word pools. Topic `t` uses `CORE[t % CORE.len()]` plus shared
+/// medical filler words.
+const TOPIC_WORDS: &[&[&str]] = &[
+    &["chemotherapy", "radiation", "tumor", "oncology", "biopsy", "remission", "metastasis"],
+    &["insulin", "glucose", "glycemic", "carbohydrate", "pancreas", "diabetes", "a1c"],
+    &["cardiac", "cholesterol", "stent", "arrhythmia", "hypertension", "angioplasty", "statin"],
+    &["inhaler", "bronchial", "asthma", "spirometry", "oxygen", "pulmonary", "copd"],
+    &["arthritis", "joint", "inflammation", "physiotherapy", "cartilage", "rheumatoid", "mobility"],
+    &["anxiety", "therapy", "mindfulness", "depression", "counseling", "sleep", "stress"],
+];
+
+const FILLER_WORDS: &[&str] = &[
+    "patient", "treatment", "symptom", "doctor", "clinic", "study", "health", "care",
+    "guideline", "risk", "diagnosis", "management",
+];
+
+/// Configuration for the corpus generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorpusConfig {
+    /// Number of documents.
+    pub num_documents: u32,
+    /// Number of topics (documents are assigned round-robin by item id %
+    /// topics, matching [`CommunityModel`](crate::CommunityModel)'s
+    /// round-robin base before shuffling only if you align manually; use
+    /// [`generate_aligned`] for exact alignment).
+    pub num_topics: u32,
+    /// Words per document body.
+    pub words_per_document: u32,
+    /// Fraction (0–100) of body words drawn from the topic pool; the rest
+    /// are filler.
+    pub topic_word_percent: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        Self {
+            num_documents: 100,
+            num_topics: 4,
+            words_per_document: 40,
+            topic_word_percent: 60,
+            seed: 42,
+        }
+    }
+}
+
+/// Generates a corpus with topics assigned round-robin over item ids.
+pub fn generate(config: CorpusConfig) -> Vec<HealthDocument> {
+    let topics: Vec<u32> = (0..config.num_documents)
+        .map(|i| i % config.num_topics.max(1))
+        .collect();
+    generate_with_topics(config, &topics)
+}
+
+/// Generates a corpus with caller-provided topic per item — pass the
+/// planted community of each item to align documents with a
+/// [`SyntheticDataset`](crate::SyntheticDataset).
+///
+/// # Panics
+/// Panics if `topics.len() != config.num_documents as usize`.
+pub fn generate_with_topics(config: CorpusConfig, topics: &[u32]) -> Vec<HealthDocument> {
+    assert_eq!(
+        topics.len(),
+        config.num_documents as usize,
+        "one topic per document"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    topics
+        .iter()
+        .enumerate()
+        .map(|(idx, &topic)| {
+            let pool = TOPIC_WORDS[(topic as usize) % TOPIC_WORDS.len()];
+            let mut body = String::with_capacity(config.words_per_document as usize * 8);
+            for w in 0..config.words_per_document {
+                if w > 0 {
+                    body.push(' ');
+                }
+                if rng.gen_range(0..100) < config.topic_word_percent {
+                    body.push_str(pool[rng.gen_range(0..pool.len())]);
+                } else {
+                    body.push_str(FILLER_WORDS[rng.gen_range(0..FILLER_WORDS.len())]);
+                }
+            }
+            HealthDocument {
+                item: ItemId::new(idx as u32),
+                title: format!("Guide {idx}: {}", pool[idx % pool.len()]),
+                body,
+                topic,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_corpus() {
+        let docs = generate(CorpusConfig::default());
+        assert_eq!(docs.len(), 100);
+        for (idx, d) in docs.iter().enumerate() {
+            assert_eq!(d.item, ItemId::new(idx as u32));
+            assert_eq!(d.topic, idx as u32 % 4);
+            assert_eq!(d.body.split(' ').count(), 40);
+            assert!(!d.title.is_empty());
+        }
+    }
+
+    #[test]
+    fn topic_words_dominate_the_body() {
+        let docs = generate(CorpusConfig {
+            topic_word_percent: 90,
+            seed: 3,
+            ..Default::default()
+        });
+        let doc = &docs[0];
+        let pool = TOPIC_WORDS[doc.topic as usize % TOPIC_WORDS.len()];
+        let topic_hits = doc
+            .body
+            .split(' ')
+            .filter(|w| pool.contains(w))
+            .count();
+        assert!(topic_hits as f64 / 40.0 > 0.7, "got {topic_hits}/40");
+    }
+
+    #[test]
+    fn alignment_with_explicit_topics() {
+        let topics = vec![2, 2, 0, 1];
+        let docs = generate_with_topics(
+            CorpusConfig {
+                num_documents: 4,
+                ..Default::default()
+            },
+            &topics,
+        );
+        let got: Vec<u32> = docs.iter().map(|d| d.topic).collect();
+        assert_eq!(got, topics);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(CorpusConfig::default());
+        let b = generate(CorpusConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "one topic per document")]
+    fn topic_shape_mismatch_panics() {
+        generate_with_topics(
+            CorpusConfig {
+                num_documents: 3,
+                ..Default::default()
+            },
+            &[0],
+        );
+    }
+}

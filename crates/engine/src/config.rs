@@ -1,0 +1,211 @@
+//! Engine configuration.
+
+use fairrec_core::aggregate::{Aggregation, MissingPolicy};
+use fairrec_mapreduce::JobConfig;
+
+/// Which §V similarity measure drives peer selection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimilarityKind {
+    /// `RS` — Pearson over co-rated items (Equation 2).
+    Ratings,
+    /// `CS` — tf-idf cosine over rendered profiles (§V-B).
+    Profile,
+    /// `SS` — ontology harmonic mean over health problems (§V-C).
+    Semantic,
+    /// Weighted mix; Pearson is rescaled into `[0, 1]` before mixing so
+    /// the component scales are commensurable.
+    Hybrid {
+        /// Weight of the (rescaled) ratings measure.
+        ratings: f64,
+        /// Weight of the profile measure.
+        profile: f64,
+        /// Weight of the semantic measure.
+        semantic: f64,
+    },
+}
+
+/// Which selection algorithm produces the final package.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionAlgorithm {
+    /// Algorithm 1 (the paper's heuristic).
+    Greedy,
+    /// Algorithm 1 followed by best-improvement swaps (extension).
+    GreedyWithSwaps {
+        /// Maximum refinement passes.
+        max_passes: usize,
+    },
+    /// Exact brute force (§VI baseline) — exponential, small pools only.
+    Exact,
+    /// Plain group top-z without fairness (§III-B baseline).
+    PlainTopZ,
+}
+
+/// Whether predictions run in memory or through the MapReduce pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionPath {
+    /// Direct in-memory computation (the reference).
+    InMemory,
+    /// The §IV Job 0–3 pipeline on the in-process MapReduce engine.
+    MapReduce(JobConfig),
+}
+
+/// All engine knobs. `Default` reproduces the paper's setup as closely as
+/// its text pins down: ratings similarity, δ = 0, k = 10, average
+/// aggregation, greedy selection, in-memory execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Peer similarity measure.
+    pub similarity: SimilarityKind,
+    /// Peer threshold δ (Definition 1).
+    pub delta: f64,
+    /// Optional peer cap (kNN variant).
+    pub max_peers: Option<usize>,
+    /// Minimum co-rated overlap for Pearson.
+    pub min_overlap: usize,
+    /// Per-user list length k (both `A_u` and the fairness definition).
+    pub k: usize,
+    /// Definition 2 aggregation.
+    pub aggregation: Aggregation,
+    /// Missing-prediction policy.
+    pub missing: MissingPolicy,
+    /// Optional candidate-pool cap `m` (§VI's pool size).
+    pub pool_size: Option<usize>,
+    /// Selection algorithm.
+    pub algorithm: SelectionAlgorithm,
+    /// Pad the package with plain top-relevance items when the fairness
+    /// algorithm returns fewer than `z` (exhausted `A_u` lists).
+    pub pad_to_z: bool,
+    /// Execution path for the prediction phase.
+    pub execution: ExecutionPath,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            similarity: SimilarityKind::Ratings,
+            delta: 0.0,
+            max_peers: None,
+            min_overlap: 2,
+            k: 10,
+            aggregation: Aggregation::Average,
+            missing: MissingPolicy::Skip,
+            pool_size: None,
+            algorithm: SelectionAlgorithm::Greedy,
+            pad_to_z: true,
+            execution: ExecutionPath::InMemory,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// [`fairrec_types::FairrecError::InvalidParameter`] on nonsensical
+    /// values (k = 0, non-finite δ, negative hybrid weights, all-zero
+    /// hybrid weights, zero-sized pool).
+    pub fn validate(&self) -> fairrec_types::Result<()> {
+        use fairrec_types::FairrecError;
+        if self.k == 0 {
+            return Err(FairrecError::invalid_parameter("k", "must be ≥ 1"));
+        }
+        if !self.delta.is_finite() {
+            return Err(FairrecError::invalid_parameter("delta", "must be finite"));
+        }
+        if self.pool_size == Some(0) {
+            return Err(FairrecError::invalid_parameter(
+                "pool_size",
+                "must be ≥ 1 when set",
+            ));
+        }
+        if let SimilarityKind::Hybrid {
+            ratings,
+            profile,
+            semantic,
+        } = self.similarity
+        {
+            for (name, w) in [("ratings", ratings), ("profile", profile), ("semantic", semantic)]
+            {
+                if !w.is_finite() || w < 0.0 {
+                    return Err(FairrecError::invalid_parameter(
+                        "similarity",
+                        format!("hybrid weight {name} must be finite and ≥ 0, got {w}"),
+                    ));
+                }
+            }
+            if ratings + profile + semantic <= 0.0 {
+                return Err(FairrecError::invalid_parameter(
+                    "similarity",
+                    "hybrid weights must not all be zero",
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_paperlike() {
+        let c = EngineConfig::default();
+        c.validate().unwrap();
+        assert_eq!(c.similarity, SimilarityKind::Ratings);
+        assert_eq!(c.algorithm, SelectionAlgorithm::Greedy);
+        assert_eq!(c.execution, ExecutionPath::InMemory);
+        assert_eq!(c.k, 10);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let bad = [
+            EngineConfig {
+                k: 0,
+                ..Default::default()
+            },
+            EngineConfig {
+                delta: f64::NAN,
+                ..Default::default()
+            },
+            EngineConfig {
+                pool_size: Some(0),
+                ..Default::default()
+            },
+            EngineConfig {
+                similarity: SimilarityKind::Hybrid {
+                    ratings: -1.0,
+                    profile: 1.0,
+                    semantic: 1.0,
+                },
+                ..Default::default()
+            },
+            EngineConfig {
+                similarity: SimilarityKind::Hybrid {
+                    ratings: 0.0,
+                    profile: 0.0,
+                    semantic: 0.0,
+                },
+                ..Default::default()
+            },
+        ];
+        for cfg in bad {
+            assert!(cfg.validate().is_err(), "{cfg:?} should be invalid");
+        }
+    }
+
+    #[test]
+    fn valid_hybrid_passes() {
+        EngineConfig {
+            similarity: SimilarityKind::Hybrid {
+                ratings: 1.0,
+                profile: 0.5,
+                semantic: 0.5,
+            },
+            ..Default::default()
+        }
+        .validate()
+        .unwrap();
+    }
+}

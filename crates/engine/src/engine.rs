@@ -1,0 +1,493 @@
+//! The recommender engine facade.
+
+use crate::config::{EngineConfig, ExecutionPath, SelectionAlgorithm, SimilarityKind};
+use fairrec_core::brute_force::brute_force;
+use fairrec_core::fairness::FairnessEvaluator;
+use fairrec_core::greedy::{algorithm1, plain_top_z, Selection};
+use fairrec_core::group::Group;
+use fairrec_core::pool::CandidatePool;
+use fairrec_core::predictions::{
+    compute_group_predictions, GroupPredictionConfig, GroupPredictions,
+};
+use fairrec_core::recommend::single_user_top_k;
+use fairrec_core::swap::swap_refine;
+use fairrec_mapreduce::{mapreduce_group_predictions, PipelineConfig};
+use fairrec_ontology::Ontology;
+use fairrec_phr::PhrStore;
+use fairrec_similarity::{
+    HybridSimilarity, PeerSelector, ProfileSimilarity, RatingsSimilarity, Rescale01,
+    SemanticSimilarity, UserSimilarity,
+};
+use fairrec_types::{ItemId, RatingMatrix, Result, ScoredItem, UserId};
+
+/// One recommended item with its scores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecommendedItem {
+    /// The item.
+    pub item: ItemId,
+    /// Group relevance `relevanceG(G, i)`.
+    pub group_relevance: f64,
+    /// Per-member relevance, in group member order (`None` = Equation 1
+    /// undefined for that member).
+    pub member_relevance: Vec<Option<f64>>,
+    /// Whether this item was added by fairness-agnostic padding (see
+    /// [`EngineConfig::pad_to_z`]).
+    pub padded: bool,
+}
+
+/// Per-member satisfaction breakdown (the transparency §III-C calls for:
+/// *"insights into the properties of the produced recommendations … to
+/// help making the algorithmic process transparent"*).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemberSatisfaction {
+    /// The member.
+    pub user: UserId,
+    /// Whether the package contains one of the member's top-k items.
+    pub satisfied: bool,
+    /// The member's best-ranked package item (position in the package),
+    /// when any package item has a defined relevance for them.
+    pub best_package_rank: Option<usize>,
+    /// The member's own top recommendation over the pool, for comparison.
+    pub personal_best: Option<ScoredItem>,
+}
+
+/// A group recommendation with its fairness accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupRecommendation {
+    /// The package `D`, in selection order.
+    pub items: Vec<RecommendedItem>,
+    /// `fairness(G, D)` — Definition 3.
+    pub fairness: f64,
+    /// `value(G, D)` — the paper's objective.
+    pub value: f64,
+    /// Per-member breakdown.
+    pub members: Vec<MemberSatisfaction>,
+    /// Size of the candidate pool the selection ran over (`m`).
+    pub pool_size: usize,
+}
+
+/// The engine: owns the dataset and serves recommendations.
+#[derive(Debug, Clone)]
+pub struct RecommenderEngine {
+    matrix: RatingMatrix,
+    profiles: PhrStore,
+    ontology: Ontology,
+    config: EngineConfig,
+    /// tf-idf vectors are corpus-wide; built once.
+    profile_sim: ProfileSimilarity,
+}
+
+impl RecommenderEngine {
+    /// Builds the engine.
+    ///
+    /// # Errors
+    /// Propagates [`EngineConfig::validate`] failures.
+    pub fn new(
+        matrix: RatingMatrix,
+        profiles: PhrStore,
+        ontology: Ontology,
+        config: EngineConfig,
+    ) -> Result<Self> {
+        config.validate()?;
+        let profile_sim = ProfileSimilarity::build(&profiles, &ontology);
+        Ok(Self {
+            matrix,
+            profiles,
+            ontology,
+            config,
+            profile_sim,
+        })
+    }
+
+    /// The rating matrix.
+    pub fn matrix(&self) -> &RatingMatrix {
+        &self.matrix
+    }
+
+    /// The profile store.
+    pub fn profiles(&self) -> &PhrStore {
+        &self.profiles
+    }
+
+    /// The ontology.
+    pub fn ontology(&self) -> &Ontology {
+        &self.ontology
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Runs `f` with the configured similarity measure.
+    fn with_measure<R>(&self, f: impl FnOnce(&dyn UserSimilarity) -> R) -> R {
+        match self.config.similarity {
+            SimilarityKind::Ratings => {
+                let m = RatingsSimilarity::new(&self.matrix)
+                    .with_min_overlap(self.config.min_overlap);
+                f(&m)
+            }
+            SimilarityKind::Profile => f(&self.profile_sim),
+            SimilarityKind::Semantic => {
+                let m = SemanticSimilarity::new(&self.profiles, &self.ontology);
+                f(&m)
+            }
+            SimilarityKind::Hybrid {
+                ratings,
+                profile,
+                semantic,
+            } => {
+                let m = HybridSimilarity::new()
+                    .with(
+                        Rescale01::new(
+                            RatingsSimilarity::new(&self.matrix)
+                                .with_min_overlap(self.config.min_overlap),
+                        ),
+                        ratings,
+                    )
+                    .with(&self.profile_sim, profile)
+                    .with(
+                        SemanticSimilarity::new(&self.profiles, &self.ontology),
+                        semantic,
+                    );
+                f(&m)
+            }
+        }
+    }
+
+    fn selector(&self) -> Result<PeerSelector> {
+        let mut s = PeerSelector::new(self.config.delta)?;
+        if let Some(cap) = self.config.max_peers {
+            s = s.with_max_peers(cap);
+        }
+        Ok(s)
+    }
+
+    /// The prediction phase, on the configured execution path.
+    ///
+    /// # Errors
+    /// Propagates prediction failures (unknown members etc.).
+    pub fn predictions_for(&self, group: &Group) -> Result<GroupPredictions> {
+        let cfg = GroupPredictionConfig {
+            aggregation: self.config.aggregation,
+            missing: self.config.missing,
+        };
+        match self.config.execution {
+            ExecutionPath::InMemory => {
+                let selector = self.selector()?;
+                self.with_measure(|m| {
+                    compute_group_predictions(&self.matrix, &m, &selector, group, cfg)
+                })
+            }
+            ExecutionPath::MapReduce(job) => {
+                // The MapReduce pipeline computes ratings-based similarity
+                // (the decomposable measure of §IV); other measures fall
+                // back to in-memory with a documented rationale: profile
+                // and semantic similarities depend on side data (tf-idf
+                // corpus, ontology paths) that the paper's jobs do not
+                // shuffle.
+                if !matches!(self.config.similarity, SimilarityKind::Ratings) {
+                    let selector = self.selector()?;
+                    return self.with_measure(|m| {
+                        compute_group_predictions(&self.matrix, &m, &selector, group, cfg)
+                    });
+                }
+                let pipeline = PipelineConfig {
+                    delta: self.config.delta,
+                    min_overlap: self.config.min_overlap,
+                    max_peers: self.config.max_peers,
+                    aggregation: self.config.aggregation,
+                    missing: self.config.missing,
+                    job,
+                };
+                let (preds, _report) = mapreduce_group_predictions(
+                    self.matrix.to_triples(),
+                    self.matrix.num_items(),
+                    group,
+                    &pipeline,
+                )?;
+                Ok(preds)
+            }
+        }
+    }
+
+    /// Recommends the top-z fairness-aware package for a caregiver group.
+    ///
+    /// # Errors
+    /// Propagates prediction/pool/evaluator failures (unknown members,
+    /// empty pool, oversized groups).
+    pub fn recommend_for_group(&self, group: &Group, z: usize) -> Result<GroupRecommendation> {
+        let predictions = self.predictions_for(group)?;
+        let pool = CandidatePool::from_predictions(&predictions, self.config.pool_size)?;
+        let evaluator = FairnessEvaluator::new(&pool, self.config.k)?;
+
+        let mut selection = match self.config.algorithm {
+            SelectionAlgorithm::Greedy => algorithm1(&pool, z, self.config.k),
+            SelectionAlgorithm::GreedyWithSwaps { max_passes } => {
+                let start = algorithm1(&pool, z, self.config.k);
+                swap_refine(&pool, &evaluator, &start, max_passes).selection
+            }
+            SelectionAlgorithm::Exact => brute_force(&pool, &evaluator, z).selection,
+            SelectionAlgorithm::PlainTopZ => plain_top_z(&pool, z),
+        };
+
+        // Optional fairness-agnostic padding to exactly z items.
+        let mut padded_from = selection.len();
+        if self.config.pad_to_z && selection.len() < z.min(pool.num_items()) {
+            let mut in_set = vec![false; pool.num_items()];
+            for &j in &selection.positions {
+                in_set[j] = true;
+            }
+            let filler = plain_top_z(&pool, pool.num_items());
+            for j in filler.positions {
+                if selection.len() >= z.min(pool.num_items()) {
+                    break;
+                }
+                if !in_set[j] {
+                    in_set[j] = true;
+                    selection.positions.push(j);
+                }
+            }
+        } else {
+            padded_from = selection.len();
+        }
+
+        Ok(self.assemble(group, &pool, &evaluator, &selection, padded_from))
+    }
+
+    fn assemble(
+        &self,
+        group: &Group,
+        pool: &CandidatePool,
+        evaluator: &FairnessEvaluator,
+        selection: &Selection,
+        padded_from: usize,
+    ) -> GroupRecommendation {
+        let items: Vec<RecommendedItem> = selection
+            .positions
+            .iter()
+            .enumerate()
+            .map(|(rank, &j)| RecommendedItem {
+                item: pool.items()[j],
+                group_relevance: pool.group_relevance(j),
+                member_relevance: (0..pool.num_members())
+                    .map(|m| pool.member_relevance(m, j))
+                    .collect(),
+                padded: rank >= padded_from,
+            })
+            .collect();
+
+        let fairness = evaluator.fairness(&selection.positions);
+        let value = evaluator.value(pool, &selection.positions);
+        let satisfied_mask = evaluator.satisfied_mask(&selection.positions);
+
+        let members: Vec<MemberSatisfaction> = group
+            .members()
+            .iter()
+            .enumerate()
+            .map(|(m, &user)| {
+                let best_package_rank = selection
+                    .positions
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(rank, &j)| pool.member_relevance(m, j).map(|s| (rank, s)))
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(b.0.cmp(&a.0)))
+                    .map(|(rank, _)| rank);
+                let personal_best = pool
+                    .top_k_positions(m, 1)
+                    .first()
+                    .map(|&j| ScoredItem::new(pool.items()[j], pool.member_relevance(m, j).expect("top-k positions are defined")));
+                MemberSatisfaction {
+                    user,
+                    satisfied: satisfied_mask & (1u64 << m) != 0,
+                    best_package_rank,
+                    personal_best,
+                }
+            })
+            .collect();
+
+        GroupRecommendation {
+            items,
+            fairness,
+            value,
+            members,
+            pool_size: pool.num_items(),
+        }
+    }
+
+    /// Single-user top-k recommendation (§III-A).
+    ///
+    /// # Errors
+    /// Propagates unknown-user failures.
+    pub fn recommend_for_user(&self, user: UserId, k: usize) -> Result<Vec<ScoredItem>> {
+        let selector = self.selector()?;
+        self.with_measure(|m| single_user_top_k(&self.matrix, &m, &selector, user, k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairrec_data::{SyntheticConfig, SyntheticDataset};
+    use fairrec_mapreduce::JobConfig;
+    use fairrec_ontology::snomed::clinical_fragment;
+    use fairrec_types::GroupId;
+
+    fn engine(config: EngineConfig) -> RecommenderEngine {
+        let ontology = clinical_fragment();
+        let data = SyntheticDataset::generate(
+            SyntheticConfig {
+                num_users: 80,
+                num_items: 150,
+                num_communities: 4,
+                ratings_per_user: 25,
+                seed: 11,
+                ..Default::default()
+            },
+            &ontology,
+        )
+        .unwrap();
+        RecommenderEngine::new(data.matrix, data.profiles, ontology, config).unwrap()
+    }
+
+    fn group(engine: &RecommenderEngine) -> Group {
+        let members = [UserId::new(0), UserId::new(1), UserId::new(2), UserId::new(3)];
+        for &u in &members {
+            assert!(u.raw() < engine.matrix().num_users());
+        }
+        Group::new(GroupId::new(0), members).unwrap()
+    }
+
+    #[test]
+    fn group_recommendation_has_z_items_and_full_fairness() {
+        let e = engine(EngineConfig::default());
+        let g = group(&e);
+        let rec = e.recommend_for_group(&g, 8).unwrap();
+        assert_eq!(rec.items.len(), 8);
+        // Proposition 1 regime: z = 8 ≥ |G| = 4.
+        assert!((rec.fairness - 1.0).abs() < 1e-12);
+        assert!(rec.value > 0.0);
+        assert_eq!(rec.members.len(), 4);
+        assert!(rec.members.iter().all(|m| m.satisfied));
+        assert!(rec.pool_size > 8);
+        // Items are distinct.
+        let mut ids: Vec<ItemId> = rec.items.iter().map(|i| i.item).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 8);
+    }
+
+    #[test]
+    fn all_similarity_kinds_produce_recommendations() {
+        for similarity in [
+            SimilarityKind::Ratings,
+            SimilarityKind::Profile,
+            SimilarityKind::Semantic,
+            SimilarityKind::Hybrid {
+                ratings: 1.0,
+                profile: 1.0,
+                semantic: 1.0,
+            },
+        ] {
+            let e = engine(EngineConfig {
+                similarity,
+                ..Default::default()
+            });
+            let g = group(&e);
+            let rec = e.recommend_for_group(&g, 5).unwrap();
+            assert_eq!(rec.items.len(), 5, "{similarity:?}");
+        }
+    }
+
+    #[test]
+    fn mapreduce_path_matches_in_memory() {
+        let base = EngineConfig::default();
+        let e_mem = engine(base);
+        let e_mr = engine(EngineConfig {
+            execution: ExecutionPath::MapReduce(JobConfig::with_workers(2)),
+            ..base
+        });
+        let g = group(&e_mem);
+        let mem = e_mem.recommend_for_group(&g, 6).unwrap();
+        let mr = e_mr.recommend_for_group(&g, 6).unwrap();
+        assert_eq!(mem, mr, "the two execution paths must agree exactly");
+    }
+
+    #[test]
+    fn algorithms_rank_as_expected() {
+        let base = EngineConfig {
+            pool_size: Some(14),
+            k: 3,
+            ..Default::default()
+        };
+        let g_cfgs = [
+            SelectionAlgorithm::PlainTopZ,
+            SelectionAlgorithm::Greedy,
+            SelectionAlgorithm::GreedyWithSwaps { max_passes: 10 },
+            SelectionAlgorithm::Exact,
+        ];
+        let mut values = Vec::new();
+        for alg in g_cfgs {
+            let e = engine(EngineConfig {
+                algorithm: alg,
+                pad_to_z: false,
+                ..base
+            });
+            let g = group(&e);
+            let rec = e.recommend_for_group(&g, 6).unwrap();
+            values.push((alg, rec.value));
+        }
+        let exact = values[3].1;
+        for (alg, v) in &values {
+            assert!(
+                exact >= v - 1e-9,
+                "exact {exact} must dominate {alg:?} = {v}"
+            );
+        }
+        // Swaps never fall below greedy.
+        assert!(values[2].1 >= values[1].1 - 1e-9);
+    }
+
+    #[test]
+    fn single_user_recommendations_work() {
+        let e = engine(EngineConfig::default());
+        let recs = e.recommend_for_user(UserId::new(5), 10).unwrap();
+        assert!(!recs.is_empty());
+        assert!(recs.len() <= 10);
+        // Scores descending.
+        for w in recs.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        // Never recommend something already rated.
+        for s in &recs {
+            assert!(!e.matrix().has_rated(UserId::new(5), s.item));
+        }
+    }
+
+    #[test]
+    fn member_satisfaction_report_is_consistent() {
+        let e = engine(EngineConfig::default());
+        let g = group(&e);
+        let rec = e.recommend_for_group(&g, 4).unwrap();
+        for m in &rec.members {
+            if m.satisfied {
+                assert!(
+                    m.best_package_rank.is_some(),
+                    "satisfied member must see something"
+                );
+            }
+            assert!(m.personal_best.is_some());
+        }
+    }
+
+    #[test]
+    fn padding_marks_items() {
+        // Singleton group: Algorithm 1 has no pairs, so everything beyond
+        // the empty greedy selection is padding.
+        let e = engine(EngineConfig::default());
+        let g = Group::new(GroupId::new(1), [UserId::new(7)]).unwrap();
+        let rec = e.recommend_for_group(&g, 5).unwrap();
+        assert_eq!(rec.items.len(), 5);
+        assert!(rec.items.iter().all(|i| i.padded));
+    }
+}

@@ -1,0 +1,330 @@
+//! Offline evaluation: hold-out prediction quality and planted-community
+//! peer recovery.
+//!
+//! The paper's preliminary evaluation (§VI) measures only running time;
+//! these utilities add the standard recommender-quality measurements that
+//! the synthetic plant makes possible:
+//!
+//! * [`holdout_split`] — withhold a fraction of each user's ratings,
+//! * [`prediction_quality`] — MAE / RMSE / coverage of Equation 1 on the
+//!   withheld ratings,
+//! * [`peer_recovery`] — precision of Definition 1 peer sets against the
+//!   planted community ground truth (experiment A2).
+
+use fairrec_core::relevance::RelevancePredictor;
+use fairrec_data::CommunityModel;
+use fairrec_similarity::{PeerSelector, UserSimilarity};
+use fairrec_types::{RatingMatrix, RatingMatrixBuilder, RatingTriple, Result, UserId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A train/test split of a rating matrix.
+#[derive(Debug, Clone)]
+pub struct HoldoutSplit {
+    /// The training matrix (same id spaces as the source).
+    pub train: RatingMatrix,
+    /// The withheld triples.
+    pub test: Vec<RatingTriple>,
+}
+
+/// Withholds `test_fraction` of each user's ratings (at least one rating
+/// is always kept for training when the user has any).
+///
+/// # Errors
+/// Propagates matrix construction failures (impossible for a valid
+/// source matrix).
+///
+/// # Panics
+/// Panics if `test_fraction ∉ [0, 1)`.
+pub fn holdout_split(
+    matrix: &RatingMatrix,
+    test_fraction: f64,
+    seed: u64,
+) -> Result<HoldoutSplit> {
+    assert!(
+        (0.0..1.0).contains(&test_fraction),
+        "test_fraction must be in [0, 1)"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut train = RatingMatrixBuilder::new().reserve_ids(matrix.num_users(), matrix.num_items());
+    let mut test = Vec::new();
+
+    for u in matrix.user_ids() {
+        let mut ratings: Vec<(fairrec_types::ItemId, f64)> = matrix.ratings_of(u).collect();
+        ratings.shuffle(&mut rng);
+        let n_test = ((ratings.len() as f64) * test_fraction).floor() as usize;
+        let n_test = n_test.min(ratings.len().saturating_sub(1));
+        for (slot, (item, score)) in ratings.into_iter().enumerate() {
+            let rating = fairrec_types::Rating::new(score).expect("matrix scores are valid");
+            if slot < n_test {
+                test.push(RatingTriple {
+                    user: u,
+                    item,
+                    rating,
+                });
+            } else {
+                train.add(u, item, rating);
+            }
+        }
+    }
+    Ok(HoldoutSplit {
+        train: train.build()?,
+        test,
+    })
+}
+
+/// Aggregate prediction-quality metrics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictionQuality {
+    /// Mean absolute error over predictable withheld ratings.
+    pub mae: f64,
+    /// Root mean squared error.
+    pub rmse: f64,
+    /// Fraction of withheld ratings that received a prediction.
+    pub coverage: f64,
+    /// Number of withheld ratings evaluated.
+    pub num_test: usize,
+}
+
+/// Scores Equation 1 predictions (with `measure` + `selector` peers over
+/// the training matrix) against the withheld ratings.
+pub fn prediction_quality<S: UserSimilarity>(
+    split: &HoldoutSplit,
+    measure: &S,
+    selector: &PeerSelector,
+) -> PredictionQuality {
+    let predictor = RelevancePredictor::new(&split.train);
+    let mut abs_sum = 0.0;
+    let mut sq_sum = 0.0;
+    let mut predicted = 0usize;
+
+    // Group test triples by user so each user's peers are computed once.
+    let mut by_user: Vec<(UserId, Vec<&RatingTriple>)> = Vec::new();
+    for t in &split.test {
+        match by_user.last_mut() {
+            Some((u, v)) if *u == t.user => v.push(t),
+            _ => by_user.push((t.user, vec![t])),
+        }
+    }
+    for (user, triples) in by_user {
+        let peers = selector.peers_of(measure, user, split.train.user_ids(), &[]);
+        for t in triples {
+            if let Some(pred) = predictor.predict(&peers, t.item) {
+                let err = pred - t.rating.value();
+                abs_sum += err.abs();
+                sq_sum += err * err;
+                predicted += 1;
+            }
+        }
+    }
+    let num_test = split.test.len();
+    PredictionQuality {
+        mae: if predicted > 0 { abs_sum / predicted as f64 } else { f64::NAN },
+        rmse: if predicted > 0 {
+            (sq_sum / predicted as f64).sqrt()
+        } else {
+            f64::NAN
+        },
+        coverage: if num_test > 0 {
+            predicted as f64 / num_test as f64
+        } else {
+            0.0
+        },
+        num_test,
+    }
+}
+
+/// Scores any [`RatingPredictor`](fairrec_core::baselines::RatingPredictor)
+/// (the baseline ladder of experiment A7) against the withheld ratings.
+pub fn predictor_quality<P: fairrec_core::baselines::RatingPredictor + ?Sized>(
+    split: &HoldoutSplit,
+    predictor: &P,
+) -> PredictionQuality {
+    let mut abs_sum = 0.0;
+    let mut sq_sum = 0.0;
+    let mut predicted = 0usize;
+    for t in &split.test {
+        if let Some(pred) = predictor.predict(t.user, t.item) {
+            let err = pred - t.rating.value();
+            abs_sum += err.abs();
+            sq_sum += err * err;
+            predicted += 1;
+        }
+    }
+    let num_test = split.test.len();
+    PredictionQuality {
+        mae: if predicted > 0 { abs_sum / predicted as f64 } else { f64::NAN },
+        rmse: if predicted > 0 {
+            (sq_sum / predicted as f64).sqrt()
+        } else {
+            f64::NAN
+        },
+        coverage: if num_test > 0 {
+            predicted as f64 / num_test as f64
+        } else {
+            0.0
+        },
+        num_test,
+    }
+}
+
+/// Peer-recovery metrics against the planted communities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeerRecovery {
+    /// Fraction of selected peers that share the user's community
+    /// (precision).
+    pub precision: f64,
+    /// Mean number of peers per evaluated user.
+    pub mean_peers: f64,
+    /// Users evaluated.
+    pub num_users: usize,
+}
+
+/// Measures how well Definition 1 peer sets align with the planted
+/// community structure, over the first `sample` users.
+pub fn peer_recovery<S: UserSimilarity>(
+    matrix: &RatingMatrix,
+    communities: &CommunityModel,
+    measure: &S,
+    selector: &PeerSelector,
+    sample: usize,
+) -> PeerRecovery {
+    let users: Vec<UserId> = matrix.user_ids().take(sample).collect();
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for &u in &users {
+        let peers = selector.peers_of(measure, u, matrix.user_ids(), &[]);
+        for &(peer, _) in &peers {
+            total += 1;
+            if communities.same_community(u, peer) {
+                correct += 1;
+            }
+        }
+    }
+    PeerRecovery {
+        precision: if total > 0 {
+            correct as f64 / total as f64
+        } else {
+            f64::NAN
+        },
+        mean_peers: if users.is_empty() {
+            0.0
+        } else {
+            total as f64 / users.len() as f64
+        },
+        num_users: users.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairrec_data::{SyntheticConfig, SyntheticDataset};
+    use fairrec_ontology::snomed::clinical_fragment;
+    use fairrec_similarity::RatingsSimilarity;
+
+    fn dataset() -> SyntheticDataset {
+        SyntheticDataset::generate(
+            SyntheticConfig {
+                num_users: 100,
+                num_items: 200,
+                num_communities: 4,
+                ratings_per_user: 30,
+                seed: 5,
+                ..Default::default()
+            },
+            &clinical_fragment(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn split_partitions_ratings() {
+        let d = dataset();
+        let split = holdout_split(&d.matrix, 0.2, 1).unwrap();
+        assert_eq!(
+            split.train.num_ratings() + split.test.len(),
+            d.matrix.num_ratings()
+        );
+        // Every withheld triple is absent from training and present in the
+        // original.
+        for t in &split.test {
+            assert_eq!(split.train.rating(t.user, t.item), None);
+            assert_eq!(d.matrix.rating(t.user, t.item), Some(t.rating.value()));
+        }
+        // Same id spaces.
+        assert_eq!(split.train.num_users(), d.matrix.num_users());
+        assert_eq!(split.train.num_items(), d.matrix.num_items());
+    }
+
+    #[test]
+    fn split_keeps_at_least_one_training_rating_per_user() {
+        let d = dataset();
+        let split = holdout_split(&d.matrix, 0.9, 2).unwrap();
+        for u in d.matrix.user_ids() {
+            if d.matrix.degree_of(u) > 0 {
+                assert!(split.train.degree_of(u) >= 1, "user {u} lost all ratings");
+            }
+        }
+    }
+
+    #[test]
+    fn prediction_quality_beats_trivial_baseline_on_planted_data() {
+        let d = dataset();
+        let split = holdout_split(&d.matrix, 0.2, 3).unwrap();
+        let measure = RatingsSimilarity::new(&split.train);
+        let selector = PeerSelector::new(0.2).unwrap();
+        let q = prediction_quality(&split, &measure, &selector);
+        assert!(q.num_test > 0);
+        assert!(q.coverage > 0.5, "coverage {}", q.coverage);
+        // The plant separates ratings by ~2.5 points; a working CF
+        // predictor should sit well under 1.2 MAE.
+        assert!(q.mae < 1.2, "mae {}", q.mae);
+        assert!(q.rmse >= q.mae);
+    }
+
+    #[test]
+    fn peer_recovery_is_high_on_planted_data() {
+        let d = dataset();
+        let measure = RatingsSimilarity::new(&d.matrix);
+        let selector = PeerSelector::new(0.3).unwrap().with_max_peers(10);
+        let r = peer_recovery(&d.matrix, &d.communities, &measure, &selector, 40);
+        assert_eq!(r.num_users, 40);
+        assert!(r.mean_peers > 1.0);
+        assert!(
+            r.precision > 0.8,
+            "planted communities should be recoverable: precision {}",
+            r.precision
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "test_fraction")]
+    fn bad_fraction_panics() {
+        let d = dataset();
+        let _ = holdout_split(&d.matrix, 1.0, 0);
+    }
+
+    #[test]
+    fn baseline_ladder_orders_as_expected() {
+        use fairrec_core::baselines::{BiasModel, GlobalMean, ItemKnn, RatingPredictor};
+
+        let d = dataset();
+        let split = holdout_split(&d.matrix, 0.2, 11).unwrap();
+        let global = predictor_quality(&split, &GlobalMean::fit(&split.train));
+        let bias = predictor_quality(&split, &BiasModel::fit(&split.train));
+        let knn = predictor_quality(&split, &ItemKnn::new(&split.train, 20));
+        // On planted community data the *structure-aware* predictor must
+        // clearly beat the global mean. Per-entity bias models gain
+        // nothing here — every user's ratings are bimodal (high
+        // in-community, low outside), so user/item offsets carry little
+        // signal; we only sanity-bound them.
+        assert!(knn.mae < global.mae * 0.8, "knn {} vs global {}", knn.mae, global.mae);
+        assert!(bias.mae < global.mae * 1.5, "bias {} vs global {}", bias.mae, global.mae);
+        assert_eq!(global.coverage, 1.0);
+        // Name plumbing sanity.
+        let boxed: Box<dyn RatingPredictor> = Box::new(GlobalMean::fit(&split.train));
+        assert!(predictor_quality(&split, boxed.as_ref()).mae > 0.0);
+    }
+}

@@ -1,0 +1,25 @@
+//! End-to-end fairness-aware group recommendation engine.
+//!
+//! This crate is the runnable counterpart of the paper's architecture
+//! figure (Fig. 1): the PHR feeds patient profiles, patients rate
+//! documents, and the recommendation engine serves caregivers packages
+//! that are *"highly related and fair"* to their patient groups.
+//!
+//! * [`EngineConfig`] — every model knob in one place (similarity measure,
+//!   δ, k, aggregation, pool size, selection algorithm, execution path),
+//! * [`RecommenderEngine`] — owns the data, answers group and single-user
+//!   queries over either the in-memory path or the MapReduce pipeline,
+//! * [`GroupRecommendation`] / [`MemberSatisfaction`] — the result with a
+//!   per-member fairness explanation,
+//! * [`evaluation`] — hold-out prediction quality (MAE/RMSE/coverage) and
+//!   planted-community peer-recovery, used by the ablation experiments.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod config;
+mod engine;
+pub mod evaluation;
+
+pub use config::{EngineConfig, ExecutionPath, SelectionAlgorithm, SimilarityKind};
+pub use engine::{GroupRecommendation, MemberSatisfaction, RecommendedItem, RecommenderEngine};

@@ -1,0 +1,149 @@
+//! Distributed top-k selection — the paper's ref. [5].
+//!
+//! *"The final sorting and top-k selection of those relevance values is
+//! trivial when k elements are small enough to fit in memory. When this is
+//! not the case, we can use the top-k MapReduce algorithm suggested in
+//! [5]."* (Efthymiou, Stefanidis, Ntoutsi — IEEE Big Data 2015.)
+//!
+//! Two stages, both bounded-memory:
+//!
+//! 1. items are hash-partitioned; each partition's reducer keeps only its
+//!    **local** top-k,
+//! 2. the ≤ `P·k` local winners are keyed to a single group whose reducer
+//!    merges them into the **global** top-k.
+
+use crate::engine::{run_job, JobConfig, Mapper, Reducer};
+use fairrec_types::{ScoredItem, TopK};
+
+#[cfg(test)]
+use fairrec_types::ItemId;
+
+/// Stage 1 mapper: spread scored items over `fanout` partitions.
+struct SpreadMapper {
+    fanout: u32,
+}
+
+impl Mapper for SpreadMapper {
+    type In = ScoredItem;
+    type Key = u32;
+    type Value = ScoredItem;
+
+    fn map(&self, record: ScoredItem, emit: &mut dyn FnMut(u32, ScoredItem)) {
+        emit(record.item.raw() % self.fanout.max(1), record);
+    }
+}
+
+/// Local/global top-k reducer.
+struct TopKReducer {
+    k: usize,
+}
+
+impl Reducer for TopKReducer {
+    type Key = u32;
+    type Value = ScoredItem;
+    type Out = ScoredItem;
+
+    fn reduce(&self, _key: u32, values: Vec<ScoredItem>, emit: &mut dyn FnMut(ScoredItem)) {
+        let mut top = TopK::new(self.k);
+        top.extend(values);
+        for s in top.into_sorted_vec() {
+            emit(s);
+        }
+    }
+}
+
+/// Stage 2 mapper: everything to one key.
+struct UnitMapper;
+
+impl Mapper for UnitMapper {
+    type In = ScoredItem;
+    type Key = u32;
+    type Value = ScoredItem;
+
+    fn map(&self, record: ScoredItem, emit: &mut dyn FnMut(u32, ScoredItem)) {
+        emit(0, record);
+    }
+}
+
+/// Selects the global top-k of `records` with the two-stage MapReduce
+/// algorithm; returns them best-first (ties by ascending item id, same as
+/// [`TopK`]).
+pub fn top_k_mapreduce(records: Vec<ScoredItem>, k: usize, config: JobConfig) -> Vec<ScoredItem> {
+    let fanout = u32::try_from(config.num_partitions.max(1)).expect("partitions fit u32");
+    let local = run_job(
+        &SpreadMapper { fanout },
+        &TopKReducer { k },
+        records,
+        config,
+    );
+    let global = run_job(&UnitMapper, &TopKReducer { k }, local.output, config);
+    let mut out = global.output;
+    // The single stage-2 group already emits best-first; sort defensively
+    // so the contract is explicit.
+    out.sort_unstable_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("scores are finite")
+            .then(a.item.cmp(&b.item))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scored(pairs: &[(u32, f64)]) -> Vec<ScoredItem> {
+        pairs
+            .iter()
+            .map(|&(i, s)| ScoredItem::new(ItemId::new(i), s))
+            .collect()
+    }
+
+    #[test]
+    fn selects_the_global_top_k() {
+        let records = scored(&[(0, 1.0), (1, 9.0), (2, 5.0), (3, 7.0), (4, 3.0), (5, 8.0)]);
+        let top = top_k_mapreduce(records, 3, JobConfig::default());
+        let items: Vec<u32> = top.iter().map(|s| s.item.raw()).collect();
+        assert_eq!(items, vec![1, 5, 3]);
+    }
+
+    #[test]
+    fn agrees_with_in_memory_topk_on_larger_input() {
+        let records: Vec<ScoredItem> = (0..500u32)
+            .map(|i| ScoredItem::new(ItemId::new(i), f64::from((i * 7919) % 1000)))
+            .collect();
+        for k in [1, 10, 50] {
+            let mr = top_k_mapreduce(records.clone(), k, JobConfig::with_workers(4));
+            let mut reference = TopK::new(k);
+            reference.extend(records.iter().copied());
+            let reference = reference.into_sorted_vec();
+            assert_eq!(mr.len(), reference.len(), "k={k}");
+            for (a, b) in mr.iter().zip(reference.iter()) {
+                assert_eq!(a.item, b.item, "k={k}");
+                assert!((a.score - b.score).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn k_larger_than_input_returns_everything_sorted() {
+        let records = scored(&[(2, 1.0), (0, 3.0), (1, 2.0)]);
+        let top = top_k_mapreduce(records, 10, JobConfig::default());
+        let items: Vec<u32> = top.iter().map(|s| s.item.raw()).collect();
+        assert_eq!(items, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(top_k_mapreduce(Vec::new(), 5, JobConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn ties_break_by_item_id_like_the_reference() {
+        let records = scored(&[(9, 4.0), (2, 4.0), (5, 4.0), (7, 4.0)]);
+        let top = top_k_mapreduce(records, 2, JobConfig::with_workers(3));
+        let items: Vec<u32> = top.iter().map(|s| s.item.raw()).collect();
+        assert_eq!(items, vec![2, 5]);
+    }
+}

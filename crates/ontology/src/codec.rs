@@ -1,0 +1,186 @@
+//! Line-oriented text persistence for ontologies.
+//!
+//! Format — one concept per line, tab-separated, parents before children
+//! (which the builder guarantees on write and the loader enforces on read):
+//!
+//! ```text
+//! # comment / blank lines ignored
+//! <id>\t<parent_id|->\t<code>\t<label>
+//! ```
+//!
+//! Ids are the dense internal ids, so the file is also a readable dump of
+//! the structure. The root uses `-` as its parent marker.
+
+use crate::hierarchy::{Ontology, OntologyBuilder};
+use fairrec_types::{ConceptId, FairrecError, Result};
+use std::io::{BufRead, Write};
+
+/// Serialises `ontology` into `out`.
+///
+/// # Errors
+/// Propagates I/O failures.
+pub fn write_ontology<W: Write>(ontology: &Ontology, out: &mut W) -> Result<()> {
+    writeln!(out, "# fairrec ontology v1: id\tparent\tcode\tlabel")?;
+    for c in ontology.iter() {
+        match ontology.parent(c.id) {
+            Some(p) => writeln!(out, "{}\t{}\t{}\t{}", c.id.raw(), p.raw(), c.code, c.label)?,
+            None => writeln!(out, "{}\t-\t{}\t{}", c.id.raw(), c.code, c.label)?,
+        }
+    }
+    Ok(())
+}
+
+/// Parses an ontology previously written by [`write_ontology`].
+///
+/// # Errors
+/// Returns [`FairrecError::Parse`] on malformed lines, non-contiguous ids,
+/// duplicate roots, or forward parent references.
+pub fn read_ontology<R: BufRead>(input: R) -> Result<Ontology> {
+    let mut builder: Option<OntologyBuilder> = None;
+    let mut expected_id: u32 = 0;
+
+    for (lineno, line) in input.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.splitn(4, '\t');
+        let (id, parent, code, label) = match (
+            fields.next(),
+            fields.next(),
+            fields.next(),
+            fields.next(),
+        ) {
+            (Some(a), Some(b), Some(c), Some(d)) => (a, b, c, d),
+            _ => {
+                return Err(FairrecError::parse_at(
+                    lineno,
+                    format!("expected 4 tab-separated fields, got {line:?}"),
+                ))
+            }
+        };
+        let id: u32 = id
+            .parse()
+            .map_err(|_| FairrecError::parse_at(lineno, format!("bad id {id:?}")))?;
+        if id != expected_id {
+            return Err(FairrecError::parse_at(
+                lineno,
+                format!("ids must be contiguous from 0: expected {expected_id}, got {id}"),
+            ));
+        }
+        expected_id += 1;
+
+        if parent == "-" {
+            if builder.is_some() {
+                return Err(FairrecError::parse_at(lineno, "second root encountered"));
+            }
+            builder = Some(OntologyBuilder::new(code, label));
+        } else {
+            let parent: u32 = parent.parse().map_err(|_| {
+                FairrecError::parse_at(lineno, format!("bad parent id {parent:?}"))
+            })?;
+            if parent >= id {
+                return Err(FairrecError::parse_at(
+                    lineno,
+                    format!("parent {parent} must precede child {id}"),
+                ));
+            }
+            let b = builder.as_mut().ok_or_else(|| {
+                FairrecError::parse_at(lineno, "first concept must be the root (parent `-`)")
+            })?;
+            b.add_child(ConceptId::new(parent), code, label)
+                .map_err(|e| FairrecError::parse_at(lineno, e.to_string()))?;
+        }
+    }
+    builder
+        .map(OntologyBuilder::build)
+        .ok_or_else(|| FairrecError::Parse {
+            line: None,
+            message: "empty ontology file".into(),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::OntologyGenerator;
+    use crate::snomed::clinical_fragment;
+    use std::io::BufReader;
+
+    fn round_trip(o: &Ontology) -> Ontology {
+        let mut buf = Vec::new();
+        write_ontology(o, &mut buf).unwrap();
+        read_ontology(BufReader::new(buf.as_slice())).unwrap()
+    }
+
+    #[test]
+    fn clinical_fragment_round_trips() {
+        let o = clinical_fragment();
+        let o2 = round_trip(&o);
+        assert_eq!(o.len(), o2.len());
+        for (a, b) in o.iter().zip(o2.iter()) {
+            assert_eq!(a, b);
+            assert_eq!(o.parent(a.id), o2.parent(b.id));
+        }
+        assert_eq!(o.max_depth(), o2.max_depth());
+    }
+
+    #[test]
+    fn generated_tree_round_trips() {
+        let o = OntologyGenerator {
+            num_concepts: 400,
+            seed: 3,
+            ..Default::default()
+        }
+        .generate();
+        let o2 = round_trip(&o);
+        for c in o.iter() {
+            assert_eq!(o2.by_code(&c.code), Some(c.id));
+            assert_eq!(o.depth(c.id), o2.depth(c.id));
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let text = "# header\n\n0\t-\tR\troot\n\n# mid comment\n1\t0\tA\talpha\n";
+        let o = read_ontology(BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(o.len(), 2);
+        assert_eq!(o.by_code("A").map(|c| o.depth(c)), Some(1));
+    }
+
+    #[test]
+    fn labels_may_contain_spaces_and_tabs_beyond_field_4() {
+        // splitn(4) keeps everything after the third tab as the label.
+        let text = "0\t-\tR\tSNOMED CT Concept\n1\t0\tA\tlabel with\ttab\n";
+        let o = read_ontology(BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(o.concept(ConceptId::new(1)).label, "label with\ttab");
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected_with_line_numbers() {
+        let cases = [
+            ("0\t-\tR\n", "expected 4"),                    // too few fields
+            ("x\t-\tR\troot\n", "bad id"),                  // non-numeric id
+            ("1\t-\tR\troot\n", "contiguous"),              // ids not from 0
+            ("0\t-\tR\troot\n1\t-\tS\tsecond\n", "second root"),
+            ("0\t0\tR\troot\n", "must precede"),            // self-parent, no root marker
+            ("0\t-\tR\troot\n1\t5\tA\ta\n", "must precede"), // forward parent
+            ("0\t-\tR\troot\n1\tz\tA\ta\n", "bad parent"),
+            ("", "empty ontology"),
+        ];
+        for (text, needle) in cases {
+            let err = read_ontology(BufReader::new(text.as_bytes())).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{text:?} → {msg:?} (wanted {needle:?})");
+        }
+    }
+
+    #[test]
+    fn duplicate_code_reported_at_its_line() {
+        let text = "0\t-\tR\troot\n1\t0\tA\talpha\n2\t0\tA\tbeta\n";
+        let err = read_ontology(BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("line 3"));
+    }
+}

@@ -1,0 +1,43 @@
+//! Concept nodes.
+
+use fairrec_types::ConceptId;
+
+/// One node of the clinical ontology.
+///
+/// `code` plays the role of a SNOMED-CT concept identifier (an opaque,
+/// stable external string); `label` is the preferred human-readable term,
+/// which is also what patient profiles carry in their *problem* fields
+/// (Table I of the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Concept {
+    /// Dense internal identifier.
+    pub id: ConceptId,
+    /// External stable code (SNOMED-CT-style).
+    pub code: String,
+    /// Preferred term.
+    pub label: String,
+}
+
+impl Concept {
+    /// Creates a concept record.
+    pub fn new(id: ConceptId, code: impl Into<String>, label: impl Into<String>) -> Self {
+        Self {
+            id,
+            code: code.into(),
+            label: label.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_stores_fields() {
+        let c = Concept::new(ConceptId::new(3), "10509002", "Acute bronchitis");
+        assert_eq!(c.id, ConceptId::new(3));
+        assert_eq!(c.code, "10509002");
+        assert_eq!(c.label, "Acute bronchitis");
+    }
+}

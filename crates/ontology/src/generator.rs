@@ -1,0 +1,187 @@
+//! Seeded random ontology generator.
+//!
+//! Scale experiments (similarity ablations, MapReduce sweeps) need
+//! hierarchies far larger than the curated fragment. The generator grows a
+//! tree one node at a time, choosing each parent uniformly among the nodes
+//! whose depth is below `max_depth` — the classic *random recursive tree*
+//! process, which yields broad, shallow hierarchies similar in spirit to
+//! clinical terminologies (many mid-level families, long thin tails).
+//!
+//! A `branchiness` knob skews parent choice toward already-popular parents
+//! (preferential attachment), producing the heavy-tailed fan-outs observed
+//! in real terminologies.
+
+use crate::hierarchy::{Ontology, OntologyBuilder};
+use fairrec_types::ConceptId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`OntologyGenerator`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OntologyGenerator {
+    /// Number of concepts to generate, including the root. Minimum 1.
+    pub num_concepts: u32,
+    /// Maximum depth of any node; parents are only drawn from strictly
+    /// shallower levels.
+    pub max_depth: u32,
+    /// In `[0, 1]`: probability that a new node attaches via preferential
+    /// attachment (to a parent sampled proportionally to its fan-out + 1)
+    /// instead of uniformly.
+    pub branchiness: f64,
+    /// RNG seed; equal configurations produce identical trees.
+    pub seed: u64,
+}
+
+impl Default for OntologyGenerator {
+    fn default() -> Self {
+        Self {
+            num_concepts: 1_000,
+            max_depth: 8,
+            branchiness: 0.5,
+            seed: 42,
+        }
+    }
+}
+
+impl OntologyGenerator {
+    /// Generates the tree.
+    ///
+    /// # Panics
+    /// Panics if `num_concepts == 0` or `branchiness ∉ [0, 1]` — these are
+    /// programmer-supplied experiment parameters, not runtime data.
+    pub fn generate(&self) -> Ontology {
+        assert!(self.num_concepts >= 1, "need at least the root");
+        assert!(
+            (0.0..=1.0).contains(&self.branchiness),
+            "branchiness must be in [0, 1]"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut b = OntologyBuilder::new("SYN0", "synthetic root");
+
+        // Eligible parents (depth < max_depth), flat list for uniform
+        // sampling, plus a weighted list where each parent appears once per
+        // child it already has (plus once unconditionally) for preferential
+        // attachment.
+        let mut eligible: Vec<ConceptId> = vec![b.root_id()];
+        let mut weighted: Vec<ConceptId> = vec![b.root_id()];
+        let mut depth = vec![0u32; 1];
+
+        for n in 1..self.num_concepts {
+            let parent = if rng.gen_bool(self.branchiness) {
+                weighted[rng.gen_range(0..weighted.len())]
+            } else {
+                eligible[rng.gen_range(0..eligible.len())]
+            };
+            let id = b
+                .add_child(parent, format!("SYN{n}"), format!("synthetic concept {n}"))
+                .expect("generated codes are unique");
+            let d = depth[parent.index()] + 1;
+            depth.push(d);
+            // The new node becomes a candidate parent if it is shallow
+            // enough; it always contributes weight to its own parent.
+            if d < self.max_depth {
+                eligible.push(id);
+                weighted.push(id);
+            }
+            weighted.push(parent);
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_size() {
+        let o = OntologyGenerator {
+            num_concepts: 500,
+            ..Default::default()
+        }
+        .generate();
+        assert_eq!(o.len(), 500);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let o = OntologyGenerator {
+            num_concepts: 2_000,
+            max_depth: 3,
+            ..Default::default()
+        }
+        .generate();
+        for c in o.iter() {
+            assert!(o.depth(c.id) <= 3);
+        }
+        assert_eq!(o.max_depth(), 3); // 2000 nodes certainly reach depth 3
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = OntologyGenerator {
+            num_concepts: 300,
+            seed: 7,
+            ..Default::default()
+        };
+        let a = cfg.generate();
+        let b = cfg.generate();
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x, y);
+            assert_eq!(a.parent(x.id), b.parent(y.id));
+        }
+        let c = OntologyGenerator { seed: 8, ..cfg }.generate();
+        let same = a
+            .iter()
+            .zip(c.iter())
+            .all(|(x, y)| a.parent(x.id) == c.parent(y.id));
+        assert!(!same, "different seeds should give different trees");
+    }
+
+    #[test]
+    fn branchiness_increases_max_fanout() {
+        let base = OntologyGenerator {
+            num_concepts: 1_500,
+            max_depth: 10,
+            seed: 11,
+            branchiness: 0.0,
+        };
+        let uniform = base.generate();
+        let preferential = OntologyGenerator {
+            branchiness: 1.0,
+            ..base
+        }
+        .generate();
+        let max_fanout = |o: &Ontology| {
+            o.iter()
+                .map(|c| o.children(c.id).len())
+                .max()
+                .unwrap_or(0)
+        };
+        assert!(
+            max_fanout(&preferential) > max_fanout(&uniform),
+            "preferential attachment should produce heavier-tailed fan-out"
+        );
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let o = OntologyGenerator {
+            num_concepts: 1,
+            ..Default::default()
+        }
+        .generate();
+        assert_eq!(o.len(), 1);
+        assert_eq!(o.max_depth(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least the root")]
+    fn zero_concepts_rejected() {
+        OntologyGenerator {
+            num_concepts: 0,
+            ..Default::default()
+        }
+        .generate();
+    }
+}

@@ -1,0 +1,450 @@
+//! The is-a tree and its structural queries.
+//!
+//! The paper's semantic similarity needs exactly one structural primitive:
+//! *"the shortest path that connects two nodes in the tree"* (§V-C-1). On a
+//! tree the shortest path between `a` and `b` always runs through their
+//! lowest common ancestor, so
+//! `path_len(a, b) = depth(a) + depth(b) − 2·depth(lca(a, b))`, computed in
+//! O(depth) without any search frontier. Depths are cached at build time.
+
+use crate::concept::Concept;
+use fairrec_types::{ConceptId, FairrecError, Result};
+use std::collections::HashMap;
+
+/// Immutable is-a tree of clinical concepts.
+///
+/// Construct with [`OntologyBuilder`] or load via [`crate::codec`].
+#[derive(Debug, Clone)]
+pub struct Ontology {
+    concepts: Vec<Concept>,
+    /// `parent[i]` is `None` exactly for the root.
+    parent: Vec<Option<ConceptId>>,
+    /// Children in insertion order.
+    children: Vec<Vec<ConceptId>>,
+    /// Cached depth; root has depth 0.
+    depth: Vec<u32>,
+    /// External code → id.
+    by_code: HashMap<String, ConceptId>,
+    /// Lower-cased label → id.
+    by_label: HashMap<String, ConceptId>,
+    max_depth: u32,
+}
+
+impl Ontology {
+    /// Number of concepts.
+    pub fn len(&self) -> usize {
+        self.concepts.len()
+    }
+
+    /// Whether the ontology holds no concepts. A built ontology always has
+    /// at least its root, so this is only true for the degenerate default.
+    pub fn is_empty(&self) -> bool {
+        self.concepts.is_empty()
+    }
+
+    /// The root concept id.
+    ///
+    /// # Panics
+    /// Panics on an empty ontology (builders always produce a root).
+    pub fn root(&self) -> ConceptId {
+        assert!(!self.is_empty(), "empty ontology has no root");
+        ConceptId::new(0)
+    }
+
+    /// The concept record for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range; ids come from this ontology's own
+    /// lookups, so an out-of-range id is a logic error.
+    pub fn concept(&self, id: ConceptId) -> &Concept {
+        &self.concepts[id.index()]
+    }
+
+    /// Looks up a concept by its external code.
+    pub fn by_code(&self, code: &str) -> Option<ConceptId> {
+        self.by_code.get(code).copied()
+    }
+
+    /// Looks up a concept by label, case-insensitively.
+    pub fn by_label(&self, label: &str) -> Option<ConceptId> {
+        self.by_label.get(&label.to_lowercase()).copied()
+    }
+
+    /// The parent of `id`, or `None` for the root.
+    pub fn parent(&self, id: ConceptId) -> Option<ConceptId> {
+        self.parent[id.index()]
+    }
+
+    /// The children of `id` in insertion order.
+    pub fn children(&self, id: ConceptId) -> &[ConceptId] {
+        &self.children[id.index()]
+    }
+
+    /// Depth of `id` (root = 0).
+    pub fn depth(&self, id: ConceptId) -> u32 {
+        self.depth[id.index()]
+    }
+
+    /// The largest depth of any concept.
+    pub fn max_depth(&self) -> u32 {
+        self.max_depth
+    }
+
+    /// Whether `a` is an ancestor of `b` (inclusive: every node is its own
+    /// ancestor).
+    pub fn is_ancestor(&self, a: ConceptId, b: ConceptId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.parent(cur) {
+                Some(p) => cur = p,
+                None => return false,
+            }
+        }
+    }
+
+    /// Lowest common ancestor of `a` and `b`.
+    pub fn lca(&self, a: ConceptId, b: ConceptId) -> ConceptId {
+        let (mut x, mut y) = (a, b);
+        // Lift the deeper node first, then walk both up in lock-step.
+        while self.depth(x) > self.depth(y) {
+            x = self.parent(x).expect("deeper node must have a parent");
+        }
+        while self.depth(y) > self.depth(x) {
+            y = self.parent(y).expect("deeper node must have a parent");
+        }
+        while x != y {
+            x = self.parent(x).expect("nodes at equal depth above root");
+            y = self.parent(y).expect("nodes at equal depth above root");
+        }
+        x
+    }
+
+    /// Length (edge count) of the shortest path between `a` and `b` —
+    /// the quantity driving the paper's semantic similarity.
+    pub fn path_len(&self, a: ConceptId, b: ConceptId) -> u32 {
+        let l = self.lca(a, b);
+        self.depth(a) + self.depth(b) - 2 * self.depth(l)
+    }
+
+    /// The shortest path itself, `a → … → lca → … → b` inclusive, for
+    /// explanation output.
+    pub fn path(&self, a: ConceptId, b: ConceptId) -> Vec<ConceptId> {
+        let l = self.lca(a, b);
+        let mut up = Vec::new();
+        let mut cur = a;
+        while cur != l {
+            up.push(cur);
+            cur = self.parent(cur).expect("below lca");
+        }
+        up.push(l);
+        let mut down = Vec::new();
+        cur = b;
+        while cur != l {
+            down.push(cur);
+            cur = self.parent(cur).expect("below lca");
+        }
+        up.extend(down.into_iter().rev());
+        up
+    }
+
+    /// Iterator over all concepts in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Concept> {
+        self.concepts.iter()
+    }
+
+    /// Ids of all leaf concepts (no children), id order.
+    pub fn leaves(&self) -> Vec<ConceptId> {
+        self.concepts
+            .iter()
+            .filter(|c| self.children[c.id.index()].is_empty())
+            .map(|c| c.id)
+            .collect()
+    }
+}
+
+/// Validated, incremental construction of an [`Ontology`].
+///
+/// ```
+/// use fairrec_ontology::OntologyBuilder;
+///
+/// let mut b = OntologyBuilder::new("138875005", "SNOMED CT Concept");
+/// let root = b.root_id();
+/// let finding = b.add_child(root, "404684003", "Clinical finding").unwrap();
+/// let pain = b.add_child(finding, "22253000", "Pain").unwrap();
+/// let ont = b.build();
+/// assert_eq!(ont.path_len(pain, root), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OntologyBuilder {
+    concepts: Vec<Concept>,
+    parent: Vec<Option<ConceptId>>,
+    children: Vec<Vec<ConceptId>>,
+    by_code: HashMap<String, ConceptId>,
+    by_label: HashMap<String, ConceptId>,
+}
+
+impl OntologyBuilder {
+    /// Starts a new ontology whose root carries the given code and label.
+    pub fn new(root_code: impl Into<String>, root_label: impl Into<String>) -> Self {
+        let mut b = Self {
+            concepts: Vec::new(),
+            parent: Vec::new(),
+            children: Vec::new(),
+            by_code: HashMap::new(),
+            by_label: HashMap::new(),
+        };
+        b.insert(None, root_code.into(), root_label.into())
+            .expect("fresh builder cannot have code collisions");
+        b
+    }
+
+    /// The root's id (always 0).
+    pub fn root_id(&self) -> ConceptId {
+        ConceptId::new(0)
+    }
+
+    /// Number of concepts added so far (including the root).
+    pub fn len(&self) -> usize {
+        self.concepts.len()
+    }
+
+    /// Whether only nothing has been added. Always false: the builder is
+    /// created with its root.
+    pub fn is_empty(&self) -> bool {
+        self.concepts.is_empty()
+    }
+
+    /// Adds a concept as a child of `parent`.
+    ///
+    /// # Errors
+    /// * [`FairrecError::InvalidParameter`] if `parent` is unknown or the
+    ///   code/label collides with an existing concept (codes must be unique;
+    ///   labels must be unique case-insensitively because patient profiles
+    ///   reference problems by label).
+    pub fn add_child(
+        &mut self,
+        parent: ConceptId,
+        code: impl Into<String>,
+        label: impl Into<String>,
+    ) -> Result<ConceptId> {
+        if parent.index() >= self.concepts.len() {
+            return Err(FairrecError::invalid_parameter(
+                "parent",
+                format!("unknown parent concept {parent}"),
+            ));
+        }
+        self.insert(Some(parent), code.into(), label.into())
+    }
+
+    fn insert(
+        &mut self,
+        parent: Option<ConceptId>,
+        code: String,
+        label: String,
+    ) -> Result<ConceptId> {
+        if self.by_code.contains_key(&code) {
+            return Err(FairrecError::invalid_parameter(
+                "code",
+                format!("duplicate concept code {code:?}"),
+            ));
+        }
+        let label_key = label.to_lowercase();
+        if self.by_label.contains_key(&label_key) {
+            return Err(FairrecError::invalid_parameter(
+                "label",
+                format!("duplicate concept label {label:?}"),
+            ));
+        }
+        let id = ConceptId::new(u32::try_from(self.concepts.len()).expect("ontology fits in u32"));
+        self.by_code.insert(code.clone(), id);
+        self.by_label.insert(label_key, id);
+        self.concepts.push(Concept::new(id, code, label));
+        self.parent.push(parent);
+        self.children.push(Vec::new());
+        if let Some(p) = parent {
+            self.children[p.index()].push(id);
+        }
+        Ok(id)
+    }
+
+    /// Freezes the builder. Depths are computed here; the structure is a
+    /// tree by construction (every non-root node was attached to an
+    /// existing parent), so no cycle check is needed.
+    pub fn build(self) -> Ontology {
+        let n = self.concepts.len();
+        let mut depth = vec![0u32; n];
+        // Parents always precede children (ids are assigned on insert), so a
+        // single forward pass fills depths.
+        for i in 1..n {
+            let p = self.parent[i].expect("non-root has a parent");
+            depth[i] = depth[p.index()] + 1;
+        }
+        let max_depth = depth.iter().copied().max().unwrap_or(0);
+        Ontology {
+            concepts: self.concepts,
+            parent: self.parent,
+            children: self.children,
+            depth,
+            by_code: self.by_code,
+            by_label: self.by_label,
+            max_depth,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// root ── a ── b ── d
+    ///          └─ c     └─ e
+    fn sample() -> (Ontology, Vec<ConceptId>) {
+        let mut b = OntologyBuilder::new("R", "root");
+        let root = b.root_id();
+        let a = b.add_child(root, "A", "alpha").unwrap();
+        let bb = b.add_child(a, "B", "beta").unwrap();
+        let c = b.add_child(a, "C", "gamma").unwrap();
+        let d = b.add_child(bb, "D", "delta").unwrap();
+        let e = b.add_child(d, "E", "epsilon").unwrap();
+        (b.build(), vec![root, a, bb, c, d, e])
+    }
+
+    #[test]
+    fn depths_and_max_depth() {
+        let (o, ids) = sample();
+        assert_eq!(o.depth(ids[0]), 0);
+        assert_eq!(o.depth(ids[1]), 1);
+        assert_eq!(o.depth(ids[2]), 2);
+        assert_eq!(o.depth(ids[3]), 2);
+        assert_eq!(o.depth(ids[4]), 3);
+        assert_eq!(o.depth(ids[5]), 4);
+        assert_eq!(o.max_depth(), 4);
+    }
+
+    #[test]
+    fn lca_and_path_len() {
+        let (o, ids) = sample();
+        let (root, a, b, c, d, e) = (ids[0], ids[1], ids[2], ids[3], ids[4], ids[5]);
+        assert_eq!(o.lca(d, c), a);
+        assert_eq!(o.lca(e, b), b);
+        assert_eq!(o.lca(root, e), root);
+        assert_eq!(o.path_len(d, c), 3); // d-b-a-c
+        assert_eq!(o.path_len(e, e), 0);
+        assert_eq!(o.path_len(e, root), 4);
+        assert_eq!(o.path_len(b, c), 2); // siblings via a
+    }
+
+    #[test]
+    fn path_lists_every_hop() {
+        let (o, ids) = sample();
+        let (a, c, d) = (ids[1], ids[3], ids[4]);
+        let p = o.path(d, c);
+        assert_eq!(p, vec![d, ids[2], a, c]);
+        // Symmetric content, reversed direction.
+        let q = o.path(c, d);
+        assert_eq!(q, vec![c, a, ids[2], d]);
+        assert_eq!(p.len() as u32 - 1, o.path_len(d, c));
+    }
+
+    #[test]
+    fn lookups_by_code_and_label() {
+        let (o, ids) = sample();
+        assert_eq!(o.by_code("D"), Some(ids[4]));
+        assert_eq!(o.by_code("nope"), None);
+        assert_eq!(o.by_label("DELTA"), Some(ids[4]));
+        assert_eq!(o.by_label("delta"), Some(ids[4]));
+        assert_eq!(o.by_label("zeta"), None);
+        assert_eq!(o.concept(ids[4]).label, "delta");
+    }
+
+    #[test]
+    fn ancestry() {
+        let (o, ids) = sample();
+        assert!(o.is_ancestor(ids[0], ids[5]));
+        assert!(o.is_ancestor(ids[2], ids[5]));
+        assert!(o.is_ancestor(ids[5], ids[5]));
+        assert!(!o.is_ancestor(ids[3], ids[5]));
+        assert!(!o.is_ancestor(ids[5], ids[0]));
+    }
+
+    #[test]
+    fn children_and_leaves() {
+        let (o, ids) = sample();
+        assert_eq!(o.children(ids[1]), &[ids[2], ids[3]]);
+        assert_eq!(o.leaves(), vec![ids[3], ids[5]]);
+    }
+
+    #[test]
+    fn duplicate_codes_and_labels_rejected() {
+        let mut b = OntologyBuilder::new("R", "root");
+        let root = b.root_id();
+        b.add_child(root, "A", "alpha").unwrap();
+        assert!(b.add_child(root, "A", "other").is_err());
+        assert!(b.add_child(root, "B", "ALPHA").is_err()); // case-insensitive
+        assert!(b.add_child(ConceptId::new(42), "C", "c").is_err());
+    }
+
+    #[test]
+    fn single_node_ontology() {
+        let o = OntologyBuilder::new("R", "root").build();
+        assert_eq!(o.len(), 1);
+        assert_eq!(o.root(), ConceptId::new(0));
+        assert_eq!(o.path_len(o.root(), o.root()), 0);
+        assert_eq!(o.max_depth(), 0);
+        assert_eq!(o.leaves(), vec![o.root()]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Builds a random tree of `n` nodes by attaching node `i` to a parent
+    /// chosen among `0..i`.
+    fn arb_tree() -> impl Strategy<Value = Ontology> {
+        proptest::collection::vec(0usize..1000, 1..60).prop_map(|choices| {
+            let mut b = OntologyBuilder::new("R", "root");
+            for (i, c) in choices.iter().enumerate() {
+                let parent = ConceptId::new((c % (i + 1)) as u32);
+                b.add_child(parent, format!("C{i}"), format!("label {i}"))
+                    .unwrap();
+            }
+            b.build()
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn path_len_is_a_tree_metric(o in arb_tree(), xs in proptest::collection::vec(0u32..61, 3)) {
+            let n = o.len() as u32;
+            let a = ConceptId::new(xs[0] % n);
+            let b = ConceptId::new(xs[1] % n);
+            let c = ConceptId::new(xs[2] % n);
+            // Symmetry and identity.
+            prop_assert_eq!(o.path_len(a, b), o.path_len(b, a));
+            prop_assert_eq!(o.path_len(a, a), 0);
+            // Triangle inequality.
+            prop_assert!(o.path_len(a, c) <= o.path_len(a, b) + o.path_len(b, c));
+            // Path vector agrees with the length.
+            prop_assert_eq!(o.path(a, b).len() as u32, o.path_len(a, b) + 1);
+        }
+
+        #[test]
+        fn lca_is_a_common_ancestor_of_max_depth(o in arb_tree(), xs in proptest::collection::vec(0u32..61, 2)) {
+            let n = o.len() as u32;
+            let a = ConceptId::new(xs[0] % n);
+            let b = ConceptId::new(xs[1] % n);
+            let l = o.lca(a, b);
+            prop_assert!(o.is_ancestor(l, a));
+            prop_assert!(o.is_ancestor(l, b));
+            // No child of l is a common ancestor.
+            for &ch in o.children(l) {
+                prop_assert!(!(o.is_ancestor(ch, a) && o.is_ancestor(ch, b)));
+            }
+        }
+    }
+}

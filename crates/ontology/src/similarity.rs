@@ -1,0 +1,193 @@
+//! Path-length → similarity transforms.
+//!
+//! §V-C of the paper specifies the *ordering* ("longer path means a smaller
+//! similarity") but not the functional form. This module offers the standard
+//! transforms from the ontology-similarity literature; all of them map a
+//! path length `d ∈ {0, 1, 2, …}` into `(0, 1]`, are strictly decreasing in
+//! `d`, and give identical concepts similarity 1 (except Wu–Palmer, which is
+//! 1 for identical concepts by construction).
+//!
+//! The strictly positive lower bound matters downstream: the overall
+//! patient similarity (Equation 4) is a *harmonic* mean, which is undefined
+//! when any pair similarity is 0.
+
+use crate::hierarchy::Ontology;
+use fairrec_types::ConceptId;
+
+/// A transform from tree distance to concept similarity.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum PathScoring {
+    /// `1 / (1 + d)` — the simplest strictly-decreasing transform; default.
+    #[default]
+    InversePath,
+    /// `exp(−λ·d)` with decay rate `λ > 0`.
+    ExponentialDecay {
+        /// Decay rate; larger values punish distance harder.
+        lambda: f64,
+    },
+    /// Wu–Palmer: `(2·(depth(lca)+1)) / ((depth(a)+1) + (depth(b)+1))`.
+    ///
+    /// Depths are shifted by one so the root-vs-root case is well defined
+    /// (and equals 1). Unlike the pure path transforms this one also rewards
+    /// *specificity*: two deep siblings are more similar than two shallow
+    /// siblings at the same path distance.
+    WuPalmer,
+    /// Leacock–Chodorow, normalised into `(0, 1]`:
+    /// `ln(2·D / (d + 1)) / ln(2·D)` where `D = max_depth + 1`.
+    LeacockChodorow,
+}
+
+impl PathScoring {
+    /// Similarity of two concepts in `(0, 1]`.
+    pub fn score(self, ontology: &Ontology, a: ConceptId, b: ConceptId) -> f64 {
+        match self {
+            Self::InversePath => {
+                let d = f64::from(ontology.path_len(a, b));
+                1.0 / (1.0 + d)
+            }
+            Self::ExponentialDecay { lambda } => {
+                debug_assert!(lambda > 0.0, "lambda must be positive");
+                let d = f64::from(ontology.path_len(a, b));
+                (-lambda * d).exp()
+            }
+            Self::WuPalmer => {
+                let l = ontology.lca(a, b);
+                let dl = f64::from(ontology.depth(l)) + 1.0;
+                let da = f64::from(ontology.depth(a)) + 1.0;
+                let db = f64::from(ontology.depth(b)) + 1.0;
+                2.0 * dl / (da + db)
+            }
+            Self::LeacockChodorow => {
+                let big_d = f64::from(ontology.max_depth()) + 1.0;
+                let d = f64::from(ontology.path_len(a, b));
+                // ln(2D / (d+1)) / ln(2D): d = 0 ⇒ 1; d = 2D−1 (diameter
+                // bound) ⇒ 0⁺.
+                ((2.0 * big_d) / (d + 1.0)).ln() / (2.0 * big_d).ln()
+            }
+        }
+    }
+
+    /// Similarity from a raw path length, for transforms that depend only
+    /// on `d` (panics for [`PathScoring::WuPalmer`], which needs node
+    /// depths).
+    pub fn score_from_distance(self, max_depth: u32, d: u32) -> f64 {
+        match self {
+            Self::InversePath => 1.0 / (1.0 + f64::from(d)),
+            Self::ExponentialDecay { lambda } => (-lambda * f64::from(d)).exp(),
+            Self::WuPalmer => panic!("WuPalmer requires node identities, not just distance"),
+            Self::LeacockChodorow => {
+                let big_d = f64::from(max_depth) + 1.0;
+                ((2.0 * big_d) / (f64::from(d) + 1.0)).ln() / (2.0 * big_d).ln()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::OntologyBuilder;
+
+    fn chain(len: u32) -> (Ontology, Vec<ConceptId>) {
+        let mut b = OntologyBuilder::new("R", "root");
+        let mut ids = vec![b.root_id()];
+        for i in 0..len {
+            let id = b
+                .add_child(*ids.last().unwrap(), format!("C{i}"), format!("l{i}"))
+                .unwrap();
+            ids.push(id);
+        }
+        (b.build(), ids)
+    }
+
+    #[test]
+    fn inverse_path_values() {
+        let (o, ids) = chain(4);
+        let s = PathScoring::InversePath;
+        assert_eq!(s.score(&o, ids[0], ids[0]), 1.0);
+        assert_eq!(s.score(&o, ids[0], ids[1]), 0.5);
+        assert_eq!(s.score(&o, ids[0], ids[3]), 0.25);
+    }
+
+    #[test]
+    fn exponential_decay_values() {
+        let (o, ids) = chain(3);
+        let s = PathScoring::ExponentialDecay { lambda: 0.5 };
+        assert!((s.score(&o, ids[0], ids[0]) - 1.0).abs() < 1e-12);
+        assert!((s.score(&o, ids[0], ids[2]) - (-1.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wu_palmer_rewards_depth() {
+        // root ── a ── a1, a2 (deep siblings)  and  b1, b2 (shallow siblings)
+        let mut b = OntologyBuilder::new("R", "root");
+        let root = b.root_id();
+        let a = b.add_child(root, "A", "a").unwrap();
+        let a1 = b.add_child(a, "A1", "a1").unwrap();
+        let a2 = b.add_child(a, "A2", "a2").unwrap();
+        let b1 = b.add_child(root, "B1", "b1").unwrap();
+        let b2 = b.add_child(root, "B2", "b2").unwrap();
+        let o = b.build();
+        let s = PathScoring::WuPalmer;
+        // Same path distance (2), but the deep pair is judged more similar.
+        assert_eq!(o.path_len(a1, a2), o.path_len(b1, b2));
+        assert!(s.score(&o, a1, a2) > s.score(&o, b1, b2));
+        assert_eq!(s.score(&o, a1, a1), 1.0);
+    }
+
+    #[test]
+    fn leacock_chodorow_is_one_at_zero_distance() {
+        let (o, ids) = chain(5);
+        let s = PathScoring::LeacockChodorow;
+        assert!((s.score(&o, ids[2], ids[2]) - 1.0).abs() < 1e-12);
+        assert!(s.score(&o, ids[0], ids[5]) > 0.0);
+    }
+
+    #[test]
+    fn all_transforms_are_strictly_decreasing_in_distance() {
+        let (o, ids) = chain(6);
+        for scoring in [
+            PathScoring::InversePath,
+            PathScoring::ExponentialDecay { lambda: 0.3 },
+            PathScoring::LeacockChodorow,
+        ] {
+            let mut prev = f64::INFINITY;
+            for hop in 0..6 {
+                let s = scoring.score(&o, ids[0], ids[hop]);
+                assert!(
+                    s < prev,
+                    "{scoring:?} not strictly decreasing at hop {hop}: {s} !< {prev}"
+                );
+                assert!(s > 0.0 && s <= 1.0, "{scoring:?} out of (0,1] at hop {hop}");
+                prev = s;
+            }
+        }
+    }
+
+    #[test]
+    fn score_from_distance_matches_score_for_pure_path_transforms() {
+        let (o, ids) = chain(5);
+        for scoring in [
+            PathScoring::InversePath,
+            PathScoring::ExponentialDecay { lambda: 0.7 },
+            PathScoring::LeacockChodorow,
+        ] {
+            for hop in 0..5 {
+                let via_nodes = scoring.score(&o, ids[0], ids[hop]);
+                let via_distance = scoring.score_from_distance(o.max_depth(), hop as u32);
+                assert!((via_nodes - via_distance).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "WuPalmer")]
+    fn wu_palmer_rejects_distance_only_scoring() {
+        PathScoring::WuPalmer.score_from_distance(4, 2);
+    }
+
+    #[test]
+    fn default_is_inverse_path() {
+        assert_eq!(PathScoring::default(), PathScoring::InversePath);
+    }
+}

@@ -1,0 +1,225 @@
+//! Profile correspondence analysis (extension — the paper's future work:
+//! *"a reasoning engine to identify correspondences in patient
+//! profiles"*).
+//!
+//! Given two profiles, the analysis reports every axis on which they
+//! align:
+//!
+//! * **shared problems** — identical ontology concepts,
+//! * **related problems** — concept pairs whose lowest common ancestor is
+//!   deep enough to be clinically meaningful (an LCA at the root or at
+//!   "Clinical finding" relates everything to everything and is noise),
+//! * **shared medications** — case-insensitive string match,
+//! * **demographics** — same gender / same age decade.
+//!
+//! The report powers caregiver-facing explanations ("these two patients
+//! both sit in the bronchitis family") and is the symbolic counterpart of
+//! the numeric [`SemanticSimilarity`](https://docs.rs/fairrec-similarity)
+//! score.
+
+use crate::profile::PatientProfile;
+use fairrec_ontology::Ontology;
+use fairrec_types::ConceptId;
+
+/// A pair of distinct-but-related problems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RelatedProblems {
+    /// Problem from the first profile.
+    pub a: ConceptId,
+    /// Problem from the second profile.
+    pub b: ConceptId,
+    /// Their lowest common ancestor.
+    pub shared_ancestor: ConceptId,
+    /// Tree distance between `a` and `b`.
+    pub distance: u32,
+}
+
+/// The full correspondence report for two profiles.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CorrespondenceReport {
+    /// Problems present in both profiles.
+    pub shared_problems: Vec<ConceptId>,
+    /// Distinct problem pairs with a meaningful shared ancestor, sorted by
+    /// ascending distance (closest first).
+    pub related_problems: Vec<RelatedProblems>,
+    /// Medications present in both profiles (first profile's spelling).
+    pub shared_medications: Vec<String>,
+    /// Same recorded gender (and it is not `Unknown`).
+    pub same_gender: bool,
+    /// Same age decade (both recorded).
+    pub same_age_decade: bool,
+}
+
+impl CorrespondenceReport {
+    /// Whether any axis aligned at all.
+    pub fn is_empty(&self) -> bool {
+        self.shared_problems.is_empty()
+            && self.related_problems.is_empty()
+            && self.shared_medications.is_empty()
+            && !self.same_gender
+            && !self.same_age_decade
+    }
+}
+
+/// Analyses two profiles against `ontology`.
+///
+/// `min_ancestor_depth` is the minimum depth of a shared ancestor for a
+/// problem pair to count as *related* (depth 2 in the curated fragment
+/// means "same body-system family"). Shared (identical) problems are
+/// reported separately and never duplicated as related pairs.
+pub fn correspondence(
+    first: &PatientProfile,
+    second: &PatientProfile,
+    ontology: &Ontology,
+    min_ancestor_depth: u32,
+) -> CorrespondenceReport {
+    let mut report = CorrespondenceReport::default();
+
+    for &p in &first.problems {
+        if second.problems.contains(&p) {
+            report.shared_problems.push(p);
+        }
+    }
+    for &a in &first.problems {
+        for &b in &second.problems {
+            if a == b {
+                continue;
+            }
+            let lca = ontology.lca(a, b);
+            if ontology.depth(lca) >= min_ancestor_depth {
+                report.related_problems.push(RelatedProblems {
+                    a,
+                    b,
+                    shared_ancestor: lca,
+                    distance: ontology.path_len(a, b),
+                });
+            }
+        }
+    }
+    report
+        .related_problems
+        .sort_by_key(|r| (r.distance, r.a, r.b));
+
+    for med in &first.medications {
+        if second
+            .medications
+            .iter()
+            .any(|m| m.eq_ignore_ascii_case(med))
+        {
+            report.shared_medications.push(med.clone());
+        }
+    }
+
+    report.same_gender = first.gender == second.gender
+        && first.gender != crate::profile::Gender::Unknown;
+    report.same_age_decade = match (first.age_bucket(), second.age_bucket()) {
+        (Some(a), Some(b)) => a == b,
+        _ => false,
+    };
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Gender;
+    use crate::table1;
+    use fairrec_ontology::snomed::{clinical_fragment, labels};
+    use fairrec_types::UserId;
+
+    #[test]
+    fn table1_patients_1_and_3_correspond_on_problems_and_medication() {
+        let ont = clinical_fragment();
+        let [p1, _, p3] = table1::patients(&ont);
+        let report = correspondence(&p1, &p3, &ont, 2);
+        assert!(report.shared_problems.is_empty());
+        // Acute bronchitis ↔ tracheobronchitis share the Bronchitis family.
+        assert_eq!(report.related_problems.len(), 1);
+        let rel = report.related_problems[0];
+        assert_eq!(ont.concept(rel.shared_ancestor).label, "Bronchitis");
+        assert_eq!(rel.distance, 2);
+        assert_eq!(report.shared_medications, vec!["Ramipril 10 MG Oral Capsule"]);
+        assert!(!report.same_gender);
+        assert!(!report.same_age_decade);
+        assert!(!report.is_empty());
+    }
+
+    #[test]
+    fn table1_patients_1_and_2_have_no_meaningful_correspondence() {
+        let ont = clinical_fragment();
+        let [p1, p2, _] = table1::patients(&ont);
+        // Their problems' LCA is "Clinical finding" (depth 1) — below the
+        // depth-2 bar, so nothing relates.
+        let report = correspondence(&p1, &p2, &ont, 2);
+        assert!(report.is_empty());
+        // Lowering the bar to 1 admits the weak relation.
+        let weak = correspondence(&p1, &p2, &ont, 1);
+        assert_eq!(weak.related_problems.len(), 1);
+        assert_eq!(
+            weak.related_problems[0].distance,
+            5,
+            "the §V-C worked distance"
+        );
+    }
+
+    #[test]
+    fn identical_problems_are_shared_not_related() {
+        let ont = clinical_fragment();
+        let acute = ont.by_label(labels::ACUTE_BRONCHITIS).unwrap();
+        let a = PatientProfile::builder(UserId::new(0)).problem(acute).build();
+        let b = PatientProfile::builder(UserId::new(1)).problem(acute).build();
+        let report = correspondence(&a, &b, &ont, 2);
+        assert_eq!(report.shared_problems, vec![acute]);
+        assert!(report.related_problems.is_empty());
+    }
+
+    #[test]
+    fn medications_match_case_insensitively() {
+        let ont = clinical_fragment();
+        let a = PatientProfile::builder(UserId::new(0))
+            .medication("Aspirin 100 MG")
+            .build();
+        let b = PatientProfile::builder(UserId::new(1))
+            .medication("ASPIRIN 100 mg")
+            .build();
+        let report = correspondence(&a, &b, &ont, 2);
+        assert_eq!(report.shared_medications, vec!["Aspirin 100 MG"]);
+    }
+
+    #[test]
+    fn demographics() {
+        let ont = clinical_fragment();
+        let mk = |u: u32, g: Gender, age: u8| {
+            PatientProfile::builder(UserId::new(u)).gender(g).age(age).build()
+        };
+        let r = correspondence(&mk(0, Gender::Female, 41), &mk(1, Gender::Female, 47), &ont, 2);
+        assert!(r.same_gender && r.same_age_decade);
+        let r = correspondence(&mk(0, Gender::Female, 41), &mk(1, Gender::Male, 43), &ont, 2);
+        assert!(!r.same_gender && r.same_age_decade);
+        // Unknown gender never counts as a correspondence.
+        let r = correspondence(
+            &mk(0, Gender::Unknown, 20),
+            &mk(1, Gender::Unknown, 21),
+            &ont,
+            2,
+        );
+        assert!(!r.same_gender);
+    }
+
+    #[test]
+    fn related_pairs_sort_by_distance() {
+        let ont = clinical_fragment();
+        let get = |l: &str| ont.by_label(l).unwrap();
+        let a = PatientProfile::builder(UserId::new(0))
+            .problem(get(labels::ACUTE_BRONCHITIS))
+            .build();
+        let b = PatientProfile::builder(UserId::new(1))
+            .problem(get("Pneumonia"))
+            .problem(get(labels::TRACHEOBRONCHITIS))
+            .build();
+        let report = correspondence(&a, &b, &ont, 2);
+        assert_eq!(report.related_problems.len(), 2);
+        assert!(report.related_problems[0].distance <= report.related_problems[1].distance);
+        assert_eq!(report.related_problems[0].distance, 2); // tracheobronchitis
+    }
+}

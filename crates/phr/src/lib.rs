@@ -1,0 +1,35 @@
+//! Personal Health Record (PHR) substrate.
+//!
+//! The paper's platform is built around a PHR system (iPHR): *"users can
+//! record and manage their problems, medication, allergies, procedures,
+//! laboratory results etc. As soon as a new problem is selected, behind the
+//! scenes, the corresponding SNOMED-CT term is saved"* (§II). The
+//! recommendation engine consumes exactly the profile fields of Table I —
+//! problems (ontology-coded), medications, gender, procedures, age.
+//!
+//! This crate models that record:
+//!
+//! * [`PatientProfile`] / [`ProfileBuilder`] — one patient's profile,
+//!   problems held as [`ConceptId`]s into a
+//!   [`fairrec_ontology::Ontology`],
+//! * [`PhrStore`] — the per-user profile registry,
+//! * [`render_profile`] — the §V-B textification (*"we consider all the
+//!   information contained in a profile as a single document"*),
+//! * [`table1`] — the three patients of the paper's Table I as reusable
+//!   fixtures.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod correspondence;
+mod profile;
+mod store;
+pub mod table1;
+mod text;
+
+pub use correspondence::{correspondence, CorrespondenceReport, RelatedProblems};
+pub use profile::{Gender, PatientProfile, ProfileBuilder};
+pub use store::PhrStore;
+pub use text::render_profile;
+
+pub use fairrec_types::{ConceptId, UserId};

@@ -1,0 +1,209 @@
+//! Patient profiles.
+
+use fairrec_types::{ConceptId, UserId};
+
+/// Administrative gender, as recorded in the PHR (Table I carries
+/// male/female; the type is future-proofed with `Other`/`Unknown`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Gender {
+    /// Female.
+    Female,
+    /// Male.
+    Male,
+    /// Any other recorded gender.
+    Other,
+    /// Not recorded.
+    #[default]
+    Unknown,
+}
+
+impl Gender {
+    /// Lower-case token used when textifying profiles.
+    pub fn as_token(self) -> &'static str {
+        match self {
+            Self::Female => "female",
+            Self::Male => "male",
+            Self::Other => "other",
+            Self::Unknown => "unknown",
+        }
+    }
+}
+
+/// One patient's PHR profile — the fields of the paper's Table I.
+///
+/// Problems are ontology concepts (*"the corresponding SNOMED-CT term is
+/// saved at the database"*, §II); medications and procedures are free-text
+/// strings as they appear in the record.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PatientProfile {
+    /// The owning user.
+    pub user: UserId,
+    /// Ontology-coded health problems.
+    pub problems: Vec<ConceptId>,
+    /// Medication strings (e.g. `"Ramipril 10 MG Oral Capsule"`).
+    pub medications: Vec<String>,
+    /// Procedure strings.
+    pub procedures: Vec<String>,
+    /// Administrative gender.
+    pub gender: Gender,
+    /// Age in years, when recorded.
+    pub age: Option<u8>,
+    /// Free-text notes (diary entries, therapy remarks).
+    pub notes: Vec<String>,
+}
+
+impl PatientProfile {
+    /// Starts building a profile for `user`.
+    pub fn builder(user: UserId) -> ProfileBuilder {
+        ProfileBuilder {
+            profile: PatientProfile {
+                user,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Whether the profile records no clinical content at all.
+    pub fn is_clinically_empty(&self) -> bool {
+        self.problems.is_empty()
+            && self.medications.is_empty()
+            && self.procedures.is_empty()
+            && self.notes.is_empty()
+    }
+
+    /// Age bucketed to decades (`40 → "40s"`), the granularity used when
+    /// textifying profiles: exact ages would almost never match across
+    /// patients, while decades carry cohort signal.
+    pub fn age_bucket(&self) -> Option<String> {
+        self.age.map(|a| format!("{}s", (a / 10) * 10))
+    }
+}
+
+/// Fluent construction of [`PatientProfile`].
+#[derive(Debug, Clone)]
+pub struct ProfileBuilder {
+    profile: PatientProfile,
+}
+
+impl ProfileBuilder {
+    /// Adds an ontology-coded problem.
+    pub fn problem(mut self, concept: ConceptId) -> Self {
+        self.profile.problems.push(concept);
+        self
+    }
+
+    /// Adds several problems.
+    pub fn problems<I: IntoIterator<Item = ConceptId>>(mut self, concepts: I) -> Self {
+        self.profile.problems.extend(concepts);
+        self
+    }
+
+    /// Adds a medication string.
+    pub fn medication(mut self, med: impl Into<String>) -> Self {
+        self.profile.medications.push(med.into());
+        self
+    }
+
+    /// Adds a procedure string.
+    pub fn procedure(mut self, proc_: impl Into<String>) -> Self {
+        self.profile.procedures.push(proc_.into());
+        self
+    }
+
+    /// Sets the gender.
+    pub fn gender(mut self, gender: Gender) -> Self {
+        self.profile.gender = gender;
+        self
+    }
+
+    /// Sets the age.
+    pub fn age(mut self, age: u8) -> Self {
+        self.profile.age = Some(age);
+        self
+    }
+
+    /// Adds a free-text note.
+    pub fn note(mut self, note: impl Into<String>) -> Self {
+        self.profile.notes.push(note.into());
+        self
+    }
+
+    /// Finishes the profile. Problem lists are de-duplicated (a problem
+    /// recorded twice is still one problem) while preserving first-seen
+    /// order.
+    pub fn build(mut self) -> PatientProfile {
+        let mut seen = std::collections::HashSet::new();
+        self.profile.problems.retain(|c| seen.insert(*c));
+        self.profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_collects_all_fields() {
+        let p = PatientProfile::builder(UserId::new(1))
+            .problem(ConceptId::new(10))
+            .problems([ConceptId::new(11), ConceptId::new(12)])
+            .medication("Ramipril 10 MG Oral Capsule")
+            .procedure("Appendectomy")
+            .gender(Gender::Female)
+            .age(40)
+            .note("therapy going well")
+            .build();
+        assert_eq!(p.user, UserId::new(1));
+        assert_eq!(p.problems.len(), 3);
+        assert_eq!(p.medications, vec!["Ramipril 10 MG Oral Capsule"]);
+        assert_eq!(p.procedures, vec!["Appendectomy"]);
+        assert_eq!(p.gender, Gender::Female);
+        assert_eq!(p.age, Some(40));
+        assert!(!p.is_clinically_empty());
+    }
+
+    #[test]
+    fn duplicate_problems_are_dropped_preserving_order() {
+        let p = PatientProfile::builder(UserId::new(0))
+            .problems([
+                ConceptId::new(5),
+                ConceptId::new(3),
+                ConceptId::new(5),
+                ConceptId::new(7),
+            ])
+            .build();
+        assert_eq!(
+            p.problems,
+            vec![ConceptId::new(5), ConceptId::new(3), ConceptId::new(7)]
+        );
+    }
+
+    #[test]
+    fn empty_profile_is_clinically_empty() {
+        let p = PatientProfile::builder(UserId::new(2))
+            .gender(Gender::Male)
+            .age(53)
+            .build();
+        assert!(p.is_clinically_empty());
+    }
+
+    #[test]
+    fn age_buckets_to_decades() {
+        let mk = |age| PatientProfile::builder(UserId::new(0)).age(age).build();
+        assert_eq!(mk(40).age_bucket().as_deref(), Some("40s"));
+        assert_eq!(mk(49).age_bucket().as_deref(), Some("40s"));
+        assert_eq!(mk(53).age_bucket().as_deref(), Some("50s"));
+        assert_eq!(mk(7).age_bucket().as_deref(), Some("0s"));
+        let none = PatientProfile::builder(UserId::new(0)).build();
+        assert_eq!(none.age_bucket(), None);
+    }
+
+    #[test]
+    fn gender_tokens() {
+        assert_eq!(Gender::Female.as_token(), "female");
+        assert_eq!(Gender::Male.as_token(), "male");
+        assert_eq!(Gender::Other.as_token(), "other");
+        assert_eq!(Gender::Unknown.as_token(), "unknown");
+        assert_eq!(Gender::default(), Gender::Unknown);
+    }
+}

@@ -1,0 +1,145 @@
+//! The per-user profile registry.
+
+use crate::profile::PatientProfile;
+use fairrec_types::{FairrecError, Result, UserId};
+
+/// Registry of patient profiles, indexed densely by [`UserId`].
+///
+/// The recommender reads profiles far more often than the PHR writes them,
+/// so the store is a plain dense vector: O(1) lookup, cache-friendly
+/// iteration, and no locking (shared-state concurrency, where needed,
+/// wraps the whole store).
+#[derive(Debug, Default, Clone)]
+pub struct PhrStore {
+    profiles: Vec<Option<PatientProfile>>,
+}
+
+impl PhrStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Store pre-sized for `n` users.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            profiles: Vec::with_capacity(n),
+        }
+    }
+
+    /// Inserts or replaces the profile of `profile.user`. Returns the
+    /// previous profile, if any.
+    pub fn upsert(&mut self, profile: PatientProfile) -> Option<PatientProfile> {
+        let idx = profile.user.index();
+        if idx >= self.profiles.len() {
+            self.profiles.resize(idx + 1, None);
+        }
+        self.profiles[idx].replace(profile)
+    }
+
+    /// The profile of `user`, if registered.
+    pub fn get(&self, user: UserId) -> Option<&PatientProfile> {
+        self.profiles.get(user.index())?.as_ref()
+    }
+
+    /// The profile of `user`, or [`FairrecError::UnknownUser`].
+    ///
+    /// # Errors
+    /// When no profile is registered for `user`.
+    pub fn get_required(&self, user: UserId) -> Result<&PatientProfile> {
+        self.get(user).ok_or(FairrecError::UnknownUser { user })
+    }
+
+    /// Whether `user` has a profile.
+    pub fn contains(&self, user: UserId) -> bool {
+        self.get(user).is_some()
+    }
+
+    /// Number of registered profiles.
+    pub fn len(&self) -> usize {
+        self.profiles.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Whether the store has no profiles.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterator over registered profiles in user-id order.
+    pub fn iter(&self) -> impl Iterator<Item = &PatientProfile> {
+        self.profiles.iter().filter_map(|p| p.as_ref())
+    }
+
+    /// Registered user ids in order.
+    pub fn user_ids(&self) -> impl Iterator<Item = UserId> + '_ {
+        self.iter().map(|p| p.user)
+    }
+}
+
+impl FromIterator<PatientProfile> for PhrStore {
+    fn from_iter<T: IntoIterator<Item = PatientProfile>>(iter: T) -> Self {
+        let mut store = Self::new();
+        for p in iter {
+            store.upsert(p);
+        }
+        store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Gender;
+
+    fn profile(user: u32, age: u8) -> PatientProfile {
+        PatientProfile::builder(UserId::new(user))
+            .gender(Gender::Other)
+            .age(age)
+            .build()
+    }
+
+    #[test]
+    fn upsert_get_roundtrip() {
+        let mut s = PhrStore::new();
+        assert!(s.upsert(profile(3, 40)).is_none());
+        assert_eq!(s.get(UserId::new(3)).unwrap().age, Some(40));
+        assert!(s.get(UserId::new(0)).is_none());
+        assert!(s.get(UserId::new(99)).is_none());
+        assert!(s.contains(UserId::new(3)));
+    }
+
+    #[test]
+    fn upsert_replaces_and_returns_previous() {
+        let mut s = PhrStore::new();
+        s.upsert(profile(1, 30));
+        let old = s.upsert(profile(1, 31)).unwrap();
+        assert_eq!(old.age, Some(30));
+        assert_eq!(s.get(UserId::new(1)).unwrap().age, Some(31));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn get_required_errors_on_missing() {
+        let s = PhrStore::new();
+        match s.get_required(UserId::new(5)) {
+            Err(FairrecError::UnknownUser { user }) => assert_eq!(user, UserId::new(5)),
+            other => panic!("expected UnknownUser, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn iteration_is_in_user_order_and_skips_gaps() {
+        let s: PhrStore = [profile(4, 44), profile(1, 11)].into_iter().collect();
+        let ids: Vec<_> = s.user_ids().collect();
+        assert_eq!(ids, vec![UserId::new(1), UserId::new(4)]);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn empty_store() {
+        let s = PhrStore::with_capacity(10);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! The three patients of the paper's Table I, as reusable fixtures.
+//!
+//! | Patient | Problem | Medication | Gender | Age |
+//! |---|---|---|---|---|
+//! | 1 | Acute bronchitis | Ramipril 10 MG Oral Capsule | Female | 40 |
+//! | 2 | Chest pains | Niacin 500 MG Extended Release Tablet | Male | 53 |
+//! | 3 | Tracheobronchitis, Broken arm | Ramipril 10 MG Oral Capsule | Male | 34 |
+//!
+//! The fixtures are used by the `caregiver_group` example and by the tests
+//! that verify the §V-C worked example end-to-end.
+
+use crate::profile::{Gender, PatientProfile};
+use fairrec_ontology::snomed::labels;
+use fairrec_ontology::Ontology;
+use fairrec_types::UserId;
+
+/// Builds Table I's three patients against `ontology` (which must contain
+/// the curated [`clinical_fragment`](fairrec_ontology::snomed::clinical_fragment)
+/// labels), assigning them user ids 0, 1, 2.
+///
+/// # Panics
+/// Panics if `ontology` is missing any Table I concept — the fixtures are
+/// meaningless without them.
+pub fn patients(ontology: &Ontology) -> [PatientProfile; 3] {
+    let concept = |label: &str| {
+        ontology
+            .by_label(label)
+            .unwrap_or_else(|| panic!("ontology is missing Table I concept {label:?}"))
+    };
+    let patient1 = PatientProfile::builder(UserId::new(0))
+        .problem(concept(labels::ACUTE_BRONCHITIS))
+        .medication("Ramipril 10 MG Oral Capsule")
+        .gender(Gender::Female)
+        .age(40)
+        .build();
+    let patient2 = PatientProfile::builder(UserId::new(1))
+        .problem(concept(labels::CHEST_PAIN))
+        .medication("Niacin 500 MG Extended Release Tablet")
+        .gender(Gender::Male)
+        .age(53)
+        .build();
+    let patient3 = PatientProfile::builder(UserId::new(2))
+        .problem(concept(labels::TRACHEOBRONCHITIS))
+        .problem(concept(labels::BROKEN_ARM))
+        .medication("Ramipril 10 MG Oral Capsule")
+        .gender(Gender::Male)
+        .age(34)
+        .build();
+    [patient1, patient2, patient3]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairrec_ontology::snomed::clinical_fragment;
+
+    #[test]
+    fn fixtures_match_table1() {
+        let ont = clinical_fragment();
+        let [p1, p2, p3] = patients(&ont);
+        assert_eq!(p1.user, UserId::new(0));
+        assert_eq!(p1.problems.len(), 1);
+        assert_eq!(p1.gender, Gender::Female);
+        assert_eq!(p1.age, Some(40));
+        assert_eq!(p2.age, Some(53));
+        assert_eq!(p3.problems.len(), 2);
+        assert_eq!(p3.age, Some(34));
+        assert_eq!(p1.medications, p3.medications);
+        assert_ne!(p1.medications, p2.medications);
+    }
+
+    #[test]
+    fn table1_semantic_distances_via_fixtures() {
+        let ont = clinical_fragment();
+        let [p1, p2, p3] = patients(&ont);
+        // §V-C worked example, expressed through the fixtures.
+        assert_eq!(ont.path_len(p1.problems[0], p2.problems[0]), 5);
+        assert_eq!(ont.path_len(p1.problems[0], p3.problems[0]), 2);
+    }
+}

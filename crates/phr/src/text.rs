@@ -1,0 +1,113 @@
+//! Profile textification (§V-B).
+//!
+//! *"Towards exploiting user profiles, we consider all the information
+//! contained in a profile as a single document."* The rendering below is
+//! that document: problem labels are resolved through the ontology,
+//! medications/procedures/notes are included verbatim, gender becomes its
+//! token, and age is bucketed to decades (see
+//! [`PatientProfile::age_bucket`]).
+//!
+//! Field names themselves ("problem", "medication", …) are *not* emitted:
+//! they would appear in every document and only add noise for tf-idf (a
+//! ubiquitous term's idf is 0, but why pay the vocabulary slot).
+
+use crate::profile::PatientProfile;
+use fairrec_ontology::Ontology;
+
+/// Renders a profile into the single document of §V-B.
+pub fn render_profile(profile: &PatientProfile, ontology: &Ontology) -> String {
+    // Pre-size: labels + meds + procs + notes + gender + age.
+    let mut doc = String::with_capacity(128);
+    for &problem in &profile.problems {
+        push_part(&mut doc, &ontology.concept(problem).label);
+    }
+    for med in &profile.medications {
+        push_part(&mut doc, med);
+    }
+    for proc_ in &profile.procedures {
+        push_part(&mut doc, proc_);
+    }
+    push_part(&mut doc, profile.gender.as_token());
+    if let Some(bucket) = profile.age_bucket() {
+        push_part(&mut doc, &format!("age{bucket}"));
+    }
+    for note in &profile.notes {
+        push_part(&mut doc, note);
+    }
+    doc
+}
+
+fn push_part(doc: &mut String, part: &str) {
+    if part.is_empty() {
+        return;
+    }
+    if !doc.is_empty() {
+        doc.push(' ');
+    }
+    doc.push_str(part);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{Gender, PatientProfile};
+    use fairrec_ontology::snomed::{clinical_fragment, labels};
+    use fairrec_types::UserId;
+
+    #[test]
+    fn renders_table1_patient1() {
+        let ont = clinical_fragment();
+        let p = PatientProfile::builder(UserId::new(0))
+            .problem(ont.by_label(labels::ACUTE_BRONCHITIS).unwrap())
+            .medication("Ramipril 10 MG Oral Capsule")
+            .gender(Gender::Female)
+            .age(40)
+            .build();
+        let doc = render_profile(&p, &ont);
+        assert_eq!(
+            doc,
+            "Acute bronchitis Ramipril 10 MG Oral Capsule female age40s"
+        );
+    }
+
+    #[test]
+    fn empty_fields_are_skipped() {
+        let ont = clinical_fragment();
+        let p = PatientProfile::builder(UserId::new(0)).build();
+        // Only the (unknown) gender token remains.
+        assert_eq!(render_profile(&p, &ont), "unknown");
+    }
+
+    #[test]
+    fn notes_are_appended() {
+        let ont = clinical_fragment();
+        let p = PatientProfile::builder(UserId::new(0))
+            .gender(Gender::Male)
+            .note("sleeping badly after chemo")
+            .build();
+        assert_eq!(render_profile(&p, &ont), "male sleeping badly after chemo");
+    }
+
+    #[test]
+    fn shared_medication_words_overlap_across_rendered_profiles() {
+        // The §V-B pipeline depends on shared words; verify rendering makes
+        // Table I patients 1 and 3 overlap (both take Ramipril).
+        let ont = clinical_fragment();
+        let p1 = PatientProfile::builder(UserId::new(0))
+            .problem(ont.by_label(labels::ACUTE_BRONCHITIS).unwrap())
+            .medication("Ramipril 10 MG Oral Capsule")
+            .gender(Gender::Female)
+            .age(40)
+            .build();
+        let p3 = PatientProfile::builder(UserId::new(2))
+            .problem(ont.by_label(labels::TRACHEOBRONCHITIS).unwrap())
+            .problem(ont.by_label(labels::BROKEN_ARM).unwrap())
+            .medication("Ramipril 10 MG Oral Capsule")
+            .gender(Gender::Male)
+            .age(34)
+            .build();
+        let (d1, d3) = (render_profile(&p1, &ont), render_profile(&p3, &ont));
+        assert!(d1.contains("Ramipril") && d3.contains("Ramipril"));
+        assert!(d3.contains("Tracheobronchitis"));
+    }
+}

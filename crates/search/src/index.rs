@@ -1,0 +1,363 @@
+//! Inverted index with BM25 ranking.
+//!
+//! Standard Okapi BM25 (`k1 = 1.2`, `b = 0.75`) with the non-negative idf
+//! variant `ln(1 + (N − df + 0.5) / (df + 0.5))`. Title terms are indexed
+//! alongside body terms with a small boost (titles of curated medical
+//! pages are dense in diagnosis terms). Results rank by descending score
+//! with ascending item id on ties, so searches are deterministic.
+
+use crate::store::DocumentStore;
+use fairrec_text::{TermId, Tokenizer, Vocabulary};
+use fairrec_types::{ItemId, TopK};
+
+/// Title terms count this many times (body terms count once).
+const TITLE_BOOST: u32 = 2;
+const K1: f64 = 1.2;
+const B: f64 = 0.75;
+
+/// Conjunctive or disjunctive matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueryMode {
+    /// Every query term must appear in the document.
+    All,
+    /// Any query term suffices (pure BM25 ranking).
+    #[default]
+    Any,
+}
+
+/// One ranked hit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchResult {
+    /// The matching document's item id.
+    pub item: ItemId,
+    /// BM25 score (higher is better).
+    pub score: f64,
+}
+
+/// Posting: document slot + in-document term frequency.
+type Posting = (u32, u32);
+
+/// Immutable inverted index over the **approved** documents of a store.
+#[derive(Debug, Clone)]
+pub struct SearchIndex {
+    tokenizer: Tokenizer,
+    vocab: Vocabulary,
+    /// Per term: postings sorted by document slot.
+    postings: Vec<Vec<Posting>>,
+    /// Document slot → item id.
+    doc_items: Vec<ItemId>,
+    /// Document slot → token count (boosted).
+    doc_lens: Vec<u32>,
+    avg_doc_len: f64,
+}
+
+impl SearchIndex {
+    /// Indexes every approved document of `store` with the default
+    /// tokenizer.
+    pub fn build(store: &DocumentStore) -> Self {
+        Self::build_with(store, Tokenizer::new())
+    }
+
+    /// Indexes with a custom tokenizer.
+    pub fn build_with(store: &DocumentStore, tokenizer: Tokenizer) -> Self {
+        let mut vocab = Vocabulary::new();
+        let mut postings: Vec<Vec<Posting>> = Vec::new();
+        let mut doc_items = Vec::new();
+        let mut doc_lens = Vec::new();
+
+        for doc in store.approved() {
+            let slot = u32::try_from(doc_items.len()).expect("doc count fits u32");
+            doc_items.push(doc.item);
+            // term → boosted frequency for this document.
+            let mut counts: Vec<(TermId, u32)> = Vec::new();
+            let mut add = |vocab: &mut Vocabulary, text: &str, weight: u32| {
+                for token in tokenizer.tokenize(text) {
+                    let id = vocab.intern(&token);
+                    match counts.iter_mut().find(|(t, _)| *t == id) {
+                        Some((_, c)) => *c += weight,
+                        None => counts.push((id, weight)),
+                    }
+                }
+            };
+            add(&mut vocab, &doc.title, TITLE_BOOST);
+            add(&mut vocab, &doc.body, 1);
+
+            let len: u32 = counts.iter().map(|&(_, c)| c).sum();
+            doc_lens.push(len);
+            for (term, count) in counts {
+                if term as usize >= postings.len() {
+                    postings.resize(term as usize + 1, Vec::new());
+                }
+                postings[term as usize].push((slot, count));
+            }
+        }
+        let avg_doc_len = if doc_lens.is_empty() {
+            0.0
+        } else {
+            doc_lens.iter().map(|&l| f64::from(l)).sum::<f64>() / doc_lens.len() as f64
+        };
+        Self {
+            tokenizer,
+            vocab,
+            postings,
+            doc_items,
+            doc_lens,
+            avg_doc_len,
+        }
+    }
+
+    /// Number of indexed documents.
+    pub fn num_documents(&self) -> usize {
+        self.doc_items.len()
+    }
+
+    /// Number of distinct indexed terms.
+    pub fn num_terms(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Searches for `query`, returning the best `limit` hits.
+    ///
+    /// Unknown terms are ignored under [`QueryMode::Any`]; under
+    /// [`QueryMode::All`] an unknown term means no document can match.
+    pub fn search(&self, query: &str, mode: QueryMode, limit: usize) -> Vec<SearchResult> {
+        let mut terms: Vec<TermId> = self
+            .tokenizer
+            .tokenize(query)
+            .iter()
+            .filter_map(|t| self.vocab.get(t))
+            .collect();
+        let had_unknown = self.tokenizer.tokenize(query).len() > terms.len();
+        terms.sort_unstable();
+        terms.dedup();
+        if terms.is_empty() || (mode == QueryMode::All && had_unknown) {
+            return Vec::new();
+        }
+
+        let n = self.num_documents() as f64;
+        // Accumulate per-document scores and match counts.
+        let mut scores = vec![0.0f64; self.doc_items.len()];
+        let mut matches = vec![0u32; self.doc_items.len()];
+        for &term in &terms {
+            let list = &self.postings[term as usize];
+            let df = list.len() as f64;
+            let idf = (1.0 + (n - df + 0.5) / (df + 0.5)).ln();
+            for &(slot, tf) in list {
+                let tf = f64::from(tf);
+                let len_norm =
+                    K1 * (1.0 - B + B * f64::from(self.doc_lens[slot as usize]) / self.avg_doc_len);
+                scores[slot as usize] += idf * (tf * (K1 + 1.0)) / (tf + len_norm);
+                matches[slot as usize] += 1;
+            }
+        }
+
+        let required = match mode {
+            QueryMode::All => terms.len() as u32,
+            QueryMode::Any => 1,
+        };
+        let mut top = TopK::new(limit);
+        for (slot, &score) in scores.iter().enumerate() {
+            if matches[slot] >= required && score > 0.0 {
+                top.push(self.doc_items[slot], score);
+            }
+        }
+        top.into_sorted_vec()
+            .into_iter()
+            .map(|s| SearchResult {
+                item: s.item,
+                score: s.score,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{CurationStatus, StoredDocument};
+
+    fn store() -> DocumentStore {
+        let mk = |id: u32, title: &str, body: &str, status| StoredDocument {
+            item: ItemId::new(id),
+            title: title.into(),
+            body: body.into(),
+            status,
+        };
+        [
+            mk(
+                0,
+                "Managing chemotherapy side effects",
+                "chemotherapy nausea fatigue oncology patient guide",
+                CurationStatus::Approved,
+            ),
+            mk(
+                1,
+                "Diet during chemotherapy",
+                "nutrition diet appetite chemotherapy patient",
+                CurationStatus::Approved,
+            ),
+            mk(
+                2,
+                "Understanding asthma inhalers",
+                "asthma inhaler bronchial technique",
+                CurationStatus::Approved,
+            ),
+            mk(
+                3,
+                "Unreviewed miracle cure",
+                "chemotherapy miracle",
+                CurationStatus::Pending,
+            ),
+            mk(
+                4,
+                "Rejected spam",
+                "chemotherapy spam",
+                CurationStatus::Rejected,
+            ),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn only_approved_documents_are_indexed() {
+        let idx = SearchIndex::build(&store());
+        assert_eq!(idx.num_documents(), 3);
+        let hits = idx.search("chemotherapy", QueryMode::Any, 10);
+        let ids: Vec<u32> = hits.iter().map(|h| h.item.raw()).collect();
+        assert!(!ids.contains(&3), "pending doc must be invisible");
+        assert!(!ids.contains(&4), "rejected doc must be invisible");
+        assert_eq!(ids.len(), 2);
+    }
+
+    #[test]
+    fn ranking_prefers_term_dense_documents() {
+        let idx = SearchIndex::build(&store());
+        let hits = idx.search("chemotherapy diet", QueryMode::Any, 10);
+        // Doc 1 matches both terms (diet twice via title boost), doc 0 one.
+        assert_eq!(hits[0].item, ItemId::new(1));
+        assert!(hits[0].score > hits[1].score);
+    }
+
+    #[test]
+    fn title_matches_outrank_body_matches() {
+        let mk = |id: u32, title: &str, body: &str| StoredDocument {
+            item: ItemId::new(id),
+            title: title.into(),
+            body: body.into(),
+            status: CurationStatus::Approved,
+        };
+        let store: DocumentStore = [
+            mk(0, "asthma guide", "general information and tips"),
+            mk(1, "general guide", "asthma information and tips"),
+        ]
+        .into_iter()
+        .collect();
+        let idx = SearchIndex::build(&store);
+        let hits = idx.search("asthma", QueryMode::Any, 2);
+        assert_eq!(hits[0].item, ItemId::new(0));
+    }
+
+    #[test]
+    fn all_mode_requires_every_term() {
+        let idx = SearchIndex::build(&store());
+        let any = idx.search("chemotherapy asthma", QueryMode::Any, 10);
+        assert_eq!(any.len(), 3);
+        let all = idx.search("chemotherapy asthma", QueryMode::All, 10);
+        assert!(all.is_empty(), "no document has both terms");
+        let all2 = idx.search("chemotherapy patient", QueryMode::All, 10);
+        assert_eq!(all2.len(), 2);
+    }
+
+    #[test]
+    fn unknown_terms() {
+        let idx = SearchIndex::build(&store());
+        assert!(idx.search("zzz", QueryMode::Any, 5).is_empty());
+        // Unknown term is fatal under All…
+        assert!(idx.search("chemotherapy zzz", QueryMode::All, 5).is_empty());
+        // …and ignored under Any.
+        assert_eq!(idx.search("chemotherapy zzz", QueryMode::Any, 5).len(), 2);
+    }
+
+    #[test]
+    fn limit_and_determinism() {
+        let idx = SearchIndex::build(&store());
+        let one = idx.search("patient", QueryMode::Any, 1);
+        assert_eq!(one.len(), 1);
+        let again = idx.search("patient", QueryMode::Any, 1);
+        assert_eq!(one, again);
+    }
+
+    #[test]
+    fn empty_index_and_empty_query() {
+        let idx = SearchIndex::build(&DocumentStore::new());
+        assert_eq!(idx.num_documents(), 0);
+        assert!(idx.search("anything", QueryMode::Any, 5).is_empty());
+        let idx = SearchIndex::build(&store());
+        assert!(idx.search("", QueryMode::Any, 5).is_empty());
+        assert!(idx.search("the of", QueryMode::Any, 5).is_empty()); // stopwords
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::store::{CurationStatus, StoredDocument};
+    use proptest::prelude::*;
+
+    fn arb_store() -> impl Strategy<Value = DocumentStore> {
+        let word = proptest::sample::select(vec![
+            "pain", "cancer", "diet", "sleep", "drug", "dose", "heart", "lung",
+        ]);
+        proptest::collection::vec(proptest::collection::vec(word, 1..12), 1..12).prop_map(
+            |docs| {
+                docs.into_iter()
+                    .enumerate()
+                    .map(|(id, words)| StoredDocument {
+                        item: fairrec_types::ItemId::new(id as u32),
+                        title: words.first().map(|w| w.to_string()).unwrap_or_default(),
+                        body: words.join(" "),
+                        status: CurationStatus::Approved,
+                    })
+                    .collect()
+            },
+        )
+    }
+
+    proptest! {
+        /// Every hit actually contains at least one query term, and All ⊆ Any.
+        #[test]
+        fn hits_contain_query_terms(store in arb_store(), q in "(pain|cancer|diet)( (pain|cancer|diet))?") {
+            let idx = SearchIndex::build(&store);
+            let any = idx.search(&q, QueryMode::Any, 100);
+            let all = idx.search(&q, QueryMode::All, 100);
+            let terms: Vec<&str> = q.split(' ').collect();
+            for hit in &any {
+                let doc = store.get(hit.item).unwrap();
+                let text = format!("{} {}", doc.title, doc.body);
+                prop_assert!(terms.iter().any(|t| text.contains(t)));
+                prop_assert!(hit.score > 0.0);
+            }
+            let any_ids: Vec<_> = any.iter().map(|h| h.item).collect();
+            for hit in &all {
+                prop_assert!(any_ids.contains(&hit.item), "All must be a subset of Any");
+                let doc = store.get(hit.item).unwrap();
+                let text = format!("{} {}", doc.title, doc.body);
+                prop_assert!(terms.iter().all(|t| text.contains(t)));
+            }
+        }
+
+        /// Scores are sorted descending with deterministic ties.
+        #[test]
+        fn results_are_ranked(store in arb_store()) {
+            let idx = SearchIndex::build(&store);
+            let hits = idx.search("pain cancer diet sleep", QueryMode::Any, 100);
+            for w in hits.windows(2) {
+                prop_assert!(
+                    w[0].score > w[1].score
+                        || (w[0].score == w[1].score && w[0].item < w[1].item)
+                );
+            }
+        }
+    }
+}

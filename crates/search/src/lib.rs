@@ -1,0 +1,25 @@
+//! Expert-curated health document search engine.
+//!
+//! §II of the paper: *"Via the available app, users can use a search
+//! engine to find useful documents selected by the experts and then, can
+//! rate the individual results."* The search engine is the front door of
+//! the platform — ratings (the recommender's fuel) are collected on its
+//! result lists — so a faithful reproduction needs one.
+//!
+//! * [`DocumentStore`] — curated documents with expert-approval state
+//!   (mirroring HONcode-style curation the paper discusses in §VII),
+//! * [`SearchIndex`] — an inverted index over title+body with BM25
+//!   ranking and conjunctive/disjunctive query modes,
+//! * [`SearchResult`] — ranked hits, deterministic tie-breaking.
+//!
+//! Only approved documents are searchable — *"giving medical experts the
+//! chance to control the information that is given"* (§I, goal 2).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod index;
+mod store;
+
+pub use index::{QueryMode, SearchIndex, SearchResult};
+pub use store::{CurationStatus, DocumentStore, StoredDocument};

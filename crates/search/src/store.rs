@@ -1,0 +1,154 @@
+//! The curated document store.
+
+use fairrec_types::{FairrecError, ItemId, Result};
+
+/// Expert-curation state of a document (§I goal 2: experts control what
+/// patients can be shown).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CurationStatus {
+    /// Submitted, not yet reviewed — not searchable.
+    #[default]
+    Pending,
+    /// Approved by a medical expert — searchable.
+    Approved,
+    /// Rejected — never searchable.
+    Rejected,
+}
+
+/// One curated document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredDocument {
+    /// Item id, aligned with the rating matrix.
+    pub item: ItemId,
+    /// Title.
+    pub title: String,
+    /// Body text.
+    pub body: String,
+    /// Curation state.
+    pub status: CurationStatus,
+}
+
+/// Registry of documents, indexed densely by [`ItemId`].
+#[derive(Debug, Default, Clone)]
+pub struct DocumentStore {
+    docs: Vec<Option<StoredDocument>>,
+}
+
+impl DocumentStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts or replaces a document; returns the previous version.
+    pub fn upsert(&mut self, doc: StoredDocument) -> Option<StoredDocument> {
+        let idx = doc.item.index();
+        if idx >= self.docs.len() {
+            self.docs.resize(idx + 1, None);
+        }
+        self.docs[idx].replace(doc)
+    }
+
+    /// The document for `item`, if registered.
+    pub fn get(&self, item: ItemId) -> Option<&StoredDocument> {
+        self.docs.get(item.index())?.as_ref()
+    }
+
+    /// The document, or an [`FairrecError::UnknownItem`] error.
+    ///
+    /// # Errors
+    /// When `item` is not registered.
+    pub fn get_required(&self, item: ItemId) -> Result<&StoredDocument> {
+        self.get(item).ok_or(FairrecError::UnknownItem { item })
+    }
+
+    /// Sets the curation status of an item.
+    ///
+    /// # Errors
+    /// [`FairrecError::UnknownItem`] when the item is not registered.
+    pub fn set_status(&mut self, item: ItemId, status: CurationStatus) -> Result<()> {
+        let doc = self
+            .docs
+            .get_mut(item.index())
+            .and_then(|d| d.as_mut())
+            .ok_or(FairrecError::UnknownItem { item })?;
+        doc.status = status;
+        Ok(())
+    }
+
+    /// Number of registered documents.
+    pub fn len(&self) -> usize {
+        self.docs.iter().filter(|d| d.is_some()).count()
+    }
+
+    /// Whether no documents are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All registered documents, ascending by item id.
+    pub fn iter(&self) -> impl Iterator<Item = &StoredDocument> {
+        self.docs.iter().filter_map(|d| d.as_ref())
+    }
+
+    /// Approved documents only — the searchable subset.
+    pub fn approved(&self) -> impl Iterator<Item = &StoredDocument> {
+        self.iter().filter(|d| d.status == CurationStatus::Approved)
+    }
+}
+
+impl FromIterator<StoredDocument> for DocumentStore {
+    fn from_iter<T: IntoIterator<Item = StoredDocument>>(iter: T) -> Self {
+        let mut store = Self::new();
+        for d in iter {
+            store.upsert(d);
+        }
+        store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(id: u32, status: CurationStatus) -> StoredDocument {
+        StoredDocument {
+            item: ItemId::new(id),
+            title: format!("Doc {id}"),
+            body: "body".into(),
+            status,
+        }
+    }
+
+    #[test]
+    fn upsert_get_roundtrip() {
+        let mut s = DocumentStore::new();
+        assert!(s.upsert(doc(3, CurationStatus::Approved)).is_none());
+        assert_eq!(s.get(ItemId::new(3)).unwrap().title, "Doc 3");
+        assert!(s.get(ItemId::new(0)).is_none());
+        assert!(s.get_required(ItemId::new(9)).is_err());
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn status_transitions() {
+        let mut s = DocumentStore::new();
+        s.upsert(doc(1, CurationStatus::Pending));
+        assert_eq!(s.approved().count(), 0);
+        s.set_status(ItemId::new(1), CurationStatus::Approved).unwrap();
+        assert_eq!(s.approved().count(), 1);
+        s.set_status(ItemId::new(1), CurationStatus::Rejected).unwrap();
+        assert_eq!(s.approved().count(), 0);
+        assert!(s.set_status(ItemId::new(5), CurationStatus::Approved).is_err());
+    }
+
+    #[test]
+    fn iteration_in_item_order() {
+        let s: DocumentStore = [doc(4, CurationStatus::Approved), doc(1, CurationStatus::Pending)]
+            .into_iter()
+            .collect();
+        let ids: Vec<u32> = s.iter().map(|d| d.item.raw()).collect();
+        assert_eq!(ids, vec![1, 4]);
+        assert!(!s.is_empty());
+    }
+}

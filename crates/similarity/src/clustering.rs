@@ -1,0 +1,353 @@
+//! User clustering for fast peer pre-selection (extension).
+//!
+//! The paper's related work (§VII, its ref. [17]) pre-partitions users
+//! into clusters of similar users and draws recommendations from cluster
+//! members instead of scanning the full user base. This module implements
+//! that design: seeded **k-medoids** over any [`UserSimilarity`] (distance
+//! `1 − sim`, undefined pairs maximally distant) plus a
+//! [`ClusteredPeerSelector`] that restricts Definition 1's peer search to
+//! the query user's own cluster.
+//!
+//! The trade-off quantified by experiment A6 (`fairrec-bench --bin
+//! clustering_peers`): peer search drops from O(|U|) to O(|cluster|)
+//! similarity evaluations per user, in exchange for missing cross-cluster
+//! peers.
+//!
+//! Measures with negative ranges (Pearson) should be wrapped in
+//! [`Rescale01`](crate::Rescale01) first so `1 − sim` is a proper
+//! dissimilarity in `[0, 1]`.
+
+use crate::peers::{PeerSelector, Peers};
+use crate::UserSimilarity;
+use fairrec_types::{FairrecError, Result, UserId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// K-medoids configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KMedoids {
+    /// Number of clusters (≥ 1).
+    pub k: usize,
+    /// Maximum refinement iterations.
+    pub max_iters: usize,
+    /// RNG seed for medoid initialisation.
+    pub seed: u64,
+}
+
+impl Default for KMedoids {
+    fn default() -> Self {
+        Self {
+            k: 8,
+            max_iters: 20,
+            seed: 42,
+        }
+    }
+}
+
+/// A fitted clustering of a user universe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    users: Vec<UserId>,
+    /// Parallel to `users`: cluster index per user.
+    assignment: Vec<u32>,
+    medoids: Vec<UserId>,
+}
+
+impl Clustering {
+    /// The cluster medoids.
+    pub fn medoids(&self) -> &[UserId] {
+        &self.medoids
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.medoids.len()
+    }
+
+    /// The cluster index of `user`, if the user was part of the universe.
+    pub fn cluster_of(&self, user: UserId) -> Option<u32> {
+        let slot = self.users.binary_search(&user).ok()?;
+        Some(self.assignment[slot])
+    }
+
+    /// All members of one cluster, ascending.
+    pub fn members_of(&self, cluster: u32) -> Vec<UserId> {
+        self.users
+            .iter()
+            .zip(&self.assignment)
+            .filter(|&(_, &c)| c == cluster)
+            .map(|(&u, _)| u)
+            .collect()
+    }
+
+    /// Cluster sizes, indexed by cluster id.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.medoids.len()];
+        for &c in &self.assignment {
+            sizes[c as usize] += 1;
+        }
+        sizes
+    }
+}
+
+impl KMedoids {
+    /// Clusters `universe` under `measure`.
+    ///
+    /// # Errors
+    /// [`FairrecError::InvalidParameter`] when `k == 0` or the universe is
+    /// empty. `k` larger than the universe is clamped.
+    pub fn fit<S: UserSimilarity>(
+        &self,
+        measure: &S,
+        universe: impl IntoIterator<Item = UserId>,
+    ) -> Result<Clustering> {
+        if self.k == 0 {
+            return Err(FairrecError::invalid_parameter("k", "need at least 1 cluster"));
+        }
+        let mut users: Vec<UserId> = universe.into_iter().collect();
+        users.sort_unstable();
+        users.dedup();
+        if users.is_empty() {
+            return Err(FairrecError::invalid_parameter(
+                "universe",
+                "cannot cluster zero users",
+            ));
+        }
+        let k = self.k.min(users.len());
+        let distance = |a: UserId, b: UserId| -> f64 {
+            if a == b {
+                0.0
+            } else {
+                1.0 - measure.similarity(a, b).unwrap_or(0.0)
+            }
+        };
+
+        // Seeded random initial medoids.
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut medoids: Vec<UserId> = {
+            let mut pool = users.clone();
+            pool.shuffle(&mut rng);
+            pool.truncate(k);
+            pool.sort_unstable();
+            pool
+        };
+
+        let mut assignment = vec![0u32; users.len()];
+        for _ in 0..self.max_iters {
+            // Assignment step: nearest medoid, ties to the lowest index.
+            for (slot, &u) in users.iter().enumerate() {
+                let mut best = (0u32, f64::INFINITY);
+                for (c, &m) in medoids.iter().enumerate() {
+                    let d = distance(u, m);
+                    if d < best.1 {
+                        best = (c as u32, d);
+                    }
+                }
+                assignment[slot] = best.0;
+            }
+            // Update step: medoid = member minimising total in-cluster
+            // distance (ties to the smallest user id via iteration order).
+            let mut changed = false;
+            for (c, medoid) in medoids.iter_mut().enumerate() {
+                let members: Vec<UserId> = users
+                    .iter()
+                    .zip(&assignment)
+                    .filter(|&(_, &a)| a == c as u32)
+                    .map(|(&u, _)| u)
+                    .collect();
+                if members.is_empty() {
+                    continue; // keep the old medoid for empty clusters
+                }
+                let mut best = (*medoid, f64::INFINITY);
+                for &candidate in &members {
+                    let total: f64 = members.iter().map(|&m| distance(candidate, m)).sum();
+                    if total < best.1 {
+                        best = (candidate, total);
+                    }
+                }
+                if best.0 != *medoid {
+                    *medoid = best.0;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Final assignment against the converged medoids.
+        for (slot, &u) in users.iter().enumerate() {
+            let mut best = (0u32, f64::INFINITY);
+            for (c, &m) in medoids.iter().enumerate() {
+                let d = distance(u, m);
+                if d < best.1 {
+                    best = (c as u32, d);
+                }
+            }
+            assignment[slot] = best.0;
+        }
+        Ok(Clustering {
+            users,
+            assignment,
+            medoids,
+        })
+    }
+}
+
+/// Peer selection restricted to the query user's cluster — the ref. [17]
+/// acceleration.
+#[derive(Debug, Clone)]
+pub struct ClusteredPeerSelector {
+    selector: PeerSelector,
+    clustering: Clustering,
+}
+
+impl ClusteredPeerSelector {
+    /// Wraps a base selector with a fitted clustering.
+    pub fn new(selector: PeerSelector, clustering: Clustering) -> Self {
+        Self {
+            selector,
+            clustering,
+        }
+    }
+
+    /// The underlying clustering.
+    pub fn clustering(&self) -> &Clustering {
+        &self.clustering
+    }
+
+    /// Peers of `u` among `u`'s cluster members only. Users outside the
+    /// clustered universe get no peers.
+    pub fn peers_of<S: UserSimilarity>(
+        &self,
+        measure: &S,
+        u: UserId,
+        exclude: &[UserId],
+    ) -> Peers {
+        match self.clustering.cluster_of(u) {
+            Some(cluster) => {
+                self.selector
+                    .peers_of(measure, u, self.clustering.members_of(cluster), exclude)
+            }
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Block-diagonal similarity: users 0–4 and 5–9 form two tight groups.
+    struct TwoBlocks;
+    impl UserSimilarity for TwoBlocks {
+        fn similarity(&self, u: UserId, v: UserId) -> Option<f64> {
+            let (a, b) = (u.raw() / 5, v.raw() / 5);
+            Some(if a == b { 0.9 } else { 0.1 })
+        }
+        fn name(&self) -> &'static str {
+            "two-blocks"
+        }
+    }
+
+    fn universe(n: u32) -> Vec<UserId> {
+        (0..n).map(UserId::new).collect()
+    }
+
+    #[test]
+    fn recovers_block_structure() {
+        let clustering = KMedoids {
+            k: 2,
+            max_iters: 10,
+            seed: 3,
+        }
+        .fit(&TwoBlocks, universe(10))
+        .unwrap();
+        assert_eq!(clustering.num_clusters(), 2);
+        // All of 0–4 share a cluster; all of 5–9 share the other.
+        let c0 = clustering.cluster_of(UserId::new(0)).unwrap();
+        for u in 1..5 {
+            assert_eq!(clustering.cluster_of(UserId::new(u)), Some(c0));
+        }
+        let c5 = clustering.cluster_of(UserId::new(5)).unwrap();
+        assert_ne!(c0, c5);
+        for u in 6..10 {
+            assert_eq!(clustering.cluster_of(UserId::new(u)), Some(c5));
+        }
+        assert_eq!(clustering.sizes(), vec![5, 5]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = KMedoids {
+            k: 3,
+            max_iters: 10,
+            seed: 7,
+        };
+        let a = cfg.fit(&TwoBlocks, universe(10)).unwrap();
+        let b = cfg.fit(&TwoBlocks, universe(10)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn k_clamped_to_universe() {
+        let clustering = KMedoids {
+            k: 50,
+            max_iters: 5,
+            seed: 1,
+        }
+        .fit(&TwoBlocks, universe(4))
+        .unwrap();
+        assert_eq!(clustering.num_clusters(), 4);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(KMedoids {
+            k: 0,
+            max_iters: 5,
+            seed: 1
+        }
+        .fit(&TwoBlocks, universe(5))
+        .is_err());
+        assert!(KMedoids::default().fit(&TwoBlocks, []).is_err());
+    }
+
+    #[test]
+    fn clustered_peers_stay_in_cluster() {
+        let clustering = KMedoids {
+            k: 2,
+            max_iters: 10,
+            seed: 3,
+        }
+        .fit(&TwoBlocks, universe(10))
+        .unwrap();
+        let selector = ClusteredPeerSelector::new(PeerSelector::new(0.0).unwrap(), clustering);
+        let peers = selector.peers_of(&TwoBlocks, UserId::new(2), &[]);
+        assert_eq!(peers.len(), 4, "own block minus self");
+        for &(p, s) in &peers {
+            assert!(p.raw() < 5, "peer {p} escaped the cluster");
+            assert!((s - 0.9).abs() < 1e-12);
+        }
+        // Excludes work inside the cluster too.
+        let peers = selector.peers_of(&TwoBlocks, UserId::new(2), &[UserId::new(0)]);
+        assert_eq!(peers.len(), 3);
+        // Users outside the universe get nothing.
+        let peers = selector.peers_of(&TwoBlocks, UserId::new(99), &[]);
+        assert!(peers.is_empty());
+    }
+
+    #[test]
+    fn duplicate_universe_entries_are_deduplicated() {
+        let mut us = universe(6);
+        us.extend(universe(6));
+        let clustering = KMedoids {
+            k: 2,
+            max_iters: 5,
+            seed: 2,
+        }
+        .fit(&TwoBlocks, us)
+        .unwrap();
+        assert_eq!(clustering.sizes().iter().sum::<usize>(), 6);
+    }
+}

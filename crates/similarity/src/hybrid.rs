@@ -1,0 +1,209 @@
+//! Weighted combination of similarity measures.
+//!
+//! §V motivates using health-related signals *"in addition to the
+//! traditional ratings"*. [`HybridSimilarity`] combines any set of
+//! measures by weighted average over the measures that are *defined* for
+//! the pair; if none is defined, the hybrid is undefined too. Weights are
+//! renormalised over the defined subset, so a pair with no co-rated items
+//! still gets a fully-weighted profile/semantic opinion instead of a
+//! silently halved score.
+//!
+//! Pearson lives in `[-1, 1]` while the other measures live in `[0, 1]`;
+//! wrap it in [`Rescale01`] before mixing so the scales are commensurable.
+
+use crate::UserSimilarity;
+use fairrec_types::UserId;
+
+/// Affine rescaling of a `[-1, 1]` measure into `[0, 1]`.
+#[derive(Debug, Clone)]
+pub struct Rescale01<S> {
+    inner: S,
+}
+
+impl<S> Rescale01<S> {
+    /// Wraps `inner`.
+    pub fn new(inner: S) -> Self {
+        Self { inner }
+    }
+}
+
+impl<S: UserSimilarity> UserSimilarity for Rescale01<S> {
+    fn similarity(&self, u: UserId, v: UserId) -> Option<f64> {
+        self.inner.similarity(u, v).map(|s| (s + 1.0) / 2.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "rescaled-01"
+    }
+}
+
+/// Weighted combination of boxed measures.
+pub struct HybridSimilarity<'a> {
+    components: Vec<(Box<dyn UserSimilarity + 'a>, f64)>,
+}
+
+impl std::fmt::Debug for HybridSimilarity<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let parts: Vec<String> = self
+            .components
+            .iter()
+            .map(|(m, w)| format!("{}×{w}", m.name()))
+            .collect();
+        write!(f, "HybridSimilarity[{}]", parts.join(", "))
+    }
+}
+
+impl<'a> HybridSimilarity<'a> {
+    /// Starts an empty hybrid.
+    pub fn new() -> Self {
+        Self {
+            components: Vec::new(),
+        }
+    }
+
+    /// Adds a component with the given non-negative weight. Zero-weight
+    /// components are accepted but never influence the result.
+    ///
+    /// # Panics
+    /// Panics if `weight` is negative or non-finite — weights are
+    /// experiment constants, not data.
+    pub fn with(mut self, measure: impl UserSimilarity + 'a, weight: f64) -> Self {
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "weights must be finite and non-negative, got {weight}"
+        );
+        self.components.push((Box::new(measure), weight));
+        self
+    }
+
+    /// Number of component measures.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether the hybrid has no components.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+}
+
+impl Default for HybridSimilarity<'_> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl UserSimilarity for HybridSimilarity<'_> {
+    fn similarity(&self, u: UserId, v: UserId) -> Option<f64> {
+        let mut weighted_sum = 0.0;
+        let mut weight_total = 0.0;
+        for (measure, weight) in &self.components {
+            if *weight == 0.0 {
+                continue;
+            }
+            if let Some(s) = measure.similarity(u, v) {
+                weighted_sum += weight * s;
+                weight_total += weight;
+            }
+        }
+        (weight_total > 0.0).then(|| weighted_sum / weight_total)
+    }
+
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Constant test measure: defined only for pairs whose raw ids are both
+    /// below `cutoff`.
+    struct Fixed {
+        value: f64,
+        cutoff: u32,
+    }
+
+    impl UserSimilarity for Fixed {
+        fn similarity(&self, u: UserId, v: UserId) -> Option<f64> {
+            (u.raw() < self.cutoff && v.raw() < self.cutoff).then_some(self.value)
+        }
+
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+    }
+
+    #[test]
+    fn weighted_average_of_defined_components() {
+        let h = HybridSimilarity::new()
+            .with(Fixed { value: 1.0, cutoff: 10 }, 3.0)
+            .with(Fixed { value: 0.0, cutoff: 10 }, 1.0);
+        let s = h.similarity(UserId::new(0), UserId::new(1)).unwrap();
+        assert!((s - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_renormalise_over_defined_subset() {
+        let h = HybridSimilarity::new()
+            .with(Fixed { value: 0.8, cutoff: 10 }, 1.0)
+            .with(Fixed { value: 0.0, cutoff: 1 }, 9.0); // undefined for u1
+        let s = h.similarity(UserId::new(0), UserId::new(1)).unwrap();
+        assert!((s - 0.8).abs() < 1e-12, "undefined component must not dilute");
+    }
+
+    #[test]
+    fn undefined_when_all_components_undefined() {
+        let h = HybridSimilarity::new().with(Fixed { value: 0.5, cutoff: 1 }, 1.0);
+        assert_eq!(h.similarity(UserId::new(5), UserId::new(6)), None);
+    }
+
+    #[test]
+    fn empty_hybrid_is_always_undefined() {
+        let h = HybridSimilarity::new();
+        assert!(h.is_empty());
+        assert_eq!(h.similarity(UserId::new(0), UserId::new(1)), None);
+    }
+
+    #[test]
+    fn zero_weight_components_are_ignored() {
+        let h = HybridSimilarity::new()
+            .with(Fixed { value: 0.2, cutoff: 10 }, 1.0)
+            .with(Fixed { value: 1.0, cutoff: 10 }, 0.0);
+        let s = h.similarity(UserId::new(0), UserId::new(1)).unwrap();
+        assert!((s - 0.2).abs() < 1e-12);
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weights_panic() {
+        let _ = HybridSimilarity::new().with(Fixed { value: 0.2, cutoff: 1 }, -1.0);
+    }
+
+    #[test]
+    fn rescale01_maps_pearson_range() {
+        struct Pear(f64);
+        impl UserSimilarity for Pear {
+            fn similarity(&self, _: UserId, _: UserId) -> Option<f64> {
+                Some(self.0)
+            }
+            fn name(&self) -> &'static str {
+                "pear"
+            }
+        }
+        let r = Rescale01::new(Pear(-1.0));
+        assert_eq!(r.similarity(UserId::new(0), UserId::new(1)), Some(0.0));
+        let r = Rescale01::new(Pear(1.0));
+        assert_eq!(r.similarity(UserId::new(0), UserId::new(1)), Some(1.0));
+        let r = Rescale01::new(Pear(0.0));
+        assert_eq!(r.similarity(UserId::new(0), UserId::new(1)), Some(0.5));
+    }
+
+    #[test]
+    fn debug_lists_components() {
+        let h = HybridSimilarity::new().with(Fixed { value: 0.1, cutoff: 1 }, 2.0);
+        assert!(format!("{h:?}").contains("fixed×2"));
+    }
+}

@@ -1,0 +1,70 @@
+//! User similarity measures (§V of the paper).
+//!
+//! Collaborative filtering stands or falls with the choice of similar
+//! users. The paper proposes three measures and this crate implements all
+//! of them behind one object-safe trait, [`UserSimilarity`]:
+//!
+//! * [`RatingsSimilarity`] — `RS(u, u′)`: Pearson correlation over co-rated
+//!   items (Equation 2),
+//! * [`ProfileSimilarity`] — `CS(u, u′)`: cosine similarity of tf-idf
+//!   profile vectors (§V-B, Equation 3),
+//! * [`SemanticSimilarity`] — `SS(u, u′)`: harmonic mean of pairwise
+//!   ontology-path similarities between the users' health problems
+//!   (§V-C, Equation 4),
+//! * [`HybridSimilarity`] — a weighted combination (the paper exploits
+//!   health-related information *"in addition to the traditional
+//!   ratings"*; the hybrid is the natural way to use several signals at
+//!   once),
+//! * [`PeerSelector`] — Definition 1: `P_u = {u′ ∈ U : simU(u, u′) ≥ δ}`.
+//!
+//! A similarity may be *undefined* for a pair (no co-rated items, empty
+//! profiles, no recorded problems); measures return `Option<f64>` and
+//! undefined pairs simply never become peers.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod clustering;
+mod hybrid;
+mod peers;
+mod profile;
+mod ratings;
+mod semantic;
+
+pub use clustering::{ClusteredPeerSelector, Clustering, KMedoids};
+pub use hybrid::{HybridSimilarity, Rescale01};
+pub use peers::{PeerSelector, Peers};
+pub use profile::ProfileSimilarity;
+pub use ratings::RatingsSimilarity;
+pub use semantic::SemanticSimilarity;
+
+use fairrec_types::UserId;
+
+/// An object-safe user-to-user similarity measure `simU`.
+pub trait UserSimilarity {
+    /// Similarity of `u` and `v`, or `None` when undefined for this pair.
+    fn similarity(&self, u: UserId, v: UserId) -> Option<f64>;
+
+    /// Short name for reports and benchmark labels.
+    fn name(&self) -> &'static str;
+}
+
+impl<T: UserSimilarity + ?Sized> UserSimilarity for &T {
+    fn similarity(&self, u: UserId, v: UserId) -> Option<f64> {
+        (**self).similarity(u, v)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+impl<T: UserSimilarity + ?Sized> UserSimilarity for Box<T> {
+    fn similarity(&self, u: UserId, v: UserId) -> Option<f64> {
+        (**self).similarity(u, v)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}

@@ -1,0 +1,203 @@
+//! Peer selection (Definition 1).
+//!
+//! *"The peers `P_u` of a user `u ∈ U` consists of all those users
+//! `u′ ∈ U` which are similar to `u` w.r.t. a similarity function
+//! `simU(u, u′)` and a threshold `δ`."*
+//!
+//! Besides the plain threshold the selector supports an optional cap on
+//! the number of peers (keep only the `max_peers` most similar) — the
+//! standard kNN variant used when δ alone admits too many weak neighbours.
+//! Group queries exclude the group's own members from each other's peer
+//! sets, mirroring MapReduce Job 1, which only pairs members with
+//! *non-members*.
+
+use crate::UserSimilarity;
+use fairrec_types::{FairrecError, Result, UserId};
+
+/// One user's peer list: `(peer, simU)` sorted by descending similarity,
+/// ties broken by ascending user id.
+pub type Peers = Vec<(UserId, f64)>;
+
+/// Threshold-based peer selection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeerSelector {
+    /// Similarity threshold δ of Definition 1.
+    pub delta: f64,
+    /// Optional cap: keep only the most similar `max_peers`.
+    pub max_peers: Option<usize>,
+}
+
+impl PeerSelector {
+    /// Selector with threshold `delta` and no cap.
+    ///
+    /// # Errors
+    /// Rejects a non-finite `delta`.
+    pub fn new(delta: f64) -> Result<Self> {
+        if !delta.is_finite() {
+            return Err(FairrecError::invalid_parameter(
+                "delta",
+                format!("threshold must be finite, got {delta}"),
+            ));
+        }
+        Ok(Self {
+            delta,
+            max_peers: None,
+        })
+    }
+
+    /// Caps the number of peers.
+    pub fn with_max_peers(mut self, max_peers: usize) -> Self {
+        self.max_peers = Some(max_peers);
+        self
+    }
+
+    /// Peers of `u` within `universe` (typically all users), excluding `u`
+    /// itself and any id in `exclude`.
+    pub fn peers_of<S: UserSimilarity>(
+        &self,
+        measure: &S,
+        u: UserId,
+        universe: impl IntoIterator<Item = UserId>,
+        exclude: &[UserId],
+    ) -> Peers {
+        let mut peers: Peers = universe
+            .into_iter()
+            .filter(|&v| v != u && !exclude.contains(&v))
+            .filter_map(|v| {
+                measure
+                    .similarity(u, v)
+                    .filter(|&s| s >= self.delta)
+                    .map(|s| (v, s))
+            })
+            .collect();
+        // Descending similarity, ascending id on ties — deterministic.
+        peers.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("similarities are finite")
+                .then(a.0.cmp(&b.0))
+        });
+        if let Some(cap) = self.max_peers {
+            peers.truncate(cap);
+        }
+        peers
+    }
+
+    /// Peer lists for every member of `group`, excluding fellow members
+    /// (the Job 1 pairing rule).
+    pub fn peers_for_group<S: UserSimilarity>(
+        &self,
+        measure: &S,
+        group: &[UserId],
+        universe: impl IntoIterator<Item = UserId> + Clone,
+    ) -> Vec<(UserId, Peers)> {
+        group
+            .iter()
+            .map(|&member| {
+                (
+                    member,
+                    self.peers_of(measure, member, universe.clone(), group),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Similarity fixed by a dense table; `None` where negative.
+    struct Table(Vec<Vec<f64>>);
+
+    impl UserSimilarity for Table {
+        fn similarity(&self, u: UserId, v: UserId) -> Option<f64> {
+            let s = *self.0.get(u.index())?.get(v.index())?;
+            (s >= 0.0).then_some(s)
+        }
+        fn name(&self) -> &'static str {
+            "table"
+        }
+    }
+
+    fn users(n: u32) -> Vec<UserId> {
+        (0..n).map(UserId::new).collect()
+    }
+
+    #[test]
+    fn threshold_filters_and_sorts_descending() {
+        let m = Table(vec![
+            vec![1.0, 0.9, 0.2, 0.9, 0.5],
+            vec![0.9, 1.0, 0.0, 0.0, 0.0],
+            vec![0.2, 0.0, 1.0, 0.0, 0.0],
+            vec![0.9, 0.0, 0.0, 1.0, 0.0],
+            vec![0.5, 0.0, 0.0, 0.0, 1.0],
+        ]);
+        let sel = PeerSelector::new(0.5).unwrap();
+        let peers = sel.peers_of(&m, UserId::new(0), users(5), &[]);
+        // 0.9 tie between u1 and u3 resolved by id; u4 at 0.5 included
+        // (threshold is ≥); u2 at 0.2 excluded; self excluded.
+        assert_eq!(
+            peers,
+            vec![
+                (UserId::new(1), 0.9),
+                (UserId::new(3), 0.9),
+                (UserId::new(4), 0.5)
+            ]
+        );
+    }
+
+    #[test]
+    fn undefined_similarities_never_qualify() {
+        let m = Table(vec![vec![1.0, -1.0], vec![-1.0, 1.0]]);
+        let sel = PeerSelector::new(-10.0).unwrap(); // admit anything defined
+        let peers = sel.peers_of(&m, UserId::new(0), users(2), &[]);
+        assert!(peers.is_empty());
+    }
+
+    #[test]
+    fn max_peers_caps_after_sorting() {
+        let m = Table(vec![
+            vec![1.0, 0.3, 0.8, 0.6],
+            vec![0.3, 1.0, 0.0, 0.0],
+            vec![0.8, 0.0, 1.0, 0.0],
+            vec![0.6, 0.0, 0.0, 1.0],
+        ]);
+        let sel = PeerSelector::new(0.0).unwrap().with_max_peers(2);
+        let peers = sel.peers_of(&m, UserId::new(0), users(4), &[]);
+        assert_eq!(peers, vec![(UserId::new(2), 0.8), (UserId::new(3), 0.6)]);
+    }
+
+    #[test]
+    fn group_members_are_mutually_excluded() {
+        let m = Table(vec![
+            vec![1.0, 0.9, 0.9, 0.9],
+            vec![0.9, 1.0, 0.9, 0.9],
+            vec![0.9, 0.9, 1.0, 0.9],
+            vec![0.9, 0.9, 0.9, 1.0],
+        ]);
+        let sel = PeerSelector::new(0.5).unwrap();
+        let group = [UserId::new(0), UserId::new(1)];
+        let per_member = sel.peers_for_group(&m, &group, users(4));
+        assert_eq!(per_member.len(), 2);
+        for (member, peers) in per_member {
+            let ids: Vec<UserId> = peers.iter().map(|p| p.0).collect();
+            assert!(!ids.contains(&UserId::new(0)), "member {member}");
+            assert!(!ids.contains(&UserId::new(1)), "member {member}");
+            assert_eq!(ids, vec![UserId::new(2), UserId::new(3)]);
+        }
+    }
+
+    #[test]
+    fn non_finite_delta_is_rejected() {
+        assert!(PeerSelector::new(f64::NAN).is_err());
+        assert!(PeerSelector::new(f64::INFINITY).is_err());
+        assert!(PeerSelector::new(0.3).is_ok());
+    }
+
+    #[test]
+    fn empty_universe_yields_no_peers() {
+        let m = Table(vec![vec![1.0]]);
+        let sel = PeerSelector::new(0.0).unwrap();
+        assert!(sel.peers_of(&m, UserId::new(0), [], &[]).is_empty());
+    }
+}

@@ -1,0 +1,168 @@
+//! Profile-based similarity: tf-idf cosine (§V-B).
+//!
+//! Pipeline: render every registered profile into its §V-B document, build
+//! the tf-idf corpus over those documents (Definition 4), vectorise each,
+//! and compare users by cosine (Equation 3). Vectors are precomputed once
+//! at construction — similarity queries are then a sparse dot product.
+
+use crate::UserSimilarity;
+use fairrec_ontology::Ontology;
+use fairrec_phr::{render_profile, PhrStore};
+use fairrec_text::{cosine, CorpusBuilder, SparseVector, TfWeighting, Tokenizer};
+use fairrec_types::UserId;
+
+/// Cosine-over-tf-idf similarity of patient profiles.
+#[derive(Debug, Clone)]
+pub struct ProfileSimilarity {
+    /// Vector per user id slot; `None` for users without a profile or with
+    /// an all-zero vector source (empty document).
+    vectors: Vec<Option<SparseVector>>,
+}
+
+impl ProfileSimilarity {
+    /// Builds vectors for every profile in `store` with default
+    /// tokenisation and raw-count tf.
+    pub fn build(store: &PhrStore, ontology: &Ontology) -> Self {
+        Self::build_with(store, ontology, &Tokenizer::new(), TfWeighting::RawCount)
+    }
+
+    /// Builds with explicit tokenizer and tf weighting.
+    pub fn build_with(
+        store: &PhrStore,
+        ontology: &Ontology,
+        tokenizer: &Tokenizer,
+        tf: TfWeighting,
+    ) -> Self {
+        // Pass 1: render + tokenise every profile, feeding the corpus.
+        let mut corpus = CorpusBuilder::new().with_tf_weighting(tf);
+        let docs: Vec<(UserId, Vec<String>)> = store
+            .iter()
+            .map(|p| (p.user, tokenizer.tokenize(&render_profile(p, ontology))))
+            .collect();
+        for (_, tokens) in &docs {
+            corpus.add_document(tokens);
+        }
+        let model = corpus.build();
+
+        // Pass 2: vectorise.
+        let max_user = docs.iter().map(|(u, _)| u.index()).max().map_or(0, |m| m + 1);
+        let mut vectors: Vec<Option<SparseVector>> = vec![None; max_user];
+        for (user, tokens) in &docs {
+            let v = model.vectorize(tokens);
+            if !v.is_empty() {
+                vectors[user.index()] = Some(v);
+            }
+        }
+        Self { vectors }
+    }
+
+    /// The tf-idf vector of a user, when defined.
+    pub fn vector(&self, u: UserId) -> Option<&SparseVector> {
+        self.vectors.get(u.index())?.as_ref()
+    }
+
+    /// Number of users with a defined vector.
+    pub fn num_vectorized(&self) -> usize {
+        self.vectors.iter().filter(|v| v.is_some()).count()
+    }
+}
+
+impl UserSimilarity for ProfileSimilarity {
+    fn similarity(&self, u: UserId, v: UserId) -> Option<f64> {
+        let (a, b) = (self.vector(u)?, self.vector(v)?);
+        Some(cosine(a, b))
+    }
+
+    fn name(&self) -> &'static str {
+        "profile-cosine"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairrec_ontology::snomed::clinical_fragment;
+    use fairrec_phr::table1;
+    use fairrec_phr::{Gender, PatientProfile};
+
+    fn table1_similarity() -> ProfileSimilarity {
+        let ont = clinical_fragment();
+        let store: PhrStore = table1::patients(&ont).into_iter().collect();
+        ProfileSimilarity::build(&store, &ont)
+    }
+
+    #[test]
+    fn patient1_profile_closer_to_patient3_than_patient2() {
+        // Patients 1 and 3 share a medication (Ramipril 10 MG Oral
+        // Capsule); 1 and 2 share nothing distinctive.
+        let s = table1_similarity();
+        let s13 = s.similarity(UserId::new(0), UserId::new(2)).unwrap();
+        let s12 = s.similarity(UserId::new(0), UserId::new(1)).unwrap();
+        assert!(s13 > s12, "CS(1,3)={s13} should exceed CS(1,2)={s12}");
+    }
+
+    #[test]
+    fn cosine_in_unit_interval_and_symmetric() {
+        let s = table1_similarity();
+        for a in 0..3u32 {
+            for b in 0..3u32 {
+                let ab = s.similarity(UserId::new(a), UserId::new(b)).unwrap();
+                let ba = s.similarity(UserId::new(b), UserId::new(a)).unwrap();
+                assert!((0.0..=1.0).contains(&ab));
+                assert!((ab - ba).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn self_similarity_is_one() {
+        let s = table1_similarity();
+        let ss = s.similarity(UserId::new(0), UserId::new(0)).unwrap();
+        assert!((ss - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_users_are_undefined() {
+        let s = table1_similarity();
+        assert_eq!(s.similarity(UserId::new(0), UserId::new(9)), None);
+    }
+
+    #[test]
+    fn identical_template_only_profiles_may_be_undefined() {
+        // Two profiles whose rendered documents consist of one ubiquitous
+        // token ("unknown" gender): idf = 0 everywhere ⇒ zero vectors ⇒
+        // undefined similarity rather than a spurious 1.0.
+        let ont = clinical_fragment();
+        let store: PhrStore = (0..2)
+            .map(|u| PatientProfile::builder(UserId::new(u)).build())
+            .collect();
+        let s = ProfileSimilarity::build(&store, &ont);
+        assert_eq!(s.num_vectorized(), 0);
+        assert_eq!(s.similarity(UserId::new(0), UserId::new(1)), None);
+    }
+
+    #[test]
+    fn gender_and_age_bucket_contribute() {
+        let ont = clinical_fragment();
+        let mk = |u: u32, gender: Gender, age: u8| {
+            PatientProfile::builder(UserId::new(u))
+                .medication("Aspirin")
+                .gender(gender)
+                .age(age)
+                .build()
+        };
+        // u0/u1 same gender+decade; u2 differs in both. A third distinct
+        // document keeps idf of the shared terms non-zero.
+        let store: PhrStore = [
+            mk(0, Gender::Female, 41),
+            mk(1, Gender::Female, 45),
+            mk(2, Gender::Male, 70),
+        ]
+        .into_iter()
+        .collect();
+        let s = ProfileSimilarity::build(&store, &ont);
+        let same = s.similarity(UserId::new(0), UserId::new(1)).unwrap();
+        let diff = s.similarity(UserId::new(0), UserId::new(2)).unwrap();
+        assert!(same > diff, "same cohort {same} !> different cohort {diff}");
+    }
+}

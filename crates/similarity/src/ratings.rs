@@ -1,0 +1,255 @@
+//! Ratings-based similarity: Pearson correlation (Equation 2).
+//!
+//! *"If two users have rated documents in a similar way, then we can say
+//! that they are similar, since they share the same interests."* The
+//! implementation follows Equation 2 with one widely-used reading: the
+//! user means `µ_u` are the means over **all** of a user's ratings (the
+//! paper writes "the mean of the ratings of u"), not just the co-rated
+//! subset, so a user's notion of "above average" is stable across pairs.
+//!
+//! Undefined cases return `None` rather than an arbitrary number:
+//! * fewer than `min_overlap` co-rated items (default 2 — one shared item
+//!   always correlates perfectly and is pure noise),
+//! * zero variance on the co-rated items for either user (the denominator
+//!   of Equation 2 vanishes).
+
+use crate::UserSimilarity;
+use fairrec_types::{RatingMatrix, UserId};
+
+/// Pearson similarity over a [`RatingMatrix`].
+#[derive(Debug, Clone)]
+pub struct RatingsSimilarity<'a> {
+    matrix: &'a RatingMatrix,
+    min_overlap: usize,
+}
+
+impl<'a> RatingsSimilarity<'a> {
+    /// Pearson similarity with the default minimum overlap of 2 co-rated
+    /// items.
+    pub fn new(matrix: &'a RatingMatrix) -> Self {
+        Self {
+            matrix,
+            min_overlap: 2,
+        }
+    }
+
+    /// Overrides the minimum number of co-rated items (values below 1 are
+    /// clamped to 1).
+    pub fn with_min_overlap(mut self, min_overlap: usize) -> Self {
+        self.min_overlap = min_overlap.max(1);
+        self
+    }
+
+    /// The underlying matrix.
+    pub fn matrix(&self) -> &'a RatingMatrix {
+        self.matrix
+    }
+}
+
+impl UserSimilarity for RatingsSimilarity<'_> {
+    fn similarity(&self, u: UserId, v: UserId) -> Option<f64> {
+        if u == v {
+            // Self-similarity is trivially 1 but never useful: peers
+            // exclude the user anyway.
+            return Some(1.0);
+        }
+        let (mu, mv) = (self.matrix.user_mean(u)?, self.matrix.user_mean(v)?);
+        let mut n = 0usize;
+        let (mut num, mut den_u, mut den_v) = (0.0f64, 0.0f64, 0.0f64);
+        for (_, ru, rv) in self.matrix.co_ratings(u, v) {
+            let (du, dv) = (ru - mu, rv - mv);
+            num += du * dv;
+            den_u += du * du;
+            den_v += dv * dv;
+            n += 1;
+        }
+        if n < self.min_overlap || den_u == 0.0 || den_v == 0.0 {
+            return None;
+        }
+        // Clamp floating-point drift into the mathematical range.
+        Some((num / (den_u.sqrt() * den_v.sqrt())).clamp(-1.0, 1.0))
+    }
+
+    fn name(&self) -> &'static str {
+        "ratings-pearson"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairrec_types::{ItemId, RatingMatrixBuilder};
+
+    fn matrix(rows: &[(u32, u32, f64)]) -> RatingMatrix {
+        let mut b = RatingMatrixBuilder::new();
+        for &(u, i, s) in rows {
+            b.add_raw(UserId::new(u), ItemId::new(i), s).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn perfectly_aligned_users_score_one() {
+        // Both users deviate from their own means in the same direction.
+        let m = matrix(&[
+            (0, 0, 1.0),
+            (0, 1, 3.0),
+            (0, 2, 5.0),
+            (1, 0, 2.0),
+            (1, 1, 3.0),
+            (1, 2, 4.0),
+        ]);
+        let s = RatingsSimilarity::new(&m);
+        let r = s.similarity(UserId::new(0), UserId::new(1)).unwrap();
+        assert!((r - 1.0).abs() < 1e-12, "got {r}");
+    }
+
+    #[test]
+    fn anti_aligned_users_score_minus_one() {
+        let m = matrix(&[
+            (0, 0, 1.0),
+            (0, 1, 5.0),
+            (1, 0, 5.0),
+            (1, 1, 1.0),
+        ]);
+        let s = RatingsSimilarity::new(&m);
+        let r = s.similarity(UserId::new(0), UserId::new(1)).unwrap();
+        assert!((r + 1.0).abs() < 1e-12, "got {r}");
+    }
+
+    #[test]
+    fn hand_computed_correlation() {
+        // u0 ratings on shared items: [4, 2, 5]; u1: [5, 1, 4].
+        // Extra unshared ratings shift the means.
+        let m = matrix(&[
+            (0, 0, 4.0),
+            (0, 1, 2.0),
+            (0, 2, 5.0),
+            (0, 3, 1.0), // unshared
+            (1, 0, 5.0),
+            (1, 1, 1.0),
+            (1, 2, 4.0),
+            (1, 4, 2.0), // unshared
+        ]);
+        let s = RatingsSimilarity::new(&m);
+        let got = s.similarity(UserId::new(0), UserId::new(1)).unwrap();
+        // Hand computation with µ0 = 3, µ1 = 3:
+        // num = (1)(2) + (−1)(−2) + (2)(1) = 6
+        // den = sqrt(1+1+4) * sqrt(4+4+1) = sqrt(6)*3
+        let expected = 6.0 / (6.0f64.sqrt() * 3.0);
+        assert!((got - expected).abs() < 1e-12, "got {got}, want {expected}");
+    }
+
+    #[test]
+    fn symmetric() {
+        let m = matrix(&[
+            (0, 0, 4.0),
+            (0, 1, 2.0),
+            (0, 5, 3.0),
+            (1, 0, 5.0),
+            (1, 1, 1.0),
+            (1, 7, 2.0),
+        ]);
+        let s = RatingsSimilarity::new(&m);
+        assert_eq!(
+            s.similarity(UserId::new(0), UserId::new(1)),
+            s.similarity(UserId::new(1), UserId::new(0))
+        );
+    }
+
+    #[test]
+    fn too_little_overlap_is_undefined() {
+        let m = matrix(&[(0, 0, 4.0), (0, 1, 2.0), (1, 0, 5.0), (1, 2, 3.0)]);
+        let s = RatingsSimilarity::new(&m);
+        // Exactly one co-rated item (< default min_overlap of 2).
+        assert_eq!(s.similarity(UserId::new(0), UserId::new(1)), None);
+    }
+
+    #[test]
+    fn min_overlap_is_configurable_but_variance_still_required() {
+        let m = matrix(&[
+            (0, 0, 4.0),
+            (0, 1, 2.0),
+            (1, 0, 5.0),
+            (1, 1, 3.0),
+        ]);
+        // min_overlap = 1 still yields a defined score here (2 co-rated).
+        let s = RatingsSimilarity::new(&m).with_min_overlap(1);
+        assert!(s.similarity(UserId::new(0), UserId::new(1)).is_some());
+    }
+
+    #[test]
+    fn zero_variance_is_undefined() {
+        // u1 rates everything 3 — no deviation, denominator vanishes.
+        let m = matrix(&[
+            (0, 0, 1.0),
+            (0, 1, 5.0),
+            (1, 0, 3.0),
+            (1, 1, 3.0),
+        ]);
+        let s = RatingsSimilarity::new(&m);
+        assert_eq!(s.similarity(UserId::new(0), UserId::new(1)), None);
+    }
+
+    #[test]
+    fn zero_variance_over_corated_subset_only() {
+        // u1 varies globally but is flat on the co-rated items; the
+        // co-rated deviations are (3−µ1) each, µ1 = 3 ⇒ both 0.
+        let m = matrix(&[
+            (0, 0, 1.0),
+            (0, 1, 5.0),
+            (1, 0, 3.0),
+            (1, 1, 3.0),
+            (1, 2, 5.0),
+            (1, 3, 1.0),
+        ]);
+        let s = RatingsSimilarity::new(&m);
+        assert_eq!(s.similarity(UserId::new(0), UserId::new(1)), None);
+    }
+
+    #[test]
+    fn users_without_ratings_are_undefined() {
+        let m = matrix(&[(0, 0, 4.0), (0, 1, 2.0)]);
+        let s = RatingsSimilarity::new(&m);
+        assert_eq!(s.similarity(UserId::new(0), UserId::new(7)), None);
+    }
+
+    #[test]
+    fn self_similarity_is_one() {
+        let m = matrix(&[(0, 0, 4.0)]);
+        let s = RatingsSimilarity::new(&m);
+        assert_eq!(s.similarity(UserId::new(0), UserId::new(0)), Some(1.0));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use fairrec_types::{ItemId, RatingMatrixBuilder};
+    use proptest::prelude::*;
+
+    fn arb_matrix() -> impl Strategy<Value = RatingMatrix> {
+        proptest::collection::btree_map((0u32..12, 0u32..20), 1.0f64..=5.0, 0..120).prop_map(
+            |cells| {
+                let mut b = RatingMatrixBuilder::new();
+                for ((u, i), s) in cells {
+                    b.add_raw(UserId::new(u), ItemId::new(i), s).unwrap();
+                }
+                b.build().unwrap()
+            },
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn pearson_in_range_and_symmetric(m in arb_matrix(), a in 0u32..12, b in 0u32..12) {
+            let s = RatingsSimilarity::new(&m);
+            let (ua, ub) = (UserId::new(a), UserId::new(b));
+            let ab = s.similarity(ua, ub);
+            prop_assert_eq!(ab, s.similarity(ub, ua));
+            if let Some(r) = ab {
+                prop_assert!((-1.0..=1.0).contains(&r), "out of range: {}", r);
+            }
+        }
+    }
+}

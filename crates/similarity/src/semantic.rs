@@ -1,0 +1,208 @@
+//! Semantic similarity over health problems (§V-C, Equation 4).
+//!
+//! Two phases, exactly as the paper describes:
+//!
+//! 1. *pair similarity* — for every pair `(p, q)` with `p` a problem of `u`
+//!    and `q` a problem of `u′`, score the ontology shortest path through a
+//!    [`PathScoring`] transform;
+//! 2. *overall similarity* — the harmonic mean of the `n = |A|·|B|` pair
+//!    scores (Equation 4): `SS(u, u′) = n / Σ 1/xᵢ`.
+//!
+//! The harmonic mean is dominated by the *smallest* pair scores, so two
+//! patients are "semantically similar" only when **all** their condition
+//! pairs are reasonably close — one shared diagnosis cannot mask an
+//! otherwise disjoint medical picture. The transforms in
+//! [`PathScoring`] are strictly positive, so the mean is always defined
+//! when both users have at least one recorded problem; otherwise the
+//! similarity is `None`.
+
+use crate::UserSimilarity;
+use fairrec_ontology::{Ontology, PathScoring};
+use fairrec_phr::PhrStore;
+use fairrec_types::UserId;
+
+/// Harmonic-mean-of-path-scores similarity.
+#[derive(Debug, Clone)]
+pub struct SemanticSimilarity<'a> {
+    store: &'a PhrStore,
+    ontology: &'a Ontology,
+    scoring: PathScoring,
+}
+
+impl<'a> SemanticSimilarity<'a> {
+    /// Uses the default [`PathScoring::InversePath`] transform.
+    pub fn new(store: &'a PhrStore, ontology: &'a Ontology) -> Self {
+        Self {
+            store,
+            ontology,
+            scoring: PathScoring::default(),
+        }
+    }
+
+    /// Overrides the path-length transform.
+    pub fn with_scoring(mut self, scoring: PathScoring) -> Self {
+        self.scoring = scoring;
+        self
+    }
+
+    /// The pairwise problem scores for two users, in row-major order
+    /// (`u`'s problems × `v`'s problems) — exposed for explanations.
+    pub fn pair_scores(&self, u: UserId, v: UserId) -> Option<Vec<f64>> {
+        let pu = &self.store.get(u)?.problems;
+        let pv = &self.store.get(v)?.problems;
+        if pu.is_empty() || pv.is_empty() {
+            return None;
+        }
+        let mut scores = Vec::with_capacity(pu.len() * pv.len());
+        for &a in pu {
+            for &b in pv {
+                scores.push(self.scoring.score(self.ontology, a, b));
+            }
+        }
+        Some(scores)
+    }
+}
+
+impl UserSimilarity for SemanticSimilarity<'_> {
+    fn similarity(&self, u: UserId, v: UserId) -> Option<f64> {
+        let scores = self.pair_scores(u, v)?;
+        let n = scores.len() as f64;
+        let denom: f64 = scores.iter().map(|x| 1.0 / x).sum();
+        debug_assert!(denom.is_finite(), "PathScoring must be strictly positive");
+        Some(n / denom)
+    }
+
+    fn name(&self) -> &'static str {
+        "semantic-harmonic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairrec_ontology::snomed::{clinical_fragment, labels};
+    use fairrec_phr::{table1, PatientProfile};
+
+    fn fixture() -> (Ontology, PhrStore) {
+        let ont = clinical_fragment();
+        let store: PhrStore = table1::patients(&ont).into_iter().collect();
+        (ont, store)
+    }
+
+    #[test]
+    fn paper_worked_example_patient1_vs_2_and_3() {
+        let (ont, store) = fixture();
+        let s = SemanticSimilarity::new(&store, &ont);
+        // SS(p1, p2): single pair at distance 5 ⇒ 1/6.
+        let s12 = s.similarity(UserId::new(0), UserId::new(1)).unwrap();
+        assert!((s12 - 1.0 / 6.0).abs() < 1e-12);
+        // SS(p1, p3): pairs (acute bronchitis, tracheobronchitis) d=2 and
+        // (acute bronchitis, broken arm) d=6 ⇒ harmonic mean of 1/3, 1/7:
+        // 2 / (3 + 7) = 1/5.
+        let acute = ont.by_label(labels::ACUTE_BRONCHITIS).unwrap();
+        let arm = ont.by_label(labels::BROKEN_ARM).unwrap();
+        assert_eq!(ont.path_len(acute, arm), 6);
+        let s13 = s.similarity(UserId::new(0), UserId::new(2)).unwrap();
+        assert!((s13 - 0.2).abs() < 1e-12);
+        // "the similarity based on the health problems between patients 1
+        // and 3 is greater than the one between patients 1 and 2".
+        assert!(s13 > s12);
+    }
+
+    #[test]
+    fn pair_scores_are_row_major() {
+        let (ont, store) = fixture();
+        let s = SemanticSimilarity::new(&store, &ont);
+        let scores = s.pair_scores(UserId::new(0), UserId::new(2)).unwrap();
+        assert_eq!(scores.len(), 2); // 1 problem × 2 problems
+        assert!((scores[0] - 1.0 / 3.0).abs() < 1e-12); // d=2
+        assert!((scores[1] - 1.0 / 7.0).abs() < 1e-12); // d=6
+    }
+
+    #[test]
+    fn symmetric() {
+        let (ont, store) = fixture();
+        let s = SemanticSimilarity::new(&store, &ont);
+        for a in 0..3u32 {
+            for b in 0..3u32 {
+                assert_eq!(
+                    s.similarity(UserId::new(a), UserId::new(b)),
+                    s.similarity(UserId::new(b), UserId::new(a)),
+                    "asymmetry for ({a}, {b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identical_problem_lists_score_one() {
+        let ont = clinical_fragment();
+        let acute = ont.by_label(labels::ACUTE_BRONCHITIS).unwrap();
+        let store: PhrStore = (0..2)
+            .map(|u| PatientProfile::builder(UserId::new(u)).problem(acute).build())
+            .collect();
+        let s = SemanticSimilarity::new(&store, &ont);
+        assert_eq!(s.similarity(UserId::new(0), UserId::new(1)), Some(1.0));
+    }
+
+    #[test]
+    fn problemless_profiles_are_undefined() {
+        let ont = clinical_fragment();
+        let acute = ont.by_label(labels::ACUTE_BRONCHITIS).unwrap();
+        let store: PhrStore = [
+            PatientProfile::builder(UserId::new(0)).problem(acute).build(),
+            PatientProfile::builder(UserId::new(1)).build(), // no problems
+        ]
+        .into_iter()
+        .collect();
+        let s = SemanticSimilarity::new(&store, &ont);
+        assert_eq!(s.similarity(UserId::new(0), UserId::new(1)), None);
+        assert_eq!(s.similarity(UserId::new(0), UserId::new(9)), None); // absent
+    }
+
+    #[test]
+    fn harmonic_mean_is_dragged_down_by_one_distant_problem() {
+        // u0: {acute bronchitis}; u1: {tracheobronchitis};
+        // u2: {tracheobronchitis, leukemia (far away)}.
+        let ont = clinical_fragment();
+        let get = |l: &str| ont.by_label(l).unwrap();
+        let store: PhrStore = [
+            PatientProfile::builder(UserId::new(0))
+                .problem(get(labels::ACUTE_BRONCHITIS))
+                .build(),
+            PatientProfile::builder(UserId::new(1))
+                .problem(get(labels::TRACHEOBRONCHITIS))
+                .build(),
+            PatientProfile::builder(UserId::new(2))
+                .problem(get(labels::TRACHEOBRONCHITIS))
+                .problem(get("Leukemia"))
+                .build(),
+        ]
+        .into_iter()
+        .collect();
+        let s = SemanticSimilarity::new(&store, &ont);
+        let close = s.similarity(UserId::new(0), UserId::new(1)).unwrap();
+        let mixed = s.similarity(UserId::new(0), UserId::new(2)).unwrap();
+        assert!(mixed < close);
+        // And the harmonic mean punishes the outlier harder than the
+        // arithmetic mean would.
+        let pairs = s.pair_scores(UserId::new(0), UserId::new(2)).unwrap();
+        let arith = pairs.iter().sum::<f64>() / pairs.len() as f64;
+        assert!(mixed < arith);
+    }
+
+    #[test]
+    fn alternative_scoring_preserves_the_paper_ordering() {
+        let (ont, store) = fixture();
+        for scoring in [
+            PathScoring::ExponentialDecay { lambda: 0.4 },
+            PathScoring::WuPalmer,
+            PathScoring::LeacockChodorow,
+        ] {
+            let s = SemanticSimilarity::new(&store, &ont).with_scoring(scoring);
+            let s12 = s.similarity(UserId::new(0), UserId::new(1)).unwrap();
+            let s13 = s.similarity(UserId::new(0), UserId::new(2)).unwrap();
+            assert!(s13 > s12, "{scoring:?}: SS(1,3)={s13} !> SS(1,2)={s12}");
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Vector-space text substrate.
+//!
+//! §V-B of the paper compares users by treating each profile as a document:
+//! *"we consider all the information contained in a profile as a single
+//! document … compute the term frequency (tf) and inverse document
+//! frequency (idf) scores … each document can be represented as a vector …
+//! calculating their cosine similarity"* (Definition 4, Equation 3).
+//!
+//! This crate is that machinery, independent of any health semantics:
+//!
+//! * [`Tokenizer`] — lower-casing, alphanumeric tokenization with a
+//!   stop-word list,
+//! * [`Vocabulary`] — term interning to dense `u32` ids,
+//! * [`SparseVector`] — sorted sparse vectors with dot/norm/cosine,
+//! * [`TfIdfModel`] / [`CorpusBuilder`] — corpus statistics (Definition 4)
+//!   and document vectorisation.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod summary;
+mod tfidf;
+mod tokenize;
+mod vector;
+mod vocab;
+
+pub use summary::{key_terms, summarize};
+pub use tfidf::{CorpusBuilder, TfIdfModel, TfWeighting};
+pub use tokenize::Tokenizer;
+pub use vector::{cosine, SparseVector};
+pub use vocab::{TermId, Vocabulary};

@@ -1,0 +1,157 @@
+//! Extractive document summarisation (extension — the paper's future
+//! work: *"present a semantically enhanced summary of the indexed
+//! document to the patient to augment his understanding"*).
+//!
+//! Two classic, corpus-statistics-only primitives:
+//!
+//! * [`key_terms`] — the document's most discriminative terms by tf-idf
+//!   weight (what makes *this* document different from the corpus),
+//! * [`summarize`] — extractive summary: sentences scored by the mean
+//!   tf-idf of their tokens, the best `n` returned **in original order**
+//!   (a summary that reorders sentences reads like noise).
+
+use crate::tfidf::TfIdfModel;
+use crate::tokenize::Tokenizer;
+
+/// The `n` most discriminative terms of a tokenised document, best first
+/// (ties alphabetically for determinism).
+pub fn key_terms<S: AsRef<str>>(model: &TfIdfModel, tokens: &[S], n: usize) -> Vec<String> {
+    let vector = model.vectorize(tokens);
+    let mut weighted: Vec<(String, f64)> = vector
+        .iter()
+        .map(|(id, w)| (model.vocabulary().term(id).to_string(), w))
+        .collect();
+    weighted.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("tf-idf weights are finite")
+            .then(a.0.cmp(&b.0))
+    });
+    weighted.truncate(n);
+    weighted.into_iter().map(|(t, _)| t).collect()
+}
+
+/// Splits `text` into sentences on `.`, `!`, `?` boundaries, keeping
+/// non-empty trimmed sentences.
+fn split_sentences(text: &str) -> Vec<&str> {
+    text.split(['.', '!', '?'])
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+/// Extractive summary: the `max_sentences` highest-scoring sentences of
+/// `text`, in their original order. A sentence's score is the **mean**
+/// tf-idf weight of its tokens under `model` (mean, not sum — otherwise
+/// long sentences always win).
+pub fn summarize(
+    model: &TfIdfModel,
+    tokenizer: &Tokenizer,
+    text: &str,
+    max_sentences: usize,
+) -> Vec<String> {
+    let sentences = split_sentences(text);
+    if sentences.is_empty() || max_sentences == 0 {
+        return Vec::new();
+    }
+    let mut scored: Vec<(usize, f64)> = sentences
+        .iter()
+        .enumerate()
+        .map(|(idx, sentence)| {
+            let tokens = tokenizer.tokenize(sentence);
+            if tokens.is_empty() {
+                return (idx, 0.0);
+            }
+            let vector = model.vectorize(&tokens);
+            let total: f64 = vector.iter().map(|(_, w)| w).sum();
+            (idx, total / tokens.len() as f64)
+        })
+        .collect();
+    // Best-first, ties to the earlier sentence.
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("scores are finite")
+            .then(a.0.cmp(&b.0))
+    });
+    let mut keep: Vec<usize> = scored.iter().take(max_sentences).map(|&(i, _)| i).collect();
+    keep.sort_unstable(); // restore document order
+    keep.into_iter()
+        .map(|i| sentences[i].to_string())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tfidf::CorpusBuilder;
+
+    fn model(docs: &[&str]) -> (TfIdfModel, Tokenizer) {
+        let tokenizer = Tokenizer::new();
+        let mut corpus = CorpusBuilder::new();
+        for d in docs {
+            corpus.add_document(&tokenizer.tokenize(d));
+        }
+        (corpus.build(), tokenizer)
+    }
+
+    const CORPUS: &[&str] = &[
+        "chemotherapy can cause nausea and fatigue in many patients",
+        "a balanced diet helps patients keep strength during treatment",
+        "asthma inhalers must be used with correct technique",
+        "patients should discuss treatment side effects with their doctor",
+    ];
+
+    #[test]
+    fn key_terms_surface_discriminative_words() {
+        let (m, t) = model(CORPUS);
+        let terms = key_terms(&m, &t.tokenize(CORPUS[2]), 3);
+        assert!(terms.contains(&"asthma".to_string()) || terms.contains(&"inhalers".to_string()));
+        // The ubiquitous word "patients" is never a key term: idf ≈ 0.
+        assert!(!terms.contains(&"patients".to_string()));
+    }
+
+    #[test]
+    fn key_terms_truncate_and_are_deterministic() {
+        let (m, t) = model(CORPUS);
+        let toks = t.tokenize(CORPUS[0]);
+        assert_eq!(key_terms(&m, &toks, 2).len(), 2);
+        assert_eq!(key_terms(&m, &toks, 2), key_terms(&m, &toks, 2));
+        assert!(key_terms(&m, &toks, 0).is_empty());
+    }
+
+    #[test]
+    fn summary_keeps_document_order() {
+        let (m, t) = model(CORPUS);
+        let text = "General words only here. Chemotherapy nausea fatigue chemotherapy. \
+                    Another generic sentence follows. Inhalers asthma technique inhalers.";
+        let summary = summarize(&m, &t, text, 2);
+        assert_eq!(summary.len(), 2);
+        // The two term-dense sentences, in original order.
+        assert!(summary[0].contains("Chemotherapy"));
+        assert!(summary[1].contains("Inhalers"));
+    }
+
+    #[test]
+    fn summary_of_short_text_returns_everything() {
+        let (m, t) = model(CORPUS);
+        let summary = summarize(&m, &t, "Only one sentence here.", 5);
+        assert_eq!(summary, vec!["Only one sentence here".to_string()]);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let (m, t) = model(CORPUS);
+        assert!(summarize(&m, &t, "", 3).is_empty());
+        assert!(summarize(&m, &t, "...!!!???", 3).is_empty());
+        assert!(summarize(&m, &t, "some text.", 0).is_empty());
+    }
+
+    #[test]
+    fn mean_scoring_does_not_reward_padding() {
+        let (m, t) = model(CORPUS);
+        // Same key content; the padded variant dilutes with corpus-wide
+        // stop-ish words, so the dense sentence must win a 1-sentence cut.
+        let text = "chemotherapy nausea. chemotherapy nausea patients patients patients patients.";
+        let summary = summarize(&m, &t, text, 1);
+        assert_eq!(summary, vec!["chemotherapy nausea".to_string()]);
+    }
+}

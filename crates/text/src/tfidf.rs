@@ -1,0 +1,261 @@
+//! Corpus statistics and tf-idf vectorisation (Definition 4).
+//!
+//! The paper: *"The idf score is the log of the ratio of the total number
+//! of documents to the number of documents containing that word"* and
+//! *"by multiplying the tf and idf scores, we can determine how common a
+//! word is in our documents"*. [`CorpusBuilder`] accumulates document
+//! frequencies; [`TfIdfModel`] freezes them and turns any token list into a
+//! [`SparseVector`] with weight `tf(t, d) · idf(t, D)`.
+//!
+//! Out-of-vocabulary terms in a query document receive weight 0 (their idf
+//! over the training corpus is undefined); with `N` documents, a term in
+//! every document gets `idf = ln(1) = 0`, exactly the paper's observation
+//! that *"as a term appears in more documents … bringing the idf and
+//! tf-idf closer to 0"*.
+
+use crate::vector::SparseVector;
+use crate::vocab::{TermId, Vocabulary};
+
+/// Term-frequency weighting variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TfWeighting {
+    /// `tf = count` — the paper's plain "occurrences within a document".
+    #[default]
+    RawCount,
+    /// `tf = 1 + ln(count)` — sublinear damping for long documents.
+    Sublinear,
+    /// `tf = count / |d|` — length normalisation.
+    LengthNormalized,
+}
+
+impl TfWeighting {
+    fn apply(self, count: usize, doc_len: usize) -> f64 {
+        debug_assert!(count > 0);
+        match self {
+            Self::RawCount => count as f64,
+            Self::Sublinear => 1.0 + (count as f64).ln(),
+            Self::LengthNormalized => count as f64 / doc_len.max(1) as f64,
+        }
+    }
+}
+
+/// Accumulates documents, then builds a [`TfIdfModel`].
+#[derive(Debug, Default, Clone)]
+pub struct CorpusBuilder {
+    vocab: Vocabulary,
+    /// Document frequency per term id.
+    df: Vec<u32>,
+    num_docs: usize,
+    tf: TfWeighting,
+}
+
+impl CorpusBuilder {
+    /// Empty corpus with the default ([`TfWeighting::RawCount`]) weighting.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selects the term-frequency weighting.
+    pub fn with_tf_weighting(mut self, tf: TfWeighting) -> Self {
+        self.tf = tf;
+        self
+    }
+
+    /// Adds one document given as tokens (see
+    /// [`Tokenizer`](crate::Tokenizer)). Duplicate tokens within a document
+    /// count once toward document frequency.
+    pub fn add_document<S: AsRef<str>>(&mut self, tokens: &[S]) {
+        self.num_docs += 1;
+        let mut seen_in_doc: Vec<TermId> = tokens
+            .iter()
+            .map(|t| {
+                let id = self.vocab.intern(t.as_ref());
+                if id as usize >= self.df.len() {
+                    self.df.resize(id as usize + 1, 0);
+                }
+                id
+            })
+            .collect();
+        seen_in_doc.sort_unstable();
+        seen_in_doc.dedup();
+        for id in seen_in_doc {
+            self.df[id as usize] += 1;
+        }
+    }
+
+    /// Number of documents added.
+    pub fn num_docs(&self) -> usize {
+        self.num_docs
+    }
+
+    /// Freezes the corpus statistics into a model.
+    pub fn build(self) -> TfIdfModel {
+        let n = self.num_docs.max(1) as f64;
+        let idf = self
+            .df
+            .iter()
+            .map(|&df| if df == 0 { 0.0 } else { (n / f64::from(df)).ln() })
+            .collect();
+        TfIdfModel {
+            vocab: self.vocab,
+            idf,
+            num_docs: self.num_docs,
+            tf: self.tf,
+        }
+    }
+}
+
+/// Frozen corpus statistics; vectorises documents.
+#[derive(Debug, Clone)]
+pub struct TfIdfModel {
+    vocab: Vocabulary,
+    idf: Vec<f64>,
+    num_docs: usize,
+    tf: TfWeighting,
+}
+
+impl TfIdfModel {
+    /// The vocabulary observed during corpus construction.
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Number of training documents.
+    pub fn num_docs(&self) -> usize {
+        self.num_docs
+    }
+
+    /// idf of a term (Definition 4), or `None` if unseen.
+    pub fn idf(&self, term: &str) -> Option<f64> {
+        self.vocab.get(term).map(|id| self.idf[id as usize])
+    }
+
+    /// Vectorises a tokenised document: weight `tf(t,d) · idf(t,D)`.
+    /// Out-of-vocabulary terms are skipped.
+    pub fn vectorize<S: AsRef<str>>(&self, tokens: &[S]) -> SparseVector {
+        let doc_len = tokens.len();
+        let mut ids: Vec<TermId> = tokens
+            .iter()
+            .filter_map(|t| self.vocab.get(t.as_ref()))
+            .collect();
+        ids.sort_unstable();
+        let mut pairs: Vec<(TermId, f64)> = Vec::with_capacity(ids.len());
+        let mut slot = 0;
+        while slot < ids.len() {
+            let id = ids[slot];
+            let mut end = slot + 1;
+            while end < ids.len() && ids[end] == id {
+                end += 1;
+            }
+            let weight = self.tf.apply(end - slot, doc_len) * self.idf[id as usize];
+            if weight != 0.0 {
+                pairs.push((id, weight));
+            }
+            slot = end;
+        }
+        SparseVector::from_pairs(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::cosine;
+
+    fn toks(s: &str) -> Vec<String> {
+        crate::tokenize::Tokenizer::verbatim().tokenize(s)
+    }
+
+    fn model(docs: &[&str]) -> TfIdfModel {
+        let mut b = CorpusBuilder::new();
+        for d in docs {
+            b.add_document(&toks(d));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn idf_definition_4() {
+        let m = model(&["cancer pain", "cancer therapy", "diet"]);
+        // cancer: df 2 of 3 ⇒ ln(3/2); diet: df 1 ⇒ ln(3); unseen ⇒ None.
+        assert!((m.idf("cancer").unwrap() - (3.0f64 / 2.0).ln()).abs() < 1e-12);
+        assert!((m.idf("diet").unwrap() - 3.0f64.ln()).abs() < 1e-12);
+        assert_eq!(m.idf("unknown"), None);
+    }
+
+    #[test]
+    fn ubiquitous_terms_get_zero_weight() {
+        // "the paper's observation": term in every doc ⇒ idf = ln(1) = 0.
+        let m = model(&["pain cancer", "pain diet", "pain sleep"]);
+        assert_eq!(m.idf("pain"), Some(0.0));
+        let v = m.vectorize(&toks("pain pain cancer"));
+        assert_eq!(v.get(m.vocabulary().get("pain").unwrap()), 0.0);
+        assert!(v.get(m.vocabulary().get("cancer").unwrap()) > 0.0);
+    }
+
+    #[test]
+    fn tf_multiplies_idf() {
+        let m = model(&["pain pain cancer", "diet"]);
+        let v = m.vectorize(&toks("pain pain pain"));
+        let id = m.vocabulary().get("pain").unwrap();
+        assert!((v.get(id) - 3.0 * (2.0f64 / 1.0).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sublinear_and_normalized_weightings() {
+        let docs = ["pain pain pain pain cancer", "diet"];
+        for (w, expected_tf) in [
+            (TfWeighting::Sublinear, 1.0 + 4.0f64.ln()),
+            (TfWeighting::LengthNormalized, 4.0 / 5.0),
+        ] {
+            let mut b = CorpusBuilder::new().with_tf_weighting(w);
+            for d in &docs {
+                b.add_document(&toks(d));
+            }
+            let m = b.build();
+            let v = m.vectorize(&toks(docs[0]));
+            let id = m.vocabulary().get("pain").unwrap();
+            let idf = m.idf("pain").unwrap();
+            assert!(
+                (v.get(id) - expected_tf * idf).abs() < 1e-12,
+                "weighting {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_vocabulary_terms_are_skipped() {
+        let m = model(&["cancer pain", "diet"]);
+        let v = m.vectorize(&toks("quantum entanglement"));
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn similar_profiles_have_higher_cosine() {
+        let m = model(&[
+            "acute bronchitis ramipril female",
+            "chest pains niacin male",
+            "tracheobronchitis broken arm ramipril male",
+            "diabetes insulin female",
+        ]);
+        let p1 = m.vectorize(&toks("acute bronchitis ramipril female"));
+        let p2 = m.vectorize(&toks("chest pains niacin male"));
+        let p3 = m.vectorize(&toks("tracheobronchitis broken arm ramipril male"));
+        // Patient 1 shares "ramipril" with patient 3 but nothing with 2.
+        assert!(cosine(&p1, &p3) > cosine(&p1, &p2));
+    }
+
+    #[test]
+    fn empty_corpus_vectorizes_to_empty() {
+        let m = CorpusBuilder::new().build();
+        assert_eq!(m.num_docs(), 0);
+        assert!(m.vectorize(&toks("anything")).is_empty());
+    }
+
+    #[test]
+    fn duplicate_tokens_count_df_once() {
+        let m = model(&["pain pain pain", "pain cancer"]);
+        // df(pain) = 2 (not 4) ⇒ idf = ln(2/2) = 0.
+        assert_eq!(m.idf("pain"), Some(0.0));
+    }
+}

@@ -1,0 +1,138 @@
+//! Tokenization.
+//!
+//! Profiles are short, semi-structured documents ("Acute bronchitis",
+//! "Ramipril 10 MG Oral Capsule", "gender Female", …). The tokenizer
+//! lower-cases, splits on any non-alphanumeric character, drops one-letter
+//! fragments, and removes stop words. Numbers are kept: dosages ("10",
+//! "500") carry real signal in medication strings.
+
+use std::collections::HashSet;
+
+/// Default English + template stop words.
+///
+/// The template words ("problem", "medication", …) appear in *every*
+/// rendered profile, so they carry no discriminating power; idf would
+/// down-weight them anyway, but dropping them keeps vectors small.
+const DEFAULT_STOP_WORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "has", "he", "in", "is",
+    "it", "its", "of", "on", "or", "she", "that", "the", "to", "was", "were", "will", "with",
+];
+
+/// Configurable tokenizer.
+#[derive(Debug, Clone)]
+pub struct Tokenizer {
+    stop_words: HashSet<String>,
+    min_token_len: usize,
+    keep_numbers: bool,
+}
+
+impl Default for Tokenizer {
+    fn default() -> Self {
+        Self {
+            stop_words: DEFAULT_STOP_WORDS.iter().map(|s| s.to_string()).collect(),
+            min_token_len: 2,
+            keep_numbers: true,
+        }
+    }
+}
+
+impl Tokenizer {
+    /// Tokenizer with the default stop-word list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tokenizer with no stop words and no length filter — useful in tests
+    /// and when the caller wants raw terms.
+    pub fn verbatim() -> Self {
+        Self {
+            stop_words: HashSet::new(),
+            min_token_len: 1,
+            keep_numbers: true,
+        }
+    }
+
+    /// Adds extra stop words (e.g. domain template words).
+    pub fn with_stop_words<I, S>(mut self, words: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        self.stop_words
+            .extend(words.into_iter().map(|w| w.as_ref().to_lowercase()));
+        self
+    }
+
+    /// Discards purely numeric tokens.
+    pub fn without_numbers(mut self) -> Self {
+        self.keep_numbers = false;
+        self
+    }
+
+    /// Tokenizes `text` into lower-cased terms.
+    pub fn tokenize(&self, text: &str) -> Vec<String> {
+        text.split(|c: char| !c.is_alphanumeric())
+            .filter(|t| t.len() >= self.min_token_len)
+            .map(|t| t.to_lowercase())
+            .filter(|t| !self.stop_words.contains(t))
+            .filter(|t| self.keep_numbers || !t.chars().all(|c| c.is_ascii_digit()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowercases_and_splits_on_punctuation() {
+        let t = Tokenizer::new();
+        assert_eq!(
+            t.tokenize("Ramipril 10 MG Oral-Capsule!"),
+            vec!["ramipril", "10", "mg", "oral", "capsule"]
+        );
+    }
+
+    #[test]
+    fn removes_stop_words_and_short_tokens() {
+        let t = Tokenizer::new();
+        assert_eq!(
+            t.tokenize("the pain in a chest of I"),
+            vec!["pain", "chest"]
+        );
+    }
+
+    #[test]
+    fn custom_stop_words_are_case_insensitive() {
+        let t = Tokenizer::new().with_stop_words(["Problem", "MEDICATION"]);
+        assert_eq!(
+            t.tokenize("Problem: acute bronchitis; medication none"),
+            vec!["acute", "bronchitis", "none"]
+        );
+    }
+
+    #[test]
+    fn numbers_can_be_dropped() {
+        let t = Tokenizer::new().without_numbers();
+        assert_eq!(t.tokenize("niacin 500 mg"), vec!["niacin", "mg"]);
+    }
+
+    #[test]
+    fn verbatim_keeps_everything() {
+        let t = Tokenizer::verbatim();
+        assert_eq!(t.tokenize("a b the"), vec!["a", "b", "the"]);
+    }
+
+    #[test]
+    fn empty_and_symbolic_input() {
+        let t = Tokenizer::new();
+        assert!(t.tokenize("").is_empty());
+        assert!(t.tokenize("!!! --- ???").is_empty());
+    }
+
+    #[test]
+    fn unicode_is_handled() {
+        let t = Tokenizer::new();
+        assert_eq!(t.tokenize("Ménière's disease"), vec!["ménière", "disease"]);
+    }
+}

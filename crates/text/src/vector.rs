@@ -1,0 +1,193 @@
+//! Sparse vectors and cosine similarity (Equation 3).
+
+use crate::vocab::TermId;
+
+/// A sparse vector over term ids, stored as `(id, weight)` pairs sorted by
+/// id. Weights of zero are never stored.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SparseVector {
+    entries: Vec<(TermId, f64)>,
+}
+
+impl SparseVector {
+    /// Empty vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from unsorted `(id, weight)` pairs, summing duplicates and
+    /// dropping zeros.
+    pub fn from_pairs(mut pairs: Vec<(TermId, f64)>) -> Self {
+        pairs.sort_unstable_by_key(|&(id, _)| id);
+        let mut entries: Vec<(TermId, f64)> = Vec::with_capacity(pairs.len());
+        for (id, w) in pairs {
+            match entries.last_mut() {
+                Some((last_id, last_w)) if *last_id == id => *last_w += w,
+                _ => entries.push((id, w)),
+            }
+        }
+        entries.retain(|&(_, w)| w != 0.0);
+        Self { entries }
+    }
+
+    /// Number of stored (non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the vector is all-zero.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The weight of `id` (0 if absent).
+    pub fn get(&self, id: TermId) -> f64 {
+        self.entries
+            .binary_search_by_key(&id, |&(i, _)| i)
+            .map(|slot| self.entries[slot].1)
+            .unwrap_or(0.0)
+    }
+
+    /// Iterator over `(id, weight)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, f64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Dot product (merge-join over the sorted entries).
+    pub fn dot(&self, other: &Self) -> f64 {
+        let (mut a, mut b) = (self.entries.as_slice(), other.entries.as_slice());
+        let mut acc = 0.0;
+        while let (Some(&(ia, wa)), Some(&(ib, wb))) = (a.first(), b.first()) {
+            match ia.cmp(&ib) {
+                std::cmp::Ordering::Less => a = &a[1..],
+                std::cmp::Ordering::Greater => b = &b[1..],
+                std::cmp::Ordering::Equal => {
+                    acc += wa * wb;
+                    a = &a[1..];
+                    b = &b[1..];
+                }
+            }
+        }
+        acc
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.entries
+            .iter()
+            .map(|&(_, w)| w * w)
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+impl FromIterator<(TermId, f64)> for SparseVector {
+    fn from_iter<T: IntoIterator<Item = (TermId, f64)>>(iter: T) -> Self {
+        Self::from_pairs(iter.into_iter().collect())
+    }
+}
+
+/// Cosine similarity of Equation 3: `A·B / (‖A‖·‖B‖)`.
+///
+/// Returns 0 when either vector is all-zero — an empty profile shares no
+/// interests with anyone, which matches the paper's intent even though the
+/// formula is undefined there.
+pub fn cosine(a: &SparseVector, b: &SparseVector) -> f64 {
+    let denom = a.norm() * b.norm();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    // Guard against floating-point drift pushing the ratio past 1.
+    (a.dot(b) / denom).clamp(-1.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(pairs: &[(u32, f64)]) -> SparseVector {
+        SparseVector::from_pairs(pairs.to_vec())
+    }
+
+    #[test]
+    fn from_pairs_sorts_sums_and_drops_zeros() {
+        let x = v(&[(3, 1.0), (1, 2.0), (3, 2.0), (2, 0.0)]);
+        let entries: Vec<_> = x.iter().collect();
+        assert_eq!(entries, vec![(1, 2.0), (3, 3.0)]);
+        assert_eq!(x.nnz(), 2);
+        assert_eq!(x.get(3), 3.0);
+        assert_eq!(x.get(2), 0.0);
+    }
+
+    #[test]
+    fn dot_product_over_shared_terms_only() {
+        let a = v(&[(0, 1.0), (2, 2.0), (5, 3.0)]);
+        let b = v(&[(2, 4.0), (3, 9.0), (5, 1.0)]);
+        assert_eq!(a.dot(&b), 2.0 * 4.0 + 3.0 * 1.0);
+    }
+
+    #[test]
+    fn norm_matches_hand_value() {
+        let a = v(&[(0, 3.0), (1, 4.0)]);
+        assert!((a.norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_basic_geometry() {
+        let a = v(&[(0, 1.0)]);
+        let b = v(&[(1, 1.0)]);
+        let c = v(&[(0, 2.0)]);
+        assert_eq!(cosine(&a, &b), 0.0); // orthogonal
+        assert!((cosine(&a, &c) - 1.0).abs() < 1e-12); // parallel
+        let mixed = v(&[(0, 1.0), (1, 1.0)]);
+        assert!((cosine(&a, &mixed) - 1.0 / 2.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_with_empty_vector_is_zero() {
+        let a = v(&[(0, 1.0)]);
+        let empty = SparseVector::new();
+        assert_eq!(cosine(&a, &empty), 0.0);
+        assert_eq!(cosine(&empty, &empty), 0.0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let x: SparseVector = [(2u32, 1.0), (1u32, 1.0)].into_iter().collect();
+        assert_eq!(x.iter().collect::<Vec<_>>(), vec![(1, 1.0), (2, 1.0)]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_vec() -> impl Strategy<Value = SparseVector> {
+        proptest::collection::vec((0u32..30, -5.0f64..5.0), 0..20)
+            .prop_map(SparseVector::from_pairs)
+    }
+
+    proptest! {
+        #[test]
+        fn cosine_is_symmetric_and_bounded(a in arb_vec(), b in arb_vec()) {
+            let ab = cosine(&a, &b);
+            let ba = cosine(&b, &a);
+            prop_assert!((ab - ba).abs() < 1e-12);
+            prop_assert!((-1.0..=1.0).contains(&ab));
+        }
+
+        #[test]
+        fn self_cosine_is_one_for_nonzero(a in arb_vec()) {
+            prop_assume!(!a.is_empty());
+            prop_assert!((cosine(&a, &a) - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn dot_matches_dense_computation(a in arb_vec(), b in arb_vec()) {
+            let dense: f64 = (0u32..30).map(|i| a.get(i) * b.get(i)).sum();
+            prop_assert!((a.dot(&b) - dense).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Term interning.
+
+use std::collections::HashMap;
+
+/// Dense identifier of an interned term.
+pub type TermId = u32;
+
+/// Bidirectional term ↔ id mapping.
+///
+/// Interning happens once at corpus-build time; lookups afterwards are
+/// read-only, so a plain `HashMap` + `Vec` pair suffices (no locking).
+#[derive(Debug, Default, Clone)]
+pub struct Vocabulary {
+    by_term: HashMap<String, TermId>,
+    terms: Vec<String>,
+}
+
+impl Vocabulary {
+    /// Empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `term`, returning its id (existing or fresh).
+    pub fn intern(&mut self, term: &str) -> TermId {
+        if let Some(&id) = self.by_term.get(term) {
+            return id;
+        }
+        let id = u32::try_from(self.terms.len()).expect("vocabulary fits in u32");
+        self.by_term.insert(term.to_string(), id);
+        self.terms.push(term.to_string());
+        id
+    }
+
+    /// Looks up an existing term.
+    pub fn get(&self, term: &str) -> Option<TermId> {
+        self.by_term.get(term).copied()
+    }
+
+    /// The term for an id.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this vocabulary.
+    pub fn term(&self, id: TermId) -> &str {
+        &self.terms[id as usize]
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterator over `(id, term)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &str)> {
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i as TermId, t.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("pain");
+        let b = v.intern("chest");
+        let a2 = v.intern("pain");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn lookup_both_directions() {
+        let mut v = Vocabulary::new();
+        let id = v.intern("bronchitis");
+        assert_eq!(v.get("bronchitis"), Some(id));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(v.term(id), "bronchitis");
+    }
+
+    #[test]
+    fn iteration_in_id_order() {
+        let mut v = Vocabulary::new();
+        v.intern("b");
+        v.intern("a");
+        let pairs: Vec<_> = v.iter().collect();
+        assert_eq!(pairs, vec![(0, "b"), (1, "a")]);
+        assert!(!v.is_empty());
+    }
+}

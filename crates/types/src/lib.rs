@@ -1,0 +1,35 @@
+//! Core data types shared by every `fairrec` crate.
+//!
+//! This crate defines the vocabulary of the recommender described in
+//! *"Fairness in Group Recommendations in the Health Domain"* (Stratigi,
+//! Kondylakis, Stefanidis — ICDE 2017):
+//!
+//! * [`UserId`] / [`ItemId`] — compact, copyable identifiers for the patient
+//!   set `U` and the item (document) set `I` of §III-A,
+//! * [`Rating`] — a validated score `rating(u, i) ∈ [1, 5]`,
+//! * [`RatingMatrix`] — the sparse set of rating triples
+//!   `R = {(u, i, rating(u, i))}` with both a user-major (CSR) view `I(u)`
+//!   and an item-major inverted index `U(i)`,
+//! * [`TopK`] — a bounded max-selection heap used for per-user top-k lists
+//!   `A_u` and for the final top-z selection,
+//! * [`FairrecError`] — the shared error type.
+//!
+//! The types are deliberately small and allocation-conscious: identifiers
+//! are `u32` newtypes, and the matrix stores ratings in two flat, sorted
+//! arrays so that hot loops (peer search, relevance prediction) iterate
+//! over contiguous memory.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod error;
+mod ids;
+mod matrix;
+mod rating;
+mod topk;
+
+pub use error::{FairrecError, Result};
+pub use ids::{ConceptId, GroupId, IdGen, ItemId, UserId};
+pub use matrix::{MatrixStats, RatingMatrix, RatingMatrixBuilder, RatingTriple};
+pub use rating::{Rating, Relevance, RATING_MAX, RATING_MIN};
+pub use topk::{ScoredItem, TopK};

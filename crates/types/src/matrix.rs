@@ -1,0 +1,679 @@
+//! Sparse rating matrix.
+//!
+//! §IV of the paper takes as input *"a set of user rating triples
+//! `R = {(u, i, rating(u, i))}`"*. [`RatingMatrix`] is the in-memory form of
+//! that relation, stored twice for the two access patterns the model needs:
+//!
+//! * **user-major (CSR)** — `I(u)`, the items rated by a user, used when
+//!   computing user means, Pearson correlations, and per-user candidate
+//!   filtering;
+//! * **item-major (CSC)** — `U(i)`, the users who rated an item, used by the
+//!   relevance prediction of Equation 1 (`P_u ∩ U(i)`) and by MapReduce
+//!   Job 1, which groups the input by item.
+//!
+//! Both views keep entries sorted by id so that intersections (co-rated
+//! items, peers-that-rated) run as linear merge-joins over contiguous
+//! arrays — the hot path of the whole system.
+
+use crate::error::{FairrecError, Result};
+use crate::ids::{ItemId, UserId};
+use crate::rating::Rating;
+
+/// One `(u, i, rating(u, i))` fact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RatingTriple {
+    /// The rating user.
+    pub user: UserId,
+    /// The rated item.
+    pub item: ItemId,
+    /// The validated score.
+    pub rating: Rating,
+}
+
+/// Accumulates rating triples and freezes them into a [`RatingMatrix`].
+///
+/// Duplicate `(user, item)` pairs are rejected at [`build`](Self::build)
+/// time: silently keeping one of the two scores would make downstream
+/// experiments depend on insertion order.
+#[derive(Debug, Default, Clone)]
+pub struct RatingMatrixBuilder {
+    triples: Vec<(UserId, ItemId, f64)>,
+    min_users: u32,
+    min_items: u32,
+}
+
+impl RatingMatrixBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder with a capacity hint for the number of triples.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            triples: Vec::with_capacity(n),
+            min_users: 0,
+            min_items: 0,
+        }
+    }
+
+    /// Forces the id spaces to cover at least `n_users` users and
+    /// `n_items` items, so entities without any rating still exist in the
+    /// matrix (a patient who has not rated anything is still a patient).
+    pub fn reserve_ids(mut self, n_users: u32, n_items: u32) -> Self {
+        self.min_users = self.min_users.max(n_users);
+        self.min_items = self.min_items.max(n_items);
+        self
+    }
+
+    /// Adds one rating triple.
+    pub fn add(&mut self, user: UserId, item: ItemId, rating: Rating) -> &mut Self {
+        self.triples.push((user, item, rating.value()));
+        self
+    }
+
+    /// Adds one triple, validating the raw score.
+    ///
+    /// # Errors
+    /// Returns [`FairrecError::InvalidRating`] if `score ∉ [1, 5]`.
+    pub fn add_raw(&mut self, user: UserId, item: ItemId, score: f64) -> Result<&mut Self> {
+        let rating = Rating::new(score)?;
+        Ok(self.add(user, item, rating))
+    }
+
+    /// Number of triples accumulated so far.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// Whether no triples have been added.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// Freezes the builder into an immutable matrix.
+    ///
+    /// # Errors
+    /// Returns [`FairrecError::DuplicateRating`] if the same `(user, item)`
+    /// pair was added twice.
+    pub fn build(self) -> Result<RatingMatrix> {
+        let Self {
+            mut triples,
+            min_users,
+            min_items,
+        } = self;
+
+        let n_users = triples
+            .iter()
+            .map(|t| t.0.raw() + 1)
+            .max()
+            .unwrap_or(0)
+            .max(min_users);
+        let n_items = triples
+            .iter()
+            .map(|t| t.1.raw() + 1)
+            .max()
+            .unwrap_or(0)
+            .max(min_items);
+
+        // Sort user-major; detect duplicates on the sorted sequence.
+        triples.sort_unstable_by_key(|&(u, i, _)| (u, i));
+        for w in triples.windows(2) {
+            if w[0].0 == w[1].0 && w[0].1 == w[1].1 {
+                return Err(FairrecError::DuplicateRating {
+                    user: w[0].0,
+                    item: w[0].1,
+                });
+            }
+        }
+
+        let nnz = triples.len();
+        let mut user_offsets = vec![0u32; n_users as usize + 1];
+        let mut user_items = Vec::with_capacity(nnz);
+        let mut user_scores = Vec::with_capacity(nnz);
+        for &(u, i, s) in &triples {
+            user_offsets[u.index() + 1] += 1;
+            user_items.push(i);
+            user_scores.push(s);
+        }
+        for k in 1..user_offsets.len() {
+            user_offsets[k] += user_offsets[k - 1];
+        }
+
+        // Item-major copy: counting sort by item, preserving user order.
+        let mut item_counts = vec![0u32; n_items as usize + 1];
+        for &(_, i, _) in &triples {
+            item_counts[i.index() + 1] += 1;
+        }
+        for k in 1..item_counts.len() {
+            item_counts[k] += item_counts[k - 1];
+        }
+        let item_offsets = item_counts.clone();
+        let mut item_users = vec![UserId::new(0); nnz];
+        let mut item_scores = vec![0.0f64; nnz];
+        let mut cursor = item_counts;
+        for &(u, i, s) in &triples {
+            let pos = cursor[i.index()] as usize;
+            item_users[pos] = u;
+            item_scores[pos] = s;
+            cursor[i.index()] += 1;
+        }
+
+        // Cached per-user means (µ_u of Equation 2). 0 ratings ⇒ NaN slot,
+        // surfaced as None by `user_mean`.
+        let mut user_means = vec![f64::NAN; n_users as usize];
+        for u in 0..n_users as usize {
+            let (lo, hi) = (user_offsets[u] as usize, user_offsets[u + 1] as usize);
+            if hi > lo {
+                let sum: f64 = user_scores[lo..hi].iter().sum();
+                user_means[u] = sum / (hi - lo) as f64;
+            }
+        }
+
+        Ok(RatingMatrix {
+            n_users,
+            n_items,
+            user_offsets,
+            user_items,
+            user_scores,
+            item_offsets,
+            item_users,
+            item_scores,
+            user_means,
+        })
+    }
+}
+
+/// Immutable sparse rating matrix with user-major and item-major views.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RatingMatrix {
+    n_users: u32,
+    n_items: u32,
+    user_offsets: Vec<u32>,
+    user_items: Vec<ItemId>,
+    user_scores: Vec<f64>,
+    item_offsets: Vec<u32>,
+    item_users: Vec<UserId>,
+    item_scores: Vec<f64>,
+    user_means: Vec<f64>,
+}
+
+impl RatingMatrix {
+    /// Builds a matrix directly from an iterator of validated triples.
+    ///
+    /// # Errors
+    /// Propagates [`RatingMatrixBuilder::build`] errors.
+    pub fn from_triples<T: IntoIterator<Item = RatingTriple>>(triples: T) -> Result<Self> {
+        let mut b = RatingMatrixBuilder::new();
+        for t in triples {
+            b.add(t.user, t.item, t.rating);
+        }
+        b.build()
+    }
+
+    /// Size of the user id space (`|U|`, including rating-less users).
+    pub fn num_users(&self) -> u32 {
+        self.n_users
+    }
+
+    /// Size of the item id space (`|I|`, including unrated items).
+    pub fn num_items(&self) -> u32 {
+        self.n_items
+    }
+
+    /// Total number of stored ratings (`|R|`).
+    pub fn num_ratings(&self) -> usize {
+        self.user_items.len()
+    }
+
+    /// Iterator over the full user id space.
+    pub fn user_ids(&self) -> impl Iterator<Item = UserId> + '_ {
+        (0..self.n_users).map(UserId::new)
+    }
+
+    /// Iterator over the full item id space.
+    pub fn item_ids(&self) -> impl Iterator<Item = ItemId> + '_ {
+        (0..self.n_items).map(ItemId::new)
+    }
+
+    /// The items rated by `u` — the set `I(u)` — sorted by item id.
+    pub fn items_of(&self, u: UserId) -> &[ItemId] {
+        let (lo, hi) = self.user_range(u);
+        &self.user_items[lo..hi]
+    }
+
+    /// Scores parallel to [`items_of`](Self::items_of).
+    pub fn scores_of(&self, u: UserId) -> &[f64] {
+        let (lo, hi) = self.user_range(u);
+        &self.user_scores[lo..hi]
+    }
+
+    /// `(item, score)` pairs rated by `u`, sorted by item id.
+    pub fn ratings_of(&self, u: UserId) -> impl Iterator<Item = (ItemId, f64)> + '_ {
+        self.items_of(u)
+            .iter()
+            .copied()
+            .zip(self.scores_of(u).iter().copied())
+    }
+
+    /// The users who rated `i` — the set `U(i)` — sorted by user id.
+    pub fn users_of(&self, i: ItemId) -> &[UserId] {
+        let (lo, hi) = self.item_range(i);
+        &self.item_users[lo..hi]
+    }
+
+    /// `(user, score)` pairs who rated `i`, sorted by user id.
+    pub fn raters_of(&self, i: ItemId) -> impl Iterator<Item = (UserId, f64)> + '_ {
+        let (lo, hi) = self.item_range(i);
+        self.item_users[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.item_scores[lo..hi].iter().copied())
+    }
+
+    /// Looks up `rating(u, i)`, if present (binary search in `I(u)`).
+    pub fn rating(&self, u: UserId, i: ItemId) -> Option<f64> {
+        let (lo, hi) = self.user_range(u);
+        let slot = self.user_items[lo..hi].binary_search(&i).ok()?;
+        Some(self.user_scores[lo + slot])
+    }
+
+    /// Whether `u` expressed a rating for `i`.
+    pub fn has_rated(&self, u: UserId, i: ItemId) -> bool {
+        self.rating(u, i).is_some()
+    }
+
+    /// Number of ratings by `u`.
+    pub fn degree_of(&self, u: UserId) -> usize {
+        let (lo, hi) = self.user_range(u);
+        hi - lo
+    }
+
+    /// Mean rating `µ_u` of Equation 2, or `None` for rating-less users.
+    pub fn user_mean(&self, u: UserId) -> Option<f64> {
+        if u.raw() >= self.n_users {
+            return None;
+        }
+        let m = self.user_means[u.index()];
+        (!m.is_nan()).then_some(m)
+    }
+
+    /// Merge-join over the co-rated items of `u` and `v`, yielding
+    /// `(item, rating(u, item), rating(v, item))` in item order.
+    ///
+    /// This is the intersection `I(u) ∩ I(v)` of Equation 2.
+    pub fn co_ratings<'a>(&'a self, u: UserId, v: UserId) -> CoRatings<'a> {
+        let (ulo, uhi) = self.user_range(u);
+        let (vlo, vhi) = self.user_range(v);
+        CoRatings {
+            left_items: &self.user_items[ulo..uhi],
+            left_scores: &self.user_scores[ulo..uhi],
+            right_items: &self.user_items[vlo..vhi],
+            right_scores: &self.user_scores[vlo..vhi],
+        }
+    }
+
+    /// Items that **no** member of `group` has rated — the candidate pool
+    /// produced by MapReduce Job 1 (*"the reducer checks if any user in the
+    /// group has rated that item; if not, then this item will be considered
+    /// as a recommendation"*).
+    ///
+    /// Only items with at least one rating by a non-member can ever receive
+    /// a collaborative prediction, but this method returns every unrated
+    /// item; prediction later yields `None` where Equation 1 is undefined.
+    pub fn unrated_by_all(&self, group: &[UserId]) -> Vec<ItemId> {
+        let mut rated = vec![false; self.n_items as usize];
+        for &u in group {
+            for &i in self.items_of(u) {
+                rated[i.index()] = true;
+            }
+        }
+        (0..self.n_items)
+            .filter(|&raw| !rated[raw as usize])
+            .map(ItemId::new)
+            .collect()
+    }
+
+    /// Re-materialises the triple relation, sorted `(user, item)`.
+    pub fn to_triples(&self) -> Vec<RatingTriple> {
+        let mut out = Vec::with_capacity(self.num_ratings());
+        for u in self.user_ids() {
+            for (item, score) in self.ratings_of(u) {
+                out.push(RatingTriple {
+                    user: u,
+                    item,
+                    rating: Rating::saturating(score),
+                });
+            }
+        }
+        out
+    }
+
+    /// Summary statistics for dataset reporting.
+    pub fn stats(&self) -> MatrixStats {
+        let nnz = self.num_ratings();
+        let users_with = (0..self.n_users as usize)
+            .filter(|&u| self.user_offsets[u + 1] > self.user_offsets[u])
+            .count();
+        let items_with = (0..self.n_items as usize)
+            .filter(|&i| self.item_offsets[i + 1] > self.item_offsets[i])
+            .count();
+        let cells = self.n_users as f64 * self.n_items as f64;
+        let density = if cells > 0.0 { nnz as f64 / cells } else { 0.0 };
+        let mean_rating = if nnz > 0 {
+            self.user_scores.iter().sum::<f64>() / nnz as f64
+        } else {
+            0.0
+        };
+        MatrixStats {
+            num_users: self.n_users,
+            num_items: self.n_items,
+            num_ratings: nnz,
+            users_with_ratings: users_with,
+            items_with_ratings: items_with,
+            density,
+            mean_rating,
+        }
+    }
+
+    #[inline]
+    fn user_range(&self, u: UserId) -> (usize, usize) {
+        if u.raw() >= self.n_users {
+            return (0, 0);
+        }
+        (
+            self.user_offsets[u.index()] as usize,
+            self.user_offsets[u.index() + 1] as usize,
+        )
+    }
+
+    #[inline]
+    fn item_range(&self, i: ItemId) -> (usize, usize) {
+        if i.raw() >= self.n_items {
+            return (0, 0);
+        }
+        (
+            self.item_offsets[i.index()] as usize,
+            self.item_offsets[i.index() + 1] as usize,
+        )
+    }
+}
+
+/// Iterator produced by [`RatingMatrix::co_ratings`].
+#[derive(Debug, Clone)]
+pub struct CoRatings<'a> {
+    left_items: &'a [ItemId],
+    left_scores: &'a [f64],
+    right_items: &'a [ItemId],
+    right_scores: &'a [f64],
+}
+
+impl Iterator for CoRatings<'_> {
+    type Item = (ItemId, f64, f64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let (&li, &ri) = (self.left_items.first()?, self.right_items.first()?);
+            match li.cmp(&ri) {
+                std::cmp::Ordering::Less => {
+                    self.left_items = &self.left_items[1..];
+                    self.left_scores = &self.left_scores[1..];
+                }
+                std::cmp::Ordering::Greater => {
+                    self.right_items = &self.right_items[1..];
+                    self.right_scores = &self.right_scores[1..];
+                }
+                std::cmp::Ordering::Equal => {
+                    let out = (li, self.left_scores[0], self.right_scores[0]);
+                    self.left_items = &self.left_items[1..];
+                    self.left_scores = &self.left_scores[1..];
+                    self.right_items = &self.right_items[1..];
+                    self.right_scores = &self.right_scores[1..];
+                    return Some(out);
+                }
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, Some(self.left_items.len().min(self.right_items.len())))
+    }
+}
+
+/// Summary statistics of a [`RatingMatrix`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatrixStats {
+    /// Size of the user id space.
+    pub num_users: u32,
+    /// Size of the item id space.
+    pub num_items: u32,
+    /// Number of stored ratings.
+    pub num_ratings: usize,
+    /// Users with at least one rating.
+    pub users_with_ratings: usize,
+    /// Items with at least one rating.
+    pub items_with_ratings: usize,
+    /// `num_ratings / (num_users * num_items)`.
+    pub density: f64,
+    /// Global mean rating.
+    pub mean_rating: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(v: f64) -> Rating {
+        Rating::new(v).unwrap()
+    }
+
+    fn small() -> RatingMatrix {
+        // u0: i0=5, i2=3 ; u1: i0=4 ; u2: (none) ; item space padded to 4.
+        let mut b = RatingMatrixBuilder::new().reserve_ids(3, 4);
+        b.add(UserId::new(0), ItemId::new(0), r(5.0));
+        b.add(UserId::new(0), ItemId::new(2), r(3.0));
+        b.add(UserId::new(1), ItemId::new(0), r(4.0));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dimensions_respect_reserved_ids() {
+        let m = small();
+        assert_eq!(m.num_users(), 3);
+        assert_eq!(m.num_items(), 4);
+        assert_eq!(m.num_ratings(), 3);
+    }
+
+    #[test]
+    fn user_major_view_is_sorted() {
+        let m = small();
+        assert_eq!(m.items_of(UserId::new(0)), &[ItemId::new(0), ItemId::new(2)]);
+        assert_eq!(m.scores_of(UserId::new(0)), &[5.0, 3.0]);
+        assert_eq!(m.items_of(UserId::new(2)), &[] as &[ItemId]);
+    }
+
+    #[test]
+    fn item_major_view_is_sorted() {
+        let m = small();
+        assert_eq!(m.users_of(ItemId::new(0)), &[UserId::new(0), UserId::new(1)]);
+        let raters: Vec<_> = m.raters_of(ItemId::new(0)).collect();
+        assert_eq!(raters, vec![(UserId::new(0), 5.0), (UserId::new(1), 4.0)]);
+        assert!(m.users_of(ItemId::new(3)).is_empty());
+    }
+
+    #[test]
+    fn point_lookup_and_degree() {
+        let m = small();
+        assert_eq!(m.rating(UserId::new(0), ItemId::new(2)), Some(3.0));
+        assert_eq!(m.rating(UserId::new(1), ItemId::new(2)), None);
+        assert!(m.has_rated(UserId::new(1), ItemId::new(0)));
+        assert_eq!(m.degree_of(UserId::new(0)), 2);
+        assert_eq!(m.degree_of(UserId::new(2)), 0);
+    }
+
+    #[test]
+    fn out_of_range_ids_behave_as_empty() {
+        let m = small();
+        assert!(m.items_of(UserId::new(99)).is_empty());
+        assert!(m.users_of(ItemId::new(99)).is_empty());
+        assert_eq!(m.rating(UserId::new(99), ItemId::new(0)), None);
+        assert_eq!(m.user_mean(UserId::new(99)), None);
+    }
+
+    #[test]
+    fn user_means_match_hand_computation() {
+        let m = small();
+        assert_eq!(m.user_mean(UserId::new(0)), Some(4.0));
+        assert_eq!(m.user_mean(UserId::new(1)), Some(4.0));
+        assert_eq!(m.user_mean(UserId::new(2)), None);
+    }
+
+    #[test]
+    fn co_ratings_is_the_sorted_intersection() {
+        let m = small();
+        let co: Vec<_> = m.co_ratings(UserId::new(0), UserId::new(1)).collect();
+        assert_eq!(co, vec![(ItemId::new(0), 5.0, 4.0)]);
+        let none: Vec<_> = m.co_ratings(UserId::new(1), UserId::new(2)).collect();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn unrated_by_all_excludes_any_member_rating() {
+        let m = small();
+        let group = [UserId::new(0), UserId::new(1)];
+        assert_eq!(
+            m.unrated_by_all(&group),
+            vec![ItemId::new(1), ItemId::new(3)]
+        );
+        // A rating-less member changes nothing.
+        let group = [UserId::new(2)];
+        assert_eq!(m.unrated_by_all(&group).len(), 4);
+    }
+
+    #[test]
+    fn duplicate_pairs_are_rejected() {
+        let mut b = RatingMatrixBuilder::new();
+        b.add(UserId::new(0), ItemId::new(0), r(5.0));
+        b.add(UserId::new(0), ItemId::new(0), r(1.0));
+        match b.build() {
+            Err(FairrecError::DuplicateRating { user, item }) => {
+                assert_eq!(user, UserId::new(0));
+                assert_eq!(item, ItemId::new(0));
+            }
+            other => panic!("expected DuplicateRating, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_matrix_is_valid() {
+        let m = RatingMatrixBuilder::new().build().unwrap();
+        assert_eq!(m.num_users(), 0);
+        assert_eq!(m.num_items(), 0);
+        assert_eq!(m.num_ratings(), 0);
+        assert!(m.unrated_by_all(&[]).is_empty());
+        let s = m.stats();
+        assert_eq!(s.density, 0.0);
+    }
+
+    #[test]
+    fn add_raw_validates() {
+        let mut b = RatingMatrixBuilder::new();
+        assert!(b.add_raw(UserId::new(0), ItemId::new(0), 6.0).is_err());
+        assert!(b.add_raw(UserId::new(0), ItemId::new(0), 4.0).is_ok());
+        assert_eq!(b.len(), 1);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn stats_report_coverage_and_density() {
+        let m = small();
+        let s = m.stats();
+        assert_eq!(s.users_with_ratings, 2);
+        assert_eq!(s.items_with_ratings, 2);
+        assert!((s.density - 3.0 / 12.0).abs() < 1e-12);
+        assert!((s.mean_rating - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triples_round_trip() {
+        let m = small();
+        let again = RatingMatrix::from_triples(m.to_triples()).unwrap();
+        // Dimensions shrink to the occupied prefix, so compare the relation.
+        assert_eq!(m.to_triples(), again.to_triples());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::collection::btree_map;
+    use proptest::prelude::*;
+
+    fn arb_relation() -> impl Strategy<Value = Vec<(u32, u32, f64)>> {
+        // A map keyed by (u, i) guarantees uniqueness of pairs.
+        btree_map((0u32..40, 0u32..60), 1.0f64..=5.0, 0..200).prop_map(|m| {
+            m.into_iter()
+                .map(|((u, i), s)| (u, i, (s * 2.0).round() / 2.0))
+                .collect()
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn round_trips_through_triples(rel in arb_relation()) {
+            let mut b = RatingMatrixBuilder::new();
+            for &(u, i, s) in &rel {
+                b.add_raw(UserId::new(u), ItemId::new(i), s).unwrap();
+            }
+            let m = b.build().unwrap();
+            prop_assert_eq!(m.num_ratings(), rel.len());
+            for &(u, i, s) in &rel {
+                prop_assert_eq!(m.rating(UserId::new(u), ItemId::new(i)), Some(s));
+            }
+            let back: Vec<(u32, u32, f64)> = m
+                .to_triples()
+                .into_iter()
+                .map(|t| (t.user.raw(), t.item.raw(), t.rating.value()))
+                .collect();
+            prop_assert_eq!(back, rel);
+        }
+
+        #[test]
+        fn co_ratings_matches_naive_intersection(
+            rel in arb_relation(), a in 0u32..40, b in 0u32..40
+        ) {
+            let mut bld = RatingMatrixBuilder::new();
+            for &(u, i, s) in &rel {
+                bld.add_raw(UserId::new(u), ItemId::new(i), s).unwrap();
+            }
+            let m = bld.build().unwrap();
+            let (ua, ub) = (UserId::new(a), UserId::new(b));
+            let fast: Vec<_> = m.co_ratings(ua, ub).collect();
+            let naive: Vec<_> = m
+                .ratings_of(ua)
+                .filter_map(|(i, sa)| m.rating(ub, i).map(|sb| (i, sa, sb)))
+                .collect();
+            prop_assert_eq!(fast, naive);
+        }
+
+        #[test]
+        fn item_view_agrees_with_user_view(rel in arb_relation()) {
+            let mut bld = RatingMatrixBuilder::new();
+            for &(u, i, s) in &rel {
+                bld.add_raw(UserId::new(u), ItemId::new(i), s).unwrap();
+            }
+            let m = bld.build().unwrap();
+            let mut from_items: Vec<(u32, u32, f64)> = m
+                .item_ids()
+                .flat_map(|i| m.raters_of(i).map(move |(u, s)| (u.raw(), i.raw(), s)))
+                .collect();
+            from_items.sort_by(|x, y| (x.0, x.1).partial_cmp(&(y.0, y.1)).unwrap());
+            let from_users: Vec<(u32, u32, f64)> = m
+                .to_triples()
+                .into_iter()
+                .map(|t| (t.user.raw(), t.item.raw(), t.rating.value()))
+                .collect();
+            prop_assert_eq!(from_items, from_users);
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Validated rating scores.
+//!
+//! §III-A of the paper: *"A patient, or user, `u ∈ U` might rate an item
+//! `i ∈ I` with a score `rating(u, i)` in `[1, 5]`"*. Explicit ratings are
+//! therefore validated into the closed interval `[RATING_MIN, RATING_MAX]`.
+//! Predicted scores ([`Relevance`]) are plain `f64` values: Equation 1
+//! produces a convex combination of peer ratings, so predictions also fall
+//! inside `[1, 5]`, but they are *derived* quantities and are not
+//! re-validated on every arithmetic step.
+
+use crate::error::{FairrecError, Result};
+use std::fmt;
+
+/// Smallest admissible rating value.
+pub const RATING_MIN: f64 = 1.0;
+/// Largest admissible rating value.
+pub const RATING_MAX: f64 = 5.0;
+
+/// Predicted relevance score (`relevance(u, i)` of Equation 1 or
+/// `relevanceG(G, i)` of Definition 2).
+pub type Relevance = f64;
+
+/// A validated explicit rating in `[1, 5]`.
+///
+/// The paper's UI collects integer star ratings, but the model is agnostic,
+/// so fractional scores (e.g. from implicit-feedback conversion) are
+/// accepted as long as they are finite and inside the interval.
+#[derive(Clone, Copy, PartialEq, PartialOrd)]
+pub struct Rating(f64);
+
+impl Rating {
+    /// Validates `value` into a rating.
+    ///
+    /// # Errors
+    /// Returns [`FairrecError::InvalidRating`] when the value is not finite
+    /// or lies outside `[1, 5]`.
+    pub fn new(value: f64) -> Result<Self> {
+        if value.is_finite() && (RATING_MIN..=RATING_MAX).contains(&value) {
+            Ok(Self(value))
+        } else {
+            Err(FairrecError::InvalidRating { value })
+        }
+    }
+
+    /// Builds a rating from an integer star count (1–5).
+    ///
+    /// # Errors
+    /// Returns [`FairrecError::InvalidRating`] for star counts outside 1–5.
+    pub fn from_stars(stars: u8) -> Result<Self> {
+        Self::new(f64::from(stars))
+    }
+
+    /// The underlying score.
+    #[inline]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Clamps an arbitrary finite value into the valid range.
+    ///
+    /// Useful when converting model outputs back into the rating domain.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `value` is NaN.
+    pub fn saturating(value: f64) -> Self {
+        debug_assert!(!value.is_nan(), "cannot build a Rating from NaN");
+        Self(value.clamp(RATING_MIN, RATING_MAX))
+    }
+}
+
+impl fmt::Debug for Rating {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rating({})", self.0)
+    }
+}
+
+impl fmt::Display for Rating {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}", self.0)
+    }
+}
+
+impl From<Rating> for f64 {
+    #[inline]
+    fn from(r: Rating) -> f64 {
+        r.0
+    }
+}
+
+impl TryFrom<f64> for Rating {
+    type Error = FairrecError;
+
+    fn try_from(value: f64) -> Result<Self> {
+        Self::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_boundary_values() {
+        assert_eq!(Rating::new(1.0).unwrap().value(), 1.0);
+        assert_eq!(Rating::new(5.0).unwrap().value(), 5.0);
+        assert_eq!(Rating::new(3.25).unwrap().value(), 3.25);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(Rating::new(0.999).is_err());
+        assert!(Rating::new(5.001).is_err());
+        assert!(Rating::new(-1.0).is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        assert!(Rating::new(f64::NAN).is_err());
+        assert!(Rating::new(f64::INFINITY).is_err());
+        assert!(Rating::new(f64::NEG_INFINITY).is_err());
+    }
+
+    #[test]
+    fn from_stars_covers_ui_range() {
+        for stars in 1..=5u8 {
+            assert_eq!(Rating::from_stars(stars).unwrap().value(), f64::from(stars));
+        }
+        assert!(Rating::from_stars(0).is_err());
+        assert!(Rating::from_stars(6).is_err());
+    }
+
+    #[test]
+    fn saturating_clamps() {
+        assert_eq!(Rating::saturating(0.0).value(), 1.0);
+        assert_eq!(Rating::saturating(9.0).value(), 5.0);
+        assert_eq!(Rating::saturating(2.5).value(), 2.5);
+    }
+
+    #[test]
+    fn display_rounds_to_two_decimals() {
+        assert_eq!(format!("{}", Rating::new(3.456).unwrap()), "3.46");
+    }
+
+    #[test]
+    fn try_from_round_trips() {
+        let r: Rating = 4.5f64.try_into().unwrap();
+        let back: f64 = r.into();
+        assert_eq!(back, 4.5);
+    }
+}

@@ -1,0 +1,297 @@
+//! Bounded top-k selection.
+//!
+//! Both the single-user recommendation step (*"the items `A_u` with the
+//! top-k relevance scores can be suggested to `u`"*, §III-A) and the group
+//! step (§III-B) need the `k` highest-scoring items out of a large candidate
+//! stream. [`TopK`] keeps a bounded binary min-heap: pushing is `O(log k)`
+//! and memory stays `O(k)` regardless of stream length, which is the same
+//! observation that motivates the MapReduce top-k of the paper's ref. [5].
+//!
+//! Ties are broken by *ascending item id* so that results are deterministic
+//! and independent of push order — important both for reproducible
+//! experiments and for verifying the MapReduce path against the in-memory
+//! path.
+
+use crate::ids::ItemId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An item together with its (relevance) score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredItem {
+    /// The scored item.
+    pub item: ItemId,
+    /// The score; must be finite.
+    pub score: f64,
+}
+
+impl ScoredItem {
+    /// Creates a scored item.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `score` is not finite; NaN scores have no
+    /// meaningful rank.
+    pub fn new(item: ItemId, score: f64) -> Self {
+        debug_assert!(score.is_finite(), "scores must be finite, got {score}");
+        Self { item, score }
+    }
+
+    /// Ranking key: higher score wins; on equal scores, the *smaller* item
+    /// id wins. Returns `Ordering::Greater` when `self` outranks `other`.
+    fn rank_cmp(&self, other: &Self) -> Ordering {
+        match self.score.partial_cmp(&other.score) {
+            Some(Ordering::Equal) | None => other.item.cmp(&self.item),
+            Some(ord) => ord,
+        }
+    }
+}
+
+/// Min-heap wrapper: the heap root is the *worst* retained entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct MinEntry(ScoredItem);
+
+impl Eq for MinEntry {}
+
+impl PartialOrd for MinEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for MinEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the worst on top.
+        other.0.rank_cmp(&self.0)
+    }
+}
+
+/// Bounded selection of the `k` best-scoring items from a stream.
+///
+/// ```
+/// use fairrec_types::{ItemId, TopK};
+///
+/// let mut top = TopK::new(2);
+/// top.push(ItemId::new(1), 3.0);
+/// top.push(ItemId::new(2), 5.0);
+/// top.push(ItemId::new(3), 4.0);
+/// let best = top.into_sorted_vec();
+/// assert_eq!(best[0].item, ItemId::new(2));
+/// assert_eq!(best[1].item, ItemId::new(3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TopK {
+    k: usize,
+    heap: BinaryHeap<MinEntry>,
+}
+
+impl TopK {
+    /// Creates a selector retaining the best `k` entries. `k = 0` retains
+    /// nothing (useful as a degenerate sweep endpoint).
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            heap: BinaryHeap::with_capacity(k.saturating_add(1)),
+        }
+    }
+
+    /// The bound `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Current number of retained entries (`≤ k`).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Offers an entry; returns `true` if it was retained.
+    pub fn push(&mut self, item: ItemId, score: f64) -> bool {
+        if self.k == 0 {
+            return false;
+        }
+        let candidate = ScoredItem::new(item, score);
+        if self.heap.len() < self.k {
+            self.heap.push(MinEntry(candidate));
+            return true;
+        }
+        // Full: replace the worst retained entry if the candidate outranks it.
+        let worst = self.heap.peek().expect("non-empty when full").0;
+        if candidate.rank_cmp(&worst) == Ordering::Greater {
+            self.heap.pop();
+            self.heap.push(MinEntry(candidate));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The worst retained score, if any — the current admission threshold
+    /// once the selector is full.
+    pub fn threshold(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.0.score)
+    }
+
+    /// Consumes the selector, returning entries best-first.
+    pub fn into_sorted_vec(self) -> Vec<ScoredItem> {
+        let mut v: Vec<ScoredItem> = self.heap.into_iter().map(|e| e.0).collect();
+        v.sort_unstable_by(|a, b| b.rank_cmp(a));
+        v
+    }
+
+    /// Consumes the selector, returning only the item ids, best-first.
+    pub fn into_items(self) -> Vec<ItemId> {
+        self.into_sorted_vec().into_iter().map(|s| s.item).collect()
+    }
+}
+
+impl Extend<ScoredItem> for TopK {
+    fn extend<T: IntoIterator<Item = ScoredItem>>(&mut self, iter: T) {
+        for s in iter {
+            self.push(s.item, s.score);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<ItemId> {
+        v.iter().copied().map(ItemId::new).collect()
+    }
+
+    #[test]
+    fn keeps_the_best_k() {
+        let mut t = TopK::new(3);
+        for (i, s) in [(0, 1.0), (1, 9.0), (2, 5.0), (3, 7.0), (4, 3.0)] {
+            t.push(ItemId::new(i), s);
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.clone().into_items(), ids(&[1, 3, 2]));
+        assert_eq!(t.threshold(), Some(5.0));
+    }
+
+    #[test]
+    fn ties_break_by_ascending_item_id() {
+        let mut t = TopK::new(2);
+        t.push(ItemId::new(9), 4.0);
+        t.push(ItemId::new(2), 4.0);
+        t.push(ItemId::new(5), 4.0);
+        assert_eq!(t.into_items(), ids(&[2, 5]));
+    }
+
+    #[test]
+    fn tie_breaking_is_push_order_independent() {
+        let scores = [(7u32, 2.0), (1, 2.0), (4, 2.0), (3, 5.0)];
+        let mut perms: Vec<Vec<ItemId>> = Vec::new();
+        // All 4! orders.
+        let idx = [0usize, 1, 2, 3];
+        let mut orders = Vec::new();
+        permute(&idx, &mut vec![], &mut orders);
+        for order in orders {
+            let mut t = TopK::new(3);
+            for &p in &order {
+                let (i, s) = scores[p];
+                t.push(ItemId::new(i), s);
+            }
+            perms.push(t.into_items());
+        }
+        for p in &perms {
+            assert_eq!(p, &ids(&[3, 1, 4]));
+        }
+    }
+
+    fn permute(rest: &[usize], acc: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if rest.is_empty() {
+            out.push(acc.clone());
+            return;
+        }
+        for (pos, &x) in rest.iter().enumerate() {
+            let mut next: Vec<usize> = rest.to_vec();
+            next.remove(pos);
+            acc.push(x);
+            permute(&next, acc, out);
+            acc.pop();
+        }
+    }
+
+    #[test]
+    fn k_zero_retains_nothing() {
+        let mut t = TopK::new(0);
+        assert!(!t.push(ItemId::new(1), 5.0));
+        assert!(t.is_empty());
+        assert!(t.into_sorted_vec().is_empty());
+    }
+
+    #[test]
+    fn under_filled_returns_all_sorted() {
+        let mut t = TopK::new(10);
+        t.push(ItemId::new(1), 2.0);
+        t.push(ItemId::new(2), 8.0);
+        assert_eq!(t.into_items(), ids(&[2, 1]));
+    }
+
+    #[test]
+    fn push_reports_retention() {
+        let mut t = TopK::new(1);
+        assert!(t.push(ItemId::new(0), 1.0));
+        assert!(t.push(ItemId::new(1), 2.0)); // displaces
+        assert!(!t.push(ItemId::new(2), 0.5)); // rejected
+        assert_eq!(t.into_items(), ids(&[1]));
+    }
+
+    #[test]
+    fn extend_accepts_scored_items() {
+        let mut t = TopK::new(2);
+        t.extend([
+            ScoredItem::new(ItemId::new(1), 1.0),
+            ScoredItem::new(ItemId::new(2), 2.0),
+            ScoredItem::new(ItemId::new(3), 3.0),
+        ]);
+        assert_eq!(t.into_items(), ids(&[3, 2]));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn agrees_with_full_sort(
+            scores in proptest::collection::vec(0.0f64..100.0, 0..200),
+            k in 0usize..20
+        ) {
+            let mut t = TopK::new(k);
+            for (i, &s) in scores.iter().enumerate() {
+                t.push(ItemId::new(i as u32), s);
+            }
+            let got = t.into_sorted_vec();
+
+            let mut all: Vec<ScoredItem> = scores
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| ScoredItem::new(ItemId::new(i as u32), s))
+                .collect();
+            all.sort_unstable_by(|a, b| {
+                b.score
+                    .partial_cmp(&a.score)
+                    .unwrap()
+                    .then(a.item.cmp(&b.item))
+            });
+            all.truncate(k);
+
+            prop_assert_eq!(got.len(), all.len());
+            for (g, e) in got.iter().zip(all.iter()) {
+                prop_assert_eq!(g.item, e.item);
+                prop_assert!((g.score - e.score).abs() < 1e-12);
+            }
+        }
+    }
+}

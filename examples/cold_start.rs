@@ -1,0 +1,91 @@
+//! Cold start: why the paper exploits health-related information *"in
+//! addition to the traditional ratings"* (§V).
+//!
+//! A patient who just joined the platform has a PHR profile but **no
+//! ratings**. Pearson similarity is undefined for them — pure
+//! collaborative filtering has nothing to work with — while the profile
+//! (CS) and semantic (SS) measures still find peers, so Equation 1 can
+//! predict from the peers' ratings.
+//!
+//! ```sh
+//! cargo run --release --example cold_start
+//! ```
+
+use fairrec::prelude::*;
+
+fn main() -> Result<()> {
+    let ontology = fairrec::ontology::snomed::clinical_fragment();
+    let mut data = SyntheticDataset::generate(
+        SyntheticConfig {
+            num_users: 120,
+            num_items: 240,
+            num_communities: 4,
+            ratings_per_user: 25,
+            seed: 77,
+            ..Default::default()
+        },
+        &ontology,
+    )?;
+
+    // Strip every rating of four "new" patients (one per cohort), keeping
+    // their PHR profiles. They are the cold-start group.
+    let mut cold = Vec::new();
+    for c in 0..4 {
+        cold.push(data.sample_group(1, Some(c), 300 + u64::from(c))[0]);
+    }
+    let mut builder = RatingMatrixBuilder::new()
+        .reserve_ids(data.matrix.num_users(), data.matrix.num_items());
+    for t in data.matrix.to_triples() {
+        if !cold.contains(&t.user) {
+            builder.add(t.user, t.item, t.rating);
+        }
+    }
+    data.matrix = builder.build()?;
+    println!("cold patients (profiles only, zero ratings): {cold:?}\n");
+
+    let group = Group::new(GroupId::new(0), cold.clone())?;
+    for (label, similarity) in [
+        ("ratings (RS)", SimilarityKind::Ratings),
+        ("profile (CS)", SimilarityKind::Profile),
+        ("semantic (SS)", SimilarityKind::Semantic),
+        (
+            "hybrid",
+            SimilarityKind::Hybrid {
+                ratings: 1.0,
+                profile: 1.0,
+                semantic: 1.0,
+            },
+        ),
+    ] {
+        let engine = RecommenderEngine::new(
+            data.matrix.clone(),
+            data.profiles.clone(),
+            ontology.clone(),
+            EngineConfig {
+                similarity,
+                pad_to_z: false,
+                ..Default::default()
+            },
+        )?;
+        match engine.recommend_for_group(&group, 8) {
+            Ok(rec) => {
+                let satisfied = rec.members.iter().filter(|m| m.satisfied).count();
+                println!(
+                    "{label:<14} package of {} items, fairness {:.2} ({satisfied}/4 members see a top-k item)",
+                    rec.items.len(),
+                    rec.fairness,
+                );
+            }
+            Err(err) => {
+                println!("{label:<14} no recommendation possible: {err}");
+            }
+        }
+    }
+
+    println!(
+        "\nReading: with ratings-only similarity the cold group has no peers and no\n\
+         package at all; the profile and semantic measures of §V rescue them — the\n\
+         paper's motivation for looking beyond co-rating history in the health domain."
+    );
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! # fairrec — fairness in group recommendations in the health domain
+//!
+//! A complete Rust implementation of *Stratigi, Kondylakis, Stefanidis:
+//! "Fairness in Group Recommendations in the Health Domain"* (ICDE 2017),
+//! including every substrate the paper relies on: a SNOMED-CT-like
+//! clinical ontology, a Personal Health Record store, a tf-idf text
+//! pipeline, the three user-similarity measures, the fairness-aware group
+//! model with Algorithm 1 and its brute-force baseline, and an in-process
+//! MapReduce engine running the paper's Job 1–3 decomposition.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fairrec::prelude::*;
+//!
+//! // A clinical ontology and a synthetic patient cohort.
+//! let ontology = fairrec::ontology::snomed::clinical_fragment();
+//! let data = SyntheticDataset::generate(SyntheticConfig::default(), &ontology)?;
+//!
+//! // The engine with the paper's default model.
+//! let engine = RecommenderEngine::new(
+//!     data.matrix.clone(),
+//!     data.profiles.clone(),
+//!     ontology,
+//!     EngineConfig::default(),
+//! )?;
+//!
+//! // A caregiver asks for a fair package of 6 documents for 3 patients.
+//! let group = Group::new(GroupId::new(0), data.sample_group(3, None, 7))?;
+//! let rec = engine.recommend_for_group(&group, 6)?;
+//! assert_eq!(rec.items.len(), 6);
+//! assert!((rec.fairness - 1.0).abs() < 1e-12); // z ≥ |G| ⇒ fairness 1
+//! # Ok::<(), fairrec::types::FairrecError>(())
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`types`] | `fairrec-types` | ids, ratings, sparse matrix, top-k |
+//! | [`ontology`] | `fairrec-ontology` | clinical is-a tree, path queries |
+//! | [`phr`] | `fairrec-phr` | patient profiles and store |
+//! | [`text`] | `fairrec-text` | tokenizer, tf-idf, cosine |
+//! | [`similarity`] | `fairrec-similarity` | RS / CS / SS measures, peers |
+//! | [`core`] | `fairrec-core` | relevance, aggregation, fairness, Algorithm 1, brute force |
+//! | [`mapreduce`] | `fairrec-mapreduce` | engine + Jobs 0–3 + top-k |
+//! | [`search`] | `fairrec-search` | curated document search (BM25) |
+//! | [`data`] | `fairrec-data` | synthetic workloads, TSV persistence |
+//! | [`engine`] | `fairrec-engine` | end-to-end facade, evaluation |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use fairrec_core as core;
+pub use fairrec_data as data;
+pub use fairrec_engine as engine;
+pub use fairrec_mapreduce as mapreduce;
+pub use fairrec_ontology as ontology;
+pub use fairrec_phr as phr;
+pub use fairrec_search as search;
+pub use fairrec_similarity as similarity;
+pub use fairrec_text as text;
+pub use fairrec_types as types;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use fairrec_core::{
+        algorithm1, brute_force, plain_top_z, Aggregation, CandidatePool, FairnessEvaluator,
+        Group, MissingPolicy,
+    };
+    pub use fairrec_data::{SyntheticConfig, SyntheticDataset};
+    pub use fairrec_engine::{
+        EngineConfig, ExecutionPath, GroupRecommendation, RecommenderEngine, SelectionAlgorithm,
+        SimilarityKind,
+    };
+    pub use fairrec_ontology::{Ontology, PathScoring};
+    pub use fairrec_phr::{Gender, PatientProfile, PhrStore};
+    pub use fairrec_similarity::{
+        PeerSelector, ProfileSimilarity, RatingsSimilarity, SemanticSimilarity, UserSimilarity,
+    };
+    pub use fairrec_types::{
+        FairrecError, GroupId, ItemId, Rating, RatingMatrix, RatingMatrixBuilder, Result,
+        ScoredItem, UserId,
+    };
+}

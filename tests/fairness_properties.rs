@@ -1,0 +1,105 @@
+//! Paper-level fairness claims, checked on realistic (synthetic-cohort)
+//! data rather than hand-built pools: Proposition 1, §VI's "identical
+//! fairness" observation, and the value dominance of the exact search.
+
+use fairrec::core::pool::CandidatePool;
+use fairrec::core::predictions::{compute_group_predictions, GroupPredictionConfig};
+use fairrec::prelude::*;
+use proptest::prelude::*;
+
+fn pool_from_seed(seed: u64, group_size: usize, pool_cap: usize) -> Option<CandidatePool> {
+    let ontology = fairrec::ontology::snomed::clinical_fragment();
+    let data = SyntheticDataset::generate(
+        SyntheticConfig {
+            num_users: 60,
+            num_items: 120,
+            num_communities: 3,
+            ratings_per_user: 20,
+            seed,
+            ..Default::default()
+        },
+        &ontology,
+    )
+    .ok()?;
+    let group = Group::new(GroupId::new(0), data.sample_group(group_size, None, seed)).ok()?;
+    let measure = RatingsSimilarity::new(&data.matrix);
+    let selector = PeerSelector::new(0.0).ok()?;
+    let preds = compute_group_predictions(
+        &data.matrix,
+        &measure,
+        &selector,
+        &group,
+        GroupPredictionConfig::default(),
+    )
+    .ok()?;
+    CandidatePool::from_predictions(&preds, Some(pool_cap)).ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Proposition 1 on synthetic cohorts: Algorithm 1 with z ≥ |G|
+    /// reaches fairness 1 whenever every member has a non-empty A_u.
+    #[test]
+    fn proposition_1_on_synthetic_data(seed in 0u64..40, n in 2usize..5) {
+        let Some(pool) = pool_from_seed(seed, n, 20) else { return Ok(()); };
+        let k = 5usize;
+        // Every member must have candidates they can score (true on this
+        // plant: peers exist for everyone).
+        let all_visible = (0..pool.num_members()).all(|m| !pool.top_k_positions(m, k).is_empty());
+        prop_assume!(all_visible);
+        let ev = FairnessEvaluator::new(&pool, k).unwrap();
+        let z = pool.num_members();
+        let sel = algorithm1(&pool, z, k);
+        prop_assert!((ev.fairness(&sel.positions) - 1.0).abs() < 1e-12);
+    }
+
+    /// §VI: brute force and heuristic produce identical fairness in the
+    /// evaluated regime (and the brute-force value dominates).
+    #[test]
+    fn table2_regime_fairness_identical(seed in 0u64..25) {
+        let Some(pool) = pool_from_seed(seed, 4, 12) else { return Ok(()); };
+        let k = 5usize;
+        let all_visible = (0..pool.num_members()).all(|m| !pool.top_k_positions(m, k).is_empty());
+        prop_assume!(all_visible);
+        let ev = FairnessEvaluator::new(&pool, k).unwrap();
+        for z in [4usize, 6] {
+            let greedy = algorithm1(&pool, z, k);
+            let exact = brute_force(&pool, &ev, z);
+            let fg = ev.fairness(&greedy.positions);
+            let fe = ev.fairness(&exact.selection.positions);
+            prop_assert!((fg - fe).abs() < 1e-12, "fairness differs: {fg} vs {fe}");
+            let vg = ev.value(&pool, &greedy.positions);
+            prop_assert!(exact.value >= vg - 1e-9);
+        }
+    }
+}
+
+#[test]
+fn fairness_definition_matches_manual_count() {
+    // Cross-check Definition 3 by brute manual counting on a real pool.
+    let pool = pool_from_seed(3, 4, 15).expect("fixture");
+    let k = 3;
+    let ev = FairnessEvaluator::new(&pool, k).unwrap();
+    let selection = algorithm1(&pool, 5, k);
+
+    let mut satisfied = 0usize;
+    for m in 0..pool.num_members() {
+        let top: Vec<usize> = pool.top_k_positions(m, k);
+        if selection.positions.iter().any(|j| top.contains(j)) {
+            satisfied += 1;
+        }
+    }
+    let manual = satisfied as f64 / pool.num_members() as f64;
+    assert!((ev.fairness(&selection.positions) - manual).abs() < 1e-12);
+}
+
+#[test]
+fn value_function_is_fairness_times_relevance_sum() {
+    let pool = pool_from_seed(5, 3, 10).expect("fixture");
+    let ev = FairnessEvaluator::new(&pool, 4).unwrap();
+    let sel = algorithm1(&pool, 4, 4);
+    let fairness = ev.fairness(&sel.positions);
+    let relevance: f64 = sel.positions.iter().map(|&j| pool.group_relevance(j)).sum();
+    assert!((ev.value(&pool, &sel.positions) - fairness * relevance).abs() < 1e-12);
+}
