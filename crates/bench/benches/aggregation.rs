@@ -12,9 +12,7 @@ fn columns(n_items: usize, group: usize, missing_rate: f64, seed: u64) -> Vec<Ve
     (0..n_items)
         .map(|_| {
             (0..group)
-                .map(|_| {
-                    (!rng.gen_bool(missing_rate)).then(|| rng.gen_range(1.0..=5.0))
-                })
+                .map(|_| (!rng.gen_bool(missing_rate)).then(|| rng.gen_range(1.0..=5.0)))
                 .collect()
         })
         .collect()
@@ -29,21 +27,17 @@ fn bench_aggregation(c: &mut Criterion) {
         for aggregation in [Aggregation::Min, Aggregation::Average] {
             for missing in [MissingPolicy::Skip, MissingPolicy::Pessimistic] {
                 let label = format!("{}_{:?}_g{}", aggregation.name(), missing, group_size);
-                bench.bench_with_input(
-                    BenchmarkId::new("10k_items", label),
-                    &cols,
-                    |b, cols| {
-                        b.iter(|| {
-                            let mut defined = 0usize;
-                            for col in cols {
-                                if aggregation.aggregate(black_box(col), missing).is_some() {
-                                    defined += 1;
-                                }
+                bench.bench_with_input(BenchmarkId::new("10k_items", label), &cols, |b, cols| {
+                    b.iter(|| {
+                        let mut defined = 0usize;
+                        for col in cols {
+                            if aggregation.aggregate(black_box(col), missing).is_some() {
+                                defined += 1;
                             }
-                            black_box(defined)
-                        })
-                    },
-                );
+                        }
+                        black_box(defined)
+                    })
+                });
             }
         }
     }

@@ -1,0 +1,142 @@
+//! PeerIndex and batched-serving benchmarks: cold vs warm index, eager
+//! warming across 1/2/4/8 threads, and `recommend_batch` vs a sequential
+//! `recommend_for_group` loop over the same groups.
+//!
+//! Results (mean/median/min/max ns per iteration) are also appended as
+//! JSON lines to `target/criterion-shim/results.jsonl` (override with
+//! `CRITERION_SHIM_JSON`), so successive PRs can track the trajectory.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairrec_core::Group;
+use fairrec_data::{SyntheticConfig, SyntheticDataset};
+use fairrec_engine::{EngineConfig, RecommenderEngine};
+use fairrec_ontology::snomed::clinical_fragment;
+use fairrec_similarity::{PeerIndex, PeerSelector, RatingsSimilarity};
+use fairrec_types::{GroupId, Parallelism, UserId};
+use std::hint::black_box;
+
+fn fixture(num_users: u32) -> SyntheticDataset {
+    SyntheticDataset::generate(
+        SyntheticConfig {
+            num_users,
+            num_items: num_users * 2,
+            num_communities: 4,
+            ratings_per_user: 40,
+            seed: 23,
+            ..Default::default()
+        },
+        &clinical_fragment(),
+    )
+    .expect("valid config")
+}
+
+/// Cold vs warm: one full group query against a fresh index (peer scans
+/// included) vs against a pre-warmed index (pure cache reads + masking).
+fn bench_cold_vs_warm(c: &mut Criterion) {
+    let data = fixture(300);
+    let measure = RatingsSimilarity::new(&data.matrix);
+    let selector = PeerSelector::new(0.0).expect("finite");
+    let group: Vec<UserId> = data.sample_group(4, None, 1);
+
+    let mut bench = c.benchmark_group("peer_index");
+    bench.sample_size(10);
+    bench.bench_function("group_peers_cold", |b| {
+        b.iter(|| {
+            let index = PeerIndex::new(selector, data.matrix.num_users());
+            black_box(index.group_peers(&measure, black_box(&group)))
+        })
+    });
+    bench.bench_function("group_peers_warm", |b| {
+        let index = PeerIndex::new(selector, data.matrix.num_users());
+        index.warm(&measure, Parallelism::Rayon);
+        b.iter(|| black_box(index.group_peers(&measure, black_box(&group))))
+    });
+    bench.finish();
+}
+
+/// Eager warming of the whole index across 1/2/4/8 rayon threads.
+fn bench_warm_thread_sweep(c: &mut Criterion) {
+    let data = fixture(300);
+    let measure = RatingsSimilarity::new(&data.matrix);
+    let selector = PeerSelector::new(0.0).expect("finite");
+
+    let mut bench = c.benchmark_group("peer_index_warm");
+    bench.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        bench.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let index = PeerIndex::new(selector, data.matrix.num_users());
+                    black_box(index.warm(&measure, Parallelism::Threads(threads)))
+                })
+            },
+        );
+    }
+    bench.finish();
+}
+
+/// Batched serving: `recommend_batch` over 8 groups (shared index,
+/// parallel fan-out) vs the same groups served by a sequential loop on a
+/// sequential engine. The batch must show a measurable wall-clock win.
+fn bench_batch_vs_sequential(c: &mut Criterion) {
+    // Serving-sized requests: enough per-group work (peer scans over 500
+    // users, 1000-item candidate pools) that the group fan-out dominates
+    // thread overhead.
+    let data = fixture(500);
+    let ontology = clinical_fragment();
+    let groups: Vec<Group> = (0..8u32)
+        .map(|g| {
+            Group::new(GroupId::new(g), data.sample_group(5, None, u64::from(g)))
+                .expect("non-empty")
+        })
+        .collect();
+
+    let engine_with = |parallelism| {
+        RecommenderEngine::new(
+            data.matrix.clone(),
+            data.profiles.clone(),
+            ontology.clone(),
+            EngineConfig {
+                parallelism,
+                ..Default::default()
+            },
+        )
+        .expect("valid config")
+    };
+    let sequential = engine_with(Parallelism::Sequential);
+    let parallel = engine_with(Parallelism::Rayon);
+
+    let mut bench = c.benchmark_group("recommend_8_groups");
+    bench.sample_size(10);
+    bench.bench_function("sequential_loop_cold", |b| {
+        b.iter(|| {
+            sequential.invalidate_peers();
+            let recs: Vec<_> = groups
+                .iter()
+                .map(|g| sequential.recommend_for_group(g, 6).expect("serves"))
+                .collect();
+            black_box(recs)
+        })
+    });
+    bench.bench_function("recommend_batch_cold", |b| {
+        b.iter(|| {
+            parallel.invalidate_peers();
+            black_box(parallel.recommend_batch(&groups, 6).expect("serves"))
+        })
+    });
+    bench.bench_function("recommend_batch_warm", |b| {
+        parallel.warm_peer_index();
+        b.iter(|| black_box(parallel.recommend_batch(&groups, 6).expect("serves")))
+    });
+    bench.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cold_vs_warm,
+    bench_warm_thread_sweep,
+    bench_batch_vs_sequential
+);
+criterion_main!(benches);

@@ -48,7 +48,14 @@ fn main() {
     println!("aggregation ablation (z = {Z}, k = {K}, m = {POOL}):\n");
     println!(
         "{:<10} {:<6} | {:>10} {:>10} {:>10} | {:>9} {:>10} {:>12}",
-        "group", "aggr", "mean(relG)", "min(relG)", "max(relG)", "fairness", "worst sat", "pkg overlap"
+        "group",
+        "aggr",
+        "mean(relG)",
+        "min(relG)",
+        "max(relG)",
+        "fairness",
+        "worst sat",
+        "pkg overlap"
     );
 
     for (label, members) in [("cohesive", cohesive), ("diverse", diverse)] {
@@ -66,6 +73,7 @@ fn main() {
                 GroupPredictionConfig {
                     aggregation,
                     missing: MissingPolicy::Skip,
+                    ..Default::default()
                 },
             )
             .expect("group exists");
@@ -73,7 +81,11 @@ fn main() {
             let ev = FairnessEvaluator::new(&pool, K).expect("small group");
             let sel = algorithm1(&pool, Z, K);
 
-            let scores: Vec<f64> = sel.positions.iter().map(|&j| pool.group_relevance(j)).collect();
+            let scores: Vec<f64> = sel
+                .positions
+                .iter()
+                .map(|&j| pool.group_relevance(j))
+                .collect();
             let mean = scores.iter().sum::<f64>() / scores.len() as f64;
             let lo = scores.iter().cloned().fold(f64::INFINITY, f64::min);
             let hi = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);

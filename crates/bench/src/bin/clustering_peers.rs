@@ -41,7 +41,9 @@ fn main() {
     let measure = Rescale01::new(RatingsSimilarity::new(&split.train));
     let users: Vec<UserId> = split.train.user_ids().collect();
     let sample: Vec<UserId> = users.iter().copied().take(SAMPLE).collect();
-    let selector = PeerSelector::new(DELTA_RESCALED).expect("finite").with_max_peers(25);
+    let selector = PeerSelector::new(DELTA_RESCALED)
+        .expect("finite")
+        .with_max_peers(25);
 
     println!(
         "{} users, 8 planted cohorts, δ = {DELTA_RESCALED} (rescaled Pearson), {} query users\n",
@@ -60,7 +62,16 @@ fn main() {
             .map(|&u| selector.peers_of(&measure, u, users.iter().copied(), &[]))
             .collect::<Vec<_>>()
     });
-    report("full scan", 0.0, query_time, users.len(), &sample, &rows, &data, &split);
+    report(
+        "full scan",
+        0.0,
+        query_time,
+        users.len(),
+        &sample,
+        &rows,
+        &data,
+        &split,
+    );
 
     // --- clustered, several k ----------------------------------------------
     for k in [4usize, 8, 16] {

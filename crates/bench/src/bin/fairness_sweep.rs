@@ -59,10 +59,20 @@ fn main() {
         let pool = CandidatePool::from_predictions(&preds, Some(POOL)).expect("pool");
         let ev = FairnessEvaluator::new(&pool, K).expect("small group");
 
-        println!("\n=== {label} group {:?} (m = {POOL}, k = {K}) ===", group.members());
+        println!(
+            "\n=== {label} group {:?} (m = {POOL}, k = {K}) ===",
+            group.members()
+        );
         println!(
             "{:>3} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} | {:>11}",
-            "z", "fair(A1)", "value(A1)", "left(A1)", "fair(top)", "value(top)", "left(top)", "value gain"
+            "z",
+            "fair(A1)",
+            "value(A1)",
+            "left(A1)",
+            "fair(top)",
+            "value(top)",
+            "left(top)",
+            "value gain"
         );
         for z in [1usize, 2, 3, 4, 5, 6, 8, 10, 12, 16, 20] {
             let a1 = algorithm1(&pool, z, K);

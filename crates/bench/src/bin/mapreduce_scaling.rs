@@ -23,12 +23,23 @@ fn main() {
     let ontology = clinical_fragment();
     println!(
         "{:>8} {:>9} {:>8} | {:>10} {:>10} {:>10} {:>10} {:>10} | {:>10} | {:>6}",
-        "users", "ratings", "workers", "job0 (ms)", "job1 (ms)", "job2 (ms)", "job3 (ms)", "total (ms)", "memory", "equal"
+        "users",
+        "ratings",
+        "workers",
+        "job0 (ms)",
+        "job1 (ms)",
+        "job2 (ms)",
+        "job3 (ms)",
+        "total (ms)",
+        "memory",
+        "equal"
     );
 
-    for &(num_users, num_items, per_user) in
-        &[(200u32, 400u32, 25u32), (500, 1_000, 40), (1_000, 2_000, 50)]
-    {
+    for &(num_users, num_items, per_user) in &[
+        (200u32, 400u32, 25u32),
+        (500, 1_000, 40),
+        (1_000, 2_000, 50),
+    ] {
         let data = SyntheticDataset::generate(
             SyntheticConfig {
                 num_users,

@@ -24,7 +24,12 @@ fn main() {
         "{:<11} {:>3} {:>3} | {:>11} {:>11} | {:>11} {:>11} | {:>9}",
         "pool", "m", "z", "greedy/opt", "greedy opt%", "swap/opt", "swap opt%", "trials"
     );
-    for &(label, m) in &[("realistic", 16usize), ("realistic", 24), ("random", 16), ("random", 24)] {
+    for &(label, m) in &[
+        ("realistic", 16usize),
+        ("realistic", 24),
+        ("random", 16),
+        ("random", 24),
+    ] {
         for &z in &[4usize, 8] {
             let mut ratio_greedy = 0.0;
             let mut ratio_swap = 0.0;

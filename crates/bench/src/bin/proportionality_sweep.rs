@@ -60,16 +60,21 @@ fn main() {
     );
     println!(
         "{:>2} {:>3} | {:>10} {:>10} {:>12} | {:>10} {:>10} {:>12}",
-        "m", "z", "prop(alg1)", "Σrel(alg1)", "minCnt(alg1)", "prop(prop)", "Σrel(prop)", "minCnt(prop)"
+        "m",
+        "z",
+        "prop(alg1)",
+        "Σrel(alg1)",
+        "minCnt(alg1)",
+        "prop(prop)",
+        "Σrel(prop)",
+        "minCnt(prop)"
     );
     for m in 1u32..=3 {
         let ev = ProportionalityEvaluator::new(&pool, K, m).expect("small group");
         for z in [4usize, 8, 12, 16] {
             let a1 = algorithm1(&pool, z, K);
             let gp = greedy_proportional(&pool, &ev, z);
-            let min_count = |sel: &[usize]| {
-                ev.satisfied_counts(sel).into_iter().min().unwrap_or(0)
-            };
+            let min_count = |sel: &[usize]| ev.satisfied_counts(sel).into_iter().min().unwrap_or(0);
             println!(
                 "{m:>2} {z:>3} | {:>10.2} {:>10.2} {:>12} | {:>10.2} {:>10.2} {:>12}",
                 ev.proportionality(&a1.positions),

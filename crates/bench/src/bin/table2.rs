@@ -29,10 +29,19 @@ fn main() {
         (30, &[4, 8, 12, 16, 20]),
     ];
 
-    println!("TABLE II — BRUTE-FORCE VS. HEURISTIC FAIRNESS (|G| = {TABLE2_GROUP_SIZE}, k = {TABLE2_K})");
+    println!(
+        "TABLE II — BRUTE-FORCE VS. HEURISTIC FAIRNESS (|G| = {TABLE2_GROUP_SIZE}, k = {TABLE2_K})"
+    );
     println!(
         "{:>3} {:>3} {:>16} {:>18} {:>18} {:>10} {:>9} {:>9}",
-        "m", "z", "combinations", "brute-force (ms)", "heuristic (ms)", "speedup", "fair(BF)", "fair(H)"
+        "m",
+        "z",
+        "combinations",
+        "brute-force (ms)",
+        "heuristic (ms)",
+        "speedup",
+        "fair(BF)",
+        "fair(H)"
     );
 
     for &(m, zs) in grid {

@@ -139,7 +139,10 @@ mod tests {
     #[test]
     fn all_missing_under_skip_is_none() {
         let scores = [None, None];
-        assert_eq!(Aggregation::Min.aggregate(&scores, MissingPolicy::Skip), None);
+        assert_eq!(
+            Aggregation::Min.aggregate(&scores, MissingPolicy::Skip),
+            None
+        );
         assert_eq!(
             Aggregation::Average.aggregate(&scores, MissingPolicy::Skip),
             None

@@ -110,7 +110,8 @@ impl<'a> ItemMean<'a> {
 
 impl RatingPredictor for ItemMean<'_> {
     fn predict(&self, user: UserId, item: ItemId) -> Option<f64> {
-        self.item_mean(item).or_else(|| self.global.predict(user, item))
+        self.item_mean(item)
+            .or_else(|| self.global.predict(user, item))
     }
 
     fn name(&self) -> &'static str {
@@ -342,7 +343,7 @@ mod tests {
     fn bias_model_orders_users_and_items() {
         let m = polarised();
         let bm = BiasModel::fit_with(&m, 0.0, 0.0); // undamped for clarity
-        // Item 0 is better-liked than item 2 by the raters' deviations…
+                                                    // Item 0 is better-liked than item 2 by the raters' deviations…
         let p_item0 = bm.predict(UserId::new(9), ItemId::new(0)).unwrap();
         let p_item2 = bm.predict(UserId::new(9), ItemId::new(2)).unwrap();
         // …both land inside the rating range.

@@ -158,9 +158,30 @@ mod tests {
     fn matches_recursive_reference() {
         let p = pool(
             vec![
-                vec![Some(5.0), Some(4.0), Some(1.0), Some(2.0), Some(3.0), Some(2.5)],
-                vec![Some(1.0), Some(2.0), Some(5.0), Some(4.0), Some(2.0), Some(3.5)],
-                vec![Some(2.0), Some(5.0), Some(2.0), Some(1.0), Some(4.5), Some(3.0)],
+                vec![
+                    Some(5.0),
+                    Some(4.0),
+                    Some(1.0),
+                    Some(2.0),
+                    Some(3.0),
+                    Some(2.5),
+                ],
+                vec![
+                    Some(1.0),
+                    Some(2.0),
+                    Some(5.0),
+                    Some(4.0),
+                    Some(2.0),
+                    Some(3.5),
+                ],
+                vec![
+                    Some(2.0),
+                    Some(5.0),
+                    Some(2.0),
+                    Some(1.0),
+                    Some(4.5),
+                    Some(3.0),
+                ],
             ],
             vec![2.5, 3.5, 2.8, 2.2, 3.1, 3.0],
         );

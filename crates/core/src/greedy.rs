@@ -231,10 +231,7 @@ mod tests {
     fn exhausted_lists_stop_early() {
         // k=1 ⇒ A_u lists hold one item each; both members love item 0.
         let p = pool(
-            vec![
-                vec![Some(5.0), Some(1.0)],
-                vec![Some(5.0), Some(2.0)],
-            ],
+            vec![vec![Some(5.0), Some(1.0)], vec![Some(5.0), Some(2.0)]],
             vec![4.0, 1.5],
         );
         let sel = algorithm1(&p, 2, 1);

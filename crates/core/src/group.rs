@@ -67,7 +67,12 @@ mod tests {
     fn members_are_sorted_and_deduplicated() {
         let g = Group::new(
             GroupId::new(0),
-            [UserId::new(5), UserId::new(1), UserId::new(5), UserId::new(3)],
+            [
+                UserId::new(5),
+                UserId::new(1),
+                UserId::new(5),
+                UserId::new(3),
+            ],
         )
         .unwrap();
         assert_eq!(

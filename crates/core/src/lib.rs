@@ -44,8 +44,11 @@ pub use fairness::FairnessEvaluator;
 pub use greedy::{algorithm1, plain_top_z, Selection, SelectionStep};
 pub use group::Group;
 pub use pool::CandidatePool;
-pub use predictions::{compute_group_predictions, GroupPredictionConfig, GroupPredictions};
+pub use predictions::{
+    compute_group_predictions, compute_group_predictions_with_index, GroupPredictionConfig,
+    GroupPredictions,
+};
 pub use proportionality::{greedy_proportional, ProportionalityEvaluator};
-pub use recommend::single_user_top_k;
+pub use recommend::{single_user_top_k, single_user_top_k_with_index};
 pub use relevance::RelevancePredictor;
 pub use swap::swap_refine;

@@ -15,8 +15,10 @@
 use crate::aggregate::{Aggregation, MissingPolicy};
 use crate::group::Group;
 use crate::relevance::RelevancePredictor;
-use fairrec_similarity::{PeerSelector, UserSimilarity};
-use fairrec_types::{ItemId, RatingMatrix, Relevance, Result, ScoredItem, TopK, UserId};
+use fairrec_similarity::{PeerIndex, PeerSelector, UserSimilarity};
+use fairrec_types::{
+    ItemId, Parallelism, RatingMatrix, Relevance, Result, ScoredItem, TopK, UserId,
+};
 
 /// Knobs for the prediction phase.
 #[derive(Debug, Clone, Copy, Default)]
@@ -25,6 +27,11 @@ pub struct GroupPredictionConfig {
     pub aggregation: Aggregation,
     /// Handling of undefined member predictions (default: skip).
     pub missing: MissingPolicy,
+    /// How per-member Equation 1 scoring fans out across candidates
+    /// (default: the ambient rayon pool). Every mode yields bitwise
+    /// identical results; `Sequential` exists to pin determinism by
+    /// construction and to avoid fan-out overhead on tiny inputs.
+    pub parallelism: Parallelism,
 }
 
 /// Per-member and aggregated predictions over a group's candidate items.
@@ -114,13 +121,37 @@ impl GroupPredictions {
 
 /// Runs the full prediction phase for `group`.
 ///
+/// This is the one-shot form: it builds a transient [`PeerIndex`] and
+/// delegates to [`compute_group_predictions_with_index`], so every peer
+/// computation — one-shot or cached — flows through the same path. A
+/// serving loop should hold a long-lived index and call the `_with_index`
+/// variant directly to amortise the peer scans across requests.
+///
 /// # Errors
 /// Propagates [`fairrec_types::FairrecError::UnknownUser`] when a group
 /// member lies outside the matrix's user space.
-pub fn compute_group_predictions<S: UserSimilarity>(
+pub fn compute_group_predictions<S: UserSimilarity + ?Sized>(
     matrix: &RatingMatrix,
     measure: &S,
     selector: &PeerSelector,
+    group: &Group,
+    config: GroupPredictionConfig,
+) -> Result<GroupPredictions> {
+    let index = PeerIndex::new(*selector, matrix.num_users());
+    compute_group_predictions_with_index(matrix, measure, &index, group, config)
+}
+
+/// Runs the full prediction phase for `group`, serving Definition 1 from
+/// a caller-held [`PeerIndex`] (cold entries are computed and memoized on
+/// the way).
+///
+/// # Errors
+/// Propagates [`fairrec_types::FairrecError::UnknownUser`] when a group
+/// member lies outside the matrix's user space.
+pub fn compute_group_predictions_with_index<S: UserSimilarity + ?Sized>(
+    matrix: &RatingMatrix,
+    measure: &S,
+    index: &PeerIndex,
     group: &Group,
     config: GroupPredictionConfig,
 ) -> Result<GroupPredictions> {
@@ -133,16 +164,15 @@ pub fn compute_group_predictions<S: UserSimilarity>(
     let items = matrix.unrated_by_all(group.members());
     let predictor = RelevancePredictor::new(matrix);
 
-    let mut member_scores = Vec::with_capacity(group.len());
-    for &member in group.members() {
-        let peers = selector.peers_of(measure, member, matrix.user_ids(), group.members());
-        member_scores.push(predictor.predict_many(&peers, &items));
-    }
+    let member_scores: Vec<Vec<Option<Relevance>>> = index
+        .group_peers(measure, group.members())
+        .into_iter()
+        .map(|(_, peers)| predictor.predict_many_with(&peers, &items, config.parallelism))
+        .collect();
 
     let group_scores = (0..items.len())
         .map(|j| {
-            let column: Vec<Option<Relevance>> =
-                member_scores.iter().map(|row| row[j]).collect();
+            let column: Vec<Option<Relevance>> = member_scores.iter().map(|row| row[j]).collect();
             config.aggregation.aggregate(&column, config.missing)
         })
         .collect();
@@ -255,6 +285,7 @@ mod tests {
         let cfg = GroupPredictionConfig {
             aggregation: Aggregation::Min,
             missing: MissingPolicy::Skip,
+            ..Default::default()
         };
         let p = compute_group_predictions(&m, &PairSim, &sel, &g, cfg).unwrap();
         // i2: u0 sees rating 5 (via u2), u1 sees 3 (via u3) ⇒ min = 3.

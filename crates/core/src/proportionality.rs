@@ -44,7 +44,10 @@ impl ProportionalityEvaluator {
     /// 64 members.
     pub fn new(pool: &CandidatePool, k: usize, m: u32) -> Result<Self> {
         if k == 0 {
-            return Err(FairrecError::invalid_parameter("k", "top-k lists need k ≥ 1"));
+            return Err(FairrecError::invalid_parameter(
+                "k",
+                "top-k lists need k ≥ 1",
+            ));
         }
         if m == 0 || m as usize > k {
             return Err(FairrecError::invalid_parameter(
@@ -214,8 +217,22 @@ mod tests {
     fn polarized() -> CandidatePool {
         pool(
             vec![
-                vec![Some(5.0), Some(4.8), Some(4.6), Some(1.0), Some(1.2), Some(1.4)],
-                vec![Some(1.0), Some(1.2), Some(1.4), Some(5.0), Some(4.8), Some(4.6)],
+                vec![
+                    Some(5.0),
+                    Some(4.8),
+                    Some(4.6),
+                    Some(1.0),
+                    Some(1.2),
+                    Some(1.4),
+                ],
+                vec![
+                    Some(1.0),
+                    Some(1.2),
+                    Some(1.4),
+                    Some(5.0),
+                    Some(4.8),
+                    Some(4.6),
+                ],
             ],
             vec![3.5, 3.4, 3.3, 3.2, 3.1, 3.0],
         )
@@ -294,10 +311,7 @@ mod tests {
     fn shared_favourite_advances_both_members() {
         // One item both members love (k=1 lists are both {0}).
         let p = pool(
-            vec![
-                vec![Some(5.0), Some(2.0)],
-                vec![Some(5.0), Some(2.0)],
-            ],
+            vec![vec![Some(5.0), Some(2.0)], vec![Some(5.0), Some(2.0)]],
             vec![4.0, 2.0],
         );
         let ev = ProportionalityEvaluator::new(&p, 1, 1).unwrap();
@@ -310,10 +324,7 @@ mod tests {
     fn unreachable_members_do_not_deadlock() {
         // Member 1 has no defined scores at all: exhausted immediately.
         let p = pool(
-            vec![
-                vec![Some(5.0), Some(4.0)],
-                vec![None, None],
-            ],
+            vec![vec![Some(5.0), Some(4.0)], vec![None, None]],
             vec![3.0, 2.0],
         );
         let ev = ProportionalityEvaluator::new(&p, 2, 2).unwrap();

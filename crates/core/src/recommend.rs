@@ -7,25 +7,46 @@
 //! quality.
 
 use crate::relevance::RelevancePredictor;
-use fairrec_similarity::{PeerSelector, UserSimilarity};
+use fairrec_similarity::{PeerIndex, PeerSelector, UserSimilarity};
 use fairrec_types::{FairrecError, RatingMatrix, Result, ScoredItem, UserId};
 
 /// Recommends the top-k unrated items for a single user.
 ///
+/// One-shot form: builds a transient [`PeerIndex`] and delegates to
+/// [`single_user_top_k_with_index`], keeping a single peer-computation
+/// path. Serving loops should hold a long-lived index instead.
+///
 /// # Errors
 /// [`FairrecError::UnknownUser`] when `user` lies outside the matrix's
 /// user space.
-pub fn single_user_top_k<S: UserSimilarity>(
+pub fn single_user_top_k<S: UserSimilarity + ?Sized>(
     matrix: &RatingMatrix,
     measure: &S,
     selector: &PeerSelector,
     user: UserId,
     k: usize,
 ) -> Result<Vec<ScoredItem>> {
+    let index = PeerIndex::new(*selector, matrix.num_users());
+    single_user_top_k_with_index(matrix, measure, &index, user, k)
+}
+
+/// Recommends the top-k unrated items for a single user, serving
+/// Definition 1 from a caller-held [`PeerIndex`].
+///
+/// # Errors
+/// [`FairrecError::UnknownUser`] when `user` lies outside the matrix's
+/// user space.
+pub fn single_user_top_k_with_index<S: UserSimilarity + ?Sized>(
+    matrix: &RatingMatrix,
+    measure: &S,
+    index: &PeerIndex,
+    user: UserId,
+    k: usize,
+) -> Result<Vec<ScoredItem>> {
     if user.raw() >= matrix.num_users() {
         return Err(FairrecError::UnknownUser { user });
     }
-    let peers = selector.peers_of(measure, user, matrix.user_ids(), &[]);
+    let peers = index.peers_of(measure, user);
     let candidates = matrix.unrated_by_all(&[user]);
     Ok(RelevancePredictor::new(matrix).top_k(&peers, &candidates, k))
 }

@@ -15,8 +15,13 @@
 //! loses its meaning as one.
 
 use fairrec_similarity::Peers;
-use fairrec_types::{ItemId, RatingMatrix, Relevance, ScoredItem, TopK, UserId};
+use fairrec_types::{ItemId, Parallelism, RatingMatrix, Relevance, ScoredItem, TopK, UserId};
 use std::collections::HashMap;
+
+/// Candidate-set size below which
+/// [`RelevancePredictor::predict_many_with`] ignores the parallelism
+/// knob and stays sequential — fan-out overhead dominates under this.
+pub const MIN_PARALLEL_ITEMS: usize = 2048;
 
 /// Predicts Equation 1 scores against a rating matrix.
 #[derive(Debug, Clone, Copy)]
@@ -67,22 +72,43 @@ impl<'a> RelevancePredictor<'a> {
     /// Predicts over a candidate slice, preserving order; `None` entries
     /// mark undefined predictions.
     pub fn predict_many(&self, peers: &Peers, candidates: &[ItemId]) -> Vec<Option<Relevance>> {
+        self.predict_many_with(peers, candidates, Parallelism::Sequential)
+    }
+
+    /// Like [`predict_many`](Self::predict_many), fanning the per-item
+    /// Equation 1 evaluations out across `parallelism`. Each item's score
+    /// is an independent rater-side scan, so results are bitwise
+    /// identical to the sequential path in input order.
+    ///
+    /// Small candidate sets (< [`MIN_PARALLEL_ITEMS`]) always run
+    /// sequentially: a per-item scan is sub-microsecond work and thread
+    /// fan-out would cost more than it saves.
+    pub fn predict_many_with(
+        &self,
+        peers: &Peers,
+        candidates: &[ItemId],
+        parallelism: Parallelism,
+    ) -> Vec<Option<Relevance>> {
         // One peer→sim map reused across items.
         let peer_sim: HashMap<UserId, f64> = peers.iter().copied().collect();
-        candidates
-            .iter()
-            .map(|&item| {
-                let mut num = 0.0;
-                let mut den = 0.0;
-                for (rater, r) in self.matrix.raters_of(item) {
-                    if let Some(&sim) = peer_sim.get(&rater) {
-                        num += sim * r;
-                        den += sim;
-                    }
+        let score = |item: ItemId| {
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for (rater, r) in self.matrix.raters_of(item) {
+                if let Some(&sim) = peer_sim.get(&rater) {
+                    num += sim * r;
+                    den += sim;
                 }
-                (den > 0.0).then(|| num / den)
-            })
-            .collect()
+            }
+            (den > 0.0).then(|| num / den)
+        };
+        if candidates.len() < MIN_PARALLEL_ITEMS || !parallelism.is_parallel() {
+            // The common serving path: iterate the borrowed slice in
+            // place, no per-request candidate copy.
+            candidates.iter().copied().map(score).collect()
+        } else {
+            parallelism.map(candidates.to_vec(), score)
+        }
     }
 
     /// The top-k list `A_u` (§III-A) over `candidates`.
@@ -122,7 +148,9 @@ mod tests {
         // is not a peer.
         let m = matrix(&[(1, 0, 5.0), (2, 0, 2.0), (3, 0, 1.0)]);
         let p = peers(&[(1, 0.8), (2, 0.4)]);
-        let r = RelevancePredictor::new(&m).predict(&p, ItemId::new(0)).unwrap();
+        let r = RelevancePredictor::new(&m)
+            .predict(&p, ItemId::new(0))
+            .unwrap();
         let expected = (0.8 * 5.0 + 0.4 * 2.0) / (0.8 + 0.4);
         assert!((r - expected).abs() < 1e-12);
     }
@@ -131,7 +159,9 @@ mod tests {
     fn prediction_is_a_convex_combination() {
         let m = matrix(&[(1, 0, 2.0), (2, 0, 5.0)]);
         let p = peers(&[(1, 0.9), (2, 0.1)]);
-        let r = RelevancePredictor::new(&m).predict(&p, ItemId::new(0)).unwrap();
+        let r = RelevancePredictor::new(&m)
+            .predict(&p, ItemId::new(0))
+            .unwrap();
         assert!((2.0..=5.0).contains(&r));
         // Heavier weight pulls toward that peer's rating.
         assert!(r < 3.0);
@@ -186,21 +216,14 @@ mod tests {
     fn predict_many_preserves_order_and_gaps() {
         let m = matrix(&[(1, 0, 5.0), (1, 2, 3.0)]);
         let p = peers(&[(1, 1.0)]);
-        let out = RelevancePredictor::new(&m).predict_many(
-            &p,
-            &[ItemId::new(2), ItemId::new(1), ItemId::new(0)],
-        );
+        let out = RelevancePredictor::new(&m)
+            .predict_many(&p, &[ItemId::new(2), ItemId::new(1), ItemId::new(0)]);
         assert_eq!(out, vec![Some(3.0), None, Some(5.0)]);
     }
 
     #[test]
     fn top_k_returns_a_u() {
-        let m = matrix(&[
-            (1, 0, 5.0),
-            (1, 1, 1.0),
-            (1, 2, 4.0),
-            (1, 3, 3.0),
-        ]);
+        let m = matrix(&[(1, 0, 5.0), (1, 1, 1.0), (1, 2, 4.0), (1, 3, 3.0)]);
         let p = peers(&[(1, 1.0)]);
         let candidates: Vec<ItemId> = (0..4).map(ItemId::new).collect();
         let top = RelevancePredictor::new(&m).top_k(&p, &candidates, 2);

@@ -26,10 +26,8 @@ impl CommunityModel {
     /// Panics if `num_communities == 0`.
     pub fn assign(num_users: u32, num_items: u32, num_communities: u32, rng: &mut StdRng) -> Self {
         assert!(num_communities > 0, "need at least one community");
-        let mut user_community: Vec<u32> =
-            (0..num_users).map(|u| u % num_communities).collect();
-        let mut item_community: Vec<u32> =
-            (0..num_items).map(|i| i % num_communities).collect();
+        let mut user_community: Vec<u32> = (0..num_users).map(|u| u % num_communities).collect();
+        let mut item_community: Vec<u32> = (0..num_items).map(|i| i % num_communities).collect();
         // Fisher–Yates so ids do not encode communities.
         for slot in (1..user_community.len()).rev() {
             user_community.swap(slot, rng.gen_range(0..=slot));

@@ -3,9 +3,7 @@
 use crate::communities::CommunityModel;
 use fairrec_ontology::Ontology;
 use fairrec_phr::{Gender, PatientProfile, PhrStore};
-use fairrec_types::{
-    ConceptId, ItemId, RatingMatrix, RatingMatrixBuilder, Result, UserId,
-};
+use fairrec_types::{ConceptId, ItemId, RatingMatrix, RatingMatrixBuilder, Result, UserId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -315,14 +313,7 @@ mod tests {
         let b = SyntheticDataset::generate(small(), &ont).unwrap();
         assert_eq!(a.matrix, b.matrix);
         assert_eq!(a.communities, b.communities);
-        let c = SyntheticDataset::generate(
-            SyntheticConfig {
-                seed: 8,
-                ..small()
-            },
-            &ont,
-        )
-        .unwrap();
+        let c = SyntheticDataset::generate(SyntheticConfig { seed: 8, ..small() }, &ont).unwrap();
         assert_ne!(a.matrix, c.matrix);
     }
 

@@ -26,17 +26,75 @@ pub struct HealthDocument {
 /// Per-topic word pools. Topic `t` uses `CORE[t % CORE.len()]` plus shared
 /// medical filler words.
 const TOPIC_WORDS: &[&[&str]] = &[
-    &["chemotherapy", "radiation", "tumor", "oncology", "biopsy", "remission", "metastasis"],
-    &["insulin", "glucose", "glycemic", "carbohydrate", "pancreas", "diabetes", "a1c"],
-    &["cardiac", "cholesterol", "stent", "arrhythmia", "hypertension", "angioplasty", "statin"],
-    &["inhaler", "bronchial", "asthma", "spirometry", "oxygen", "pulmonary", "copd"],
-    &["arthritis", "joint", "inflammation", "physiotherapy", "cartilage", "rheumatoid", "mobility"],
-    &["anxiety", "therapy", "mindfulness", "depression", "counseling", "sleep", "stress"],
+    &[
+        "chemotherapy",
+        "radiation",
+        "tumor",
+        "oncology",
+        "biopsy",
+        "remission",
+        "metastasis",
+    ],
+    &[
+        "insulin",
+        "glucose",
+        "glycemic",
+        "carbohydrate",
+        "pancreas",
+        "diabetes",
+        "a1c",
+    ],
+    &[
+        "cardiac",
+        "cholesterol",
+        "stent",
+        "arrhythmia",
+        "hypertension",
+        "angioplasty",
+        "statin",
+    ],
+    &[
+        "inhaler",
+        "bronchial",
+        "asthma",
+        "spirometry",
+        "oxygen",
+        "pulmonary",
+        "copd",
+    ],
+    &[
+        "arthritis",
+        "joint",
+        "inflammation",
+        "physiotherapy",
+        "cartilage",
+        "rheumatoid",
+        "mobility",
+    ],
+    &[
+        "anxiety",
+        "therapy",
+        "mindfulness",
+        "depression",
+        "counseling",
+        "sleep",
+        "stress",
+    ],
 ];
 
 const FILLER_WORDS: &[&str] = &[
-    "patient", "treatment", "symptom", "doctor", "clinic", "study", "health", "care",
-    "guideline", "risk", "diagnosis", "management",
+    "patient",
+    "treatment",
+    "symptom",
+    "doctor",
+    "clinic",
+    "study",
+    "health",
+    "care",
+    "guideline",
+    "risk",
+    "diagnosis",
+    "management",
 ];
 
 /// Configuration for the corpus generator.
@@ -101,7 +159,7 @@ pub fn generate_with_topics(config: CorpusConfig, topics: &[u32]) -> Vec<HealthD
                 if w > 0 {
                     body.push(' ');
                 }
-                if rng.gen_range(0..100) < config.topic_word_percent {
+                if rng.gen_range(0..100u32) < config.topic_word_percent {
                     body.push_str(pool[rng.gen_range(0..pool.len())]);
                 } else {
                     body.push_str(FILLER_WORDS[rng.gen_range(0..FILLER_WORDS.len())]);
@@ -142,11 +200,7 @@ mod tests {
         });
         let doc = &docs[0];
         let pool = TOPIC_WORDS[doc.topic as usize % TOPIC_WORDS.len()];
-        let topic_hits = doc
-            .body
-            .split(' ')
-            .filter(|w| pool.contains(w))
-            .count();
+        let topic_hits = doc.body.split(' ').filter(|w| pool.contains(w)).count();
         assert!(topic_hits as f64 / 40.0 > 0.7, "got {topic_hits}/40");
     }
 

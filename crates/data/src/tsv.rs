@@ -12,9 +12,7 @@
 
 use fairrec_ontology::Ontology;
 use fairrec_phr::{Gender, PatientProfile, PhrStore};
-use fairrec_types::{
-    FairrecError, ItemId, RatingMatrix, RatingMatrixBuilder, Result, UserId,
-};
+use fairrec_types::{FairrecError, ItemId, RatingMatrix, RatingMatrixBuilder, Result, UserId};
 use std::io::{BufRead, Write};
 
 /// Writes the rating triples of `matrix`.
@@ -24,7 +22,13 @@ use std::io::{BufRead, Write};
 pub fn write_ratings<W: Write>(matrix: &RatingMatrix, out: &mut W) -> Result<()> {
     writeln!(out, "# fairrec ratings v1: user\titem\trating")?;
     for t in matrix.to_triples() {
-        writeln!(out, "{}\t{}\t{}", t.user.raw(), t.item.raw(), t.rating.value())?;
+        writeln!(
+            out,
+            "{}\t{}\t{}",
+            t.user.raw(),
+            t.item.raw(),
+            t.rating.value()
+        )?;
     }
     Ok(())
 }
@@ -75,11 +79,7 @@ pub fn read_ratings<R: BufRead>(input: R, reserve: Option<(u32, u32)>) -> Result
 ///
 /// # Errors
 /// Propagates I/O failures.
-pub fn write_profiles<W: Write>(
-    store: &PhrStore,
-    ontology: &Ontology,
-    out: &mut W,
-) -> Result<()> {
+pub fn write_profiles<W: Write>(store: &PhrStore, ontology: &Ontology, out: &mut W) -> Result<()> {
     writeln!(
         out,
         "# fairrec profiles v1: user\tgender\tage\tproblems\tmedications\tprocedures"
@@ -139,9 +139,9 @@ pub fn read_profiles<R: BufRead>(input: R, ontology: &Ontology) -> Result<PhrSto
         };
         let mut builder = PatientProfile::builder(UserId::new(user)).gender(gender);
         if fields[2] != "-" {
-            let age: u8 = fields[2].parse().map_err(|_| {
-                FairrecError::parse_at(lineno, format!("bad age {:?}", fields[2]))
-            })?;
+            let age: u8 = fields[2]
+                .parse()
+                .map_err(|_| FairrecError::parse_at(lineno, format!("bad age {:?}", fields[2])))?;
             builder = builder.age(age);
         }
         for code in fields[3].split(',').filter(|c| !c.is_empty()) {
@@ -174,7 +174,14 @@ pub fn write_documents<W: Write>(
     writeln!(out, "# fairrec documents v1: item\ttopic\ttitle\tbody")?;
     for d in docs {
         debug_assert!(!d.title.contains('\t') && !d.body.contains('\t'));
-        writeln!(out, "{}\t{}\t{}\t{}", d.item.raw(), d.topic, d.title, d.body)?;
+        writeln!(
+            out,
+            "{}\t{}\t{}\t{}",
+            d.item.raw(),
+            d.topic,
+            d.title,
+            d.body
+        )?;
     }
     Ok(())
 }

@@ -2,6 +2,7 @@
 
 use fairrec_core::aggregate::{Aggregation, MissingPolicy};
 use fairrec_mapreduce::JobConfig;
+use fairrec_types::Parallelism;
 
 /// Which §V similarity measure drives peer selection.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -77,6 +78,12 @@ pub struct EngineConfig {
     pub pad_to_z: bool,
     /// Execution path for the prediction phase.
     pub execution: ExecutionPath,
+    /// How the hot loops fan out: peer-index warming, per-member
+    /// Equation 1 scoring across candidates, and `recommend_batch` group
+    /// fan-out. Every mode produces bitwise identical results;
+    /// `Sequential` pins single-threaded execution for determinism tests
+    /// and tiny workloads.
+    pub parallelism: Parallelism,
 }
 
 impl Default for EngineConfig {
@@ -93,6 +100,7 @@ impl Default for EngineConfig {
             algorithm: SelectionAlgorithm::Greedy,
             pad_to_z: true,
             execution: ExecutionPath::InMemory,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -124,8 +132,11 @@ impl EngineConfig {
             semantic,
         } = self.similarity
         {
-            for (name, w) in [("ratings", ratings), ("profile", profile), ("semantic", semantic)]
-            {
+            for (name, w) in [
+                ("ratings", ratings),
+                ("profile", profile),
+                ("semantic", semantic),
+            ] {
                 if !w.is_finite() || w < 0.0 {
                     return Err(FairrecError::invalid_parameter(
                         "similarity",

@@ -1,4 +1,13 @@
 //! The recommender engine facade.
+//!
+//! Construction is where all heavy lifting happens: the configured
+//! similarity backend is built **once** (sharing the engine's data via
+//! `Arc`, so no per-request rebuilds), and a [`PeerIndex`] is attached
+//! through which every request path — group, single-user, batched —
+//! resolves Definition 1. The index fills lazily on first use and can be
+//! pre-filled with [`RecommenderEngine::warm_peer_index`]; call
+//! [`RecommenderEngine::invalidate_peers`] after mutating the underlying
+//! data (the index docs spell out the contract).
 
 use crate::config::{EngineConfig, ExecutionPath, SelectionAlgorithm, SimilarityKind};
 use fairrec_core::brute_force::brute_force;
@@ -7,18 +16,19 @@ use fairrec_core::greedy::{algorithm1, plain_top_z, Selection};
 use fairrec_core::group::Group;
 use fairrec_core::pool::CandidatePool;
 use fairrec_core::predictions::{
-    compute_group_predictions, GroupPredictionConfig, GroupPredictions,
+    compute_group_predictions_with_index, GroupPredictionConfig, GroupPredictions,
 };
-use fairrec_core::recommend::single_user_top_k;
+use fairrec_core::recommend::single_user_top_k_with_index;
 use fairrec_core::swap::swap_refine;
 use fairrec_mapreduce::{mapreduce_group_predictions, PipelineConfig};
 use fairrec_ontology::Ontology;
 use fairrec_phr::PhrStore;
 use fairrec_similarity::{
-    HybridSimilarity, PeerSelector, ProfileSimilarity, RatingsSimilarity, Rescale01,
+    HybridSimilarity, PeerIndex, PeerSelector, ProfileSimilarity, RatingsSimilarity, Rescale01,
     SemanticSimilarity, UserSimilarity,
 };
-use fairrec_types::{ItemId, RatingMatrix, Result, ScoredItem, UserId};
+use fairrec_types::{ItemId, Parallelism, RatingMatrix, Result, ScoredItem, UserId};
+use std::sync::Arc;
 
 /// One recommended item with its scores.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,19 +76,40 @@ pub struct GroupRecommendation {
     pub pool_size: usize,
 }
 
-/// The engine: owns the dataset and serves recommendations.
-#[derive(Debug, Clone)]
+/// The engine: owns the dataset, the similarity backend (built once at
+/// construction), and the shared [`PeerIndex`], and serves
+/// recommendations over them.
 pub struct RecommenderEngine {
-    matrix: RatingMatrix,
-    profiles: PhrStore,
-    ontology: Ontology,
+    matrix: Arc<RatingMatrix>,
+    profiles: Arc<PhrStore>,
+    ontology: Arc<Ontology>,
     config: EngineConfig,
     /// tf-idf vectors are corpus-wide; built once.
-    profile_sim: ProfileSimilarity,
+    profile_sim: Arc<ProfileSimilarity>,
+    /// The configured similarity backend, built once over `Arc`s of the
+    /// engine's data.
+    measure: Box<dyn UserSimilarity + Send + Sync>,
+    /// Cached Definition-1 peer lists; every request path goes through it.
+    peer_index: PeerIndex,
+}
+
+impl std::fmt::Debug for RecommenderEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecommenderEngine")
+            .field("num_users", &self.matrix.num_users())
+            .field("num_items", &self.matrix.num_items())
+            .field("num_ratings", &self.matrix.num_ratings())
+            .field("measure", &self.measure.name())
+            .field("cached_peer_lists", &self.peer_index.num_cached())
+            .field("config", &self.config)
+            .finish()
+    }
 }
 
 impl RecommenderEngine {
-    /// Builds the engine.
+    /// Builds the engine: validates the configuration, builds the tf-idf
+    /// profile vectors, the configured similarity backend, and a cold
+    /// [`PeerIndex`] — all exactly once.
     ///
     /// # Errors
     /// Propagates [`EngineConfig::validate`] failures.
@@ -89,14 +120,66 @@ impl RecommenderEngine {
         config: EngineConfig,
     ) -> Result<Self> {
         config.validate()?;
-        let profile_sim = ProfileSimilarity::build(&profiles, &ontology);
+        let matrix = Arc::new(matrix);
+        let profiles = Arc::new(profiles);
+        let ontology = Arc::new(ontology);
+        let profile_sim = Arc::new(ProfileSimilarity::build(&profiles, &ontology));
+        let measure = Self::build_measure(&config, &matrix, &profiles, &ontology, &profile_sim);
+        let mut selector = PeerSelector::new(config.delta)?;
+        if let Some(cap) = config.max_peers {
+            selector = selector.with_max_peers(cap);
+        }
+        let peer_index = PeerIndex::new(selector, matrix.num_users());
         Ok(Self {
             matrix,
             profiles,
             ontology,
             config,
             profile_sim,
+            measure,
+            peer_index,
         })
+    }
+
+    /// Builds the configured similarity backend over shared handles of
+    /// the engine's data, so it lives as long as the engine without
+    /// self-referential borrows.
+    fn build_measure(
+        config: &EngineConfig,
+        matrix: &Arc<RatingMatrix>,
+        profiles: &Arc<PhrStore>,
+        ontology: &Arc<Ontology>,
+        profile_sim: &Arc<ProfileSimilarity>,
+    ) -> Box<dyn UserSimilarity + Send + Sync> {
+        match config.similarity {
+            SimilarityKind::Ratings => Box::new(
+                RatingsSimilarity::new(Arc::clone(matrix)).with_min_overlap(config.min_overlap),
+            ),
+            SimilarityKind::Profile => Box::new(Arc::clone(profile_sim)),
+            SimilarityKind::Semantic => Box::new(SemanticSimilarity::new(
+                Arc::clone(profiles),
+                Arc::clone(ontology),
+            )),
+            SimilarityKind::Hybrid {
+                ratings,
+                profile,
+                semantic,
+            } => Box::new(
+                HybridSimilarity::new()
+                    .with(
+                        Rescale01::new(
+                            RatingsSimilarity::new(Arc::clone(matrix))
+                                .with_min_overlap(config.min_overlap),
+                        ),
+                        ratings,
+                    )
+                    .with(Arc::clone(profile_sim), profile)
+                    .with(
+                        SemanticSimilarity::new(Arc::clone(profiles), Arc::clone(ontology)),
+                        semantic,
+                    ),
+            ),
+        }
     }
 
     /// The rating matrix.
@@ -119,48 +202,34 @@ impl RecommenderEngine {
         &self.config
     }
 
-    /// Runs `f` with the configured similarity measure.
-    fn with_measure<R>(&self, f: impl FnOnce(&dyn UserSimilarity) -> R) -> R {
-        match self.config.similarity {
-            SimilarityKind::Ratings => {
-                let m = RatingsSimilarity::new(&self.matrix)
-                    .with_min_overlap(self.config.min_overlap);
-                f(&m)
-            }
-            SimilarityKind::Profile => f(&self.profile_sim),
-            SimilarityKind::Semantic => {
-                let m = SemanticSimilarity::new(&self.profiles, &self.ontology);
-                f(&m)
-            }
-            SimilarityKind::Hybrid {
-                ratings,
-                profile,
-                semantic,
-            } => {
-                let m = HybridSimilarity::new()
-                    .with(
-                        Rescale01::new(
-                            RatingsSimilarity::new(&self.matrix)
-                                .with_min_overlap(self.config.min_overlap),
-                        ),
-                        ratings,
-                    )
-                    .with(&self.profile_sim, profile)
-                    .with(
-                        SemanticSimilarity::new(&self.profiles, &self.ontology),
-                        semantic,
-                    );
-                f(&m)
-            }
-        }
+    /// The configured similarity backend.
+    pub fn measure(&self) -> &(dyn UserSimilarity + Send + Sync) {
+        &*self.measure
     }
 
-    fn selector(&self) -> Result<PeerSelector> {
-        let mut s = PeerSelector::new(self.config.delta)?;
-        if let Some(cap) = self.config.max_peers {
-            s = s.with_max_peers(cap);
-        }
-        Ok(s)
+    /// The corpus-wide tf-idf profile similarity (built once at
+    /// construction; also a component of the `Profile` and `Hybrid`
+    /// backends).
+    pub fn profile_similarity(&self) -> &ProfileSimilarity {
+        &self.profile_sim
+    }
+
+    /// The shared peer index.
+    pub fn peer_index(&self) -> &PeerIndex {
+        &self.peer_index
+    }
+
+    /// Eagerly computes every user's peer list (fanned out across the
+    /// configured parallelism), so later requests are pure cache hits.
+    /// Returns the number of lists computed.
+    pub fn warm_peer_index(&self) -> usize {
+        self.peer_index.warm(&self.measure, self.config.parallelism)
+    }
+
+    /// Drops every cached peer list. Call after the underlying data
+    /// changes; see the [`PeerIndex`] invalidation contract.
+    pub fn invalidate_peers(&self) {
+        self.peer_index.invalidate_all();
     }
 
     /// The prediction phase, on the configured execution path.
@@ -168,17 +237,27 @@ impl RecommenderEngine {
     /// # Errors
     /// Propagates prediction failures (unknown members etc.).
     pub fn predictions_for(&self, group: &Group) -> Result<GroupPredictions> {
+        self.predictions_with(group, self.config.parallelism)
+    }
+
+    fn predictions_with(
+        &self,
+        group: &Group,
+        parallelism: Parallelism,
+    ) -> Result<GroupPredictions> {
         let cfg = GroupPredictionConfig {
             aggregation: self.config.aggregation,
             missing: self.config.missing,
+            parallelism,
         };
         match self.config.execution {
-            ExecutionPath::InMemory => {
-                let selector = self.selector()?;
-                self.with_measure(|m| {
-                    compute_group_predictions(&self.matrix, &m, &selector, group, cfg)
-                })
-            }
+            ExecutionPath::InMemory => compute_group_predictions_with_index(
+                &self.matrix,
+                &self.measure,
+                &self.peer_index,
+                group,
+                cfg,
+            ),
             ExecutionPath::MapReduce(job) => {
                 // The MapReduce pipeline computes ratings-based similarity
                 // (the decomposable measure of §IV); other measures fall
@@ -187,10 +266,13 @@ impl RecommenderEngine {
                 // corpus, ontology paths) that the paper's jobs do not
                 // shuffle.
                 if !matches!(self.config.similarity, SimilarityKind::Ratings) {
-                    let selector = self.selector()?;
-                    return self.with_measure(|m| {
-                        compute_group_predictions(&self.matrix, &m, &selector, group, cfg)
-                    });
+                    return compute_group_predictions_with_index(
+                        &self.matrix,
+                        &self.measure,
+                        &self.peer_index,
+                        group,
+                        cfg,
+                    );
                 }
                 let pipeline = PipelineConfig {
                     delta: self.config.delta,
@@ -217,7 +299,16 @@ impl RecommenderEngine {
     /// Propagates prediction/pool/evaluator failures (unknown members,
     /// empty pool, oversized groups).
     pub fn recommend_for_group(&self, group: &Group, z: usize) -> Result<GroupRecommendation> {
-        let predictions = self.predictions_for(group)?;
+        self.recommend_with(group, z, self.config.parallelism)
+    }
+
+    fn recommend_with(
+        &self,
+        group: &Group,
+        z: usize,
+        parallelism: Parallelism,
+    ) -> Result<GroupRecommendation> {
+        let predictions = self.predictions_with(group, parallelism)?;
         let pool = CandidatePool::from_predictions(&predictions, self.config.pool_size)?;
         let evaluator = FairnessEvaluator::new(&pool, self.config.k)?;
 
@@ -231,8 +322,9 @@ impl RecommenderEngine {
             SelectionAlgorithm::PlainTopZ => plain_top_z(&pool, z),
         };
 
-        // Optional fairness-agnostic padding to exactly z items.
-        let mut padded_from = selection.len();
+        // Optional fairness-agnostic padding to exactly z items; ranks
+        // from `padded_from` onwards are padding, not selection.
+        let padded_from = selection.len();
         if self.config.pad_to_z && selection.len() < z.min(pool.num_items()) {
             let mut in_set = vec![false; pool.num_items()];
             for &j in &selection.positions {
@@ -248,8 +340,6 @@ impl RecommenderEngine {
                     selection.positions.push(j);
                 }
             }
-        } else {
-            padded_from = selection.len();
         }
 
         Ok(self.assemble(group, &pool, &evaluator, &selection, padded_from))
@@ -293,10 +383,13 @@ impl RecommenderEngine {
                     .filter_map(|(rank, &j)| pool.member_relevance(m, j).map(|s| (rank, s)))
                     .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(b.0.cmp(&a.0)))
                     .map(|(rank, _)| rank);
-                let personal_best = pool
-                    .top_k_positions(m, 1)
-                    .first()
-                    .map(|&j| ScoredItem::new(pool.items()[j], pool.member_relevance(m, j).expect("top-k positions are defined")));
+                let personal_best = pool.top_k_positions(m, 1).first().map(|&j| {
+                    ScoredItem::new(
+                        pool.items()[j],
+                        pool.member_relevance(m, j)
+                            .expect("top-k positions are defined"),
+                    )
+                });
                 MemberSatisfaction {
                     user,
                     satisfied: satisfied_mask & (1u64 << m) != 0,
@@ -315,13 +408,44 @@ impl RecommenderEngine {
         }
     }
 
-    /// Single-user top-k recommendation (§III-A).
+    /// Single-user top-k recommendation (§III-A), served through the
+    /// shared peer index.
     ///
     /// # Errors
     /// Propagates unknown-user failures.
     pub fn recommend_for_user(&self, user: UserId, k: usize) -> Result<Vec<ScoredItem>> {
-        let selector = self.selector()?;
-        self.with_measure(|m| single_user_top_k(&self.matrix, &m, &selector, user, k))
+        single_user_top_k_with_index(&self.matrix, &self.measure, &self.peer_index, user, k)
+    }
+
+    /// Batched group serving: recommends a top-z package for every group,
+    /// fanning the groups out across the configured parallelism. All
+    /// requests share the engine's similarity backend and peer index, so
+    /// a user appearing in several groups is served from one cached peer
+    /// list — the batched analogue of a serving loop under heavy traffic.
+    /// (On a cold index, concurrent requests may briefly duplicate a
+    /// shared member's first scan — benign, identical results; call
+    /// [`warm_peer_index`](Self::warm_peer_index) first to avoid it.)
+    ///
+    /// Results are returned in input order and are identical to calling
+    /// [`recommend_for_group`](Self::recommend_for_group) in a loop.
+    ///
+    /// # Errors
+    /// Returns the first failure in group order, if any request fails.
+    pub fn recommend_batch(&self, groups: &[Group], z: usize) -> Result<Vec<GroupRecommendation>> {
+        // One level of parallelism: when groups fan out across threads,
+        // each request's inner stages run sequentially — nested fan-out
+        // would oversubscribe the pool for no gain (a group is already a
+        // thread-sized unit of work).
+        let inner = if self.config.parallelism.is_parallel() {
+            Parallelism::Sequential
+        } else {
+            self.config.parallelism
+        };
+        let outcomes: Vec<Result<GroupRecommendation>> =
+            self.config.parallelism.map(groups.to_vec(), |group| {
+                self.recommend_with(&group, z, inner)
+            });
+        outcomes.into_iter().collect()
     }
 }
 
@@ -351,7 +475,12 @@ mod tests {
     }
 
     fn group(engine: &RecommenderEngine) -> Group {
-        let members = [UserId::new(0), UserId::new(1), UserId::new(2), UserId::new(3)];
+        let members = [
+            UserId::new(0),
+            UserId::new(1),
+            UserId::new(2),
+            UserId::new(3),
+        ];
         for &u in &members {
             assert!(u.raw() < engine.matrix().num_users());
         }

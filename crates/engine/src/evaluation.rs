@@ -37,11 +37,7 @@ pub struct HoldoutSplit {
 ///
 /// # Panics
 /// Panics if `test_fraction ∉ [0, 1)`.
-pub fn holdout_split(
-    matrix: &RatingMatrix,
-    test_fraction: f64,
-    seed: u64,
-) -> Result<HoldoutSplit> {
+pub fn holdout_split(matrix: &RatingMatrix, test_fraction: f64, seed: u64) -> Result<HoldoutSplit> {
     assert!(
         (0.0..1.0).contains(&test_fraction),
         "test_fraction must be in [0, 1)"
@@ -120,7 +116,11 @@ pub fn prediction_quality<S: UserSimilarity>(
     }
     let num_test = split.test.len();
     PredictionQuality {
-        mae: if predicted > 0 { abs_sum / predicted as f64 } else { f64::NAN },
+        mae: if predicted > 0 {
+            abs_sum / predicted as f64
+        } else {
+            f64::NAN
+        },
         rmse: if predicted > 0 {
             (sq_sum / predicted as f64).sqrt()
         } else {
@@ -154,7 +154,11 @@ pub fn predictor_quality<P: fairrec_core::baselines::RatingPredictor + ?Sized>(
     }
     let num_test = split.test.len();
     PredictionQuality {
-        mae: if predicted > 0 { abs_sum / predicted as f64 } else { f64::NAN },
+        mae: if predicted > 0 {
+            abs_sum / predicted as f64
+        } else {
+            f64::NAN
+        },
         rmse: if predicted > 0 {
             (sq_sum / predicted as f64).sqrt()
         } else {
@@ -230,7 +234,10 @@ mod tests {
                 num_users: 100,
                 num_items: 200,
                 num_communities: 4,
-                ratings_per_user: 30,
+                // Dense enough that same-community pairs co-rate both
+                // in-pool and leaked out-of-pool items — the mixture
+                // Pearson needs to separate the planted communities.
+                ratings_per_user: 60,
                 seed: 5,
                 ..Default::default()
             },
@@ -320,8 +327,18 @@ mod tests {
         // nothing here — every user's ratings are bimodal (high
         // in-community, low outside), so user/item offsets carry little
         // signal; we only sanity-bound them.
-        assert!(knn.mae < global.mae * 0.8, "knn {} vs global {}", knn.mae, global.mae);
-        assert!(bias.mae < global.mae * 1.5, "bias {} vs global {}", bias.mae, global.mae);
+        assert!(
+            knn.mae < global.mae * 0.8,
+            "knn {} vs global {}",
+            knn.mae,
+            global.mae
+        );
+        assert!(
+            bias.mae < global.mae * 1.5,
+            "bias {} vs global {}",
+            bias.mae,
+            global.mae
+        );
         assert_eq!(global.coverage, 1.0);
         // Name plumbing sanity.
         let boxed: Box<dyn RatingPredictor> = Box::new(GlobalMean::fit(&split.train));

@@ -117,7 +117,12 @@ fn partition_of<K: Hash>(key: &K, num_partitions: usize) -> usize {
 /// Runs one MapReduce job over `input`.
 ///
 /// See the module docs for the execution and determinism model.
-pub fn run_job<M, R>(mapper: &M, reducer: &R, input: Vec<M::In>, config: JobConfig) -> JobResult<R::Out>
+pub fn run_job<M, R>(
+    mapper: &M,
+    reducer: &R,
+    input: Vec<M::In>,
+    config: JobConfig,
+) -> JobResult<R::Out>
 where
     M: Mapper,
     R: Reducer<Key = M::Key, Value = M::Value>,
@@ -195,7 +200,8 @@ where
     }
     drop(part_tx);
 
-    let mut per_partition_output: Vec<Vec<R::Out>> = (0..num_partitions).map(|_| Vec::new()).collect();
+    let mut per_partition_output: Vec<Vec<R::Out>> =
+        (0..num_partitions).map(|_| Vec::new()).collect();
     let mut reduce_groups = 0usize;
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(num_workers);
@@ -278,17 +284,10 @@ mod tests {
 
     #[test]
     fn word_count_single_worker() {
-        let got = word_count(
-            &["the cat sat", "the cat", "sat sat"],
-            JobConfig::default(),
-        );
+        let got = word_count(&["the cat sat", "the cat", "sat sat"], JobConfig::default());
         assert_eq!(
             got,
-            vec![
-                ("cat".into(), 2),
-                ("sat".into(), 3),
-                ("the".into(), 2)
-            ]
+            vec![("cat".into(), 2), ("sat".into(), 3), ("the".into(), 2)]
         );
     }
 
@@ -298,7 +297,13 @@ mod tests {
             .map(|i| format!("w{} w{} shared", i % 17, i % 5))
             .collect();
         let refs: Vec<&str> = lines.iter().map(|s| s.as_str()).collect();
-        let base = word_count(&refs, JobConfig { num_workers: 1, num_partitions: 3 });
+        let base = word_count(
+            &refs,
+            JobConfig {
+                num_workers: 1,
+                num_partitions: 3,
+            },
+        );
         for workers in [2, 4, 8] {
             for partitions in [1, 3, 7] {
                 let got = word_count(

@@ -129,12 +129,7 @@ impl Reducer for Job1Reducer {
     type Value = (UserId, f64);
     type Out = Job1Out;
 
-    fn reduce(
-        &self,
-        item: ItemId,
-        raters: Vec<(UserId, f64)>,
-        emit: &mut dyn FnMut(Job1Out),
-    ) {
+    fn reduce(&self, item: ItemId, raters: Vec<(UserId, f64)>, emit: &mut dyn FnMut(Job1Out)) {
         let any_member = raters.iter().any(|&(u, _)| self.is_member(u));
         if !any_member {
             // Candidate item: pass the ratings through for Job 3.
@@ -345,12 +340,7 @@ impl Reducer for Job3Reducer {
     type Value = (UserId, f64);
     type Out = ItemScores;
 
-    fn reduce(
-        &self,
-        item: ItemId,
-        raters: Vec<(UserId, f64)>,
-        emit: &mut dyn FnMut(ItemScores),
-    ) {
+    fn reduce(&self, item: ItemId, raters: Vec<(UserId, f64)>, emit: &mut dyn FnMut(ItemScores)) {
         let member_scores: Vec<Option<Relevance>> = self
             .peer_sims
             .iter()

@@ -12,12 +12,13 @@
 
 use crate::engine::{run_job, JobConfig, JobMetrics};
 use crate::jobs::{
-    ItemScores, Job1Mapper, Job1Out, Job1Reducer, Job2Mapper, Job2Reducer, Job3Mapper,
-    Job3Reducer, MeansMapper, MeansReducer, SimEdge,
+    ItemScores, Job1Mapper, Job1Out, Job1Reducer, Job2Mapper, Job2Reducer, Job3Mapper, Job3Reducer,
+    MeansMapper, MeansReducer, SimEdge,
 };
 use fairrec_core::aggregate::{Aggregation, MissingPolicy};
 use fairrec_core::group::Group;
 use fairrec_core::predictions::GroupPredictions;
+use fairrec_similarity::{PeerIndex, PeerSelector};
 use fairrec_types::{ItemId, RatingTriple, Relevance, Result, UserId};
 use std::collections::HashMap;
 
@@ -138,28 +139,36 @@ pub fn mapreduce_group_predictions(
     report.job2 = job2.metrics;
     report.sim_edges = job2.output.len();
 
-    // Per-member peer tables; optional kNN truncation mirrors
-    // `PeerSelector::with_max_peers` (sort by sim desc, id asc).
-    let mut peer_lists: Vec<Vec<(UserId, f64)>> = vec![Vec::new(); n];
-    for SimEdge { member, peer, sim } in job2.output {
-        let slot = members
-            .binary_search(&member)
-            .expect("Job 2 only emits group members");
-        peer_lists[slot].push((peer, sim));
+    // Per-member peer tables, canonicalised (sort by sim desc, id asc;
+    // optional kNN truncation) by the same `PeerIndex` path the in-memory
+    // pipeline uses — Job 2's edges are just a precomputed similarity
+    // function, so Definition 1 semantics live in exactly one place.
+    let mut selector = PeerSelector::new(config.delta)?;
+    if let Some(cap) = config.max_peers {
+        selector = selector.with_max_peers(cap);
     }
-    let peer_sims: Vec<HashMap<UserId, f64>> = peer_lists
+    let num_users = members.iter().map(|m| m.raw() + 1).max().unwrap_or(0);
+    let index = PeerIndex::from_edges(
+        selector,
+        num_users,
+        &members,
+        job2.output
+            .into_iter()
+            .map(|SimEdge { member, peer, sim }| {
+                // `from_edges` quietly ignores edges for unlisted users; the
+                // paper's invariant is stronger — Job 2 pairs members only —
+                // so a violation here is a job bug worth failing loudly on.
+                debug_assert!(
+                    members.binary_search(&member).is_ok(),
+                    "Job 2 emitted an edge for non-member {member}"
+                );
+                (member, peer, sim)
+            }),
+    );
+    let peer_sims: Vec<HashMap<UserId, f64>> = index
+        .group_peers_cached(&members)
         .into_iter()
-        .map(|mut list| {
-            list.sort_by(|a, b| {
-                b.1.partial_cmp(&a.1)
-                    .expect("similarities are finite")
-                    .then(a.0.cmp(&b.0))
-            });
-            if let Some(cap) = config.max_peers {
-                list.truncate(cap);
-            }
-            list.into_iter().collect()
-        })
+        .map(|(_, peers)| peers.into_iter().collect())
         .collect();
 
     // ---- Job 3: Equation 1 + Definition 2 over the candidates ------------
@@ -190,8 +199,7 @@ pub fn mapreduce_group_predictions(
     let empty_column: Vec<Option<Relevance>> = vec![None; n];
     let unrated_group_score = config.aggregation.aggregate(&empty_column, config.missing);
 
-    let mut member_scores: Vec<Vec<Option<Relevance>>> =
-        vec![Vec::with_capacity(items.len()); n];
+    let mut member_scores: Vec<Vec<Option<Relevance>>> = vec![Vec::with_capacity(items.len()); n];
     let mut group_scores: Vec<Option<Relevance>> = Vec::with_capacity(items.len());
     for item in &items {
         match scored.get(item) {

@@ -47,20 +47,16 @@ pub fn read_ontology<R: BufRead>(input: R) -> Result<Ontology> {
             continue;
         }
         let mut fields = line.splitn(4, '\t');
-        let (id, parent, code, label) = match (
-            fields.next(),
-            fields.next(),
-            fields.next(),
-            fields.next(),
-        ) {
-            (Some(a), Some(b), Some(c), Some(d)) => (a, b, c, d),
-            _ => {
-                return Err(FairrecError::parse_at(
-                    lineno,
-                    format!("expected 4 tab-separated fields, got {line:?}"),
-                ))
-            }
-        };
+        let (id, parent, code, label) =
+            match (fields.next(), fields.next(), fields.next(), fields.next()) {
+                (Some(a), Some(b), Some(c), Some(d)) => (a, b, c, d),
+                _ => {
+                    return Err(FairrecError::parse_at(
+                        lineno,
+                        format!("expected 4 tab-separated fields, got {line:?}"),
+                    ))
+                }
+            };
         let id: u32 = id
             .parse()
             .map_err(|_| FairrecError::parse_at(lineno, format!("bad id {id:?}")))?;
@@ -78,9 +74,9 @@ pub fn read_ontology<R: BufRead>(input: R) -> Result<Ontology> {
             }
             builder = Some(OntologyBuilder::new(code, label));
         } else {
-            let parent: u32 = parent.parse().map_err(|_| {
-                FairrecError::parse_at(lineno, format!("bad parent id {parent:?}"))
-            })?;
+            let parent: u32 = parent
+                .parse()
+                .map_err(|_| FairrecError::parse_at(lineno, format!("bad parent id {parent:?}")))?;
             if parent >= id {
                 return Err(FairrecError::parse_at(
                     lineno,
@@ -161,11 +157,11 @@ mod tests {
     #[test]
     fn malformed_inputs_are_rejected_with_line_numbers() {
         let cases = [
-            ("0\t-\tR\n", "expected 4"),                    // too few fields
-            ("x\t-\tR\troot\n", "bad id"),                  // non-numeric id
-            ("1\t-\tR\troot\n", "contiguous"),              // ids not from 0
+            ("0\t-\tR\n", "expected 4"),       // too few fields
+            ("x\t-\tR\troot\n", "bad id"),     // non-numeric id
+            ("1\t-\tR\troot\n", "contiguous"), // ids not from 0
             ("0\t-\tR\troot\n1\t-\tS\tsecond\n", "second root"),
-            ("0\t0\tR\troot\n", "must precede"),            // self-parent, no root marker
+            ("0\t0\tR\troot\n", "must precede"), // self-parent, no root marker
             ("0\t-\tR\troot\n1\t5\tA\ta\n", "must precede"), // forward parent
             ("0\t-\tR\troot\n1\tz\tA\ta\n", "bad parent"),
             ("", "empty ontology"),
@@ -173,7 +169,10 @@ mod tests {
         for (text, needle) in cases {
             let err = read_ontology(BufReader::new(text.as_bytes())).unwrap_err();
             let msg = err.to_string();
-            assert!(msg.contains(needle), "{text:?} → {msg:?} (wanted {needle:?})");
+            assert!(
+                msg.contains(needle),
+                "{text:?} → {msg:?} (wanted {needle:?})"
+            );
         }
     }
 

@@ -152,12 +152,7 @@ mod tests {
             ..base
         }
         .generate();
-        let max_fanout = |o: &Ontology| {
-            o.iter()
-                .map(|c| o.children(c.id).len())
-                .max()
-                .unwrap_or(0)
-        };
+        let max_fanout = |o: &Ontology| o.iter().map(|c| o.children(c.id).len()).max().unwrap_or(0);
         assert!(
             max_fanout(&preferential) > max_fanout(&uniform),
             "preferential attachment should produce heavier-tailed fan-out"

@@ -87,7 +87,8 @@ pub fn clinical_fragment() -> Ontology {
         .unwrap();
     b.add_child(heart, "194828000", "Angina pectoris").unwrap();
     b.add_child(heart, "84114007", "Heart failure").unwrap();
-    b.add_child(heart, "49436004", "Atrial fibrillation").unwrap();
+    b.add_child(heart, "49436004", "Atrial fibrillation")
+        .unwrap();
     b.add_child(cardio, "38341003", "Hypertensive disorder")
         .unwrap();
     b.add_child(cardio, "400047006", "Peripheral vascular disease")
@@ -97,15 +98,20 @@ pub fn clinical_fragment() -> Ontology {
     let musculo = b
         .add_child(finding, "928000", "Disorder of musculoskeletal system")
         .unwrap();
-    let fracture = b.add_child(musculo, "125605004", "Fracture of bone").unwrap();
-    b.add_child(fracture, "65966004", labels::BROKEN_ARM).unwrap();
+    let fracture = b
+        .add_child(musculo, "125605004", "Fracture of bone")
+        .unwrap();
+    b.add_child(fracture, "65966004", labels::BROKEN_ARM)
+        .unwrap();
     b.add_child(fracture, "46866001", "Fracture of lower limb")
         .unwrap();
-    b.add_child(fracture, "207957008", "Fracture of rib").unwrap();
+    b.add_child(fracture, "207957008", "Fracture of rib")
+        .unwrap();
     let arthritis = b.add_child(musculo, "3723001", "Arthritis").unwrap();
     b.add_child(arthritis, "69896004", "Rheumatoid arthritis")
         .unwrap();
-    b.add_child(arthritis, "396275006", "Osteoarthritis").unwrap();
+    b.add_child(arthritis, "396275006", "Osteoarthritis")
+        .unwrap();
     b.add_child(musculo, "64859006", "Osteoporosis").unwrap();
 
     // --- Neoplastic (the iManageCancer context) ---------------------------
@@ -131,18 +137,23 @@ pub fn clinical_fragment() -> Ontology {
     let metabolic = b
         .add_child(finding, "75934005", "Metabolic disease")
         .unwrap();
-    let diabetes = b.add_child(metabolic, "73211009", "Diabetes mellitus").unwrap();
+    let diabetes = b
+        .add_child(metabolic, "73211009", "Diabetes mellitus")
+        .unwrap();
     b.add_child(diabetes, "46635009", "Diabetes mellitus type 1")
         .unwrap();
     b.add_child(diabetes, "44054006", "Diabetes mellitus type 2")
         .unwrap();
-    b.add_child(metabolic, "55822004", "Hyperlipidemia").unwrap();
+    b.add_child(metabolic, "55822004", "Hyperlipidemia")
+        .unwrap();
     b.add_child(metabolic, "66999008", "Obesity").unwrap();
 
     // --- Mental / behavioural ---------------------------------------------
     let mental = b.add_child(finding, "74732009", "Mental disorder").unwrap();
-    b.add_child(mental, "35489007", "Depressive disorder").unwrap();
-    b.add_child(mental, "197480006", "Anxiety disorder").unwrap();
+    b.add_child(mental, "35489007", "Depressive disorder")
+        .unwrap();
+    b.add_child(mental, "197480006", "Anxiety disorder")
+        .unwrap();
     b.add_child(mental, "13746004", "Bipolar disorder").unwrap();
 
     // --- Digestive ---------------------------------------------------------
@@ -151,16 +162,20 @@ pub fn clinical_fragment() -> Ontology {
         .unwrap();
     b.add_child(digestive, "235595009", "Gastroesophageal reflux disease")
         .unwrap();
-    b.add_child(digestive, "397825006", "Gastric ulcer").unwrap();
-    b.add_child(digestive, "34000006", "Crohn's disease").unwrap();
+    b.add_child(digestive, "397825006", "Gastric ulcer")
+        .unwrap();
+    b.add_child(digestive, "34000006", "Crohn's disease")
+        .unwrap();
 
     // --- Neurological -------------------------------------------------------
     let neuro = b
         .add_child(finding, "118940003", "Disorder of nervous system")
         .unwrap();
     b.add_child(neuro, "84757009", "Epilepsy").unwrap();
-    b.add_child(neuro, "24700007", "Multiple sclerosis").unwrap();
-    b.add_child(neuro, "49049000", "Parkinson's disease").unwrap();
+    b.add_child(neuro, "24700007", "Multiple sclerosis")
+        .unwrap();
+    b.add_child(neuro, "49049000", "Parkinson's disease")
+        .unwrap();
 
     b.build()
 }

@@ -110,8 +110,8 @@ pub fn correspondence(
         }
     }
 
-    report.same_gender = first.gender == second.gender
-        && first.gender != crate::profile::Gender::Unknown;
+    report.same_gender =
+        first.gender == second.gender && first.gender != crate::profile::Gender::Unknown;
     report.same_age_decade = match (first.age_bucket(), second.age_bucket()) {
         (Some(a), Some(b)) => a == b,
         _ => false,
@@ -138,7 +138,10 @@ mod tests {
         let rel = report.related_problems[0];
         assert_eq!(ont.concept(rel.shared_ancestor).label, "Bronchitis");
         assert_eq!(rel.distance, 2);
-        assert_eq!(report.shared_medications, vec!["Ramipril 10 MG Oral Capsule"]);
+        assert_eq!(
+            report.shared_medications,
+            vec!["Ramipril 10 MG Oral Capsule"]
+        );
         assert!(!report.same_gender);
         assert!(!report.same_age_decade);
         assert!(!report.is_empty());
@@ -156,8 +159,7 @@ mod tests {
         let weak = correspondence(&p1, &p2, &ont, 1);
         assert_eq!(weak.related_problems.len(), 1);
         assert_eq!(
-            weak.related_problems[0].distance,
-            5,
+            weak.related_problems[0].distance, 5,
             "the §V-C worked distance"
         );
     }
@@ -166,8 +168,12 @@ mod tests {
     fn identical_problems_are_shared_not_related() {
         let ont = clinical_fragment();
         let acute = ont.by_label(labels::ACUTE_BRONCHITIS).unwrap();
-        let a = PatientProfile::builder(UserId::new(0)).problem(acute).build();
-        let b = PatientProfile::builder(UserId::new(1)).problem(acute).build();
+        let a = PatientProfile::builder(UserId::new(0))
+            .problem(acute)
+            .build();
+        let b = PatientProfile::builder(UserId::new(1))
+            .problem(acute)
+            .build();
         let report = correspondence(&a, &b, &ont, 2);
         assert_eq!(report.shared_problems, vec![acute]);
         assert!(report.related_problems.is_empty());
@@ -190,11 +196,24 @@ mod tests {
     fn demographics() {
         let ont = clinical_fragment();
         let mk = |u: u32, g: Gender, age: u8| {
-            PatientProfile::builder(UserId::new(u)).gender(g).age(age).build()
+            PatientProfile::builder(UserId::new(u))
+                .gender(g)
+                .age(age)
+                .build()
         };
-        let r = correspondence(&mk(0, Gender::Female, 41), &mk(1, Gender::Female, 47), &ont, 2);
+        let r = correspondence(
+            &mk(0, Gender::Female, 41),
+            &mk(1, Gender::Female, 47),
+            &ont,
+            2,
+        );
         assert!(r.same_gender && r.same_age_decade);
-        let r = correspondence(&mk(0, Gender::Female, 41), &mk(1, Gender::Male, 43), &ont, 2);
+        let r = correspondence(
+            &mk(0, Gender::Female, 41),
+            &mk(1, Gender::Male, 43),
+            &ont,
+            2,
+        );
         assert!(!r.same_gender && r.same_age_decade);
         // Unknown gender never counts as a correspondence.
         let r = correspondence(

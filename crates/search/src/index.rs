@@ -309,19 +309,17 @@ mod proptests {
         let word = proptest::sample::select(vec![
             "pain", "cancer", "diet", "sleep", "drug", "dose", "heart", "lung",
         ]);
-        proptest::collection::vec(proptest::collection::vec(word, 1..12), 1..12).prop_map(
-            |docs| {
-                docs.into_iter()
-                    .enumerate()
-                    .map(|(id, words)| StoredDocument {
-                        item: fairrec_types::ItemId::new(id as u32),
-                        title: words.first().map(|w| w.to_string()).unwrap_or_default(),
-                        body: words.join(" "),
-                        status: CurationStatus::Approved,
-                    })
-                    .collect()
-            },
-        )
+        proptest::collection::vec(proptest::collection::vec(word, 1..12), 1..12).prop_map(|docs| {
+            docs.into_iter()
+                .enumerate()
+                .map(|(id, words)| StoredDocument {
+                    item: fairrec_types::ItemId::new(id as u32),
+                    title: words.first().map(|w| w.to_string()).unwrap_or_default(),
+                    body: words.join(" "),
+                    status: CurationStatus::Approved,
+                })
+                .collect()
+        })
     }
 
     proptest! {

@@ -135,18 +135,25 @@ mod tests {
         let mut s = DocumentStore::new();
         s.upsert(doc(1, CurationStatus::Pending));
         assert_eq!(s.approved().count(), 0);
-        s.set_status(ItemId::new(1), CurationStatus::Approved).unwrap();
+        s.set_status(ItemId::new(1), CurationStatus::Approved)
+            .unwrap();
         assert_eq!(s.approved().count(), 1);
-        s.set_status(ItemId::new(1), CurationStatus::Rejected).unwrap();
+        s.set_status(ItemId::new(1), CurationStatus::Rejected)
+            .unwrap();
         assert_eq!(s.approved().count(), 0);
-        assert!(s.set_status(ItemId::new(5), CurationStatus::Approved).is_err());
+        assert!(s
+            .set_status(ItemId::new(5), CurationStatus::Approved)
+            .is_err());
     }
 
     #[test]
     fn iteration_in_item_order() {
-        let s: DocumentStore = [doc(4, CurationStatus::Approved), doc(1, CurationStatus::Pending)]
-            .into_iter()
-            .collect();
+        let s: DocumentStore = [
+            doc(4, CurationStatus::Approved),
+            doc(1, CurationStatus::Pending),
+        ]
+        .into_iter()
+        .collect();
         let ids: Vec<u32> = s.iter().map(|d| d.item.raw()).collect();
         assert_eq!(ids, vec![1, 4]);
         assert!(!s.is_empty());

@@ -103,7 +103,10 @@ impl KMedoids {
         universe: impl IntoIterator<Item = UserId>,
     ) -> Result<Clustering> {
         if self.k == 0 {
-            return Err(FairrecError::invalid_parameter("k", "need at least 1 cluster"));
+            return Err(FairrecError::invalid_parameter(
+                "k",
+                "need at least 1 cluster",
+            ));
         }
         let mut users: Vec<UserId> = universe.into_iter().collect();
         users.sort_unstable();
@@ -218,12 +221,7 @@ impl ClusteredPeerSelector {
 
     /// Peers of `u` among `u`'s cluster members only. Users outside the
     /// clustered universe get no peers.
-    pub fn peers_of<S: UserSimilarity>(
-        &self,
-        measure: &S,
-        u: UserId,
-        exclude: &[UserId],
-    ) -> Peers {
+    pub fn peers_of<S: UserSimilarity>(&self, measure: &S, u: UserId, exclude: &[UserId]) -> Peers {
         match self.clustering.cluster_of(u) {
             Some(cluster) => {
                 self.selector

@@ -38,8 +38,12 @@ impl<S: UserSimilarity> UserSimilarity for Rescale01<S> {
 }
 
 /// Weighted combination of boxed measures.
+///
+/// Components are required to be `Send + Sync` so a hybrid over owned
+/// (`Arc`-holding) measures can serve parallel request fan-out; every
+/// measure in this crate satisfies that.
 pub struct HybridSimilarity<'a> {
-    components: Vec<(Box<dyn UserSimilarity + 'a>, f64)>,
+    components: Vec<(Box<dyn UserSimilarity + Send + Sync + 'a>, f64)>,
 }
 
 impl std::fmt::Debug for HybridSimilarity<'_> {
@@ -67,7 +71,7 @@ impl<'a> HybridSimilarity<'a> {
     /// # Panics
     /// Panics if `weight` is negative or non-finite — weights are
     /// experiment constants, not data.
-    pub fn with(mut self, measure: impl UserSimilarity + 'a, weight: f64) -> Self {
+    pub fn with(mut self, measure: impl UserSimilarity + Send + Sync + 'a, weight: f64) -> Self {
         assert!(
             weight.is_finite() && weight >= 0.0,
             "weights must be finite and non-negative, got {weight}"
@@ -138,8 +142,20 @@ mod tests {
     #[test]
     fn weighted_average_of_defined_components() {
         let h = HybridSimilarity::new()
-            .with(Fixed { value: 1.0, cutoff: 10 }, 3.0)
-            .with(Fixed { value: 0.0, cutoff: 10 }, 1.0);
+            .with(
+                Fixed {
+                    value: 1.0,
+                    cutoff: 10,
+                },
+                3.0,
+            )
+            .with(
+                Fixed {
+                    value: 0.0,
+                    cutoff: 10,
+                },
+                1.0,
+            );
         let s = h.similarity(UserId::new(0), UserId::new(1)).unwrap();
         assert!((s - 0.75).abs() < 1e-12);
     }
@@ -147,15 +163,36 @@ mod tests {
     #[test]
     fn weights_renormalise_over_defined_subset() {
         let h = HybridSimilarity::new()
-            .with(Fixed { value: 0.8, cutoff: 10 }, 1.0)
-            .with(Fixed { value: 0.0, cutoff: 1 }, 9.0); // undefined for u1
+            .with(
+                Fixed {
+                    value: 0.8,
+                    cutoff: 10,
+                },
+                1.0,
+            )
+            .with(
+                Fixed {
+                    value: 0.0,
+                    cutoff: 1,
+                },
+                9.0,
+            ); // undefined for u1
         let s = h.similarity(UserId::new(0), UserId::new(1)).unwrap();
-        assert!((s - 0.8).abs() < 1e-12, "undefined component must not dilute");
+        assert!(
+            (s - 0.8).abs() < 1e-12,
+            "undefined component must not dilute"
+        );
     }
 
     #[test]
     fn undefined_when_all_components_undefined() {
-        let h = HybridSimilarity::new().with(Fixed { value: 0.5, cutoff: 1 }, 1.0);
+        let h = HybridSimilarity::new().with(
+            Fixed {
+                value: 0.5,
+                cutoff: 1,
+            },
+            1.0,
+        );
         assert_eq!(h.similarity(UserId::new(5), UserId::new(6)), None);
     }
 
@@ -169,8 +206,20 @@ mod tests {
     #[test]
     fn zero_weight_components_are_ignored() {
         let h = HybridSimilarity::new()
-            .with(Fixed { value: 0.2, cutoff: 10 }, 1.0)
-            .with(Fixed { value: 1.0, cutoff: 10 }, 0.0);
+            .with(
+                Fixed {
+                    value: 0.2,
+                    cutoff: 10,
+                },
+                1.0,
+            )
+            .with(
+                Fixed {
+                    value: 1.0,
+                    cutoff: 10,
+                },
+                0.0,
+            );
         let s = h.similarity(UserId::new(0), UserId::new(1)).unwrap();
         assert!((s - 0.2).abs() < 1e-12);
         assert_eq!(h.len(), 2);
@@ -179,7 +228,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "non-negative")]
     fn negative_weights_panic() {
-        let _ = HybridSimilarity::new().with(Fixed { value: 0.2, cutoff: 1 }, -1.0);
+        let _ = HybridSimilarity::new().with(
+            Fixed {
+                value: 0.2,
+                cutoff: 1,
+            },
+            -1.0,
+        );
     }
 
     #[test]
@@ -203,7 +258,13 @@ mod tests {
 
     #[test]
     fn debug_lists_components() {
-        let h = HybridSimilarity::new().with(Fixed { value: 0.1, cutoff: 1 }, 2.0);
+        let h = HybridSimilarity::new().with(
+            Fixed {
+                value: 0.1,
+                cutoff: 1,
+            },
+            2.0,
+        );
         assert!(format!("{h:?}").contains("fixed×2"));
     }
 }

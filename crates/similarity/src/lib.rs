@@ -15,7 +15,10 @@
 //!   health-related information *"in addition to the traditional
 //!   ratings"*; the hybrid is the natural way to use several signals at
 //!   once),
-//! * [`PeerSelector`] — Definition 1: `P_u = {u′ ∈ U : simU(u, u′) ≥ δ}`.
+//! * [`PeerSelector`] — Definition 1: `P_u = {u′ ∈ U : simU(u, u′) ≥ δ}`,
+//! * [`PeerIndex`] — the cached, thread-safe serving form of Definition 1:
+//!   memoized full peer lists with masked group views and explicit
+//!   invalidation (see its module docs for the contract).
 //!
 //! A similarity may be *undefined* for a pair (no co-rated items, empty
 //! profiles, no recorded problems); measures return `Option<f64>` and
@@ -26,6 +29,7 @@
 
 pub mod clustering;
 mod hybrid;
+mod peer_index;
 mod peers;
 mod profile;
 mod ratings;
@@ -33,6 +37,7 @@ mod semantic;
 
 pub use clustering::{ClusteredPeerSelector, Clustering, KMedoids};
 pub use hybrid::{HybridSimilarity, Rescale01};
+pub use peer_index::PeerIndex;
 pub use peers::{PeerSelector, Peers};
 pub use profile::ProfileSimilarity;
 pub use ratings::RatingsSimilarity;
@@ -60,6 +65,16 @@ impl<T: UserSimilarity + ?Sized> UserSimilarity for &T {
 }
 
 impl<T: UserSimilarity + ?Sized> UserSimilarity for Box<T> {
+    fn similarity(&self, u: UserId, v: UserId) -> Option<f64> {
+        (**self).similarity(u, v)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+impl<T: UserSimilarity + ?Sized> UserSimilarity for std::sync::Arc<T> {
     fn similarity(&self, u: UserId, v: UserId) -> Option<f64> {
         (**self).similarity(u, v)
     }

@@ -1,0 +1,407 @@
+//! Cached peer lists — the serving-path form of Definition 1.
+//!
+//! [`PeerSelector`] answers "who are `u`'s peers?" by scanning the whole
+//! user universe per call. That is the right primitive for one-off
+//! queries, but a serving engine answers the same question for the same
+//! users over and over: every group request needs the peer list of every
+//! member, and batched serving multiplies that by the number of groups.
+//!
+//! [`PeerIndex`] memoizes, per user, the **full** peer list — threshold-
+//! filtered, canonically sorted (similarity descending, id ascending),
+//! *uncapped* and *unmasked*. Request-time views are then pure list
+//! operations:
+//!
+//! * the single-user view truncates to the selector's `max_peers` cap;
+//! * the group view first masks the group's co-members (the Job 1 rule:
+//!   members pair only with non-members), then truncates.
+//!
+//! Masking before capping on the cached list is exactly equivalent to
+//! recomputing with the exclusion set, because threshold admission is
+//! per-pair and the canonical order is deterministic — the property tests
+//! in `tests/peer_index.rs` assert this against direct [`PeerSelector`]
+//! calls. This is why the cache stores the uncapped list: a capped cache
+//! could not restore the peers a mask frees up.
+//!
+//! ## Caching & invalidation contract
+//!
+//! An index is built for one `(measure, selector, universe)` triple. The
+//! measure is passed per call (so one index can serve borrowed or
+//! `Arc`-owned backends alike) but **must be logically the same function**
+//! between invalidations; memoized entries are never revalidated. When
+//! the underlying data changes (new ratings, profile edits), call
+//! [`invalidate_user`](PeerIndex::invalidate_user) for targeted updates
+//! or [`invalidate_all`](PeerIndex::invalidate_all) after bulk changes.
+//! Every invalidation bumps [`generation`](PeerIndex::generation), which
+//! downstream caches can use as a freshness token.
+//!
+//! All methods take `&self`; interior mutability is per-user
+//! `RwLock` slots, so concurrent readers (batched serving) proceed
+//! without contention and lazy fills block only the slot being computed.
+
+use crate::peers::{PeerSelector, Peers};
+use crate::UserSimilarity;
+use fairrec_types::{Parallelism, UserId};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Memoized Definition-1 peer lists over a fixed user universe
+/// `0..num_users`. See the module docs for the caching contract.
+#[derive(Debug)]
+pub struct PeerIndex {
+    selector: PeerSelector,
+    slots: Vec<RwLock<Option<Arc<Peers>>>>,
+    generation: AtomicU64,
+}
+
+impl PeerIndex {
+    /// An empty (cold) index for `num_users` users answering with
+    /// `selector`'s threshold and cap.
+    pub fn new(selector: PeerSelector, num_users: u32) -> Self {
+        Self {
+            selector,
+            slots: (0..num_users).map(|_| RwLock::new(None)).collect(),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// Builds an index whose entries come from precomputed similarity
+    /// edges `(user, peer, simU)` instead of a measure — the bridge for
+    /// the MapReduce pipeline, whose Job 2 emits exactly such edges.
+    ///
+    /// Every user in `populate` gets an entry (empty when no edge
+    /// mentions them); users outside `populate` stay cold. Edges below
+    /// the selector's δ are dropped, then each list is canonicalised —
+    /// so downstream views behave identically to the measure-driven path.
+    pub fn from_edges(
+        selector: PeerSelector,
+        num_users: u32,
+        populate: &[UserId],
+        edges: impl IntoIterator<Item = (UserId, UserId, f64)>,
+    ) -> Self {
+        let index = Self::new(selector, num_users);
+        let mut lists: Vec<(UserId, Peers)> = populate.iter().map(|&u| (u, Peers::new())).collect();
+        lists.sort_by_key(|(u, _)| *u);
+        for (user, peer, sim) in edges {
+            if sim < selector.delta {
+                continue;
+            }
+            if let Ok(slot) = lists.binary_search_by_key(&user, |(u, _)| *u) {
+                lists[slot].1.push((peer, sim));
+            }
+        }
+        for (user, mut list) in lists {
+            PeerSelector::canonicalize(&mut list);
+            if let Some(slot) = index.slots.get(user.index()) {
+                *slot.write().expect("peer slot poisoned") = Some(Arc::new(list));
+            }
+        }
+        index
+    }
+
+    /// The selector whose δ / cap this index answers with.
+    pub fn selector(&self) -> &PeerSelector {
+        &self.selector
+    }
+
+    /// Size of the user universe.
+    pub fn num_users(&self) -> u32 {
+        self.slots.len() as u32
+    }
+
+    /// Number of users whose peer list is currently cached.
+    pub fn num_cached(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|slot| slot.read().expect("peer slot poisoned").is_some())
+            .count()
+    }
+
+    /// Freshness token: bumped by every invalidation.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Drops the cached list of one user (call when that user's data
+    /// changed).
+    ///
+    /// The generation is bumped *before* the slot is cleared: in-flight
+    /// fills re-check the generation under the slot lock before storing,
+    /// so a list computed against pre-invalidation data can never be
+    /// written back after the clear.
+    pub fn invalidate_user(&self, user: UserId) {
+        if let Some(slot) = self.slots.get(user.index()) {
+            self.generation.fetch_add(1, Ordering::AcqRel);
+            *slot.write().expect("peer slot poisoned") = None;
+        }
+    }
+
+    /// Drops every cached list (call after bulk data changes). Bumps the
+    /// generation before clearing, like
+    /// [`invalidate_user`](Self::invalidate_user).
+    pub fn invalidate_all(&self) {
+        self.generation.fetch_add(1, Ordering::AcqRel);
+        for slot in &self.slots {
+            *slot.write().expect("peer slot poisoned") = None;
+        }
+    }
+
+    /// The raw cached full list of `user`, if present. Full = uncapped
+    /// and unmasked; most callers want [`peers_of`](Self::peers_of) or
+    /// [`group_peers`](Self::group_peers) instead.
+    pub fn cached_full(&self, user: UserId) -> Option<Arc<Peers>> {
+        self.slots
+            .get(user.index())?
+            .read()
+            .expect("peer slot poisoned")
+            .clone()
+    }
+
+    /// The memoized full peer list of `user`, computing and caching it on
+    /// first access. Users outside the universe get an empty list.
+    pub fn full_peers<S: UserSimilarity + ?Sized>(&self, measure: &S, user: UserId) -> Arc<Peers> {
+        let Some(slot) = self.slots.get(user.index()) else {
+            return Arc::new(Peers::new());
+        };
+        if let Some(cached) = slot.read().expect("peer slot poisoned").clone() {
+            return cached;
+        }
+        // Compute outside any lock: peer scans are the expensive part and
+        // other users' slots must stay readable meanwhile. A concurrent
+        // filler may race us here; both compute the same deterministic
+        // list, so last-write-wins is benign. An *invalidation* racing us
+        // is not: a list computed before `invalidate_*` ran must not be
+        // written back afterwards, so the store is guarded by the
+        // generation token (the value is still returned — it was correct
+        // when computed — it just isn't cached).
+        let generation = self.generation();
+        let full = Arc::new(self.compute_full(measure, user));
+        let mut guard = slot.write().expect("peer slot poisoned");
+        if self.generation() == generation {
+            *guard = Some(Arc::clone(&full));
+        }
+        full
+    }
+
+    /// Definition 1 for one user: the capped peer list, identical to
+    /// `selector.peers_of(measure, user, universe, &[])`.
+    pub fn peers_of<S: UserSimilarity + ?Sized>(&self, measure: &S, user: UserId) -> Peers {
+        self.selector.view(&self.full_peers(measure, user), &[])
+    }
+
+    /// Peer lists for every member of `group` with co-members masked —
+    /// identical to `selector.peers_for_group(measure, group, universe)`
+    /// but served from the cache without recomputation.
+    pub fn group_peers<S: UserSimilarity + ?Sized>(
+        &self,
+        measure: &S,
+        group: &[UserId],
+    ) -> Vec<(UserId, Peers)> {
+        group
+            .iter()
+            .map(|&member| {
+                (
+                    member,
+                    self.selector.view(&self.full_peers(measure, member), group),
+                )
+            })
+            .collect()
+    }
+
+    /// Like [`group_peers`](Self::group_peers) but served purely from
+    /// cached entries (cold users answer with no peers). This is the
+    /// accessor for indexes built with [`from_edges`](Self::from_edges),
+    /// where no measure exists to fill misses.
+    pub fn group_peers_cached(&self, group: &[UserId]) -> Vec<(UserId, Peers)> {
+        group
+            .iter()
+            .map(|&member| {
+                let view = match self.cached_full(member) {
+                    Some(full) => self.selector.view(&full, group),
+                    None => Peers::new(),
+                };
+                (member, view)
+            })
+            .collect()
+    }
+
+    /// Eagerly fills every cold slot, fanning the per-user peer scans out
+    /// across the configured parallelism. Returns the number of lists
+    /// computed.
+    pub fn warm<S: UserSimilarity + Sync + ?Sized>(
+        &self,
+        measure: &S,
+        parallelism: Parallelism,
+    ) -> usize {
+        let cold: Vec<UserId> = (0..self.num_users())
+            .map(UserId::new)
+            .filter(|u| self.cached_full(*u).is_none())
+            .collect();
+        let computed = cold.len();
+        // Same stale-write-back guard as `full_peers`: lists computed
+        // before a concurrent invalidation must not repopulate the cache.
+        let generation = self.generation();
+        let lists = parallelism.map(cold, |u| (u, Arc::new(self.compute_full(measure, u))));
+        for (user, full) in lists {
+            let mut guard = self.slots[user.index()]
+                .write()
+                .expect("peer slot poisoned");
+            if self.generation() != generation {
+                break;
+            }
+            *guard = Some(full);
+        }
+        computed
+    }
+
+    fn compute_full<S: UserSimilarity + ?Sized>(&self, measure: &S, user: UserId) -> Peers {
+        PeerSelector {
+            delta: self.selector.delta,
+            max_peers: None,
+        }
+        .peers_of(measure, user, (0..self.num_users()).map(UserId::new), &[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Similarity fixed by a dense table; `None` where negative.
+    struct Table(Vec<Vec<f64>>);
+
+    impl UserSimilarity for Table {
+        fn similarity(&self, u: UserId, v: UserId) -> Option<f64> {
+            let s = *self.0.get(u.index())?.get(v.index())?;
+            (s >= 0.0).then_some(s)
+        }
+        fn name(&self) -> &'static str {
+            "table"
+        }
+    }
+
+    fn table5() -> Table {
+        Table(vec![
+            vec![1.0, 0.9, 0.2, 0.9, 0.5],
+            vec![0.9, 1.0, 0.3, 0.4, 0.6],
+            vec![0.2, 0.3, 1.0, 0.8, 0.7],
+            vec![0.9, 0.4, 0.8, 1.0, 0.1],
+            vec![0.5, 0.6, 0.7, 0.1, 1.0],
+        ])
+    }
+
+    #[test]
+    fn matches_direct_selector_calls() {
+        let m = table5();
+        let sel = PeerSelector::new(0.3).unwrap();
+        let index = PeerIndex::new(sel, 5);
+        for u in (0..5).map(UserId::new) {
+            let direct = sel.peers_of(&m, u, (0..5).map(UserId::new), &[]);
+            assert_eq!(index.peers_of(&m, u), direct, "user {u}");
+        }
+    }
+
+    #[test]
+    fn group_masking_matches_recomputation_with_cap() {
+        let m = table5();
+        // Cap of 2 is the interesting case: masking a member must promote
+        // the next-best peer into the capped window.
+        let sel = PeerSelector::new(0.0).unwrap().with_max_peers(2);
+        let index = PeerIndex::new(sel, 5);
+        let group = [UserId::new(0), UserId::new(1)];
+        let direct = sel.peers_for_group(&m, &group, (0..5).map(UserId::new));
+        assert_eq!(index.group_peers(&m, &group), direct);
+    }
+
+    #[test]
+    fn lazy_fill_then_cache_hit() {
+        let m = table5();
+        let index = PeerIndex::new(PeerSelector::new(0.5).unwrap(), 5);
+        assert_eq!(index.num_cached(), 0);
+        let first = index.peers_of(&m, UserId::new(0));
+        assert_eq!(index.num_cached(), 1);
+        let full_a = index.cached_full(UserId::new(0)).unwrap();
+        let again = index.peers_of(&m, UserId::new(0));
+        let full_b = index.cached_full(UserId::new(0)).unwrap();
+        assert_eq!(first, again);
+        assert!(
+            Arc::ptr_eq(&full_a, &full_b),
+            "second read must hit the cache"
+        );
+    }
+
+    #[test]
+    fn warm_fills_everything_and_counts() {
+        let m = table5();
+        let index = PeerIndex::new(PeerSelector::new(0.0).unwrap(), 5);
+        let _ = index.peers_of(&m, UserId::new(2));
+        assert_eq!(index.warm(&m, Parallelism::Sequential), 4);
+        assert_eq!(index.num_cached(), 5);
+        assert_eq!(index.warm(&m, Parallelism::Sequential), 0, "already warm");
+    }
+
+    #[test]
+    fn invalidation_drops_entries_and_bumps_generation() {
+        let m = table5();
+        let index = PeerIndex::new(PeerSelector::new(0.0).unwrap(), 5);
+        index.warm(&m, Parallelism::Sequential);
+        let g0 = index.generation();
+        index.invalidate_user(UserId::new(3));
+        assert_eq!(index.num_cached(), 4);
+        assert!(index.generation() > g0);
+        index.invalidate_all();
+        assert_eq!(index.num_cached(), 0);
+        assert!(index.generation() > g0 + 1);
+    }
+
+    #[test]
+    fn out_of_universe_users_answer_empty() {
+        let m = table5();
+        let index = PeerIndex::new(PeerSelector::new(0.0).unwrap(), 5);
+        assert!(index.peers_of(&m, UserId::new(99)).is_empty());
+        assert!(index.cached_full(UserId::new(99)).is_none());
+        index.invalidate_user(UserId::new(99)); // must not panic
+    }
+
+    #[test]
+    fn from_edges_builds_canonical_capped_lists() {
+        let sel = PeerSelector::new(0.5).unwrap().with_max_peers(2);
+        let member = UserId::new(0);
+        let edges = vec![
+            (member, UserId::new(2), 0.6),
+            (member, UserId::new(3), 0.9),
+            (member, UserId::new(4), 0.9), // ties break by ascending id
+            (member, UserId::new(1), 0.2), // below δ — dropped
+        ];
+        let index = PeerIndex::from_edges(sel, 5, &[member], edges);
+        let views = index.group_peers_cached(&[member]);
+        assert_eq!(
+            views,
+            vec![(member, vec![(UserId::new(3), 0.9), (UserId::new(4), 0.9)])]
+        );
+        // The cached full list keeps the uncapped tail for re-views.
+        assert_eq!(index.cached_full(member).unwrap().len(), 3);
+        // Unpopulated users are cold, and cached views answer empty.
+        assert!(index.cached_full(UserId::new(1)).is_none());
+        assert!(index.group_peers_cached(&[UserId::new(1)])[0].1.is_empty());
+    }
+
+    #[test]
+    fn concurrent_reads_agree() {
+        let m = table5();
+        let sel = PeerSelector::new(0.0).unwrap();
+        let index = PeerIndex::new(sel, 5);
+        let expected: Vec<Peers> = (0..5)
+            .map(|u| sel.peers_of(&m, UserId::new(u), (0..5).map(UserId::new), &[]))
+            .collect();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for u in 0..5 {
+                        assert_eq!(index.peers_of(&m, UserId::new(u)), expected[u as usize]);
+                    }
+                });
+            }
+        });
+        assert_eq!(index.num_cached(), 5);
+    }
+}

@@ -53,7 +53,7 @@ impl PeerSelector {
 
     /// Peers of `u` within `universe` (typically all users), excluding `u`
     /// itself and any id in `exclude`.
-    pub fn peers_of<S: UserSimilarity>(
+    pub fn peers_of<S: UserSimilarity + ?Sized>(
         &self,
         measure: &S,
         u: UserId,
@@ -70,12 +70,7 @@ impl PeerSelector {
                     .map(|s| (v, s))
             })
             .collect();
-        // Descending similarity, ascending id on ties — deterministic.
-        peers.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("similarities are finite")
-                .then(a.0.cmp(&b.0))
-        });
+        Self::canonicalize(&mut peers);
         if let Some(cap) = self.max_peers {
             peers.truncate(cap);
         }
@@ -84,7 +79,7 @@ impl PeerSelector {
 
     /// Peer lists for every member of `group`, excluding fellow members
     /// (the Job 1 pairing rule).
-    pub fn peers_for_group<S: UserSimilarity>(
+    pub fn peers_for_group<S: UserSimilarity + ?Sized>(
         &self,
         measure: &S,
         group: &[UserId],
@@ -98,6 +93,39 @@ impl PeerSelector {
                     self.peers_of(measure, member, universe.clone(), group),
                 )
             })
+            .collect()
+    }
+
+    /// Sorts a peer list into the canonical Definition-1 order:
+    /// descending similarity, ascending user id on ties — deterministic
+    /// regardless of how the list was produced. Every peer-producing path
+    /// (direct scans, the cached [`PeerIndex`](crate::PeerIndex), the
+    /// MapReduce Job 2 edge ingestion) funnels through this.
+    ///
+    /// # Panics
+    /// Panics on non-finite similarities — those must never enter a peer
+    /// list (measures return `None` for undefined pairs instead).
+    pub fn canonicalize(peers: &mut Peers) {
+        peers.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("similarities are finite")
+                .then(a.0.cmp(&b.0))
+        });
+    }
+
+    /// Derives a request-time view from a cached **full** (uncapped,
+    /// unmasked, canonically sorted) peer list: masks every id in
+    /// `exclude`, then applies this selector's `max_peers` cap. With an
+    /// empty mask this reproduces `peers_of(..., &[])`; with a group mask
+    /// it reproduces the [`peers_for_group`](Self::peers_for_group)
+    /// entry — masking before capping is what lets freed-up slots promote
+    /// the next-best peer, exactly as recomputation would.
+    pub fn view(&self, full: &[(UserId, f64)], exclude: &[UserId]) -> Peers {
+        let take = self.max_peers.unwrap_or(usize::MAX);
+        full.iter()
+            .filter(|(v, _)| !exclude.contains(v))
+            .take(take)
+            .copied()
             .collect()
     }
 }

@@ -45,7 +45,11 @@ impl ProfileSimilarity {
         let model = corpus.build();
 
         // Pass 2: vectorise.
-        let max_user = docs.iter().map(|(u, _)| u.index()).max().map_or(0, |m| m + 1);
+        let max_user = docs
+            .iter()
+            .map(|(u, _)| u.index())
+            .max()
+            .map_or(0, |m| m + 1);
         let mut vectors: Vec<Option<SparseVector>> = vec![None; max_user];
         for (user, tokens) in &docs {
             let v = model.vectorize(tokens);

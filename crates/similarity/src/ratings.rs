@@ -15,18 +15,25 @@
 
 use crate::UserSimilarity;
 use fairrec_types::{RatingMatrix, UserId};
+use std::borrow::Borrow;
 
 /// Pearson similarity over a [`RatingMatrix`].
+///
+/// Generic over how the matrix is held: `&RatingMatrix` for scoped use
+/// (the historical API — all existing call sites infer it), or an owning
+/// handle such as `Arc<RatingMatrix>` so long-lived components like
+/// `RecommenderEngine` can build the measure **once** and share it across
+/// threads without self-referential borrows.
 #[derive(Debug, Clone)]
-pub struct RatingsSimilarity<'a> {
-    matrix: &'a RatingMatrix,
+pub struct RatingsSimilarity<M = std::sync::Arc<RatingMatrix>> {
+    matrix: M,
     min_overlap: usize,
 }
 
-impl<'a> RatingsSimilarity<'a> {
+impl<M: Borrow<RatingMatrix>> RatingsSimilarity<M> {
     /// Pearson similarity with the default minimum overlap of 2 co-rated
     /// items.
-    pub fn new(matrix: &'a RatingMatrix) -> Self {
+    pub fn new(matrix: M) -> Self {
         Self {
             matrix,
             min_overlap: 2,
@@ -41,22 +48,23 @@ impl<'a> RatingsSimilarity<'a> {
     }
 
     /// The underlying matrix.
-    pub fn matrix(&self) -> &'a RatingMatrix {
-        self.matrix
+    pub fn matrix(&self) -> &RatingMatrix {
+        self.matrix.borrow()
     }
 }
 
-impl UserSimilarity for RatingsSimilarity<'_> {
+impl<M: Borrow<RatingMatrix>> UserSimilarity for RatingsSimilarity<M> {
     fn similarity(&self, u: UserId, v: UserId) -> Option<f64> {
         if u == v {
             // Self-similarity is trivially 1 but never useful: peers
             // exclude the user anyway.
             return Some(1.0);
         }
-        let (mu, mv) = (self.matrix.user_mean(u)?, self.matrix.user_mean(v)?);
+        let matrix = self.matrix.borrow();
+        let (mu, mv) = (matrix.user_mean(u)?, matrix.user_mean(v)?);
         let mut n = 0usize;
         let (mut num, mut den_u, mut den_v) = (0.0f64, 0.0f64, 0.0f64);
-        for (_, ru, rv) in self.matrix.co_ratings(u, v) {
+        for (_, ru, rv) in matrix.co_ratings(u, v) {
             let (du, dv) = (ru - mu, rv - mv);
             num += du * dv;
             den_u += du * du;
@@ -106,12 +114,7 @@ mod tests {
 
     #[test]
     fn anti_aligned_users_score_minus_one() {
-        let m = matrix(&[
-            (0, 0, 1.0),
-            (0, 1, 5.0),
-            (1, 0, 5.0),
-            (1, 1, 1.0),
-        ]);
+        let m = matrix(&[(0, 0, 1.0), (0, 1, 5.0), (1, 0, 5.0), (1, 1, 1.0)]);
         let s = RatingsSimilarity::new(&m);
         let r = s.similarity(UserId::new(0), UserId::new(1)).unwrap();
         assert!((r + 1.0).abs() < 1e-12, "got {r}");
@@ -167,12 +170,7 @@ mod tests {
 
     #[test]
     fn min_overlap_is_configurable_but_variance_still_required() {
-        let m = matrix(&[
-            (0, 0, 4.0),
-            (0, 1, 2.0),
-            (1, 0, 5.0),
-            (1, 1, 3.0),
-        ]);
+        let m = matrix(&[(0, 0, 4.0), (0, 1, 2.0), (1, 0, 5.0), (1, 1, 3.0)]);
         // min_overlap = 1 still yields a defined score here (2 co-rated).
         let s = RatingsSimilarity::new(&m).with_min_overlap(1);
         assert!(s.similarity(UserId::new(0), UserId::new(1)).is_some());
@@ -181,12 +179,7 @@ mod tests {
     #[test]
     fn zero_variance_is_undefined() {
         // u1 rates everything 3 — no deviation, denominator vanishes.
-        let m = matrix(&[
-            (0, 0, 1.0),
-            (0, 1, 5.0),
-            (1, 0, 3.0),
-            (1, 1, 3.0),
-        ]);
+        let m = matrix(&[(0, 0, 1.0), (0, 1, 5.0), (1, 0, 3.0), (1, 1, 3.0)]);
         let s = RatingsSimilarity::new(&m);
         assert_eq!(s.similarity(UserId::new(0), UserId::new(1)), None);
     }

@@ -20,18 +20,24 @@ use crate::UserSimilarity;
 use fairrec_ontology::{Ontology, PathScoring};
 use fairrec_phr::PhrStore;
 use fairrec_types::UserId;
+use std::borrow::Borrow;
 
 /// Harmonic-mean-of-path-scores similarity.
+///
+/// Generic over how the PHR store and ontology are held: plain references
+/// for scoped use (all historical call sites infer that), or owning
+/// handles such as `Arc` so a long-lived engine can build the measure
+/// once and share it across threads.
 #[derive(Debug, Clone)]
-pub struct SemanticSimilarity<'a> {
-    store: &'a PhrStore,
-    ontology: &'a Ontology,
+pub struct SemanticSimilarity<P = std::sync::Arc<PhrStore>, O = std::sync::Arc<Ontology>> {
+    store: P,
+    ontology: O,
     scoring: PathScoring,
 }
 
-impl<'a> SemanticSimilarity<'a> {
+impl<P: Borrow<PhrStore>, O: Borrow<Ontology>> SemanticSimilarity<P, O> {
     /// Uses the default [`PathScoring::InversePath`] transform.
-    pub fn new(store: &'a PhrStore, ontology: &'a Ontology) -> Self {
+    pub fn new(store: P, ontology: O) -> Self {
         Self {
             store,
             ontology,
@@ -48,22 +54,23 @@ impl<'a> SemanticSimilarity<'a> {
     /// The pairwise problem scores for two users, in row-major order
     /// (`u`'s problems × `v`'s problems) — exposed for explanations.
     pub fn pair_scores(&self, u: UserId, v: UserId) -> Option<Vec<f64>> {
-        let pu = &self.store.get(u)?.problems;
-        let pv = &self.store.get(v)?.problems;
+        let store = self.store.borrow();
+        let pu = &store.get(u)?.problems;
+        let pv = &store.get(v)?.problems;
         if pu.is_empty() || pv.is_empty() {
             return None;
         }
         let mut scores = Vec::with_capacity(pu.len() * pv.len());
         for &a in pu {
             for &b in pv {
-                scores.push(self.scoring.score(self.ontology, a, b));
+                scores.push(self.scoring.score(self.ontology.borrow(), a, b));
             }
         }
         Some(scores)
     }
 }
 
-impl UserSimilarity for SemanticSimilarity<'_> {
+impl<P: Borrow<PhrStore>, O: Borrow<Ontology>> UserSimilarity for SemanticSimilarity<P, O> {
     fn similarity(&self, u: UserId, v: UserId) -> Option<f64> {
         let scores = self.pair_scores(u, v)?;
         let n = scores.len() as f64;
@@ -139,7 +146,11 @@ mod tests {
         let ont = clinical_fragment();
         let acute = ont.by_label(labels::ACUTE_BRONCHITIS).unwrap();
         let store: PhrStore = (0..2)
-            .map(|u| PatientProfile::builder(UserId::new(u)).problem(acute).build())
+            .map(|u| {
+                PatientProfile::builder(UserId::new(u))
+                    .problem(acute)
+                    .build()
+            })
             .collect();
         let s = SemanticSimilarity::new(&store, &ont);
         assert_eq!(s.similarity(UserId::new(0), UserId::new(1)), Some(1.0));
@@ -150,7 +161,9 @@ mod tests {
         let ont = clinical_fragment();
         let acute = ont.by_label(labels::ACUTE_BRONCHITIS).unwrap();
         let store: PhrStore = [
-            PatientProfile::builder(UserId::new(0)).problem(acute).build(),
+            PatientProfile::builder(UserId::new(0))
+                .problem(acute)
+                .build(),
             PatientProfile::builder(UserId::new(1)).build(), // no problems
         ]
         .into_iter()

@@ -1,0 +1,112 @@
+//! Property tests: the cached [`PeerIndex`] must be observationally
+//! identical to direct [`PeerSelector`] calls — single-user views, group
+//! views with co-member masking, under caps and thresholds, warm or cold.
+
+use fairrec_similarity::{PeerIndex, PeerSelector, UserSimilarity};
+use fairrec_types::{Parallelism, UserId};
+use proptest::prelude::*;
+
+/// A dense random similarity table; entries below zero model undefined
+/// pairs. Symmetrised so it behaves like a real measure.
+#[derive(Debug, Clone)]
+struct Table {
+    n: usize,
+    cells: Vec<f64>,
+}
+
+impl UserSimilarity for Table {
+    fn similarity(&self, u: UserId, v: UserId) -> Option<f64> {
+        if u.index() >= self.n || v.index() >= self.n {
+            return None;
+        }
+        let (a, b) = (u.index().min(v.index()), u.index().max(v.index()));
+        let s = self.cells[a * self.n + b];
+        (s >= 0.0).then_some(s)
+    }
+    fn name(&self) -> &'static str {
+        "random-table"
+    }
+}
+
+fn arb_table() -> impl Strategy<Value = Table> {
+    (2usize..=12).prop_flat_map(|n| {
+        proptest::collection::vec(-0.3f64..1.0, n * n).prop_map(move |cells| Table { n, cells })
+    })
+}
+
+fn selector(delta: f64, cap: Option<usize>) -> PeerSelector {
+    let mut s = PeerSelector::new(delta).unwrap();
+    if let Some(cap) = cap {
+        s = s.with_max_peers(cap);
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn single_user_views_match_direct_calls(
+        table in arb_table(),
+        delta in -0.2f64..0.9,
+        cap in proptest::option::of(1usize..6),
+    ) {
+        let sel = selector(delta, cap);
+        let index = PeerIndex::new(sel, table.n as u32);
+        for u in (0..table.n as u32).map(UserId::new) {
+            let direct = sel.peers_of(&table, u, (0..table.n as u32).map(UserId::new), &[]);
+            // Twice: first call fills the cache, second must hit it.
+            prop_assert_eq!(&index.peers_of(&table, u), &direct, "cold, user {}", u);
+            prop_assert_eq!(&index.peers_of(&table, u), &direct, "warm, user {}", u);
+        }
+    }
+
+    #[test]
+    fn group_views_mask_members_like_recomputation(
+        table in arb_table(),
+        delta in -0.2f64..0.9,
+        cap in proptest::option::of(1usize..6),
+        picks in proptest::collection::vec(0usize..12, 1..5),
+    ) {
+        let sel = selector(delta, cap);
+        let index = PeerIndex::new(sel, table.n as u32);
+        let mut group: Vec<UserId> = picks
+            .into_iter()
+            .map(|p| UserId::new((p % table.n) as u32))
+            .collect();
+        group.sort_unstable();
+        group.dedup();
+        let direct = sel.peers_for_group(&table, &group, (0..table.n as u32).map(UserId::new));
+        prop_assert_eq!(index.group_peers(&table, &group), direct);
+    }
+
+    #[test]
+    fn warm_parallel_equals_lazy_sequential(
+        table in arb_table(),
+        delta in -0.2f64..0.9,
+    ) {
+        let sel = selector(delta, None);
+        let lazy = PeerIndex::new(sel, table.n as u32);
+        let warmed = PeerIndex::new(sel, table.n as u32);
+        warmed.warm(&table, Parallelism::Threads(4));
+        for u in (0..table.n as u32).map(UserId::new) {
+            prop_assert_eq!(lazy.peers_of(&table, u), warmed.peers_of(&table, u));
+        }
+    }
+
+    #[test]
+    fn invalidated_entries_recompute_to_the_same_answer(
+        table in arb_table(),
+        delta in -0.2f64..0.9,
+        victim in 0usize..12,
+    ) {
+        let sel = selector(delta, Some(3));
+        let index = PeerIndex::new(sel, table.n as u32);
+        index.warm(&table, Parallelism::Sequential);
+        let u = UserId::new((victim % table.n) as u32);
+        let before = index.peers_of(&table, u);
+        index.invalidate_user(u);
+        prop_assert!(index.cached_full(u).is_none());
+        prop_assert_eq!(index.peers_of(&table, u), before);
+    }
+}

@@ -74,9 +74,7 @@ pub fn summarize(
     });
     let mut keep: Vec<usize> = scored.iter().take(max_sentences).map(|&(i, _)| i).collect();
     keep.sort_unstable(); // restore document order
-    keep.into_iter()
-        .map(|i| sentences[i].to_string())
-        .collect()
+    keep.into_iter().map(|i| sentences[i].to_string()).collect()
 }
 
 #[cfg(test)]

@@ -94,7 +94,13 @@ impl CorpusBuilder {
         let idf = self
             .df
             .iter()
-            .map(|&df| if df == 0 { 0.0 } else { (n / f64::from(df)).ln() })
+            .map(|&df| {
+                if df == 0 {
+                    0.0
+                } else {
+                    (n / f64::from(df)).ln()
+                }
+            })
             .collect();
         TfIdfModel {
             vocab: self.vocab,

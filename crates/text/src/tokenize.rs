@@ -14,8 +14,8 @@ use std::collections::HashSet;
 /// rendered profile, so they carry no discriminating power; idf would
 /// down-weight them anyway, but dropping them keeps vectors small.
 const DEFAULT_STOP_WORDS: &[&str] = &[
-    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "has", "he", "in", "is",
-    "it", "its", "of", "on", "or", "she", "that", "the", "to", "was", "were", "will", "with",
+    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "has", "he", "in", "is", "it",
+    "its", "of", "on", "or", "she", "that", "the", "to", "was", "were", "will", "with",
 ];
 
 /// Configurable tokenizer.

@@ -86,7 +86,10 @@ impl fmt::Display for FairrecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::InvalidRating { value } => {
-                write!(f, "invalid rating {value}: must be finite and within [1, 5]")
+                write!(
+                    f,
+                    "invalid rating {value}: must be finite and within [1, 5]"
+                )
             }
             Self::DuplicateRating { user, item } => {
                 write!(f, "duplicate rating for ({user}, {item})")
@@ -97,8 +100,14 @@ impl fmt::Display for FairrecError {
             Self::InvalidParameter { name, message } => {
                 write!(f, "invalid parameter `{name}`: {message}")
             }
-            Self::Parse { line: Some(l), message } => write!(f, "parse error at line {l}: {message}"),
-            Self::Parse { line: None, message } => write!(f, "parse error: {message}"),
+            Self::Parse {
+                line: Some(l),
+                message,
+            } => write!(f, "parse error at line {l}: {message}"),
+            Self::Parse {
+                line: None,
+                message,
+            } => write!(f, "parse error: {message}"),
             Self::Io { message } => write!(f, "i/o error: {message}"),
         }
     }
@@ -132,8 +141,18 @@ mod tests {
                 },
                 "duplicate rating for (u1, i2)",
             ),
-            (FairrecError::UnknownUser { user: UserId::new(9) }, "unknown user u9"),
-            (FairrecError::UnknownItem { item: ItemId::new(9) }, "unknown item i9"),
+            (
+                FairrecError::UnknownUser {
+                    user: UserId::new(9),
+                },
+                "unknown user u9",
+            ),
+            (
+                FairrecError::UnknownItem {
+                    item: ItemId::new(9),
+                },
+                "unknown item i9",
+            ),
             (FairrecError::EmptyGroup, "at least one member"),
             (
                 FairrecError::invalid_parameter("z", "must be positive"),

@@ -25,11 +25,13 @@
 mod error;
 mod ids;
 mod matrix;
+mod parallel;
 mod rating;
 mod topk;
 
 pub use error::{FairrecError, Result};
 pub use ids::{ConceptId, GroupId, IdGen, ItemId, UserId};
 pub use matrix::{MatrixStats, RatingMatrix, RatingMatrixBuilder, RatingTriple};
+pub use parallel::Parallelism;
 pub use rating::{Rating, Relevance, RATING_MAX, RATING_MIN};
 pub use topk::{ScoredItem, TopK};

@@ -487,7 +487,10 @@ mod tests {
     #[test]
     fn user_major_view_is_sorted() {
         let m = small();
-        assert_eq!(m.items_of(UserId::new(0)), &[ItemId::new(0), ItemId::new(2)]);
+        assert_eq!(
+            m.items_of(UserId::new(0)),
+            &[ItemId::new(0), ItemId::new(2)]
+        );
         assert_eq!(m.scores_of(UserId::new(0)), &[5.0, 3.0]);
         assert_eq!(m.items_of(UserId::new(2)), &[] as &[ItemId]);
     }
@@ -495,7 +498,10 @@ mod tests {
     #[test]
     fn item_major_view_is_sorted() {
         let m = small();
-        assert_eq!(m.users_of(ItemId::new(0)), &[UserId::new(0), UserId::new(1)]);
+        assert_eq!(
+            m.users_of(ItemId::new(0)),
+            &[UserId::new(0), UserId::new(1)]
+        );
         let raters: Vec<_> = m.raters_of(ItemId::new(0)).collect();
         assert_eq!(raters, vec![(UserId::new(0), 5.0), (UserId::new(1), 4.0)]);
         assert!(m.users_of(ItemId::new(3)).is_empty());

@@ -1,0 +1,136 @@
+//! Execution-parallelism knob shared by every pipeline stage.
+//!
+//! The serving path (peer-list construction, Equation 1 scoring, batched
+//! group fan-out) is data-parallel: independent per-user / per-item /
+//! per-group computations whose outputs are written back in input order.
+//! [`Parallelism`] selects how those loops execute:
+//!
+//! * [`Parallelism::Sequential`] — plain iterators on the calling thread.
+//!   Useful for pinning determinism *by construction* in equivalence
+//!   tests, and for tiny inputs where thread fan-out costs more than it
+//!   saves.
+//! * [`Parallelism::Rayon`] — rayon `par_iter` on the ambient thread
+//!   pool (the machine's available parallelism, or whatever pool the
+//!   caller installed).
+//! * [`Parallelism::Threads(n)`] — rayon pinned to exactly `n` threads.
+//!
+//! **Determinism contract:** every parallel loop in this workspace is a
+//! pure, order-preserving map — no reductions whose float result depends
+//! on association order. Results are therefore bitwise identical across
+//! all three modes and any thread count; the property tests in
+//! `fairrec-core` and `fairrec-similarity` assert exactly that.
+
+use rayon::prelude::*;
+
+/// How data-parallel loops execute. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Plain sequential iteration on the calling thread.
+    Sequential,
+    /// The ambient rayon pool (machine parallelism unless a pool is
+    /// installed). The default: correct everywhere, fastest on real
+    /// workloads.
+    #[default]
+    Rayon,
+    /// A rayon pool pinned to exactly this many threads (≥ 1; 0 is
+    /// treated as 1).
+    Threads(usize),
+}
+
+impl Parallelism {
+    /// Whether this mode may use more than one thread.
+    pub fn is_parallel(self) -> bool {
+        match self {
+            Self::Sequential => false,
+            Self::Rayon => true,
+            Self::Threads(n) => n > 1,
+        }
+    }
+
+    /// Maps every element of `items` through `f`, preserving input order
+    /// in the output. The workhorse all pipeline stages share.
+    pub fn map<T, R, F>(self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync + Send,
+    {
+        match self {
+            Self::Sequential => items.into_iter().map(f).collect(),
+            Self::Rayon => items.into_par_iter().map(f).collect(),
+            Self::Threads(n) => {
+                pinned_pool(n.max(1)).install(|| items.into_par_iter().map(f).collect())
+            }
+        }
+    }
+
+    /// Like [`map`](Self::map) over an index range `0..n`.
+    pub fn map_indexed<R, F>(self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync + Send,
+    {
+        self.map((0..n).collect(), f)
+    }
+}
+
+/// Process-wide cache of pinned pools, one per thread count.
+/// `Parallelism::Threads(n)` can sit on a per-request hot path (thread
+/// sweeps, determinism pins), and with a real rayon backend building a
+/// pool means spawning `n` OS threads — that cost must be paid once per
+/// `n`, not once per call.
+fn pinned_pool(n: usize) -> &'static rayon::ThreadPool {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    static POOLS: OnceLock<Mutex<HashMap<usize, &'static rayon::ThreadPool>>> = OnceLock::new();
+    let pools = POOLS.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut pools = pools.lock().expect("pool cache poisoned");
+    pools.entry(n).or_insert_with(|| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .expect("thread pool construction cannot fail");
+        // Leaked deliberately: the distinct thread counts a process uses
+        // are few and fixed, and pools must outlive every caller.
+        Box::leak(Box::new(pool))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_rayon() {
+        assert_eq!(Parallelism::default(), Parallelism::Rayon);
+        assert!(Parallelism::Rayon.is_parallel());
+        assert!(!Parallelism::Sequential.is_parallel());
+        assert!(!Parallelism::Threads(1).is_parallel());
+        assert!(Parallelism::Threads(4).is_parallel());
+    }
+
+    #[test]
+    fn all_modes_agree_bitwise_and_preserve_order() {
+        let input: Vec<u32> = (0..500).collect();
+        let f = |x: u32| f64::from(x).sqrt() * 1.000_000_1;
+        let seq = Parallelism::Sequential.map(input.clone(), f);
+        let ray = Parallelism::Rayon.map(input.clone(), f);
+        for threads in [1, 2, 4, 8] {
+            let pinned = Parallelism::Threads(threads).map(input.clone(), f);
+            assert_eq!(seq, pinned, "Threads({threads}) must match Sequential");
+        }
+        assert_eq!(seq, ray);
+    }
+
+    #[test]
+    fn map_indexed_covers_the_range() {
+        let got = Parallelism::Threads(3).map_indexed(7, |i| i * i);
+        assert_eq!(got, vec![0, 1, 4, 9, 16, 25, 36]);
+    }
+
+    #[test]
+    fn zero_threads_degrades_to_one() {
+        let got = Parallelism::Threads(0).map(vec![1, 2, 3], |x| x + 1);
+        assert_eq!(got, vec![2, 3, 4]);
+    }
+}

@@ -31,13 +31,20 @@ fn main() -> Result<()> {
             println!("    medication {m}");
         }
         println!("    gender     {}", p.gender.as_token());
-        println!("    age        {}", p.age.map_or("-".into(), |a| a.to_string()));
+        println!(
+            "    age        {}",
+            p.age.map_or("-".into(), |a| a.to_string())
+        );
     }
 
     // --- §V-C worked example -------------------------------------------------
-    let acute = ontology.by_label(labels::ACUTE_BRONCHITIS).expect("in fragment");
+    let acute = ontology
+        .by_label(labels::ACUTE_BRONCHITIS)
+        .expect("in fragment");
     let chest = ontology.by_label(labels::CHEST_PAIN).expect("in fragment");
-    let trach = ontology.by_label(labels::TRACHEOBRONCHITIS).expect("in fragment");
+    let trach = ontology
+        .by_label(labels::TRACHEOBRONCHITIS)
+        .expect("in fragment");
     println!("\n§V-C shortest paths in the ontology:");
     for (a, b) in [(acute, chest), (trach, acute)] {
         let path = ontology.path(a, b);
@@ -111,7 +118,10 @@ fn main() -> Result<()> {
         rec.pool_size, rec.fairness
     );
     for item in &rec.items {
-        println!("  {} (group relevance {:.2})", item.item, item.group_relevance);
+        println!(
+            "  {} (group relevance {:.2})",
+            item.item, item.group_relevance
+        );
     }
     Ok(())
 }

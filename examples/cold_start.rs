@@ -33,8 +33,8 @@ fn main() -> Result<()> {
     for c in 0..4 {
         cold.push(data.sample_group(1, Some(c), 300 + u64::from(c))[0]);
     }
-    let mut builder = RatingMatrixBuilder::new()
-        .reserve_ids(data.matrix.num_users(), data.matrix.num_items());
+    let mut builder =
+        RatingMatrixBuilder::new().reserve_ids(data.matrix.num_users(), data.matrix.num_items());
     for t in data.matrix.to_triples() {
         if !cold.contains(&t.user) {
             builder.add(t.user, t.item, t.rating);

@@ -93,7 +93,10 @@ fn main() -> Result<()> {
     )?;
     let group = Group::new(GroupId::new(0), data.sample_group(3, Some(0), 2))?;
     let rec = engine.recommend_for_group(&group, 5)?;
-    println!("caregiver package for cohort-0 patients (fairness {:.2}):", rec.fairness);
+    println!(
+        "caregiver package for cohort-0 patients (fairness {:.2}):",
+        rec.fairness
+    );
     for item in &rec.items {
         let title = store
             .get(item.item)

@@ -33,7 +33,10 @@ fn main() -> Result<()> {
         members.extend(data.sample_group(1, Some(c), 100 + u64::from(c)));
     }
     let group = Group::new(GroupId::new(0), members)?;
-    println!("diverse group (one patient per cohort): {:?}", group.members());
+    println!(
+        "diverse group (one patient per cohort): {:?}",
+        group.members()
+    );
 
     let measure = RatingsSimilarity::new(&data.matrix);
     let selector = PeerSelector::new(0.0)?;
@@ -48,8 +51,14 @@ fn main() -> Result<()> {
     let k = 5;
     let evaluator = FairnessEvaluator::new(&pool, k)?;
 
-    println!("\n{:>3} | {:^26} | {:^26}", "z", "Algorithm 1 (fairness-aware)", "plain top-z");
-    println!("{:>3} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}", "", "fairness", "value", "minSat", "fairness", "value", "minSat");
+    println!(
+        "\n{:>3} | {:^26} | {:^26}",
+        "z", "Algorithm 1 (fairness-aware)", "plain top-z"
+    );
+    println!(
+        "{:>3} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
+        "", "fairness", "value", "minSat", "fairness", "value", "minSat"
+    );
     for z in [1usize, 2, 3, 4, 6, 8, 12, 16] {
         let fair = algorithm1(&pool, z, k);
         let plain = plain_top_z(&pool, z);
@@ -89,6 +98,7 @@ fn main() -> Result<()> {
             GroupPredictionConfig {
                 aggregation,
                 missing: MissingPolicy::Skip,
+                ..Default::default()
             },
         )?;
         let pool = CandidatePool::from_predictions(&preds, Some(40))?;

@@ -95,7 +95,11 @@ fn main() -> Result<()> {
         evaluator.value(&pool, &selection.positions)
     );
     for &j in &selection.positions {
-        println!("  {} (group relevance {:.2})", pool.items()[j], pool.group_relevance(j));
+        println!(
+            "  {} (group relevance {:.2})",
+            pool.items()[j],
+            pool.group_relevance(j)
+        );
     }
     Ok(())
 }

@@ -58,29 +58,79 @@ fn main() -> Result<()> {
     let sample = 60;
     let mut rows: Vec<(String, f64, f64, f64, f64, f64)> = Vec::new();
     {
-        let r = peer_recovery(&split.train, &data.communities, &ratings, &selector_rs, sample);
+        let r = peer_recovery(
+            &split.train,
+            &data.communities,
+            &ratings,
+            &selector_rs,
+            sample,
+        );
         let q = prediction_quality(&split, &ratings, &selector_rs);
-        rows.push(("ratings (RS)".into(), r.precision, r.mean_peers, q.mae, q.rmse, q.coverage));
+        rows.push((
+            "ratings (RS)".into(),
+            r.precision,
+            r.mean_peers,
+            q.mae,
+            q.rmse,
+            q.coverage,
+        ));
     }
     {
-        let r = peer_recovery(&split.train, &data.communities, &profile, &selector_cs, sample);
+        let r = peer_recovery(
+            &split.train,
+            &data.communities,
+            &profile,
+            &selector_cs,
+            sample,
+        );
         let q = prediction_quality(&split, &profile, &selector_cs);
-        rows.push(("profile tf-idf (CS)".into(), r.precision, r.mean_peers, q.mae, q.rmse, q.coverage));
+        rows.push((
+            "profile tf-idf (CS)".into(),
+            r.precision,
+            r.mean_peers,
+            q.mae,
+            q.rmse,
+            q.coverage,
+        ));
     }
     {
-        let r = peer_recovery(&split.train, &data.communities, &semantic, &selector_ss, sample);
+        let r = peer_recovery(
+            &split.train,
+            &data.communities,
+            &semantic,
+            &selector_ss,
+            sample,
+        );
         let q = prediction_quality(&split, &semantic, &selector_ss);
-        rows.push(("semantic (SS)".into(), r.precision, r.mean_peers, q.mae, q.rmse, q.coverage));
+        rows.push((
+            "semantic (SS)".into(),
+            r.precision,
+            r.mean_peers,
+            q.mae,
+            q.rmse,
+            q.coverage,
+        ));
     }
     {
-        let r = peer_recovery(&split.train, &data.communities, &hybrid, &selector_hy, sample);
+        let r = peer_recovery(
+            &split.train,
+            &data.communities,
+            &hybrid,
+            &selector_hy,
+            sample,
+        );
         let q = prediction_quality(&split, &hybrid, &selector_hy);
-        rows.push(("hybrid (RS+CS+SS)".into(), r.precision, r.mean_peers, q.mae, q.rmse, q.coverage));
+        rows.push((
+            "hybrid (RS+CS+SS)".into(),
+            r.precision,
+            r.mean_peers,
+            q.mae,
+            q.rmse,
+            q.coverage,
+        ));
     }
     for (name, prec, peers, mae, rmse, cov) in rows {
-        println!(
-            "{name:<22} {prec:>10.3} {peers:>10.1} {mae:>10.3} {rmse:>10.3} {cov:>10.3}"
-        );
+        println!("{name:<22} {prec:>10.3} {peers:>10.1} {mae:>10.3} {rmse:>10.3} {cov:>10.3}");
     }
     println!(
         "\nAll measures recover the planted cohorts well above the {}-cohort chance level of {:.2}.",

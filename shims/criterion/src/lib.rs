@@ -1,0 +1,358 @@
+//! Minimal, API-compatible stand-in for the subset of `criterion` this
+//! workspace uses: `Criterion::{bench_function, benchmark_group}`,
+//! `BenchmarkGroup::{sample_size, bench_function, bench_with_input,
+//! finish}`, `Bencher::iter`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! The build environment cannot fetch crates.io. Instead of criterion's
+//! statistical machinery, the shim runs a short calibration to pick an
+//! iteration count, takes `sample_size` timed samples, and reports
+//! mean / min / max nanoseconds per iteration. Every result is also
+//! appended as one JSON object per line to
+//! `$CRITERION_SHIM_JSON` (default `target/criterion-shim/results.jsonl`,
+//! relative to the current directory), so successive runs can be diffed
+//! and tracked across PRs.
+
+pub use std::hint::black_box;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Identifier for a parameterised benchmark (mirror of
+/// `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier carrying only the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Top-level benchmark driver (mirror of `criterion::Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Mirrors criterion's CLI hookup; the shim ignores arguments.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        run_benchmark(&id.into().id, self.sample_size, self.measurement_time, f);
+    }
+
+    /// Benchmarks a function against one input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        run_benchmark(&id.id, self.sample_size, self.measurement_time, |b| {
+            f(b, input);
+        });
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Target wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks a function within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_benchmark(&full, self.sample_size, self.measurement_time, f);
+        self
+    }
+
+    /// Benchmarks a function against one input within the group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        run_benchmark(&full, self.sample_size, self.measurement_time, |b| {
+            f(b, input);
+        });
+        self
+    }
+
+    /// Ends the group (formatting no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Timing harness handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the harness-chosen iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark(
+    id: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Calibration: time one iteration to size the per-sample batch so all
+    // samples together roughly fit the measurement budget.
+    let mut calib = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut calib);
+    let per_iter = calib.elapsed.max(Duration::from_nanos(1));
+    let budget_per_sample = measurement_time / sample_size.max(1) as u32;
+    let iters = (budget_per_sample.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+    let min = samples_ns[0];
+    let max = *samples_ns.last().expect("at least one sample");
+    let median = samples_ns[samples_ns.len() / 2];
+
+    println!(
+        "bench {id:<60} mean {:>12} min {:>12} max {:>12} ({} samples × {} iters)",
+        format_ns(mean),
+        format_ns(min),
+        format_ns(max),
+        samples_ns.len(),
+        iters,
+    );
+    write_json(id, mean, median, min, max, samples_ns.len(), iters);
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// The default output path: `<target dir>/criterion-shim/results.jsonl`.
+/// Cargo runs bench binaries with the *package* directory as CWD, so a
+/// plain relative `target/…` would scatter files into crate source
+/// trees; instead honour `CARGO_TARGET_DIR`, then walk up from
+/// `CARGO_MANIFEST_DIR` to the nearest existing `target/` (the shared
+/// workspace target), before falling back to a relative path.
+fn default_json_path() -> std::path::PathBuf {
+    if let Ok(dir) = std::env::var("CARGO_TARGET_DIR") {
+        return std::path::Path::new(&dir).join("criterion-shim/results.jsonl");
+    }
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        let mut dir = Some(std::path::Path::new(&manifest));
+        while let Some(d) = dir {
+            let target = d.join("target");
+            if target.is_dir() {
+                return target.join("criterion-shim/results.jsonl");
+            }
+            dir = d.parent();
+        }
+    }
+    std::path::PathBuf::from("target/criterion-shim/results.jsonl")
+}
+
+/// Appends one JSON line per result so benchmark trajectories can be
+/// tracked across commits. Failures to write are reported, not fatal —
+/// benchmarks still print to stdout.
+fn write_json(id: &str, mean: f64, median: f64, min: f64, max: f64, samples: usize, iters: u64) {
+    let path = std::env::var("CRITERION_SHIM_JSON")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| default_json_path());
+    let path = path.as_path();
+    if let Some(dir) = path.parent() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("criterion shim: cannot create {}: {e}", dir.display());
+            return;
+        }
+    }
+    let line = format!(
+        "{{\"id\":{},\"mean_ns\":{mean:.1},\"median_ns\":{median:.1},\"min_ns\":{min:.1},\"max_ns\":{max:.1},\"samples\":{samples},\"iters_per_sample\":{iters}}}\n",
+        json_string(id),
+    );
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut file| file.write_all(line.as_bytes()));
+    if let Err(e) = result {
+        eprintln!("criterion shim: cannot append to {}: {e}", path.display());
+    }
+}
+
+/// Escapes a string as a JSON string literal (ids are benchmark names —
+/// ASCII in practice, but escape defensively).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Declares a benchmark group function (mirror of criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main` (mirror of criterion's macro).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Benchmark binaries receive harness flags (e.g. `--bench`);
+            // the shim runs everything unconditionally.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        std::env::set_var("CRITERION_SHIM_JSON", "target/criterion-shim/test.jsonl");
+        let mut c = Criterion {
+            sample_size: 3,
+            measurement_time: Duration::from_millis(5),
+        };
+        c.bench_function("smoke", |b| b.iter(|| black_box(2 + 2)));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2);
+        g.bench_with_input(BenchmarkId::new("param", 7), &7u32, |b, &x| {
+            b.iter(|| black_box(x * x))
+        });
+        g.finish();
+        let written = std::fs::read_to_string("target/criterion-shim/test.jsonl").unwrap();
+        assert!(written.contains("\"id\":\"smoke\""));
+        assert!(written.contains("\"id\":\"grp/param/7\""));
+        let _ = std::fs::remove_file("target/criterion-shim/test.jsonl");
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+
+    #[test]
+    fn ns_formatting_picks_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(2_000_000_000.0).ends_with('s'));
+    }
+}

@@ -1,0 +1,766 @@
+//! Minimal, API-compatible stand-in for the subset of `proptest` this
+//! workspace uses: the `proptest!` macro, `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assume!`, range and tuple strategies,
+//! `collection::{vec, btree_map}`, `option::of`, `sample::select`, and
+//! the `prop_map` / `prop_flat_map` combinators.
+//!
+//! The build environment cannot reach crates.io, so the real crate is
+//! unavailable. Differences from real proptest, deliberately accepted:
+//!
+//! * **no shrinking** — a failing case reports the deterministic seed of
+//!   the case instead of a minimised input;
+//! * **deterministic generation** — case `i` of test `t` always draws
+//!   from seed `hash(t) ⊕ i`, so CI failures reproduce locally;
+//! * strategies generate eagerly; there is no `Strategy::Tree`.
+
+use std::fmt::Debug;
+
+/// What `use proptest::prelude::*` is expected to provide.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use super::test_runner::TestRng;
+
+    /// A generator of random values (the eager analogue of proptest's
+    /// `Strategy`).
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { base: self, f }
+        }
+
+        /// Feeds generated values into a strategy-producing `f` and draws
+        /// from the produced strategy.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { base: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+        fn generate(&self, rng: &mut TestRng) -> T::Value {
+            (self.f)(self.base.generate(rng)).generate(rng)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty range strategy");
+            lo + rng.unit_f64() * (hi - lo)
+        }
+    }
+
+    /// String strategies from regex literals, like real proptest's
+    /// `impl Strategy for &str`. The shim supports the subset the
+    /// workspace uses: literals, groups `(...)`, alternation `|`, and the
+    /// `?` / `*` / `+` quantifiers (`*` and `+` capped at 3 repetitions).
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (node, rest) = regex_gen::parse_alternation(self.as_bytes());
+            assert!(
+                rest.is_empty(),
+                "unsupported regex strategy {self:?} (unparsed suffix {:?})",
+                String::from_utf8_lossy(rest),
+            );
+            let mut out = String::new();
+            regex_gen::emit(&node, rng, &mut out);
+            out
+        }
+    }
+
+    mod regex_gen {
+        use super::TestRng;
+
+        pub enum Node {
+            Literal(char),
+            Sequence(Vec<Node>),
+            Alternation(Vec<Node>),
+            Repeat {
+                inner: Box<Node>,
+                min: u32,
+                max: u32,
+            },
+        }
+
+        /// Parses `a|b|c` at the current nesting level; stops at `)`.
+        pub fn parse_alternation(mut input: &[u8]) -> (Node, &[u8]) {
+            let mut branches = Vec::new();
+            loop {
+                let (seq, rest) = parse_sequence(input);
+                branches.push(seq);
+                input = rest;
+                match input.first() {
+                    Some(b'|') => input = &input[1..],
+                    _ => break,
+                }
+            }
+            let node = if branches.len() == 1 {
+                branches.pop().expect("one branch")
+            } else {
+                Node::Alternation(branches)
+            };
+            (node, input)
+        }
+
+        fn parse_sequence(mut input: &[u8]) -> (Node, &[u8]) {
+            let mut parts = Vec::new();
+            while let Some(&b) = input.first() {
+                let (atom, rest) = match b {
+                    b')' | b'|' => break,
+                    b'(' => {
+                        let (inner, rest) = parse_alternation(&input[1..]);
+                        assert_eq!(
+                            rest.first(),
+                            Some(&b')'),
+                            "unbalanced group in regex strategy"
+                        );
+                        (inner, &rest[1..])
+                    }
+                    b'\\' => {
+                        let c = *input.get(1).expect("dangling escape in regex strategy");
+                        (Node::Literal(c as char), &input[2..])
+                    }
+                    _ => {
+                        // Multi-byte UTF-8 literals pass through unchanged.
+                        let s = std::str::from_utf8(input).expect("regex strategies are UTF-8");
+                        let c = s.chars().next().expect("non-empty");
+                        (Node::Literal(c), &input[c.len_utf8()..])
+                    }
+                };
+                let (atom, rest) = match rest.first() {
+                    Some(b'?') => (
+                        Node::Repeat {
+                            inner: Box::new(atom),
+                            min: 0,
+                            max: 1,
+                        },
+                        &rest[1..],
+                    ),
+                    Some(b'*') => (
+                        Node::Repeat {
+                            inner: Box::new(atom),
+                            min: 0,
+                            max: 3,
+                        },
+                        &rest[1..],
+                    ),
+                    Some(b'+') => (
+                        Node::Repeat {
+                            inner: Box::new(atom),
+                            min: 1,
+                            max: 3,
+                        },
+                        &rest[1..],
+                    ),
+                    _ => (atom, rest),
+                };
+                parts.push(atom);
+                input = rest;
+            }
+            let node = if parts.len() == 1 {
+                parts.pop().expect("one part")
+            } else {
+                Node::Sequence(parts)
+            };
+            (node, input)
+        }
+
+        pub fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+            match node {
+                Node::Literal(c) => out.push(*c),
+                Node::Sequence(parts) => {
+                    for p in parts {
+                        emit(p, rng, out);
+                    }
+                }
+                Node::Alternation(branches) => {
+                    let pick = rng.next_u64() as usize % branches.len();
+                    emit(&branches[pick], rng, out);
+                }
+                Node::Repeat { inner, min, max } => {
+                    let span = u64::from(max - min + 1);
+                    let n = min + (rng.next_u64() % span) as u32;
+                    for _ in 0..n {
+                        emit(inner, rng, out);
+                    }
+                }
+            }
+        }
+    }
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+            )
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+        type Value = (A::Value, B::Value, C::Value, D::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+                self.3.generate(rng),
+            )
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::collections::BTreeMap;
+
+    /// A size specification: either a fixed size or a half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl SizeRange {
+        fn sample(self, rng: &mut TestRng) -> usize {
+            if self.hi <= self.lo + 1 {
+                return self.lo;
+            }
+            self.lo + (rng.next_u64() as usize % (self.hi - self.lo))
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s with element strategy `elem` and a size drawn
+    /// from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap`s; key collisions collapse, so the final
+    /// size may be below the sampled one (mirrors real proptest).
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V> {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    /// See [`btree_map`].
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.sample(rng);
+            (0..n)
+                .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+                .collect()
+        }
+    }
+}
+
+/// `Option` strategies (`proptest::option`).
+pub mod option {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Yields `Some` three times out of four, `None` otherwise (real
+    /// proptest's default `Some` weight).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (!rng.next_u64().is_multiple_of(4)).then(|| self.inner.generate(rng))
+        }
+    }
+}
+
+/// Sampling strategies (`proptest::sample`).
+pub mod sample {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Uniformly selects one of `options`.
+    ///
+    /// # Panics
+    /// Panics when `options` is empty.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+
+    /// See [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.next_u64() as usize % self.options.len()].clone()
+        }
+    }
+}
+
+/// Runner configuration, RNG, and case errors.
+pub mod test_runner {
+    /// Runner knobs (mirror of `proptest::test_runner::Config`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Config with `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// A `prop_assert*!` failed.
+        Fail(String),
+        /// A `prop_assume!` rejected the inputs.
+        Reject,
+    }
+
+    impl TestCaseError {
+        /// Builds the failure variant.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self::Fail(msg.into())
+        }
+    }
+
+    /// Deterministic SplitMix64 generation stream for one test case.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the stream.
+        pub fn new(seed: u64) -> Self {
+            let mut rng = Self {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            };
+            rng.next_u64();
+            rng
+        }
+
+        /// Next raw 64-bit draw.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[0, 1)` with 53-bit precision.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Drives the cases of one `proptest!`-generated test.
+    #[derive(Debug)]
+    pub struct Runner {
+        config: ProptestConfig,
+        name: &'static str,
+        base_seed: u64,
+        case: u64,
+        passed: u32,
+        rejected: u64,
+    }
+
+    impl Runner {
+        /// Creates a runner for the named test.
+        pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+            // FNV-1a over the test name: stable across runs and platforms.
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            Self {
+                config,
+                name,
+                base_seed: h,
+                case: 0,
+                passed: 0,
+                rejected: 0,
+            }
+        }
+
+        /// Whether another case should run.
+        pub fn more_cases(&self) -> bool {
+            self.passed < self.config.cases
+        }
+
+        /// The RNG for the next case.
+        pub fn next_rng(&mut self) -> TestRng {
+            let seed = self.base_seed ^ self.case;
+            self.case += 1;
+            TestRng::new(seed)
+        }
+
+        /// Records one case outcome.
+        ///
+        /// # Panics
+        /// Panics on a failed case (reporting the case seed), or when the
+        /// rejection budget (`cases × 20`) is exhausted.
+        pub fn handle(&mut self, outcome: Result<(), TestCaseError>) {
+            match outcome {
+                Ok(()) => self.passed += 1,
+                Err(TestCaseError::Reject) => {
+                    self.rejected += 1;
+                    let budget = u64::from(self.config.cases) * 20;
+                    assert!(
+                        self.rejected <= budget,
+                        "proptest '{}': too many prop_assume! rejections ({})",
+                        self.name,
+                        self.rejected,
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => panic!(
+                    "proptest '{}' failed at case {} (seed {:#x}): {}",
+                    self.name,
+                    self.case - 1,
+                    self.base_seed ^ (self.case - 1),
+                    msg,
+                ),
+            }
+        }
+    }
+}
+
+/// Generates `#[test]` functions that run a property over many random
+/// cases (mirror of `proptest::proptest!`).
+#[macro_export]
+macro_rules! proptest {
+    (@run ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut runner =
+                    $crate::test_runner::Runner::new($cfg, stringify!($name));
+                while runner.more_cases() {
+                    let mut rng = runner.next_rng();
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    runner.handle(outcome);
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @run ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @run ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => $crate::prop_assert!(
+                *left == *right,
+                "assertion failed: `{:?} == {:?}`",
+                left,
+                right
+            ),
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (left, right) => $crate::prop_assert!(*left == *right, $($fmt)+),
+        }
+    };
+}
+
+/// Rejects the current case (it counts as neither pass nor failure)
+/// unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+// Re-exported at the root so `proptest::prelude::*` users can also name
+// `proptest::strategy::Strategy` paths like the real crate.
+pub use strategy::Strategy;
+
+/// Compile-time smoke check that the shim's surface hangs together.
+#[allow(dead_code)]
+fn _assert_api(_: &dyn Debug) {}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..10, f in 1.0f64..=5.0, n in 0usize..=4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((1.0..=5.0).contains(&f));
+            prop_assert!(n <= 4);
+        }
+
+        #[test]
+        fn tuples_and_collections_compose(
+            pairs in crate::collection::vec((0u32..5, 0.0f64..1.0), 0..20),
+            map in crate::collection::btree_map(0u32..8, 1.0f64..=5.0, 0..30),
+            opt in crate::option::of(0u32..3),
+            word in crate::sample::select(vec!["a", "b", "c"]),
+        ) {
+            prop_assert!(pairs.len() < 20);
+            prop_assert!(map.len() < 30, "keys collapse, so len {} < 30", map.len());
+            if let Some(v) = opt {
+                prop_assert!(v < 3);
+            }
+            prop_assert!(["a", "b", "c"].contains(&word));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn config_and_combinators_work(v in crate::collection::vec(0u32..100, 1..10)) {
+            prop_assume!(!v.is_empty());
+            let doubled = (0usize..v.len())
+                .prop_map(|i| i * 2)
+                .generate(&mut crate::test_runner::TestRng::new(7));
+            prop_assert!(doubled < v.len() * 2);
+            prop_assert_eq!(v.len(), v.iter().map(|x| usize::from(*x < 100)).sum::<usize>());
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::TestRng::new(11);
+        let mut b = crate::test_runner::TestRng::new(11);
+        let s = crate::collection::vec(0u32..1000, 5..10);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_report_seed() {
+        proptest! {
+            #[allow(unused)]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,251 @@
+//! Minimal, API-compatible stand-in for the subset of the `rand` crate
+//! this workspace uses: `StdRng` + `SeedableRng::seed_from_u64`,
+//! `Rng::{gen_range, gen_bool}` over integer/float ranges, and
+//! `seq::SliceRandom::shuffle`.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! crate cannot be fetched; this shim keeps the workspace self-contained.
+//! The generator is a deterministic SplitMix64 — statistically fine for
+//! synthetic-data generation and property tests, not cryptographic.
+//! Streams differ from the real `rand`, so seeded fixtures are stable
+//! against *this* shim, which is all the test-suite requires.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Construction of a seeded generator (mirror of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Seed type (unused by the shim beyond its length).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds a generator from raw seed bytes.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds a generator from a `u64` seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// The user-facing random-value API (mirror of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Uniform sample from a range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample(self.next_u64_dyn())
+    }
+
+    /// Bernoulli sample with probability `p` of `true`.
+    ///
+    /// # Panics
+    /// Panics when `p` is not within `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} not in [0, 1]"
+        );
+        unit_f64(self.next_u64_dyn()) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// The raw 64-bit source every other method derives from.
+pub trait RngCore {
+    /// Next raw 64-bit value.
+    fn next_u64_dyn(&mut self) -> u64;
+}
+
+/// Maps a raw draw to `[0, 1)` with 53-bit precision.
+fn unit_f64(raw: u64) -> f64 {
+    (raw >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A range a value can be uniformly sampled from (mirror of
+/// `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Samples from the range given one raw 64-bit draw.
+    fn sample(self, raw: u64) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, raw: u64) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (raw as u128 % span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, raw: u64) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (raw as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, raw: u64) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + unit_f64(raw) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample(self, raw: u64) -> f64 {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample empty range");
+        lo + unit_f64(raw) * (hi - lo)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample(self, raw: u64) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + unit_f64(raw) as f32 * (self.end - self.start)
+    }
+}
+
+/// Namespaced generators, mirroring `rand::rngs`.
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+/// Deterministic SplitMix64 generator standing in for `rand::rngs::StdRng`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl RngCore for StdRng {
+    fn next_u64_dyn(&mut self) -> u64 {
+        // SplitMix64 (Steele, Lea, Flood 2014) — full-period, passes BigCrush.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut bytes = [0u8; 8];
+        bytes.copy_from_slice(&seed[..8]);
+        Self::seed_from_u64(u64::from_le_bytes(bytes))
+    }
+
+    fn seed_from_u64(state: u64) -> Self {
+        // One scramble round so seeds 0 and 1 do not produce near-identical
+        // early streams.
+        let mut rng = Self {
+            state: state ^ 0x5DEE_CE66_D6A5_F9D3,
+        };
+        rng.next_u64_dyn();
+        rng
+    }
+}
+
+/// Sequence helpers, mirroring `rand::seq`.
+pub mod seq {
+    use super::Rng;
+
+    /// Shuffle (and in the real crate, sampling) over slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly chosen element, `None` when empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.gen_range(0..self.len()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64_dyn(), b.next_u64_dyn());
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..16)
+            .filter(|_| a.next_u64_dyn() == b.next_u64_dyn())
+            .count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: u32 = rng.gen_range(3..10);
+            assert!((3..10).contains(&v));
+            let f: f64 = rng.gen_range(1.0..=5.0);
+            assert!((1.0..=5.0).contains(&f));
+            let s: usize = rng.gen_range(0..=4);
+            assert!(s <= 4);
+            let n: f64 = rng.gen_range(-0.5..=0.5);
+            assert!((-0.5..=0.5).contains(&n));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(
+            v, sorted,
+            "a 50-element shuffle virtually never fixes everything"
+        );
+    }
+}

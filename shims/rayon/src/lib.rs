@@ -1,0 +1,378 @@
+//! Minimal, API-compatible stand-in for the subset of `rayon` this
+//! workspace uses: `par_iter()` / `into_par_iter()` with `map` +
+//! `collect` / `for_each`, `join`, and `ThreadPoolBuilder::install` for
+//! pinning a thread count.
+//!
+//! The build environment cannot fetch crates.io, so the real rayon is
+//! unavailable; this shim provides the same call-site syntax over
+//! `std::thread::scope` with contiguous chunking. There is no work
+//! stealing — workloads here are item-uniform, where static chunking is
+//! within noise of a stealing scheduler. Order is always preserved:
+//! `collect` returns results in input order, which is what lets the
+//! fairrec property tests assert bitwise equality between the parallel
+//! and sequential prediction paths.
+//!
+//! Swapping this shim for the real crate is a one-line change in the
+//! workspace manifest; every `use rayon::prelude::*` call site stays as
+//! it is.
+
+use std::cell::Cell;
+use std::num::NonZeroUsize;
+
+/// Everything a call site needs for `par_iter().map().collect()`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+thread_local! {
+    /// Thread count override installed by [`ThreadPool::install`];
+    /// `None` means "use the machine's available parallelism".
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of threads parallel operations will use on this thread:
+/// the installed pool size, or the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    POOL_THREADS.with(|t| t.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Runs both closures, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("join closure panicked"))
+    })
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+/// Error type mirroring `rayon::ThreadPoolBuildError`; the shim never
+/// actually fails to build.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pins the pool to `n` threads (0 means "available parallelism").
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = (n > 0).then_some(n);
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    /// Never fails in the shim; the `Result` mirrors rayon's signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(NonZeroUsize::get)
+                    .unwrap_or(1)
+            }),
+        })
+    }
+}
+
+/// A "pool" that pins the thread count for the duration of
+/// [`install`](Self::install). The shim spawns scoped threads per
+/// operation instead of keeping workers alive.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Number of threads parallel operations will use inside
+    /// [`install`](Self::install).
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs `f` with this pool's thread count installed.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let previous = POOL_THREADS.with(|t| t.replace(Some(self.num_threads)));
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_THREADS.with(|t| t.set(self.0));
+            }
+        }
+        let _restore = Restore(previous);
+        f()
+    }
+}
+
+/// Runs `f` over `items` on up to [`current_num_threads`] threads,
+/// preserving input order in the output.
+fn parallel_map_vec<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = current_num_threads().min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Contiguous chunks, one per thread; results concatenated in chunk
+    // order so the output order equals the input order.
+    let chunk_size = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(chunk_size).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::new();
+        for handle in handles {
+            out.extend(handle.join().expect("parallel map worker panicked"));
+        }
+        out
+    })
+}
+
+/// Conversion into a parallel iterator (mirror of rayon's trait).
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+/// `par_iter()` over borrowed collections (mirror of rayon's trait).
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item: Send + 'a;
+    /// Parallel iterator over borrowed items.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T> IntoParallelIterator for std::ops::Range<T>
+where
+    std::ops::Range<T>: Iterator<Item = T>,
+    T: Send,
+{
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// An eager parallel iterator: items are materialised, adaptors run the
+/// whole chain on the scoped-thread executor.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps every item through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        parallel_map_vec(self.items, f);
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether there are no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// A mapped parallel iterator; terminal operations execute it.
+pub struct ParMap<T: Send, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    /// Executes the map in parallel and collects in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        parallel_map_vec(self.items, self.f).into_iter().collect()
+    }
+}
+
+/// Umbrella trait so `use rayon::prelude::*` call sites can treat the
+/// adaptors uniformly (rayon's real trait; reduced to a marker here).
+pub trait ParallelIterator {}
+impl<T: Send> ParallelIterator for ParIter<T> {}
+impl<T: Send, F> ParallelIterator for ParMap<T, F> {}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let got: Vec<u64> = (0u64..1000).into_par_iter().map(|x| x * x).collect();
+        let want: Vec<u64> = (0u64..1000).map(|x| x * x).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let data = vec![1u32, 2, 3, 4, 5];
+        let got: Vec<u32> = data.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(got, vec![2, 3, 4, 5, 6]);
+        // data still usable
+        assert_eq!(data.len(), 5);
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits_types() {
+        let got: Result<Vec<u32>, String> = vec![1u32, 2, 3].into_par_iter().map(Ok).collect();
+        assert_eq!(got, Ok(vec![1, 2, 3]));
+        let bad: Result<Vec<u32>, String> = vec![1u32, 2, 3]
+            .into_par_iter()
+            .map(|x| {
+                if x == 2 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert_eq!(bad, Err("boom".to_string()));
+    }
+
+    #[test]
+    fn install_pins_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        pool.install(|| assert_eq!(current_num_threads(), 3));
+        let single = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        single.install(|| assert_eq!(current_num_threads(), 1));
+    }
+
+    #[test]
+    fn install_restores_on_exit() {
+        let outer = current_num_threads();
+        let pool = ThreadPoolBuilder::new().num_threads(7).build().unwrap();
+        pool.install(|| ());
+        assert_eq!(current_num_threads(), outer);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = AtomicUsize::new(0);
+        (0u32..257).into_par_iter().for_each(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 257);
+    }
+
+    #[test]
+    fn single_thread_matches_parallel() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let seq: Vec<f64> = pool.install(|| {
+            (0u32..100)
+                .into_par_iter()
+                .map(|x| f64::from(x).sqrt())
+                .collect()
+        });
+        let par: Vec<f64> = (0u32..100)
+            .into_par_iter()
+            .map(|x| f64::from(x).sqrt())
+            .collect();
+        assert_eq!(seq, par, "bitwise identical regardless of thread count");
+    }
+}

@@ -178,10 +178,27 @@ fn cmd_stats(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(args)?;
     let data = load_data(flags.required("data")?)?;
     let s = data.matrix.stats();
-    println!("ontology : {} concepts, max depth {}", data.ontology.len(), data.ontology.max_depth());
-    println!("users    : {} ({} with ratings, {} with profiles)", s.num_users, s.users_with_ratings, data.profiles.len());
-    println!("items    : {} ({} with ratings)", s.num_items, s.items_with_ratings);
-    println!("ratings  : {} (density {:.2}%, mean {:.2})", s.num_ratings, s.density * 100.0, s.mean_rating);
+    println!(
+        "ontology : {} concepts, max depth {}",
+        data.ontology.len(),
+        data.ontology.max_depth()
+    );
+    println!(
+        "users    : {} ({} with ratings, {} with profiles)",
+        s.num_users,
+        s.users_with_ratings,
+        data.profiles.len()
+    );
+    println!(
+        "items    : {} ({} with ratings)",
+        s.num_items, s.items_with_ratings
+    );
+    println!(
+        "ratings  : {} (density {:.2}%, mean {:.2})",
+        s.num_ratings,
+        s.density * 100.0,
+        s.mean_rating
+    );
     Ok(())
 }
 
@@ -262,7 +279,11 @@ fn cmd_recommend(args: &[String]) -> Result<(), CliError> {
         println!(
             "  {}: {}",
             m.user,
-            if m.satisfied { "satisfied" } else { "NOT satisfied" }
+            if m.satisfied {
+                "satisfied"
+            } else {
+                "NOT satisfied"
+            }
         );
     }
     Ok(())
@@ -296,7 +317,12 @@ fn cmd_search(args: &[String]) -> Result<(), CliError> {
     }
     for hit in hits {
         let doc = store.get(hit.item).expect("hit comes from the index");
-        println!("{:>7.3}  {:<6} {}", hit.score, doc.item.to_string(), doc.title);
+        println!(
+            "{:>7.3}  {:<6} {}",
+            hit.score,
+            doc.item.to_string(),
+            doc.title
+        );
     }
     Ok(())
 }

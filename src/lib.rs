@@ -41,12 +41,51 @@
 //! | [`ontology`] | `fairrec-ontology` | clinical is-a tree, path queries |
 //! | [`phr`] | `fairrec-phr` | patient profiles and store |
 //! | [`text`] | `fairrec-text` | tokenizer, tf-idf, cosine |
-//! | [`similarity`] | `fairrec-similarity` | RS / CS / SS measures, peers |
+//! | [`similarity`] | `fairrec-similarity` | RS / CS / SS measures, peers, `PeerIndex` |
 //! | [`core`] | `fairrec-core` | relevance, aggregation, fairness, Algorithm 1, brute force |
 //! | [`mapreduce`] | `fairrec-mapreduce` | engine + Jobs 0–3 + top-k |
 //! | [`search`] | `fairrec-search` | curated document search (BM25) |
 //! | [`data`] | `fairrec-data` | synthetic workloads, TSV persistence |
-//! | [`engine`] | `fairrec-engine` | end-to-end facade, evaluation |
+//! | [`engine`] | `fairrec-engine` | end-to-end facade, batch serving, evaluation |
+//!
+//! ## Serving architecture
+//!
+//! The request path is layered so that everything expensive happens once
+//! and everything per-request is a cache read plus arithmetic:
+//!
+//! ```text
+//!   types          RatingMatrix (CSR + CSC), Parallelism knob
+//!     │
+//!   similarity     RS / CS / SS measures (built once, Arc-shared)
+//!     │                 └─ PeerIndex: memoized full peer lists
+//!     │                    (Definition 1), masked group views
+//!   core           Equation 1 scoring over candidates (parallel map),
+//!     │            Definition 2 aggregation, Algorithm 1 selection
+//!   engine         RecommenderEngine: owns data + backend + PeerIndex,
+//!                  recommend_for_group / recommend_batch fan-out
+//! ```
+//!
+//! * **Build once.** [`RecommenderEngine::new`](engine::RecommenderEngine::new) constructs the
+//!   configured similarity backend over `Arc`s of the engine's data and
+//!   attaches one [`PeerIndex`](similarity::PeerIndex); nothing is
+//!   rebuilt per request. The MapReduce path feeds its Job 2 similarity
+//!   edges through the same index (`PeerIndex::from_edges`), so
+//!   Definition 1 semantics — canonical ordering, group masking, peer
+//!   caps — live in exactly one place.
+//! * **Caching contract.** The index memoizes each user's *full*
+//!   (uncapped, unmasked) peer list; request-time views mask co-members
+//!   and truncate to `max_peers`, which is provably equivalent to
+//!   recomputing with an exclusion set. Entries are never revalidated:
+//!   after mutating ratings or profiles, call
+//!   `RecommenderEngine::invalidate_peers` (or the index's per-user
+//!   `invalidate_user`); `PeerIndex::generation` is the freshness token.
+//! * **Parallelism.** Every parallel loop (index warming, per-candidate
+//!   Equation 1, `recommend_batch` group fan-out) is an order-preserving
+//!   pure map, so results are bitwise identical across
+//!   [`Parallelism`](types::Parallelism) modes and thread counts —
+//!   asserted by the `parallel_equivalence` property tests. Batched
+//!   serving parallelizes at group granularity; nested fan-out is
+//!   deliberately avoided.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -65,8 +104,8 @@ pub use fairrec_types as types;
 /// The most common imports in one place.
 pub mod prelude {
     pub use fairrec_core::{
-        algorithm1, brute_force, plain_top_z, Aggregation, CandidatePool, FairnessEvaluator,
-        Group, MissingPolicy,
+        algorithm1, brute_force, plain_top_z, Aggregation, CandidatePool, FairnessEvaluator, Group,
+        MissingPolicy,
     };
     pub use fairrec_data::{SyntheticConfig, SyntheticDataset};
     pub use fairrec_engine::{
@@ -76,10 +115,11 @@ pub mod prelude {
     pub use fairrec_ontology::{Ontology, PathScoring};
     pub use fairrec_phr::{Gender, PatientProfile, PhrStore};
     pub use fairrec_similarity::{
-        PeerSelector, ProfileSimilarity, RatingsSimilarity, SemanticSimilarity, UserSimilarity,
+        PeerIndex, PeerSelector, ProfileSimilarity, RatingsSimilarity, SemanticSimilarity,
+        UserSimilarity,
     };
     pub use fairrec_types::{
-        FairrecError, GroupId, ItemId, Rating, RatingMatrix, RatingMatrixBuilder, Result,
-        ScoredItem, UserId,
+        FairrecError, GroupId, ItemId, Parallelism, Rating, RatingMatrix, RatingMatrixBuilder,
+        Result, ScoredItem, UserId,
     };
 }

@@ -22,8 +22,8 @@ fn cold_fixture() -> (RatingMatrix, PhrStore, Vec<UserId>) {
     let cold: Vec<UserId> = (0..4)
         .map(|c| data.sample_group(1, Some(c), 500 + u64::from(c))[0])
         .collect();
-    let mut builder = RatingMatrixBuilder::new()
-        .reserve_ids(data.matrix.num_users(), data.matrix.num_items());
+    let mut builder =
+        RatingMatrixBuilder::new().reserve_ids(data.matrix.num_users(), data.matrix.num_items());
     for t in data.matrix.to_triples() {
         if !cold.contains(&t.user) {
             builder.add(t.user, t.item, t.rating);
@@ -108,8 +108,8 @@ fn cold_recommendations_align_with_the_cold_users_cohorts() {
     )
     .unwrap();
     let cold = data.sample_group(1, Some(2), 77)[0];
-    let mut builder = RatingMatrixBuilder::new()
-        .reserve_ids(data.matrix.num_users(), data.matrix.num_items());
+    let mut builder =
+        RatingMatrixBuilder::new().reserve_ids(data.matrix.num_users(), data.matrix.num_items());
     for t in data.matrix.to_triples() {
         if t.user != cold {
             builder.add(t.user, t.item, t.rating);

@@ -16,13 +16,9 @@ fn engine_with(config: EngineConfig, seed: u64) -> (RecommenderEngine, Synthetic
         &ontology,
     )
     .unwrap();
-    let engine = RecommenderEngine::new(
-        data.matrix.clone(),
-        data.profiles.clone(),
-        ontology,
-        config,
-    )
-    .unwrap();
+    let engine =
+        RecommenderEngine::new(data.matrix.clone(), data.profiles.clone(), ontology, config)
+            .unwrap();
     (engine, data)
 }
 
@@ -113,7 +109,10 @@ fn fairness_aware_beats_plain_top_z_on_fairness() {
         fair_sum >= plain_sum,
         "greedy fairness sum {fair_sum} < plain {plain_sum}"
     );
-    assert!((fair_sum - 3.0).abs() < 1e-12, "greedy is fully fair at z ≥ |G|");
+    assert!(
+        (fair_sum - 3.0).abs() < 1e-12,
+        "greedy is fully fair at z ≥ |G|"
+    );
 }
 
 #[test]

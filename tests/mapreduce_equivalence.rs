@@ -7,6 +7,7 @@ use fairrec::core::predictions::{compute_group_predictions, GroupPredictionConfi
 use fairrec::core::Group;
 use fairrec::mapreduce::{mapreduce_group_predictions, JobConfig, PipelineConfig};
 use fairrec::prelude::*;
+use fairrec::types::Parallelism;
 
 fn dataset(seed: u64) -> SyntheticDataset {
     SyntheticDataset::generate(
@@ -50,6 +51,10 @@ fn compare(
         GroupPredictionConfig {
             aggregation,
             missing,
+            // The equivalence claim is against the *sequential* reference;
+            // parallel-vs-sequential bitwise identity is asserted
+            // separately in `parallel_equivalence.rs`.
+            parallelism: Parallelism::Sequential,
         },
     )
     .unwrap();
@@ -209,7 +214,11 @@ fn distributed_top_k_agrees_with_group_top_k() {
     .unwrap();
 
     let records: Vec<ScoredItem> = (0..preds.num_items())
-        .filter_map(|j| preds.group_relevance(j).map(|s| ScoredItem::new(preds.items()[j], s)))
+        .filter_map(|j| {
+            preds
+                .group_relevance(j)
+                .map(|s| ScoredItem::new(preds.items()[j], s))
+        })
         .collect();
     let mr = top_k_mapreduce(records, 10, JobConfig::with_workers(3));
     let reference = preds.top_k_for_group(10);

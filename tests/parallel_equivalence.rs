@@ -1,0 +1,180 @@
+//! The parallel prediction pipeline must be **bitwise identical** to the
+//! sequential path: every parallel loop in the workspace is an
+//! order-preserving map with a fixed (sequential) aggregation order, so
+//! no float result may depend on thread count or scheduling.
+
+use fairrec::core::predictions::{compute_group_predictions, GroupPredictionConfig};
+use fairrec::core::{Aggregation, Group, MissingPolicy, RelevancePredictor};
+use fairrec::prelude::*;
+use fairrec::types::Parallelism;
+use proptest::prelude::*;
+
+fn dataset(seed: u64) -> SyntheticDataset {
+    SyntheticDataset::generate(
+        SyntheticConfig {
+            num_users: 60,
+            // Above `MIN_PARALLEL_ITEMS`, so the per-candidate fan-out
+            // actually engages — smaller pools intentionally stay
+            // sequential and would make these assertions vacuous.
+            num_items: 2600,
+            num_communities: 3,
+            ratings_per_user: 20,
+            seed,
+            ..Default::default()
+        },
+        &fairrec::ontology::snomed::clinical_fragment(),
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Equation 1 over candidates: same bits for every parallelism mode.
+    #[test]
+    fn predict_many_is_bitwise_stable_across_modes(seed in 0u64..500, delta in -0.5f64..0.8) {
+        let data = dataset(seed);
+        let measure = RatingsSimilarity::new(&data.matrix);
+        let selector = PeerSelector::new(delta).unwrap();
+        let user = UserId::new(0);
+        let peers = selector.peers_of(&measure, user, data.matrix.user_ids(), &[]);
+        let candidates = data.matrix.unrated_by_all(&[user]);
+        let predictor = RelevancePredictor::new(&data.matrix);
+        let sequential = predictor.predict_many_with(&peers, &candidates, Parallelism::Sequential);
+        for mode in [
+            Parallelism::Rayon,
+            Parallelism::Threads(1),
+            Parallelism::Threads(2),
+            Parallelism::Threads(4),
+            Parallelism::Threads(8),
+        ] {
+            let parallel = predictor.predict_many_with(&peers, &candidates, mode);
+            // Option<f64> equality is bit-for-bit here: scores come out of
+            // identical arithmetic on identical inputs in identical order.
+            prop_assert_eq!(&parallel, &sequential, "{:?}", mode);
+        }
+    }
+
+    /// The full prediction phase (peers → Equation 1 → Definition 2):
+    /// same bits for every parallelism mode.
+    #[test]
+    fn group_predictions_are_bitwise_stable_across_modes(seed in 0u64..500) {
+        let data = dataset(seed);
+        let measure = RatingsSimilarity::new(&data.matrix);
+        let selector = PeerSelector::new(0.0).unwrap();
+        let group = Group::new(GroupId::new(0), data.sample_group(4, None, seed)).unwrap();
+        let config = |parallelism| GroupPredictionConfig {
+            aggregation: Aggregation::Average,
+            missing: MissingPolicy::Skip,
+            parallelism,
+        };
+        let sequential = compute_group_predictions(
+            &data.matrix, &measure, &selector, &group, config(Parallelism::Sequential),
+        ).unwrap();
+        for mode in [Parallelism::Rayon, Parallelism::Threads(2), Parallelism::Threads(8)] {
+            let parallel = compute_group_predictions(
+                &data.matrix, &measure, &selector, &group, config(mode),
+            ).unwrap();
+            prop_assert_eq!(&parallel, &sequential, "{:?}", mode);
+        }
+    }
+}
+
+/// A denser cohort for the engine-level tests: enough co-rating overlap
+/// that Pearson is defined and packages actually materialise. (The big
+/// sparse `dataset()` exists only to exceed the parallel-fan-out floor.)
+fn dense_dataset(seed: u64) -> SyntheticDataset {
+    SyntheticDataset::generate(
+        SyntheticConfig {
+            num_users: 80,
+            num_items: 200,
+            num_communities: 3,
+            ratings_per_user: 30,
+            seed,
+            ..Default::default()
+        },
+        &fairrec::ontology::snomed::clinical_fragment(),
+    )
+    .unwrap()
+}
+
+/// `recommend_batch` must agree item-for-item with a sequential
+/// `recommend_for_group` loop, across parallelism modes, while sharing
+/// one peer index.
+#[test]
+fn recommend_batch_matches_sequential_loop() {
+    let data = dense_dataset(42);
+    let mut groups = Vec::new();
+    for g in 0..10u64 {
+        groups.push(Group::new(GroupId::new(g as u32), data.sample_group(3, None, g)).unwrap());
+    }
+
+    let engine_with = |parallelism| {
+        RecommenderEngine::new(
+            data.matrix.clone(),
+            data.profiles.clone(),
+            fairrec::ontology::snomed::clinical_fragment(),
+            EngineConfig {
+                parallelism,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    };
+
+    let sequential_engine = engine_with(Parallelism::Sequential);
+    let looped: Vec<GroupRecommendation> = groups
+        .iter()
+        .map(|g| sequential_engine.recommend_for_group(g, 6).unwrap())
+        .collect();
+
+    for mode in [
+        Parallelism::Sequential,
+        Parallelism::Rayon,
+        Parallelism::Threads(2),
+        Parallelism::Threads(4),
+    ] {
+        let engine = engine_with(mode);
+        let batched = engine.recommend_batch(&groups, 6).unwrap();
+        assert_eq!(batched, looped, "{mode:?}");
+        // The batch shared one index: every group member's peer list is
+        // cached at most once.
+        assert!(engine.peer_index().num_cached() > 0);
+    }
+}
+
+/// The engine's cached path answers exactly like a freshly-built engine
+/// (cold cache) — repeated requests hit the cache without drift.
+#[test]
+fn warm_requests_match_cold_requests() {
+    let data = dense_dataset(7);
+    let group = Group::new(GroupId::new(0), data.sample_group(4, None, 9)).unwrap();
+    let engine = RecommenderEngine::new(
+        data.matrix.clone(),
+        data.profiles.clone(),
+        fairrec::ontology::snomed::clinical_fragment(),
+        EngineConfig::default(),
+    )
+    .unwrap();
+    let cold = engine.recommend_for_group(&group, 6).unwrap();
+    assert!(engine.peer_index().num_cached() >= group.members().len());
+    let warm = engine.recommend_for_group(&group, 6).unwrap();
+    assert_eq!(cold, warm);
+
+    // Warming everything up front changes nothing either.
+    let warmed_engine = RecommenderEngine::new(
+        data.matrix.clone(),
+        data.profiles.clone(),
+        fairrec::ontology::snomed::clinical_fragment(),
+        EngineConfig::default(),
+    )
+    .unwrap();
+    let computed = warmed_engine.warm_peer_index();
+    assert_eq!(computed as u32, data.matrix.num_users());
+    assert_eq!(warmed_engine.recommend_for_group(&group, 6).unwrap(), cold);
+
+    // Invalidation empties the cache and recomputes to the same answer.
+    warmed_engine.invalidate_peers();
+    assert_eq!(warmed_engine.peer_index().num_cached(), 0);
+    assert_eq!(warmed_engine.recommend_for_group(&group, 6).unwrap(), cold);
+}

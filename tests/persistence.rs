@@ -36,7 +36,8 @@ fn full_dataset_survives_disk_round_trip() {
         Some((data.matrix.num_users(), data.matrix.num_items())),
     )
     .unwrap();
-    let profiles2 = tsv::read_profiles(BufReader::new(profiles_file.as_slice()), &ontology2).unwrap();
+    let profiles2 =
+        tsv::read_profiles(BufReader::new(profiles_file.as_slice()), &ontology2).unwrap();
 
     assert_eq!(data.matrix, matrix2);
     assert_eq!(data.profiles.len(), profiles2.len());
@@ -53,13 +54,9 @@ fn full_dataset_survives_disk_round_trip() {
     };
     let group_members = data.sample_group(3, None, 1);
 
-    let engine1 = RecommenderEngine::new(
-        data.matrix.clone(),
-        data.profiles.clone(),
-        ontology,
-        config,
-    )
-    .unwrap();
+    let engine1 =
+        RecommenderEngine::new(data.matrix.clone(), data.profiles.clone(), ontology, config)
+            .unwrap();
     let engine2 = RecommenderEngine::new(matrix2, profiles2, ontology2, config).unwrap();
 
     let group = Group::new(GroupId::new(0), group_members).unwrap();
