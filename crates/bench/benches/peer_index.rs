@@ -133,10 +133,90 @@ fn bench_batch_vs_sequential(c: &mut Criterion) {
     bench.finish();
 }
 
+/// Small-request serving: many tiny (2-member) groups against a warm
+/// index — the heavy-traffic regime where per-request work is a few
+/// cache reads plus arithmetic, so executor overhead dominates. The
+/// worker-pool `recommend_batch` at 8 threads is benchmarked against a
+/// spawn-per-call baseline that replicates the shim's previous executor
+/// (8 scoped threads spawned afresh every batch, ~0.5 ms per spawn in
+/// the sandbox).
+fn bench_small_request_batch(c: &mut Criterion) {
+    const THREADS: usize = 8;
+    let data = fixture(400);
+    let ontology = clinical_fragment();
+    let groups: Vec<Group> = (0..64u32)
+        .map(|g| {
+            Group::new(GroupId::new(g), data.sample_group(2, None, u64::from(g)))
+                .expect("non-empty")
+        })
+        .collect();
+
+    let engine_with = |parallelism| {
+        let engine = RecommenderEngine::new(
+            data.matrix.clone(),
+            data.profiles.clone(),
+            ontology.clone(),
+            EngineConfig {
+                parallelism,
+                ..Default::default()
+            },
+        )
+        .expect("valid config");
+        engine.warm_peer_index();
+        engine
+    };
+    let sequential = engine_with(Parallelism::Sequential);
+    let pooled = engine_with(Parallelism::Threads(THREADS));
+
+    // The executors must be interchangeable before they are raced.
+    let spawn_per_call = |groups: &[Group], z: usize| {
+        let chunk_size = groups.len().div_ceil(THREADS);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = groups
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    scope.spawn(|| {
+                        chunk
+                            .iter()
+                            .map(|g| sequential.recommend_for_group(g, z).expect("serves"))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("worker panicked"))
+                .collect::<Vec<_>>()
+        })
+    };
+    assert_eq!(
+        spawn_per_call(&groups, 4),
+        pooled.recommend_batch(&groups, 4).expect("serves"),
+        "both executors must produce identical recommendations"
+    );
+
+    let mut bench = c.benchmark_group("recommend_64_small_groups");
+    bench.sample_size(10);
+    bench.bench_function("spawn_per_call_8_threads", |b| {
+        b.iter(|| black_box(spawn_per_call(black_box(&groups), 4)))
+    });
+    bench.bench_function("worker_pool_8_threads", |b| {
+        b.iter(|| {
+            black_box(
+                pooled
+                    .recommend_batch(black_box(&groups), 4)
+                    .expect("serves"),
+            )
+        })
+    });
+    bench.finish();
+}
+
 criterion_group!(
     benches,
     bench_cold_vs_warm,
     bench_warm_thread_sweep,
-    bench_batch_vs_sequential
+    bench_batch_vs_sequential,
+    bench_small_request_batch
 );
 criterion_main!(benches);

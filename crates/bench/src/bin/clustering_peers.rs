@@ -138,8 +138,9 @@ fn report(
     let mut abs = 0.0;
     let mut n = 0usize;
     for (&u, peers) in sample.iter().zip(rows) {
+        let prepared = fairrec_core::PreparedPeers::new(peers);
         for t in split.test.iter().filter(|t| t.user == u) {
-            if let Some(p) = predictor.predict(peers, t.item) {
+            if let Some(p) = predictor.predict_prepared(&prepared, t.item) {
                 abs += (p - t.rating.value()).abs();
                 n += 1;
             }

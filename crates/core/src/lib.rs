@@ -50,5 +50,5 @@ pub use predictions::{
 };
 pub use proportionality::{greedy_proportional, ProportionalityEvaluator};
 pub use recommend::{single_user_top_k, single_user_top_k_with_index};
-pub use relevance::RelevancePredictor;
+pub use relevance::{PreparedPeers, RelevancePredictor};
 pub use swap::swap_refine;

@@ -23,6 +23,24 @@ use std::collections::HashMap;
 /// knob and stays sequential — fan-out overhead dominates under this.
 pub const MIN_PARALLEL_ITEMS: usize = 2048;
 
+/// A peer list preprocessed for repeated Equation 1 evaluations: the
+/// peer → similarity lookup that `predict` / `predict_many` build
+/// internally, made reusable across items (one allocation per peer
+/// list instead of one per prediction).
+#[derive(Debug, Clone, Default)]
+pub struct PreparedPeers {
+    peer_sim: HashMap<UserId, f64>,
+}
+
+impl PreparedPeers {
+    /// Builds the lookup from a peer list.
+    pub fn new(peers: &Peers) -> Self {
+        Self {
+            peer_sim: peers.iter().copied().collect(),
+        }
+    }
+}
+
 /// Predicts Equation 1 scores against a rating matrix.
 #[derive(Debug, Clone, Copy)]
 pub struct RelevancePredictor<'a> {
@@ -45,25 +63,45 @@ impl<'a> RelevancePredictor<'a> {
     /// `peers` comes from
     /// [`PeerSelector`](fairrec_similarity::PeerSelector); the user itself
     /// is never in it.
+    ///
+    /// The summation runs in the **canonical order**: over the item's
+    /// raters, in matrix order, probing the peer set. Every Equation 1
+    /// evaluation in the workspace — this method, the prepared-peers
+    /// [`predict_prepared`](Self::predict_prepared), and the (possibly
+    /// parallel) [`predict_many_with`](Self::predict_many_with) — sums in
+    /// this one order, so the same `(peers, item)` always produces the
+    /// same bits. An earlier revision picked peer-side vs rater-side
+    /// iteration by size; float addition is not associative, so the two
+    /// paths could disagree in the last ulp for the same input,
+    /// contradicting the determinism contract the property tests pin.
+    ///
+    /// Builds the peer lookup afresh each call; loops evaluating many
+    /// items for one peer list should build [`PreparedPeers`] once and
+    /// use [`predict_prepared`](Self::predict_prepared) instead.
     pub fn predict(&self, peers: &Peers, item: ItemId) -> Option<Relevance> {
+        self.predict_prepared(&PreparedPeers::new(peers), item)
+    }
+
+    /// Like [`predict`](Self::predict) over a prebuilt peer lookup —
+    /// same canonical summation, same bits, without the per-call map
+    /// construction.
+    pub fn predict_prepared(&self, peers: &PreparedPeers, item: ItemId) -> Option<Relevance> {
+        Self::score_rater_side(self.matrix, &peers.peer_sim, item)
+    }
+
+    /// The single canonical Equation 1 evaluation: rater-side summation
+    /// in matrix order. All prediction entry points funnel through this.
+    fn score_rater_side(
+        matrix: &RatingMatrix,
+        peer_sim: &HashMap<UserId, f64>,
+        item: ItemId,
+    ) -> Option<Relevance> {
         let mut num = 0.0;
         let mut den = 0.0;
-        // Iterate the smaller side: raters of the item, probing the peer
-        // map — peer lists are usually the larger collection.
-        if peers.len() <= self.matrix.users_of(item).len() {
-            for &(peer, sim) in peers {
-                if let Some(r) = self.matrix.rating(peer, item) {
-                    num += sim * r;
-                    den += sim;
-                }
-            }
-        } else {
-            let peer_sim: HashMap<UserId, f64> = peers.iter().copied().collect();
-            for (rater, r) in self.matrix.raters_of(item) {
-                if let Some(&sim) = peer_sim.get(&rater) {
-                    num += sim * r;
-                    den += sim;
-                }
+        for (rater, r) in matrix.raters_of(item) {
+            if let Some(&sim) = peer_sim.get(&rater) {
+                num += sim * r;
+                den += sim;
             }
         }
         (den > 0.0).then(|| num / den)
@@ -89,19 +127,10 @@ impl<'a> RelevancePredictor<'a> {
         candidates: &[ItemId],
         parallelism: Parallelism,
     ) -> Vec<Option<Relevance>> {
-        // One peer→sim map reused across items.
+        // One peer→sim map reused across items; each item is the same
+        // canonical rater-side summation `predict` performs.
         let peer_sim: HashMap<UserId, f64> = peers.iter().copied().collect();
-        let score = |item: ItemId| {
-            let mut num = 0.0;
-            let mut den = 0.0;
-            for (rater, r) in self.matrix.raters_of(item) {
-                if let Some(&sim) = peer_sim.get(&rater) {
-                    num += sim * r;
-                    den += sim;
-                }
-            }
-            (den > 0.0).then(|| num / den)
-        };
+        let score = |item: ItemId| Self::score_rater_side(self.matrix, &peer_sim, item);
         if candidates.len() < MIN_PARALLEL_ITEMS || !parallelism.is_parallel() {
             // The common serving path: iterate the borrowed slice in
             // place, no per-request candidate copy.
@@ -193,8 +222,10 @@ mod tests {
     }
 
     #[test]
-    fn both_probe_directions_agree() {
-        // Small peer list vs. large rater set and vice versa.
+    fn single_and_batch_paths_agree_bitwise() {
+        // Small peer list vs. large rater set and vice versa: both used
+        // to take different summation orders; now every shape must be
+        // bit-for-bit identical across `predict` and `predict_many`.
         let mut rows = vec![(0u32, 0u32, 3.0)];
         for u in 1..40 {
             rows.push((u, 0, f64::from(u % 5) + 1.0));
@@ -203,13 +234,11 @@ mod tests {
         let small = peers(&[(1, 0.5), (2, 0.5)]);
         let big: Peers = (1..40).map(|u| (UserId::new(u), 0.1)).collect();
         let pred = RelevancePredictor::new(&m);
-        // Few peers → peer-side iteration; many peers → rater-side.
-        let a = pred.predict(&small, ItemId::new(0)).unwrap();
-        let b = pred.predict_many(&small, &[ItemId::new(0)])[0].unwrap();
-        assert!((a - b).abs() < 1e-12);
-        let c = pred.predict(&big, ItemId::new(0)).unwrap();
-        let d = pred.predict_many(&big, &[ItemId::new(0)])[0].unwrap();
-        assert!((c - d).abs() < 1e-12);
+        for p in [&small, &big] {
+            let one = pred.predict(p, ItemId::new(0)).unwrap();
+            let many = pred.predict_many(p, &[ItemId::new(0)])[0].unwrap();
+            assert_eq!(one.to_bits(), many.to_bits());
+        }
     }
 
     #[test]
@@ -239,5 +268,43 @@ mod tests {
         let candidates: Vec<ItemId> = (0..5).map(ItemId::new).collect();
         let top = RelevancePredictor::new(&m).top_k(&p, &candidates, 3);
         assert_eq!(top.len(), 1, "only the predictable item qualifies");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use fairrec_types::RatingMatrixBuilder;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    proptest! {
+        /// Determinism contract: the single-item and batch entry points
+        /// are the same function — `predict(peers, i)` equals
+        /// `predict_many(peers, [i])[0]` bit for bit, for any matrix
+        /// shape and peer list (both paths take the canonical rater-side
+        /// summation order).
+        #[test]
+        fn predict_equals_predict_many_bitwise(
+            ratings in proptest::collection::btree_map(
+                (0u32..12, 0u32..6), 1.0f64..5.0, 1..40,
+            ),
+            peer_sims in proptest::collection::btree_map(0u32..12, 0.01f64..1.0, 0..12),
+            item in 0u32..6,
+        ) {
+            let mut b = RatingMatrixBuilder::new();
+            for (&(u, i), &r) in &ratings {
+                b.add_raw(UserId::new(u), ItemId::new(i), r).unwrap();
+            }
+            let m = b.build().unwrap();
+            let peers: Peers = BTreeMap::into_iter(peer_sims)
+                .map(|(u, s)| (UserId::new(u), s))
+                .collect();
+            let pred = RelevancePredictor::new(&m);
+            let item = ItemId::new(item);
+            let one = pred.predict(&peers, item);
+            let many = pred.predict_many(&peers, &[item])[0];
+            prop_assert_eq!(one.map(f64::to_bits), many.map(f64::to_bits));
+        }
     }
 }

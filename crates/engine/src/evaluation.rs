@@ -11,7 +11,7 @@
 //! * [`peer_recovery`] — precision of Definition 1 peer sets against the
 //!   planted community ground truth (experiment A2).
 
-use fairrec_core::relevance::RelevancePredictor;
+use fairrec_core::relevance::{PreparedPeers, RelevancePredictor};
 use fairrec_data::CommunityModel;
 use fairrec_similarity::{PeerSelector, UserSimilarity};
 use fairrec_types::{RatingMatrix, RatingMatrixBuilder, RatingTriple, Result, UserId};
@@ -105,8 +105,9 @@ pub fn prediction_quality<S: UserSimilarity>(
     }
     for (user, triples) in by_user {
         let peers = selector.peers_of(measure, user, split.train.user_ids(), &[]);
+        let prepared = PreparedPeers::new(&peers);
         for t in triples {
-            if let Some(pred) = predictor.predict(&peers, t.item) {
+            if let Some(pred) = predictor.predict_prepared(&prepared, t.item) {
                 let err = pred - t.rating.value();
                 abs_sum += err.abs();
                 sq_sum += err * err;

@@ -70,8 +70,11 @@ impl PeerIndex {
     ///
     /// Every user in `populate` gets an entry (empty when no edge
     /// mentions them); users outside `populate` stay cold. Edges below
-    /// the selector's δ are dropped, then each list is canonicalised —
-    /// so downstream views behave identically to the measure-driven path.
+    /// the selector's δ and **self-edges** (`user == peer`) are dropped,
+    /// duplicate `(user, peer)` edges collapse to the one with the
+    /// highest similarity, and each list is canonicalised — so downstream
+    /// views behave identically to the measure-driven path, which never
+    /// admits a user as their own peer and scans each pair exactly once.
     pub fn from_edges(
         selector: PeerSelector,
         num_users: u32,
@@ -82,7 +85,7 @@ impl PeerIndex {
         let mut lists: Vec<(UserId, Peers)> = populate.iter().map(|&u| (u, Peers::new())).collect();
         lists.sort_by_key(|(u, _)| *u);
         for (user, peer, sim) in edges {
-            if sim < selector.delta {
+            if peer == user || sim < selector.delta {
                 continue;
             }
             if let Ok(slot) = lists.binary_search_by_key(&user, |(u, _)| *u) {
@@ -90,6 +93,14 @@ impl PeerIndex {
             }
         }
         for (user, mut list) in lists {
+            // Collapse duplicate peers to the max-similarity edge: group
+            // by peer id with the best similarity first, keep the first
+            // occurrence of each peer.
+            list.sort_by(|a, b| {
+                a.0.cmp(&b.0)
+                    .then(b.1.partial_cmp(&a.1).expect("similarities are finite"))
+            });
+            list.dedup_by_key(|&mut (peer, _)| peer);
             PeerSelector::canonicalize(&mut list);
             if let Some(slot) = index.slots.get(user.index()) {
                 *slot.write().expect("peer slot poisoned") = Some(Arc::new(list));
@@ -383,6 +394,24 @@ mod tests {
         // Unpopulated users are cold, and cached views answer empty.
         assert!(index.cached_full(UserId::new(1)).is_none());
         assert!(index.group_peers_cached(&[UserId::new(1)])[0].1.is_empty());
+    }
+
+    #[test]
+    fn from_edges_drops_self_edges_and_dedups_to_max() {
+        let sel = PeerSelector::new(0.0).unwrap();
+        let member = UserId::new(0);
+        let edges = vec![
+            (member, member, 1.0),         // self-edge — never a peer
+            (member, UserId::new(1), 0.4), // duplicate, lower sim
+            (member, UserId::new(1), 0.7), // kept: the max-sim edge
+            (member, UserId::new(1), 0.2), // duplicate, lower sim
+            (member, UserId::new(2), 0.5),
+        ];
+        let index = PeerIndex::from_edges(sel, 3, &[member], edges);
+        assert_eq!(
+            index.cached_full(member).unwrap().as_ref(),
+            &vec![(UserId::new(1), 0.7), (UserId::new(2), 0.5)]
+        );
     }
 
     #[test]

@@ -94,6 +94,50 @@ proptest! {
         }
     }
 
+    /// The MapReduce bridge must agree with the measure-driven path even
+    /// when the edge stream carries self-edges and duplicate `(user,
+    /// peer)` edges — `from_edges` drops the former and collapses the
+    /// latter to the max-similarity edge, exactly what a direct scan
+    /// (which skips `v == u` and visits each pair once) produces.
+    #[test]
+    fn from_edges_with_noisy_edges_matches_measure_driven_path(
+        table in arb_table(),
+        delta in -0.2f64..0.9,
+        cap in proptest::option::of(1usize..6),
+        picks in proptest::collection::vec(0usize..12, 1..5),
+    ) {
+        let sel = selector(delta, cap);
+        let mut members: Vec<UserId> = picks
+            .into_iter()
+            .map(|p| UserId::new((p % table.n) as u32))
+            .collect();
+        members.sort_unstable();
+        members.dedup();
+        let mut edges: Vec<(UserId, UserId, f64)> = Vec::new();
+        for &m in &members {
+            // Self-edge noise: a buggy upstream job caching a user as
+            // their own (perfectly similar) peer.
+            edges.push((m, m, 1.0));
+            for v in (0..table.n as u32).map(UserId::new) {
+                if members.contains(&v) {
+                    continue; // Job 1 pairs members with non-members only
+                }
+                if let Some(s) = table.similarity(m, v) {
+                    edges.push((m, v, s));
+                    // Duplicate-edge noise at a weaker similarity; dedup
+                    // must keep the true (max) edge.
+                    edges.push((m, v, s - 0.4));
+                }
+            }
+        }
+        let bridged = PeerIndex::from_edges(sel, table.n as u32, &members, edges);
+        let direct = PeerIndex::new(sel, table.n as u32);
+        prop_assert_eq!(
+            bridged.group_peers_cached(&members),
+            direct.group_peers(&table, &members)
+        );
+    }
+
     #[test]
     fn invalidated_entries_recompute_to_the_same_answer(
         table in arb_table(),

@@ -76,9 +76,11 @@ impl Parallelism {
 
 /// Process-wide cache of pinned pools, one per thread count.
 /// `Parallelism::Threads(n)` can sit on a per-request hot path (thread
-/// sweeps, determinism pins), and with a real rayon backend building a
-/// pool means spawning `n` OS threads — that cost must be paid once per
-/// `n`, not once per call.
+/// sweeps, determinism pins), and building a pool spawns `n` OS threads
+/// — with the real rayon and with the shim's persistent worker pool
+/// alike — so that cost must be paid once per `n`, not once per call.
+/// The pool's workers carry the pin with them: nested parallel calls
+/// inside `install`ed work run on the owning pool at its width.
 fn pinned_pool(n: usize) -> &'static rayon::ThreadPool {
     use std::collections::HashMap;
     use std::sync::{Mutex, OnceLock};

@@ -110,8 +110,13 @@ impl TopK {
     }
 
     /// Offers an entry; returns `true` if it was retained.
+    ///
+    /// Non-finite scores are rejected outright (in release builds too):
+    /// a NaN has no meaningful rank — `partial_cmp` against it returns
+    /// `None`, which [`rank_cmp`](ScoredItem::rank_cmp) would quietly
+    /// resolve by item id, letting a NaN-scored item displace real ones.
     pub fn push(&mut self, item: ItemId, score: f64) -> bool {
-        if self.k == 0 {
+        if self.k == 0 || !score.is_finite() {
             return false;
         }
         let candidate = ScoredItem::new(item, score);
@@ -218,6 +223,17 @@ mod tests {
             permute(&next, acc, out);
             acc.pop();
         }
+    }
+
+    #[test]
+    fn non_finite_scores_are_rejected() {
+        let mut t = TopK::new(3);
+        assert!(t.push(ItemId::new(0), 1.0));
+        assert!(!t.push(ItemId::new(1), f64::NAN));
+        assert!(!t.push(ItemId::new(2), f64::INFINITY));
+        assert!(!t.push(ItemId::new(3), f64::NEG_INFINITY));
+        assert_eq!(t.len(), 1, "only the finite score is retained");
+        assert_eq!(t.into_items(), ids(&[0]));
     }
 
     #[test]

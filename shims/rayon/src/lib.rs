@@ -4,41 +4,285 @@
 //! pinning a thread count.
 //!
 //! The build environment cannot fetch crates.io, so the real rayon is
-//! unavailable; this shim provides the same call-site syntax over
-//! `std::thread::scope` with contiguous chunking. There is no work
-//! stealing — workloads here are item-uniform, where static chunking is
-//! within noise of a stealing scheduler. Order is always preserved:
-//! `collect` returns results in input order, which is what lets the
-//! fairrec property tests assert bitwise equality between the parallel
-//! and sequential prediction paths.
+//! unavailable; this shim provides the same call-site syntax over a
+//! **persistent worker pool**. Earlier revisions spawned scoped threads
+//! per operation (~0.5 ms per spawn in the sandbox), which dominated
+//! small batched requests; workers now live for the lifetime of their
+//! pool and accept work through an injector queue.
+//!
+//! ## Architecture
+//!
+//! * **Pools.** A [`ThreadPool`] owns a [`PoolCore`]: `num_threads`
+//!   worker threads plus an injector (a mutex-guarded queue of batch
+//!   handles with a condvar for wakeups). A process-wide **global pool**
+//!   sized to the machine's available parallelism starts lazily on first
+//!   unpinned parallel call and lives forever; pinned pools built via
+//!   [`ThreadPoolBuilder`] shut their workers down on drop.
+//! * **Pool membership.** Every worker records its owning pool in a
+//!   thread-local at startup, and [`ThreadPool::install`] sets the same
+//!   thread-local on the calling thread for the closure's duration.
+//!   Parallel operations submit to the *current* pool — so a nested
+//!   `par_iter` inside a worker-executed task runs on the owning pool at
+//!   the owning pool's width. (The previous spawn-per-scope executor
+//!   kept the pin in a thread-local that did **not** propagate into its
+//!   spawned workers, so nested calls inside `install` silently escaped
+//!   to machine parallelism.)
+//! * **Batches.** Each parallel operation packages its chunks as one
+//!   batch: a claim queue of lifetime-erased jobs plus a completion
+//!   latch. The submitting thread pushes the batch, then *helps drain
+//!   it* — it claims and runs jobs alongside the workers and only blocks
+//!   once every job has been claimed. Because the submitter can always
+//!   finish the whole batch by itself, nested submission can never
+//!   deadlock, with or without free workers. The submitter does not
+//!   return until every claimed job has completed, which is what makes
+//!   handing stack-borrowing closures to long-lived workers sound.
+//! * **Panics.** Jobs run under `catch_unwind`; the first payload is
+//!   stashed in the batch and re-thrown on the submitting thread after
+//!   the whole batch completes (workers survive user panics).
+//!
+//! There is no work stealing between batches — workloads here are
+//! item-uniform, where static chunking is within noise of a stealing
+//! scheduler. Order is always preserved: `collect` returns results in
+//! input order, which is what lets the fairrec property tests assert
+//! bitwise equality between the parallel and sequential prediction
+//! paths.
 //!
 //! Swapping this shim for the real crate is a one-line change in the
 //! workspace manifest; every `use rayon::prelude::*` call site stays as
 //! it is.
 
-use std::cell::Cell;
+use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Everything a call site needs for `par_iter().map().collect()`.
 pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
 }
 
+// ---------------------------------------------------------------------------
+// Worker pool core
+// ---------------------------------------------------------------------------
+
+/// A job whose borrows have been erased to `'static`. Soundness rests on
+/// the batch protocol: the submitter blocks until every job has run, so
+/// no job (or its captured borrows) outlives the frame that created it.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// One parallel operation's unit of scheduling: a claim queue of jobs
+/// plus a completion latch. Workers and the submitting thread race to
+/// claim jobs; the batch is done when `completed == total`.
+struct Batch {
+    /// Unclaimed jobs. Claiming pops from the front, so the submitting
+    /// thread (which claims first) starts with the first chunk.
+    jobs: Mutex<VecDeque<Job>>,
+    /// Completion latch: jobs run to completion, first panic payload.
+    done: Mutex<BatchDone>,
+    finished: Condvar,
+    total: usize,
+}
+
+struct BatchDone {
+    completed: usize,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl Batch {
+    fn new(jobs: VecDeque<Job>) -> Self {
+        let total = jobs.len();
+        Self {
+            jobs: Mutex::new(jobs),
+            done: Mutex::new(BatchDone {
+                completed: 0,
+                panic: None,
+            }),
+            finished: Condvar::new(),
+            total,
+        }
+    }
+
+    /// Claims and runs one job, if any remain unclaimed. Returns whether
+    /// a job was run.
+    fn run_one(&self) -> bool {
+        let Some(job) = self.jobs.lock().expect("batch queue poisoned").pop_front() else {
+            return false;
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(job));
+        let mut done = self.done.lock().expect("batch latch poisoned");
+        done.completed += 1;
+        if let Err(payload) = outcome {
+            done.panic.get_or_insert(payload);
+        }
+        if done.completed == self.total {
+            self.finished.notify_all();
+        }
+        true
+    }
+
+    /// Blocks until every job has completed, then re-throws the first
+    /// captured panic, if any.
+    fn wait(&self) {
+        let mut done = self.done.lock().expect("batch latch poisoned");
+        while done.completed < self.total {
+            done = self.finished.wait(done).expect("batch latch poisoned");
+        }
+        if let Some(payload) = done.panic.take() {
+            drop(done);
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// Shared state of one pool: the injector queue its workers drain.
+struct PoolCore {
+    injector: Mutex<Injector>,
+    /// Signalled on new work and on shutdown.
+    available: Condvar,
+    num_threads: usize,
+}
+
+struct Injector {
+    /// Pending claim tickets. Submitters push one ticket per job; a
+    /// worker popping a ticket claims at most one job from that batch
+    /// (already-drained batches make the pop a no-op).
+    queue: VecDeque<Arc<Batch>>,
+    shutdown: bool,
+}
+
+impl PoolCore {
+    /// Worker body: drain claim tickets until shutdown.
+    fn worker_loop(self: &Arc<Self>) {
+        // Membership: nested parallel calls inside jobs executed here
+        // submit back to this pool at this pool's width — the pin
+        // propagation `install` alone could not provide.
+        CURRENT_POOL.with(|c| *c.borrow_mut() = Some(Arc::clone(self)));
+        loop {
+            let ticket = {
+                let mut injector = self.injector.lock().expect("injector poisoned");
+                loop {
+                    if let Some(batch) = injector.queue.pop_front() {
+                        break Some(batch);
+                    }
+                    if injector.shutdown {
+                        break None;
+                    }
+                    injector = self.available.wait(injector).expect("injector poisoned");
+                }
+            };
+            match ticket {
+                Some(batch) => {
+                    batch.run_one();
+                }
+                None => return,
+            }
+        }
+    }
+
+    /// Runs `jobs` to completion on this pool: enqueues one claim ticket
+    /// per job, helps drain the batch from the calling thread, and blocks
+    /// until every job has finished (re-throwing the first panic).
+    ///
+    /// # Safety
+    /// Erases the jobs' borrows to `'static`. Sound because this function
+    /// does not return until every job has been consumed and run — the
+    /// claim queue is empty and `completed == total` — so no borrow is
+    /// used or dropped after its frame unwinds.
+    fn run_batch(self: &Arc<Self>, jobs: Vec<Box<dyn FnOnce() + Send + '_>>) {
+        if jobs.is_empty() {
+            return;
+        }
+        let erased: VecDeque<Job> = jobs
+            .into_iter()
+            .map(|job| unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) })
+            .collect();
+        let batch = Arc::new(Batch::new(erased));
+        {
+            let mut injector = self.injector.lock().expect("injector poisoned");
+            for _ in 0..batch.total {
+                injector.queue.push_back(Arc::clone(&batch));
+            }
+        }
+        self.available.notify_all();
+        // Help: claim jobs alongside the workers. The loop only ends when
+        // the claim queue is empty, so the batch completes even with zero
+        // free workers — nested submission cannot deadlock.
+        while batch.run_one() {}
+        batch.wait();
+    }
+}
+
+/// Spawns `num_threads` workers draining `core`'s injector. Handles are
+/// returned so pinned pools can join on shutdown; the global pool leaks
+/// them.
+fn spawn_workers(core: &Arc<PoolCore>, num_threads: usize) -> Vec<std::thread::JoinHandle<()>> {
+    (0..num_threads)
+        .map(|i| {
+            let core = Arc::clone(core);
+            std::thread::Builder::new()
+                .name(format!("rayon-shim-worker-{i}"))
+                .spawn(move || core.worker_loop())
+                .expect("failed to spawn pool worker")
+        })
+        .collect()
+}
+
+fn new_pool_core(num_threads: usize) -> Arc<PoolCore> {
+    Arc::new(PoolCore {
+        injector: Mutex::new(Injector {
+            queue: VecDeque::new(),
+            shutdown: false,
+        }),
+        available: Condvar::new(),
+        num_threads,
+    })
+}
+
 thread_local! {
-    /// Thread count override installed by [`ThreadPool::install`];
-    /// `None` means "use the machine's available parallelism".
-    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+    /// The pool this thread belongs to: set permanently on workers, and
+    /// temporarily on callers inside [`ThreadPool::install`]. `None`
+    /// means "use the global pool".
+    static CURRENT_POOL: RefCell<Option<Arc<PoolCore>>> = const { RefCell::new(None) };
+}
+
+fn machine_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The lazily-started process-wide pool serving unpinned parallel calls,
+/// sized to the machine's available parallelism. Never shut down.
+fn global_pool() -> &'static Arc<PoolCore> {
+    static GLOBAL: OnceLock<Arc<PoolCore>> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let core = new_pool_core(machine_parallelism());
+        drop(spawn_workers(&core, core.num_threads));
+        core
+    })
+}
+
+/// The pool parallel operations on this thread submit to: the current
+/// membership (worker pool or installed pool), else the global pool.
+fn current_pool() -> Arc<PoolCore> {
+    CURRENT_POOL
+        .with(|c| c.borrow().clone())
+        .unwrap_or_else(|| Arc::clone(global_pool()))
 }
 
 /// The number of threads parallel operations will use on this thread:
-/// the installed pool size, or the machine's available parallelism.
+/// the current pool's size (installed or inherited via worker
+/// membership), or the machine's available parallelism.
 pub fn current_num_threads() -> usize {
-    POOL_THREADS.with(|t| t.get()).unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(NonZeroUsize::get)
-            .unwrap_or(1)
-    })
+    CURRENT_POOL
+        .with(|c| c.borrow().as_ref().map(|p| p.num_threads))
+        .unwrap_or_else(machine_parallelism)
 }
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
 
 /// Runs both closures, potentially in parallel, and returns both results.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
@@ -48,14 +292,26 @@ where
     RA: Send,
     RB: Send,
 {
-    if current_num_threads() <= 1 {
+    let pool = current_pool();
+    if pool.num_threads <= 1 {
         return (a(), b());
     }
-    std::thread::scope(|scope| {
-        let hb = scope.spawn(b);
-        let ra = a();
-        (ra, hb.join().expect("join closure panicked"))
-    })
+    let ra: Mutex<Option<RA>> = Mutex::new(None);
+    let rb: Mutex<Option<RB>> = Mutex::new(None);
+    // Two jobs; the submitter claims front-first, so it starts `a` while
+    // a worker (if free) picks up `b` — otherwise it runs both itself.
+    pool.run_batch(vec![
+        Box::new(|| *ra.lock().expect("join slot poisoned") = Some(a())),
+        Box::new(|| *rb.lock().expect("join slot poisoned") = Some(b())),
+    ]);
+    (
+        ra.into_inner()
+            .expect("join slot poisoned")
+            .expect("join closure completed"),
+        rb.into_inner()
+            .expect("join slot poisoned")
+            .expect("join closure completed"),
+    )
 }
 
 /// Builder mirroring `rayon::ThreadPoolBuilder`.
@@ -90,43 +346,51 @@ impl ThreadPoolBuilder {
         self
     }
 
-    /// Builds the pool.
+    /// Builds the pool, spawning its workers.
     ///
     /// # Errors
     /// Never fails in the shim; the `Result` mirrors rayon's signature.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        Ok(ThreadPool {
-            num_threads: self.num_threads.unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(NonZeroUsize::get)
-                    .unwrap_or(1)
-            }),
-        })
+        let num_threads = self.num_threads.unwrap_or_else(machine_parallelism);
+        let core = new_pool_core(num_threads);
+        let workers = spawn_workers(&core, num_threads);
+        Ok(ThreadPool { core, workers })
     }
 }
 
-/// A "pool" that pins the thread count for the duration of
-/// [`install`](Self::install). The shim spawns scoped threads per
-/// operation instead of keeping workers alive.
-#[derive(Debug)]
+/// A pool of persistent worker threads. Parallel operations inside
+/// [`install`](Self::install) — including nested ones inside jobs the
+/// workers execute — run on this pool at this pool's width. Dropping the
+/// pool shuts the workers down (after in-flight batches drain).
 pub struct ThreadPool {
-    num_threads: usize,
+    core: Arc<PoolCore>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("num_threads", &self.core.num_threads)
+            .finish()
+    }
 }
 
 impl ThreadPool {
     /// Number of threads parallel operations will use inside
     /// [`install`](Self::install).
     pub fn current_num_threads(&self) -> usize {
-        self.num_threads
+        self.core.num_threads
     }
 
-    /// Runs `f` with this pool's thread count installed.
+    /// Runs `f` with this pool as the calling thread's current pool:
+    /// parallel operations inside `f` submit here and report this pool's
+    /// thread count.
     pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
-        let previous = POOL_THREADS.with(|t| t.replace(Some(self.num_threads)));
-        struct Restore(Option<usize>);
+        let previous = CURRENT_POOL.with(|c| c.replace(Some(Arc::clone(&self.core))));
+        struct Restore(Option<Arc<PoolCore>>);
         impl Drop for Restore {
             fn drop(&mut self) {
-                POOL_THREADS.with(|t| t.set(self.0));
+                CURRENT_POOL.with(|c| *c.borrow_mut() = self.0.take());
             }
         }
         let _restore = Restore(previous);
@@ -134,20 +398,35 @@ impl ThreadPool {
     }
 }
 
-/// Runs `f` over `items` on up to [`current_num_threads`] threads,
-/// preserving input order in the output.
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut injector = self.core.injector.lock().expect("injector poisoned");
+            injector.shutdown = true;
+        }
+        self.core.available.notify_all();
+        for worker in self.workers.drain(..) {
+            // A worker that panicked outside a job (a shim bug) is not
+            // worth propagating out of drop; user-job panics were caught.
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Runs `f` over `items` on the current pool, preserving input order in
+/// the output: items are split into one contiguous chunk per thread and
+/// the chunk results are concatenated in chunk order.
 fn parallel_map_vec<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let threads = current_num_threads().min(items.len().max(1));
+    let pool = current_pool();
+    let threads = pool.num_threads.min(items.len().max(1));
     if threads <= 1 || items.len() <= 1 {
         return items.into_iter().map(f).collect();
     }
-    // Contiguous chunks, one per thread; results concatenated in chunk
-    // order so the output order equals the input order.
     let chunk_size = items.len().div_ceil(threads);
     let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
     let mut it = items.into_iter();
@@ -158,18 +437,27 @@ where
         }
         chunks.push(chunk);
     }
+    let slots: Vec<Mutex<Option<Vec<R>>>> = chunks.iter().map(|_| Mutex::new(None)).collect();
     let f = &f;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
-            .collect();
-        let mut out = Vec::new();
-        for handle in handles {
-            out.extend(handle.join().expect("parallel map worker panicked"));
-        }
-        out
-    })
+    let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
+        .into_iter()
+        .zip(&slots)
+        .map(|(chunk, slot)| {
+            Box::new(move || {
+                let out: Vec<R> = chunk.into_iter().map(f).collect();
+                *slot.lock().expect("chunk slot poisoned") = Some(out);
+            }) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    pool.run_batch(jobs);
+    slots
+        .into_iter()
+        .flat_map(|slot| {
+            slot.into_inner()
+                .expect("chunk slot poisoned")
+                .expect("chunk completed")
+        })
+        .collect()
 }
 
 /// Conversion into a parallel iterator (mirror of rayon's trait).
@@ -227,7 +515,7 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
 }
 
 /// An eager parallel iterator: items are materialised, adaptors run the
-/// whole chain on the scoped-thread executor.
+/// whole chain on the worker-pool executor.
 pub struct ParIter<T: Send> {
     items: Vec<T>,
 }
@@ -292,6 +580,10 @@ impl<T: Send, F> ParallelIterator for ParMap<T, F> {}
 mod tests {
     use super::prelude::*;
     use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+    use std::thread::ThreadId;
 
     #[test]
     fn map_collect_preserves_order() {
@@ -352,7 +644,6 @@ mod tests {
 
     #[test]
     fn for_each_visits_everything() {
-        use std::sync::atomic::{AtomicUsize, Ordering};
         let count = AtomicUsize::new(0);
         (0u32..257).into_par_iter().for_each(|_| {
             count.fetch_add(1, Ordering::Relaxed);
@@ -374,5 +665,120 @@ mod tests {
             .map(|x| f64::from(x).sqrt())
             .collect();
         assert_eq!(seq, par, "bitwise identical regardless of thread count");
+    }
+
+    /// The fix the rewrite exists for: a chunk executed *on a pool
+    /// worker* must still see the pool's thread count. A barrier across
+    /// as many items as the pool has threads forces the chunks onto
+    /// distinct threads (at most one of them the caller), so at least
+    /// `n - 1` observations genuinely come from workers.
+    #[test]
+    fn install_pin_propagates_into_pool_workers() {
+        let n = 3;
+        let pool = ThreadPoolBuilder::new().num_threads(n).build().unwrap();
+        let barrier = Barrier::new(n);
+        let observed: Vec<(ThreadId, usize)> = pool.install(|| {
+            (0..n)
+                .into_par_iter()
+                .map(|_| {
+                    barrier.wait();
+                    (std::thread::current().id(), current_num_threads())
+                })
+                .collect()
+        });
+        let distinct: HashSet<ThreadId> = observed.iter().map(|&(id, _)| id).collect();
+        assert_eq!(distinct.len(), n, "chunks ran on {n} distinct threads");
+        for &(_, seen) in &observed {
+            assert_eq!(seen, n, "worker-executed chunks must see the pin");
+        }
+    }
+
+    /// Nested parallel calls inside worker-executed jobs stay on the
+    /// owning pool: a 1-thread pool keeps *everything* — outer map and
+    /// nested inner map — on the calling thread.
+    #[test]
+    fn nested_calls_stay_on_a_single_thread_pool() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let caller = std::thread::current().id();
+        let observed: Vec<(ThreadId, Vec<ThreadId>)> = pool.install(|| {
+            (0u32..4)
+                .into_par_iter()
+                .map(|_| {
+                    let inner: Vec<ThreadId> = (0u32..4)
+                        .into_par_iter()
+                        .map(|_| std::thread::current().id())
+                        .collect();
+                    (std::thread::current().id(), inner)
+                })
+                .collect()
+        });
+        for (outer_id, inner_ids) in observed {
+            assert_eq!(outer_id, caller, "outer chunk escaped the 1-pool");
+            for id in inner_ids {
+                assert_eq!(id, caller, "nested chunk escaped the 1-pool");
+            }
+        }
+    }
+
+    /// Workers persist across calls: many successive maps on one pool
+    /// touch at most `num_threads` distinct non-caller threads, where a
+    /// spawn-per-call executor would mint fresh ones every call.
+    #[test]
+    fn workers_persist_across_calls() {
+        let n = 2;
+        let pool = ThreadPoolBuilder::new().num_threads(n).build().unwrap();
+        let caller = std::thread::current().id();
+        let mut worker_ids: HashSet<ThreadId> = HashSet::new();
+        for _ in 0..20 {
+            let ids: Vec<ThreadId> = pool.install(|| {
+                (0u32..64)
+                    .into_par_iter()
+                    .map(|_| std::thread::current().id())
+                    .collect()
+            });
+            worker_ids.extend(ids.into_iter().filter(|&id| id != caller));
+        }
+        assert!(
+            worker_ids.len() <= n,
+            "expected at most {n} persistent workers, saw {}",
+            worker_ids.len()
+        );
+    }
+
+    #[test]
+    fn panics_propagate_to_the_submitter() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| -> Vec<u32> {
+                (0u32..8)
+                    .into_par_iter()
+                    .map(|x| {
+                        assert!(x != 5, "boom at {x}");
+                        x
+                    })
+                    .collect()
+            })
+        }));
+        assert!(result.is_err(), "the chunk panic must reach the caller");
+        // The pool survives user panics and keeps serving.
+        let after: Vec<u32> = pool.install(|| (0u32..8).into_par_iter().map(|x| x).collect());
+        assert_eq!(after, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn join_inside_install_uses_the_pool() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let (a, b) = pool.install(|| join(current_num_threads, current_num_threads));
+        assert_eq!(a, 2);
+        assert_eq!(b, 2);
+    }
+
+    #[test]
+    fn dropping_a_pool_shuts_workers_down() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let collected: Vec<u64> = pool.install(|| (0u64..100).into_par_iter().map(|x| x).collect());
+        let sum: u64 = collected.into_iter().sum();
+        assert_eq!(sum, 4950);
+        drop(pool); // must not hang
     }
 }

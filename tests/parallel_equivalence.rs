@@ -80,6 +80,70 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Nested parallelism under a `Threads(1)` pin: the outer map *and*
+    /// every nested `par_iter` inside it stay on the calling thread, and
+    /// the scores are bitwise-equal to a fully sequential run. (Before
+    /// the worker-pool executor, a pin did not propagate into spawned
+    /// workers, so nested calls could silently fan out to machine
+    /// parallelism.)
+    #[test]
+    fn threads1_nested_par_iter_stays_single_threaded(len in 1usize..80, scale in 0.5f64..2.0) {
+        use rayon::prelude::*;
+        let caller = std::thread::current().id();
+        let input: Vec<u32> = (0..len as u32).collect();
+        let work = |x: u32| -> Vec<(f64, std::thread::ThreadId)> {
+            (0..x % 17 + 1)
+                .into_par_iter()
+                .map(|y| {
+                    (
+                        (f64::from(x) * scale + f64::from(y)).sqrt(),
+                        std::thread::current().id(),
+                    )
+                })
+                .collect()
+        };
+        let pinned = Parallelism::Threads(1).map(input.clone(), work);
+        let sequential = Parallelism::Sequential.map(input, work);
+        prop_assert_eq!(pinned.len(), sequential.len());
+        for (p_row, s_row) in pinned.iter().zip(&sequential) {
+            prop_assert_eq!(p_row.len(), s_row.len());
+            for (&(p, p_id), &(s, _)) in p_row.iter().zip(s_row) {
+                prop_assert_eq!(p.to_bits(), s.to_bits(), "bitwise-equal to Sequential");
+                prop_assert_eq!(p_id, caller, "Threads(1) must stay on the calling thread");
+            }
+        }
+    }
+}
+
+/// The pin must propagate into pool *workers*, not just the installing
+/// thread: a barrier across as many items as the pool has threads forces
+/// the chunks onto distinct threads (at most one of them the caller), so
+/// most observations genuinely come from inside workers. The pool width
+/// is deliberately different from the machine's parallelism — the value
+/// an unpinned worker would report.
+#[test]
+fn thread_pins_propagate_into_pool_workers() {
+    let machine = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let n = machine + 2;
+    let barrier = std::sync::Barrier::new(n);
+    let observed: Vec<(std::thread::ThreadId, usize)> =
+        Parallelism::Threads(n).map((0..n).collect(), |_| {
+            barrier.wait();
+            (std::thread::current().id(), rayon::current_num_threads())
+        });
+    let distinct: std::collections::HashSet<_> = observed.iter().map(|&(id, _)| id).collect();
+    assert_eq!(distinct.len(), n, "chunks ran on {n} distinct threads");
+    for &(_, seen) in &observed {
+        assert_eq!(
+            seen, n,
+            "nested calls inside workers must see the {n}-thread pin"
+        );
+    }
+}
+
 /// A denser cohort for the engine-level tests: enough co-rating overlap
 /// that Pearson is defined and packages actually materialise. (The big
 /// sparse `dataset()` exists only to exceed the parallel-fan-out floor.)
