@@ -1,17 +1,21 @@
 //! PeerIndex and batched-serving benchmarks: cold vs warm index, eager
-//! warming across 1/2/4/8 threads, and `recommend_batch` vs a sequential
+//! warming across 1/2/4/8 threads, the `cold_full_warm` sweep (all-pairs
+//! scan vs the inverted-index bulk kernel vs the symmetric bulk warm at
+//! ~2k users), and `recommend_batch` vs a sequential
 //! `recommend_for_group` loop over the same groups.
 //!
 //! Results (mean/median/min/max ns per iteration) are also appended as
 //! JSON lines to `target/criterion-shim/results.jsonl` (override with
-//! `CRITERION_SHIM_JSON`), so successive PRs can track the trajectory.
+//! `CRITERION_SHIM_JSON`), so successive PRs can track the trajectory;
+//! `scripts/bench_summary` turns the `cold_full_warm` rows into an
+//! old-vs-new speedup table in CI logs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fairrec_core::Group;
 use fairrec_data::{SyntheticConfig, SyntheticDataset};
 use fairrec_engine::{EngineConfig, RecommenderEngine};
 use fairrec_ontology::snomed::clinical_fragment;
-use fairrec_similarity::{PeerIndex, PeerSelector, RatingsSimilarity};
+use fairrec_similarity::{PairwiseOnly, PeerIndex, PeerSelector, RatingsSimilarity};
 use fairrec_types::{GroupId, Parallelism, UserId};
 use std::hint::black_box;
 
@@ -51,6 +55,72 @@ fn bench_cold_vs_warm(c: &mut Criterion) {
         index.warm(&measure, Parallelism::Rayon);
         b.iter(|| black_box(index.group_peers(&measure, black_box(&group))))
     });
+    bench.finish();
+}
+
+/// Cold full warm at serving scale (~2k users, sparse ratings): the old
+/// all-pairs scan (every user × every user through per-pair Pearson,
+/// forced via [`PairwiseOnly`]) against the inverted-index bulk kernel
+/// and its symmetric upper-triangle mode, at 1 and 8 threads. This is
+/// the Definition-1 cold-build trajectory the ROADMAP's 10⁶-user goal
+/// hinges on; the kernel's cost is the dataset's co-rating mass instead
+/// of O(U²·d).
+fn bench_cold_full_warm(c: &mut Criterion) {
+    let data = fixture(2000);
+    let measure = RatingsSimilarity::new(&data.matrix);
+    let pairwise = PairwiseOnly::new(&measure);
+    let selector = PeerSelector::new(0.0).expect("finite");
+    let num_users = data.matrix.num_users();
+
+    // The paths must be interchangeable before they are raced.
+    {
+        let a = PeerIndex::new(selector, num_users);
+        a.warm(&pairwise, Parallelism::Rayon);
+        let b = PeerIndex::new(selector, num_users);
+        b.warm_symmetric(&measure, Parallelism::Rayon);
+        for u in (0..num_users).step_by(97).map(UserId::new) {
+            assert_eq!(
+                a.cached_full(u),
+                b.cached_full(u),
+                "bulk and pairwise warms must cache identical lists"
+            );
+        }
+    }
+
+    let mut bench = c.benchmark_group("cold_full_warm");
+    bench.sample_size(10);
+    for threads in [1usize, 8] {
+        bench.bench_with_input(
+            BenchmarkId::new("all_pairs_scan", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let index = PeerIndex::new(selector, num_users);
+                    black_box(index.warm(&pairwise, Parallelism::Threads(threads)))
+                })
+            },
+        );
+        bench.bench_with_input(
+            BenchmarkId::new("bulk_kernel", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let index = PeerIndex::new(selector, num_users);
+                    black_box(index.warm(&measure, Parallelism::Threads(threads)))
+                })
+            },
+        );
+        bench.bench_with_input(
+            BenchmarkId::new("bulk_kernel_symmetric", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let index = PeerIndex::new(selector, num_users);
+                    black_box(index.warm_symmetric(&measure, Parallelism::Threads(threads)))
+                })
+            },
+        );
+    }
     bench.finish();
 }
 
@@ -215,6 +285,7 @@ fn bench_small_request_batch(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_cold_vs_warm,
+    bench_cold_full_warm,
     bench_warm_thread_sweep,
     bench_batch_vs_sequential,
     bench_small_request_batch

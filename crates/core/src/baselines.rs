@@ -223,6 +223,9 @@ impl<'a> ItemKnn<'a> {
             self.matrix.raters_of(a).peekable(),
             self.matrix.raters_of(b).peekable(),
         );
+        // Hoisted out of the merge-join: one slice borrow instead of an
+        // `Option` round-trip per co-rater (raters always have a mean).
+        let means = self.matrix.user_means();
         let (mut num, mut da, mut db) = (0.0f64, 0.0f64, 0.0f64);
         let mut n = 0usize;
         // Merge-join over the sorted rater lists.
@@ -235,7 +238,7 @@ impl<'a> ItemKnn<'a> {
                     ib.next();
                 }
                 std::cmp::Ordering::Equal => {
-                    let mu = self.matrix.user_mean(ua).expect("rater has ratings");
+                    let mu = means[ua.index()];
                     let (xa, xb) = (ra - mu, rb - mu);
                     num += xa * xb;
                     da += xa * xa;

@@ -15,7 +15,7 @@
 use crate::aggregate::{Aggregation, MissingPolicy};
 use crate::group::Group;
 use crate::relevance::RelevancePredictor;
-use fairrec_similarity::{PeerIndex, PeerSelector, UserSimilarity};
+use fairrec_similarity::{BulkUserSimilarity, PeerIndex, PeerSelector};
 use fairrec_types::{
     ItemId, Parallelism, RatingMatrix, Relevance, Result, ScoredItem, TopK, UserId,
 };
@@ -130,7 +130,7 @@ impl GroupPredictions {
 /// # Errors
 /// Propagates [`fairrec_types::FairrecError::UnknownUser`] when a group
 /// member lies outside the matrix's user space.
-pub fn compute_group_predictions<S: UserSimilarity + ?Sized>(
+pub fn compute_group_predictions<S: BulkUserSimilarity + ?Sized>(
     matrix: &RatingMatrix,
     measure: &S,
     selector: &PeerSelector,
@@ -148,7 +148,7 @@ pub fn compute_group_predictions<S: UserSimilarity + ?Sized>(
 /// # Errors
 /// Propagates [`fairrec_types::FairrecError::UnknownUser`] when a group
 /// member lies outside the matrix's user space.
-pub fn compute_group_predictions_with_index<S: UserSimilarity + ?Sized>(
+pub fn compute_group_predictions_with_index<S: BulkUserSimilarity + ?Sized>(
     matrix: &RatingMatrix,
     measure: &S,
     index: &PeerIndex,
@@ -188,6 +188,7 @@ pub fn compute_group_predictions_with_index<S: UserSimilarity + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fairrec_similarity::UserSimilarity;
     use fairrec_types::{GroupId, RatingMatrixBuilder};
 
     /// Similarity by lookup table over raw ids; defined everywhere.
@@ -200,6 +201,7 @@ mod tests {
             "uniform"
         }
     }
+    impl BulkUserSimilarity for Uniform {}
 
     fn matrix(rows: &[(u32, u32, f64)]) -> RatingMatrix {
         let mut b = RatingMatrixBuilder::new();
@@ -280,6 +282,7 @@ mod tests {
                 "pair"
             }
         }
+        impl BulkUserSimilarity for PairSim {}
         let (m, g) = fixture();
         let sel = PeerSelector::new(0.0).unwrap();
         let cfg = GroupPredictionConfig {

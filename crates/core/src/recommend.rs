@@ -7,7 +7,7 @@
 //! quality.
 
 use crate::relevance::RelevancePredictor;
-use fairrec_similarity::{PeerIndex, PeerSelector, UserSimilarity};
+use fairrec_similarity::{BulkUserSimilarity, PeerIndex, PeerSelector};
 use fairrec_types::{FairrecError, RatingMatrix, Result, ScoredItem, UserId};
 
 /// Recommends the top-k unrated items for a single user.
@@ -19,7 +19,7 @@ use fairrec_types::{FairrecError, RatingMatrix, Result, ScoredItem, UserId};
 /// # Errors
 /// [`FairrecError::UnknownUser`] when `user` lies outside the matrix's
 /// user space.
-pub fn single_user_top_k<S: UserSimilarity + ?Sized>(
+pub fn single_user_top_k<S: BulkUserSimilarity + ?Sized>(
     matrix: &RatingMatrix,
     measure: &S,
     selector: &PeerSelector,
@@ -36,7 +36,7 @@ pub fn single_user_top_k<S: UserSimilarity + ?Sized>(
 /// # Errors
 /// [`FairrecError::UnknownUser`] when `user` lies outside the matrix's
 /// user space.
-pub fn single_user_top_k_with_index<S: UserSimilarity + ?Sized>(
+pub fn single_user_top_k_with_index<S: BulkUserSimilarity + ?Sized>(
     matrix: &RatingMatrix,
     measure: &S,
     index: &PeerIndex,

@@ -24,8 +24,8 @@ use fairrec_mapreduce::{mapreduce_group_predictions, PipelineConfig};
 use fairrec_ontology::Ontology;
 use fairrec_phr::PhrStore;
 use fairrec_similarity::{
-    HybridSimilarity, PeerIndex, PeerSelector, ProfileSimilarity, RatingsSimilarity, Rescale01,
-    SemanticSimilarity, UserSimilarity,
+    BulkUserSimilarity, HybridSimilarity, PeerIndex, PeerSelector, ProfileSimilarity,
+    RatingsSimilarity, Rescale01, SemanticSimilarity,
 };
 use fairrec_types::{ItemId, Parallelism, RatingMatrix, Result, ScoredItem, UserId};
 use std::sync::Arc;
@@ -87,8 +87,10 @@ pub struct RecommenderEngine {
     /// tf-idf vectors are corpus-wide; built once.
     profile_sim: Arc<ProfileSimilarity>,
     /// The configured similarity backend, built once over `Arc`s of the
-    /// engine's data.
-    measure: Box<dyn UserSimilarity + Send + Sync>,
+    /// engine's data. Bulk-capable: cold peer fills run the backend's
+    /// one-vs-all path (the inverted-index kernel for `Ratings`, per-pair
+    /// fallbacks elsewhere).
+    measure: Box<dyn BulkUserSimilarity + Send + Sync>,
     /// Cached Definition-1 peer lists; every request path goes through it.
     peer_index: PeerIndex,
 }
@@ -150,7 +152,7 @@ impl RecommenderEngine {
         profiles: &Arc<PhrStore>,
         ontology: &Arc<Ontology>,
         profile_sim: &Arc<ProfileSimilarity>,
-    ) -> Box<dyn UserSimilarity + Send + Sync> {
+    ) -> Box<dyn BulkUserSimilarity + Send + Sync> {
         match config.similarity {
             SimilarityKind::Ratings => Box::new(
                 RatingsSimilarity::new(Arc::clone(matrix)).with_min_overlap(config.min_overlap),
@@ -203,7 +205,7 @@ impl RecommenderEngine {
     }
 
     /// The configured similarity backend.
-    pub fn measure(&self) -> &(dyn UserSimilarity + Send + Sync) {
+    pub fn measure(&self) -> &(dyn BulkUserSimilarity + Send + Sync) {
         &*self.measure
     }
 
@@ -221,9 +223,14 @@ impl RecommenderEngine {
 
     /// Eagerly computes every user's peer list (fanned out across the
     /// configured parallelism), so later requests are pure cache hits.
-    /// Returns the number of lists computed.
+    /// On a fully cold index with a bitwise-symmetric backend (the
+    /// `Ratings` kernel), this takes the symmetric bulk warm — one
+    /// upper-triangle kernel pass per user fills both endpoints' lists;
+    /// otherwise it degrades to the per-user bulk warm. Returns the
+    /// number of lists computed.
     pub fn warm_peer_index(&self) -> usize {
-        self.peer_index.warm(&self.measure, self.config.parallelism)
+        self.peer_index
+            .warm_symmetric(&self.measure, self.config.parallelism)
     }
 
     /// Drops every cached peer list. Call after the underlying data
@@ -281,6 +288,10 @@ impl RecommenderEngine {
                     aggregation: self.config.aggregation,
                     missing: self.config.missing,
                     job,
+                    // The engine exercises the faithful distributed
+                    // formulation; both producers are proven identical
+                    // by the pipeline's equality tests.
+                    edge_producer: Default::default(),
                 };
                 let (preds, _report) = mapreduce_group_predictions(
                     self.matrix.to_triples(),

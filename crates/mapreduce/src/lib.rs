@@ -34,4 +34,7 @@ pub mod pipeline;
 pub mod topk;
 
 pub use engine::{run_job, JobConfig, JobMetrics, JobResult, Mapper, Reducer};
-pub use pipeline::{mapreduce_group_predictions, MapReducePipelineReport, PipelineConfig};
+pub use pipeline::{
+    kernel_sim_edges, mapreduce_group_predictions, EdgeProducer, MapReducePipelineReport,
+    PipelineConfig,
+};

@@ -18,9 +18,29 @@ use crate::jobs::{
 use fairrec_core::aggregate::{Aggregation, MissingPolicy};
 use fairrec_core::group::Group;
 use fairrec_core::predictions::GroupPredictions;
-use fairrec_similarity::{PeerIndex, PeerSelector};
-use fairrec_types::{ItemId, RatingTriple, Relevance, Result, UserId};
+use fairrec_similarity::{
+    BulkUserSimilarity, PeerIndex, PeerSelector, RatingsSimilarity, SimScratch,
+};
+use fairrec_types::{FairrecError, ItemId, RatingMatrix, RatingTriple, Relevance, Result, UserId};
 use std::collections::HashMap;
+
+/// How the pipeline produces its `simU` edges (the output of Job 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EdgeProducer {
+    /// The paper's chain: Job 0 means → Job 1 partials → Job 2 sums the
+    /// partials in item order and applies δ. The default, because it is
+    /// the faithful distributed formulation whose per-stage metrics the
+    /// scaling experiments report.
+    #[default]
+    MapReduce,
+    /// The inverted-index one-vs-all kernel
+    /// ([`kernel_sim_edges`]): one in-memory bulk pass per member over
+    /// the item-major index, skipping Jobs 0 and 2 and Job 1's partial
+    /// stream entirely. Bitwise identical edges — Job 2 sums partials in
+    /// item order, exactly the kernel's accumulation order — at
+    /// co-rating-mass cost instead of a full pair shuffle.
+    BulkKernel,
+}
 
 /// Pipeline knobs; mirrors the in-memory configuration exactly so the two
 /// paths can be compared run-for-run.
@@ -39,6 +59,8 @@ pub struct PipelineConfig {
     pub missing: MissingPolicy,
     /// Engine execution knobs.
     pub job: JobConfig,
+    /// How the Definition-1 edges are produced.
+    pub edge_producer: EdgeProducer,
 }
 
 impl Default for PipelineConfig {
@@ -50,8 +72,41 @@ impl Default for PipelineConfig {
             aggregation: Aggregation::default(),
             missing: MissingPolicy::default(),
             job: JobConfig::default(),
+            edge_producer: EdgeProducer::default(),
         }
     }
+}
+
+/// Produces the group's Definition-1 similarity edges with the
+/// inverted-index bulk kernel: one [`BulkUserSimilarity`] pass per
+/// member, dropping in-group peers (Job 1 pairs members only with
+/// non-members) and edges below δ. The output set — members in input
+/// order, peers ascending — carries **bitwise** the same similarities as
+/// the Job 0 → 1 → 2 chain: Job 2 sorts each pair's partials by item
+/// before summing, which is exactly the kernel's ascending-item
+/// accumulation order.
+pub fn kernel_sim_edges(
+    matrix: &RatingMatrix,
+    members: &[UserId],
+    delta: f64,
+    min_overlap: usize,
+) -> Vec<SimEdge> {
+    let measure = RatingsSimilarity::new(matrix).with_min_overlap(min_overlap);
+    let mut scratch = SimScratch::new();
+    let mut candidates: Vec<(UserId, f64)> = Vec::new();
+    // Capacity guess: a member's edge count is bounded by the number of
+    // users sharing an item with them, itself bounded by co-rating mass.
+    let degrees = matrix.user_degrees();
+    let avg_degree = degrees.iter().map(|&d| d as usize).sum::<usize>() / degrees.len().max(1);
+    let mut edges = Vec::with_capacity(members.len() * avg_degree);
+    for &member in members {
+        candidates.clear();
+        measure.similarities_from(member, matrix.num_users(), &mut scratch, &mut candidates);
+        edges.extend(candidates.iter().filter_map(|&(peer, sim)| {
+            (sim >= delta && !members.contains(&peer)).then_some(SimEdge { member, peer, sim })
+        }));
+    }
+    edges
 }
 
 /// Metrics of each stage, for the scaling experiments (A4).
@@ -89,8 +144,11 @@ impl MapReducePipelineReport {
 /// identical to the in-memory reference.
 ///
 /// # Errors
-/// Currently infallible in practice (the `Result` leaves room for
-/// I/O-backed inputs); group validation happens in [`Group`].
+/// Returns [`FairrecError::DuplicateRating`] when the relation holds the
+/// same `(user, item)` pair twice — the workspace-wide invariant
+/// [`RatingMatrixBuilder`](fairrec_types::RatingMatrixBuilder) enforces,
+/// applied here so every edge producer answers duplicate input
+/// identically. Group validation happens in [`Group`].
 pub fn mapreduce_group_predictions(
     triples: Vec<RatingTriple>,
     num_items: u32,
@@ -100,6 +158,30 @@ pub fn mapreduce_group_predictions(
     let mut report = MapReducePipelineReport::default();
     let members: Vec<UserId> = group.members().to_vec();
     let n = members.len();
+
+    // Canonicalise the input order up front. Float summation is order-
+    // sensitive in the last ulp, and Job 0 sums each user's ratings in
+    // input order while the in-memory reference (and the bulk kernel's
+    // `RatingMatrix`) sums in `(user, item)` order — sorting here makes
+    // the pipeline's bits independent of how the caller ordered the
+    // relation, so the MapReduce/BulkKernel/in-memory equality holds
+    // unconditionally rather than only for pre-sorted input.
+    let mut triples = triples;
+    triples.sort_unstable_by_key(|t| (t.user, t.item));
+    // Duplicate pairs are invalid input everywhere in the workspace
+    // (`RatingMatrixBuilder` rejects them because keeping one silently
+    // would make results depend on insertion order). Rejecting them here
+    // keeps the edge producers interchangeable: the kernel path would
+    // fail building its matrix while the job chain would silently sum
+    // both ratings.
+    for w in triples.windows(2) {
+        if (w[0].user, w[0].item) == (w[1].user, w[1].item) {
+            return Err(FairrecError::DuplicateRating {
+                user: w[0].user,
+                item: w[0].item,
+            });
+        }
+    }
 
     // Exclusion set: items any member rated. In the deployed system the
     // caregiver's group ratings are a small, known relation; here it is
@@ -111,37 +193,62 @@ pub fn mapreduce_group_predictions(
         }
     }
 
-    // ---- Job 0: user means (side data for the Pearson partials) ----------
-    let job0 = run_job(&MeansMapper, &MeansReducer, triples.clone(), config.job);
-    report.job0 = job0.metrics;
-    let means: HashMap<UserId, f64> = job0.output.into_iter().collect();
+    // ---- Jobs 0–2: the Definition-1 similarity edges ----------------------
+    let candidates: Vec<Job1Out>;
+    let sim_edges: Vec<SimEdge> = match config.edge_producer {
+        EdgeProducer::MapReduce => {
+            // Job 0: user means (side data for the Pearson partials).
+            let job0 = run_job(&MeansMapper, &MeansReducer, triples.clone(), config.job);
+            report.job0 = job0.metrics;
+            let means: HashMap<UserId, f64> = job0.output.into_iter().collect();
 
-    // ---- Job 1: per-item grouping — candidates + partial similarities ----
-    let job1 = run_job(
-        &Job1Mapper,
-        &Job1Reducer::new(members.clone(), means),
-        triples,
-        config.job,
-    );
-    report.job1 = job1.metrics;
-    let (candidates, partials): (Vec<Job1Out>, Vec<Job1Out>) = job1
-        .output
-        .into_iter()
-        .partition(|o| matches!(o, Job1Out::Candidate { .. }));
+            // Job 1: per-item grouping — candidates + partial similarities.
+            let job1 = run_job(
+                &Job1Mapper,
+                &Job1Reducer::new(members.clone(), means),
+                triples,
+                config.job,
+            );
+            report.job1 = job1.metrics;
+            let (candidate_stream, partials): (Vec<Job1Out>, Vec<Job1Out>) = job1
+                .output
+                .into_iter()
+                .partition(|o| matches!(o, Job1Out::Candidate { .. }));
+            candidates = candidate_stream;
 
-    // ---- Job 2: finalise simU with threshold δ ----------------------------
-    let job2 = run_job(
-        &Job2Mapper,
-        &Job2Reducer::new(config.delta, config.min_overlap),
-        partials,
-        config.job,
-    );
-    report.job2 = job2.metrics;
-    report.sim_edges = job2.output.len();
+            // Job 2: finalise simU with threshold δ.
+            let job2 = run_job(
+                &Job2Mapper,
+                &Job2Reducer::new(config.delta, config.min_overlap),
+                partials,
+                config.job,
+            );
+            report.job2 = job2.metrics;
+            job2.output
+        }
+        EdgeProducer::BulkKernel => {
+            // The inverted-index kernel replaces the Job 0/partial/Job 2
+            // chain; Job 1 runs candidates-only (the paper's grouping is
+            // still what classifies items).
+            // `RatingTriple` is `Copy`: build the matrix from a borrow so
+            // the relation is not cloned just because Job 1 consumes it.
+            let matrix = RatingMatrix::from_triples(triples.iter().copied())?;
+            let job1 = run_job(
+                &Job1Mapper,
+                &Job1Reducer::candidates_only(members.clone()),
+                triples,
+                config.job,
+            );
+            report.job1 = job1.metrics;
+            candidates = job1.output;
+            kernel_sim_edges(&matrix, &members, config.delta, config.min_overlap)
+        }
+    };
+    report.sim_edges = sim_edges.len();
 
     // Per-member peer tables, canonicalised (sort by sim desc, id asc;
     // optional kNN truncation) by the same `PeerIndex` path the in-memory
-    // pipeline uses — Job 2's edges are just a precomputed similarity
+    // pipeline uses — the edges are just a precomputed similarity
     // function, so Definition 1 semantics live in exactly one place.
     let mut selector = PeerSelector::new(config.delta)?;
     if let Some(cap) = config.max_peers {
@@ -152,18 +259,16 @@ pub fn mapreduce_group_predictions(
         selector,
         num_users,
         &members,
-        job2.output
-            .into_iter()
-            .map(|SimEdge { member, peer, sim }| {
-                // `from_edges` quietly ignores edges for unlisted users; the
-                // paper's invariant is stronger — Job 2 pairs members only —
-                // so a violation here is a job bug worth failing loudly on.
-                debug_assert!(
-                    members.binary_search(&member).is_ok(),
-                    "Job 2 emitted an edge for non-member {member}"
-                );
-                (member, peer, sim)
-            }),
+        sim_edges.into_iter().map(|SimEdge { member, peer, sim }| {
+            // `from_edges` quietly ignores edges for unlisted users; the
+            // paper's invariant is stronger — both producers pair members
+            // only — so a violation here is a job bug worth failing on.
+            debug_assert!(
+                members.binary_search(&member).is_ok(),
+                "edge producer emitted an edge for non-member {member}"
+            );
+            (member, peer, sim)
+        }),
     );
     let peer_sims: Vec<HashMap<UserId, f64>> = index
         .group_peers_cached(&members)
@@ -310,6 +415,119 @@ mod tests {
         let (a, _) = mapreduce_group_predictions(fixture(), 7, &group, &cfg1).unwrap();
         let (b, _) = mapreduce_group_predictions(fixture(), 7, &group, &cfg4).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bulk_kernel_edges_match_job2_bitwise() {
+        let members = vec![UserId::new(0), UserId::new(1)];
+        let triples = fixture();
+        // Reference: the Job 0 → 1 → 2 chain.
+        let job0 = run_job(
+            &MeansMapper,
+            &MeansReducer,
+            triples.clone(),
+            JobConfig::default(),
+        );
+        let means: HashMap<UserId, f64> = job0.output.into_iter().collect();
+        let job1 = run_job(
+            &Job1Mapper,
+            &Job1Reducer::new(members.clone(), means),
+            triples.clone(),
+            JobConfig::default(),
+        );
+        let partials: Vec<Job1Out> = job1
+            .output
+            .into_iter()
+            .filter(|o| matches!(o, Job1Out::Partial { .. }))
+            .collect();
+        let mut mapreduce = run_job(
+            &Job2Mapper,
+            &Job2Reducer::new(-1.0, 2),
+            partials,
+            JobConfig::default(),
+        )
+        .output;
+        mapreduce.sort_by_key(|e| (e.member, e.peer));
+
+        let matrix = RatingMatrix::from_triples(triples).unwrap();
+        let mut kernel = kernel_sim_edges(&matrix, &members, -1.0, 2);
+        kernel.sort_by_key(|e| (e.member, e.peer));
+
+        assert_eq!(mapreduce.len(), kernel.len());
+        for (a, b) in mapreduce.iter().zip(&kernel) {
+            assert_eq!((a.member, a.peer), (b.member, b.peer));
+            assert_eq!(
+                a.sim.to_bits(),
+                b.sim.to_bits(),
+                "edge ({}, {}) must carry identical bits",
+                a.member,
+                a.peer
+            );
+        }
+    }
+
+    #[test]
+    fn edge_producers_agree_end_to_end() {
+        let group = Group::new(GroupId::new(0), [UserId::new(0), UserId::new(1)]).unwrap();
+        for delta in [-1.0, 0.0, 0.5] {
+            let base = PipelineConfig {
+                delta,
+                ..Default::default()
+            };
+            let bulk = PipelineConfig {
+                edge_producer: EdgeProducer::BulkKernel,
+                ..base
+            };
+            let (a, ra) = mapreduce_group_predictions(fixture(), 7, &group, &base).unwrap();
+            let (b, rb) = mapreduce_group_predictions(fixture(), 7, &group, &bulk).unwrap();
+            assert_eq!(a, b, "delta {delta}: the two producers must agree exactly");
+            assert_eq!(ra.sim_edges, rb.sim_edges);
+            // The kernel path skips Jobs 0 and 2 entirely.
+            assert_eq!(rb.job0.map_input_records, 0);
+            assert_eq!(rb.job2.map_input_records, 0);
+            assert_eq!(rb.job1.map_input_records, ra.job1.map_input_records);
+        }
+    }
+
+    #[test]
+    fn duplicate_pairs_are_rejected_by_both_producers() {
+        let group = Group::new(GroupId::new(0), [UserId::new(0)]).unwrap();
+        let mut dup = fixture();
+        dup.push(triple(2, 2, 1.0)); // (u2, i2) already present
+        for edge_producer in [EdgeProducer::MapReduce, EdgeProducer::BulkKernel] {
+            let cfg = PipelineConfig {
+                edge_producer,
+                ..Default::default()
+            };
+            match mapreduce_group_predictions(dup.clone(), 7, &group, &cfg) {
+                Err(fairrec_types::FairrecError::DuplicateRating { user, item }) => {
+                    assert_eq!(user, UserId::new(2));
+                    assert_eq!(item, ItemId::new(2));
+                }
+                other => panic!("{edge_producer:?}: expected DuplicateRating, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn input_order_does_not_change_results() {
+        // Float sums are order-sensitive in the last ulp; the pipeline
+        // canonicalises the relation up front, so a reversed (or any)
+        // input order must produce identical bits from both producers.
+        let group = Group::new(GroupId::new(0), [UserId::new(0), UserId::new(1)]).unwrap();
+        let mut reversed = fixture();
+        reversed.reverse();
+        for edge_producer in [EdgeProducer::MapReduce, EdgeProducer::BulkKernel] {
+            let cfg = PipelineConfig {
+                delta: -1.0,
+                edge_producer,
+                ..Default::default()
+            };
+            let (sorted, _) = mapreduce_group_predictions(fixture(), 7, &group, &cfg).unwrap();
+            let (shuffled, _) =
+                mapreduce_group_predictions(reversed.clone(), 7, &group, &cfg).unwrap();
+            assert_eq!(sorted, shuffled, "{edge_producer:?}");
+        }
     }
 
     #[test]

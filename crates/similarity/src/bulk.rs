@@ -1,0 +1,351 @@
+//! One-vs-all similarity — the bulk form of `simU`.
+//!
+//! [`UserSimilarity`] answers one pair at a time, which makes a *cold*
+//! Definition-1 fill (every user against every user) an O(U²·d) scan.
+//! [`BulkUserSimilarity`] is the one-vs-all counterpart: given a source
+//! user, produce **every** defined `(candidate, simU)` in one pass. For
+//! measures with sparse structure — Pearson over a rating matrix is the
+//! canonical case — candidates can be generated from the item-major index
+//! (only users who co-rated something can have a defined similarity), so
+//! one pass costs `Σ_{i∈I(u)} |U(i)|` instead of `U·d`.
+//!
+//! The trait carries default per-pair fallbacks, so any measure is
+//! trivially bulk-capable (`impl BulkUserSimilarity for MyMeasure {}`)
+//! and composite measures like `HybridSimilarity` keep working unchanged.
+//! Specialised implementations must obey the **bitwise-equality
+//! contract**: the `(candidate, simU)` set they produce is exactly the
+//! set the per-pair fallback would produce, with bit-for-bit identical
+//! similarity values. `fairrec-similarity/tests/bulk_kernel.rs` pins this
+//! property for the shipped kernels.
+//!
+//! [`SimScratch`] is the reusable workspace a bulk pass accumulates into:
+//! allocate one per worker thread, reuse it across source users, and the
+//! kernels run allocation-free apart from their output.
+
+use crate::UserSimilarity;
+use fairrec_types::UserId;
+
+/// Reusable scratch for one-vs-all kernels: per-candidate accumulator
+/// slots (`mark`/`count`/`num`/`den_u`/`den_v`) plus the list of slots
+/// touched by the current pass. The epoch trick makes `begin` O(1): a
+/// slot is live only when its mark equals the current epoch, so arrays
+/// never need clearing between passes.
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    epoch: u32,
+    mark: Vec<u32>,
+    count: Vec<u32>,
+    num: Vec<f64>,
+    den_u: Vec<f64>,
+    den_v: Vec<f64>,
+    touched: Vec<u32>,
+}
+
+impl SimScratch {
+    /// An empty scratch; it grows to the first kernel's universe size.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a new pass over a universe of `n` candidate slots:
+    /// bumps the epoch (so every slot reads as untouched) and ensures
+    /// capacity. Kernels call this once per source user.
+    pub fn begin(&mut self, n: usize) {
+        if self.mark.len() < n {
+            self.mark.resize(n, 0);
+            self.count.resize(n, 0);
+            self.num.resize(n, 0.0);
+            self.den_u.resize(n, 0.0);
+            self.den_v.resize(n, 0.0);
+        }
+        self.epoch = match self.epoch.checked_add(1) {
+            Some(e) => e,
+            None => {
+                // One clear every 2³² passes keeps the invariant exact.
+                self.mark.fill(0);
+                1
+            }
+        };
+        self.touched.clear();
+    }
+
+    /// Accumulates one co-rating contribution for candidate slot `v`.
+    /// First touch initialises the slot and records it in `touched`.
+    #[inline]
+    pub fn accumulate(&mut self, v: usize, du: f64, dv: f64) {
+        if self.mark[v] != self.epoch {
+            self.mark[v] = self.epoch;
+            self.count[v] = 0;
+            self.num[v] = 0.0;
+            self.den_u[v] = 0.0;
+            self.den_v[v] = 0.0;
+            self.touched.push(v as u32);
+        }
+        self.num[v] += du * dv;
+        self.den_u[v] += du * du;
+        self.den_v[v] += dv * dv;
+        self.count[v] += 1;
+    }
+
+    /// The candidates touched this pass in ascending slot order, each as
+    /// `(slot, count, num, den_u, den_v)`. Kernels call this once after
+    /// accumulation to finish and emit their scores.
+    pub fn sorted_candidates(&mut self) -> impl Iterator<Item = (usize, u32, f64, f64, f64)> + '_ {
+        self.touched.sort_unstable();
+        let Self {
+            touched,
+            count,
+            num,
+            den_u,
+            den_v,
+            ..
+        } = self;
+        touched.iter().map(move |&raw| {
+            let v = raw as usize;
+            (v, count[v], num[v], den_u[v], den_v[v])
+        })
+    }
+}
+
+/// A [`UserSimilarity`] that can answer one-vs-all queries in bulk.
+///
+/// The default method bodies are per-pair fallbacks — correct for every
+/// measure, with the same O(U) cost per source user as a direct scan —
+/// so `impl BulkUserSimilarity for M {}` suffices for measures without
+/// exploitable sparse structure. See the module docs for the
+/// bitwise-equality contract specialised kernels must obey.
+pub trait BulkUserSimilarity: UserSimilarity {
+    /// Appends `(v, simU(u, v))` to `out` for every `v ∈ 0..num_users`
+    /// with a defined similarity, excluding `v == u`, in ascending `v`
+    /// order.
+    fn similarities_from(
+        &self,
+        u: UserId,
+        num_users: u32,
+        scratch: &mut SimScratch,
+        out: &mut Vec<(UserId, f64)>,
+    ) {
+        let _ = scratch;
+        for v in (0..num_users).map(UserId::new) {
+            if v == u {
+                continue;
+            }
+            if let Some(s) = self.similarity(u, v) {
+                out.push((v, s));
+            }
+        }
+    }
+
+    /// Upper-triangle variant of
+    /// [`similarities_from`](Self::similarities_from): only candidates
+    /// with `v > u`. For a [symmetric](Self::is_symmetric) measure one
+    /// such pass per user covers every pair exactly once — the symmetric
+    /// bulk warm of `PeerIndex` builds on this to halve the arithmetic of
+    /// a full cold fill.
+    fn similarities_above(
+        &self,
+        u: UserId,
+        num_users: u32,
+        scratch: &mut SimScratch,
+        out: &mut Vec<(UserId, f64)>,
+    ) {
+        let _ = scratch;
+        let start = u.raw().saturating_add(1);
+        for v in (start..num_users).map(UserId::new) {
+            if let Some(s) = self.similarity(u, v) {
+                out.push((v, s));
+            }
+        }
+    }
+
+    /// Whether `simU(u, v)` is **bitwise** equal to `simU(v, u)` for every
+    /// pair (not merely mathematically symmetric — the float result must
+    /// be the same bits in both directions). Only measures answering
+    /// `true` are eligible for the symmetric bulk warm; the conservative
+    /// default is `false`.
+    fn is_symmetric(&self) -> bool {
+        false
+    }
+}
+
+impl<T: BulkUserSimilarity + ?Sized> BulkUserSimilarity for &T {
+    fn similarities_from(
+        &self,
+        u: UserId,
+        num_users: u32,
+        scratch: &mut SimScratch,
+        out: &mut Vec<(UserId, f64)>,
+    ) {
+        (**self).similarities_from(u, num_users, scratch, out);
+    }
+
+    fn similarities_above(
+        &self,
+        u: UserId,
+        num_users: u32,
+        scratch: &mut SimScratch,
+        out: &mut Vec<(UserId, f64)>,
+    ) {
+        (**self).similarities_above(u, num_users, scratch, out);
+    }
+
+    fn is_symmetric(&self) -> bool {
+        (**self).is_symmetric()
+    }
+}
+
+impl<T: BulkUserSimilarity + ?Sized> BulkUserSimilarity for Box<T> {
+    fn similarities_from(
+        &self,
+        u: UserId,
+        num_users: u32,
+        scratch: &mut SimScratch,
+        out: &mut Vec<(UserId, f64)>,
+    ) {
+        (**self).similarities_from(u, num_users, scratch, out);
+    }
+
+    fn similarities_above(
+        &self,
+        u: UserId,
+        num_users: u32,
+        scratch: &mut SimScratch,
+        out: &mut Vec<(UserId, f64)>,
+    ) {
+        (**self).similarities_above(u, num_users, scratch, out);
+    }
+
+    fn is_symmetric(&self) -> bool {
+        (**self).is_symmetric()
+    }
+}
+
+impl<T: BulkUserSimilarity + ?Sized> BulkUserSimilarity for std::sync::Arc<T> {
+    fn similarities_from(
+        &self,
+        u: UserId,
+        num_users: u32,
+        scratch: &mut SimScratch,
+        out: &mut Vec<(UserId, f64)>,
+    ) {
+        (**self).similarities_from(u, num_users, scratch, out);
+    }
+
+    fn similarities_above(
+        &self,
+        u: UserId,
+        num_users: u32,
+        scratch: &mut SimScratch,
+        out: &mut Vec<(UserId, f64)>,
+    ) {
+        (**self).similarities_above(u, num_users, scratch, out);
+    }
+
+    fn is_symmetric(&self) -> bool {
+        (**self).is_symmetric()
+    }
+}
+
+/// Forces the per-pair fallback of any measure: forwards
+/// [`UserSimilarity`] but deliberately does **not** forward the bulk
+/// methods, so every bulk entry point degrades to the one-pair-at-a-time
+/// scan. This is the reference implementation the equality proptests and
+/// the `cold_full_warm` benchmark race the kernels against.
+#[derive(Debug, Clone)]
+pub struct PairwiseOnly<S>(S);
+
+impl<S: UserSimilarity> PairwiseOnly<S> {
+    /// Wraps `inner`.
+    pub fn new(inner: S) -> Self {
+        Self(inner)
+    }
+}
+
+impl<S: UserSimilarity> UserSimilarity for PairwiseOnly<S> {
+    fn similarity(&self, u: UserId, v: UserId) -> Option<f64> {
+        self.0.similarity(u, v)
+    }
+
+    fn name(&self) -> &'static str {
+        "pairwise-only"
+    }
+}
+
+impl<S: UserSimilarity> BulkUserSimilarity for PairwiseOnly<S> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// sim(u, v) = 1 / (1 + |u − v|), undefined when either id is odd.
+    struct Toy;
+
+    impl UserSimilarity for Toy {
+        fn similarity(&self, u: UserId, v: UserId) -> Option<f64> {
+            (u.raw().is_multiple_of(2) && v.raw().is_multiple_of(2))
+                .then(|| 1.0 / (1.0 + f64::from(u.raw().abs_diff(v.raw()))))
+        }
+        fn name(&self) -> &'static str {
+            "toy"
+        }
+    }
+
+    impl BulkUserSimilarity for Toy {}
+
+    #[test]
+    fn default_bulk_matches_per_pair_scan() {
+        let mut scratch = SimScratch::new();
+        let mut out = Vec::new();
+        Toy.similarities_from(UserId::new(2), 6, &mut scratch, &mut out);
+        assert_eq!(
+            out,
+            vec![(UserId::new(0), 1.0 / 3.0), (UserId::new(4), 1.0 / 3.0),]
+        );
+    }
+
+    #[test]
+    fn default_above_only_yields_higher_ids() {
+        let mut scratch = SimScratch::new();
+        let mut out = Vec::new();
+        Toy.similarities_above(UserId::new(2), 6, &mut scratch, &mut out);
+        assert_eq!(out, vec![(UserId::new(4), 1.0 / 3.0)]);
+        out.clear();
+        // A source at the top of the universe has no upper candidates.
+        Toy.similarities_above(UserId::new(5), 6, &mut scratch, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn scratch_epochs_isolate_passes() {
+        let mut s = SimScratch::new();
+        s.begin(4);
+        s.accumulate(3, -1.0, 1.0);
+        s.accumulate(1, 1.0, 2.0);
+        s.accumulate(1, 1.0, 2.0);
+        let got: Vec<_> = s.sorted_candidates().collect();
+        assert_eq!(
+            got,
+            vec![(1, 2, 4.0, 2.0, 8.0), (3, 1, -1.0, 1.0, 1.0)],
+            "candidates come out in ascending slot order"
+        );
+        // A new pass sees clean slots without any clearing.
+        s.begin(4);
+        s.accumulate(1, 0.5, 0.5);
+        let got: Vec<_> = s.sorted_candidates().collect();
+        assert_eq!(got, vec![(1, 1, 0.25, 0.25, 0.25)]);
+    }
+
+    #[test]
+    fn pairwise_only_never_specialises() {
+        let wrapped = PairwiseOnly::new(Toy);
+        assert_eq!(
+            wrapped.similarity(UserId::new(0), UserId::new(2)),
+            Toy.similarity(UserId::new(0), UserId::new(2))
+        );
+        assert!(!wrapped.is_symmetric());
+        let (mut scratch, mut a, mut b) = (SimScratch::new(), Vec::new(), Vec::new());
+        wrapped.similarities_from(UserId::new(2), 6, &mut scratch, &mut a);
+        Toy.similarities_from(UserId::new(2), 6, &mut scratch, &mut b);
+        assert_eq!(a, b);
+    }
+}

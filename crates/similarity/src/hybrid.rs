@@ -11,6 +11,7 @@
 //! Pearson lives in `[-1, 1]` while the other measures live in `[0, 1]`;
 //! wrap it in [`Rescale01`] before mixing so the scales are commensurable.
 
+use crate::bulk::{BulkUserSimilarity, SimScratch};
 use crate::UserSimilarity;
 use fairrec_types::UserId;
 
@@ -34,6 +35,45 @@ impl<S: UserSimilarity> UserSimilarity for Rescale01<S> {
 
     fn name(&self) -> &'static str {
         "rescaled-01"
+    }
+}
+
+/// Bulk passes delegate to the inner measure's (possibly specialised)
+/// kernel and apply the same affine map to each emitted similarity — the
+/// exact operation the per-pair path performs, so bitwise equality is
+/// preserved through the wrapper. The map is injective, so symmetry of
+/// the inner measure carries over.
+impl<S: BulkUserSimilarity> BulkUserSimilarity for Rescale01<S> {
+    fn similarities_from(
+        &self,
+        u: UserId,
+        num_users: u32,
+        scratch: &mut SimScratch,
+        out: &mut Vec<(UserId, f64)>,
+    ) {
+        let start = out.len();
+        self.inner.similarities_from(u, num_users, scratch, out);
+        for entry in &mut out[start..] {
+            entry.1 = (entry.1 + 1.0) / 2.0;
+        }
+    }
+
+    fn similarities_above(
+        &self,
+        u: UserId,
+        num_users: u32,
+        scratch: &mut SimScratch,
+        out: &mut Vec<(UserId, f64)>,
+    ) {
+        let start = out.len();
+        self.inner.similarities_above(u, num_users, scratch, out);
+        for entry in &mut out[start..] {
+            entry.1 = (entry.1 + 1.0) / 2.0;
+        }
+    }
+
+    fn is_symmetric(&self) -> bool {
+        self.inner.is_symmetric()
     }
 }
 
@@ -117,6 +157,11 @@ impl UserSimilarity for HybridSimilarity<'_> {
         "hybrid"
     }
 }
+
+/// Bulk queries fall back to the per-pair scan: a weighted mix over
+/// heterogeneous components has no single candidate-generating index,
+/// and renormalisation over the defined subset is inherently per-pair.
+impl BulkUserSimilarity for HybridSimilarity<'_> {}
 
 #[cfg(test)]
 mod tests {

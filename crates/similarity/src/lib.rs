@@ -18,7 +18,12 @@
 //! * [`PeerSelector`] — Definition 1: `P_u = {u′ ∈ U : simU(u, u′) ≥ δ}`,
 //! * [`PeerIndex`] — the cached, thread-safe serving form of Definition 1:
 //!   memoized full peer lists with masked group views and explicit
-//!   invalidation (see its module docs for the contract).
+//!   invalidation (see its module docs for the contract),
+//! * [`BulkUserSimilarity`] — the one-vs-all form of `simU` used for cold
+//!   peer builds: every measure gets a per-pair fallback, and
+//!   [`RatingsSimilarity`] ships an inverted-index Pearson kernel whose
+//!   output is bitwise identical to the per-pair path (see the `bulk`
+//!   and `ratings` module docs).
 //!
 //! A similarity may be *undefined* for a pair (no co-rated items, empty
 //! profiles, no recorded problems); measures return `Option<f64>` and
@@ -27,6 +32,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod bulk;
 pub mod clustering;
 mod hybrid;
 mod peer_index;
@@ -35,6 +41,7 @@ mod profile;
 mod ratings;
 mod semantic;
 
+pub use bulk::{BulkUserSimilarity, PairwiseOnly, SimScratch};
 pub use clustering::{ClusteredPeerSelector, Clustering, KMedoids};
 pub use hybrid::{HybridSimilarity, Rescale01};
 pub use peer_index::PeerIndex;

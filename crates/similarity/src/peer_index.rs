@@ -22,6 +22,24 @@
 //! calls. This is why the cache stores the uncapped list: a capped cache
 //! could not restore the peers a mask frees up.
 //!
+//! ## Cold fills take the bulk kernel
+//!
+//! Computing a cold entry no longer scans the whole universe per pair:
+//! [`full_peers`](PeerIndex::full_peers), [`warm`](PeerIndex::warm) and
+//! [`warm_symmetric`](PeerIndex::warm_symmetric) route through the
+//! measure's [`BulkUserSimilarity`] path — one one-vs-all pass per user,
+//! which for `RatingsSimilarity` is the inverted-index Pearson kernel
+//! (cost proportional to co-rating mass, `Σ_{i∈I(u)} |U(i)|`, instead of
+//! `O(U·d)` per user). Eager warms chunk the users so each parallel task
+//! reuses one [`SimScratch`] across its chunk — and the O(num_users)
+//! scratch arrays are dropped when the warm returns instead of living in
+//! the shared worker pool's thread-locals.
+//! The bulk contract guarantees bitwise-identical similarities, so cached
+//! entries are exactly what the per-pair scan would have produced.
+//! `warm_symmetric` additionally exploits bitwise-symmetric measures: one
+//! upper-triangle pass per user fills **both** endpoints' lists, halving
+//! the arithmetic of a full cold build.
+//!
 //! ## Caching & invalidation contract
 //!
 //! An index is built for one `(measure, selector, universe)` triple. The
@@ -38,11 +56,27 @@
 //! `RwLock` slots, so concurrent readers (batched serving) proceed
 //! without contention and lazy fills block only the slot being computed.
 
+use crate::bulk::{BulkUserSimilarity, SimScratch};
 use crate::peers::{PeerSelector, Peers};
-use crate::UserSimilarity;
 use fairrec_types::{Parallelism, UserId};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+
+/// Chunk size for eager warms: each parallel task computes one chunk of
+/// users with a single [`SimScratch`], so scratch reuse matches worker
+/// granularity while the O(num_users) scratch arrays live only as long
+/// as the warm itself (a persistent per-thread scratch would pin that
+/// memory in the shared worker pool for the process lifetime). Sized
+/// from the *configured* parallelism, not the machine: several chunks
+/// per executing worker keep the pool load-balanced, and a sequential
+/// warm gets one chunk — one scratch — total.
+fn warm_chunk_size(total: usize, parallelism: Parallelism) -> usize {
+    let workers = parallelism.num_workers();
+    if workers <= 1 {
+        return total.max(1);
+    }
+    total.div_ceil(4 * workers).max(1)
+}
 
 /// Memoized Definition-1 peer lists over a fixed user universe
 /// `0..num_users`. See the module docs for the caching contract.
@@ -169,7 +203,11 @@ impl PeerIndex {
 
     /// The memoized full peer list of `user`, computing and caching it on
     /// first access. Users outside the universe get an empty list.
-    pub fn full_peers<S: UserSimilarity + ?Sized>(&self, measure: &S, user: UserId) -> Arc<Peers> {
+    pub fn full_peers<S: BulkUserSimilarity + ?Sized>(
+        &self,
+        measure: &S,
+        user: UserId,
+    ) -> Arc<Peers> {
         let Some(slot) = self.slots.get(user.index()) else {
             return Arc::new(Peers::new());
         };
@@ -195,14 +233,14 @@ impl PeerIndex {
 
     /// Definition 1 for one user: the capped peer list, identical to
     /// `selector.peers_of(measure, user, universe, &[])`.
-    pub fn peers_of<S: UserSimilarity + ?Sized>(&self, measure: &S, user: UserId) -> Peers {
+    pub fn peers_of<S: BulkUserSimilarity + ?Sized>(&self, measure: &S, user: UserId) -> Peers {
         self.selector.view(&self.full_peers(measure, user), &[])
     }
 
     /// Peer lists for every member of `group` with co-members masked —
     /// identical to `selector.peers_for_group(measure, group, universe)`
     /// but served from the cache without recomputation.
-    pub fn group_peers<S: UserSimilarity + ?Sized>(
+    pub fn group_peers<S: BulkUserSimilarity + ?Sized>(
         &self,
         measure: &S,
         group: &[UserId],
@@ -235,10 +273,10 @@ impl PeerIndex {
             .collect()
     }
 
-    /// Eagerly fills every cold slot, fanning the per-user peer scans out
-    /// across the configured parallelism. Returns the number of lists
-    /// computed.
-    pub fn warm<S: UserSimilarity + Sync + ?Sized>(
+    /// Eagerly fills every cold slot, fanning the per-user bulk kernel
+    /// passes out across the configured parallelism (each worker thread
+    /// reuses one kernel scratch). Returns the number of lists computed.
+    pub fn warm<S: BulkUserSimilarity + Sync + ?Sized>(
         &self,
         measure: &S,
         parallelism: Parallelism,
@@ -251,8 +289,23 @@ impl PeerIndex {
         // Same stale-write-back guard as `full_peers`: lists computed
         // before a concurrent invalidation must not repopulate the cache.
         let generation = self.generation();
-        let lists = parallelism.map(cold, |u| (u, Arc::new(self.compute_full(measure, u))));
-        for (user, full) in lists {
+        let chunks: Vec<Vec<UserId>> = cold
+            .chunks(warm_chunk_size(cold.len(), parallelism))
+            .map(<[UserId]>::to_vec)
+            .collect();
+        let lists = parallelism.map(chunks, |chunk| {
+            let mut scratch = SimScratch::new();
+            chunk
+                .into_iter()
+                .map(|u| {
+                    (
+                        u,
+                        Arc::new(self.compute_full_with(measure, u, &mut scratch)),
+                    )
+                })
+                .collect::<Vec<_>>()
+        });
+        for (user, full) in lists.into_iter().flatten() {
             let mut guard = self.slots[user.index()]
                 .write()
                 .expect("peer slot poisoned");
@@ -264,18 +317,101 @@ impl PeerIndex {
         computed
     }
 
-    fn compute_full<S: UserSimilarity + ?Sized>(&self, measure: &S, user: UserId) -> Peers {
-        PeerSelector {
+    /// Symmetric bulk warm: fills a **fully cold** index with one
+    /// upper-triangle kernel pass per user
+    /// ([`similarities_above`](BulkUserSimilarity::similarities_above)),
+    /// then scatters every qualifying edge to both endpoints' lists —
+    /// each pair is evaluated exactly once, halving the arithmetic of
+    /// [`warm`](Self::warm). Only sound for measures whose similarity is
+    /// **bitwise** symmetric, so it falls back to the per-user warm when
+    /// [`is_symmetric`](BulkUserSimilarity::is_symmetric) is `false` or
+    /// when any slot is already cached (a partial triangle cannot be
+    /// restricted to the cold subset). The resulting lists are bitwise
+    /// identical to `warm`'s either way; returns the number of lists
+    /// computed.
+    pub fn warm_symmetric<S: BulkUserSimilarity + Sync + ?Sized>(
+        &self,
+        measure: &S,
+        parallelism: Parallelism,
+    ) -> usize {
+        if !measure.is_symmetric() || self.num_cached() != 0 {
+            return self.warm(measure, parallelism);
+        }
+        let n = self.num_users();
+        let generation = self.generation();
+        let delta = self.selector.delta;
+        // Upper-triangle pass: Definition-1 admission (simU ≥ δ) is
+        // per-pair, so the threshold can be applied per edge here. One
+        // scratch per chunk, dropped when the warm returns.
+        let users: Vec<UserId> = (0..n).map(UserId::new).collect();
+        let chunks: Vec<Vec<UserId>> = users
+            .chunks(warm_chunk_size(users.len(), parallelism))
+            .map(<[UserId]>::to_vec)
+            .collect();
+        // Per user: `(u, upper-triangle edges of u)`.
+        type UserEdges = (UserId, Vec<(UserId, f64)>);
+        let triangle: Vec<Vec<UserEdges>> = parallelism.map(chunks, |chunk| {
+            let mut scratch = SimScratch::new();
+            chunk
+                .into_iter()
+                .map(|u| {
+                    let mut edges = Vec::new();
+                    measure.similarities_above(u, n, &mut scratch, &mut edges);
+                    edges.retain(|&(_, s)| s >= delta);
+                    (u, edges)
+                })
+                .collect::<Vec<_>>()
+        });
+        // Scatter both endpoints, then canonicalize each list. The
+        // canonical order (sim desc, id asc) is a total order over
+        // distinct peer ids, so the scatter order cannot leak into the
+        // final lists.
+        let mut lists: Vec<Peers> = vec![Peers::new(); n as usize];
+        for (u, edges) in triangle.into_iter().flatten() {
+            for (v, s) in edges {
+                lists[u.index()].push((v, s));
+                lists[v.index()].push((u, s));
+            }
+        }
+        let lists = parallelism.map(lists, |mut list| {
+            PeerSelector::canonicalize(&mut list);
+            Arc::new(list)
+        });
+        for (idx, full) in lists.into_iter().enumerate() {
+            let mut guard = self.slots[idx].write().expect("peer slot poisoned");
+            if self.generation() != generation {
+                break;
+            }
+            *guard = Some(full);
+        }
+        n as usize
+    }
+
+    /// One-off form of [`compute_full_with`](Self::compute_full_with)
+    /// for lazy single-user fills: the scratch lives for one kernel
+    /// pass, whose cost dominates the allocation.
+    fn compute_full<S: BulkUserSimilarity + ?Sized>(&self, measure: &S, user: UserId) -> Peers {
+        self.compute_full_with(measure, user, &mut SimScratch::new())
+    }
+
+    fn compute_full_with<S: BulkUserSimilarity + ?Sized>(
+        &self,
+        measure: &S,
+        user: UserId,
+        scratch: &mut SimScratch,
+    ) -> Peers {
+        let uncapped = PeerSelector {
             delta: self.selector.delta,
             max_peers: None,
-        }
-        .peers_of(measure, user, (0..self.num_users()).map(UserId::new), &[])
+        };
+        uncapped.peers_of_bulk(measure, user, self.num_users(), &[], scratch)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::UserSimilarity;
 
     /// Similarity fixed by a dense table; `None` where negative.
     struct Table(Vec<Vec<f64>>);
@@ -287,6 +423,15 @@ mod tests {
         }
         fn name(&self) -> &'static str {
             "table"
+        }
+    }
+
+    /// The test tables are symmetric matrices of shared constants, so
+    /// declaring bitwise symmetry is sound and exercises the symmetric
+    /// warm path.
+    impl BulkUserSimilarity for Table {
+        fn is_symmetric(&self) -> bool {
+            true
         }
     }
 
@@ -348,6 +493,50 @@ mod tests {
         assert_eq!(index.warm(&m, Parallelism::Sequential), 4);
         assert_eq!(index.num_cached(), 5);
         assert_eq!(index.warm(&m, Parallelism::Sequential), 0, "already warm");
+    }
+
+    #[test]
+    fn warm_symmetric_matches_per_user_warm() {
+        let m = table5();
+        let sel = PeerSelector::new(0.3).unwrap();
+        let per_user = PeerIndex::new(sel, 5);
+        per_user.warm(&m, Parallelism::Sequential);
+        let symmetric = PeerIndex::new(sel, 5);
+        assert_eq!(symmetric.warm_symmetric(&m, Parallelism::Sequential), 5);
+        for u in (0..5).map(UserId::new) {
+            assert_eq!(
+                symmetric.cached_full(u).unwrap(),
+                per_user.cached_full(u).unwrap(),
+                "user {u}"
+            );
+        }
+    }
+
+    #[test]
+    fn warm_symmetric_falls_back_on_partial_or_asymmetric() {
+        let m = table5();
+        let sel = PeerSelector::new(0.3).unwrap();
+        let reference = PeerIndex::new(sel, 5);
+        reference.warm(&m, Parallelism::Sequential);
+
+        // Partially warm: the triangle cannot be restricted, so the
+        // per-user path finishes the job — identical lists either way.
+        let partial = PeerIndex::new(sel, 5);
+        let _ = partial.peers_of(&m, UserId::new(2));
+        assert_eq!(partial.warm_symmetric(&m, Parallelism::Sequential), 4);
+        // A measure that does not declare bitwise symmetry never takes
+        // the triangle path.
+        let pairwise = crate::bulk::PairwiseOnly::new(&m);
+        let asymmetric = PeerIndex::new(sel, 5);
+        assert_eq!(
+            asymmetric.warm_symmetric(&pairwise, Parallelism::Sequential),
+            5
+        );
+        for u in (0..5).map(UserId::new) {
+            let want = reference.cached_full(u).unwrap();
+            assert_eq!(partial.cached_full(u).unwrap(), want, "partial, user {u}");
+            assert_eq!(asymmetric.cached_full(u).unwrap(), want, "asym, user {u}");
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! sets, mirroring MapReduce Job 1, which only pairs members with
 //! *non-members*.
 
+use crate::bulk::{BulkUserSimilarity, SimScratch};
 use crate::UserSimilarity;
 use fairrec_types::{FairrecError, Result, UserId};
 
@@ -91,6 +92,52 @@ impl PeerSelector {
                 (
                     member,
                     self.peers_of(measure, member, universe.clone(), group),
+                )
+            })
+            .collect()
+    }
+
+    /// [`peers_of`](Self::peers_of) over the dense universe
+    /// `0..num_users`, served by the measure's one-vs-all bulk path — one
+    /// kernel pass instead of `num_users` per-pair calls. Results are
+    /// **bitwise identical** to `peers_of(measure, u, 0..num_users,
+    /// exclude)`: the bulk contract guarantees identical similarity bits,
+    /// and threshold admission, masking, canonical ordering, and capping
+    /// are applied here exactly as in the per-pair path. `scratch` is the
+    /// reusable kernel workspace (one per worker thread).
+    pub fn peers_of_bulk<S: BulkUserSimilarity + ?Sized>(
+        &self,
+        measure: &S,
+        u: UserId,
+        num_users: u32,
+        exclude: &[UserId],
+        scratch: &mut SimScratch,
+    ) -> Peers {
+        let mut peers: Peers = Vec::new();
+        measure.similarities_from(u, num_users, scratch, &mut peers);
+        peers.retain(|&(v, s)| s >= self.delta && !exclude.contains(&v));
+        Self::canonicalize(&mut peers);
+        if let Some(cap) = self.max_peers {
+            peers.truncate(cap);
+        }
+        peers
+    }
+
+    /// Bulk form of [`peers_for_group`](Self::peers_for_group): one
+    /// kernel pass per member over the dense universe, sharing `scratch`.
+    pub fn peers_for_group_bulk<S: BulkUserSimilarity + ?Sized>(
+        &self,
+        measure: &S,
+        group: &[UserId],
+        num_users: u32,
+        scratch: &mut SimScratch,
+    ) -> Vec<(UserId, Peers)> {
+        group
+            .iter()
+            .map(|&member| {
+                (
+                    member,
+                    self.peers_of_bulk(measure, member, num_users, group, scratch),
                 )
             })
             .collect()
@@ -227,5 +274,34 @@ mod tests {
         let m = Table(vec![vec![1.0]]);
         let sel = PeerSelector::new(0.0).unwrap();
         assert!(sel.peers_of(&m, UserId::new(0), [], &[]).is_empty());
+    }
+
+    impl crate::bulk::BulkUserSimilarity for Table {}
+
+    #[test]
+    fn bulk_entry_points_match_per_pair_paths() {
+        let m = Table(vec![
+            vec![1.0, 0.9, 0.2, 0.9, 0.5],
+            vec![0.9, 1.0, 0.3, 0.4, 0.6],
+            vec![0.2, 0.3, 1.0, 0.8, 0.7],
+            vec![0.9, 0.4, 0.8, 1.0, 0.1],
+            vec![0.5, 0.6, 0.7, 0.1, 1.0],
+        ]);
+        let mut scratch = SimScratch::new();
+        for sel in [
+            PeerSelector::new(0.5).unwrap(),
+            PeerSelector::new(0.0).unwrap().with_max_peers(2),
+        ] {
+            for u in (0..5).map(UserId::new) {
+                let direct = sel.peers_of(&m, u, users(5), &[]);
+                let bulk = sel.peers_of_bulk(&m, u, 5, &[], &mut scratch);
+                assert_eq!(bulk, direct, "user {u}");
+            }
+            let group = [UserId::new(0), UserId::new(3)];
+            assert_eq!(
+                sel.peers_for_group_bulk(&m, &group, 5, &mut scratch),
+                sel.peers_for_group(&m, &group, users(5)),
+            );
+        }
     }
 }

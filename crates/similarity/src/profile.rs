@@ -82,6 +82,11 @@ impl UserSimilarity for ProfileSimilarity {
     }
 }
 
+/// Bulk queries fall back to the per-pair scan: tf-idf cosine has no
+/// candidate-generating index here (and `cosine` is not guaranteed to be
+/// bitwise symmetric, so the symmetric warm stays off).
+impl crate::bulk::BulkUserSimilarity for ProfileSimilarity {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

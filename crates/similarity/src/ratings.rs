@@ -8,11 +8,35 @@
 //! subset, so a user's notion of "above average" is stable across pairs.
 //!
 //! Undefined cases return `None` rather than an arbitrary number:
+//! * users with no ratings at all (including the self-pair: a rating-less
+//!   user has no defined similarity to anyone, themselves included),
 //! * fewer than `min_overlap` co-rated items (default 2 — one shared item
 //!   always correlates perfectly and is pure noise),
 //! * zero variance on the co-rated items for either user (the denominator
 //!   of Equation 2 vanishes).
+//!
+//! ## The inverted-index one-vs-all kernel
+//!
+//! Besides the per-pair entry point, [`RatingsSimilarity`] implements
+//! [`BulkUserSimilarity`] with a sparse kernel that computes `RS(u, ·)`
+//! against **all** users in one pass. Instead of intersecting `I(u)` with
+//! every other user's items (O(U·d) per source user), it walks `u`'s own
+//! ratings and, for each item `i ∈ I(u)`, the item's rater column `U(i)`
+//! from the matrix's CSC view — only users who co-rated something with
+//! `u` are ever touched, so a full one-vs-all pass costs
+//! `Σ_{i∈I(u)} |U(i)|` and a whole cold fill costs the dataset's
+//! *co-rating mass* `Σ_u Σ_{i∈I(u)} |U(i)|` instead of O(U²·d).
+//!
+//! **Bitwise-equality contract:** the outer loop visits `I(u)` in
+//! ascending item order — exactly the order of the
+//! [`co_ratings`](fairrec_types::RatingMatrix::co_ratings) merge-join the
+//! per-pair path sums over — so each candidate's `(n, num, den_u, den_v)`
+//! accumulators see the same contributions in the same order, and the
+//! finished correlations are bit-for-bit identical to
+//! [`similarity`](UserSimilarity::similarity). The proptests in
+//! `tests/bulk_kernel.rs` pin this.
 
+use crate::bulk::{BulkUserSimilarity, SimScratch};
 use crate::UserSimilarity;
 use fairrec_types::{RatingMatrix, UserId};
 use std::borrow::Borrow;
@@ -51,16 +75,83 @@ impl<M: Borrow<RatingMatrix>> RatingsSimilarity<M> {
     pub fn matrix(&self) -> &RatingMatrix {
         self.matrix.borrow()
     }
+
+    /// The minimum number of co-rated items for a defined correlation.
+    pub fn min_overlap(&self) -> usize {
+        self.min_overlap
+    }
+
+    /// The one-vs-all kernel behind both [`BulkUserSimilarity`] methods.
+    /// When `above_only` is set, candidates `v ≤ u` are skipped by
+    /// starting each rater-column scan past `u` (the columns are sorted
+    /// by user id), which is what halves the arithmetic of a symmetric
+    /// full warm.
+    fn bulk_kernel(
+        &self,
+        u: UserId,
+        num_users: u32,
+        scratch: &mut SimScratch,
+        out: &mut Vec<(UserId, f64)>,
+        above_only: bool,
+    ) {
+        let matrix = self.matrix.borrow();
+        let items = matrix.items_of(u);
+        if items.is_empty() {
+            // No ratings ⇒ µ_u undefined ⇒ per-pair Pearson is None for
+            // every candidate.
+            return;
+        }
+        let means = matrix.user_means();
+        let mu = means[u.index()];
+        scratch.begin(matrix.num_users() as usize);
+        for (&i, &ru) in items.iter().zip(matrix.scores_of(u)) {
+            let du = ru - mu;
+            let raters = matrix.users_of(i);
+            let scores = matrix.rater_scores_of(i);
+            // Columns are sorted by user id: in above-only mode start
+            // past `u`; in full mode only `u` itself needs skipping.
+            let start = if above_only {
+                raters.partition_point(|&v| v <= u)
+            } else {
+                0
+            };
+            for (&v, &rv) in raters[start..].iter().zip(&scores[start..]) {
+                if v == u {
+                    continue;
+                }
+                if v.raw() >= num_users {
+                    // Ascending ids: nothing further is in the universe.
+                    break;
+                }
+                let dv = rv - means[v.index()];
+                scratch.accumulate(v.index(), du, dv);
+            }
+        }
+        let min_overlap = self.min_overlap;
+        out.extend(
+            scratch
+                .sorted_candidates()
+                .filter(|&(_, n, _, den_u, den_v)| {
+                    (n as usize) >= min_overlap && den_u != 0.0 && den_v != 0.0
+                })
+                .map(|(slot, _, num, den_u, den_v)| {
+                    let sim = (num / (den_u.sqrt() * den_v.sqrt())).clamp(-1.0, 1.0);
+                    (UserId::new(slot as u32), sim)
+                }),
+        );
+    }
 }
 
 impl<M: Borrow<RatingMatrix>> UserSimilarity for RatingsSimilarity<M> {
     fn similarity(&self, u: UserId, v: UserId) -> Option<f64> {
-        if u == v {
-            // Self-similarity is trivially 1 but never useful: peers
-            // exclude the user anyway.
-            return Some(1.0);
-        }
         let matrix = self.matrix.borrow();
+        if u == v {
+            // Self-similarity is trivially 1 — but only for users that
+            // exist in the rating relation. A rating-less user has no
+            // defined similarity to anyone, themselves included (the
+            // short-circuit used to run before this existence check).
+            return matrix.user_mean(u).map(|_| 1.0);
+        }
         let (mu, mv) = (matrix.user_mean(u)?, matrix.user_mean(v)?);
         let mut n = 0usize;
         let (mut num, mut den_u, mut den_v) = (0.0f64, 0.0f64, 0.0f64);
@@ -80,6 +171,34 @@ impl<M: Borrow<RatingMatrix>> UserSimilarity for RatingsSimilarity<M> {
 
     fn name(&self) -> &'static str {
         "ratings-pearson"
+    }
+}
+
+impl<M: Borrow<RatingMatrix>> BulkUserSimilarity for RatingsSimilarity<M> {
+    fn similarities_from(
+        &self,
+        u: UserId,
+        num_users: u32,
+        scratch: &mut SimScratch,
+        out: &mut Vec<(UserId, f64)>,
+    ) {
+        self.bulk_kernel(u, num_users, scratch, out, false);
+    }
+
+    fn similarities_above(
+        &self,
+        u: UserId,
+        num_users: u32,
+        scratch: &mut SimScratch,
+        out: &mut Vec<(UserId, f64)>,
+    ) {
+        self.bulk_kernel(u, num_users, scratch, out, true);
+    }
+
+    /// Pearson is bitwise symmetric: swapping the users swaps the factors
+    /// of every product in Equation 2, and IEEE multiplication commutes.
+    fn is_symmetric(&self) -> bool {
+        true
     }
 }
 
@@ -212,6 +331,104 @@ mod tests {
         let m = matrix(&[(0, 0, 4.0)]);
         let s = RatingsSimilarity::new(&m);
         assert_eq!(s.similarity(UserId::new(0), UserId::new(0)), Some(1.0));
+    }
+
+    #[test]
+    fn self_similarity_of_rating_less_users_is_undefined() {
+        // Regression: the self-pair short-circuit used to answer 1.0
+        // before checking the user exists in the rating relation.
+        let mut b = fairrec_types::RatingMatrixBuilder::new().reserve_ids(3, 1);
+        b.add_raw(UserId::new(0), ItemId::new(0), 4.0).unwrap();
+        let m = b.build().unwrap();
+        let s = RatingsSimilarity::new(&m);
+        // u1 is in the universe but never rated anything; u7 is out of
+        // the universe entirely. Neither has a defined self-similarity.
+        assert_eq!(s.similarity(UserId::new(1), UserId::new(1)), None);
+        assert_eq!(s.similarity(UserId::new(7), UserId::new(7)), None);
+        assert_eq!(s.similarity(UserId::new(0), UserId::new(0)), Some(1.0));
+    }
+
+    fn bulk_from(s: &RatingsSimilarity<&RatingMatrix>, u: u32, n: u32) -> Vec<(UserId, f64)> {
+        let mut scratch = SimScratch::new();
+        let mut out = Vec::new();
+        s.similarities_from(UserId::new(u), n, &mut scratch, &mut out);
+        out
+    }
+
+    #[test]
+    fn bulk_kernel_matches_per_pair_bitwise() {
+        let m = matrix(&[
+            (0, 0, 4.0),
+            (0, 1, 2.0),
+            (0, 2, 5.0),
+            (0, 3, 1.0),
+            (1, 0, 5.0),
+            (1, 1, 1.0),
+            (1, 2, 4.0),
+            (1, 4, 2.0),
+            (2, 0, 3.0),
+            (2, 1, 3.0),
+            (3, 5, 2.0), // no overlap with u0
+        ]);
+        let s = RatingsSimilarity::new(&m);
+        let bulk = bulk_from(&s, 0, m.num_users());
+        let per_pair: Vec<(UserId, f64)> = (0..m.num_users())
+            .map(UserId::new)
+            .filter(|&v| v != UserId::new(0))
+            .filter_map(|v| s.similarity(UserId::new(0), v).map(|x| (v, x)))
+            .collect();
+        assert_eq!(bulk.len(), per_pair.len());
+        for (b, p) in bulk.iter().zip(&per_pair) {
+            assert_eq!(b.0, p.0);
+            assert_eq!(b.1.to_bits(), p.1.to_bits(), "candidate {}", b.0);
+        }
+        // u2 co-rates two items but with zero variance; u3 has no
+        // overlap — neither may appear.
+        assert!(bulk.iter().all(|&(v, _)| v == UserId::new(1)));
+    }
+
+    #[test]
+    fn bulk_kernel_respects_min_overlap_and_universe() {
+        let m = matrix(&[
+            (0, 0, 4.0),
+            (0, 1, 2.0),
+            (1, 0, 5.0),
+            (1, 1, 3.0),
+            (2, 0, 1.0),
+            (2, 5, 3.0), // off-overlap rating so u2's deviation is nonzero
+        ]);
+        // min_overlap 1 admits the single-item candidate u2.
+        let loose = RatingsSimilarity::new(&m).with_min_overlap(1);
+        assert_eq!(bulk_from(&loose, 0, m.num_users()).len(), 2);
+        let strict = RatingsSimilarity::new(&m).with_min_overlap(2);
+        assert_eq!(bulk_from(&strict, 0, m.num_users()).len(), 1);
+        // A truncated universe drops candidates past it.
+        assert!(bulk_from(&loose, 0, 1).is_empty());
+        // A rating-less source yields nothing.
+        assert!(bulk_from(&loose, 99, m.num_users()).is_empty());
+    }
+
+    #[test]
+    fn above_only_kernel_is_the_upper_triangle() {
+        let m = matrix(&[
+            (0, 0, 4.0),
+            (0, 1, 2.0),
+            (1, 0, 5.0),
+            (1, 1, 3.0),
+            (2, 0, 1.0),
+            (2, 1, 4.0),
+        ]);
+        let s = RatingsSimilarity::new(&m);
+        let mut scratch = SimScratch::new();
+        let mut above = Vec::new();
+        s.similarities_above(UserId::new(1), m.num_users(), &mut scratch, &mut above);
+        let full = bulk_from(&s, 1, m.num_users());
+        let expected: Vec<(UserId, f64)> = full
+            .into_iter()
+            .filter(|&(v, _)| v > UserId::new(1))
+            .collect();
+        assert_eq!(above, expected);
+        assert!(above.iter().all(|&(v, _)| v == UserId::new(2)));
     }
 }
 

@@ -84,6 +84,16 @@ impl<P: Borrow<PhrStore>, O: Borrow<Ontology>> UserSimilarity for SemanticSimila
     }
 }
 
+/// Bulk queries fall back to the per-pair scan. Note Equation 4 is
+/// mathematically symmetric but the harmonic sum runs in row-major pair
+/// order, which swaps with the arguments — so the measure does **not**
+/// declare [`is_symmetric`](crate::BulkUserSimilarity::is_symmetric) and
+/// never takes the bitwise symmetric warm path.
+impl<P: Borrow<PhrStore>, O: Borrow<Ontology>> crate::bulk::BulkUserSimilarity
+    for SemanticSimilarity<P, O>
+{
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

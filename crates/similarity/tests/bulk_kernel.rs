@@ -1,0 +1,165 @@
+//! Property tests for the bitwise-equality contract of the inverted-index
+//! Pearson kernel: on random rating matrices, every bulk entry point must
+//! produce exactly the bits of the per-pair reference —
+//!
+//! * `peers_of_bulk` vs the all-pairs `peers_of` scan, across thresholds,
+//!   `min_overlap` settings, and peer caps;
+//! * group views with co-member masking;
+//! * `PeerIndex::warm` (bulk kernel) vs a warm over the forced per-pair
+//!   fallback ([`PairwiseOnly`]);
+//! * the symmetric bulk warm (`warm_symmetric`, one upper-triangle pass
+//!   per user filling both endpoints) vs the per-user warm.
+
+use fairrec_similarity::{
+    PairwiseOnly, PeerIndex, PeerSelector, RatingsSimilarity, SimScratch, UserSimilarity,
+};
+use fairrec_types::{ItemId, Parallelism, RatingMatrix, RatingMatrixBuilder, UserId};
+use proptest::prelude::*;
+
+const MAX_USERS: u32 = 24;
+
+/// Random sparse rating relations: up to 24 users × 30 items, half-star
+/// scores, with some users left entirely rating-less (the id space is
+/// padded) so undefined-similarity cases stay represented.
+fn arb_matrix() -> impl Strategy<Value = RatingMatrix> {
+    proptest::collection::btree_map((0u32..MAX_USERS, 0u32..30), 1.0f64..=5.0, 0..260).prop_map(
+        |cells| {
+            let mut b = RatingMatrixBuilder::new().reserve_ids(MAX_USERS, 30);
+            for ((u, i), s) in cells {
+                let s = (s * 2.0).round() / 2.0;
+                b.add_raw(UserId::new(u), ItemId::new(i), s).unwrap();
+            }
+            b.build().unwrap()
+        },
+    )
+}
+
+fn selector(delta: f64, cap: Option<usize>) -> PeerSelector {
+    let mut sel = PeerSelector::new(delta).unwrap();
+    if let Some(cap) = cap {
+        sel = sel.with_max_peers(cap);
+    }
+    sel
+}
+
+/// Peer lists as `(id, bits)` so equality is checked bit-for-bit, not
+/// merely numerically.
+fn bits(peers: &[(UserId, f64)]) -> Vec<(u32, u64)> {
+    peers.iter().map(|&(v, s)| (v.raw(), s.to_bits())).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The kernel-backed `peers_of_bulk` equals the all-pairs scan for
+    /// every user, across δ, `min_overlap`, and cap settings.
+    #[test]
+    fn bulk_peers_equal_pairwise_peers_bitwise(
+        m in arb_matrix(),
+        delta in -1.0f64..0.9,
+        min_overlap in 1usize..4,
+        cap in proptest::option::of(1usize..6),
+    ) {
+        let measure = RatingsSimilarity::new(&m).with_min_overlap(min_overlap);
+        let sel = selector(delta, cap);
+        let n = m.num_users();
+        let mut scratch = SimScratch::new();
+        for u in (0..n).map(UserId::new) {
+            let pairwise = sel.peers_of(&measure, u, (0..n).map(UserId::new), &[]);
+            let bulk = sel.peers_of_bulk(&measure, u, n, &[], &mut scratch);
+            prop_assert_eq!(bits(&bulk), bits(&pairwise), "user {}", u);
+        }
+    }
+
+    /// Group views (co-member masking + capping on the masked list) are
+    /// bitwise identical between the bulk and per-pair paths.
+    #[test]
+    fn bulk_group_views_equal_pairwise_bitwise(
+        m in arb_matrix(),
+        delta in -1.0f64..0.9,
+        cap in proptest::option::of(1usize..6),
+        picks in proptest::collection::vec(0u32..MAX_USERS, 1..5),
+    ) {
+        let measure = RatingsSimilarity::new(&m);
+        let sel = selector(delta, cap);
+        let n = m.num_users();
+        let mut group: Vec<UserId> = picks.into_iter().map(UserId::new).collect();
+        group.sort_unstable();
+        group.dedup();
+        let pairwise = sel.peers_for_group(&measure, &group, (0..n).map(UserId::new));
+        let mut scratch = SimScratch::new();
+        let bulk = sel.peers_for_group_bulk(&measure, &group, n, &mut scratch);
+        prop_assert_eq!(bulk.len(), pairwise.len());
+        for ((bu, bp), (pu, pp)) in bulk.iter().zip(&pairwise) {
+            prop_assert_eq!(bu, pu);
+            prop_assert_eq!(bits(bp), bits(pp), "member {}", bu);
+        }
+    }
+
+    /// A `PeerIndex` warmed through the kernel holds exactly the lists a
+    /// warm over the forced per-pair fallback produces.
+    #[test]
+    fn kernel_warm_equals_pairwise_warm(
+        m in arb_matrix(),
+        delta in -1.0f64..0.9,
+        min_overlap in 1usize..4,
+    ) {
+        let measure = RatingsSimilarity::new(&m).with_min_overlap(min_overlap);
+        let sel = selector(delta, None);
+        let n = m.num_users();
+        let kernel_index = PeerIndex::new(sel, n);
+        kernel_index.warm(&measure, Parallelism::Sequential);
+        let pairwise_index = PeerIndex::new(sel, n);
+        pairwise_index.warm(&PairwiseOnly::new(&measure), Parallelism::Sequential);
+        for u in (0..n).map(UserId::new) {
+            prop_assert_eq!(
+                bits(&kernel_index.cached_full(u).unwrap()),
+                bits(&pairwise_index.cached_full(u).unwrap()),
+                "user {}", u
+            );
+        }
+    }
+
+    /// The symmetric bulk warm (one upper-triangle pass per user, both
+    /// endpoints filled per edge) equals the per-user warm, including
+    /// under parallel execution.
+    #[test]
+    fn symmetric_warm_equals_per_user_warm(
+        m in arb_matrix(),
+        delta in -1.0f64..0.9,
+        min_overlap in 1usize..4,
+    ) {
+        let measure = RatingsSimilarity::new(&m).with_min_overlap(min_overlap);
+        prop_assert!(fairrec_similarity::BulkUserSimilarity::is_symmetric(&measure));
+        let sel = selector(delta, None);
+        let n = m.num_users();
+        let per_user = PeerIndex::new(sel, n);
+        per_user.warm(&measure, Parallelism::Sequential);
+        for parallelism in [Parallelism::Sequential, Parallelism::Threads(4)] {
+            let symmetric = PeerIndex::new(sel, n);
+            prop_assert_eq!(symmetric.warm_symmetric(&measure, parallelism), n as usize);
+            for u in (0..n).map(UserId::new) {
+                prop_assert_eq!(
+                    bits(&symmetric.cached_full(u).unwrap()),
+                    bits(&per_user.cached_full(u).unwrap()),
+                    "user {} under {:?}", u, parallelism
+                );
+            }
+        }
+    }
+
+    /// Pairwise Pearson really is bitwise symmetric — the property the
+    /// symmetric warm's soundness rests on.
+    #[test]
+    fn pearson_is_bitwise_symmetric(
+        m in arb_matrix(),
+        a in 0u32..MAX_USERS,
+        b in 0u32..MAX_USERS,
+    ) {
+        let measure = RatingsSimilarity::new(&m);
+        let (ua, ub) = (UserId::new(a), UserId::new(b));
+        let ab = measure.similarity(ua, ub).map(f64::to_bits);
+        let ba = measure.similarity(ub, ua).map(f64::to_bits);
+        prop_assert_eq!(ab, ba);
+    }
+}

@@ -2,7 +2,7 @@
 //! identical to direct [`PeerSelector`] calls — single-user views, group
 //! views with co-member masking, under caps and thresholds, warm or cold.
 
-use fairrec_similarity::{PeerIndex, PeerSelector, UserSimilarity};
+use fairrec_similarity::{BulkUserSimilarity, PeerIndex, PeerSelector, UserSimilarity};
 use fairrec_types::{Parallelism, UserId};
 use proptest::prelude::*;
 
@@ -25,6 +25,16 @@ impl UserSimilarity for Table {
     }
     fn name(&self) -> &'static str {
         "random-table"
+    }
+}
+
+/// The table is symmetrised by construction (both directions read the
+/// same cell), so declaring bitwise symmetry is sound — it routes the
+/// `warm_parallel_equals_lazy_sequential` case through the symmetric
+/// bulk warm as well.
+impl BulkUserSimilarity for Table {
+    fn is_symmetric(&self) -> bool {
+        true
     }
 }
 

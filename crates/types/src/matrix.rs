@@ -159,11 +159,16 @@ impl RatingMatrixBuilder {
             cursor[i.index()] += 1;
         }
 
-        // Cached per-user means (µ_u of Equation 2). 0 ratings ⇒ NaN slot,
+        // Cached per-user means (µ_u of Equation 2) and degrees (|I(u)|).
+        // Both are hot inputs of the bulk similarity kernel, so they are
+        // frozen into contiguous arrays here rather than recomputed (or
+        // re-derived from offsets) per pair. 0 ratings ⇒ NaN mean slot,
         // surfaced as None by `user_mean`.
         let mut user_means = vec![f64::NAN; n_users as usize];
+        let mut user_degrees = vec![0u32; n_users as usize];
         for u in 0..n_users as usize {
             let (lo, hi) = (user_offsets[u] as usize, user_offsets[u + 1] as usize);
+            user_degrees[u] = (hi - lo) as u32;
             if hi > lo {
                 let sum: f64 = user_scores[lo..hi].iter().sum();
                 user_means[u] = sum / (hi - lo) as f64;
@@ -180,6 +185,7 @@ impl RatingMatrixBuilder {
             item_users,
             item_scores,
             user_means,
+            user_degrees,
         })
     }
 }
@@ -196,6 +202,7 @@ pub struct RatingMatrix {
     item_users: Vec<UserId>,
     item_scores: Vec<f64>,
     user_means: Vec<f64>,
+    user_degrees: Vec<u32>,
 }
 
 impl RatingMatrix {
@@ -271,6 +278,14 @@ impl RatingMatrix {
             .zip(self.item_scores[lo..hi].iter().copied())
     }
 
+    /// Scores parallel to [`users_of`](Self::users_of) — the slice form of
+    /// [`raters_of`](Self::raters_of), for kernels that need random access
+    /// (e.g. starting a scan mid-column via `partition_point`).
+    pub fn rater_scores_of(&self, i: ItemId) -> &[f64] {
+        let (lo, hi) = self.item_range(i);
+        &self.item_scores[lo..hi]
+    }
+
     /// Looks up `rating(u, i)`, if present (binary search in `I(u)`).
     pub fn rating(&self, u: UserId, i: ItemId) -> Option<f64> {
         let (lo, hi) = self.user_range(u);
@@ -285,8 +300,10 @@ impl RatingMatrix {
 
     /// Number of ratings by `u`.
     pub fn degree_of(&self, u: UserId) -> usize {
-        let (lo, hi) = self.user_range(u);
-        hi - lo
+        if u.raw() >= self.n_users {
+            return 0;
+        }
+        self.user_degrees[u.index()] as usize
     }
 
     /// Mean rating `µ_u` of Equation 2, or `None` for rating-less users.
@@ -296,6 +313,23 @@ impl RatingMatrix {
         }
         let m = self.user_means[u.index()];
         (!m.is_nan()).then_some(m)
+    }
+
+    /// The per-user mean array (µ_u), precomputed at
+    /// [`build`](RatingMatrixBuilder::build) time, indexed by raw user id;
+    /// rating-less users hold `NaN`. This is the raw form behind
+    /// [`user_mean`](Self::user_mean), exposed so per-pair and bulk
+    /// similarity kernels can read means with one bounds-free slice access
+    /// instead of an `Option` round-trip per pair.
+    pub fn user_means(&self) -> &[f64] {
+        &self.user_means
+    }
+
+    /// The per-user degree array (`|I(u)|`), precomputed at build time and
+    /// indexed by raw user id — capacity hints and work-size estimates for
+    /// bulk kernels without re-deriving sizes from the offset array.
+    pub fn user_degrees(&self) -> &[u32] {
+        &self.user_degrees
     }
 
     /// Merge-join over the co-rated items of `u` and `v`, yielding
@@ -352,9 +386,7 @@ impl RatingMatrix {
     /// Summary statistics for dataset reporting.
     pub fn stats(&self) -> MatrixStats {
         let nnz = self.num_ratings();
-        let users_with = (0..self.n_users as usize)
-            .filter(|&u| self.user_offsets[u + 1] > self.user_offsets[u])
-            .count();
+        let users_with = self.user_degrees.iter().filter(|&&d| d > 0).count();
         let items_with = (0..self.n_items as usize)
             .filter(|&i| self.item_offsets[i + 1] > self.item_offsets[i])
             .count();
@@ -532,6 +564,19 @@ mod tests {
         assert_eq!(m.user_mean(UserId::new(0)), Some(4.0));
         assert_eq!(m.user_mean(UserId::new(1)), Some(4.0));
         assert_eq!(m.user_mean(UserId::new(2)), None);
+    }
+
+    #[test]
+    fn precomputed_means_and_degrees_are_exposed() {
+        let m = small();
+        assert_eq!(m.user_degrees(), &[2, 1, 0]);
+        let means = m.user_means();
+        assert_eq!(means.len(), 3);
+        assert_eq!(means[0], 4.0);
+        assert_eq!(means[1], 4.0);
+        assert!(means[2].is_nan(), "rating-less user holds a NaN slot");
+        assert_eq!(m.rater_scores_of(ItemId::new(0)), &[5.0, 4.0]);
+        assert!(m.rater_scores_of(ItemId::new(99)).is_empty());
     }
 
     #[test]

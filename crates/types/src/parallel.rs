@@ -47,6 +47,21 @@ impl Parallelism {
         }
     }
 
+    /// The number of workers this mode fans out to: 1 for `Sequential`,
+    /// the pin for `Threads(n)`, and for `Rayon` the width of the
+    /// *ambient* pool (`rayon::current_num_threads()` — the installed
+    /// pool when called inside `install`, machine parallelism
+    /// otherwise). Callers sizing work chunks (granularity, scratch
+    /// allocation) should derive it from here so chunking matches the
+    /// pool that actually executes the map.
+    pub fn num_workers(self) -> usize {
+        match self {
+            Self::Sequential => 1,
+            Self::Rayon => rayon::current_num_threads().max(1),
+            Self::Threads(n) => n.max(1),
+        }
+    }
+
     /// Maps every element of `items` through `f`, preserving input order
     /// in the output. The workhorse all pipeline stages share.
     pub fn map<T, R, F>(self, items: Vec<T>, f: F) -> Vec<R>
@@ -128,6 +143,15 @@ mod tests {
     fn map_indexed_covers_the_range() {
         let got = Parallelism::Threads(3).map_indexed(7, |i| i * i);
         assert_eq!(got, vec![0, 1, 4, 9, 16, 25, 36]);
+    }
+
+    #[test]
+    fn num_workers_reflects_the_mode() {
+        assert_eq!(Parallelism::Sequential.num_workers(), 1);
+        assert_eq!(Parallelism::Threads(1).num_workers(), 1);
+        assert_eq!(Parallelism::Threads(6).num_workers(), 6);
+        assert_eq!(Parallelism::Threads(0).num_workers(), 1, "0 clamps to 1");
+        assert!(Parallelism::Rayon.num_workers() >= 1);
     }
 
     #[test]

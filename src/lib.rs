@@ -41,7 +41,7 @@
 //! | [`ontology`] | `fairrec-ontology` | clinical is-a tree, path queries |
 //! | [`phr`] | `fairrec-phr` | patient profiles and store |
 //! | [`text`] | `fairrec-text` | tokenizer, tf-idf, cosine |
-//! | [`similarity`] | `fairrec-similarity` | RS / CS / SS measures, peers, `PeerIndex` |
+//! | [`similarity`] | `fairrec-similarity` | RS / CS / SS measures, peers, `PeerIndex`, bulk kernel |
 //! | [`core`] | `fairrec-core` | relevance, aggregation, fairness, Algorithm 1, brute force |
 //! | [`mapreduce`] | `fairrec-mapreduce` | engine + Jobs 0–3 + top-k |
 //! | [`search`] | `fairrec-search` | curated document search (BM25) |
@@ -72,6 +72,15 @@
 //!   edges through the same index (`PeerIndex::from_edges`), so
 //!   Definition 1 semantics — canonical ordering, group masking, peer
 //!   caps — live in exactly one place.
+//! * **Cold fills take the bulk kernel.** Peer-list computation routes
+//!   through [`BulkUserSimilarity`](similarity::BulkUserSimilarity), the
+//!   one-vs-all form of `simU`: `RatingsSimilarity` generates candidates
+//!   from the matrix's item-major (CSC) view — only co-raters can be
+//!   peers — so a full cold warm costs the dataset's co-rating mass
+//!   instead of O(U²·d), and `PeerIndex::warm_symmetric` fills both
+//!   endpoints of every pair from one upper-triangle pass per user.
+//!   The kernel is bitwise identical to the per-pair path (same
+//!   merge-join accumulation order), pinned by proptests.
 //! * **Caching contract.** The index memoizes each user's *full*
 //!   (uncapped, unmasked) peer list; request-time views mask co-members
 //!   and truncate to `max_peers`, which is provably equivalent to
@@ -115,8 +124,8 @@ pub mod prelude {
     pub use fairrec_ontology::{Ontology, PathScoring};
     pub use fairrec_phr::{Gender, PatientProfile, PhrStore};
     pub use fairrec_similarity::{
-        PeerIndex, PeerSelector, ProfileSimilarity, RatingsSimilarity, SemanticSimilarity,
-        UserSimilarity,
+        BulkUserSimilarity, PairwiseOnly, PeerIndex, PeerSelector, ProfileSimilarity,
+        RatingsSimilarity, SemanticSimilarity, SimScratch, UserSimilarity,
     };
     pub use fairrec_types::{
         FairrecError, GroupId, ItemId, Parallelism, Rating, RatingMatrix, RatingMatrixBuilder,

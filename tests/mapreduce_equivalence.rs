@@ -5,7 +5,7 @@
 use fairrec::core::aggregate::{Aggregation, MissingPolicy};
 use fairrec::core::predictions::{compute_group_predictions, GroupPredictionConfig};
 use fairrec::core::Group;
-use fairrec::mapreduce::{mapreduce_group_predictions, JobConfig, PipelineConfig};
+use fairrec::mapreduce::{mapreduce_group_predictions, EdgeProducer, JobConfig, PipelineConfig};
 use fairrec::prelude::*;
 use fairrec::types::Parallelism;
 
@@ -59,26 +59,33 @@ fn compare(
     )
     .unwrap();
 
-    let (pipeline, report) = mapreduce_group_predictions(
-        data.matrix.to_triples(),
-        data.matrix.num_items(),
-        &group,
-        &PipelineConfig {
-            delta,
-            min_overlap: 2,
-            max_peers,
-            aggregation,
-            missing,
-            job,
-        },
-    )
-    .unwrap();
+    // Both edge producers — the paper's Job 0→1→2 chain and the
+    // inverted-index bulk kernel — must reproduce the in-memory
+    // reference exactly.
+    for edge_producer in [EdgeProducer::MapReduce, EdgeProducer::BulkKernel] {
+        let (pipeline, report) = mapreduce_group_predictions(
+            data.matrix.to_triples(),
+            data.matrix.num_items(),
+            &group,
+            &PipelineConfig {
+                delta,
+                min_overlap: 2,
+                max_peers,
+                aggregation,
+                missing,
+                job,
+                edge_producer,
+            },
+        )
+        .unwrap();
 
-    assert_eq!(
-        reference, pipeline,
-        "mismatch at δ={delta}, cap={max_peers:?}, {aggregation:?}, {missing:?}"
-    );
-    assert!(report.job1.map_input_records == data.matrix.num_ratings());
+        assert_eq!(
+            reference, pipeline,
+            "mismatch at δ={delta}, cap={max_peers:?}, {aggregation:?}, {missing:?}, \
+             {edge_producer:?}"
+        );
+        assert!(report.job1.map_input_records == data.matrix.num_ratings());
+    }
 }
 
 #[test]
