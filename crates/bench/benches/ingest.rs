@@ -1,0 +1,164 @@
+//! Incremental ingestion benchmarks: `warm_then_ingest` measures what a
+//! single live rating costs against a warm 2k-user `PeerIndex` when the
+//! cache is repaired with the delta path (`RatingMatrix` point mutation +
+//! `PeerIndex::apply_delta`) instead of being dropped and re-warmed.
+//!
+//! Three benchmarks share the group:
+//! * `full_rewarm_8_threads` — the pre-delta cost of *any* insert: a
+//!   complete symmetric bulk warm from cold (8 threads, the fastest
+//!   blanket path this machine has);
+//! * `delta_update` — one `update_rating` + `apply_delta` cycle on a
+//!   warm index (single-threaded, one kernel pass plus splices);
+//! * `delta_insert_remove_pair` — a true insert followed by its removal,
+//!   each with `apply_delta` (two delta cycles per iteration, leaving
+//!   the matrix unchanged so iterations compose indefinitely).
+//!
+//! `scripts/bench_summary` reads the JSON rows and reports the
+//! per-insert speedup over the full re-warm; CI fails if it drops below
+//! 10× (it is typically orders of magnitude beyond that).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fairrec_data::{SyntheticConfig, SyntheticDataset};
+use fairrec_ontology::snomed::clinical_fragment;
+use fairrec_similarity::{DeltaOutcome, PeerIndex, PeerSelector, RatingsSimilarity};
+use fairrec_types::{ItemId, Parallelism, Rating, RatingMatrix, UserId};
+use std::hint::black_box;
+
+fn fixture(num_users: u32) -> SyntheticDataset {
+    SyntheticDataset::generate(
+        SyntheticConfig {
+            num_users,
+            num_items: num_users * 2,
+            num_communities: 4,
+            ratings_per_user: 40,
+            seed: 23,
+            ..Default::default()
+        },
+        &clinical_fragment(),
+    )
+    .expect("valid config")
+}
+
+/// `(user, item)` pairs with no stored rating, for true inserts.
+fn free_pairs(matrix: &RatingMatrix, count: usize) -> Vec<(UserId, ItemId)> {
+    let mut pairs = Vec::with_capacity(count);
+    let num_items = matrix.num_items();
+    'outer: for step in 0..7u32 {
+        for u in (0..matrix.num_users()).map(UserId::new) {
+            let i = ItemId::new((u.raw() * 13 + step * 101) % num_items);
+            if !matrix.has_rated(u, i) {
+                pairs.push((u, i));
+                if pairs.len() == count {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    pairs
+}
+
+/// `(user, item)` pairs that *are* rated, for score toggles.
+fn rated_pairs(matrix: &RatingMatrix, count: usize) -> Vec<(UserId, ItemId)> {
+    matrix
+        .user_ids()
+        .filter(|&u| matrix.degree_of(u) > 0)
+        .map(|u| (u, matrix.items_of(u)[0]))
+        .take(count)
+        .collect()
+}
+
+fn bench_warm_then_ingest(c: &mut Criterion) {
+    let data = fixture(2000);
+    let selector = PeerSelector::new(0.0).expect("finite");
+    let num_users = data.matrix.num_users();
+
+    // The paths must be interchangeable before they are raced: a short
+    // insert stream maintained by deltas must equal the cold rebuild.
+    {
+        let mut matrix = data.matrix.clone();
+        let index = PeerIndex::new(selector, num_users);
+        index.warm_symmetric(&RatingsSimilarity::new(&matrix), Parallelism::Rayon);
+        for &(u, i) in free_pairs(&matrix, 5).iter() {
+            matrix
+                .insert_rating(u, i, Rating::new(3.0).expect("valid"))
+                .expect("free pair");
+            let measure = RatingsSimilarity::new(&matrix);
+            assert!(matches!(
+                index.apply_delta(&measure, u),
+                DeltaOutcome::Spliced { .. }
+            ));
+        }
+        let cold = PeerIndex::new(selector, num_users);
+        cold.warm_symmetric(&RatingsSimilarity::new(&matrix), Parallelism::Rayon);
+        for u in (0..num_users).step_by(97).map(UserId::new) {
+            assert_eq!(
+                index.cached_full(u),
+                cold.cached_full(u),
+                "delta-maintained and cold-rebuilt lists must be identical"
+            );
+        }
+    }
+
+    let mut bench = c.benchmark_group("warm_then_ingest");
+    bench.sample_size(10);
+
+    // Baseline: what every insert cost before the delta path existed —
+    // a blanket invalidation plus a full symmetric re-warm.
+    bench.bench_function("full_rewarm_8_threads", |b| {
+        let measure = RatingsSimilarity::new(&data.matrix);
+        b.iter(|| {
+            let index = PeerIndex::new(selector, num_users);
+            black_box(index.warm_symmetric(&measure, Parallelism::Threads(8)))
+        })
+    });
+
+    // Steady-state score change: one update_rating + apply_delta cycle.
+    bench.bench_function("delta_update", |b| {
+        let mut matrix = data.matrix.clone();
+        let index = PeerIndex::new(selector, num_users);
+        index.warm_symmetric(&RatingsSimilarity::new(&matrix), Parallelism::Rayon);
+        let targets = rated_pairs(&matrix, 512);
+        let mut cursor = 0usize;
+        b.iter(|| {
+            let (u, i) = targets[cursor % targets.len()];
+            cursor += 1;
+            // Toggle so successive iterations keep changing the score.
+            let old = matrix.rating(u, i).expect("rated pair");
+            let next = if old <= 2.0 { 4.0 } else { 1.0 };
+            matrix
+                .update_rating(u, i, Rating::new(next).expect("valid"))
+                .expect("rated pair");
+            let measure = RatingsSimilarity::new(&matrix);
+            black_box(index.apply_delta(&measure, u))
+        })
+    });
+
+    // True insert: insert + delta, then remove + delta to restore state
+    // (two full delta cycles per iteration — the summary halves it).
+    bench.bench_function("delta_insert_remove_pair", |b| {
+        let mut matrix = data.matrix.clone();
+        let index = PeerIndex::new(selector, num_users);
+        index.warm_symmetric(&RatingsSimilarity::new(&matrix), Parallelism::Rayon);
+        let targets = free_pairs(&matrix, 512);
+        let mut cursor = 0usize;
+        b.iter(|| {
+            let (u, i) = targets[cursor % targets.len()];
+            cursor += 1;
+            matrix
+                .insert_rating(u, i, Rating::new(3.5).expect("valid"))
+                .expect("free pair");
+            {
+                let measure = RatingsSimilarity::new(&matrix);
+                black_box(index.apply_delta(&measure, u));
+            }
+            matrix.remove_rating(u, i).expect("just inserted");
+            let measure = RatingsSimilarity::new(&matrix);
+            black_box(index.apply_delta(&measure, u))
+        })
+    });
+
+    bench.finish();
+}
+
+criterion_group!(benches, bench_warm_then_ingest);
+criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! **A6** — cluster-restricted peer search (the ref. [17] acceleration).
+//! **A6** — cluster-restricted peer search (the ref. \[17\] acceleration).
 //!
 //! Compares full-scan Definition 1 peer selection with k-medoids
 //! cluster-restricted selection: wall-clock per peer query, similarity

@@ -1,5 +1,5 @@
 //! **A9** — m-proportional fairness (the stronger notion from the paper's
-//! ref. [19]) swept over m and z.
+//! ref. \[19\]) swept over m and z.
 //!
 //! For a diverse caregiver group: how much package relevance does it cost
 //! to guarantee every member 1, 2, or 3 of their own top-k items, and how

@@ -15,7 +15,7 @@
 //!    contains at least one of `u`'s top-k items, and
 //!    `value(G, D) = fairness(G, D) · Σ_{i∈D} relevanceG(G, i)`.
 //! 5. **Selection** — [`greedy`] implements Algorithm 1 (the pairwise
-//!    heuristic), [`brute_force`] the exact `argmax_{|D|=z} value(G, D)`
+//!    heuristic), [`brute_force`](brute_force::brute_force) the exact `argmax_{|D|=z} value(G, D)`
 //!    baseline of §VI, and [`swap`] a local-search refinement (extension).
 //!
 //! Single-user top-k recommendation (§III-A's `A_u`) lives in

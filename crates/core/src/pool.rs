@@ -2,7 +2,7 @@
 //!
 //! §VI evaluates the heuristic against the brute force over a pool of `m`
 //! candidate recommendations. [`CandidatePool`] freezes a
-//! [`GroupPredictions`](crate::predictions::GroupPredictions) into that
+//! [`GroupPredictions`] into that
 //! dense form: only items with a **defined group relevance** survive
 //! (items nobody can score cannot be ranked at all), optionally truncated
 //! to the best `m` by group relevance — the natural way a recommender

@@ -1,6 +1,6 @@
 //! m-proportional fairness (extension).
 //!
-//! The paper's fairness notion comes from its ref. [19] (Qi, Mamoulis,
+//! The paper's fairness notion comes from its ref. \[19\] (Qi, Mamoulis,
 //! Pitoura, Tsaparas — *Recommending Packages to Groups*, ICDM 2016),
 //! which defines the stronger **m-proportionality**: a package `D` is
 //! m-proportional for `u` when it contains at least `m` items from `u`'s

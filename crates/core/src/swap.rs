@@ -1,6 +1,6 @@
 //! Local-search refinement (extension).
 //!
-//! The paper points at lower-complexity subset heuristics (its ref. [6],
+//! The paper points at lower-complexity subset heuristics (its ref. \[6\],
 //! p-dispersion heuristics) without exploring them further. This module
 //! implements the classic *swap* improvement on top of any starting
 //! package: repeatedly try replacing one selected item with one unselected

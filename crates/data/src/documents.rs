@@ -102,10 +102,11 @@ const FILLER_WORDS: &[&str] = &[
 pub struct CorpusConfig {
     /// Number of documents.
     pub num_documents: u32,
-    /// Number of topics (documents are assigned round-robin by item id %
-    /// topics, matching [`CommunityModel`](crate::CommunityModel)'s
-    /// round-robin base before shuffling only if you align manually; use
-    /// [`generate_aligned`] for exact alignment).
+    /// Number of topics. Documents are assigned round-robin by item id %
+    /// topics — the same base layout as
+    /// [`CommunityModel`](crate::CommunityModel)'s round-robin assignment
+    /// before shuffling, so topic `t` lines up with community `t` when
+    /// both generators share a community count.
     pub num_topics: u32,
     /// Words per document body.
     pub words_per_document: u32,

@@ -5,9 +5,15 @@
 //! `Arc`, so no per-request rebuilds), and a [`PeerIndex`] is attached
 //! through which every request path — group, single-user, batched —
 //! resolves Definition 1. The index fills lazily on first use and can be
-//! pre-filled with [`RecommenderEngine::warm_peer_index`]; call
-//! [`RecommenderEngine::invalidate_peers`] after mutating the underlying
-//! data (the index docs spell out the contract).
+//! pre-filled with [`RecommenderEngine::warm_peer_index`]. The rating
+//! relation is live: single ratings stream in through
+//! [`RecommenderEngine::ingest_rating`], which patches the matrix in
+//! place and repairs the peer cache incrementally
+//! ([`fairrec_similarity::PeerIndex::apply_delta`]) instead of dropping
+//! it; [`RecommenderEngine::ingest_ratings`] takes the blanket
+//! invalidation path for bulk loads, and
+//! [`RecommenderEngine::invalidate_peers`] remains the manual fallback
+//! (the index docs spell out the full update-path contract).
 
 use crate::config::{EngineConfig, ExecutionPath, SelectionAlgorithm, SimilarityKind};
 use fairrec_core::brute_force::brute_force;
@@ -24,10 +30,13 @@ use fairrec_mapreduce::{mapreduce_group_predictions, PipelineConfig};
 use fairrec_ontology::Ontology;
 use fairrec_phr::PhrStore;
 use fairrec_similarity::{
-    BulkUserSimilarity, HybridSimilarity, PeerIndex, PeerSelector, ProfileSimilarity,
-    RatingsSimilarity, Rescale01, SemanticSimilarity,
+    BulkUserSimilarity, DeltaOutcome, HybridSimilarity, PeerIndex, PeerSelector, ProfileSimilarity,
+    RatingsSimilarity, Rescale01, SemanticSimilarity, UserSimilarity,
 };
-use fairrec_types::{ItemId, Parallelism, RatingMatrix, Result, ScoredItem, UserId};
+use fairrec_types::{
+    FairrecError, ItemId, Parallelism, Rating, RatingMatrix, RatingMatrixBuilder, Result,
+    ScoredItem, UserId,
+};
 use std::sync::Arc;
 
 /// One recommended item with its scores.
@@ -75,6 +84,76 @@ pub struct GroupRecommendation {
     /// Size of the candidate pool the selection ran over (`m`).
     pub pool_size: usize,
 }
+
+/// What [`RecommenderEngine::ingest_rating`] did to the rating relation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IngestOp {
+    /// A new `(user, item)` fact was inserted.
+    Inserted,
+    /// An existing fact's score was replaced.
+    Updated {
+        /// The score that was replaced.
+        previous: f64,
+    },
+}
+
+/// How [`RecommenderEngine::ingest_rating`] kept the peer cache fresh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerMaintenance {
+    /// The exact incremental path ran ([`PeerIndex::apply_delta`]): the
+    /// user's list was recomputed with one kernel pass and `touched`
+    /// warm endpoint lists were spliced in place. Everything else stayed
+    /// warm.
+    DeltaSpliced {
+        /// Warm peer lists (beyond the user's own) patched in place.
+        touched: usize,
+    },
+    /// The index was fully cold — nothing to maintain.
+    IndexCold,
+    /// The insert grew the user id space past the index universe under a
+    /// non-delta-capable backend, so the index was rebuilt (cold) over
+    /// the larger universe — profile/semantic/hybrid similarities can
+    /// score a newly added id against existing users, which stales every
+    /// list computed over the old universe. The `Ratings` backend never
+    /// reports this: it grows the universe in place
+    /// ([`PeerIndex::grow_universe`], warm lists preserved — a user with
+    /// no ratings had no defined pairs) and reports the delta outcome
+    /// instead.
+    UniverseGrown,
+    /// The blanket fallback ran: every cached list was dropped (the
+    /// backend reads ratings but is not delta-capable, e.g. `Hybrid`).
+    InvalidatedAll,
+    /// The configured backend never reads the rating matrix (`Profile`,
+    /// `Semantic`), so every cached list is still exact — untouched.
+    Unaffected,
+}
+
+/// Receipt of one [`RecommenderEngine::ingest_rating`] call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IngestReport {
+    /// What happened to the rating relation.
+    pub op: IngestOp,
+    /// What happened to the cached peer lists.
+    pub peers: PeerMaintenance,
+}
+
+/// Transient backend installed while the matrix is patched: dropping the
+/// real backend releases its `Arc<RatingMatrix>` clone, making the
+/// engine's handle unique so the patch happens in place (no matrix copy).
+/// Never serves a request — the real backend is rebuilt before the
+/// ingest call returns.
+struct DetachedMeasure;
+
+impl UserSimilarity for DetachedMeasure {
+    fn similarity(&self, _: UserId, _: UserId) -> Option<f64> {
+        None
+    }
+    fn name(&self) -> &'static str {
+        "detached"
+    }
+}
+
+impl BulkUserSimilarity for DetachedMeasure {}
 
 /// The engine: owns the dataset, the similarity backend (built once at
 /// construction), and the shared [`PeerIndex`], and serves
@@ -233,10 +312,245 @@ impl RecommenderEngine {
             .warm_symmetric(&self.measure, self.config.parallelism)
     }
 
-    /// Drops every cached peer list. Call after the underlying data
-    /// changes; see the [`PeerIndex`] invalidation contract.
+    /// Drops every cached peer list — the blanket maintenance path for
+    /// bulk data changes; see the [`PeerIndex`] update-path contract.
+    /// Single rating changes should go through
+    /// [`ingest_rating`](Self::ingest_rating) instead, which keeps the
+    /// warm index and repairs only the affected lists.
     pub fn invalidate_peers(&self) {
         self.peer_index.invalidate_all();
+    }
+
+    /// Ingests one live rating — inserting a new `(user, item)` fact or
+    /// updating an existing one — and keeps the peer cache exact without
+    /// a blanket invalidation wherever possible:
+    ///
+    /// * `Ratings` backend — the delta path: the user's pre-change list
+    ///   is materialised (satisfying [`PeerIndex::apply_delta`]'s
+    ///   exactness precondition), the matrix is patched in place, and
+    ///   `apply_delta` splices the refreshed edges into the warm lists.
+    ///   Subsequent requests serve results bitwise identical to a fresh
+    ///   engine built over the final matrix.
+    /// * `Profile` / `Semantic` backends — these never read the rating
+    ///   matrix, so the cache is reported [`PeerMaintenance::Unaffected`]
+    ///   and stays fully warm.
+    /// * `Hybrid` — reads ratings but is not bitwise symmetric, so the
+    ///   blanket invalidation runs.
+    /// * A first rating by a brand-new user: under the `Ratings` backend
+    ///   the index universe grows **in place**
+    ///   ([`PeerIndex::grow_universe`] — warm lists stay valid, since a
+    ///   user with no ratings had no defined pairs) and the ordinary
+    ///   delta runs; other backends that read ratings rebuild the index
+    ///   cold over the grown universe
+    ///   ([`PeerMaintenance::UniverseGrown`]).
+    ///
+    /// For *streams* of single ratings this is the right call per event;
+    /// for large batches prefer [`ingest_ratings`](Self::ingest_ratings)
+    /// — each delta costs one kernel pass, so past roughly the user
+    /// count the blanket invalidate-plus-rewarm is cheaper.
+    ///
+    /// # Errors
+    /// Returns [`fairrec_types::FairrecError::InvalidRating`] for scores
+    /// outside `[1, 5]` and
+    /// [`fairrec_types::FairrecError::InvalidParameter`] for the
+    /// unstorable sentinel id `u32::MAX`. The engine is unchanged on
+    /// error.
+    pub fn ingest_rating(
+        &mut self,
+        user: UserId,
+        item: ItemId,
+        score: f64,
+    ) -> Result<IngestReport> {
+        let rating = Rating::new(score)?;
+        // Guard the sentinel ids *before* any index growth or matrix
+        // mutation: `raw() + 1` sizing cannot represent them, and the
+        // error contract promises an untouched engine.
+        Self::validate_ingest_ids(user, item)?;
+        let is_update = self.matrix.has_rated(user, item);
+        let delta_capable = matches!(self.config.similarity, SimilarityKind::Ratings);
+        // A brand-new rater under the delta-capable backend: grow the
+        // index universe in place *before* the mutation. Every warm list
+        // stays valid (the user has no ratings yet, so no defined pairs
+        // — growing cannot stale anything), and the pre-cache below then
+        // materialises the user's pre-change list as the empty list,
+        // which is exactly what keeps the subsequent delta exact.
+        if delta_capable && user.raw() >= self.peer_index.num_users() {
+            self.peer_index = self.peer_index.grow_universe(user.raw() + 1);
+        }
+        // Exactness precondition of `apply_delta`: the user's pre-change
+        // list must be cached whenever any list is. Materialise it
+        // through the ordinary lazy-fill path while the matrix still
+        // holds pre-change data (a cache hit on a warm index).
+        if delta_capable && self.peer_index.num_cached() > 0 {
+            let _ = self.peer_index.full_peers(&self.measure, user);
+        }
+        let previous = self.patch_matrix(|matrix| {
+            if is_update {
+                matrix.update_rating(user, item, rating).map(Some)
+            } else {
+                matrix.insert_rating(user, item, rating).map(|()| None)
+            }
+        })?;
+        let peers = self.refresh_peers_after(user, delta_capable);
+        Ok(IngestReport {
+            op: match previous {
+                Some(previous) => IngestOp::Updated { previous },
+                None => IngestOp::Inserted,
+            },
+            peers,
+        })
+    }
+
+    /// Batch ingestion: applies every `(user, item, score)` as an insert
+    /// (or update when the pair exists; later duplicates in the batch
+    /// win), then refreshes the peer cache **once** with the blanket
+    /// invalidation instead of per-event deltas — the right trade once a
+    /// batch stops being small, since each delta pays one kernel pass
+    /// while an invalidate-plus-
+    /// [`warm_peer_index`](Self::warm_peer_index) pays roughly one pass
+    /// per user total. The matrix side is amortised too: instead of one
+    /// array-memmove point mutation per entry (O(batch · |R|)), the
+    /// final relation is rebuilt once — O(|R| + batch). Returns the
+    /// number of ratings applied.
+    ///
+    /// # Errors
+    /// All-or-nothing: an invalid score or an unstorable sentinel id
+    /// (`u32::MAX`) rejects the whole batch, and the engine (matrix
+    /// *and* warm peer cache) is left untouched.
+    pub fn ingest_ratings<I>(&mut self, batch: I) -> Result<usize>
+    where
+        I: IntoIterator<Item = (UserId, ItemId, f64)>,
+    {
+        // Validate the whole batch up front so failure cannot leave a
+        // half-applied relation (and a needlessly dropped cache).
+        let staged: Vec<(UserId, ItemId, Rating)> = batch
+            .into_iter()
+            .map(|(user, item, score)| {
+                Self::validate_ingest_ids(user, item)?;
+                Ok((user, item, Rating::new(score)?))
+            })
+            .collect::<Result<_>>()?;
+        if staged.is_empty() {
+            return Ok(0);
+        }
+        let applied = staged.len();
+        self.patch_matrix(|matrix| {
+            let mut relation: std::collections::BTreeMap<(UserId, ItemId), f64> = matrix
+                .to_triples()
+                .into_iter()
+                .map(|t| ((t.user, t.item), t.rating.value()))
+                .collect();
+            let (mut n_users, mut n_items) = (matrix.num_users(), matrix.num_items());
+            for &(user, item, rating) in &staged {
+                relation.insert((user, item), rating.value());
+                n_users = n_users.max(user.raw() + 1);
+                n_items = n_items.max(item.raw() + 1);
+            }
+            // The builder sorts `(user, item)` and sums means in exactly
+            // the order the map iterates, so the rebuilt matrix is
+            // bitwise what per-entry point mutations would have produced.
+            let mut builder =
+                RatingMatrixBuilder::with_capacity(relation.len()).reserve_ids(n_users, n_items);
+            for ((user, item), score) in relation {
+                builder.add_raw(user, item, score)?;
+            }
+            *matrix = builder.build()?;
+            Ok(())
+        })?;
+        if self.matrix.num_users() > self.peer_index.num_users() {
+            self.peer_index = self.peer_index.rebuild_cold(self.matrix.num_users());
+        } else if self.ratings_feed_measure() {
+            self.peer_index.invalidate_all();
+        }
+        Ok(applied)
+    }
+
+    /// Rejects the sentinel ids the `raw() + 1` id-space sizing cannot
+    /// represent (mirrors `RatingMatrix::insert_rating`'s guard, hoisted
+    /// here so index growth never runs first).
+    fn validate_ingest_ids(user: UserId, item: ItemId) -> Result<()> {
+        if user.raw() == u32::MAX {
+            return Err(FairrecError::invalid_parameter(
+                "user",
+                "id u32::MAX would overflow the user id space",
+            ));
+        }
+        if item.raw() == u32::MAX {
+            return Err(FairrecError::invalid_parameter(
+                "item",
+                "id u32::MAX would overflow the item id space",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Whether the configured backend reads the rating matrix at all —
+    /// if not, rating changes cannot stale the peer cache.
+    fn ratings_feed_measure(&self) -> bool {
+        matches!(
+            self.config.similarity,
+            SimilarityKind::Ratings | SimilarityKind::Hybrid { .. }
+        )
+    }
+
+    /// Runs `patch` against the engine's matrix in place. The backend
+    /// holds an `Arc` clone of the matrix, so it is swapped for a
+    /// transient placeholder first (making the engine's handle unique —
+    /// no copy) and rebuilt afterwards; backend construction is cheap
+    /// (`Arc` clones plus configuration). The rebuild runs in a drop
+    /// guard so that a panic inside `patch` cannot leave the placeholder
+    /// installed — an engine caught mid-unwind by a per-request panic
+    /// handler must not silently serve empty peer lists forever after.
+    fn patch_matrix<T>(&mut self, patch: impl FnOnce(&mut RatingMatrix) -> Result<T>) -> Result<T> {
+        struct RestoreMeasure<'a>(&'a mut RecommenderEngine);
+        impl Drop for RestoreMeasure<'_> {
+            fn drop(&mut self) {
+                self.0.measure = RecommenderEngine::build_measure(
+                    &self.0.config,
+                    &self.0.matrix,
+                    &self.0.profiles,
+                    &self.0.ontology,
+                    &self.0.profile_sim,
+                );
+            }
+        }
+        self.measure = Box::new(DetachedMeasure);
+        let guard = RestoreMeasure(self);
+        patch(Arc::make_mut(&mut guard.0.matrix))
+        // `guard` drops here (normally or on unwind), rebuilding the
+        // backend over whatever the matrix now holds.
+    }
+
+    /// Post-mutation peer maintenance for a single-rating change by
+    /// `user` (the matrix already holds the new data).
+    fn refresh_peers_after(&mut self, user: UserId, delta_capable: bool) -> PeerMaintenance {
+        if self.matrix.num_users() > self.peer_index.num_users() {
+            // The id space grew past the index universe under a backend
+            // whose similarities do not derive from the rating relation
+            // alone (the delta-capable path grows in place *before* the
+            // mutation): a newly added id can score against existing
+            // users there, so cached lists over the old universe are
+            // stale — rebuild cold over the larger universe
+            // (generation-preserving, so downstream freshness tokens
+            // stay monotonic).
+            self.peer_index = self.peer_index.rebuild_cold(self.matrix.num_users());
+            return PeerMaintenance::UniverseGrown;
+        }
+        if !self.ratings_feed_measure() {
+            return PeerMaintenance::Unaffected;
+        }
+        if !delta_capable {
+            self.peer_index.invalidate_all();
+            return PeerMaintenance::InvalidatedAll;
+        }
+        match self.peer_index.apply_delta(&self.measure, user) {
+            DeltaOutcome::Spliced { touched } => PeerMaintenance::DeltaSpliced { touched },
+            DeltaOutcome::ColdIndex => PeerMaintenance::IndexCold,
+            // Universe growth is handled above, so the delta user is
+            // always inside the index universe here.
+            DeltaOutcome::OutOfUniverse => PeerMaintenance::IndexCold,
+            DeltaOutcome::InvalidatedAll => PeerMaintenance::InvalidatedAll,
+        }
     }
 
     /// The prediction phase, on the configured execution path.
@@ -618,6 +932,226 @@ mod tests {
             }
             assert!(m.personal_best.is_some());
         }
+    }
+
+    /// Fresh-engine oracle for ingestion tests: an engine built directly
+    /// over `matrix` with the same profiles/ontology/config.
+    fn rebuilt_engine(reference: &RecommenderEngine) -> RecommenderEngine {
+        RecommenderEngine::new(
+            reference.matrix().clone(),
+            reference.profiles().clone(),
+            reference.ontology().clone(),
+            *reference.config(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ingest_stream_matches_fresh_engine_bitwise() {
+        let mut live = engine(EngineConfig::default());
+        live.warm_peer_index();
+        let g = group(&live);
+        // A stream of inserts and one update, touching group members and
+        // outsiders alike.
+        let events = [
+            (UserId::new(0), ItemId::new(140), 4.5),
+            (UserId::new(17), ItemId::new(3), 2.0),
+            (UserId::new(2), ItemId::new(141), 1.5),
+            (UserId::new(17), ItemId::new(3), 5.0), // update
+            (UserId::new(55), ItemId::new(7), 3.0),
+        ];
+        for &(u, i, s) in &events {
+            let report = live.ingest_rating(u, i, s).unwrap();
+            assert!(
+                matches!(
+                    report.peers,
+                    PeerMaintenance::DeltaSpliced { .. } | PeerMaintenance::IndexCold
+                ),
+                "ratings backend must take the delta path, got {report:?}"
+            );
+        }
+        assert_eq!(
+            live.peer_index().num_cached(),
+            live.matrix().num_users() as usize,
+            "the index must stay fully warm through a delta stream"
+        );
+
+        let fresh = rebuilt_engine(&live);
+        fresh.warm_peer_index();
+        for u in (0..live.matrix().num_users()).map(UserId::new) {
+            assert_eq!(
+                live.peer_index().cached_full(u),
+                fresh.peer_index().cached_full(u),
+                "peer list of {u}"
+            );
+        }
+        assert_eq!(
+            live.recommend_for_group(&g, 6).unwrap(),
+            fresh.recommend_for_group(&g, 6).unwrap(),
+            "served packages must be identical to a from-scratch engine"
+        );
+    }
+
+    #[test]
+    fn ingest_reports_ops_and_universe_growth() {
+        let mut e = engine(EngineConfig::default());
+        e.warm_peer_index();
+        let r = e
+            .ingest_rating(UserId::new(1), ItemId::new(149), 4.0)
+            .unwrap();
+        assert_eq!(r.op, IngestOp::Inserted);
+        let r = e
+            .ingest_rating(UserId::new(1), ItemId::new(149), 2.0)
+            .unwrap();
+        assert_eq!(r.op, IngestOp::Updated { previous: 4.0 });
+        // Out-of-range scores are rejected without touching anything.
+        let warm = e.peer_index().num_cached();
+        assert!(e
+            .ingest_rating(UserId::new(1), ItemId::new(0), 9.0)
+            .is_err());
+        assert_eq!(e.peer_index().num_cached(), warm);
+        // A brand-new rater under the Ratings backend grows the universe
+        // *in place*: every warm list survives, the new user's slot is
+        // filled, and the ordinary delta runs.
+        let grown = e.matrix().num_users() + 3;
+        let r = e
+            .ingest_rating(UserId::new(grown - 1), ItemId::new(0), 3.0)
+            .unwrap();
+        assert!(
+            matches!(r.peers, PeerMaintenance::DeltaSpliced { .. }),
+            "first rating of a new user must stay on the delta path, got {r:?}"
+        );
+        assert_eq!(e.peer_index().num_users(), grown);
+        assert_eq!(
+            e.peer_index().num_cached(),
+            warm + 1,
+            "warm lists survive universe growth; only the new user was added"
+        );
+        let fresh = rebuilt_engine(&e);
+        fresh.warm_peer_index();
+        for u in (0..grown).map(UserId::new) {
+            assert_eq!(
+                e.peer_index().full_peers(e.measure(), u),
+                fresh.peer_index().full_peers(fresh.measure(), u),
+                "peer list of {u} after in-place growth"
+            );
+        }
+        let g = group(&e);
+        assert_eq!(
+            e.recommend_for_group(&g, 5).unwrap(),
+            fresh.recommend_for_group(&g, 5).unwrap()
+        );
+    }
+
+    #[test]
+    fn universe_growth_rebuilds_cold_for_non_delta_backends() {
+        // A profile similarity can score a brand-new id against existing
+        // users, so growth must not preserve lists computed over the
+        // smaller universe.
+        let mut e = engine(EngineConfig {
+            similarity: SimilarityKind::Profile,
+            ..Default::default()
+        });
+        e.warm_peer_index();
+        let grown = e.matrix().num_users() + 1;
+        let r = e
+            .ingest_rating(UserId::new(grown - 1), ItemId::new(0), 3.0)
+            .unwrap();
+        assert_eq!(r.peers, PeerMaintenance::UniverseGrown);
+        assert_eq!(e.peer_index().num_users(), grown);
+        assert_eq!(e.peer_index().num_cached(), 0);
+    }
+
+    #[test]
+    fn sentinel_max_ids_are_rejected_before_any_maintenance() {
+        let mut e = engine(EngineConfig::default());
+        e.warm_peer_index();
+        let warm = e.peer_index().num_cached();
+        let universe = e.peer_index().num_users();
+        assert!(e
+            .ingest_rating(UserId::new(u32::MAX), ItemId::new(0), 3.0)
+            .is_err());
+        assert!(e
+            .ingest_rating(UserId::new(0), ItemId::new(u32::MAX), 3.0)
+            .is_err());
+        assert!(e
+            .ingest_ratings([(UserId::new(u32::MAX), ItemId::new(0), 3.0)])
+            .is_err());
+        assert_eq!(e.peer_index().num_cached(), warm, "cache untouched");
+        assert_eq!(e.peer_index().num_users(), universe, "no index growth");
+    }
+
+    #[test]
+    fn empty_or_failed_batches_keep_the_warm_cache() {
+        let mut e = engine(EngineConfig::default());
+        e.warm_peer_index();
+        let warm = e.peer_index().num_cached();
+        assert_eq!(e.ingest_ratings(std::iter::empty()).unwrap(), 0);
+        assert_eq!(e.peer_index().num_cached(), warm, "no-op batch");
+        // A batch failing on its first entry applied nothing either.
+        assert!(e
+            .ingest_ratings([(UserId::new(0), ItemId::new(0), 42.0)])
+            .is_err());
+        assert_eq!(e.peer_index().num_cached(), warm, "all-rejected batch");
+    }
+
+    #[test]
+    fn ingest_maintenance_depends_on_the_backend() {
+        // Profile/semantic backends never read ratings: warm stays warm.
+        for similarity in [SimilarityKind::Profile, SimilarityKind::Semantic] {
+            let mut e = engine(EngineConfig {
+                similarity,
+                ..Default::default()
+            });
+            e.warm_peer_index();
+            let warm = e.peer_index().num_cached();
+            let r = e
+                .ingest_rating(UserId::new(3), ItemId::new(149), 4.0)
+                .unwrap();
+            assert_eq!(r.peers, PeerMaintenance::Unaffected, "{similarity:?}");
+            assert_eq!(e.peer_index().num_cached(), warm, "{similarity:?}");
+        }
+        // Hybrid reads ratings but is not bitwise symmetric: blanket.
+        let mut e = engine(EngineConfig {
+            similarity: SimilarityKind::Hybrid {
+                ratings: 1.0,
+                profile: 1.0,
+                semantic: 1.0,
+            },
+            ..Default::default()
+        });
+        e.warm_peer_index();
+        let r = e
+            .ingest_rating(UserId::new(3), ItemId::new(149), 4.0)
+            .unwrap();
+        assert_eq!(r.peers, PeerMaintenance::InvalidatedAll);
+        assert_eq!(e.peer_index().num_cached(), 0);
+    }
+
+    #[test]
+    fn batch_ingestion_invalidates_once_and_matches_fresh() {
+        let mut live = engine(EngineConfig::default());
+        live.warm_peer_index();
+        let applied = live
+            .ingest_ratings([
+                (UserId::new(0), ItemId::new(140), 4.0),
+                (UserId::new(1), ItemId::new(140), 3.0),
+                (UserId::new(0), ItemId::new(140), 2.0), // update
+            ])
+            .unwrap();
+        assert_eq!(applied, 3);
+        assert_eq!(live.peer_index().num_cached(), 0, "blanket path");
+        assert_eq!(
+            live.matrix().rating(UserId::new(0), ItemId::new(140)),
+            Some(2.0)
+        );
+        live.warm_peer_index();
+        let fresh = rebuilt_engine(&live);
+        let g = group(&live);
+        assert_eq!(
+            live.recommend_for_group(&g, 6).unwrap(),
+            fresh.recommend_for_group(&g, 6).unwrap()
+        );
     }
 
     #[test]

@@ -22,4 +22,7 @@ mod engine;
 pub mod evaluation;
 
 pub use config::{EngineConfig, ExecutionPath, SelectionAlgorithm, SimilarityKind};
-pub use engine::{GroupRecommendation, MemberSatisfaction, RecommendedItem, RecommenderEngine};
+pub use engine::{
+    GroupRecommendation, IngestOp, IngestReport, MemberSatisfaction, PeerMaintenance,
+    RecommendedItem, RecommenderEngine,
+};

@@ -23,7 +23,7 @@
 //! ("distributed cache") preparation step that Fig. 2 leaves implicit.
 //!
 //! [`topk`] implements the MapReduce top-k selection the paper cites as
-//! ref. [5] for when final results do not fit in memory.
+//! ref. \[5\] for when final results do not fit in memory.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -35,6 +35,6 @@ pub mod topk;
 
 pub use engine::{run_job, JobConfig, JobMetrics, JobResult, Mapper, Reducer};
 pub use pipeline::{
-    kernel_sim_edges, mapreduce_group_predictions, EdgeProducer, MapReducePipelineReport,
-    PipelineConfig,
+    incremental_sim_edges, kernel_sim_edges, mapreduce_group_predictions, EdgeProducer,
+    MapReducePipelineReport, PipelineConfig,
 };

@@ -2,11 +2,11 @@
 //!
 //! [`mapreduce_group_predictions`] takes the raw rating triples and a
 //! caregiver group and produces the same
-//! [`GroupPredictions`](fairrec_core::predictions::GroupPredictions) the
+//! [`GroupPredictions`] the
 //! in-memory reference
 //! ([`compute_group_predictions`](fairrec_core::predictions::compute_group_predictions))
 //! produces — the equivalence is asserted by integration tests on random
-//! datasets. After the jobs *"the majority of the computations [are]
+//! datasets. After the jobs *"the majority of the computations \[are\]
 //! done"*, and Algorithm 1 runs centralised on the assembled pool, exactly
 //! as the paper prescribes.
 
@@ -19,9 +19,12 @@ use fairrec_core::aggregate::{Aggregation, MissingPolicy};
 use fairrec_core::group::Group;
 use fairrec_core::predictions::GroupPredictions;
 use fairrec_similarity::{
-    BulkUserSimilarity, PeerIndex, PeerSelector, RatingsSimilarity, SimScratch,
+    BulkUserSimilarity, DeltaOutcome, PeerIndex, PeerSelector, RatingsSimilarity, SimScratch,
 };
-use fairrec_types::{FairrecError, ItemId, RatingMatrix, RatingTriple, Relevance, Result, UserId};
+use fairrec_types::{
+    FairrecError, ItemId, Parallelism, RatingMatrix, RatingMatrixBuilder, RatingTriple, Relevance,
+    Result, UserId,
+};
 use std::collections::HashMap;
 
 /// How the pipeline produces its `simU` edges (the output of Job 2).
@@ -40,6 +43,22 @@ pub enum EdgeProducer {
     /// item order, exactly the kernel's accumulation order — at
     /// co-rating-mass cost instead of a full pair shuffle.
     BulkKernel,
+    /// The incremental ingestion path ([`incremental_sim_edges`]): the
+    /// relation minus its last `holdout` triples (canonical order) is
+    /// built and warmed up front, then the held-out triples stream in
+    /// one at a time through `RatingMatrix::insert_rating` +
+    /// [`PeerIndex::apply_delta`]. Edges are read off the maintained
+    /// index — **bitwise identical** to [`BulkKernel`](Self::BulkKernel)
+    /// by the delta contract, which is exactly what this variant is for:
+    /// proving, inside the distributed formulation, that a served index
+    /// kept fresh by deltas equals one rebuilt from scratch.
+    Incremental {
+        /// Trailing triples (canonical `(user, item)` order) ingested
+        /// incrementally; clamped to the relation size, so
+        /// `usize::MAX` replays the whole relation through the delta
+        /// path.
+        holdout: usize,
+    },
 }
 
 /// Pipeline knobs; mirrors the in-memory configuration exactly so the two
@@ -109,6 +128,72 @@ pub fn kernel_sim_edges(
     edges
 }
 
+/// Produces the group's Definition-1 similarity edges by *incremental
+/// ingestion*: a base matrix holding all but the last `holdout` triples
+/// is built and fully warmed (symmetric bulk warm), then each held-out
+/// triple is inserted through the live-mutation path and the index is
+/// repaired with [`PeerIndex::apply_delta`]. The emitted edge set —
+/// every member's δ-qualifying, non-member peers off the maintained
+/// index — carries **bitwise** the same similarities as
+/// [`kernel_sim_edges`] over the final matrix: the base warm is exact by
+/// the bulk-kernel contract, and every delta is exact by the update-path
+/// contract (the base index is fully warm, so each insert's user holds
+/// a pre-change list).
+///
+/// `triples` must be duplicate-free and in canonical `(user, item)`
+/// order — the pipeline canonicalises before calling.
+///
+/// # Errors
+/// Propagates matrix build/insert failures (duplicate pairs).
+pub fn incremental_sim_edges(
+    triples: &[RatingTriple],
+    members: &[UserId],
+    delta: f64,
+    min_overlap: usize,
+    holdout: usize,
+) -> Result<Vec<SimEdge>> {
+    let split = triples.len().saturating_sub(holdout);
+    let (base, stream) = triples.split_at(split);
+    // Pre-size the id spaces to the *final* dimensions so the peer-index
+    // universe covers users who only appear in the held-out stream.
+    let num_users = triples.iter().map(|t| t.user.raw() + 1).max().unwrap_or(0);
+    let num_items = triples.iter().map(|t| t.item.raw() + 1).max().unwrap_or(0);
+    let mut builder =
+        RatingMatrixBuilder::with_capacity(triples.len()).reserve_ids(num_users, num_items);
+    for t in base {
+        builder.add(t.user, t.item, t.rating);
+    }
+    let mut matrix = builder.build()?;
+
+    // Full (uncapped) lists so every qualifying edge is emitted;
+    // downstream `PeerIndex::from_edges` applies the caller's cap, same
+    // as for the other producers.
+    let index = PeerIndex::new(PeerSelector::new(delta)?, num_users);
+    index.warm_symmetric(
+        &RatingsSimilarity::new(&matrix).with_min_overlap(min_overlap),
+        Parallelism::Sequential,
+    );
+    for t in stream {
+        matrix.insert_rating(t.user, t.item, t.rating)?;
+        let measure = RatingsSimilarity::new(&matrix).with_min_overlap(min_overlap);
+        let outcome = index.apply_delta(&measure, t.user);
+        debug_assert!(
+            matches!(outcome, DeltaOutcome::Spliced { .. }),
+            "a fully warm index must take the exact splice, got {outcome:?}"
+        );
+    }
+
+    let measure = RatingsSimilarity::new(&matrix).with_min_overlap(min_overlap);
+    let mut edges = Vec::new();
+    for &member in members {
+        let full = index.full_peers(&measure, member);
+        edges.extend(full.iter().filter_map(|&(peer, sim)| {
+            (!members.contains(&peer)).then_some(SimEdge { member, peer, sim })
+        }));
+    }
+    Ok(edges)
+}
+
 /// Metrics of each stage, for the scaling experiments (A4).
 #[derive(Debug, Clone, Default)]
 pub struct MapReducePipelineReport {
@@ -146,7 +231,7 @@ impl MapReducePipelineReport {
 /// # Errors
 /// Returns [`FairrecError::DuplicateRating`] when the relation holds the
 /// same `(user, item)` pair twice — the workspace-wide invariant
-/// [`RatingMatrixBuilder`](fairrec_types::RatingMatrixBuilder) enforces,
+/// [`RatingMatrixBuilder`] enforces,
 /// applied here so every edge producer answers duplicate input
 /// identically. Group validation happens in [`Group`].
 pub fn mapreduce_group_predictions(
@@ -226,13 +311,24 @@ pub fn mapreduce_group_predictions(
             report.job2 = job2.metrics;
             job2.output
         }
-        EdgeProducer::BulkKernel => {
-            // The inverted-index kernel replaces the Job 0/partial/Job 2
+        producer @ (EdgeProducer::BulkKernel | EdgeProducer::Incremental { .. }) => {
+            // Both in-memory producers replace the Job 0/partial/Job 2
             // chain; Job 1 runs candidates-only (the paper's grouping is
             // still what classifies items).
-            // `RatingTriple` is `Copy`: build the matrix from a borrow so
-            // the relation is not cloned just because Job 1 consumes it.
-            let matrix = RatingMatrix::from_triples(triples.iter().copied())?;
+            // `RatingTriple` is `Copy`: read the relation by borrow so it
+            // is not cloned just because Job 1 consumes it afterwards.
+            let edges = if let EdgeProducer::Incremental { holdout } = producer {
+                incremental_sim_edges(
+                    &triples,
+                    &members,
+                    config.delta,
+                    config.min_overlap,
+                    holdout,
+                )?
+            } else {
+                let matrix = RatingMatrix::from_triples(triples.iter().copied())?;
+                kernel_sim_edges(&matrix, &members, config.delta, config.min_overlap)
+            };
             let job1 = run_job(
                 &Job1Mapper,
                 &Job1Reducer::candidates_only(members.clone()),
@@ -241,7 +337,7 @@ pub fn mapreduce_group_predictions(
             );
             report.job1 = job1.metrics;
             candidates = job1.output;
-            kernel_sim_edges(&matrix, &members, config.delta, config.min_overlap)
+            edges
         }
     };
     report.sim_edges = sim_edges.len();
@@ -490,11 +586,63 @@ mod tests {
     }
 
     #[test]
+    fn incremental_edges_match_bulk_kernel_bitwise() {
+        let members = vec![UserId::new(0), UserId::new(1)];
+        let mut triples = fixture();
+        triples.sort_unstable_by_key(|t| (t.user, t.item));
+        let matrix = RatingMatrix::from_triples(triples.iter().copied()).unwrap();
+        let mut kernel = kernel_sim_edges(&matrix, &members, -1.0, 2);
+        kernel.sort_by_key(|e| (e.member, e.peer));
+        // Holdouts from "nothing incremental" to "the whole relation
+        // replayed through insert_rating + apply_delta".
+        for holdout in [0usize, 1, 4, usize::MAX] {
+            let mut incremental =
+                incremental_sim_edges(&triples, &members, -1.0, 2, holdout).unwrap();
+            incremental.sort_by_key(|e| (e.member, e.peer));
+            assert_eq!(kernel.len(), incremental.len(), "holdout {holdout}");
+            for (a, b) in kernel.iter().zip(&incremental) {
+                assert_eq!((a.member, a.peer), (b.member, b.peer), "holdout {holdout}");
+                assert_eq!(
+                    a.sim.to_bits(),
+                    b.sim.to_bits(),
+                    "holdout {holdout}: edge ({}, {}) must carry identical bits",
+                    a.member,
+                    a.peer
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_producer_agrees_end_to_end() {
+        let group = Group::new(GroupId::new(0), [UserId::new(0), UserId::new(1)]).unwrap();
+        for (delta, holdout) in [(-1.0, 3), (0.0, usize::MAX), (0.5, 1)] {
+            let bulk = PipelineConfig {
+                delta,
+                edge_producer: EdgeProducer::BulkKernel,
+                ..Default::default()
+            };
+            let incremental = PipelineConfig {
+                edge_producer: EdgeProducer::Incremental { holdout },
+                ..bulk
+            };
+            let (a, ra) = mapreduce_group_predictions(fixture(), 7, &group, &bulk).unwrap();
+            let (b, rb) = mapreduce_group_predictions(fixture(), 7, &group, &incremental).unwrap();
+            assert_eq!(a, b, "delta {delta}, holdout {holdout}");
+            assert_eq!(ra.sim_edges, rb.sim_edges);
+        }
+    }
+
+    #[test]
     fn duplicate_pairs_are_rejected_by_both_producers() {
         let group = Group::new(GroupId::new(0), [UserId::new(0)]).unwrap();
         let mut dup = fixture();
         dup.push(triple(2, 2, 1.0)); // (u2, i2) already present
-        for edge_producer in [EdgeProducer::MapReduce, EdgeProducer::BulkKernel] {
+        for edge_producer in [
+            EdgeProducer::MapReduce,
+            EdgeProducer::BulkKernel,
+            EdgeProducer::Incremental { holdout: 2 },
+        ] {
             let cfg = PipelineConfig {
                 edge_producer,
                 ..Default::default()

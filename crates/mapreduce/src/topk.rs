@@ -1,9 +1,9 @@
-//! Distributed top-k selection — the paper's ref. [5].
+//! Distributed top-k selection — the paper's ref. \[5\].
 //!
 //! *"The final sorting and top-k selection of those relevance values is
 //! trivial when k elements are small enough to fit in memory. When this is
 //! not the case, we can use the top-k MapReduce algorithm suggested in
-//! [5]."* (Efthymiou, Stefanidis, Ntoutsi — IEEE Big Data 2015.)
+//! \[5\]."* (Efthymiou, Stefanidis, Ntoutsi — IEEE Big Data 2015.)
 //!
 //! Two stages, both bounded-memory:
 //!

@@ -21,6 +21,23 @@
 //! [`SimScratch`] is the reusable workspace a bulk pass accumulates into:
 //! allocate one per worker thread, reuse it across source users, and the
 //! kernels run allocation-free apart from their output.
+//!
+//! ## Staleness and the update path
+//!
+//! A bulk pass reads whatever the measure's backing data holds *at call
+//! time* — the trait has no snapshot semantics. Consumers that cache
+//! kernel output (the `PeerIndex`) therefore carry the staleness
+//! discipline themselves: a generation token bumped before any data
+//! change, re-checked before a computed result may be stored. The same
+//! one-vs-all pass is also the engine of the incremental update path —
+//! after a point change to one user's data, a single
+//! [`similarities_from`](BulkUserSimilarity::similarities_from) pass
+//! yields that user's entire refreshed edge set, and for measures that
+//! answer [`is_symmetric`](BulkUserSimilarity::is_symmetric) those edges
+//! are valid from *both* endpoints, which is what lets
+//! `PeerIndex::apply_delta` splice them into other users' cached lists
+//! instead of invalidating. See the `peer_index` module docs for the
+//! full update-path contract.
 
 use crate::UserSimilarity;
 use fairrec_types::UserId;

@@ -1,6 +1,6 @@
 //! User clustering for fast peer pre-selection (extension).
 //!
-//! The paper's related work (§VII, its ref. [17]) pre-partitions users
+//! The paper's related work (§VII, its ref. \[17\]) pre-partitions users
 //! into clusters of similar users and draws recommendations from cluster
 //! members instead of scanning the full user base. This module implements
 //! that design: seeded **k-medoids** over any [`UserSimilarity`] (distance
@@ -197,7 +197,7 @@ impl KMedoids {
     }
 }
 
-/// Peer selection restricted to the query user's cluster — the ref. [17]
+/// Peer selection restricted to the query user's cluster — the ref. \[17\]
 /// acceleration.
 #[derive(Debug, Clone)]
 pub struct ClusteredPeerSelector {

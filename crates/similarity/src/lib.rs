@@ -17,8 +17,10 @@
 //!   once),
 //! * [`PeerSelector`] — Definition 1: `P_u = {u′ ∈ U : simU(u, u′) ≥ δ}`,
 //! * [`PeerIndex`] — the cached, thread-safe serving form of Definition 1:
-//!   memoized full peer lists with masked group views and explicit
-//!   invalidation (see its module docs for the contract),
+//!   memoized full peer lists with masked group views, explicit
+//!   invalidation, and exact incremental maintenance on rating changes
+//!   ([`PeerIndex::apply_delta`] — see the module docs for the
+//!   update-path contract),
 //! * [`BulkUserSimilarity`] — the one-vs-all form of `simU` used for cold
 //!   peer builds: every measure gets a per-pair fallback, and
 //!   [`RatingsSimilarity`] ships an inverted-index Pearson kernel whose
@@ -44,7 +46,7 @@ mod semantic;
 pub use bulk::{BulkUserSimilarity, PairwiseOnly, SimScratch};
 pub use clustering::{ClusteredPeerSelector, Clustering, KMedoids};
 pub use hybrid::{HybridSimilarity, Rescale01};
-pub use peer_index::PeerIndex;
+pub use peer_index::{DeltaOutcome, PeerIndex};
 pub use peers::{PeerSelector, Peers};
 pub use profile::ProfileSimilarity;
 pub use ratings::RatingsSimilarity;

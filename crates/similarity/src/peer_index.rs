@@ -40,17 +40,45 @@
 //! upper-triangle pass per user fills **both** endpoints' lists, halving
 //! the arithmetic of a full cold build.
 //!
-//! ## Caching & invalidation contract
+//! ## Caching, invalidation & the update-path contract
 //!
 //! An index is built for one `(measure, selector, universe)` triple. The
 //! measure is passed per call (so one index can serve borrowed or
 //! `Arc`-owned backends alike) but **must be logically the same function**
-//! between invalidations; memoized entries are never revalidated. When
-//! the underlying data changes (new ratings, profile edits), call
-//! [`invalidate_user`](PeerIndex::invalidate_user) for targeted updates
-//! or [`invalidate_all`](PeerIndex::invalidate_all) after bulk changes.
-//! Every invalidation bumps [`generation`](PeerIndex::generation), which
-//! downstream caches can use as a freshness token.
+//! between maintenance calls; memoized entries are never revalidated.
+//! When the underlying data changes, callers pick one of three
+//! maintenance paths, ordered from cheapest to bluntest:
+//!
+//! 1. [`apply_delta`](PeerIndex::apply_delta) — the **exact incremental
+//!    path** for a point change to one user's data (a rating insert,
+//!    update, or removal). One bulk kernel pass recomputes that user's
+//!    full list, and the refreshed `(user, simU)` edges are spliced into
+//!    both endpoints' cached lists. The result is bitwise identical to
+//!    dropping everything and re-warming against the changed data —
+//!    see the method docs for its two preconditions (bitwise-symmetric
+//!    measure; the user's pre-change list cached whenever any list is).
+//! 2. [`invalidate_user`](PeerIndex::invalidate_user) — drops one user's
+//!    list for lazy recomputation. **Not sufficient on its own** after a
+//!    rating change: a changed rating moves `simU(user, ·)` for every
+//!    co-rating peer, so the *other* endpoints' cached lists go stale
+//!    too. It is the right call when only request-time properties of one
+//!    user changed (e.g. an entry cached from a now-retracted edge
+//!    stream).
+//! 3. [`invalidate_all`](PeerIndex::invalidate_all) — drops every list.
+//!    The blanket fallback after bulk changes, and what `apply_delta`
+//!    degrades to when its preconditions fail (so callers may treat
+//!    `apply_delta` as always-safe).
+//!
+//! Every maintenance call — all three above — bumps
+//! [`generation`](PeerIndex::generation) **before** touching any slot.
+//! The token is the staleness rule for in-flight work: a lazy fill or
+//! eager warm records the generation before computing and re-checks it
+//! under the slot lock before storing, so a list computed against
+//! pre-change data can never be written back after the change. Downstream
+//! caches can use the same token as a freshness check. Maintenance calls
+//! must be externally serialized with each other (the engine does this by
+//! taking `&mut self` on its ingest path); concurrent *readers* are
+//! always safe and simply see each list pre- or post-change.
 //!
 //! All methods take `&self`; interior mutability is per-user
 //! `RwLock` slots, so concurrent readers (batched serving) proceed
@@ -59,7 +87,7 @@
 use crate::bulk::{BulkUserSimilarity, SimScratch};
 use crate::peers::{PeerSelector, Peers};
 use fairrec_types::{Parallelism, UserId};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// Chunk size for eager warms: each parallel task computes one chunk of
@@ -78,6 +106,31 @@ fn warm_chunk_size(total: usize, parallelism: Parallelism) -> usize {
     total.div_ceil(4 * workers).max(1)
 }
 
+/// What [`PeerIndex::apply_delta`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaOutcome {
+    /// The exact splice ran: the user's full list was recomputed with one
+    /// bulk kernel pass and the refreshed edges were spliced into
+    /// `touched` warm endpoint lists. Every cached list is now bitwise
+    /// identical to a cold rebuild against the current data.
+    Spliced {
+        /// Warm peer lists (other than the user's own) patched in place.
+        touched: usize,
+    },
+    /// Every slot was cold — nothing to splice. The generation was still
+    /// bumped, so in-flight fills against pre-change data cannot land.
+    ColdIndex,
+    /// The user lies outside this index's universe. Similarities between
+    /// in-universe users never read an out-of-universe user's data, so no
+    /// cached list is affected and the index is left untouched.
+    OutOfUniverse,
+    /// The delta could not be applied exactly — the measure is not
+    /// bitwise symmetric, or the user's pre-change list was not cached in
+    /// a partially warm index — so every list was invalidated instead
+    /// (the safe blanket fallback).
+    InvalidatedAll,
+}
+
 /// Memoized Definition-1 peer lists over a fixed user universe
 /// `0..num_users`. See the module docs for the caching contract.
 #[derive(Debug)]
@@ -85,6 +138,10 @@ pub struct PeerIndex {
     selector: PeerSelector,
     slots: Vec<RwLock<Option<Arc<Peers>>>>,
     generation: AtomicU64,
+    /// O(1) count of `Some` slots, kept in sync by [`Self::store_slot`]
+    /// — `num_cached` sits on the per-ingest hot path (the engine checks
+    /// it before every delta), so it must not scan `slots`.
+    cached: AtomicUsize,
 }
 
 impl PeerIndex {
@@ -95,7 +152,24 @@ impl PeerIndex {
             selector,
             slots: (0..num_users).map(|_| RwLock::new(None)).collect(),
             generation: AtomicU64::new(0),
+            cached: AtomicUsize::new(0),
         }
+    }
+
+    /// Stores `value` into a slot guard, keeping the O(1) cached count in
+    /// sync with the `Some`/`None` transition. Every slot write in this
+    /// type funnels through here; callers hold the slot's write lock.
+    fn store_slot(&self, guard: &mut Option<Arc<Peers>>, value: Option<Arc<Peers>>) {
+        match (guard.is_some(), value.is_some()) {
+            (false, true) => {
+                self.cached.fetch_add(1, Ordering::AcqRel);
+            }
+            (true, false) => {
+                self.cached.fetch_sub(1, Ordering::AcqRel);
+            }
+            _ => {}
+        }
+        *guard = value;
     }
 
     /// Builds an index whose entries come from precomputed similarity
@@ -137,10 +211,65 @@ impl PeerIndex {
             list.dedup_by_key(|&mut (peer, _)| peer);
             PeerSelector::canonicalize(&mut list);
             if let Some(slot) = index.slots.get(user.index()) {
-                *slot.write().expect("peer slot poisoned") = Some(Arc::new(list));
+                let mut guard = slot.write().expect("peer slot poisoned");
+                index.store_slot(&mut guard, Some(Arc::new(list)));
             }
         }
         index
+    }
+
+    /// Returns an index over a larger universe that keeps this index's
+    /// cached lists and generation; the new slots start cold.
+    ///
+    /// Only sound when every cached list is already correct over the
+    /// *grown* universe — i.e. the newly added ids cannot have had a
+    /// defined similarity to any existing user at growth time. That
+    /// holds for rating-derived measures when growth is triggered by a
+    /// brand-new user's first rating (before the event they had no
+    /// ratings, hence no defined pairs, so no cached list could mention
+    /// them). Measures whose similarities do not derive from the rating
+    /// relation (profile, semantic) can score a newly added id against
+    /// existing users, so growing *their* index this way would leave
+    /// every cached list stale — rebuild or invalidate instead.
+    ///
+    /// # Panics
+    /// Panics if `num_users` is smaller than the current universe.
+    pub fn grow_universe(&self, num_users: u32) -> Self {
+        assert!(
+            num_users >= self.num_users(),
+            "universe can only grow ({} -> {num_users})",
+            self.num_users()
+        );
+        let mut slots: Vec<RwLock<Option<Arc<Peers>>>> = Vec::with_capacity(num_users as usize);
+        for slot in &self.slots {
+            slots.push(RwLock::new(
+                slot.read().expect("peer slot poisoned").clone(),
+            ));
+        }
+        slots.resize_with(num_users as usize, || RwLock::new(None));
+        Self {
+            selector: self.selector,
+            slots,
+            generation: AtomicU64::new(self.generation()),
+            cached: AtomicUsize::new(self.num_cached()),
+        }
+    }
+
+    /// Returns a fully cold index over `num_users` (any size) carrying
+    /// this index's selector and a **bumped** generation — the
+    /// replacement form of [`invalidate_all`](Self::invalidate_all) for
+    /// when the universe must change size and warm lists cannot be kept
+    /// (see [`grow_universe`](Self::grow_universe) for when they can).
+    /// Carrying the token forward keeps it monotonic across the swap, so
+    /// downstream caches keyed on [`generation`](Self::generation) can
+    /// never revalidate pre-rebuild entries as fresh.
+    pub fn rebuild_cold(&self, num_users: u32) -> Self {
+        Self {
+            selector: self.selector,
+            slots: (0..num_users).map(|_| RwLock::new(None)).collect(),
+            generation: AtomicU64::new(self.generation() + 1),
+            cached: AtomicUsize::new(0),
+        }
     }
 
     /// The selector whose δ / cap this index answers with.
@@ -153,12 +282,11 @@ impl PeerIndex {
         self.slots.len() as u32
     }
 
-    /// Number of users whose peer list is currently cached.
+    /// Number of users whose peer list is currently cached. O(1): the
+    /// count is maintained on every slot transition, not derived by
+    /// scanning — this sits on the per-rating ingest hot path.
     pub fn num_cached(&self) -> usize {
-        self.slots
-            .iter()
-            .filter(|slot| slot.read().expect("peer slot poisoned").is_some())
-            .count()
+        self.cached.load(Ordering::Acquire)
     }
 
     /// Freshness token: bumped by every invalidation.
@@ -166,8 +294,13 @@ impl PeerIndex {
         self.generation.load(Ordering::Acquire)
     }
 
-    /// Drops the cached list of one user (call when that user's data
-    /// changed).
+    /// Drops the cached list of one user for lazy recomputation.
+    ///
+    /// This is **not** the rating-change path: a changed rating moves
+    /// `simU(user, ·)` for every co-rating peer, leaving *other* users'
+    /// cached lists stale — use [`apply_delta`](Self::apply_delta) (exact
+    /// splice) or [`invalidate_all`](Self::invalidate_all) (blanket) for
+    /// data changes. See the module-level update-path contract.
     ///
     /// The generation is bumped *before* the slot is cleared: in-flight
     /// fills re-check the generation under the slot lock before storing,
@@ -176,7 +309,8 @@ impl PeerIndex {
     pub fn invalidate_user(&self, user: UserId) {
         if let Some(slot) = self.slots.get(user.index()) {
             self.generation.fetch_add(1, Ordering::AcqRel);
-            *slot.write().expect("peer slot poisoned") = None;
+            let mut guard = slot.write().expect("peer slot poisoned");
+            self.store_slot(&mut guard, None);
         }
     }
 
@@ -185,9 +319,7 @@ impl PeerIndex {
     /// [`invalidate_user`](Self::invalidate_user).
     pub fn invalidate_all(&self) {
         self.generation.fetch_add(1, Ordering::AcqRel);
-        for slot in &self.slots {
-            *slot.write().expect("peer slot poisoned") = None;
-        }
+        self.clear_all_slots();
     }
 
     /// The raw cached full list of `user`, if present. Full = uncapped
@@ -226,7 +358,7 @@ impl PeerIndex {
         let full = Arc::new(self.compute_full(measure, user));
         let mut guard = slot.write().expect("peer slot poisoned");
         if self.generation() == generation {
-            *guard = Some(Arc::clone(&full));
+            self.store_slot(&mut guard, Some(Arc::clone(&full)));
         }
         full
     }
@@ -312,7 +444,7 @@ impl PeerIndex {
             if self.generation() != generation {
                 break;
             }
-            *guard = Some(full);
+            self.store_slot(&mut guard, Some(full));
         }
         computed
     }
@@ -382,9 +514,134 @@ impl PeerIndex {
             if self.generation() != generation {
                 break;
             }
-            *guard = Some(full);
+            self.store_slot(&mut guard, Some(full));
         }
         n as usize
+    }
+
+    /// Incrementally repairs the cache after a point change to `user`'s
+    /// underlying data (one rating inserted, updated, or removed —
+    /// *after* the data mutation has been applied). This is the
+    /// delta-kernel update path: instead of dropping warm lists it
+    ///
+    /// 1. bumps the [`generation`](Self::generation) (so in-flight fills
+    ///    computed against pre-change data can never be stored),
+    /// 2. recomputes `user`'s full peer list with one bulk kernel pass
+    ///    over the **current** data,
+    /// 3. splices the refreshed `(user, simU)` edge into every warm
+    ///    endpoint list — removed where the pair no longer qualifies,
+    ///    inserted at its canonical position where it does — touching
+    ///    exactly the union of `user`'s old and new peer sets (a rating
+    ///    change moves `µ_user`, so *every* co-rating peer's edge can
+    ///    move, not merely the raters of the touched item), and
+    /// 4. stores the recomputed list in `user`'s own slot.
+    ///
+    /// The result is **bitwise identical** to [`invalidate_all`] followed
+    /// by a fresh [`warm`]/[`warm_symmetric`] against the changed data
+    /// (pinned by proptests in `tests/incremental.rs`), at the cost of
+    /// one kernel pass plus O(affected lists) splices instead of a full
+    /// universe re-warm. Cold slots are skipped — they lazily fill from
+    /// current data anyway.
+    ///
+    /// ## Exactness preconditions
+    ///
+    /// * The measure is **bitwise symmetric**
+    ///   ([`is_symmetric`](BulkUserSimilarity::is_symmetric)): splicing
+    ///   writes `user`-side similarities into other users' lists.
+    /// * `user`'s **pre-change** list is cached whenever *any* list is
+    ///   (callers that cannot guarantee a fully warm index should read
+    ///   [`full_peers`](Self::full_peers) for `user` *before* mutating
+    ///   the data, as `RecommenderEngine::ingest_rating` does). Without
+    ///   it, the stale `(v, user)` edges cannot be enumerated.
+    ///
+    /// When either precondition fails the call degrades to
+    /// [`invalidate_all`] and reports it — callers may therefore treat
+    /// `apply_delta` as always-safe. Like all maintenance calls it must
+    /// be externally serialized with other mutations; a concurrent
+    /// invalidation supersedes the splice (detected via the generation
+    /// token, remaining writes are abandoned).
+    ///
+    /// [`invalidate_all`]: Self::invalidate_all
+    /// [`warm`]: Self::warm
+    /// [`warm_symmetric`]: Self::warm_symmetric
+    pub fn apply_delta<S: BulkUserSimilarity + ?Sized>(
+        &self,
+        measure: &S,
+        user: UserId,
+    ) -> DeltaOutcome {
+        if user.index() >= self.slots.len() {
+            return DeltaOutcome::OutOfUniverse;
+        }
+        // Bump first, exactly like the invalidation paths: the underlying
+        // data already changed, so any fill still in flight computed
+        // against stale data and must not be stored.
+        self.generation.fetch_add(1, Ordering::AcqRel);
+        let generation = self.generation();
+        if self.num_cached() == 0 {
+            return DeltaOutcome::ColdIndex;
+        }
+        let Some(old) = self.cached_full(user) else {
+            // A partially warm index without the user's pre-change list:
+            // the warm lists holding stale (v, user) edges cannot be
+            // enumerated, so fall back to the blanket invalidation.
+            self.clear_all_slots();
+            return DeltaOutcome::InvalidatedAll;
+        };
+        if !measure.is_symmetric() {
+            self.clear_all_slots();
+            return DeltaOutcome::InvalidatedAll;
+        }
+        let new = Arc::new(self.compute_full(measure, user));
+
+        // The affected endpoints: every peer the user had or now has.
+        // Cached lists are symmetric-consistent (same measure, same δ,
+        // bitwise-symmetric values), so a warm list contains a stale
+        // `user` edge iff its owner appears in the user's old list.
+        let mut affected: Vec<UserId> = old.iter().chain(new.iter()).map(|&(v, _)| v).collect();
+        affected.sort_unstable();
+        affected.dedup();
+        // Id-sorted copy of the new list for O(log n) edge lookups.
+        let mut new_by_id: Vec<(UserId, f64)> = new.as_ref().clone();
+        new_by_id.sort_unstable_by_key(|&(v, _)| v);
+
+        let mut touched = 0usize;
+        for v in affected {
+            let mut guard = self.slots[v.index()].write().expect("peer slot poisoned");
+            if self.generation() != generation {
+                // A concurrent invalidation supersedes this splice.
+                return DeltaOutcome::Spliced { touched };
+            }
+            let Some(list) = guard.as_ref() else {
+                continue; // cold slots refill lazily from current data
+            };
+            let mut patched: Peers = list.iter().copied().filter(|&(w, _)| w != user).collect();
+            if let Ok(slot) = new_by_id.binary_search_by_key(&v, |&(w, _)| w) {
+                let sim = new_by_id[slot].1;
+                // Canonical order (sim desc, id asc) is total over
+                // distinct ids, so the sorted insert reproduces exactly
+                // what a full re-canonicalization would.
+                let pos = patched.partition_point(|&(w, s)| s > sim || (s == sim && w < user));
+                patched.insert(pos, (user, sim));
+            }
+            self.store_slot(&mut guard, Some(Arc::new(patched)));
+            touched += 1;
+        }
+        let mut guard = self.slots[user.index()]
+            .write()
+            .expect("peer slot poisoned");
+        if self.generation() == generation {
+            self.store_slot(&mut guard, Some(new));
+        }
+        DeltaOutcome::Spliced { touched }
+    }
+
+    /// Clears every slot without bumping the generation (callers on the
+    /// maintenance paths have already bumped it).
+    fn clear_all_slots(&self) {
+        for slot in &self.slots {
+            let mut guard = slot.write().expect("peer slot poisoned");
+            self.store_slot(&mut guard, None);
+        }
     }
 
     /// One-off form of [`compute_full_with`](Self::compute_full_with)
@@ -601,6 +858,133 @@ mod tests {
             index.cached_full(member).unwrap().as_ref(),
             &vec![(UserId::new(1), 0.7), (UserId::new(2), 0.5)]
         );
+    }
+
+    #[test]
+    fn apply_delta_splices_to_a_cold_rebuild() {
+        // "Mutate" the measure by swapping tables: warm against t1, then
+        // change row/column 2 and delta user 2. Every warm list must end
+        // up exactly as a cold rebuild against t2 would produce it.
+        let t1 = table5();
+        let mut rows = t1.0.clone();
+        for (v, s) in [(0usize, 0.85), (1, 0.05), (3, 0.6)] {
+            rows[2][v] = s;
+            rows[v][2] = s;
+        }
+        rows[2][4] = -1.0; // (2, 4) becomes undefined
+        rows[4][2] = -1.0;
+        let t2 = Table(rows);
+
+        let sel = PeerSelector::new(0.3).unwrap();
+        let index = PeerIndex::new(sel, 5);
+        index.warm(&t1, Parallelism::Sequential);
+        let g0 = index.generation();
+        let outcome = index.apply_delta(&t2, UserId::new(2));
+        // u2's old peers {1, 3, 4} ∪ new peers {0, 3} = {0, 1, 3, 4}.
+        assert_eq!(outcome, DeltaOutcome::Spliced { touched: 4 });
+        assert!(index.generation() > g0, "delta must bump the generation");
+        assert_eq!(index.num_cached(), 5, "no slot goes cold");
+
+        let cold = PeerIndex::new(sel, 5);
+        cold.warm(&t2, Parallelism::Sequential);
+        for u in (0..5).map(UserId::new) {
+            assert_eq!(
+                index.cached_full(u).unwrap(),
+                cold.cached_full(u).unwrap(),
+                "user {u}"
+            );
+        }
+    }
+
+    #[test]
+    fn apply_delta_outcomes_cover_the_contract() {
+        let m = table5();
+        let sel = PeerSelector::new(0.3).unwrap();
+
+        // Fully cold: nothing to splice, generation still bumps.
+        let cold = PeerIndex::new(sel, 5);
+        let g0 = cold.generation();
+        assert_eq!(
+            cold.apply_delta(&m, UserId::new(1)),
+            DeltaOutcome::ColdIndex
+        );
+        assert!(cold.generation() > g0);
+
+        // Out of universe: untouched, generation untouched.
+        cold.warm(&m, Parallelism::Sequential);
+        let g1 = cold.generation();
+        assert_eq!(
+            cold.apply_delta(&m, UserId::new(99)),
+            DeltaOutcome::OutOfUniverse
+        );
+        assert_eq!(cold.generation(), g1);
+        assert_eq!(cold.num_cached(), 5);
+
+        // Asymmetric measure: blanket fallback.
+        let warm = PeerIndex::new(sel, 5);
+        warm.warm(&m, Parallelism::Sequential);
+        let pairwise = crate::bulk::PairwiseOnly::new(&m);
+        assert_eq!(
+            warm.apply_delta(&pairwise, UserId::new(1)),
+            DeltaOutcome::InvalidatedAll
+        );
+        assert_eq!(warm.num_cached(), 0);
+
+        // Partially warm without the user's own list: blanket fallback.
+        let partial = PeerIndex::new(sel, 5);
+        let _ = partial.peers_of(&m, UserId::new(0));
+        assert_eq!(
+            partial.apply_delta(&m, UserId::new(2)),
+            DeltaOutcome::InvalidatedAll
+        );
+        assert_eq!(partial.num_cached(), 0);
+    }
+
+    #[test]
+    fn grow_and_rebuild_preserve_the_generation_token() {
+        let m = table5();
+        let sel = PeerSelector::new(0.3).unwrap();
+        let index = PeerIndex::new(sel, 5);
+        index.warm(&m, Parallelism::Sequential);
+        index.invalidate_user(UserId::new(0)); // bump the token
+        let g = index.generation();
+
+        let grown = index.grow_universe(8);
+        assert_eq!(grown.num_users(), 8);
+        assert_eq!(grown.generation(), g, "growth carries the token over");
+        assert_eq!(
+            grown.num_cached(),
+            4,
+            "warm lists carry over; new slots start cold"
+        );
+        assert_eq!(
+            grown.cached_full(UserId::new(1)),
+            index.cached_full(UserId::new(1))
+        );
+        assert!(grown.cached_full(UserId::new(7)).is_none());
+
+        let rebuilt = grown.rebuild_cold(3);
+        assert_eq!(rebuilt.num_users(), 3);
+        assert_eq!(rebuilt.num_cached(), 0);
+        assert!(
+            rebuilt.generation() > g,
+            "a rebuild bumps the token — it never restarts at zero"
+        );
+    }
+
+    #[test]
+    fn apply_delta_skips_cold_slots() {
+        let m = table5();
+        let sel = PeerSelector::new(0.3).unwrap();
+        let index = PeerIndex::new(sel, 5);
+        // Warm only u2 (the delta user) and u0: u2's peers at δ=0.3 are
+        // {3, 4}, so u3/u4 are affected but cold and must stay cold.
+        let _ = index.peers_of(&m, UserId::new(2));
+        let _ = index.peers_of(&m, UserId::new(0));
+        let outcome = index.apply_delta(&m, UserId::new(2));
+        assert_eq!(outcome, DeltaOutcome::Spliced { touched: 0 });
+        assert_eq!(index.num_cached(), 2);
+        assert!(index.cached_full(UserId::new(3)).is_none());
     }
 
     #[test]

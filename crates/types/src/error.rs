@@ -29,6 +29,14 @@ pub enum FairrecError {
         /// The rated item.
         item: ItemId,
     },
+    /// An update or removal referenced a `(user, item)` pair that holds
+    /// no stored rating.
+    MissingRating {
+        /// The rating user.
+        user: UserId,
+        /// The rated item.
+        item: ItemId,
+    },
     /// A referenced user does not exist in the dataset.
     UnknownUser {
         /// The missing user.
@@ -94,6 +102,9 @@ impl fmt::Display for FairrecError {
             Self::DuplicateRating { user, item } => {
                 write!(f, "duplicate rating for ({user}, {item})")
             }
+            Self::MissingRating { user, item } => {
+                write!(f, "no stored rating for ({user}, {item})")
+            }
             Self::UnknownUser { user } => write!(f, "unknown user {user}"),
             Self::UnknownItem { item } => write!(f, "unknown item {item}"),
             Self::EmptyGroup => write!(f, "group queries require at least one member"),
@@ -140,6 +151,13 @@ mod tests {
                     item: ItemId::new(2),
                 },
                 "duplicate rating for (u1, i2)",
+            ),
+            (
+                FairrecError::MissingRating {
+                    user: UserId::new(3),
+                    item: ItemId::new(4),
+                },
+                "no stored rating for (u3, i4)",
             ),
             (
                 FairrecError::UnknownUser {

@@ -190,7 +190,21 @@ impl RatingMatrixBuilder {
     }
 }
 
-/// Immutable sparse rating matrix with user-major and item-major views.
+/// Sparse rating matrix with user-major and item-major views.
+///
+/// Matrices are frozen by [`RatingMatrixBuilder::build`] and then served
+/// read-only on the hot paths, but the rating relation itself is *live*:
+/// health-record ratings arrive continuously, so the matrix supports
+/// in-place point mutations — [`insert_rating`](Self::insert_rating),
+/// [`update_rating`](Self::update_rating) and
+/// [`remove_rating`](Self::remove_rating) — that patch **both** views,
+/// the cached per-user means, and the degree array, leaving the matrix
+/// bitwise identical to one rebuilt from the final triple relation
+/// (pinned by proptests in this module). Each mutation costs one
+/// `memmove` of the stored arrays plus an offset-bump — O(|R| + |U| +
+/// |I|) worst case, microseconds at serving scale — which is the price
+/// of keeping the merge-join-friendly contiguous layout the read paths
+/// depend on.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RatingMatrix {
     n_users: u32,
@@ -366,6 +380,158 @@ impl RatingMatrix {
             .filter(|&raw| !rated[raw as usize])
             .map(ItemId::new)
             .collect()
+    }
+
+    /// Inserts a new rating fact, patching the CSR view, the CSC view,
+    /// `user_means`, and `user_degrees` in place. Ids beyond the current
+    /// dimensions grow the id spaces (like
+    /// [`reserve_ids`](RatingMatrixBuilder::reserve_ids) would have).
+    ///
+    /// The patched matrix is **bitwise identical** to one rebuilt from
+    /// scratch over the final relation: entries land at their sorted
+    /// positions in both views, and the user's mean is recomputed by
+    /// re-summing their score slice left-to-right — the exact summation
+    /// order of [`build`](RatingMatrixBuilder::build).
+    ///
+    /// # Errors
+    /// Returns [`FairrecError::DuplicateRating`] when `(user, item)` is
+    /// already rated (use [`update_rating`](Self::update_rating) to change
+    /// an existing score), and [`FairrecError::InvalidParameter`] for id
+    /// `u32::MAX` (the id spaces are sized `id + 1`, so the sentinel
+    /// maximum cannot be stored without overflow). The matrix is
+    /// untouched on error.
+    pub fn insert_rating(&mut self, user: UserId, item: ItemId, rating: Rating) -> Result<()> {
+        // Guard before any mutation: `raw() + 1` sizing would wrap.
+        if user.raw() == u32::MAX {
+            return Err(FairrecError::invalid_parameter(
+                "user",
+                "id u32::MAX would overflow the user id space",
+            ));
+        }
+        if item.raw() == u32::MAX {
+            return Err(FairrecError::invalid_parameter(
+                "item",
+                "id u32::MAX would overflow the item id space",
+            ));
+        }
+        if self.has_rated(user, item) {
+            return Err(FairrecError::DuplicateRating { user, item });
+        }
+        self.grow_users(user);
+        self.grow_items(item);
+        let score = rating.value();
+
+        let (lo, hi) = self.user_range(user);
+        let pos = lo + self.user_items[lo..hi].partition_point(|&j| j < item);
+        self.user_items.insert(pos, item);
+        self.user_scores.insert(pos, score);
+        for offset in &mut self.user_offsets[user.index() + 1..] {
+            *offset += 1;
+        }
+
+        let (lo, hi) = self.item_range(item);
+        let pos = lo + self.item_users[lo..hi].partition_point(|&v| v < user);
+        self.item_users.insert(pos, user);
+        self.item_scores.insert(pos, score);
+        for offset in &mut self.item_offsets[item.index() + 1..] {
+            *offset += 1;
+        }
+
+        self.user_degrees[user.index()] += 1;
+        self.refresh_user_mean(user);
+        Ok(())
+    }
+
+    /// Replaces the score of an existing rating in both views and
+    /// refreshes the user's cached mean. Returns the previous score.
+    ///
+    /// # Errors
+    /// Returns [`FairrecError::MissingRating`] when `(user, item)` holds
+    /// no rating; use [`insert_rating`](Self::insert_rating) for new
+    /// facts. The matrix is untouched on error.
+    pub fn update_rating(&mut self, user: UserId, item: ItemId, rating: Rating) -> Result<f64> {
+        let (pos, ipos) = self.locate(user, item)?;
+        let previous = self.user_scores[pos];
+        self.user_scores[pos] = rating.value();
+        self.item_scores[ipos] = rating.value();
+        self.refresh_user_mean(user);
+        Ok(previous)
+    }
+
+    /// Deletes an existing rating from both views, decrementing the
+    /// user's degree and refreshing their cached mean (back to the `NaN`
+    /// rating-less slot when this was their last rating). The id spaces
+    /// never shrink — entities keep existing, exactly as with
+    /// [`reserve_ids`](RatingMatrixBuilder::reserve_ids). Returns the
+    /// removed score.
+    ///
+    /// # Errors
+    /// Returns [`FairrecError::MissingRating`] when `(user, item)` holds
+    /// no rating. The matrix is untouched on error.
+    pub fn remove_rating(&mut self, user: UserId, item: ItemId) -> Result<f64> {
+        let (pos, ipos) = self.locate(user, item)?;
+        let previous = self.user_scores[pos];
+        self.user_items.remove(pos);
+        self.user_scores.remove(pos);
+        for offset in &mut self.user_offsets[user.index() + 1..] {
+            *offset -= 1;
+        }
+        self.item_users.remove(ipos);
+        self.item_scores.remove(ipos);
+        for offset in &mut self.item_offsets[item.index() + 1..] {
+            *offset -= 1;
+        }
+        self.user_degrees[user.index()] -= 1;
+        self.refresh_user_mean(user);
+        Ok(previous)
+    }
+
+    /// Positions of an existing rating in the CSR and CSC storage.
+    fn locate(&self, user: UserId, item: ItemId) -> Result<(usize, usize)> {
+        let (lo, hi) = self.user_range(user);
+        let slot = self.user_items[lo..hi]
+            .binary_search(&item)
+            .map_err(|_| FairrecError::MissingRating { user, item })?;
+        let (ilo, ihi) = self.item_range(item);
+        let islot = self.item_users[ilo..ihi]
+            .binary_search(&user)
+            .expect("views agree on stored pairs");
+        Ok((lo + slot, ilo + islot))
+    }
+
+    /// Recomputes `µ_user` from the (already patched) score slice, in the
+    /// same left-to-right order as a from-scratch build.
+    fn refresh_user_mean(&mut self, user: UserId) {
+        let (lo, hi) = self.user_range(user);
+        self.user_means[user.index()] = if hi > lo {
+            self.user_scores[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        } else {
+            f64::NAN
+        };
+    }
+
+    /// Extends the user id space to cover `user` (empty rows).
+    fn grow_users(&mut self, user: UserId) {
+        if user.raw() < self.n_users {
+            return;
+        }
+        let n = user.raw() + 1;
+        let nnz = *self.user_offsets.last().expect("offsets are non-empty");
+        self.user_offsets.resize(n as usize + 1, nnz);
+        self.user_means.resize(n as usize, f64::NAN);
+        self.user_degrees.resize(n as usize, 0);
+        self.n_users = n;
+    }
+
+    /// Extends the item id space to cover `item` (empty columns).
+    fn grow_items(&mut self, item: ItemId) {
+        if item.raw() < self.n_items {
+            return;
+        }
+        let n = item.raw() + 1;
+        let nnz = *self.item_offsets.last().expect("offsets are non-empty");
+        self.item_offsets.resize(n as usize + 1, nnz);
+        self.n_items = n;
     }
 
     /// Re-materialises the triple relation, sorted `(user, item)`.
@@ -645,6 +811,162 @@ mod tests {
         assert!((s.mean_rating - 4.0).abs() < 1e-12);
     }
 
+    /// Both views, the means, and the degrees of `a` and `b` hold the
+    /// same bits (derived `PartialEq` cannot be used: rating-less users
+    /// carry `NaN` mean slots).
+    pub(super) fn assert_bitwise_equal(a: &RatingMatrix, b: &RatingMatrix) {
+        assert_eq!(a.num_users(), b.num_users());
+        assert_eq!(a.num_items(), b.num_items());
+        assert_eq!(a.num_ratings(), b.num_ratings());
+        for u in a.user_ids() {
+            assert_eq!(a.items_of(u), b.items_of(u), "items of {u}");
+            assert_eq!(
+                a.scores_of(u)
+                    .iter()
+                    .map(|s| s.to_bits())
+                    .collect::<Vec<_>>(),
+                b.scores_of(u)
+                    .iter()
+                    .map(|s| s.to_bits())
+                    .collect::<Vec<_>>(),
+                "scores of {u}"
+            );
+            assert_eq!(a.degree_of(u), b.degree_of(u), "degree of {u}");
+            assert_eq!(
+                a.user_means()[u.index()].to_bits(),
+                b.user_means()[u.index()].to_bits(),
+                "mean of {u}"
+            );
+        }
+        for i in a.item_ids() {
+            assert_eq!(a.users_of(i), b.users_of(i), "users of {i}");
+            assert_eq!(
+                a.rater_scores_of(i)
+                    .iter()
+                    .map(|s| s.to_bits())
+                    .collect::<Vec<_>>(),
+                b.rater_scores_of(i)
+                    .iter()
+                    .map(|s| s.to_bits())
+                    .collect::<Vec<_>>(),
+                "rater scores of {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn insert_patches_both_views_and_mean() {
+        let mut m = small();
+        // Insert into the middle of u0's row and i0's column.
+        m.insert_rating(UserId::new(2), ItemId::new(0), r(2.0))
+            .unwrap();
+        m.insert_rating(UserId::new(0), ItemId::new(1), r(4.0))
+            .unwrap();
+        assert_eq!(m.num_ratings(), 5);
+        assert_eq!(
+            m.items_of(UserId::new(0)),
+            &[ItemId::new(0), ItemId::new(1), ItemId::new(2)]
+        );
+        assert_eq!(m.scores_of(UserId::new(0)), &[5.0, 4.0, 3.0]);
+        assert_eq!(
+            m.users_of(ItemId::new(0)),
+            &[UserId::new(0), UserId::new(1), UserId::new(2)]
+        );
+        assert_eq!(m.rater_scores_of(ItemId::new(0)), &[5.0, 4.0, 2.0]);
+        assert_eq!(m.user_mean(UserId::new(0)), Some(4.0));
+        assert_eq!(m.user_mean(UserId::new(2)), Some(2.0));
+        assert_eq!(m.degree_of(UserId::new(0)), 3);
+
+        // The patched matrix is bitwise the rebuilt one.
+        let rebuilt = {
+            let mut b = RatingMatrixBuilder::new().reserve_ids(3, 4);
+            for t in m.to_triples() {
+                b.add(t.user, t.item, t.rating);
+            }
+            b.build().unwrap()
+        };
+        assert_bitwise_equal(&m, &rebuilt);
+    }
+
+    #[test]
+    fn insert_grows_the_id_spaces() {
+        let mut m = small();
+        m.insert_rating(UserId::new(5), ItemId::new(7), r(1.0))
+            .unwrap();
+        assert_eq!(m.num_users(), 6);
+        assert_eq!(m.num_items(), 8);
+        assert_eq!(m.rating(UserId::new(5), ItemId::new(7)), Some(1.0));
+        assert_eq!(m.degree_of(UserId::new(4)), 0);
+        assert_eq!(m.user_mean(UserId::new(4)), None);
+        assert!(m.users_of(ItemId::new(6)).is_empty());
+    }
+
+    #[test]
+    fn insert_rejects_duplicates_without_touching_state() {
+        let mut m = small();
+        let before = m.clone();
+        match m.insert_rating(UserId::new(0), ItemId::new(0), r(1.0)) {
+            Err(FairrecError::DuplicateRating { user, item }) => {
+                assert_eq!(user, UserId::new(0));
+                assert_eq!(item, ItemId::new(0));
+            }
+            other => panic!("expected DuplicateRating, got {other:?}"),
+        }
+        assert_bitwise_equal(&m, &before);
+    }
+
+    #[test]
+    fn sentinel_max_ids_are_rejected_without_touching_state() {
+        let mut m = small();
+        let before = m.clone();
+        for (u, i) in [(u32::MAX, 0u32), (0, u32::MAX), (u32::MAX, u32::MAX)] {
+            assert!(m
+                .insert_rating(UserId::new(u), ItemId::new(i), r(3.0))
+                .is_err_and(|e| matches!(e, FairrecError::InvalidParameter { .. })));
+        }
+        assert_bitwise_equal(&m, &before);
+    }
+
+    #[test]
+    fn update_replaces_score_in_both_views() {
+        let mut m = small();
+        let old = m
+            .update_rating(UserId::new(0), ItemId::new(2), r(1.0))
+            .unwrap();
+        assert_eq!(old, 3.0);
+        assert_eq!(m.rating(UserId::new(0), ItemId::new(2)), Some(1.0));
+        assert_eq!(m.rater_scores_of(ItemId::new(2)), &[1.0]);
+        assert_eq!(m.user_mean(UserId::new(0)), Some(3.0));
+        // Missing pairs error and leave the matrix alone.
+        match m.update_rating(UserId::new(1), ItemId::new(2), r(2.0)) {
+            Err(FairrecError::MissingRating { user, item }) => {
+                assert_eq!(user, UserId::new(1));
+                assert_eq!(item, ItemId::new(2));
+            }
+            other => panic!("expected MissingRating, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn remove_deletes_from_both_views() {
+        let mut m = small();
+        assert_eq!(
+            m.remove_rating(UserId::new(1), ItemId::new(0)).unwrap(),
+            4.0
+        );
+        assert_eq!(m.num_ratings(), 2);
+        assert!(m.items_of(UserId::new(1)).is_empty());
+        assert_eq!(m.users_of(ItemId::new(0)), &[UserId::new(0)]);
+        // The last rating of a user restores the rating-less NaN slot.
+        assert_eq!(m.user_mean(UserId::new(1)), None);
+        assert_eq!(m.degree_of(UserId::new(1)), 0);
+        // Id spaces never shrink.
+        assert_eq!(m.num_users(), 3);
+        assert!(m
+            .remove_rating(UserId::new(1), ItemId::new(0))
+            .is_err_and(|e| matches!(e, FairrecError::MissingRating { .. })));
+    }
+
     #[test]
     fn triples_round_trip() {
         let m = small();
@@ -705,6 +1027,51 @@ mod proptests {
                 .filter_map(|(i, sa)| m.rating(ub, i).map(|sb| (i, sa, sb)))
                 .collect();
             prop_assert_eq!(fast, naive);
+        }
+
+        /// Any interleaving of inserts, updates, and removes leaves the
+        /// matrix bitwise identical to one rebuilt from scratch over the
+        /// final relation — the foundation of the incremental peer-index
+        /// maintenance contract.
+        #[test]
+        fn mutations_match_rebuild_bitwise(
+            rel in arb_relation(),
+            ops in proptest::collection::vec(
+                (0u32..48, 0u32..70, 1.0f64..=5.0, 0u8..3), 0..40
+            )
+        ) {
+            let mut b = RatingMatrixBuilder::new();
+            for &(u, i, s) in &rel {
+                b.add_raw(UserId::new(u), ItemId::new(i), s).unwrap();
+            }
+            let mut live = b.build().unwrap();
+            let mut relation: std::collections::BTreeMap<(u32, u32), f64> =
+                rel.iter().map(|&(u, i, s)| ((u, i), s)).collect();
+            for (u, i, s, kind) in ops {
+                let (user, item) = (UserId::new(u), ItemId::new(i));
+                let s = (s * 2.0).round() / 2.0;
+                let rating = Rating::new(s).unwrap();
+                match (relation.contains_key(&(u, i)), kind) {
+                    (false, _) => {
+                        live.insert_rating(user, item, rating).unwrap();
+                        relation.insert((u, i), s);
+                    }
+                    (true, 0) => {
+                        prop_assert!(live.remove_rating(user, item).is_ok());
+                        relation.remove(&(u, i));
+                    }
+                    (true, _) => {
+                        prop_assert!(live.update_rating(user, item, rating).is_ok());
+                        relation.insert((u, i), s);
+                    }
+                }
+            }
+            let mut fresh = RatingMatrixBuilder::new()
+                .reserve_ids(live.num_users(), live.num_items());
+            for (&(u, i), &s) in &relation {
+                fresh.add_raw(UserId::new(u), ItemId::new(i), s).unwrap();
+            }
+            super::tests::assert_bitwise_equal(&live, &fresh.build().unwrap());
         }
 
         #[test]

@@ -5,7 +5,7 @@
 //! step (§III-B) need the `k` highest-scoring items out of a large candidate
 //! stream. [`TopK`] keeps a bounded binary min-heap: pushing is `O(log k)`
 //! and memory stays `O(k)` regardless of stream length, which is the same
-//! observation that motivates the MapReduce top-k of the paper's ref. [5].
+//! observation that motivates the MapReduce top-k of the paper's ref. \[5\].
 //!
 //! Ties are broken by *ascending item id* so that results are deterministic
 //! and independent of push order — important both for reproducible
@@ -113,7 +113,7 @@ impl TopK {
     ///
     /// Non-finite scores are rejected outright (in release builds too):
     /// a NaN has no meaningful rank — `partial_cmp` against it returns
-    /// `None`, which [`rank_cmp`](ScoredItem::rank_cmp) would quietly
+    /// `None`, which the internal `rank_cmp` ordering would quietly
     /// resolve by item id, letting a NaN-scored item displace real ones.
     pub fn push(&mut self, item: ItemId, score: f64) -> bool {
         if self.k == 0 || !score.is_finite() {

@@ -375,7 +375,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec`](vec()).
     pub struct VecStrategy<S> {
         elem: S,
         size: SizeRange,

@@ -12,7 +12,7 @@
 //!
 //! ## Architecture
 //!
-//! * **Pools.** A [`ThreadPool`] owns a [`PoolCore`]: `num_threads`
+//! * **Pools.** A [`ThreadPool`] owns a `PoolCore`: `num_threads`
 //!   worker threads plus an injector (a mutex-guarded queue of batch
 //!   handles with a condvar for wakeups). A process-wide **global pool**
 //!   sized to the machine's available parallelism starts lazily on first

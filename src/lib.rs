@@ -81,13 +81,19 @@
 //!   endpoints of every pair from one upper-triangle pass per user.
 //!   The kernel is bitwise identical to the per-pair path (same
 //!   merge-join accumulation order), pinned by proptests.
-//! * **Caching contract.** The index memoizes each user's *full*
-//!   (uncapped, unmasked) peer list; request-time views mask co-members
-//!   and truncate to `max_peers`, which is provably equivalent to
-//!   recomputing with an exclusion set. Entries are never revalidated:
-//!   after mutating ratings or profiles, call
-//!   `RecommenderEngine::invalidate_peers` (or the index's per-user
-//!   `invalidate_user`); `PeerIndex::generation` is the freshness token.
+//! * **Caching contract & live ingestion.** The index memoizes each
+//!   user's *full* (uncapped, unmasked) peer list; request-time views
+//!   mask co-members and truncate to `max_peers`, which is provably
+//!   equivalent to recomputing with an exclusion set. Entries are never
+//!   revalidated; instead the rating relation is live:
+//!   `RecommenderEngine::ingest_rating` patches the matrix in place and
+//!   repairs the warm index exactly with `PeerIndex::apply_delta` (one
+//!   kernel pass for the changed user, spliced into the affected lists
+//!   — bitwise identical to a cold rebuild). Bulk loads take
+//!   `ingest_ratings` + the blanket `invalidate_peers`;
+//!   `PeerIndex::generation` is the freshness token guarding in-flight
+//!   fills. `docs/ARCHITECTURE.md` documents the three peer-build paths
+//!   and the full update-path contract.
 //! * **Parallelism.** Every parallel loop (index warming, per-candidate
 //!   Equation 1, `recommend_batch` group fan-out) is an order-preserving
 //!   pure map, so results are bitwise identical across

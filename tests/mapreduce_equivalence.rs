@@ -59,10 +59,14 @@ fn compare(
     )
     .unwrap();
 
-    // Both edge producers — the paper's Job 0→1→2 chain and the
-    // inverted-index bulk kernel — must reproduce the in-memory
-    // reference exactly.
-    for edge_producer in [EdgeProducer::MapReduce, EdgeProducer::BulkKernel] {
+    // Every edge producer — the paper's Job 0→1→2 chain, the
+    // inverted-index bulk kernel, and the incremental delta-maintained
+    // index — must reproduce the in-memory reference exactly.
+    for edge_producer in [
+        EdgeProducer::MapReduce,
+        EdgeProducer::BulkKernel,
+        EdgeProducer::Incremental { holdout: 41 },
+    ] {
         let (pipeline, report) = mapreduce_group_predictions(
             data.matrix.to_triples(),
             data.matrix.num_items(),
