@@ -11,6 +11,7 @@
 //! old-vs-new speedup table in CI logs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairrec_bench::bench_thread_counts;
 use fairrec_core::Group;
 use fairrec_data::{SyntheticConfig, SyntheticDataset};
 use fairrec_engine::{EngineConfig, RecommenderEngine};
@@ -87,9 +88,12 @@ fn bench_cold_full_warm(c: &mut Criterion) {
         }
     }
 
+    // `FAIRREC_THREADS` (default `1,8`) pins the sweep, so each CI
+    // matrix job measures exactly its own thread count instead of
+    // rerunning the other job's (expensive) all-pairs baseline.
     let mut bench = c.benchmark_group("cold_full_warm");
     bench.sample_size(10);
-    for threads in [1usize, 8] {
+    for threads in bench_thread_counts() {
         bench.bench_with_input(
             BenchmarkId::new("all_pairs_scan", threads),
             &threads,
@@ -124,7 +128,8 @@ fn bench_cold_full_warm(c: &mut Criterion) {
     bench.finish();
 }
 
-/// Eager warming of the whole index across 1/2/4/8 rayon threads.
+/// Eager warming of the whole index across the `FAIRREC_THREADS` sweep
+/// (default 1 and 8 threads).
 fn bench_warm_thread_sweep(c: &mut Criterion) {
     let data = fixture(300);
     let measure = RatingsSimilarity::new(&data.matrix);
@@ -132,7 +137,7 @@ fn bench_warm_thread_sweep(c: &mut Criterion) {
 
     let mut bench = c.benchmark_group("peer_index_warm");
     bench.sample_size(10);
-    for threads in [1usize, 2, 4, 8] {
+    for threads in bench_thread_counts() {
         bench.bench_with_input(
             BenchmarkId::new("threads", threads),
             &threads,

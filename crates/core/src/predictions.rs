@@ -160,12 +160,75 @@ pub fn compute_group_predictions_with_index<S: BulkUserSimilarity + ?Sized>(
             return Err(fairrec_types::FairrecError::UnknownUser { user: m });
         }
     }
+    compute_group_predictions_from_peers(
+        matrix,
+        index.group_peers(measure, group.members()),
+        group,
+        config,
+    )
+}
 
+/// The Equation-1 + Definition-2 phase over **pre-resolved** peer lists —
+/// the common tail every Definition-1 source funnels into: the monolithic
+/// [`PeerIndex`] (via
+/// [`compute_group_predictions_with_index`]) and the sharded index, whose
+/// scatter-gather lookup lives in `fairrec-similarity` and hands the
+/// merged per-member lists in here. `peers` must hold one
+/// `(member, masked peer list)` entry per group member, in member order —
+/// exactly what `group_peers` produces on either index.
+///
+/// # Errors
+/// Returns [`fairrec_types::FairrecError::UnknownUser`] when a peers
+/// entry names a non-member, and
+/// [`fairrec_types::FairrecError::InvalidParameter`] for other shape
+/// defects (wrong length, wrong member order).
+pub fn compute_group_predictions_from_peers(
+    matrix: &RatingMatrix,
+    peers: Vec<(UserId, Vec<(UserId, f64)>)>,
+    group: &Group,
+    config: GroupPredictionConfig,
+) -> Result<GroupPredictions> {
+    if peers.len() != group.members().len()
+        || peers
+            .iter()
+            .zip(group.members())
+            .any(|((who, _), &member)| *who != member)
+    {
+        if let Some(offender) = peers
+            .iter()
+            .map(|&(who, _)| who)
+            .find(|who| !group.contains(*who))
+        {
+            return Err(fairrec_types::FairrecError::UnknownUser { user: offender });
+        }
+        // Every listed user is a member, so the defect is structural:
+        // name the first out-of-place entry (or the length mismatch)
+        // instead of blaming a fabricated user id.
+        let detail = peers
+            .iter()
+            .zip(group.members())
+            .find(|((who, _), &member)| *who != member)
+            .map_or_else(
+                || {
+                    format!(
+                        "got {} peer lists for {} members",
+                        peers.len(),
+                        group.members().len()
+                    )
+                },
+                |((who, _), &member)| {
+                    format!("peer list for {who} where member {member} was expected")
+                },
+            );
+        return Err(fairrec_types::FairrecError::invalid_parameter(
+            "peers",
+            format!("peer lists must match the group members in order: {detail}"),
+        ));
+    }
     let items = matrix.unrated_by_all(group.members());
     let predictor = RelevancePredictor::new(matrix);
 
-    let member_scores: Vec<Vec<Option<Relevance>>> = index
-        .group_peers(measure, group.members())
+    let member_scores: Vec<Vec<Option<Relevance>>> = peers
         .into_iter()
         .map(|(_, peers)| predictor.predict_many_with(&peers, &items, config.parallelism))
         .collect();

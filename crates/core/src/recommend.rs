@@ -46,9 +46,28 @@ pub fn single_user_top_k_with_index<S: BulkUserSimilarity + ?Sized>(
     if user.raw() >= matrix.num_users() {
         return Err(FairrecError::UnknownUser { user });
     }
-    let peers = index.peers_of(measure, user);
+    single_user_top_k_from_peers(matrix, &index.peers_of(measure, user), user, k)
+}
+
+/// Recommends the top-k unrated items for a single user over a
+/// **pre-resolved** Definition-1 peer list — the shared tail of the
+/// monolithic and sharded serving paths (the sharded index resolves the
+/// list in `fairrec-similarity` and hands it in here).
+///
+/// # Errors
+/// [`FairrecError::UnknownUser`] when `user` lies outside the matrix's
+/// user space.
+pub fn single_user_top_k_from_peers(
+    matrix: &RatingMatrix,
+    peers: &fairrec_similarity::Peers,
+    user: UserId,
+    k: usize,
+) -> Result<Vec<ScoredItem>> {
+    if user.raw() >= matrix.num_users() {
+        return Err(FairrecError::UnknownUser { user });
+    }
     let candidates = matrix.unrated_by_all(&[user]);
-    Ok(RelevancePredictor::new(matrix).top_k(&peers, &candidates, k))
+    Ok(RelevancePredictor::new(matrix).top_k(peers, &candidates, k))
 }
 
 #[cfg(test)]

@@ -84,6 +84,17 @@ pub struct EngineConfig {
     /// `Sequential` pins single-threaded execution for determinism tests
     /// and tiny workloads.
     pub parallelism: Parallelism,
+    /// `Some(S)` hash-partitions the user universe into `S` shards: the
+    /// rating matrix is split per user, cold peer warms decompose into
+    /// per-shard-pair kernel tasks, and every request's peer lookups
+    /// route to each member's owning shard (scatter-gather). Results are
+    /// **bitwise identical** to the monolithic index for any `S`. Only
+    /// supported with [`SimilarityKind::Ratings`] — the shard kernels
+    /// are the inverted-index Pearson passes; profile/semantic measures
+    /// do not derive from the rating relation, so partitioning it would
+    /// not shard their work. `None` (the default) keeps the monolithic
+    /// [`fairrec_similarity::PeerIndex`].
+    pub num_shards: Option<u32>,
 }
 
 impl Default for EngineConfig {
@@ -101,6 +112,7 @@ impl Default for EngineConfig {
             pad_to_z: true,
             execution: ExecutionPath::InMemory,
             parallelism: Parallelism::default(),
+            num_shards: None,
         }
     }
 }
@@ -125,6 +137,21 @@ impl EngineConfig {
                 "pool_size",
                 "must be ≥ 1 when set",
             ));
+        }
+        if let Some(shards) = self.num_shards {
+            if shards == 0 {
+                return Err(FairrecError::invalid_parameter(
+                    "num_shards",
+                    "must be ≥ 1 when set",
+                ));
+            }
+            if !matches!(self.similarity, SimilarityKind::Ratings) {
+                return Err(FairrecError::invalid_parameter(
+                    "num_shards",
+                    "sharding requires the ratings similarity backend \
+                     (the shard kernels are rating-matrix passes)",
+                ));
+            }
         }
         if let SimilarityKind::Hybrid {
             ratings,
@@ -200,9 +227,30 @@ mod tests {
                 },
                 ..Default::default()
             },
+            EngineConfig {
+                num_shards: Some(0),
+                ..Default::default()
+            },
+            EngineConfig {
+                num_shards: Some(2),
+                similarity: SimilarityKind::Profile,
+                ..Default::default()
+            },
         ];
         for cfg in bad {
             assert!(cfg.validate().is_err(), "{cfg:?} should be invalid");
+        }
+    }
+
+    #[test]
+    fn sharded_ratings_config_is_valid() {
+        for shards in [1, 2, 8] {
+            EngineConfig {
+                num_shards: Some(shards),
+                ..Default::default()
+            }
+            .validate()
+            .unwrap();
         }
     }
 

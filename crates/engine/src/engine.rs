@@ -22,20 +22,22 @@ use fairrec_core::greedy::{algorithm1, plain_top_z, Selection};
 use fairrec_core::group::Group;
 use fairrec_core::pool::CandidatePool;
 use fairrec_core::predictions::{
-    compute_group_predictions_with_index, GroupPredictionConfig, GroupPredictions,
+    compute_group_predictions_from_peers, compute_group_predictions_with_index,
+    GroupPredictionConfig, GroupPredictions,
 };
-use fairrec_core::recommend::single_user_top_k_with_index;
+use fairrec_core::recommend::{single_user_top_k_from_peers, single_user_top_k_with_index};
 use fairrec_core::swap::swap_refine;
 use fairrec_mapreduce::{mapreduce_group_predictions, PipelineConfig};
 use fairrec_ontology::Ontology;
 use fairrec_phr::PhrStore;
 use fairrec_similarity::{
-    BulkUserSimilarity, DeltaOutcome, HybridSimilarity, PeerIndex, PeerSelector, ProfileSimilarity,
-    RatingsSimilarity, Rescale01, SemanticSimilarity, UserSimilarity,
+    BulkUserSimilarity, DeltaOutcome, HybridSimilarity, PeerIndex, PeerSelector, Peers,
+    ProfileSimilarity, RatingsSimilarity, Rescale01, SemanticSimilarity, ShardedPeerIndex,
+    ShardedRatingsSimilarity, UserSimilarity,
 };
 use fairrec_types::{
     FairrecError, ItemId, Parallelism, Rating, RatingMatrix, RatingMatrixBuilder, Result,
-    ScoredItem, UserId,
+    ScoredItem, ShardSpec, ShardedRatingMatrix, UserId,
 };
 use std::sync::Arc;
 
@@ -155,6 +157,126 @@ impl UserSimilarity for DetachedMeasure {
 
 impl BulkUserSimilarity for DetachedMeasure {}
 
+/// The engine's Definition-1 serving backend: either the process-wide
+/// monolithic [`PeerIndex`] or its hash-partitioned scale-out form
+/// ([`ShardedPeerIndex`] over a [`ShardedRatingMatrix`], enabled with
+/// [`EngineConfig::num_shards`]). Both serve bitwise-identical peer
+/// lists; the facade methods below are the common surface request paths
+/// and tests read.
+pub enum PeerBackend {
+    /// One index over the whole universe.
+    Mono(PeerIndex),
+    /// One index (and one matrix partition) per shard; lookups route to
+    /// each user's owning shard.
+    Sharded {
+        /// The user-partitioned rating store feeding the shard kernels.
+        matrix: ShardedRatingMatrix,
+        /// The per-shard peer index.
+        index: ShardedPeerIndex,
+        /// Pearson minimum overlap (mirrors the engine config, so the
+        /// backend can rebuild its scatter-gather measure on demand).
+        min_overlap: usize,
+    },
+}
+
+impl PeerBackend {
+    /// Size of the user universe the backend answers for.
+    pub fn num_users(&self) -> u32 {
+        match self {
+            Self::Mono(index) => index.num_users(),
+            Self::Sharded { index, .. } => index.num_users(),
+        }
+    }
+
+    /// Number of cached peer lists (for the sharded backend this counts
+    /// every shard's slots, including delta-bookkeeping entries in
+    /// non-owning shards).
+    pub fn num_cached(&self) -> usize {
+        match self {
+            Self::Mono(index) => index.num_cached(),
+            Self::Sharded { index, .. } => index.num_cached(),
+        }
+    }
+
+    /// Monotone freshness token (the per-shard token sum for the sharded
+    /// backend).
+    pub fn generation(&self) -> u64 {
+        match self {
+            Self::Mono(index) => index.generation(),
+            Self::Sharded { index, .. } => index.generation(),
+        }
+    }
+
+    /// The raw cached full list of `user`, if present (served from the
+    /// owning shard under the sharded backend).
+    pub fn cached_full(&self, user: UserId) -> Option<Arc<Peers>> {
+        match self {
+            Self::Mono(index) => index.cached_full(user),
+            Self::Sharded { index, .. } => index.cached_full(user),
+        }
+    }
+
+    /// The memoized full peer list of `user`. The monolithic backend
+    /// resolves cold misses through `measure`; the sharded backend
+    /// resolves them through its own scatter-gather measure (which is
+    /// bitwise interchangeable with the engine's ratings measure — the
+    /// sharding contract), so `measure` is unused there.
+    pub fn full_peers<S: BulkUserSimilarity + ?Sized>(
+        &self,
+        measure: &S,
+        user: UserId,
+    ) -> Arc<Peers> {
+        match self {
+            Self::Mono(index) => index.full_peers(measure, user),
+            Self::Sharded {
+                matrix,
+                index,
+                min_overlap,
+            } => index.full_peers(
+                &ShardedRatingsSimilarity::new(matrix).with_min_overlap(*min_overlap),
+                user,
+            ),
+        }
+    }
+
+    /// Drops every cached list (both backends bump their tokens first).
+    pub fn invalidate_all(&self) {
+        match self {
+            Self::Mono(index) => index.invalidate_all(),
+            Self::Sharded { index, .. } => index.invalidate_all(),
+        }
+    }
+
+    /// The monolithic index, when this backend is monolithic.
+    pub fn as_mono(&self) -> Option<&PeerIndex> {
+        match self {
+            Self::Mono(index) => Some(index),
+            Self::Sharded { .. } => None,
+        }
+    }
+
+    /// The sharded index, when this backend is sharded.
+    pub fn as_sharded(&self) -> Option<&ShardedPeerIndex> {
+        match self {
+            Self::Mono(_) => None,
+            Self::Sharded { index, .. } => Some(index),
+        }
+    }
+}
+
+impl std::fmt::Debug for PeerBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Mono(index) => f.debug_tuple("Mono").field(index).finish(),
+            Self::Sharded { index, .. } => f
+                .debug_struct("Sharded")
+                .field("num_shards", &index.num_shards())
+                .field("num_cached", &index.num_cached())
+                .finish(),
+        }
+    }
+}
+
 /// The engine: owns the dataset, the similarity backend (built once at
 /// construction), and the shared [`PeerIndex`], and serves
 /// recommendations over them.
@@ -170,8 +292,9 @@ pub struct RecommenderEngine {
     /// one-vs-all path (the inverted-index kernel for `Ratings`, per-pair
     /// fallbacks elsewhere).
     measure: Box<dyn BulkUserSimilarity + Send + Sync>,
-    /// Cached Definition-1 peer lists; every request path goes through it.
-    peer_index: PeerIndex,
+    /// Cached Definition-1 peer lists (monolithic or sharded); every
+    /// request path goes through it.
+    peers: PeerBackend,
 }
 
 impl std::fmt::Debug for RecommenderEngine {
@@ -181,7 +304,7 @@ impl std::fmt::Debug for RecommenderEngine {
             .field("num_items", &self.matrix.num_items())
             .field("num_ratings", &self.matrix.num_ratings())
             .field("measure", &self.measure.name())
-            .field("cached_peer_lists", &self.peer_index.num_cached())
+            .field("cached_peer_lists", &self.peers.num_cached())
             .field("config", &self.config)
             .finish()
     }
@@ -210,7 +333,17 @@ impl RecommenderEngine {
         if let Some(cap) = config.max_peers {
             selector = selector.with_max_peers(cap);
         }
-        let peer_index = PeerIndex::new(selector, matrix.num_users());
+        let peers = match config.num_shards {
+            Some(shards) => {
+                let spec = ShardSpec::new(shards)?;
+                PeerBackend::Sharded {
+                    matrix: ShardedRatingMatrix::from_matrix(&matrix, spec)?,
+                    index: ShardedPeerIndex::new(selector, spec, matrix.num_users()),
+                    min_overlap: config.min_overlap,
+                }
+            }
+            None => PeerBackend::Mono(PeerIndex::new(selector, matrix.num_users())),
+        };
         Ok(Self {
             matrix,
             profiles,
@@ -218,7 +351,7 @@ impl RecommenderEngine {
             config,
             profile_sim,
             measure,
-            peer_index,
+            peers,
         })
     }
 
@@ -295,9 +428,9 @@ impl RecommenderEngine {
         &self.profile_sim
     }
 
-    /// The shared peer index.
-    pub fn peer_index(&self) -> &PeerIndex {
-        &self.peer_index
+    /// The shared peer backend (monolithic or sharded index).
+    pub fn peer_index(&self) -> &PeerBackend {
+        &self.peers
     }
 
     /// Eagerly computes every user's peer list (fanned out across the
@@ -305,11 +438,23 @@ impl RecommenderEngine {
     /// On a fully cold index with a bitwise-symmetric backend (the
     /// `Ratings` kernel), this takes the symmetric bulk warm — one
     /// upper-triangle kernel pass per user fills both endpoints' lists;
-    /// otherwise it degrades to the per-user bulk warm. Returns the
-    /// number of lists computed.
+    /// the sharded backend decomposes that triangle into per-shard-pair
+    /// tasks on the worker pool. Otherwise it degrades to the per-user
+    /// bulk warm. Returns the number of lists computed.
     pub fn warm_peer_index(&self) -> usize {
-        self.peer_index
-            .warm_symmetric(&self.measure, self.config.parallelism)
+        match &self.peers {
+            PeerBackend::Mono(index) => {
+                index.warm_symmetric(&self.measure, self.config.parallelism)
+            }
+            PeerBackend::Sharded {
+                matrix,
+                index,
+                min_overlap,
+            } => index.warm_symmetric(
+                &ShardedRatingsSimilarity::new(matrix).with_min_overlap(*min_overlap),
+                self.config.parallelism,
+            ),
+        }
     }
 
     /// Drops every cached peer list — the blanket maintenance path for
@@ -318,7 +463,24 @@ impl RecommenderEngine {
     /// [`ingest_rating`](Self::ingest_rating) instead, which keeps the
     /// warm index and repairs only the affected lists.
     pub fn invalidate_peers(&self) {
-        self.peer_index.invalidate_all();
+        self.peers.invalidate_all();
+    }
+
+    /// The group's masked Definition-1 peer lists from whichever backend
+    /// is configured — the per-member fan-out of the serving path (each
+    /// member routes to its owning shard under the sharded backend).
+    fn group_peer_lists(&self, group: &[UserId]) -> Vec<(UserId, Peers)> {
+        match &self.peers {
+            PeerBackend::Mono(index) => index.group_peers(&self.measure, group),
+            PeerBackend::Sharded {
+                matrix,
+                index,
+                min_overlap,
+            } => index.group_peers(
+                &ShardedRatingsSimilarity::new(matrix).with_min_overlap(*min_overlap),
+                group,
+            ),
+        }
     }
 
     /// Ingests one live rating — inserting a new `(user, item)` fact or
@@ -374,15 +536,29 @@ impl RecommenderEngine {
         // — growing cannot stale anything), and the pre-cache below then
         // materialises the user's pre-change list as the empty list,
         // which is exactly what keeps the subsequent delta exact.
-        if delta_capable && user.raw() >= self.peer_index.num_users() {
-            self.peer_index = self.peer_index.grow_universe(user.raw() + 1);
+        if delta_capable && user.raw() >= self.peers.num_users() {
+            self.grow_peer_universe(user.raw() + 1);
         }
         // Exactness precondition of `apply_delta`: the user's pre-change
         // list must be cached whenever any list is. Materialise it
         // through the ordinary lazy-fill path while the matrix still
-        // holds pre-change data (a cache hit on a warm index).
-        if delta_capable && self.peer_index.num_cached() > 0 {
-            let _ = self.peer_index.full_peers(&self.measure, user);
+        // holds pre-change data (a cache hit on a warm index); the
+        // sharded backend additionally seeds the user's shard-scoped
+        // lists into the non-owning shards.
+        if delta_capable && self.peers.num_cached() > 0 {
+            match &self.peers {
+                PeerBackend::Mono(index) => {
+                    let _ = index.full_peers(&self.measure, user);
+                }
+                PeerBackend::Sharded {
+                    matrix,
+                    index,
+                    min_overlap,
+                } => index.prepare_delta(
+                    &ShardedRatingsSimilarity::new(matrix).with_min_overlap(*min_overlap),
+                    user,
+                ),
+            }
         }
         let previous = self.patch_matrix(|matrix| {
             if is_update {
@@ -391,6 +567,22 @@ impl RecommenderEngine {
                 matrix.insert_rating(user, item, rating).map(|()| None)
             }
         })?;
+        // Keep the shard partition in lockstep with the just-patched
+        // matrix. The same pre-validated op on the same relation cannot
+        // fail here — a failure would mean the partition diverged, which
+        // is a logic bug worth stopping on, not an input error.
+        if let PeerBackend::Sharded { matrix, .. } = &mut self.peers {
+            if is_update {
+                matrix
+                    .update_rating(user, item, rating)
+                    .map(|_| ())
+                    .expect("shard partition is in lockstep with the matrix");
+            } else {
+                matrix
+                    .insert_rating(user, item, rating)
+                    .expect("shard partition is in lockstep with the matrix");
+            }
+        }
         let peers = self.refresh_peers_after(user, delta_capable);
         Ok(IngestReport {
             op: match previous {
@@ -457,12 +649,48 @@ impl RecommenderEngine {
             *matrix = builder.build()?;
             Ok(())
         })?;
-        if self.matrix.num_users() > self.peer_index.num_users() {
-            self.peer_index = self.peer_index.rebuild_cold(self.matrix.num_users());
+        // The blanket path re-partitions the shard matrices from the
+        // rebuilt relation in one pass (same cost shape as the global
+        // rebuild) before the index-side invalidation below.
+        if let PeerBackend::Sharded { matrix, .. } = &mut self.peers {
+            *matrix = ShardedRatingMatrix::from_matrix(&self.matrix, matrix.spec())?;
+        }
+        if self.matrix.num_users() > self.peers.num_users() {
+            self.rebuild_peers_cold(self.matrix.num_users());
         } else if self.ratings_feed_measure() {
-            self.peer_index.invalidate_all();
+            self.peers.invalidate_all();
         }
         Ok(applied)
+    }
+
+    /// Grows the peer universe in place (warm lists preserved — see
+    /// [`PeerIndex::grow_universe`]), whichever backend is configured.
+    fn grow_peer_universe(&mut self, num_users: u32) {
+        match &mut self.peers {
+            PeerBackend::Mono(index) => {
+                let grown = index.grow_universe(num_users);
+                *index = grown;
+            }
+            PeerBackend::Sharded { index, .. } => {
+                let grown = index.grow_universe(num_users);
+                *index = grown;
+            }
+        }
+    }
+
+    /// Replaces the peer index with a cold one over `num_users`,
+    /// generation-preserving ([`PeerIndex::rebuild_cold`] semantics).
+    fn rebuild_peers_cold(&mut self, num_users: u32) {
+        match &mut self.peers {
+            PeerBackend::Mono(index) => {
+                let rebuilt = index.rebuild_cold(num_users);
+                *index = rebuilt;
+            }
+            PeerBackend::Sharded { index, .. } => {
+                let rebuilt = index.rebuild_cold(num_users);
+                *index = rebuilt;
+            }
+        }
     }
 
     /// Rejects the sentinel ids the `raw() + 1` id-space sizing cannot
@@ -524,7 +752,7 @@ impl RecommenderEngine {
     /// Post-mutation peer maintenance for a single-rating change by
     /// `user` (the matrix already holds the new data).
     fn refresh_peers_after(&mut self, user: UserId, delta_capable: bool) -> PeerMaintenance {
-        if self.matrix.num_users() > self.peer_index.num_users() {
+        if self.matrix.num_users() > self.peers.num_users() {
             // The id space grew past the index universe under a backend
             // whose similarities do not derive from the rating relation
             // alone (the delta-capable path grows in place *before* the
@@ -533,17 +761,32 @@ impl RecommenderEngine {
             // stale — rebuild cold over the larger universe
             // (generation-preserving, so downstream freshness tokens
             // stay monotonic).
-            self.peer_index = self.peer_index.rebuild_cold(self.matrix.num_users());
+            self.rebuild_peers_cold(self.matrix.num_users());
             return PeerMaintenance::UniverseGrown;
         }
         if !self.ratings_feed_measure() {
             return PeerMaintenance::Unaffected;
         }
         if !delta_capable {
-            self.peer_index.invalidate_all();
+            self.peers.invalidate_all();
             return PeerMaintenance::InvalidatedAll;
         }
-        match self.peer_index.apply_delta(&self.measure, user) {
+        let outcome = match &self.peers {
+            PeerBackend::Mono(index) => index.apply_delta(&self.measure, user),
+            PeerBackend::Sharded {
+                matrix,
+                index,
+                min_overlap,
+            } => {
+                index
+                    .apply_delta(
+                        &ShardedRatingsSimilarity::new(matrix).with_min_overlap(*min_overlap),
+                        user,
+                    )
+                    .outcome
+            }
+        };
+        match outcome {
             DeltaOutcome::Spliced { touched } => PeerMaintenance::DeltaSpliced { touched },
             DeltaOutcome::ColdIndex => PeerMaintenance::IndexCold,
             // Universe growth is handled above, so the delta user is
@@ -572,13 +815,7 @@ impl RecommenderEngine {
             parallelism,
         };
         match self.config.execution {
-            ExecutionPath::InMemory => compute_group_predictions_with_index(
-                &self.matrix,
-                &self.measure,
-                &self.peer_index,
-                group,
-                cfg,
-            ),
+            ExecutionPath::InMemory => self.in_memory_predictions(group, cfg),
             ExecutionPath::MapReduce(job) => {
                 // The MapReduce pipeline computes ratings-based similarity
                 // (the decomposable measure of §IV); other measures fall
@@ -587,13 +824,7 @@ impl RecommenderEngine {
                 // corpus, ontology paths) that the paper's jobs do not
                 // shuffle.
                 if !matches!(self.config.similarity, SimilarityKind::Ratings) {
-                    return compute_group_predictions_with_index(
-                        &self.matrix,
-                        &self.measure,
-                        &self.peer_index,
-                        group,
-                        cfg,
-                    );
+                    return self.in_memory_predictions(group, cfg);
                 }
                 let pipeline = PipelineConfig {
                     delta: self.config.delta,
@@ -614,6 +845,36 @@ impl RecommenderEngine {
                     &pipeline,
                 )?;
                 Ok(preds)
+            }
+        }
+    }
+
+    /// The in-memory prediction phase, routed through whichever peer
+    /// backend is configured. Both routes funnel into the same
+    /// Equation-1 tail
+    /// ([`compute_group_predictions_from_peers`]); the sharded route
+    /// resolves each member's peers on their owning shard first.
+    fn in_memory_predictions(
+        &self,
+        group: &Group,
+        cfg: GroupPredictionConfig,
+    ) -> Result<GroupPredictions> {
+        match &self.peers {
+            PeerBackend::Mono(index) => {
+                compute_group_predictions_with_index(&self.matrix, &self.measure, index, group, cfg)
+            }
+            PeerBackend::Sharded { .. } => {
+                for &m in group.members() {
+                    if m.raw() >= self.matrix.num_users() {
+                        return Err(FairrecError::UnknownUser { user: m });
+                    }
+                }
+                compute_group_predictions_from_peers(
+                    &self.matrix,
+                    self.group_peer_lists(group.members()),
+                    group,
+                    cfg,
+                )
             }
         }
     }
@@ -734,12 +995,27 @@ impl RecommenderEngine {
     }
 
     /// Single-user top-k recommendation (§III-A), served through the
-    /// shared peer index.
+    /// shared peer backend.
     ///
     /// # Errors
     /// Propagates unknown-user failures.
     pub fn recommend_for_user(&self, user: UserId, k: usize) -> Result<Vec<ScoredItem>> {
-        single_user_top_k_with_index(&self.matrix, &self.measure, &self.peer_index, user, k)
+        match &self.peers {
+            PeerBackend::Mono(index) => {
+                single_user_top_k_with_index(&self.matrix, &self.measure, index, user, k)
+            }
+            PeerBackend::Sharded {
+                matrix,
+                index,
+                min_overlap,
+            } => {
+                let peers = index.peers_of(
+                    &ShardedRatingsSimilarity::new(matrix).with_min_overlap(*min_overlap),
+                    user,
+                );
+                single_user_top_k_from_peers(&self.matrix, &peers, user, k)
+            }
+        }
     }
 
     /// Batched group serving: recommends a top-z package for every group,
@@ -1148,6 +1424,132 @@ mod tests {
         live.warm_peer_index();
         let fresh = rebuilt_engine(&live);
         let g = group(&live);
+        assert_eq!(
+            live.recommend_for_group(&g, 6).unwrap(),
+            fresh.recommend_for_group(&g, 6).unwrap()
+        );
+    }
+
+    /// The sharded engine must be bitwise interchangeable with the
+    /// monolithic one: same batches, same packages, same peer lists —
+    /// for every shard count, warm or cold.
+    #[test]
+    fn sharded_engine_matches_monolithic_batches() {
+        let mono = engine(EngineConfig::default());
+        mono.warm_peer_index();
+        let groups: Vec<Group> = (0..6u32)
+            .map(|g| {
+                Group::new(
+                    GroupId::new(g),
+                    [
+                        UserId::new(g * 3),
+                        UserId::new(g * 3 + 1),
+                        UserId::new(g * 3 + 2),
+                    ],
+                )
+                .unwrap()
+            })
+            .collect();
+        let want = mono.recommend_batch(&groups, 6).unwrap();
+        for shards in [1u32, 2, 3, 8] {
+            let e = engine(EngineConfig {
+                num_shards: Some(shards),
+                ..Default::default()
+            });
+            // Cold path: lookups scatter-gather on the miss.
+            assert_eq!(
+                e.recommend_batch(&groups, 6).unwrap(),
+                want,
+                "S={shards}, cold"
+            );
+            // Warm path: per-shard-pair symmetric warm, then cache hits.
+            e.invalidate_peers();
+            assert_eq!(
+                e.warm_peer_index(),
+                e.matrix().num_users() as usize,
+                "S={shards}"
+            );
+            assert_eq!(
+                e.recommend_batch(&groups, 6).unwrap(),
+                want,
+                "S={shards}, warm"
+            );
+            for u in (0..e.matrix().num_users()).map(UserId::new) {
+                assert_eq!(
+                    e.peer_index().cached_full(u),
+                    mono.peer_index().cached_full(u),
+                    "S={shards}, peer list of {u}"
+                );
+            }
+            // Single-user serving routes through the same lists.
+            assert_eq!(
+                e.recommend_for_user(UserId::new(5), 10).unwrap(),
+                mono.recommend_for_user(UserId::new(5), 10).unwrap(),
+                "S={shards}"
+            );
+            assert!(e.recommend_for_user(UserId::new(9999), 5).is_err());
+        }
+    }
+
+    #[test]
+    fn sharded_ingest_stream_matches_fresh_engine_bitwise() {
+        let mut live = engine(EngineConfig {
+            num_shards: Some(3),
+            ..Default::default()
+        });
+        live.warm_peer_index();
+        let g = group(&live);
+        // Inserts, an update, and a brand-new user growing the universe
+        // in place — the same stream shape as the monolithic test.
+        let grown = live.matrix().num_users() + 2;
+        let events = [
+            (UserId::new(0), ItemId::new(140), 4.5),
+            (UserId::new(17), ItemId::new(3), 2.0),
+            (UserId::new(17), ItemId::new(3), 5.0), // update
+            (UserId::new(grown - 1), ItemId::new(7), 3.0),
+        ];
+        for &(u, i, s) in &events {
+            let report = live.ingest_rating(u, i, s).unwrap();
+            assert!(
+                matches!(report.peers, PeerMaintenance::DeltaSpliced { .. }),
+                "sharded ratings backend must stay on the delta path, got {report:?}"
+            );
+        }
+        assert_eq!(live.peer_index().num_users(), grown);
+        // The new user landed in (and is served from) its owning shard.
+        let sharded = live.peer_index().as_sharded().expect("sharded backend");
+        assert!(sharded.cached_full(UserId::new(grown - 1)).is_some());
+
+        let fresh = rebuilt_engine(&live);
+        fresh.warm_peer_index();
+        // `full_peers` rather than `cached_full`: the in-place growth
+        // leaves the never-rated gap user's slot lazily cold while the
+        // fresh warm caches its empty list — the served lists must agree
+        // either way.
+        for u in (0..grown).map(UserId::new) {
+            assert_eq!(
+                live.peer_index().full_peers(live.measure(), u),
+                fresh.peer_index().full_peers(fresh.measure(), u),
+                "peer list of {u}"
+            );
+        }
+        assert_eq!(
+            live.recommend_for_group(&g, 6).unwrap(),
+            fresh.recommend_for_group(&g, 6).unwrap(),
+            "served packages must match a from-scratch sharded engine"
+        );
+
+        // Batch path: blanket invalidation + shard re-partition.
+        let applied = live
+            .ingest_ratings([
+                (UserId::new(1), ItemId::new(141), 2.0),
+                (UserId::new(2), ItemId::new(141), 4.0),
+            ])
+            .unwrap();
+        assert_eq!(applied, 2);
+        assert_eq!(live.peer_index().num_cached(), 0, "blanket path");
+        live.warm_peer_index();
+        let fresh = rebuilt_engine(&live);
         assert_eq!(
             live.recommend_for_group(&g, 6).unwrap(),
             fresh.recommend_for_group(&g, 6).unwrap()

@@ -23,6 +23,6 @@ pub mod evaluation;
 
 pub use config::{EngineConfig, ExecutionPath, SelectionAlgorithm, SimilarityKind};
 pub use engine::{
-    GroupRecommendation, IngestOp, IngestReport, MemberSatisfaction, PeerMaintenance,
+    GroupRecommendation, IngestOp, IngestReport, MemberSatisfaction, PeerBackend, PeerMaintenance,
     RecommendedItem, RecommenderEngine,
 };

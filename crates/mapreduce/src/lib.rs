@@ -35,6 +35,6 @@ pub mod topk;
 
 pub use engine::{run_job, JobConfig, JobMetrics, JobResult, Mapper, Reducer};
 pub use pipeline::{
-    incremental_sim_edges, kernel_sim_edges, mapreduce_group_predictions, EdgeProducer,
-    MapReducePipelineReport, PipelineConfig,
+    incremental_sim_edges, kernel_sim_edges, mapreduce_group_predictions, sharded_sim_edges,
+    EdgeProducer, MapReducePipelineReport, PipelineConfig,
 };

@@ -19,11 +19,12 @@ use fairrec_core::aggregate::{Aggregation, MissingPolicy};
 use fairrec_core::group::Group;
 use fairrec_core::predictions::GroupPredictions;
 use fairrec_similarity::{
-    BulkUserSimilarity, DeltaOutcome, PeerIndex, PeerSelector, RatingsSimilarity, SimScratch,
+    BulkUserSimilarity, DeltaOutcome, PeerIndex, PeerSelector, RatingsSimilarity, ShardedPeerIndex,
+    ShardedRatingsSimilarity, SimScratch,
 };
 use fairrec_types::{
     FairrecError, ItemId, Parallelism, RatingMatrix, RatingMatrixBuilder, RatingTriple, Relevance,
-    Result, UserId,
+    Result, ShardSpec, ShardedRatingMatrix, UserId,
 };
 use std::collections::HashMap;
 
@@ -58,6 +59,19 @@ pub enum EdgeProducer {
         /// `usize::MAX` replays the whole relation through the delta
         /// path.
         holdout: usize,
+    },
+    /// The sharded scale-out path ([`sharded_sim_edges`]): the matrix is
+    /// hash-partitioned into `num_shards` user shards, the peer lists
+    /// come off a
+    /// [`ShardedPeerIndex`] warmed
+    /// per shard pair, and the members' edges are read from their owning
+    /// shards — **bitwise identical** to
+    /// [`BulkKernel`](Self::BulkKernel) by the sharding contract. This
+    /// variant proves, inside the distributed formulation, that the
+    /// partitioned serving substrate equals the monolithic one.
+    Sharded {
+        /// Number of user shards (≥ 1).
+        num_shards: u32,
     },
 }
 
@@ -194,6 +208,40 @@ pub fn incremental_sim_edges(
     Ok(edges)
 }
 
+/// Produces the group's Definition-1 similarity edges from the **sharded
+/// serving substrate**: the matrix is hash-partitioned into `num_shards`
+/// user shards
+/// ([`ShardedRatingMatrix`]), a
+/// [`ShardedPeerIndex`] is warmed with the per-shard-pair symmetric
+/// kernel schedule, and each member's full list is read off its owning
+/// shard. By the sharding contract the emitted edges carry **bitwise**
+/// the same similarities as [`kernel_sim_edges`] over the unsharded
+/// matrix, for any shard count — asserted by this module's tests.
+///
+/// # Errors
+/// Propagates matrix partitioning failures and rejects `num_shards = 0`.
+pub fn sharded_sim_edges(
+    matrix: &RatingMatrix,
+    members: &[UserId],
+    delta: f64,
+    min_overlap: usize,
+    num_shards: u32,
+) -> Result<Vec<SimEdge>> {
+    let spec = ShardSpec::new(num_shards)?;
+    let sharded = ShardedRatingMatrix::from_matrix(matrix, spec)?;
+    let measure = ShardedRatingsSimilarity::new(&sharded).with_min_overlap(min_overlap);
+    let index = ShardedPeerIndex::new(PeerSelector::new(delta)?, spec, matrix.num_users());
+    index.warm_symmetric(&measure, Parallelism::Sequential);
+    let mut edges = Vec::new();
+    for &member in members {
+        let full = index.full_peers(&measure, member);
+        edges.extend(full.iter().filter_map(|&(peer, sim)| {
+            (!members.contains(&peer)).then_some(SimEdge { member, peer, sim })
+        }));
+    }
+    Ok(edges)
+}
+
 /// Metrics of each stage, for the scaling experiments (A4).
 #[derive(Debug, Clone, Default)]
 pub struct MapReducePipelineReport {
@@ -311,23 +359,36 @@ pub fn mapreduce_group_predictions(
             report.job2 = job2.metrics;
             job2.output
         }
-        producer @ (EdgeProducer::BulkKernel | EdgeProducer::Incremental { .. }) => {
-            // Both in-memory producers replace the Job 0/partial/Job 2
+        producer @ (EdgeProducer::BulkKernel
+        | EdgeProducer::Incremental { .. }
+        | EdgeProducer::Sharded { .. }) => {
+            // The in-memory producers replace the Job 0/partial/Job 2
             // chain; Job 1 runs candidates-only (the paper's grouping is
             // still what classifies items).
             // `RatingTriple` is `Copy`: read the relation by borrow so it
             // is not cloned just because Job 1 consumes it afterwards.
-            let edges = if let EdgeProducer::Incremental { holdout } = producer {
-                incremental_sim_edges(
+            let edges = match producer {
+                EdgeProducer::Incremental { holdout } => incremental_sim_edges(
                     &triples,
                     &members,
                     config.delta,
                     config.min_overlap,
                     holdout,
-                )?
-            } else {
-                let matrix = RatingMatrix::from_triples(triples.iter().copied())?;
-                kernel_sim_edges(&matrix, &members, config.delta, config.min_overlap)
+                )?,
+                EdgeProducer::Sharded { num_shards } => {
+                    let matrix = RatingMatrix::from_triples(triples.iter().copied())?;
+                    sharded_sim_edges(
+                        &matrix,
+                        &members,
+                        config.delta,
+                        config.min_overlap,
+                        num_shards,
+                    )?
+                }
+                _ => {
+                    let matrix = RatingMatrix::from_triples(triples.iter().copied())?;
+                    kernel_sim_edges(&matrix, &members, config.delta, config.min_overlap)
+                }
             };
             let job1 = run_job(
                 &Job1Mapper,
@@ -634,6 +695,52 @@ mod tests {
     }
 
     #[test]
+    fn sharded_edges_match_bulk_kernel_bitwise() {
+        let members = vec![UserId::new(0), UserId::new(1)];
+        let mut triples = fixture();
+        triples.sort_unstable_by_key(|t| (t.user, t.item));
+        let matrix = RatingMatrix::from_triples(triples.iter().copied()).unwrap();
+        let mut kernel = kernel_sim_edges(&matrix, &members, -1.0, 2);
+        kernel.sort_by_key(|e| (e.member, e.peer));
+        for num_shards in [1u32, 2, 3, 8] {
+            let mut sharded = sharded_sim_edges(&matrix, &members, -1.0, 2, num_shards).unwrap();
+            sharded.sort_by_key(|e| (e.member, e.peer));
+            assert_eq!(kernel.len(), sharded.len(), "S={num_shards}");
+            for (a, b) in kernel.iter().zip(&sharded) {
+                assert_eq!((a.member, a.peer), (b.member, b.peer), "S={num_shards}");
+                assert_eq!(
+                    a.sim.to_bits(),
+                    b.sim.to_bits(),
+                    "S={num_shards}: edge ({}, {}) must carry identical bits",
+                    a.member,
+                    a.peer
+                );
+            }
+        }
+        assert!(sharded_sim_edges(&matrix, &members, -1.0, 2, 0).is_err());
+    }
+
+    #[test]
+    fn sharded_producer_agrees_end_to_end() {
+        let group = Group::new(GroupId::new(0), [UserId::new(0), UserId::new(1)]).unwrap();
+        for (delta, num_shards) in [(-1.0, 1), (-1.0, 3), (0.0, 2), (0.5, 8)] {
+            let bulk = PipelineConfig {
+                delta,
+                edge_producer: EdgeProducer::BulkKernel,
+                ..Default::default()
+            };
+            let sharded = PipelineConfig {
+                edge_producer: EdgeProducer::Sharded { num_shards },
+                ..bulk
+            };
+            let (a, ra) = mapreduce_group_predictions(fixture(), 7, &group, &bulk).unwrap();
+            let (b, rb) = mapreduce_group_predictions(fixture(), 7, &group, &sharded).unwrap();
+            assert_eq!(a, b, "delta {delta}, shards {num_shards}");
+            assert_eq!(ra.sim_edges, rb.sim_edges);
+        }
+    }
+
+    #[test]
     fn duplicate_pairs_are_rejected_by_both_producers() {
         let group = Group::new(GroupId::new(0), [UserId::new(0)]).unwrap();
         let mut dup = fixture();
@@ -642,6 +749,7 @@ mod tests {
             EdgeProducer::MapReduce,
             EdgeProducer::BulkKernel,
             EdgeProducer::Incremental { holdout: 2 },
+            EdgeProducer::Sharded { num_shards: 3 },
         ] {
             let cfg = PipelineConfig {
                 edge_producer,

@@ -25,7 +25,13 @@
 //!   peer builds: every measure gets a per-pair fallback, and
 //!   [`RatingsSimilarity`] ships an inverted-index Pearson kernel whose
 //!   output is bitwise identical to the per-pair path (see the `bulk`
-//!   and `ratings` module docs).
+//!   and `ratings` module docs),
+//! * [`ShardedPeerIndex`] / [`ShardedRatingsSimilarity`] — the
+//!   scale-out form of the two above: the user universe hash-partitioned
+//!   into shards, cold warms decomposed into per-shard-pair kernel
+//!   tasks, lookups routed to each user's owning shard — bitwise
+//!   identical to the monolithic index for any shard count (see the
+//!   `sharded` module docs).
 //!
 //! A similarity may be *undefined* for a pair (no co-rated items, empty
 //! profiles, no recorded problems); measures return `Option<f64>` and
@@ -42,6 +48,7 @@ mod peers;
 mod profile;
 mod ratings;
 mod semantic;
+mod sharded;
 
 pub use bulk::{BulkUserSimilarity, PairwiseOnly, SimScratch};
 pub use clustering::{ClusteredPeerSelector, Clustering, KMedoids};
@@ -51,6 +58,7 @@ pub use peers::{PeerSelector, Peers};
 pub use profile::ProfileSimilarity;
 pub use ratings::RatingsSimilarity;
 pub use semantic::SemanticSimilarity;
+pub use sharded::{ShardedDeltaReport, ShardedPeerIndex, ShardedRatingsSimilarity};
 
 use fairrec_types::UserId;
 

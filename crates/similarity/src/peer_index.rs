@@ -272,6 +272,20 @@ impl PeerIndex {
         }
     }
 
+    /// Returns `self` with its generation token set to `generation` —
+    /// for swap-based maintenance flows that assemble a **replacement**
+    /// index (e.g. the sharded symmetric warm builds each shard's fresh
+    /// index from kernel edges via [`from_edges`](Self::from_edges), then
+    /// swaps it in) and must carry the replaced index's token forward so
+    /// downstream freshness checks stay monotonic, exactly as
+    /// [`rebuild_cold`](Self::rebuild_cold) does for the cold-rebuild
+    /// flow.
+    #[must_use]
+    pub fn with_generation(self, generation: u64) -> Self {
+        self.generation.store(generation, Ordering::Release);
+        self
+    }
+
     /// The selector whose δ / cap this index answers with.
     pub fn selector(&self) -> &PeerSelector {
         &self.selector

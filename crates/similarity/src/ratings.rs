@@ -95,51 +95,122 @@ impl<M: Borrow<RatingMatrix>> RatingsSimilarity<M> {
         above_only: bool,
     ) {
         let matrix = self.matrix.borrow();
-        let items = matrix.items_of(u);
-        if items.is_empty() {
-            // No ratings ⇒ µ_u undefined ⇒ per-pair Pearson is None for
-            // every candidate.
-            return;
-        }
-        let means = matrix.user_means();
-        let mu = means[u.index()];
-        scratch.begin(matrix.num_users() as usize);
-        for (&i, &ru) in items.iter().zip(matrix.scores_of(u)) {
-            let du = ru - mu;
-            let raters = matrix.users_of(i);
-            let scores = matrix.rater_scores_of(i);
-            // Columns are sorted by user id: in above-only mode start
-            // past `u`; in full mode only `u` itself needs skipping.
-            let start = if above_only {
-                raters.partition_point(|&v| v <= u)
-            } else {
-                0
-            };
-            for (&v, &rv) in raters[start..].iter().zip(&scores[start..]) {
-                if v == u {
-                    continue;
-                }
-                if v.raw() >= num_users {
-                    // Ascending ids: nothing further is in the universe.
-                    break;
-                }
-                let dv = rv - means[v.index()];
-                scratch.accumulate(v.index(), du, dv);
-            }
-        }
-        let min_overlap = self.min_overlap;
-        out.extend(
-            scratch
-                .sorted_candidates()
-                .filter(|&(_, n, _, den_u, den_v)| {
-                    (n as usize) >= min_overlap && den_u != 0.0 && den_v != 0.0
-                })
-                .map(|(slot, _, num, den_u, den_v)| {
-                    let sim = (num / (den_u.sqrt() * den_v.sqrt())).clamp(-1.0, 1.0);
-                    (UserId::new(slot as u32), sim)
-                }),
+        cross_kernel(
+            matrix,
+            matrix,
+            u,
+            num_users,
+            self.min_overlap,
+            scratch,
+            out,
+            above_only,
         );
     }
+}
+
+/// The inverted-index Pearson pass with the source row and the candidate
+/// columns taken from (possibly) **different** matrices: `source` holds
+/// `u`'s CSR row and mean, `candidates` provides the CSC columns and the
+/// candidate means. With `source == candidates` this is exactly the
+/// monolithic kernel; with a shard-local candidate matrix it is the
+/// shard-scoped pass of the sharding layer — and because each candidate's
+/// accumulator still sees its co-rating contributions in ascending item
+/// order, the emitted similarities are **bitwise identical** to the
+/// monolithic kernel restricted to the candidate matrix's users.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn cross_kernel(
+    source: &RatingMatrix,
+    candidates: &RatingMatrix,
+    u: UserId,
+    num_users: u32,
+    min_overlap: usize,
+    scratch: &mut SimScratch,
+    out: &mut Vec<(UserId, f64)>,
+    above_only: bool,
+) {
+    let items = source.items_of(u);
+    if items.is_empty() {
+        // No ratings ⇒ µ_u undefined ⇒ per-pair Pearson is None for
+        // every candidate.
+        return;
+    }
+    let mu = source.user_means()[u.index()];
+    let means = candidates.user_means();
+    scratch.begin(candidates.num_users() as usize);
+    for (&i, &ru) in items.iter().zip(source.scores_of(u)) {
+        let du = ru - mu;
+        let raters = candidates.users_of(i);
+        let scores = candidates.rater_scores_of(i);
+        // Columns are sorted by user id: in above-only mode start
+        // past `u`; in full mode only `u` itself needs skipping.
+        let start = if above_only {
+            raters.partition_point(|&v| v <= u)
+        } else {
+            0
+        };
+        for (&v, &rv) in raters[start..].iter().zip(&scores[start..]) {
+            if v == u {
+                continue;
+            }
+            if v.raw() >= num_users {
+                // Ascending ids: nothing further is in the universe.
+                break;
+            }
+            let dv = rv - means[v.index()];
+            scratch.accumulate(v.index(), du, dv);
+        }
+    }
+    out.extend(
+        scratch
+            .sorted_candidates()
+            .filter(|&(_, n, _, den_u, den_v)| {
+                (n as usize) >= min_overlap && den_u != 0.0 && den_v != 0.0
+            })
+            .map(|(slot, _, num, den_u, den_v)| {
+                let sim = (num / (den_u.sqrt() * den_v.sqrt())).clamp(-1.0, 1.0);
+                (UserId::new(slot as u32), sim)
+            }),
+    );
+}
+
+/// Per-pair Pearson with `u`'s row read from `source` and `v`'s row from
+/// `candidates` — the cross-matrix form of
+/// [`RatingsSimilarity::similarity`] for `u ≠ v`, summing the merge-join
+/// of the two rows in ascending item order (the single-matrix
+/// `co_ratings` order, so the result is bitwise the monolithic one).
+pub(crate) fn cross_similarity(
+    source: &RatingMatrix,
+    candidates: &RatingMatrix,
+    u: UserId,
+    v: UserId,
+    min_overlap: usize,
+) -> Option<f64> {
+    let (mu, mv) = (source.user_mean(u)?, candidates.user_mean(v)?);
+    let (u_items, u_scores) = (source.items_of(u), source.scores_of(u));
+    let (v_items, v_scores) = (candidates.items_of(v), candidates.scores_of(v));
+    let mut n = 0usize;
+    let (mut num, mut den_u, mut den_v) = (0.0f64, 0.0f64, 0.0f64);
+    let (mut a, mut b) = (0usize, 0usize);
+    while a < u_items.len() && b < v_items.len() {
+        match u_items[a].cmp(&v_items[b]) {
+            std::cmp::Ordering::Less => a += 1,
+            std::cmp::Ordering::Greater => b += 1,
+            std::cmp::Ordering::Equal => {
+                let (du, dv) = (u_scores[a] - mu, v_scores[b] - mv);
+                num += du * dv;
+                den_u += du * du;
+                den_v += dv * dv;
+                n += 1;
+                a += 1;
+                b += 1;
+            }
+        }
+    }
+    if n < min_overlap || den_u == 0.0 || den_v == 0.0 {
+        return None;
+    }
+    // Clamp floating-point drift into the mathematical range.
+    Some((num / (den_u.sqrt() * den_v.sqrt())).clamp(-1.0, 1.0))
 }
 
 impl<M: Borrow<RatingMatrix>> UserSimilarity for RatingsSimilarity<M> {

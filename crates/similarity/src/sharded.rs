@@ -1,0 +1,837 @@
+//! Sharded Definition-1 serving: the peer index and kernel dispatch over
+//! a hash-partitioned user universe.
+//!
+//! The monolithic [`PeerIndex`] holds every user's peer list in one
+//! process; past ~10⁶ users both the warm-time arithmetic and the list
+//! memory have to spread across shards. This module is that layer:
+//!
+//! * [`ShardedRatingsSimilarity`] — the Pearson measure over a
+//!   [`ShardedRatingMatrix`]. Its one-vs-all pass **scatters** one
+//!   shard-scoped kernel pass per shard (source row from the owning
+//!   shard's CSR, candidates from each shard's local CSC) and
+//!   **gathers** the per-shard edge lists into one ascending-id stream.
+//!   Each candidate is owned by exactly one shard and its accumulator
+//!   sees the same co-rating contributions in the same ascending-item
+//!   order as the monolithic kernel, so the merged output is **bitwise
+//!   identical** to [`RatingsSimilarity`](crate::RatingsSimilarity) over
+//!   the unsharded matrix (pinned by `tests/sharded.rs`).
+//! * [`ShardedPeerIndex`] — one [`PeerIndex`] per shard, each over the
+//!   **global** universe under its own generation token. A shard's index
+//!   caches the **full global** peer lists of the users it owns; lookups
+//!   route to the owning shard, so serving reads stay one cache hit.
+//!
+//! ## The shard-pair symmetric warm
+//!
+//! [`ShardedPeerIndex::warm_symmetric`] decomposes the upper-triangle
+//! warm into `S·(S+1)/2` independent shard-pair tasks on the worker
+//! pool: pair `(a, a)` runs the above-only kernel (each same-shard pair
+//! once), pair `(a, b)` with `a < b` runs the full shard-scoped kernel
+//! from `a`'s sources into `b`'s candidates (each cross-shard pair
+//! once). Qualifying edges are scattered to both endpoints' owning
+//! shards and spliced into per-shard warm lists via
+//! [`PeerIndex::from_edges`] — which dedups, δ-filters, and
+//! canonicalises exactly like the monolithic scatter — under each
+//! shard's recorded generation token (a concurrent invalidation makes
+//! that shard's splice a no-op). The result is bitwise identical to the
+//! monolithic [`PeerIndex::warm_symmetric`] for **any** shard count.
+//!
+//! ## The delta path
+//!
+//! [`ShardedPeerIndex::apply_delta`] reuses [`PeerIndex::apply_delta`]
+//! unchanged, once per shard: the owning shard takes the delta under the
+//! full (scatter-gather) measure — its lists are full global lists — and
+//! every other shard `t` takes it under the shard-scoped measure
+//! (candidates restricted to `t`), so `t`'s spliced endpoint lists
+//! receive exactly the edges they own and the total kernel work stays
+//! O(two global passes) instead of O(S) of them. The exactness
+//! precondition (the changed user's pre-change list cached wherever any
+//! list is) is established by [`ShardedPeerIndex::prepare_delta`], which
+//! the engine calls *before* mutating the matrix: the owning shard
+//! pre-caches the user's full list, every other shard its shard-scoped
+//! restriction. Those restricted lists live in non-owning shards purely
+//! as delta bookkeeping — serving lookups never read a non-owned slot.
+
+use crate::bulk::{BulkUserSimilarity, SimScratch};
+use crate::peer_index::{DeltaOutcome, PeerIndex};
+use crate::peers::{PeerSelector, Peers};
+use crate::ratings::{cross_kernel, cross_similarity};
+use crate::UserSimilarity;
+use fairrec_types::{Parallelism, ShardSpec, ShardedRatingMatrix, UserId};
+use std::borrow::Borrow;
+use std::sync::{Arc, RwLock};
+
+/// Pearson over a [`ShardedRatingMatrix`]: the scatter-gather bulk
+/// measure of the sharding layer. Bitwise interchangeable with
+/// [`RatingsSimilarity`](crate::RatingsSimilarity) over the equivalent
+/// unsharded matrix — see the module docs.
+#[derive(Debug, Clone)]
+pub struct ShardedRatingsSimilarity<M = Arc<ShardedRatingMatrix>> {
+    matrix: M,
+    min_overlap: usize,
+}
+
+impl<M: Borrow<ShardedRatingMatrix>> ShardedRatingsSimilarity<M> {
+    /// Sharded Pearson with the default minimum overlap of 2.
+    pub fn new(matrix: M) -> Self {
+        Self {
+            matrix,
+            min_overlap: 2,
+        }
+    }
+
+    /// Overrides the minimum number of co-rated items (clamped to ≥ 1).
+    pub fn with_min_overlap(mut self, min_overlap: usize) -> Self {
+        self.min_overlap = min_overlap.max(1);
+        self
+    }
+
+    /// The underlying sharded matrix.
+    pub fn matrix(&self) -> &ShardedRatingMatrix {
+        self.matrix.borrow()
+    }
+
+    /// The minimum number of co-rated items for a defined correlation.
+    pub fn min_overlap(&self) -> usize {
+        self.min_overlap
+    }
+
+    /// The shard-scoped measure for pair `(source shard of u, candidate
+    /// shard t)` — one kernel pass of the scatter.
+    fn scoped<'a>(&'a self, user: UserId, candidate_shard: usize) -> ShardScopedRatings<'a> {
+        let sharded = self.matrix.borrow();
+        ShardScopedRatings {
+            source: sharded.owning_shard(user),
+            candidates: sharded.shard(candidate_shard),
+            min_overlap: self.min_overlap,
+        }
+    }
+
+    /// One shard-scoped pass per shard, gathered and re-sorted into the
+    /// ascending-candidate order the bulk contract promises.
+    fn scatter_gather(
+        &self,
+        u: UserId,
+        num_users: u32,
+        scratch: &mut SimScratch,
+        out: &mut Vec<(UserId, f64)>,
+        above_only: bool,
+    ) {
+        let sharded = self.matrix.borrow();
+        let from = out.len();
+        for t in 0..sharded.num_shards() as usize {
+            let scoped = self.scoped(u, t);
+            if above_only {
+                scoped.similarities_above(u, num_users, scratch, out);
+            } else {
+                scoped.similarities_from(u, num_users, scratch, out);
+            }
+        }
+        // Each candidate came from exactly its owning shard's pass, so
+        // the gather is a pure id re-sort — values untouched.
+        out[from..].sort_unstable_by_key(|&(v, _)| v);
+    }
+}
+
+impl<M: Borrow<ShardedRatingMatrix>> UserSimilarity for ShardedRatingsSimilarity<M> {
+    fn similarity(&self, u: UserId, v: UserId) -> Option<f64> {
+        let sharded = self.matrix.borrow();
+        if u == v {
+            // Same existence rule as the monolithic measure: rating-less
+            // users have no defined similarity, themselves included.
+            return sharded.owning_shard(u).user_mean(u).map(|_| 1.0);
+        }
+        cross_similarity(
+            sharded.owning_shard(u),
+            sharded.owning_shard(v),
+            u,
+            v,
+            self.min_overlap,
+        )
+    }
+
+    fn name(&self) -> &'static str {
+        "sharded-ratings-pearson"
+    }
+}
+
+impl<M: Borrow<ShardedRatingMatrix>> BulkUserSimilarity for ShardedRatingsSimilarity<M> {
+    fn similarities_from(
+        &self,
+        u: UserId,
+        num_users: u32,
+        scratch: &mut SimScratch,
+        out: &mut Vec<(UserId, f64)>,
+    ) {
+        self.scatter_gather(u, num_users, scratch, out, false);
+    }
+
+    fn similarities_above(
+        &self,
+        u: UserId,
+        num_users: u32,
+        scratch: &mut SimScratch,
+        out: &mut Vec<(UserId, f64)>,
+    ) {
+        self.scatter_gather(u, num_users, scratch, out, true);
+    }
+
+    /// Pearson is bitwise symmetric, and the partition does not change
+    /// the per-pair arithmetic.
+    fn is_symmetric(&self) -> bool {
+        true
+    }
+}
+
+/// One leg of the scatter: source row from one shard matrix, candidates
+/// from (possibly) another. Only users owned by the candidate matrix can
+/// ever be emitted, in ascending id order.
+#[derive(Debug, Clone, Copy)]
+struct ShardScopedRatings<'a> {
+    source: &'a fairrec_types::RatingMatrix,
+    candidates: &'a fairrec_types::RatingMatrix,
+    min_overlap: usize,
+}
+
+impl UserSimilarity for ShardScopedRatings<'_> {
+    fn similarity(&self, u: UserId, v: UserId) -> Option<f64> {
+        if u == v {
+            return self.source.user_mean(u).map(|_| 1.0);
+        }
+        cross_similarity(self.source, self.candidates, u, v, self.min_overlap)
+    }
+
+    fn name(&self) -> &'static str {
+        "shard-scoped-pearson"
+    }
+}
+
+impl BulkUserSimilarity for ShardScopedRatings<'_> {
+    fn similarities_from(
+        &self,
+        u: UserId,
+        num_users: u32,
+        scratch: &mut SimScratch,
+        out: &mut Vec<(UserId, f64)>,
+    ) {
+        cross_kernel(
+            self.source,
+            self.candidates,
+            u,
+            num_users,
+            self.min_overlap,
+            scratch,
+            out,
+            false,
+        );
+    }
+
+    fn similarities_above(
+        &self,
+        u: UserId,
+        num_users: u32,
+        scratch: &mut SimScratch,
+        out: &mut Vec<(UserId, f64)>,
+    ) {
+        cross_kernel(
+            self.source,
+            self.candidates,
+            u,
+            num_users,
+            self.min_overlap,
+            scratch,
+            out,
+            true,
+        );
+    }
+
+    /// Where both directions are defined (both users in scope), the
+    /// values are the same bits — which is all
+    /// [`PeerIndex::apply_delta`]'s splice relies on.
+    fn is_symmetric(&self) -> bool {
+        true
+    }
+}
+
+/// What a sharded maintenance call did, per shard plus the aggregate.
+/// The aggregate is what the engine's `IngestReport` surfaces; the
+/// per-shard counts exist for tests and operational introspection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardedDeltaReport {
+    /// Aggregate outcome over every shard: `Spliced` only when **every**
+    /// warm shard spliced exactly (touched = total endpoint lists
+    /// patched across shards), `InvalidatedAll` when any shard had to
+    /// fall back, `ColdIndex` when every shard was cold.
+    pub outcome: DeltaOutcome,
+    /// Per-shard outcomes, in shard order.
+    pub per_shard: Vec<DeltaOutcome>,
+}
+
+/// Hash-partitioned [`PeerIndex`]: one per-shard index over the global
+/// universe, each owning its users' full peer lists under its own
+/// generation token. See the module docs for the warm, serving, and
+/// delta contracts.
+#[derive(Debug)]
+pub struct ShardedPeerIndex {
+    spec: ShardSpec,
+    selector: PeerSelector,
+    shards: Vec<RwLock<PeerIndex>>,
+}
+
+impl ShardedPeerIndex {
+    /// An empty (cold) sharded index over `0..num_users` with
+    /// `spec.num_shards()` shards, answering with `selector`.
+    pub fn new(selector: PeerSelector, spec: ShardSpec, num_users: u32) -> Self {
+        Self {
+            spec,
+            selector,
+            shards: (0..spec.num_shards())
+                .map(|_| RwLock::new(PeerIndex::new(selector, num_users)))
+                .collect(),
+        }
+    }
+
+    /// The partitioning spec.
+    pub fn spec(&self) -> ShardSpec {
+        self.spec
+    }
+
+    /// The selector whose δ / cap every shard answers with.
+    pub fn selector(&self) -> &PeerSelector {
+        &self.selector
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> u32 {
+        self.spec.num_shards()
+    }
+
+    /// Size of the (global) user universe.
+    pub fn num_users(&self) -> u32 {
+        self.read_shard(0).num_users()
+    }
+
+    /// The shard owning `user`'s serving slot.
+    pub fn shard_of(&self, user: UserId) -> usize {
+        self.spec.shard_of(user)
+    }
+
+    /// Total cached lists across shards. Counts both the owned serving
+    /// lists and any shard-scoped bookkeeping lists the delta path has
+    /// seeded into non-owning shards.
+    pub fn num_cached(&self) -> usize {
+        (0..self.shards.len())
+            .map(|s| self.read_shard(s).num_cached())
+            .sum()
+    }
+
+    /// Per-shard freshness tokens, in shard order.
+    pub fn generations(&self) -> Vec<u64> {
+        (0..self.shards.len())
+            .map(|s| self.read_shard(s).generation())
+            .collect()
+    }
+
+    /// Aggregate freshness token: the sum of the per-shard tokens. Every
+    /// maintenance call bumps at least one shard token before touching
+    /// any slot, so the sum is monotone and usable exactly like
+    /// [`PeerIndex::generation`].
+    pub fn generation(&self) -> u64 {
+        self.generations().iter().sum()
+    }
+
+    fn read_shard(&self, s: usize) -> std::sync::RwLockReadGuard<'_, PeerIndex> {
+        self.shards[s].read().expect("shard index poisoned")
+    }
+
+    /// The raw cached full list of `user` from its owning shard, if
+    /// present.
+    pub fn cached_full(&self, user: UserId) -> Option<Arc<Peers>> {
+        if user.raw() >= self.num_users() {
+            return None;
+        }
+        self.read_shard(self.shard_of(user)).cached_full(user)
+    }
+
+    /// The memoized **full global** peer list of `user`, served by (and
+    /// cached in) the owning shard; a cold slot scatters one shard-scoped
+    /// kernel pass per shard and gathers the merged list. Users outside
+    /// the universe answer empty.
+    pub fn full_peers<M: Borrow<ShardedRatingMatrix>>(
+        &self,
+        measure: &ShardedRatingsSimilarity<M>,
+        user: UserId,
+    ) -> Arc<Peers> {
+        if user.raw() >= self.num_users() {
+            return Arc::new(Peers::new());
+        }
+        self.read_shard(self.shard_of(user))
+            .full_peers(measure, user)
+    }
+
+    /// Definition 1 for one user — identical to the monolithic
+    /// [`PeerIndex::peers_of`].
+    pub fn peers_of<M: Borrow<ShardedRatingMatrix>>(
+        &self,
+        measure: &ShardedRatingsSimilarity<M>,
+        user: UserId,
+    ) -> Peers {
+        self.selector.view(&self.full_peers(measure, user), &[])
+    }
+
+    /// Peer lists for every member of `group` with co-members masked —
+    /// the serving fan-out: each member's lookup routes to its owning
+    /// shard, and the group view is a pure mask+cap over the cached full
+    /// list, identical to [`PeerIndex::group_peers`].
+    pub fn group_peers<M: Borrow<ShardedRatingMatrix>>(
+        &self,
+        measure: &ShardedRatingsSimilarity<M>,
+        group: &[UserId],
+    ) -> Vec<(UserId, Peers)> {
+        group
+            .iter()
+            .map(|&member| {
+                (
+                    member,
+                    self.selector.view(&self.full_peers(measure, member), group),
+                )
+            })
+            .collect()
+    }
+
+    /// Eagerly fills every cold **owned** slot through the ordinary
+    /// scatter-gather lazy path, fanned out across the configured
+    /// parallelism. Returns the number of lists computed. This is also
+    /// the fallback [`warm_symmetric`](Self::warm_symmetric) takes when
+    /// any shard is partially warm (a partial triangle cannot be
+    /// restricted to the cold subset, exactly as in the monolithic
+    /// index).
+    pub fn warm<M: Borrow<ShardedRatingMatrix> + Sync>(
+        &self,
+        measure: &ShardedRatingsSimilarity<M>,
+        parallelism: Parallelism,
+    ) -> usize {
+        let cold: Vec<UserId> = (0..self.num_users())
+            .map(UserId::new)
+            .filter(|&u| self.cached_full(u).is_none())
+            .collect();
+        let computed = cold.len();
+        parallelism.map(cold, |u| {
+            let _ = self.full_peers(measure, u);
+        });
+        computed
+    }
+
+    /// Symmetric bulk warm decomposed into per-shard-pair kernel tasks on
+    /// the worker pool; see the module docs for the schedule. Only runs
+    /// the triangle on a fully cold index (falls back to
+    /// [`warm`](Self::warm) otherwise); the per-shard splices happen
+    /// under each shard's recorded generation token, so a concurrent
+    /// invalidation of a shard skips that shard's splice. Returns the
+    /// number of lists computed. Bitwise identical to the monolithic
+    /// [`PeerIndex::warm_symmetric`] for any shard count.
+    pub fn warm_symmetric<M: Borrow<ShardedRatingMatrix> + Sync>(
+        &self,
+        measure: &ShardedRatingsSimilarity<M>,
+        parallelism: Parallelism,
+    ) -> usize {
+        let num_shards = self.shards.len();
+        if (0..num_shards).any(|s| self.read_shard(s).num_cached() != 0) {
+            return self.warm(measure, parallelism);
+        }
+        let sharded = measure.matrix();
+        let n = self.num_users();
+        let delta = self.selector.delta;
+        let generations: Vec<u64> = (0..num_shards)
+            .map(|s| self.read_shard(s).generation())
+            .collect();
+
+        // One task per shard pair (a ≤ b): the diagonal runs the
+        // above-only kernel (each same-shard pair once), off-diagonal
+        // pairs run the full scoped kernel from a's sources into b's
+        // candidates (each cross-shard pair once).
+        let pairs: Vec<(usize, usize)> = (0..num_shards)
+            .flat_map(|a| (a..num_shards).map(move |b| (a, b)))
+            .collect();
+        type Edge = (UserId, UserId, f64);
+        let edge_sets: Vec<Vec<Edge>> = parallelism.map(pairs, |(a, b)| {
+            let scoped = ShardScopedRatings {
+                source: sharded.shard(a),
+                candidates: sharded.shard(b),
+                min_overlap: measure.min_overlap(),
+            };
+            let mut scratch = SimScratch::new();
+            let mut buf: Peers = Vec::new();
+            let mut edges: Vec<Edge> = Vec::new();
+            for u in sharded.users_of_shard(a) {
+                if u.raw() >= n {
+                    break;
+                }
+                buf.clear();
+                if a == b {
+                    scoped.similarities_above(u, n, &mut scratch, &mut buf);
+                } else {
+                    scoped.similarities_from(u, n, &mut scratch, &mut buf);
+                }
+                // Definition-1 admission is per-pair, so δ applies per
+                // edge here, exactly as in the monolithic triangle.
+                edges.extend(
+                    buf.iter()
+                        .filter(|&&(_, s)| s >= delta)
+                        .map(|&(v, s)| (u, v, s)),
+                );
+            }
+            edges
+        });
+
+        // Scatter every qualifying edge to both endpoints' owning
+        // shards, then splice each shard's warm lists in one
+        // `from_edges` build (dedup + δ + canonical order — the same
+        // funnel as the monolithic scatter) under its recorded token.
+        let mut per_shard: Vec<Vec<Edge>> = vec![Vec::new(); num_shards];
+        for (u, v, sim) in edge_sets.into_iter().flatten() {
+            per_shard[self.shard_of(u)].push((u, v, sim));
+            per_shard[self.shard_of(v)].push((v, u, sim));
+        }
+        let mut computed = 0usize;
+        for (s, edges) in per_shard.into_iter().enumerate() {
+            let owned = self.spec.users_of_shard(s, n);
+            let built = PeerIndex::from_edges(self.selector, n, &owned, edges)
+                .with_generation(generations[s]);
+            let mut guard = self.shards[s].write().expect("shard index poisoned");
+            if guard.generation() == generations[s] {
+                computed += owned.len();
+                *guard = built;
+            }
+        }
+        computed
+    }
+
+    /// Establishes [`PeerIndex::apply_delta`]'s exactness precondition on
+    /// every shard **before** the underlying data changes: the owning
+    /// shard caches `user`'s full pre-change list (a cache hit on a warm
+    /// index), every other warm shard its shard-scoped restriction. Cold
+    /// shards are left cold (their delta degrades to the cold no-op).
+    pub fn prepare_delta<M: Borrow<ShardedRatingMatrix>>(
+        &self,
+        measure: &ShardedRatingsSimilarity<M>,
+        user: UserId,
+    ) {
+        if user.raw() >= self.num_users() {
+            return;
+        }
+        let owning = self.shard_of(user);
+        for t in 0..self.shards.len() {
+            let shard = self.read_shard(t);
+            if shard.num_cached() == 0 {
+                continue;
+            }
+            if t == owning {
+                let _ = shard.full_peers(measure, user);
+            } else {
+                let _ = shard.full_peers(&measure.scoped(user, t), user);
+            }
+        }
+    }
+
+    /// Incrementally repairs every shard after a point change to `user`'s
+    /// ratings (call **after** the matrix mutation, with
+    /// [`prepare_delta`](Self::prepare_delta) called before it). Each
+    /// shard runs [`PeerIndex::apply_delta`] unchanged — the owning shard
+    /// under the full scatter-gather measure, the rest under their
+    /// shard-scoped measure — so the total kernel work is about two
+    /// global passes regardless of `S`, and every warm list ends up
+    /// bitwise identical to a cold rebuild against the current data.
+    pub fn apply_delta<M: Borrow<ShardedRatingMatrix>>(
+        &self,
+        measure: &ShardedRatingsSimilarity<M>,
+        user: UserId,
+    ) -> ShardedDeltaReport {
+        if user.raw() >= self.num_users() {
+            return ShardedDeltaReport {
+                outcome: DeltaOutcome::OutOfUniverse,
+                per_shard: vec![DeltaOutcome::OutOfUniverse; self.shards.len()],
+            };
+        }
+        let owning = self.shard_of(user);
+        let per_shard: Vec<DeltaOutcome> = (0..self.shards.len())
+            .map(|t| {
+                let shard = self.read_shard(t);
+                if t == owning {
+                    shard.apply_delta(measure, user)
+                } else {
+                    shard.apply_delta(&measure.scoped(user, t), user)
+                }
+            })
+            .collect();
+        let outcome = if per_shard
+            .iter()
+            .any(|o| matches!(o, DeltaOutcome::InvalidatedAll))
+        {
+            DeltaOutcome::InvalidatedAll
+        } else if per_shard
+            .iter()
+            .all(|o| matches!(o, DeltaOutcome::ColdIndex))
+        {
+            DeltaOutcome::ColdIndex
+        } else {
+            DeltaOutcome::Spliced {
+                touched: per_shard
+                    .iter()
+                    .map(|o| match o {
+                        DeltaOutcome::Spliced { touched } => *touched,
+                        _ => 0,
+                    })
+                    .sum(),
+            }
+        };
+        ShardedDeltaReport { outcome, per_shard }
+    }
+
+    /// Drops every cached list in every shard (each under its own bumped
+    /// token) — the blanket maintenance path.
+    pub fn invalidate_all(&self) {
+        for s in 0..self.shards.len() {
+            self.read_shard(s).invalidate_all();
+        }
+    }
+
+    /// Returns a sharded index over a larger universe, carrying every
+    /// shard's cached lists and token forward ([`PeerIndex::grow_universe`]
+    /// per shard — same soundness condition: only for growth triggered by
+    /// a brand-new user's first rating).
+    ///
+    /// # Panics
+    /// Panics if `num_users` is smaller than the current universe.
+    pub fn grow_universe(&self, num_users: u32) -> Self {
+        Self {
+            spec: self.spec,
+            selector: self.selector,
+            shards: (0..self.shards.len())
+                .map(|s| RwLock::new(self.read_shard(s).grow_universe(num_users)))
+                .collect(),
+        }
+    }
+
+    /// Returns a fully cold sharded index over `num_users` with every
+    /// shard's token bumped ([`PeerIndex::rebuild_cold`] per shard).
+    pub fn rebuild_cold(&self, num_users: u32) -> Self {
+        Self {
+            spec: self.spec,
+            selector: self.selector,
+            shards: (0..self.shards.len())
+                .map(|s| RwLock::new(self.read_shard(s).rebuild_cold(num_users)))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RatingsSimilarity;
+    use fairrec_types::{ItemId, Rating, RatingMatrix, RatingMatrixBuilder};
+
+    fn matrix(rows: &[(u32, u32, f64)]) -> RatingMatrix {
+        let mut b = RatingMatrixBuilder::new();
+        for &(u, i, s) in rows {
+            b.add_raw(UserId::new(u), ItemId::new(i), s).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    /// Six users with overlapping histories across several items.
+    fn fixture() -> RatingMatrix {
+        matrix(&[
+            (0, 0, 4.0),
+            (0, 1, 2.0),
+            (0, 2, 5.0),
+            (1, 0, 5.0),
+            (1, 1, 1.0),
+            (1, 2, 4.0),
+            (2, 0, 3.0),
+            (2, 1, 3.5),
+            (2, 3, 2.0),
+            (3, 1, 4.0),
+            (3, 2, 2.0),
+            (3, 3, 4.5),
+            (4, 0, 1.0),
+            (4, 2, 3.0),
+            (4, 3, 5.0),
+            (5, 4, 2.5),
+        ])
+    }
+
+    fn sharded(m: &RatingMatrix, s: u32) -> ShardedRatingMatrix {
+        ShardedRatingMatrix::from_matrix(m, ShardSpec::new(s).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn scatter_gather_measure_matches_monolithic_bitwise() {
+        let m = fixture();
+        let mono = RatingsSimilarity::new(&m);
+        for s in [1u32, 2, 3, 8] {
+            let part = sharded(&m, s);
+            let measure = ShardedRatingsSimilarity::new(&part);
+            let mut scratch = SimScratch::new();
+            for u in m.user_ids() {
+                let (mut a, mut b) = (Vec::new(), Vec::new());
+                mono.similarities_from(u, m.num_users(), &mut scratch, &mut a);
+                measure.similarities_from(u, m.num_users(), &mut scratch, &mut b);
+                assert_eq!(a.len(), b.len(), "S={s}, user {u}");
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(x.0, y.0, "S={s}, user {u}");
+                    assert_eq!(x.1.to_bits(), y.1.to_bits(), "S={s}, user {u}");
+                }
+                for v in m.user_ids() {
+                    assert_eq!(
+                        mono.similarity(u, v),
+                        measure.similarity(u, v),
+                        "S={s}, pair ({u}, {v})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_warm_matches_monolithic_lists() {
+        let m = fixture();
+        let sel = PeerSelector::new(0.0).unwrap();
+        let mono = PeerIndex::new(sel, m.num_users());
+        mono.warm_symmetric(&RatingsSimilarity::new(&m), Parallelism::Sequential);
+        for s in [1u32, 2, 3, 8] {
+            let part = sharded(&m, s);
+            let measure = ShardedRatingsSimilarity::new(&part);
+            let index = ShardedPeerIndex::new(sel, part.spec(), m.num_users());
+            assert_eq!(
+                index.warm_symmetric(&measure, Parallelism::Sequential),
+                m.num_users() as usize
+            );
+            for u in m.user_ids() {
+                assert_eq!(index.cached_full(u), mono.cached_full(u), "S={s}, user {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn lookups_route_to_the_owning_shard() {
+        let m = fixture();
+        let sel = PeerSelector::new(0.0).unwrap();
+        let part = sharded(&m, 3);
+        let measure = ShardedRatingsSimilarity::new(&part);
+        let index = ShardedPeerIndex::new(sel, part.spec(), m.num_users());
+        let u = UserId::new(2);
+        let first = index.full_peers(&measure, u);
+        // Only the owning shard gained a cached slot.
+        assert_eq!(index.num_cached(), 1);
+        assert!(index.read_shard(index.shard_of(u)).cached_full(u).is_some());
+        let again = index.full_peers(&measure, u);
+        assert!(Arc::ptr_eq(&first, &again), "second read is a cache hit");
+        // Out-of-universe users answer empty without caching anything.
+        assert!(index.full_peers(&measure, UserId::new(99)).is_empty());
+        assert_eq!(index.num_cached(), 1);
+    }
+
+    #[test]
+    fn partially_warm_index_falls_back_and_still_matches() {
+        let m = fixture();
+        let sel = PeerSelector::new(0.0).unwrap();
+        let part = sharded(&m, 2);
+        let measure = ShardedRatingsSimilarity::new(&part);
+        let index = ShardedPeerIndex::new(sel, part.spec(), m.num_users());
+        let _ = index.full_peers(&measure, UserId::new(1));
+        // One slot is warm: the triangle cannot run, the per-user path
+        // finishes the job with identical lists.
+        assert_eq!(
+            index.warm_symmetric(&measure, Parallelism::Sequential),
+            m.num_users() as usize - 1
+        );
+        let mono = PeerIndex::new(sel, m.num_users());
+        mono.warm_symmetric(&RatingsSimilarity::new(&m), Parallelism::Sequential);
+        for u in m.user_ids() {
+            assert_eq!(index.cached_full(u), mono.cached_full(u), "user {u}");
+        }
+    }
+
+    #[test]
+    fn delta_stream_matches_cold_rebuild_bitwise() {
+        let m = fixture();
+        let sel = PeerSelector::new(0.0).unwrap();
+        for s in [1u32, 2, 3, 8] {
+            let mut part = sharded(&m, s);
+            let index = ShardedPeerIndex::new(sel, part.spec(), m.num_users());
+            index.warm_symmetric(
+                &ShardedRatingsSimilarity::new(&part),
+                Parallelism::Sequential,
+            );
+            let events: [(u32, u32, Option<f64>); 4] = [
+                (0, 3, Some(3.0)), // insert
+                (2, 1, Some(1.0)), // update
+                (4, 2, None),      // remove
+                (5, 0, Some(4.5)), // insert giving u5 real overlap
+            ];
+            for &(u, i, score) in &events {
+                let (user, item) = (UserId::new(u), ItemId::new(i));
+                index.prepare_delta(&ShardedRatingsSimilarity::new(&part), user);
+                match score {
+                    Some(v) if part.rating(user, item).is_some() => {
+                        part.update_rating(user, item, Rating::new(v).unwrap())
+                            .unwrap();
+                    }
+                    Some(v) => {
+                        part.insert_rating(user, item, Rating::new(v).unwrap())
+                            .unwrap();
+                    }
+                    None => {
+                        part.remove_rating(user, item).unwrap();
+                    }
+                }
+                let report = index.apply_delta(&ShardedRatingsSimilarity::new(&part), user);
+                assert!(
+                    matches!(report.outcome, DeltaOutcome::Spliced { .. }),
+                    "S={s}, event ({u}, {i}): {report:?}"
+                );
+            }
+            // Oracle: a cold monolithic warm over the final relation.
+            let final_matrix = RatingMatrix::from_triples(part.to_triples()).unwrap();
+            let mono = PeerIndex::new(sel, m.num_users());
+            mono.warm_symmetric(
+                &RatingsSimilarity::new(&final_matrix),
+                Parallelism::Sequential,
+            );
+            for u in m.user_ids() {
+                assert_eq!(index.cached_full(u), mono.cached_full(u), "S={s}, user {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn growth_and_rebuild_mirror_the_monolithic_semantics() {
+        let m = fixture();
+        let sel = PeerSelector::new(0.0).unwrap();
+        let part = sharded(&m, 3);
+        let measure = ShardedRatingsSimilarity::new(&part);
+        let index = ShardedPeerIndex::new(sel, part.spec(), m.num_users());
+        index.warm_symmetric(&measure, Parallelism::Sequential);
+        let gens = index.generations();
+
+        let grown = index.grow_universe(m.num_users() + 4);
+        assert_eq!(grown.num_users(), m.num_users() + 4);
+        assert_eq!(grown.generations(), gens, "growth carries tokens over");
+        for u in m.user_ids() {
+            assert_eq!(grown.cached_full(u), index.cached_full(u), "user {u}");
+        }
+        assert!(grown.cached_full(UserId::new(m.num_users() + 1)).is_none());
+
+        let rebuilt = grown.rebuild_cold(m.num_users());
+        assert_eq!(rebuilt.num_cached(), 0);
+        assert!(rebuilt
+            .generations()
+            .iter()
+            .zip(&gens)
+            .all(|(now, then)| now > then));
+
+        index.invalidate_all();
+        assert_eq!(index.num_cached(), 0);
+    }
+}

@@ -27,6 +27,7 @@ mod ids;
 mod matrix;
 mod parallel;
 mod rating;
+mod shard;
 mod topk;
 
 pub use error::{FairrecError, Result};
@@ -34,4 +35,5 @@ pub use ids::{ConceptId, GroupId, IdGen, ItemId, UserId};
 pub use matrix::{MatrixStats, RatingMatrix, RatingMatrixBuilder, RatingTriple};
 pub use parallel::Parallelism;
 pub use rating::{Rating, Relevance, RATING_MAX, RATING_MIN};
+pub use shard::{ShardSpec, ShardedRatingMatrix};
 pub use topk::{ScoredItem, TopK};

@@ -1,0 +1,357 @@
+//! User-partitioned rating storage — the matrix side of the sharding
+//! layer.
+//!
+//! The ROADMAP's >10⁶-user goal needs the rating relation split across
+//! shards so that cold peer builds (and their memory) scale out instead
+//! of up. [`ShardedRatingMatrix`] hash-partitions the **user** dimension:
+//! every user is owned by exactly one shard ([`ShardSpec::shard_of`]),
+//! and each shard holds a [`RatingMatrix`] containing *only its users'
+//! triples* while keeping the **global** id spaces. That one decision
+//! buys three properties the similarity layer depends on:
+//!
+//! * **CSR rows are exact.** A user's ratings live wholly in their
+//!   owning shard, so `shard.items_of(u)`, `shard.scores_of(u)`, and the
+//!   cached mean `µ_u` are bitwise identical to the unsharded matrix
+//!   (same triples, same sorted build order, same left-to-right mean
+//!   summation).
+//! * **CSC columns are the shard-local view.** `shard.users_of(i)` is
+//!   `U(i)` restricted to the shard's users, still ascending by global
+//!   user id — exactly the candidate stream a shard-scoped Pearson
+//!   kernel pass needs, in exactly the order the monolithic kernel would
+//!   have visited those candidates.
+//! * **Point mutations route.** `insert`/`update`/`remove` forward to
+//!   the owning shard's [`RatingMatrix`] mutation (unchanged), so the
+//!   incremental-ingestion contract ("patched ≡ rebuilt, bitwise")
+//!   holds per shard by the existing proptests.
+//!
+//! Out-of-range lookups on a shard matrix answer empty (the
+//! [`RatingMatrix`] guard), so shards whose id spaces lag behind a
+//! growth event degrade safely: a column a shard has never seen is an
+//! empty column, which is also what it holds.
+
+use crate::error::Result;
+use crate::ids::{ItemId, UserId};
+use crate::matrix::{RatingMatrix, RatingMatrixBuilder, RatingTriple};
+use crate::rating::Rating;
+
+/// Deterministic user → shard assignment.
+///
+/// The partition is a Fibonacci (multiplicative) hash followed by a
+/// fixed-point range reduction: well mixed for the sequential id blocks
+/// real cohorts arrive in, allocation-free, and — crucially for the
+/// bitwise-equality contract — a pure function of `(user, num_shards)`,
+/// so every component (matrix, peer index, engine, MapReduce producer)
+/// agrees on ownership without coordination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    num_shards: u32,
+}
+
+impl ShardSpec {
+    /// A spec with `num_shards` shards.
+    ///
+    /// # Errors
+    /// Rejects zero shards.
+    pub fn new(num_shards: u32) -> Result<Self> {
+        if num_shards == 0 {
+            return Err(crate::error::FairrecError::invalid_parameter(
+                "num_shards",
+                "must be ≥ 1",
+            ));
+        }
+        Ok(Self { num_shards })
+    }
+
+    /// Number of shards `S`.
+    pub fn num_shards(&self) -> u32 {
+        self.num_shards
+    }
+
+    /// The shard owning `user` — a pure function of the id and `S`.
+    pub fn shard_of(&self, user: UserId) -> usize {
+        // Fibonacci hash (golden-ratio multiplier) then take the high
+        // bits via a widening multiply: maps uniformly onto 0..S without
+        // the modulo's low-bit bias.
+        let mixed = user.raw().wrapping_mul(0x9E37_79B9);
+        ((u64::from(mixed) * u64::from(self.num_shards)) >> 32) as usize
+    }
+
+    /// The users of `0..num_users` owned by `shard`, ascending.
+    pub fn users_of_shard(&self, shard: usize, num_users: u32) -> Vec<UserId> {
+        (0..num_users)
+            .map(UserId::new)
+            .filter(|&u| self.shard_of(u) == shard)
+            .collect()
+    }
+}
+
+/// A user-partitioned [`RatingMatrix`]: one shard-local matrix per
+/// shard, each holding only its users' triples over the **global** id
+/// spaces. See the module docs for the invariants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedRatingMatrix {
+    spec: ShardSpec,
+    shards: Vec<RatingMatrix>,
+    n_users: u32,
+    n_items: u32,
+}
+
+impl ShardedRatingMatrix {
+    /// Partitions `matrix` into `spec.num_shards()` shard-local matrices.
+    ///
+    /// # Errors
+    /// Propagates shard-matrix build failures (cannot occur for a valid
+    /// source matrix — its triples are already duplicate-free).
+    pub fn from_matrix(matrix: &RatingMatrix, spec: ShardSpec) -> Result<Self> {
+        let (n_users, n_items) = (matrix.num_users(), matrix.num_items());
+        let mut builders: Vec<RatingMatrixBuilder> = (0..spec.num_shards())
+            .map(|_| RatingMatrixBuilder::new().reserve_ids(n_users, n_items))
+            .collect();
+        for u in matrix.user_ids() {
+            let builder = &mut builders[spec.shard_of(u)];
+            for (item, score) in matrix.ratings_of(u) {
+                builder.add(u, item, Rating::saturating(score));
+            }
+        }
+        let shards = builders
+            .into_iter()
+            .map(RatingMatrixBuilder::build)
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self {
+            spec,
+            shards,
+            n_users,
+            n_items,
+        })
+    }
+
+    /// The partitioning spec.
+    pub fn spec(&self) -> ShardSpec {
+        self.spec
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> u32 {
+        self.spec.num_shards()
+    }
+
+    /// The shard owning `user`.
+    pub fn shard_of(&self, user: UserId) -> usize {
+        self.spec.shard_of(user)
+    }
+
+    /// The shard-local matrix of shard `s`.
+    ///
+    /// # Panics
+    /// Panics when `s ≥ num_shards`.
+    pub fn shard(&self, s: usize) -> &RatingMatrix {
+        &self.shards[s]
+    }
+
+    /// All shard-local matrices, in shard order.
+    pub fn shards(&self) -> &[RatingMatrix] {
+        &self.shards
+    }
+
+    /// The shard matrix holding `user`'s CSR row (and mean).
+    pub fn owning_shard(&self, user: UserId) -> &RatingMatrix {
+        &self.shards[self.shard_of(user)]
+    }
+
+    /// Size of the global user id space.
+    pub fn num_users(&self) -> u32 {
+        self.n_users
+    }
+
+    /// Size of the global item id space.
+    pub fn num_items(&self) -> u32 {
+        self.n_items
+    }
+
+    /// Total stored ratings across all shards.
+    pub fn num_ratings(&self) -> usize {
+        self.shards.iter().map(RatingMatrix::num_ratings).sum()
+    }
+
+    /// The users owned by shard `s` within the global universe,
+    /// ascending.
+    pub fn users_of_shard(&self, s: usize) -> Vec<UserId> {
+        self.spec.users_of_shard(s, self.n_users)
+    }
+
+    /// Looks up `rating(u, i)` in the owning shard.
+    pub fn rating(&self, user: UserId, item: ItemId) -> Option<f64> {
+        self.owning_shard(user).rating(user, item)
+    }
+
+    /// Inserts a rating into the owning shard (growing the global id
+    /// spaces when needed).
+    ///
+    /// # Errors
+    /// Propagates [`RatingMatrix::insert_rating`] errors; the sharded
+    /// matrix is untouched on error.
+    pub fn insert_rating(&mut self, user: UserId, item: ItemId, rating: Rating) -> Result<()> {
+        let s = self.shard_of(user);
+        self.shards[s].insert_rating(user, item, rating)?;
+        self.n_users = self.n_users.max(user.raw() + 1);
+        self.n_items = self.n_items.max(item.raw() + 1);
+        Ok(())
+    }
+
+    /// Updates an existing rating in the owning shard; returns the
+    /// previous score.
+    ///
+    /// # Errors
+    /// Propagates [`RatingMatrix::update_rating`] errors.
+    pub fn update_rating(&mut self, user: UserId, item: ItemId, rating: Rating) -> Result<f64> {
+        let s = self.shard_of(user);
+        self.shards[s].update_rating(user, item, rating)
+    }
+
+    /// Removes an existing rating from the owning shard; returns the
+    /// removed score. Id spaces never shrink.
+    ///
+    /// # Errors
+    /// Propagates [`RatingMatrix::remove_rating`] errors.
+    pub fn remove_rating(&mut self, user: UserId, item: ItemId) -> Result<f64> {
+        let s = self.shard_of(user);
+        self.shards[s].remove_rating(user, item)
+    }
+
+    /// Re-materialises the full triple relation, sorted `(user, item)` —
+    /// the union of every shard's relation.
+    pub fn to_triples(&self) -> Vec<RatingTriple> {
+        let mut out: Vec<RatingTriple> = self.shards.iter().flat_map(|m| m.to_triples()).collect();
+        out.sort_unstable_by_key(|t| (t.user, t.item));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(v: f64) -> Rating {
+        Rating::new(v).unwrap()
+    }
+
+    fn sample() -> RatingMatrix {
+        let mut b = RatingMatrixBuilder::new().reserve_ids(10, 6);
+        for (u, i, s) in [
+            (0u32, 0u32, 5.0),
+            (0, 2, 3.0),
+            (1, 0, 4.0),
+            (3, 1, 2.0),
+            (3, 2, 4.5),
+            (7, 5, 1.0),
+            (9, 0, 3.5),
+        ] {
+            b.add(UserId::new(u), ItemId::new(i), r(s));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn spec_rejects_zero_and_partitions_everyone() {
+        assert!(ShardSpec::new(0).is_err());
+        for s in [1u32, 2, 3, 8] {
+            let spec = ShardSpec::new(s).unwrap();
+            let mut seen = 0usize;
+            for shard in 0..s as usize {
+                let users = spec.users_of_shard(shard, 100);
+                assert!(users.iter().all(|&u| spec.shard_of(u) == shard));
+                seen += users.len();
+            }
+            assert_eq!(seen, 100, "every user owned by exactly one shard");
+        }
+    }
+
+    #[test]
+    fn single_shard_is_the_whole_matrix() {
+        let m = sample();
+        let sharded = ShardedRatingMatrix::from_matrix(&m, ShardSpec::new(1).unwrap()).unwrap();
+        // Derived `PartialEq` cannot compare NaN mean slots; the relation
+        // plus the dimensions pin the equality.
+        assert_eq!(sharded.shard(0).to_triples(), m.to_triples());
+        assert_eq!(sharded.shard(0).num_users(), m.num_users());
+        assert_eq!(sharded.shard(0).num_items(), m.num_items());
+        assert_eq!(sharded.num_ratings(), m.num_ratings());
+    }
+
+    #[test]
+    fn rows_live_wholly_in_the_owning_shard() {
+        let m = sample();
+        for s in [2u32, 3, 8] {
+            let sharded = ShardedRatingMatrix::from_matrix(&m, ShardSpec::new(s).unwrap()).unwrap();
+            assert_eq!(sharded.num_users(), m.num_users());
+            assert_eq!(sharded.num_items(), m.num_items());
+            assert_eq!(sharded.num_ratings(), m.num_ratings());
+            for u in m.user_ids() {
+                let owner = sharded.owning_shard(u);
+                assert_eq!(owner.items_of(u), m.items_of(u), "S={s}, row of {u}");
+                assert_eq!(owner.scores_of(u), m.scores_of(u), "S={s}, scores of {u}");
+                assert_eq!(
+                    owner.user_means()[u.index()].to_bits(),
+                    m.user_means()[u.index()].to_bits(),
+                    "S={s}, mean of {u}"
+                );
+                // Every *other* shard holds an empty row for u.
+                for (t, shard) in sharded.shards().iter().enumerate() {
+                    if t != sharded.shard_of(u) {
+                        assert!(shard.items_of(u).is_empty(), "S={s}, shard {t}, user {u}");
+                    }
+                }
+            }
+            assert_eq!(sharded.to_triples(), m.to_triples());
+        }
+    }
+
+    #[test]
+    fn columns_are_the_shard_restricted_csc() {
+        let m = sample();
+        let sharded = ShardedRatingMatrix::from_matrix(&m, ShardSpec::new(3).unwrap()).unwrap();
+        for i in m.item_ids() {
+            let mut union: Vec<(UserId, f64)> = sharded
+                .shards()
+                .iter()
+                .flat_map(|shard| shard.raters_of(i).collect::<Vec<_>>())
+                .collect();
+            union.sort_unstable_by_key(|&(u, _)| u);
+            let full: Vec<(UserId, f64)> = m.raters_of(i).collect();
+            assert_eq!(union, full, "column {i}");
+            for (t, shard) in sharded.shards().iter().enumerate() {
+                assert!(
+                    shard.users_of(i).iter().all(|&u| sharded.shard_of(u) == t),
+                    "column {i} of shard {t} holds only owned users"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mutations_route_to_the_owning_shard() {
+        let m = sample();
+        let mut sharded = ShardedRatingMatrix::from_matrix(&m, ShardSpec::new(4).unwrap()).unwrap();
+        let user = UserId::new(3);
+        let owner = sharded.shard_of(user);
+
+        sharded.insert_rating(user, ItemId::new(5), r(2.5)).unwrap();
+        assert_eq!(sharded.rating(user, ItemId::new(5)), Some(2.5));
+        assert!(sharded.shard(owner).has_rated(user, ItemId::new(5)));
+
+        let prev = sharded.update_rating(user, ItemId::new(5), r(4.0)).unwrap();
+        assert_eq!(prev, 2.5);
+        assert_eq!(sharded.remove_rating(user, ItemId::new(5)).unwrap(), 4.0);
+        assert_eq!(sharded.to_triples(), m.to_triples());
+
+        // Growth past the global dims is tracked at the sharded level.
+        sharded
+            .insert_rating(UserId::new(12), ItemId::new(9), r(1.0))
+            .unwrap();
+        assert_eq!(sharded.num_users(), 13);
+        assert_eq!(sharded.num_items(), 10);
+        assert!(sharded
+            .insert_rating(UserId::new(12), ItemId::new(9), r(1.0))
+            .is_err());
+    }
+}
