@@ -1,0 +1,226 @@
+//! Serving front-end benchmarks: the streaming [`Server`] (bounded
+//! admission + coalescing + batched fan-out) raced against per-call
+//! [`RecommenderEngine::recommend_batch`] serving, plus a deterministic
+//! closed-loop load-generator replay reporting p50/p95/p99 latency and
+//! sustained QPS.
+//!
+//! The workload is the ISSUE's 64-small-groups stream: 64 distinct
+//! two-member groups, each requested four times, interleaved — the
+//! duplicate-heavy shape of real caregiver traffic where several
+//! caregivers ask about the same patient group within one window. The
+//! per-call path computes all 256 requests; the server coalesces the
+//! duplicates onto 64 computations and fans compatible requests out in
+//! dispatcher batches. Thread counts come from `FAIRREC_THREADS`
+//! (default `1,8`); `scripts/bench_trajectory` freezes the rows (and
+//! the coalesced/per-call ratio) into the committed `BENCH_*.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairrec_bench::{bench_thread_counts, bench_users};
+use fairrec_core::group::Group;
+use fairrec_data::{SyntheticConfig, SyntheticDataset};
+use fairrec_engine::{EngineConfig, RecommenderEngine, Server, ServerConfig};
+use fairrec_ontology::snomed::clinical_fragment;
+use fairrec_types::{Deadline, GroupId, Parallelism, UserId};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+const NUM_GROUPS: u32 = 64;
+const REPEATS: usize = 4;
+const Z: usize = 5;
+
+fn make_engine(threads: usize) -> Arc<RecommenderEngine> {
+    let num_users = bench_users(1000);
+    let data = SyntheticDataset::generate(
+        SyntheticConfig {
+            num_users,
+            num_items: num_users * 2,
+            num_communities: 4,
+            ratings_per_user: 40,
+            seed: 23,
+            ..Default::default()
+        },
+        &clinical_fragment(),
+    )
+    .expect("valid config");
+    Arc::new(
+        RecommenderEngine::new(
+            data.matrix,
+            data.profiles,
+            clinical_fragment(),
+            EngineConfig {
+                parallelism: Parallelism::Threads(threads),
+                ..Default::default()
+            },
+        )
+        .expect("valid engine"),
+    )
+}
+
+/// The 64 distinct two-member groups of the workload.
+fn make_groups(num_users: u32) -> Vec<Group> {
+    (0..NUM_GROUPS)
+        .map(|g| {
+            let base = (g * 2) % (num_users - 1);
+            Group::new(GroupId::new(g), [UserId::new(base), UserId::new(base + 1)])
+                .expect("non-empty group")
+        })
+        .collect()
+}
+
+/// The interleaved request schedule: g0, g1, …, g63, g0, … (each group
+/// `REPEATS` times). Deterministic — no RNG, no clock.
+fn schedule() -> Vec<usize> {
+    (0..REPEATS).flat_map(|_| 0..NUM_GROUPS as usize).collect()
+}
+
+fn server_over(engine: &Arc<RecommenderEngine>) -> Server {
+    Server::new(
+        Arc::clone(engine),
+        ServerConfig {
+            queue_capacity: 512,
+            max_batch: 16,
+            workers: 2,
+        },
+    )
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let mut bench = c.benchmark_group("serving");
+    bench.sample_size(10);
+    for threads in bench_thread_counts() {
+        let engine = make_engine(threads);
+        engine.warm_peer_index();
+        let groups = make_groups(engine.matrix().num_users());
+        let order = schedule();
+
+        // The paths must agree before they are raced.
+        {
+            let server = server_over(&engine);
+            let served = server
+                .recommend(groups[0].clone(), Z, Deadline::none())
+                .expect("served");
+            let direct = engine.recommend_for_group(&groups[0], Z).expect("direct");
+            assert_eq!(*served, direct, "server and per-call results must match");
+        }
+
+        bench.bench_with_input(BenchmarkId::new("per_call", threads), &threads, |b, _| {
+            b.iter(|| {
+                for &g in &order {
+                    let got = engine
+                        .recommend_batch(std::slice::from_ref(&groups[g]), Z)
+                        .expect("per-call serving");
+                    black_box(got);
+                }
+            })
+        });
+        bench.bench_with_input(BenchmarkId::new("coalesced", threads), &threads, |b, _| {
+            b.iter(|| {
+                let server = server_over(&engine);
+                let tickets: Vec<_> = order
+                    .iter()
+                    .map(|&g| {
+                        server
+                            .submit(groups[g].clone(), Z, Deadline::none())
+                            .expect("capacity covers the schedule")
+                    })
+                    .collect();
+                for ticket in tickets {
+                    black_box(ticket.wait().expect("served"));
+                }
+                server.shutdown()
+            })
+        });
+    }
+    bench.finish();
+}
+
+/// Nearest-rank percentile over sorted nanosecond latencies.
+fn percentile(sorted: &[u64], pct: usize) -> u64 {
+    let rank = (sorted.len() * pct).div_ceil(100).max(1) - 1;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// The load-generator replay: four closed-loop submitter lanes replay
+/// the schedule against one persistent server — each lane takes a
+/// contiguous quarter, i.e. one full g0…g63 sweep, so concurrent lanes
+/// ask for the *same* groups and the admission layer coalesces them —
+/// timing each request from submit to delivery. Reports p50/p95/p99
+/// latency and sustained QPS as scalar rows in the same JSONL stream
+/// as the timing benches.
+fn bench_load_replay(c: &mut Criterion) {
+    let _ = c; // same signature as the timing benches; measures by hand
+    const LANES: usize = 4;
+    for threads in bench_thread_counts() {
+        let engine = make_engine(threads);
+        engine.warm_peer_index();
+        let groups = make_groups(engine.matrix().num_users());
+        let order = schedule();
+        let server = server_over(&engine);
+
+        let started = Instant::now();
+        let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+            let lane_len = order.len().div_ceil(LANES);
+            let handles: Vec<_> = order
+                .chunks(lane_len)
+                .map(|lane| {
+                    let server = &server;
+                    let groups = &groups;
+                    scope.spawn(move || {
+                        let mut lane_latencies = Vec::new();
+                        for &g in lane {
+                            let t0 = Instant::now();
+                            let ticket = server
+                                .submit(groups[g].clone(), Z, Deadline::none())
+                                .expect("capacity covers the schedule");
+                            ticket.wait().expect("served");
+                            lane_latencies.push(t0.elapsed().as_nanos() as u64);
+                        }
+                        lane_latencies
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("lane panicked"))
+                .collect()
+        });
+        let wall = started.elapsed();
+        let stats = server.shutdown();
+        assert_eq!(
+            stats.completed + stats.coalesced,
+            u64::try_from(order.len()).expect("fits"),
+            "every scheduled request was served"
+        );
+
+        latencies.sort_unstable();
+        let n = latencies.len();
+        let qps = n as f64 / wall.as_secs_f64();
+        criterion::record_scalar(
+            &format!("serving_load/p50/{threads}"),
+            percentile(&latencies, 50) as f64,
+            n,
+        );
+        criterion::record_scalar(
+            &format!("serving_load/p95/{threads}"),
+            percentile(&latencies, 95) as f64,
+            n,
+        );
+        criterion::record_scalar(
+            &format!("serving_load/p99/{threads}"),
+            percentile(&latencies, 99) as f64,
+            n,
+        );
+        criterion::record_scalar(&format!("serving_load/qps/{threads}"), qps, n);
+        println!(
+            "serving_load[{threads} threads]: {n} requests in {:.1} ms, {qps:.1} QPS, \
+             {} coalesced / {} computed",
+            wall.as_secs_f64() * 1e3,
+            stats.coalesced,
+            stats.completed,
+        );
+    }
+}
+
+criterion_group!(benches, bench_serving, bench_load_replay);
+criterion_main!(benches);

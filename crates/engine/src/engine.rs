@@ -1033,7 +1033,22 @@ impl RecommenderEngine {
     /// # Errors
     /// Returns the first failure in group order, if any request fails.
     pub fn recommend_batch(&self, groups: &[Group], z: usize) -> Result<Vec<GroupRecommendation>> {
-        // One level of parallelism: when groups fan out across threads,
+        let requests: Vec<(Group, usize)> = groups.iter().map(|g| (g.clone(), z)).collect();
+        self.recommend_requests(&requests).into_iter().collect()
+    }
+
+    /// Mixed-`z` batched serving: one `(group, z)` request per entry,
+    /// outcomes in input order, **per-request** — a failing request does
+    /// not reject its batchmates, which is what lets the streaming
+    /// front-end fan a coalesced batch out in one call and still deliver
+    /// each waiter its own result. Each entry is identical to calling
+    /// [`recommend_for_group`](Self::recommend_for_group) on it;
+    /// [`recommend_batch`](Self::recommend_batch) funnels through here.
+    pub fn recommend_requests(
+        &self,
+        requests: &[(Group, usize)],
+    ) -> Vec<Result<GroupRecommendation>> {
+        // One level of parallelism: when requests fan out across threads,
         // each request's inner stages run sequentially — nested fan-out
         // would oversubscribe the pool for no gain (a group is already a
         // thread-sized unit of work).
@@ -1042,11 +1057,11 @@ impl RecommenderEngine {
         } else {
             self.config.parallelism
         };
-        let outcomes: Vec<Result<GroupRecommendation>> =
-            self.config.parallelism.map(groups.to_vec(), |group| {
+        self.config
+            .parallelism
+            .map(requests.to_vec(), |(group, z)| {
                 self.recommend_with(&group, z, inner)
-            });
-        outcomes.into_iter().collect()
+            })
     }
 }
 
@@ -1359,16 +1374,37 @@ mod tests {
 
     #[test]
     fn empty_or_failed_batches_keep_the_warm_cache() {
-        let mut e = engine(EngineConfig::default());
-        e.warm_peer_index();
-        let warm = e.peer_index().num_cached();
-        assert_eq!(e.ingest_ratings(std::iter::empty()).unwrap(), 0);
-        assert_eq!(e.peer_index().num_cached(), warm, "no-op batch");
-        // A batch failing on its first entry applied nothing either.
-        assert!(e
-            .ingest_ratings([(UserId::new(0), ItemId::new(0), 42.0)])
-            .is_err());
-        assert_eq!(e.peer_index().num_cached(), warm, "all-rejected batch");
+        // Pinned on both backends: an empty or all-rejected batch must
+        // leave the generation token AND the warm cache untouched — a
+        // spurious bump would break serving-side coalescing (slots keyed
+        // under the token would stop joining) and invalidate warm peers
+        // for nothing.
+        for num_shards in [None, Some(4)] {
+            let mut e = engine(EngineConfig {
+                num_shards,
+                ..Default::default()
+            });
+            e.warm_peer_index();
+            let warm = e.peer_index().num_cached();
+            let generation = e.peer_index().generation();
+            assert_eq!(e.ingest_ratings(std::iter::empty()).unwrap(), 0);
+            assert_eq!(e.peer_index().num_cached(), warm, "no-op batch");
+            assert_eq!(
+                e.peer_index().generation(),
+                generation,
+                "no-op batch must not bump the generation token"
+            );
+            // A batch failing on its first entry applied nothing either.
+            assert!(e
+                .ingest_ratings([(UserId::new(0), ItemId::new(0), 42.0)])
+                .is_err());
+            assert_eq!(e.peer_index().num_cached(), warm, "all-rejected batch");
+            assert_eq!(
+                e.peer_index().generation(),
+                generation,
+                "all-rejected batch must not bump the generation token"
+            );
+        }
     }
 
     #[test]

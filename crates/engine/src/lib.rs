@@ -12,7 +12,9 @@
 //! * [`GroupRecommendation`] / [`MemberSatisfaction`] — the result with a
 //!   per-member fairness explanation,
 //! * [`evaluation`] — hold-out prediction quality (MAE/RMSE/coverage) and
-//!   planted-community peer-recovery, used by the ablation experiments.
+//!   planted-community peer-recovery, used by the ablation experiments,
+//! * [`Server`] — the streaming serving front-end: bounded admission,
+//!   generation-keyed request coalescing, deadlines, graceful shutdown.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -20,9 +22,11 @@
 mod config;
 mod engine;
 pub mod evaluation;
+mod serving;
 
 pub use config::{EngineConfig, ExecutionPath, SelectionAlgorithm, SimilarityKind};
 pub use engine::{
     GroupRecommendation, IngestOp, IngestReport, MemberSatisfaction, PeerBackend, PeerMaintenance,
     RecommendedItem, RecommenderEngine,
 };
+pub use serving::{Server, ServerConfig, ServerStats, Ticket};

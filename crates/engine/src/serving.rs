@@ -1,0 +1,833 @@
+//! Streaming serving front-end: bounded admission, request coalescing,
+//! deadlines, backpressure, graceful shutdown.
+//!
+//! [`RecommenderEngine::recommend_batch`] serves one materialised batch
+//! at a time; continuous traffic needs an admission layer in front of
+//! it. [`Server`] is that layer: a bounded MPMC queue of group requests
+//! feeding the existing worker pool directly — dispatchers are
+//! fire-and-forget jobs (`rayon::spawn`) on the pool the engine's
+//! parallel stages already run on, not dedicated threads.
+//!
+//! ## Admission
+//!
+//! [`Server::submit`] runs entirely under one admission lock and either
+//!
+//! * rejects immediately with a typed error — [`ServerShutdown`] after
+//!   shutdown, [`DeadlineExpired`] when the request's budget already
+//!   lapsed, [`QueueFull`] when the queue is at capacity (backpressure:
+//!   the caller sheds load *now* instead of queueing unboundedly),
+//! * **coalesces** onto an identical in-flight request (below), or
+//! * enqueues a fresh request slot and, when fewer than
+//!   [`ServerConfig::workers`] dispatchers are live, spawns one.
+//!
+//! ## Coalescing, keyed under the generation token
+//!
+//! Identical `(group members, z)` requests in flight share one
+//! computation: the joining request adds a waiter to the existing slot
+//! and every waiter receives a clone of the same
+//! `Arc<GroupRecommendation>`. A slot still queued is always joinable —
+//! its computation has not started, so it will run against current
+//! data. A slot already **computing** is joinable only while the peer
+//! backend's generation token still equals the token recorded when its
+//! computation began: a warm or ingest mid-stream bumps the token, and
+//! a request admitted *after* the bump must not be handed a result
+//! computed *before* it (the merged result would be stale for the new
+//! request). Compatible distinct requests are batched — a dispatcher
+//! drains up to [`ServerConfig::max_batch`] slots and fans them out in
+//! a single [`RecommenderEngine::recommend_requests`] call, so
+//! per-batch setup is amortised across continuous traffic.
+//!
+//! ## Deadlines
+//!
+//! A request's [`Deadline`] is enforced three times: at admission
+//! (pre-expired requests never enter the queue), at dispatch (a
+//! dispatcher triages each claimed slot's waiters against one clock
+//! reading and rejects the lapsed ones **before** spending kernel time
+//! — a slot with no live waiters left is dropped uncomputed), and by
+//! the waiting caller ([`Ticket::wait`] gives up when the budget runs
+//! out even if the result later arrives).
+//!
+//! ## Shutdown
+//!
+//! [`Server::shutdown`] flips the admission flag (new submits are
+//! rejected), then **drains**: the shutting-down thread runs the
+//! dispatch loop inline until the queue is empty and waits for live
+//! dispatchers to deliver their in-flight batches. Every request
+//! admitted before shutdown is therefore served (or deadline-rejected),
+//! never dropped. Dropping the server shuts it down.
+//!
+//! `workers: 0` is allowed and documented: no dispatcher is ever
+//! spawned, so the queue only drains on shutdown. That mode makes
+//! queue states fully deterministic — the rejection, coalescing, and
+//! triage tests below rely on it.
+
+use crate::engine::{GroupRecommendation, RecommenderEngine};
+use fairrec_core::group::Group;
+use fairrec_types::{Deadline, FairrecError, Result, UserId};
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Knobs of the streaming front-end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Bounded admission-queue capacity: distinct request slots that may
+    /// wait for a dispatcher at once. Coalesced joins consume no
+    /// capacity. Clamped to ≥ 1.
+    pub queue_capacity: usize,
+    /// Most request slots one dispatcher claims per fan-out. Clamped to
+    /// ≥ 1.
+    pub max_batch: usize,
+    /// Most concurrent dispatcher jobs on the worker pool. `0` is valid:
+    /// requests queue but only drain on [`Server::shutdown`] (the
+    /// deterministic-test mode).
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 1024,
+            max_batch: 16,
+            workers: 2,
+        }
+    }
+}
+
+/// Monotone counters of one server's life, snapshotted by
+/// [`Server::stats`]. Rejection counters are server-side decisions;
+/// a caller-side [`Ticket::wait`] timeout is not counted (the server
+/// may still triage the same request later — one rejection, one count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Requests admitted as fresh slots.
+    pub submitted: u64,
+    /// Requests that joined an in-flight identical slot.
+    pub coalesced: u64,
+    /// Request slots computed and delivered.
+    pub completed: u64,
+    /// Dispatcher fan-outs run (each covers up to `max_batch` slots).
+    pub batches: u64,
+    /// Requests rejected because the queue was at capacity.
+    pub rejected_queue_full: u64,
+    /// Requests rejected at admission or dispatch with a lapsed deadline.
+    pub rejected_deadline: u64,
+}
+
+#[derive(Debug, Default)]
+struct Stats {
+    submitted: AtomicU64,
+    coalesced: AtomicU64,
+    completed: AtomicU64,
+    batches: AtomicU64,
+    rejected_queue_full: AtomicU64,
+    rejected_deadline: AtomicU64,
+}
+
+impl Stats {
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            submitted: self.submitted.load(Ordering::Acquire),
+            coalesced: self.coalesced.load(Ordering::Acquire),
+            completed: self.completed.load(Ordering::Acquire),
+            batches: self.batches.load(Ordering::Acquire),
+            rejected_queue_full: self.rejected_queue_full.load(Ordering::Acquire),
+            rejected_deadline: self.rejected_deadline.load(Ordering::Acquire),
+        }
+    }
+}
+
+/// The coalescing identity of a request: same members, same `z` ⇒ same
+/// answer (a [`GroupRecommendation`] carries no group id).
+type CoalesceKey = (Vec<UserId>, usize);
+
+/// Where a slot is in its life. Transitions happen under the admission
+/// lock, so `submit`'s join decision and the dispatcher's claim cannot
+/// interleave.
+#[derive(Debug, Clone, Copy)]
+enum SlotPhase {
+    /// Waiting in the queue; joinable unconditionally (its computation
+    /// will run against current data).
+    Queued,
+    /// Claimed by a dispatcher; joinable only while the backend's
+    /// generation still equals the recorded token.
+    Computing {
+        /// The peer backend's generation when the fan-out was assembled.
+        generation: u64,
+    },
+}
+
+struct SlotInner {
+    phase: SlotPhase,
+    waiters: Vec<Arc<Waiter>>,
+}
+
+/// One admitted `(group, z)` computation and everyone waiting on it.
+struct RequestSlot {
+    group: Group,
+    z: usize,
+    inner: Mutex<SlotInner>,
+}
+
+impl RequestSlot {
+    fn key(&self) -> CoalesceKey {
+        (self.group.members().to_vec(), self.z)
+    }
+}
+
+/// One caller's stake in a slot: their deadline and their response cell.
+struct Waiter {
+    deadline: Deadline,
+    result: Mutex<Option<Result<Arc<GroupRecommendation>>>>,
+    ready: Condvar,
+}
+
+impl Waiter {
+    fn new(deadline: Deadline) -> Self {
+        Self {
+            deadline,
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// First completion wins; later completions (benign races between a
+    /// triage rejection and a delivery) are dropped.
+    fn complete(&self, outcome: Result<Arc<GroupRecommendation>>) {
+        let mut cell = self.result.lock().expect("response cell poisoned");
+        if cell.is_none() {
+            *cell = Some(outcome);
+            self.ready.notify_all();
+        }
+    }
+}
+
+/// The admission state: the bounded queue **is** the MPMC queue of the
+/// front-end, and the pending map is the coalescing index over it. One
+/// lock guards both, so capacity checks, joins, claims, and the
+/// dispatcher head-count can never disagree.
+struct Admission {
+    queue: VecDeque<Arc<RequestSlot>>,
+    pending: HashMap<CoalesceKey, Arc<RequestSlot>>,
+    dispatchers: usize,
+    shutdown: bool,
+}
+
+struct ServerCore {
+    engine: Arc<RecommenderEngine>,
+    config: ServerConfig,
+    state: Mutex<Admission>,
+    /// Signalled when the last live dispatcher exits (shutdown waits on
+    /// it).
+    idle: Condvar,
+    stats: Stats,
+}
+
+/// A submitted request's claim ticket: wait on it for the result.
+pub struct Ticket {
+    waiter: Arc<Waiter>,
+    coalesced: bool,
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket")
+            .field("coalesced", &self.coalesced)
+            .field("deadline", &self.waiter.deadline)
+            .finish()
+    }
+}
+
+impl Ticket {
+    /// Whether this request joined an in-flight identical computation
+    /// instead of enqueueing its own.
+    pub fn coalesced(&self) -> bool {
+        self.coalesced
+    }
+
+    /// Blocks until the result arrives or this request's deadline
+    /// lapses.
+    ///
+    /// # Errors
+    /// [`FairrecError::DeadlineExpired`] when the budget ran out first;
+    /// otherwise whatever the computation produced (a rejection recorded
+    /// by the server arrives through the same channel).
+    pub fn wait(self) -> Result<Arc<GroupRecommendation>> {
+        let mut cell = self.waiter.result.lock().expect("response cell poisoned");
+        loop {
+            if let Some(outcome) = cell.as_ref() {
+                return outcome.clone();
+            }
+            match self.waiter.deadline.remaining() {
+                None => {
+                    cell = self
+                        .waiter
+                        .ready
+                        .wait(cell)
+                        .expect("response cell poisoned");
+                }
+                Some(left) if left.is_zero() => return Err(FairrecError::DeadlineExpired),
+                Some(left) => {
+                    cell = self
+                        .waiter
+                        .ready
+                        .wait_timeout(cell, left)
+                        .expect("response cell poisoned")
+                        .0;
+                }
+            }
+        }
+    }
+}
+
+/// The streaming serving front-end over a shared
+/// [`RecommenderEngine`]. See the module docs for the admission,
+/// coalescing, deadline, and shutdown contracts.
+pub struct Server {
+    core: Arc<ServerCore>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.core.state.lock().expect("admission lock poisoned");
+        f.debug_struct("Server")
+            .field("config", &self.core.config)
+            .field("queued", &state.queue.len())
+            .field("dispatchers", &state.dispatchers)
+            .field("shutdown", &state.shutdown)
+            .finish()
+    }
+}
+
+impl Server {
+    /// A front-end over `engine` (shared: the engine keeps serving
+    /// direct calls too). Capacity and batch size are clamped to ≥ 1;
+    /// `workers: 0` is honoured as the drain-on-shutdown mode.
+    pub fn new(engine: Arc<RecommenderEngine>, config: ServerConfig) -> Self {
+        let config = ServerConfig {
+            queue_capacity: config.queue_capacity.max(1),
+            max_batch: config.max_batch.max(1),
+            workers: config.workers,
+        };
+        Self {
+            core: Arc::new(ServerCore {
+                engine,
+                config,
+                state: Mutex::new(Admission {
+                    queue: VecDeque::new(),
+                    pending: HashMap::new(),
+                    dispatchers: 0,
+                    shutdown: false,
+                }),
+                idle: Condvar::new(),
+                stats: Stats::default(),
+            }),
+        }
+    }
+
+    /// The shared engine.
+    pub fn engine(&self) -> &Arc<RecommenderEngine> {
+        &self.core.engine
+    }
+
+    /// Submits one group request; returns a [`Ticket`] to wait on.
+    ///
+    /// # Errors
+    /// [`FairrecError::ServerShutdown`] after [`shutdown`](Self::shutdown),
+    /// [`FairrecError::DeadlineExpired`] for a pre-lapsed deadline,
+    /// [`FairrecError::QueueFull`] when the bounded queue is at capacity
+    /// and the request coalesces with nothing in flight.
+    pub fn submit(&self, group: Group, z: usize, deadline: Deadline) -> Result<Ticket> {
+        let core = &self.core;
+        let mut state = core.state.lock().expect("admission lock poisoned");
+        if state.shutdown {
+            return Err(FairrecError::ServerShutdown);
+        }
+        if deadline.expired() {
+            core.stats.rejected_deadline.fetch_add(1, Ordering::AcqRel);
+            return Err(FairrecError::DeadlineExpired);
+        }
+        let key: CoalesceKey = (group.members().to_vec(), z);
+        if let Some(slot) = state.pending.get(&key) {
+            let joinable = match slot.inner.lock().expect("slot poisoned").phase {
+                SlotPhase::Queued => true,
+                // The generation key: a computation started under an
+                // older token must not absorb requests admitted after a
+                // warm/ingest bumped it.
+                SlotPhase::Computing { generation } => {
+                    generation == core.engine.peer_index().generation()
+                }
+            };
+            if joinable {
+                let waiter = Arc::new(Waiter::new(deadline));
+                slot.inner
+                    .lock()
+                    .expect("slot poisoned")
+                    .waiters
+                    .push(Arc::clone(&waiter));
+                core.stats.coalesced.fetch_add(1, Ordering::AcqRel);
+                return Ok(Ticket {
+                    waiter,
+                    coalesced: true,
+                });
+            }
+            // Stale in-flight slot: fall through and enqueue a fresh one.
+            // The pending insert below displaces the stale entry; its
+            // delivery only unregisters itself (pointer-checked), so the
+            // fresh slot stays registered.
+        }
+        if state.queue.len() >= core.config.queue_capacity {
+            core.stats
+                .rejected_queue_full
+                .fetch_add(1, Ordering::AcqRel);
+            return Err(FairrecError::QueueFull {
+                capacity: core.config.queue_capacity,
+            });
+        }
+        let waiter = Arc::new(Waiter::new(deadline));
+        let slot = Arc::new(RequestSlot {
+            group,
+            z,
+            inner: Mutex::new(SlotInner {
+                phase: SlotPhase::Queued,
+                waiters: vec![Arc::clone(&waiter)],
+            }),
+        });
+        state.pending.insert(key, Arc::clone(&slot));
+        state.queue.push_back(slot);
+        core.stats.submitted.fetch_add(1, Ordering::AcqRel);
+        // Dispatcher head-count and the exit-decrement in
+        // `dispatcher_loop` serialize under this same lock, so a
+        // wake-up can never be lost: either a live dispatcher will see
+        // this slot, or we spawn one here.
+        if state.dispatchers < core.config.workers {
+            state.dispatchers += 1;
+            let core = Arc::clone(core);
+            rayon::spawn(move || ServerCore::dispatcher_loop(&core));
+        }
+        Ok(Ticket {
+            waiter,
+            coalesced: false,
+        })
+    }
+
+    /// Submit-and-wait convenience: one blocking request.
+    ///
+    /// # Errors
+    /// As [`submit`](Self::submit) and [`Ticket::wait`].
+    pub fn recommend(
+        &self,
+        group: Group,
+        z: usize,
+        deadline: Deadline,
+    ) -> Result<Arc<GroupRecommendation>> {
+        self.submit(group, z, deadline)?.wait()
+    }
+
+    /// A snapshot of the lifetime counters.
+    pub fn stats(&self) -> ServerStats {
+        self.core.stats.snapshot()
+    }
+
+    /// Graceful shutdown: rejects new submits, drains every queued
+    /// request (the calling thread helps compute them), waits for live
+    /// dispatchers to deliver their in-flight batches, and returns the
+    /// final counters. Idempotent — later calls just re-wait and
+    /// re-snapshot.
+    pub fn shutdown(&self) -> ServerStats {
+        let core = &self.core;
+        {
+            let mut state = core.state.lock().expect("admission lock poisoned");
+            state.shutdown = true;
+        }
+        // Help drain inline: with the flag up nothing new is admitted,
+        // so an empty queue is a terminal state (this is also the only
+        // drain under `workers: 0`).
+        loop {
+            let batch = {
+                let mut state = core.state.lock().expect("admission lock poisoned");
+                if state.queue.is_empty() {
+                    break;
+                }
+                core.claim_batch(&mut state)
+            };
+            core.compute_and_deliver(&batch);
+        }
+        let mut state = core.state.lock().expect("admission lock poisoned");
+        while state.dispatchers > 0 {
+            state = core.idle.wait(state).expect("admission lock poisoned");
+        }
+        drop(state);
+        core.stats.snapshot()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.shutdown();
+    }
+}
+
+impl ServerCore {
+    /// Body of one dispatcher job on the worker pool: claim → fan out →
+    /// deliver, until the queue is empty. The exit decision and the
+    /// decrement happen under the admission lock, pairing exactly with
+    /// `submit`'s spawn check.
+    fn dispatcher_loop(self: &Arc<Self>) {
+        loop {
+            let batch = {
+                let mut state = self.state.lock().expect("admission lock poisoned");
+                if state.queue.is_empty() {
+                    state.dispatchers -= 1;
+                    if state.dispatchers == 0 {
+                        self.idle.notify_all();
+                    }
+                    return;
+                }
+                self.claim_batch(&mut state)
+            };
+            self.compute_and_deliver(&batch);
+        }
+    }
+
+    /// Claims up to `max_batch` slots off the queue (admission lock
+    /// held): triages each slot's waiters against one clock reading —
+    /// lapsed waiters are rejected with [`FairrecError::DeadlineExpired`]
+    /// right here, **before** any kernel time is spent — drops slots
+    /// with no live waiter left, and marks the survivors `Computing`
+    /// under the current generation token.
+    fn claim_batch(&self, state: &mut Admission) -> Vec<Arc<RequestSlot>> {
+        let generation = self.engine.peer_index().generation();
+        let now = Instant::now();
+        let mut batch = Vec::new();
+        while batch.len() < self.config.max_batch {
+            let Some(slot) = state.queue.pop_front() else {
+                break;
+            };
+            let live = {
+                let mut inner = slot.inner.lock().expect("slot poisoned");
+                let before = inner.waiters.len();
+                inner.waiters.retain(|w| {
+                    if w.deadline.expired_at(now) {
+                        w.complete(Err(FairrecError::DeadlineExpired));
+                        false
+                    } else {
+                        true
+                    }
+                });
+                let dropped = (before - inner.waiters.len()) as u64;
+                if dropped > 0 {
+                    self.stats
+                        .rejected_deadline
+                        .fetch_add(dropped, Ordering::AcqRel);
+                }
+                if inner.waiters.is_empty() {
+                    false
+                } else {
+                    inner.phase = SlotPhase::Computing { generation };
+                    true
+                }
+            };
+            if live {
+                batch.push(slot);
+            } else {
+                Self::unregister(state, &slot);
+            }
+        }
+        batch
+    }
+
+    /// Removes `slot`'s coalescing entry — only if it is still *this*
+    /// slot's (a stale slot displaced by a fresh one must not evict the
+    /// replacement).
+    fn unregister(state: &mut Admission, slot: &Arc<RequestSlot>) {
+        let key = slot.key();
+        if state
+            .pending
+            .get(&key)
+            .is_some_and(|cur| Arc::ptr_eq(cur, slot))
+        {
+            state.pending.remove(&key);
+        }
+    }
+
+    /// One fan-out over the claimed batch, then per-slot delivery. A
+    /// panic inside the engine is caught and delivered as a typed error
+    /// to every waiter of the batch (the dispatcher survives).
+    fn compute_and_deliver(self: &Arc<Self>, batch: &[Arc<RequestSlot>]) {
+        if batch.is_empty() {
+            return;
+        }
+        self.stats.batches.fetch_add(1, Ordering::AcqRel);
+        let specs: Vec<(Group, usize)> = batch
+            .iter()
+            .map(|slot| (slot.group.clone(), slot.z))
+            .collect();
+        let outcomes = catch_unwind(AssertUnwindSafe(|| self.engine.recommend_requests(&specs)));
+        match outcomes {
+            Ok(outcomes) => {
+                for (slot, outcome) in batch.iter().zip(outcomes) {
+                    self.finish_slot(slot, outcome.map(Arc::new));
+                }
+            }
+            Err(_) => {
+                let err = FairrecError::invalid_parameter(
+                    "serving",
+                    "request computation panicked; batch rejected",
+                );
+                for slot in batch {
+                    self.finish_slot(slot, Err(err.clone()));
+                }
+            }
+        }
+    }
+
+    /// Delivers one slot's outcome to every waiter. The coalescing
+    /// entry is unregistered (under the admission lock) **before** the
+    /// waiters are taken: joins only happen through the pending map
+    /// under that same lock, so no waiter can be added after the
+    /// take — nobody is left undelivered.
+    fn finish_slot(&self, slot: &Arc<RequestSlot>, outcome: Result<Arc<GroupRecommendation>>) {
+        {
+            let mut state: MutexGuard<'_, Admission> =
+                self.state.lock().expect("admission lock poisoned");
+            Self::unregister(&mut state, slot);
+        }
+        let waiters = {
+            let mut inner = slot.inner.lock().expect("slot poisoned");
+            std::mem::take(&mut inner.waiters)
+        };
+        for waiter in waiters {
+            waiter.complete(outcome.clone());
+        }
+        self.stats.completed.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use fairrec_data::{SyntheticConfig, SyntheticDataset};
+    use fairrec_ontology::snomed::clinical_fragment;
+    use fairrec_types::GroupId;
+    use std::time::Duration;
+
+    fn engine() -> Arc<RecommenderEngine> {
+        let ontology = clinical_fragment();
+        let data = SyntheticDataset::generate(
+            SyntheticConfig {
+                num_users: 40,
+                num_items: 80,
+                num_communities: 4,
+                ratings_per_user: 15,
+                seed: 7,
+                ..Default::default()
+            },
+            &ontology,
+        )
+        .unwrap();
+        Arc::new(
+            RecommenderEngine::new(
+                data.matrix,
+                data.profiles,
+                ontology,
+                EngineConfig::default(),
+            )
+            .unwrap(),
+        )
+    }
+
+    fn group(id: u32) -> Group {
+        Group::new(
+            GroupId::new(id),
+            [UserId::new(id * 3), UserId::new(id * 3 + 1)],
+        )
+        .unwrap()
+    }
+
+    /// No dispatchers: every queue state is deterministic.
+    fn frozen_server(engine: &Arc<RecommenderEngine>, capacity: usize) -> Server {
+        Server::new(
+            Arc::clone(engine),
+            ServerConfig {
+                queue_capacity: capacity,
+                max_batch: 16,
+                workers: 0,
+            },
+        )
+    }
+
+    #[test]
+    fn coalesced_submits_share_one_computation() {
+        let e = engine();
+        let server = frozen_server(&e, 8);
+        let a = server.submit(group(0), 5, Deadline::none()).unwrap();
+        let b = server.submit(group(0), 5, Deadline::none()).unwrap();
+        let c = server.submit(group(0), 4, Deadline::none()).unwrap(); // different z
+        assert!(!a.coalesced());
+        assert!(b.coalesced());
+        assert!(!c.coalesced());
+        let stats = server.shutdown();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.coalesced, 1);
+        assert_eq!(stats.completed, 2);
+        let (ra, rb, rc) = (a.wait().unwrap(), b.wait().unwrap(), c.wait().unwrap());
+        assert!(
+            Arc::ptr_eq(&ra, &rb),
+            "coalesced waiters share the same result allocation"
+        );
+        assert_eq!(ra.items.len(), 5);
+        assert_eq!(rc.items.len(), 4);
+        assert_eq!(
+            *ra,
+            e.recommend_for_group(&group(0), 5).unwrap(),
+            "served result equals the direct call"
+        );
+    }
+
+    #[test]
+    fn queue_full_rejects_immediately_but_coalesced_joins_still_land() {
+        let e = engine();
+        let server = frozen_server(&e, 2);
+        let _a = server.submit(group(0), 5, Deadline::none()).unwrap();
+        let _b = server.submit(group(1), 5, Deadline::none()).unwrap();
+        let rejected = server.submit(group(2), 5, Deadline::none());
+        assert_eq!(
+            rejected.unwrap_err(),
+            FairrecError::QueueFull { capacity: 2 }
+        );
+        // A join consumes no capacity, so it is admitted at a full queue.
+        let joined = server.submit(group(0), 5, Deadline::none()).unwrap();
+        assert!(joined.coalesced());
+        let stats = server.shutdown();
+        assert_eq!(stats.rejected_queue_full, 1);
+        assert_eq!(stats.completed, 2);
+        assert!(joined.wait().is_ok());
+    }
+
+    #[test]
+    fn lapsed_deadlines_are_rejected_at_admission_and_at_dispatch() {
+        let e = engine();
+        let server = frozen_server(&e, 8);
+        // Admission-time: already lapsed.
+        let pre = server.submit(group(0), 5, Deadline::at(Instant::now()));
+        assert_eq!(pre.unwrap_err(), FairrecError::DeadlineExpired);
+        // Dispatch-time: lapses while queued (workers: 0 — nothing
+        // drains until shutdown), so the drain triages it away without
+        // computing anything.
+        let t = server
+            .submit(group(1), 5, Deadline::within(Duration::from_millis(5)))
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        let stats = server.shutdown();
+        assert_eq!(stats.rejected_deadline, 2);
+        assert_eq!(stats.batches, 0, "no kernel time for lapsed requests");
+        assert_eq!(stats.completed, 0);
+        assert_eq!(t.wait().unwrap_err(), FairrecError::DeadlineExpired);
+    }
+
+    #[test]
+    fn waiting_callers_give_up_when_the_budget_runs_out() {
+        let e = engine();
+        let server = frozen_server(&e, 8);
+        let t = server
+            .submit(group(0), 5, Deadline::within(Duration::from_millis(10)))
+            .unwrap();
+        // Nothing will ever drain this (workers: 0, no shutdown), so
+        // the wait must return on its own budget.
+        assert_eq!(t.wait().unwrap_err(), FairrecError::DeadlineExpired);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_submits_and_drains_queued_ones() {
+        let e = engine();
+        let server = frozen_server(&e, 8);
+        let a = server.submit(group(0), 5, Deadline::none()).unwrap();
+        let b = server.submit(group(1), 6, Deadline::none()).unwrap();
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 2, "queued requests drain on shutdown");
+        assert_eq!(
+            server.submit(group(2), 5, Deadline::none()).unwrap_err(),
+            FairrecError::ServerShutdown
+        );
+        assert_eq!(a.wait().unwrap().items.len(), 5);
+        assert_eq!(b.wait().unwrap().items.len(), 6);
+    }
+
+    /// The generation key, pinned deterministically: a slot marked
+    /// `Computing` under the current token is joinable; after a
+    /// maintenance bump it is not — the next identical submit gets a
+    /// fresh slot that displaces the stale coalescing entry.
+    #[test]
+    fn coalescing_is_keyed_under_the_generation_token() {
+        let e = engine();
+        e.warm_peer_index();
+        let server = frozen_server(&e, 8);
+        let _t = server.submit(group(0), 5, Deadline::none()).unwrap();
+        // Simulate a dispatcher having claimed the slot mid-compute.
+        {
+            let state = server.core.state.lock().unwrap();
+            let slot = state
+                .pending
+                .get(&(group(0).members().to_vec(), 5))
+                .unwrap();
+            slot.inner.lock().unwrap().phase = SlotPhase::Computing {
+                generation: e.peer_index().generation(),
+            };
+        }
+        let same_gen = server.submit(group(0), 5, Deadline::none()).unwrap();
+        assert!(same_gen.coalesced(), "same token: join the computation");
+        // A warm/ingest mid-stream bumps the token …
+        e.invalidate_peers();
+        e.warm_peer_index();
+        // … so the identical request must NOT absorb the stale result.
+        let after_bump = server.submit(group(0), 5, Deadline::none()).unwrap();
+        assert!(
+            !after_bump.coalesced(),
+            "bumped token: a fresh slot is enqueued"
+        );
+        let stats = server.stats();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.coalesced, 1);
+        // The fresh slot displaced the stale pending entry; shutdown
+        // drains both queued slots (the stale one was hand-marked, its
+        // waiters still deliver through the drain).
+        let final_stats = server.shutdown();
+        assert_eq!(final_stats.completed, 2);
+        assert!(after_bump.wait().is_ok());
+    }
+
+    #[test]
+    fn live_dispatchers_serve_without_shutdown() {
+        let e = engine();
+        let server = Server::new(
+            Arc::clone(&e),
+            ServerConfig {
+                queue_capacity: 64,
+                max_batch: 4,
+                workers: 2,
+            },
+        );
+        let tickets: Vec<Ticket> = (0..6)
+            .map(|i| server.submit(group(i), 5, Deadline::none()).unwrap())
+            .collect();
+        for (i, t) in tickets.into_iter().enumerate() {
+            let got = t.wait().unwrap();
+            assert_eq!(
+                *got,
+                e.recommend_for_group(&group(i as u32), 5).unwrap(),
+                "request {i}"
+            );
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.submitted, 6);
+        assert_eq!(stats.completed, 6);
+        assert!(
+            stats.batches >= 2,
+            "6 slots at max_batch 4 need ≥ 2 fan-outs"
+        );
+    }
+}

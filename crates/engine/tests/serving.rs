@@ -1,0 +1,226 @@
+//! End-to-end pins for the streaming serving front-end.
+//!
+//! * Coalesced serving must be **bitwise indistinguishable** from
+//!   per-call [`RecommenderEngine::recommend_batch`] — for random
+//!   request streams full of duplicate `(group, z)` pairs, and across a
+//!   mid-stream peer-index warm (the generation-token bump path: the
+//!   coalescer must never hand a post-bump request a pre-bump result,
+//!   and either way every answer must equal the direct call bit for
+//!   bit).
+//! * Graceful shutdown must drain every admitted request under
+//!   concurrent submitters racing the shutdown itself: each submit
+//!   either returns a typed [`FairrecError::ServerShutdown`] rejection
+//!   or a ticket that resolves to the exact direct-call result — no
+//!   request is silently dropped, no wait hangs.
+
+use fairrec_core::group::Group;
+use fairrec_data::{SyntheticConfig, SyntheticDataset};
+use fairrec_engine::{EngineConfig, GroupRecommendation, RecommenderEngine, Server, ServerConfig};
+use fairrec_ontology::snomed::clinical_fragment;
+use fairrec_types::{Deadline, FairrecError, GroupId, UserId};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const NUM_USERS: u32 = 48;
+const NUM_GROUPS: u32 = 8;
+
+fn engine(num_shards: Option<u32>) -> Arc<RecommenderEngine> {
+    let ontology = clinical_fragment();
+    let data = SyntheticDataset::generate(
+        SyntheticConfig {
+            num_users: NUM_USERS,
+            num_items: 90,
+            num_communities: 4,
+            ratings_per_user: 15,
+            seed: 17,
+            ..Default::default()
+        },
+        &ontology,
+    )
+    .unwrap();
+    Arc::new(
+        RecommenderEngine::new(
+            data.matrix,
+            data.profiles,
+            ontology,
+            EngineConfig {
+                num_shards,
+                ..Default::default()
+            },
+        )
+        .unwrap(),
+    )
+}
+
+/// Group `g` covers a distinct 3-user window so different ids really are
+/// different requests.
+fn group(g: u32) -> Group {
+    let base = (g * 5) % (NUM_USERS - 3);
+    Group::new(
+        GroupId::new(g),
+        [
+            UserId::new(base),
+            UserId::new(base + 1),
+            UserId::new(base + 2),
+        ],
+    )
+    .unwrap()
+}
+
+/// Float-field equality down to the bit pattern — `PartialEq` would
+/// accept `-0.0 == 0.0` and hide a drifting reduction order.
+fn assert_bitwise_eq(got: &GroupRecommendation, want: &GroupRecommendation, label: &str) {
+    assert_eq!(got.items.len(), want.items.len(), "{label}: package size");
+    for (pos, (g, w)) in got.items.iter().zip(&want.items).enumerate() {
+        assert_eq!(g.item, w.item, "{label}: item at {pos}");
+        assert_eq!(
+            g.group_relevance.to_bits(),
+            w.group_relevance.to_bits(),
+            "{label}: group relevance bits at {pos}"
+        );
+        assert_eq!(g.padded, w.padded, "{label}: padding flag at {pos}");
+        let gm: Vec<Option<u64>> = g
+            .member_relevance
+            .iter()
+            .map(|r| r.map(f64::to_bits))
+            .collect();
+        let wm: Vec<Option<u64>> = w
+            .member_relevance
+            .iter()
+            .map(|r| r.map(f64::to_bits))
+            .collect();
+        assert_eq!(gm, wm, "{label}: member relevance bits at {pos}");
+    }
+    assert_eq!(
+        got.fairness.to_bits(),
+        want.fairness.to_bits(),
+        "{label}: fairness bits"
+    );
+    assert_eq!(
+        got.value.to_bits(),
+        want.value.to_bits(),
+        "{label}: value bits"
+    );
+    assert_eq!(got.pool_size, want.pool_size, "{label}: pool size");
+    assert_eq!(got.members.len(), want.members.len(), "{label}: members");
+    for (g, w) in got.members.iter().zip(&want.members) {
+        assert_eq!(g.user, w.user, "{label}: member id");
+        assert_eq!(
+            g.satisfied, w.satisfied,
+            "{label}: member {} satisfied",
+            g.user
+        );
+        assert_eq!(
+            g.best_package_rank, w.best_package_rank,
+            "{label}: member {} rank",
+            g.user
+        );
+        assert_eq!(
+            g.personal_best.map(|s| (s.item, s.score.to_bits())),
+            w.personal_best.map(|s| (s.item, s.score.to_bits())),
+            "{label}: member {} personal best",
+            g.user
+        );
+    }
+}
+
+/// A request stream: `(group id, z)` per entry, with a bump point after
+/// which the peer index is invalidated and re-warmed mid-stream.
+fn arb_stream() -> impl Strategy<Value = (Vec<(u32, usize)>, usize)> {
+    proptest::collection::vec((0u32..NUM_GROUPS, 3usize..7), 1..24).prop_flat_map(|reqs| {
+        let len = reqs.len();
+        (Just(reqs), 0..=len)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The acceptance pin: served results — heavily coalesced, fanned
+    /// out in dispatcher batches, interrupted by a generation bump —
+    /// are bitwise the per-call `recommend_batch` results.
+    #[test]
+    fn coalesced_serving_is_bitwise_per_call(stream in arb_stream()) {
+        let (reqs, bump_at) = stream;
+        let e = engine(None);
+        e.warm_peer_index();
+        let server = Server::new(
+            Arc::clone(&e),
+            ServerConfig { queue_capacity: 64, max_batch: 4, workers: 2 },
+        );
+        let mut tickets = Vec::with_capacity(reqs.len());
+        for (pos, &(g, z)) in reqs.iter().enumerate() {
+            if pos == bump_at {
+                // Mid-stream maintenance: bump the generation token and
+                // re-warm. In-flight computations keyed under the old
+                // token stop absorbing new requests right here.
+                e.invalidate_peers();
+                e.warm_peer_index();
+            }
+            tickets.push(server.submit(group(g), z, Deadline::none()).unwrap());
+        }
+        for (pos, (ticket, &(g, z))) in tickets.into_iter().zip(&reqs).enumerate() {
+            let got = ticket.wait().unwrap();
+            let want = e.recommend_for_group(&group(g), z).unwrap();
+            assert_bitwise_eq(&got, &want, &format!("request {pos} (group {g}, z {z})"));
+        }
+        let stats = server.shutdown();
+        prop_assert_eq!(stats.submitted + stats.coalesced, reqs.len() as u64);
+        prop_assert_eq!(stats.completed, stats.submitted);
+    }
+}
+
+/// Many submitter threads race `shutdown`: every successfully admitted
+/// ticket must resolve to the exact direct-call result (shutdown drains
+/// in-flight work), and every rejection must be the typed
+/// `ServerShutdown` error.
+#[test]
+fn shutdown_drains_in_flight_under_concurrent_submitters() {
+    let e = engine(Some(2));
+    e.warm_peer_index();
+    let server = Server::new(
+        Arc::clone(&e),
+        ServerConfig {
+            queue_capacity: 256,
+            max_batch: 4,
+            workers: 2,
+        },
+    );
+    let admitted = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let server = &server;
+                scope.spawn(move || {
+                    let mut admitted = Vec::new();
+                    for i in 0..12u32 {
+                        let g = (t * 12 + i) % NUM_GROUPS;
+                        let z = 3 + (i as usize % 4);
+                        match server.submit(group(g), z, Deadline::none()) {
+                            Ok(ticket) => admitted.push((g, z, ticket)),
+                            Err(err) => {
+                                assert_eq!(err, FairrecError::ServerShutdown)
+                            }
+                        }
+                    }
+                    admitted
+                })
+            })
+            .collect();
+        // Shut down while submitters are still pushing: some requests
+        // land before the flag, some are rejected after it.
+        let stats = server.shutdown();
+        assert_eq!(
+            stats.completed, stats.submitted,
+            "every admitted slot drained"
+        );
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect::<Vec<_>>()
+    });
+    for (g, z, ticket) in admitted {
+        let got = ticket.wait().expect("admitted requests are always served");
+        let want = e.recommend_for_group(&group(g), z).unwrap();
+        assert_bitwise_eq(&got, &want, &format!("drained (group {g}, z {z})"));
+    }
+}

@@ -218,6 +218,39 @@ impl PeerIndex {
         index
     }
 
+    /// Builds an index whose entries are precomputed **finished** full
+    /// peer lists: already δ-filtered, self-edge-free, duplicate-free,
+    /// and in canonical order (similarity descending, id ascending).
+    /// This is the fast path for swap-based warms that scatter edges
+    /// into per-user lists and canonicalise them once up front — unlike
+    /// [`from_edges`](Self::from_edges) there is no per-list sort, dedup,
+    /// or δ re-filter here, so the per-shard build is a pure move of the
+    /// lists into slots. Debug builds assert the canonical-order
+    /// contract; release builds trust the caller.
+    pub fn from_full_lists(
+        selector: PeerSelector,
+        num_users: u32,
+        lists: impl IntoIterator<Item = (UserId, Peers)>,
+    ) -> Self {
+        let index = Self::new(selector, num_users);
+        for (user, list) in lists {
+            debug_assert!(
+                list.windows(2)
+                    .all(|w| w[0].1 > w[1].1 || (w[0].1 == w[1].1 && w[0].0 < w[1].0)),
+                "from_full_lists requires canonical order (sim desc, id asc) for user {user}"
+            );
+            debug_assert!(
+                list.iter().all(|&(v, s)| v != user && s >= selector.delta),
+                "from_full_lists requires δ-filtered, self-edge-free lists for user {user}"
+            );
+            if let Some(slot) = index.slots.get(user.index()) {
+                let mut guard = slot.write().expect("peer slot poisoned");
+                index.store_slot(&mut guard, Some(Arc::new(list)));
+            }
+        }
+        index
+    }
+
     /// Returns an index over a larger universe that keeps this index's
     /// cached lists and generation; the new slots start cold.
     ///

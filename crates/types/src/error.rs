@@ -70,6 +70,18 @@ pub enum FairrecError {
         /// Description of the underlying I/O error.
         message: String,
     },
+    /// The serving admission queue is at capacity; the request was
+    /// rejected immediately instead of queuing unboundedly (backpressure).
+    QueueFull {
+        /// The configured queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The request's deadline lapsed before a result was produced — at
+    /// admission, at dispatch, or while the caller was waiting.
+    DeadlineExpired,
+    /// The server is shutting down (or a computation was abandoned by a
+    /// dying server) and no longer accepts work.
+    ServerShutdown,
 }
 
 impl FairrecError {
@@ -120,6 +132,11 @@ impl fmt::Display for FairrecError {
                 message,
             } => write!(f, "parse error: {message}"),
             Self::Io { message } => write!(f, "i/o error: {message}"),
+            Self::QueueFull { capacity } => {
+                write!(f, "admission queue full (capacity {capacity}); retry later")
+            }
+            Self::DeadlineExpired => write!(f, "request deadline expired before completion"),
+            Self::ServerShutdown => write!(f, "server is shut down and accepts no new requests"),
         }
     }
 }
@@ -177,6 +194,12 @@ mod tests {
                 "invalid parameter `z`",
             ),
             (FairrecError::parse_at(12, "bad field"), "line 12"),
+            (
+                FairrecError::QueueFull { capacity: 64 },
+                "queue full (capacity 64)",
+            ),
+            (FairrecError::DeadlineExpired, "deadline expired"),
+            (FairrecError::ServerShutdown, "shut down"),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

@@ -1,0 +1,101 @@
+//! Request-deadline type for the streaming serving front-end.
+//!
+//! The admission queue rejects requests whose latency budget has already
+//! lapsed instead of burning kernel time on answers nobody is waiting
+//! for. [`Deadline`] is that budget: an optional wall-clock instant
+//! checked at admission, again at dispatch, and by the waiting caller.
+//! `Deadline::none()` opts a request out of the expiry checks entirely.
+
+use std::time::{Duration, Instant};
+
+/// A request's latency budget: the instant after which the response is
+/// worthless to its caller. Copyable and comparison-friendly so it can
+/// ride inside queue entries without allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    at: Option<Instant>,
+}
+
+impl Deadline {
+    /// No deadline: the request waits as long as it takes.
+    pub fn none() -> Self {
+        Self { at: None }
+    }
+
+    /// A deadline `budget` from now.
+    pub fn within(budget: Duration) -> Self {
+        Self {
+            at: Some(Instant::now() + budget),
+        }
+    }
+
+    /// A deadline at an explicit instant (e.g. one shared by a wave of
+    /// requests admitted under a common SLO clock).
+    pub fn at(instant: Instant) -> Self {
+        Self { at: Some(instant) }
+    }
+
+    /// The expiry instant, when one is set.
+    pub fn instant(&self) -> Option<Instant> {
+        self.at
+    }
+
+    /// Whether the deadline has lapsed as of `now`. The explicit clock
+    /// parameter lets a dispatcher triage a whole batch against one
+    /// consistent reading.
+    pub fn expired_at(&self, now: Instant) -> bool {
+        self.at.is_some_and(|at| now >= at)
+    }
+
+    /// Whether the deadline has lapsed right now.
+    pub fn expired(&self) -> bool {
+        self.expired_at(Instant::now())
+    }
+
+    /// Time left before expiry: `None` for unbounded deadlines, zero once
+    /// lapsed — the shape `Condvar::wait_timeout` loops want.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.at
+            .map(|at| at.saturating_duration_since(Instant::now()))
+    }
+}
+
+impl Default for Deadline {
+    /// The default is no deadline, matching a plain blocking call.
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_expires() {
+        let d = Deadline::none();
+        assert!(!d.expired());
+        assert!(d.instant().is_none());
+        assert!(d.remaining().is_none());
+        assert_eq!(Deadline::default(), d);
+    }
+
+    #[test]
+    fn within_expires_after_the_budget() {
+        let d = Deadline::within(Duration::from_secs(3600));
+        assert!(!d.expired());
+        assert!(d.remaining().unwrap() > Duration::from_secs(3599));
+        let lapsed = Deadline::at(Instant::now() - Duration::from_millis(1));
+        assert!(lapsed.expired());
+        assert_eq!(lapsed.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn expired_at_uses_the_given_clock() {
+        let now = Instant::now();
+        let d = Deadline::at(now + Duration::from_millis(5));
+        assert!(!d.expired_at(now));
+        assert!(d.expired_at(now + Duration::from_millis(5)));
+        assert!(d.expired_at(now + Duration::from_millis(6)));
+    }
+}

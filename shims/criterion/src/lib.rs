@@ -276,6 +276,18 @@ fn write_json(id: &str, mean: f64, median: f64, min: f64, max: f64, samples: usi
     }
 }
 
+/// Records one externally-measured scalar under `id` in the same JSONL
+/// schema the timing loop writes — for load-generator benches whose
+/// statistic is not an iteration time (latency percentiles, sustained
+/// QPS, per-request cost). The scalar lands in every `*_ns` column so
+/// downstream tooling (`scripts/bench_trajectory`) reads it off
+/// `median_ns` like any other row; `samples` carries how many
+/// observations backed it.
+pub fn record_scalar(id: &str, value: f64, samples: usize) {
+    println!("{id:<50} scalar {value:>14.1}  ({samples} observations)");
+    write_json(id, value, value, value, value, samples, 1);
+}
+
 /// Escapes a string as a JSON string literal (ids are benchmark names —
 /// ASCII in practice, but escape defensively).
 fn json_string(s: &str) -> String {

@@ -213,6 +213,28 @@ impl PoolCore {
     }
 }
 
+/// Submits one fire-and-forget job to `core` and returns immediately: a
+/// single-job batch nobody waits on. Jobs must own their captures
+/// (`'static`) precisely because no frame blocks on completion. Pending
+/// spawns still drain on pool drop — workers exhaust the injector queue
+/// before honouring shutdown.
+fn spawn_on(core: &Arc<PoolCore>, job: Job) {
+    let batch = Arc::new(Batch::new(VecDeque::from([job])));
+    {
+        let mut injector = core.injector.lock().expect("injector poisoned");
+        injector.queue.push_back(batch);
+    }
+    core.available.notify_one();
+}
+
+/// Submits a fire-and-forget job to the current pool (mirror of
+/// `rayon::spawn`). The job runs on a pool worker at some later point;
+/// panics inside it are caught and discarded, as in rayon's default
+/// handler, and the submitting thread never blocks.
+pub fn spawn(job: impl FnOnce() + Send + 'static) {
+    spawn_on(&current_pool(), Box::new(job));
+}
+
 /// Spawns `num_threads` workers draining `core`'s injector. Handles are
 /// returned so pinned pools can join on shutdown; the global pool leaks
 /// them.
@@ -380,6 +402,13 @@ impl ThreadPool {
     /// [`install`](Self::install).
     pub fn current_num_threads(&self) -> usize {
         self.core.num_threads
+    }
+
+    /// Submits a fire-and-forget job to this pool (mirror of
+    /// `rayon::ThreadPool::spawn`): the call returns immediately and the
+    /// job runs on one of this pool's workers.
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        spawn_on(&self.core, Box::new(job));
     }
 
     /// Runs `f` with this pool as the calling thread's current pool:
@@ -771,6 +800,73 @@ mod tests {
         let (a, b) = pool.install(|| join(current_num_threads, current_num_threads));
         assert_eq!(a, 2);
         assert_eq!(b, 2);
+    }
+
+    #[test]
+    fn spawn_runs_detached_jobs() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let pair = Arc::new((Mutex::new(0usize), Condvar::new()));
+        let caller = std::thread::current().id();
+        let ran_on = Arc::new(Mutex::new(None));
+        for _ in 0..8 {
+            let pair = Arc::clone(&pair);
+            let ran_on = Arc::clone(&ran_on);
+            pool.spawn(move || {
+                ran_on
+                    .lock()
+                    .unwrap()
+                    .get_or_insert(std::thread::current().id());
+                let (count, cv) = &*pair;
+                *count.lock().unwrap() += 1;
+                cv.notify_all();
+            });
+        }
+        let (count, cv) = &*pair;
+        let mut done = count.lock().unwrap();
+        while *done < 8 {
+            done = cv.wait(done).unwrap();
+        }
+        drop(done);
+        assert_ne!(
+            ran_on.lock().unwrap().expect("a job ran"),
+            caller,
+            "detached jobs run on pool workers, not the submitter"
+        );
+    }
+
+    #[test]
+    fn pending_spawns_drain_before_pool_shutdown() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let count = Arc::new(AtomicUsize::new(0));
+        for _ in 0..32 {
+            let count = Arc::clone(&count);
+            pool.spawn(move || {
+                count.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        // Drop waits for workers, which exhaust the queue before exiting.
+        drop(pool);
+        assert_eq!(count.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn free_spawn_uses_the_global_pool() {
+        let count = Arc::new(AtomicUsize::new(0));
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        {
+            let count = Arc::clone(&count);
+            let pair = Arc::clone(&pair);
+            spawn(move || {
+                count.fetch_add(1, Ordering::SeqCst);
+                *pair.0.lock().unwrap() = true;
+                pair.1.notify_all();
+            });
+        }
+        let mut done = pair.0.lock().unwrap();
+        while !*done {
+            done = pair.1.wait(done).unwrap();
+        }
+        assert_eq!(count.load(Ordering::SeqCst), 1);
     }
 
     #[test]
