@@ -91,7 +91,7 @@ fn bench_serving(c: &mut Criterion) {
     for threads in bench_thread_counts() {
         let engine = make_engine(threads);
         engine.warm_peer_index();
-        let groups = make_groups(engine.matrix().num_users());
+        let groups = make_groups(engine.ratings().num_users());
         let order = schedule();
 
         // The paths must agree before they are raced.
@@ -154,7 +154,7 @@ fn bench_load_replay(c: &mut Criterion) {
     for threads in bench_thread_counts() {
         let engine = make_engine(threads);
         engine.warm_peer_index();
-        let groups = make_groups(engine.matrix().num_users());
+        let groups = make_groups(engine.ratings().num_users());
         let order = schedule();
         let server = server_over(&engine);
 

@@ -13,7 +13,7 @@
 //! `BENCH_*.json` trajectory and `scripts/bench_summary --baseline`
 //! gates regressions against the previous PR's numbers.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, record_scalar, BenchmarkId, Criterion};
 use fairrec_bench::{bench_thread_counts, bench_users};
 use fairrec_data::{SyntheticConfig, SyntheticDataset};
 use fairrec_ontology::snomed::clinical_fragment;
@@ -101,6 +101,34 @@ fn bench_sharded_warm(c: &mut Criterion) {
         }
     }
     bench.finish();
+
+    // Resident-set trajectory: the compacted per-shard id spaces are the
+    // memory half of the sharding story, so record user-axis byte counts
+    // next to the timings. `record_scalar` drops them into the same
+    // JSONL as the timing rows; `scripts/bench_trajectory` divides
+    // max-shard by monolithic into the `shard_memory/ratio_*` entries of
+    // the committed `BENCH_*.json`, and `scripts/bench_summary
+    // --baseline` gates those like the perf ratios. Expected ≈ 1.25/S: a
+    // shard pays ~20 bytes per *owned* user (compact CSR row starts,
+    // means, degrees, plus the global-id column of the remap) where the
+    // monolithic axis pays ~16 per user of the whole universe.
+    record_scalar(
+        "shard_memory/monolithic_axis_bytes",
+        data.matrix.user_axis_bytes() as f64,
+        1,
+    );
+    for (part, &shards) in partitions.iter().zip(&SHARD_COUNTS) {
+        record_scalar(
+            &format!("shard_memory/total_axis_bytes/shards_{shards}"),
+            part.user_axis_bytes() as f64,
+            shards as usize,
+        );
+        record_scalar(
+            &format!("shard_memory/max_shard_axis_bytes/shards_{shards}"),
+            part.max_shard_user_axis_bytes() as f64,
+            shards as usize,
+        );
+    }
 }
 
 criterion_group!(benches, bench_sharded_warm);

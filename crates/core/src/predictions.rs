@@ -17,7 +17,7 @@ use crate::group::Group;
 use crate::relevance::RelevancePredictor;
 use fairrec_similarity::{BulkUserSimilarity, PeerIndex, PeerSelector};
 use fairrec_types::{
-    ItemId, Parallelism, RatingMatrix, Relevance, Result, ScoredItem, TopK, UserId,
+    ItemId, Parallelism, RatingMatrix, RatingsRead, Relevance, Result, ScoredItem, TopK, UserId,
 };
 
 /// Knobs for the prediction phase.
@@ -175,15 +175,17 @@ pub fn compute_group_predictions_with_index<S: BulkUserSimilarity + ?Sized>(
 /// scatter-gather lookup lives in `fairrec-similarity` and hands the
 /// merged per-member lists in here. `peers` must hold one
 /// `(member, masked peer list)` entry per group member, in member order —
-/// exactly what `group_peers` produces on either index.
+/// exactly what `group_peers` produces on either index. Generic over
+/// [`RatingsRead`], so the sharded engine serves this tail through owner
+/// routing alone — no monolithic shadow copy.
 ///
 /// # Errors
 /// Returns [`fairrec_types::FairrecError::UnknownUser`] when a peers
 /// entry names a non-member, and
 /// [`fairrec_types::FairrecError::InvalidParameter`] for other shape
 /// defects (wrong length, wrong member order).
-pub fn compute_group_predictions_from_peers(
-    matrix: &RatingMatrix,
+pub fn compute_group_predictions_from_peers<R: RatingsRead + ?Sized>(
+    matrix: &R,
     peers: Vec<(UserId, Vec<(UserId, f64)>)>,
     group: &Group,
     config: GroupPredictionConfig,

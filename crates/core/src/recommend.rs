@@ -8,7 +8,7 @@
 
 use crate::relevance::RelevancePredictor;
 use fairrec_similarity::{BulkUserSimilarity, PeerIndex, PeerSelector};
-use fairrec_types::{FairrecError, RatingMatrix, Result, ScoredItem, UserId};
+use fairrec_types::{FairrecError, RatingMatrix, RatingsRead, Result, ScoredItem, UserId};
 
 /// Recommends the top-k unrated items for a single user.
 ///
@@ -52,13 +52,15 @@ pub fn single_user_top_k_with_index<S: BulkUserSimilarity + ?Sized>(
 /// Recommends the top-k unrated items for a single user over a
 /// **pre-resolved** Definition-1 peer list — the shared tail of the
 /// monolithic and sharded serving paths (the sharded index resolves the
-/// list in `fairrec-similarity` and hands it in here).
+/// list in `fairrec-similarity` and hands it in here). Generic over
+/// [`RatingsRead`], so the sharded engine's owner-routed store serves it
+/// directly.
 ///
 /// # Errors
 /// [`FairrecError::UnknownUser`] when `user` lies outside the matrix's
 /// user space.
-pub fn single_user_top_k_from_peers(
-    matrix: &RatingMatrix,
+pub fn single_user_top_k_from_peers<R: RatingsRead + ?Sized>(
+    matrix: &R,
     peers: &fairrec_similarity::Peers,
     user: UserId,
     k: usize,

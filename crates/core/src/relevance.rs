@@ -15,7 +15,9 @@
 //! loses its meaning as one.
 
 use fairrec_similarity::Peers;
-use fairrec_types::{ItemId, Parallelism, RatingMatrix, Relevance, ScoredItem, TopK, UserId};
+use fairrec_types::{
+    ItemId, Parallelism, RatingMatrix, RatingsRead, Relevance, ScoredItem, TopK, UserId,
+};
 use std::collections::HashMap;
 
 /// Candidate-set size below which
@@ -41,20 +43,26 @@ impl PreparedPeers {
     }
 }
 
-/// Predicts Equation 1 scores against a rating matrix.
+/// Predicts Equation 1 scores against a rating relation.
+///
+/// Generic over [`RatingsRead`], so the same summation serves the
+/// monolithic [`RatingMatrix`] and the sharded store (whose rater scans
+/// arrive through the owner-routed S-way merge — same visiting order,
+/// same bits). The default type parameter keeps the common
+/// `RelevancePredictor::new(&matrix)` call sites unchanged.
 #[derive(Debug, Clone, Copy)]
-pub struct RelevancePredictor<'a> {
-    matrix: &'a RatingMatrix,
+pub struct RelevancePredictor<'a, R: RatingsRead + ?Sized = RatingMatrix> {
+    matrix: &'a R,
 }
 
-impl<'a> RelevancePredictor<'a> {
+impl<'a, R: RatingsRead + ?Sized> RelevancePredictor<'a, R> {
     /// Creates a predictor over `matrix`.
-    pub fn new(matrix: &'a RatingMatrix) -> Self {
+    pub fn new(matrix: &'a R) -> Self {
         Self { matrix }
     }
 
-    /// The underlying matrix.
-    pub fn matrix(&self) -> &'a RatingMatrix {
+    /// The underlying rating relation.
+    pub fn matrix(&self) -> &'a R {
         self.matrix
     }
 
@@ -90,20 +98,21 @@ impl<'a> RelevancePredictor<'a> {
     }
 
     /// The single canonical Equation 1 evaluation: rater-side summation
-    /// in matrix order. All prediction entry points funnel through this.
+    /// in ascending rater order (the [`RatingsRead`] visiting contract).
+    /// All prediction entry points funnel through this.
     fn score_rater_side(
-        matrix: &RatingMatrix,
+        matrix: &R,
         peer_sim: &HashMap<UserId, f64>,
         item: ItemId,
     ) -> Option<Relevance> {
         let mut num = 0.0;
         let mut den = 0.0;
-        for (rater, r) in matrix.raters_of(item) {
+        matrix.for_each_rater(item, &mut |rater, r| {
             if let Some(&sim) = peer_sim.get(&rater) {
                 num += sim * r;
                 den += sim;
             }
-        }
+        });
         (den > 0.0).then(|| num / den)
     }
 

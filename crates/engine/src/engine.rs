@@ -36,8 +36,8 @@ use fairrec_similarity::{
     ShardedRatingsSimilarity, UserSimilarity,
 };
 use fairrec_types::{
-    FairrecError, ItemId, Parallelism, Rating, RatingMatrix, RatingMatrixBuilder, Result,
-    ScoredItem, ShardSpec, ShardedRatingMatrix, UserId,
+    FairrecError, ItemId, Parallelism, Rating, RatingMatrix, RatingMatrixBuilder, RatingTriple,
+    RatingsRead, Result, ScoredItem, ShardSpec, ShardedRatingMatrix, UserId,
 };
 use std::sync::Arc;
 
@@ -113,15 +113,24 @@ pub enum PeerMaintenance {
     /// The index was fully cold — nothing to maintain.
     IndexCold,
     /// The insert grew the user id space past the index universe under a
-    /// non-delta-capable backend, so the index was rebuilt (cold) over
-    /// the larger universe — profile/semantic/hybrid similarities can
-    /// score a newly added id against existing users, which stales every
-    /// list computed over the old universe. The `Ratings` backend never
-    /// reports this: it grows the universe in place
-    /// ([`PeerIndex::grow_universe`], warm lists preserved — a user with
-    /// no ratings had no defined pairs) and reports the delta outcome
-    /// instead.
+    /// non-delta-capable backend that mixes rating data into its scores
+    /// (`Hybrid`), so the index was rebuilt (cold) over the larger
+    /// universe — a newly added id can score against existing users
+    /// there, which stales every list computed over the old universe.
+    /// The `Ratings` backend never reports this: it grows the universe
+    /// in place ([`PeerIndex::grow_universe`], warm lists preserved — a
+    /// user with no ratings had no defined pairs) and reports the delta
+    /// outcome instead.
     UniverseGrown,
+    /// The insert grew the user id space under a `Profile` / `Semantic`
+    /// backend: instead of the cold rebuild, every preserved warm list
+    /// was **revalidated** in place against the appended ids
+    /// ([`PeerIndex::grow_universe_revalidated`] — each new id's
+    /// similarity is probed against every warm slot and spliced in at
+    /// its canonical position), leaving lists bitwise identical to a
+    /// cold rebuild over the grown universe while keeping the cache
+    /// warm.
+    UniverseGrownRevalidated,
     /// The blanket fallback ran: every cached list was dropped (the
     /// backend reads ratings but is not delta-capable, e.g. `Hybrid`).
     InvalidatedAll,
@@ -157,26 +166,129 @@ impl UserSimilarity for DetachedMeasure {
 
 impl BulkUserSimilarity for DetachedMeasure {}
 
+/// The engine's rating relation: monolithic, or hash-partitioned into
+/// compacted per-shard matrices ([`EngineConfig::num_shards`]). The
+/// sharded form is **the only copy** of the data — every read routes to
+/// the owning shard (or S-way-merges the per-shard columns through
+/// [`RatingsRead`]), and ingest mutates only the owning shard; there is
+/// no monolithic shadow matrix anywhere in the sharded engine.
+#[derive(Debug, Clone)]
+pub enum RatingStore {
+    /// One process-wide matrix.
+    Mono(Arc<RatingMatrix>),
+    /// One compacted matrix per shard, global reads owner-routed.
+    Sharded(Arc<ShardedRatingMatrix>),
+}
+
+impl RatingStore {
+    /// Size of the (global) user id space.
+    pub fn num_users(&self) -> u32 {
+        match self {
+            Self::Mono(m) => m.num_users(),
+            Self::Sharded(s) => s.num_users(),
+        }
+    }
+
+    /// Size of the (global) item id space.
+    pub fn num_items(&self) -> u32 {
+        match self {
+            Self::Mono(m) => m.num_items(),
+            Self::Sharded(s) => s.num_items(),
+        }
+    }
+
+    /// Total stored ratings.
+    pub fn num_ratings(&self) -> usize {
+        match self {
+            Self::Mono(m) => m.num_ratings(),
+            Self::Sharded(s) => s.num_ratings(),
+        }
+    }
+
+    /// Looks up `rating(user, item)` (owner-routed when sharded).
+    pub fn rating(&self, user: UserId, item: ItemId) -> Option<f64> {
+        match self {
+            Self::Mono(m) => m.rating(user, item),
+            Self::Sharded(s) => s.rating(user, item),
+        }
+    }
+
+    /// Whether `(user, item)` is stored (owner-routed when sharded).
+    pub fn has_rated(&self, user: UserId, item: ItemId) -> bool {
+        match self {
+            Self::Mono(m) => m.has_rated(user, item),
+            Self::Sharded(s) => s.has_rated(user, item),
+        }
+    }
+
+    /// The full sorted triple relation.
+    pub fn to_triples(&self) -> Vec<RatingTriple> {
+        match self {
+            Self::Mono(m) => m.to_triples(),
+            Self::Sharded(s) => s.to_triples(),
+        }
+    }
+
+    /// The store as the [`RatingsRead`] view the Equation-1 tail is
+    /// generic over.
+    pub fn reads(&self) -> &dyn RatingsRead {
+        match self {
+            Self::Mono(m) => m.as_ref(),
+            Self::Sharded(s) => s.as_ref(),
+        }
+    }
+
+    /// The monolithic matrix, when this store is monolithic.
+    pub fn as_mono(&self) -> Option<&Arc<RatingMatrix>> {
+        match self {
+            Self::Mono(m) => Some(m),
+            Self::Sharded(_) => None,
+        }
+    }
+
+    /// The sharded partition, when this store is sharded.
+    pub fn as_sharded(&self) -> Option<&Arc<ShardedRatingMatrix>> {
+        match self {
+            Self::Mono(_) => None,
+            Self::Sharded(s) => Some(s),
+        }
+    }
+
+    /// Re-materialises the relation as one monolithic [`RatingMatrix`]
+    /// with identical id-space dimensions — the oracle/rebuild helper
+    /// (e.g. seeding a fresh engine from a live one). Bitwise faithful:
+    /// the builder ingests the sorted triple relation, which is exactly
+    /// the order the original monolithic build summed in.
+    ///
+    /// # Errors
+    /// Propagates builder failures (cannot occur for a valid store).
+    pub fn to_monolithic(&self) -> Result<RatingMatrix> {
+        match self {
+            Self::Mono(m) => Ok(m.as_ref().clone()),
+            Self::Sharded(s) => {
+                let mut builder = RatingMatrixBuilder::with_capacity(s.num_ratings())
+                    .reserve_ids(s.num_users(), s.num_items());
+                for t in s.to_triples() {
+                    builder.add(t.user, t.item, t.rating);
+                }
+                builder.build()
+            }
+        }
+    }
+}
+
 /// The engine's Definition-1 serving backend: either the process-wide
 /// monolithic [`PeerIndex`] or its hash-partitioned scale-out form
-/// ([`ShardedPeerIndex`] over a [`ShardedRatingMatrix`], enabled with
-/// [`EngineConfig::num_shards`]). Both serve bitwise-identical peer
-/// lists; the facade methods below are the common surface request paths
-/// and tests read.
+/// ([`ShardedPeerIndex`] with compacted per-shard slot spaces, enabled
+/// with [`EngineConfig::num_shards`]). Both serve bitwise-identical peer
+/// lists through the engine's one similarity backend; the facade methods
+/// below are the common surface request paths and tests read.
 pub enum PeerBackend {
     /// One index over the whole universe.
     Mono(PeerIndex),
-    /// One index (and one matrix partition) per shard; lookups route to
-    /// each user's owning shard.
-    Sharded {
-        /// The user-partitioned rating store feeding the shard kernels.
-        matrix: ShardedRatingMatrix,
-        /// The per-shard peer index.
-        index: ShardedPeerIndex,
-        /// Pearson minimum overlap (mirrors the engine config, so the
-        /// backend can rebuild its scatter-gather measure on demand).
-        min_overlap: usize,
-    },
+    /// One owned-users-only index per shard; lookups route to each
+    /// user's owning shard.
+    Sharded(ShardedPeerIndex),
 }
 
 impl PeerBackend {
@@ -184,17 +296,17 @@ impl PeerBackend {
     pub fn num_users(&self) -> u32 {
         match self {
             Self::Mono(index) => index.num_users(),
-            Self::Sharded { index, .. } => index.num_users(),
+            Self::Sharded(index) => index.num_users(),
         }
     }
 
     /// Number of cached peer lists (for the sharded backend this counts
-    /// every shard's slots, including delta-bookkeeping entries in
-    /// non-owning shards).
+    /// every shard's owned slots — the compacted layout has no
+    /// bookkeeping entries in non-owning shards).
     pub fn num_cached(&self) -> usize {
         match self {
             Self::Mono(index) => index.num_cached(),
-            Self::Sharded { index, .. } => index.num_cached(),
+            Self::Sharded(index) => index.num_cached(),
         }
     }
 
@@ -203,7 +315,7 @@ impl PeerBackend {
     pub fn generation(&self) -> u64 {
         match self {
             Self::Mono(index) => index.generation(),
-            Self::Sharded { index, .. } => index.generation(),
+            Self::Sharded(index) => index.generation(),
         }
     }
 
@@ -212,15 +324,13 @@ impl PeerBackend {
     pub fn cached_full(&self, user: UserId) -> Option<Arc<Peers>> {
         match self {
             Self::Mono(index) => index.cached_full(user),
-            Self::Sharded { index, .. } => index.cached_full(user),
+            Self::Sharded(index) => index.cached_full(user),
         }
     }
 
-    /// The memoized full peer list of `user`. The monolithic backend
-    /// resolves cold misses through `measure`; the sharded backend
-    /// resolves them through its own scatter-gather measure (which is
-    /// bitwise interchangeable with the engine's ratings measure — the
-    /// sharding contract), so `measure` is unused there.
+    /// The memoized full peer list of `user`; cold misses resolve
+    /// through `measure` on either backend (the sharded index localises
+    /// the slot and runs the measure over the global universe).
     pub fn full_peers<S: BulkUserSimilarity + ?Sized>(
         &self,
         measure: &S,
@@ -228,14 +338,7 @@ impl PeerBackend {
     ) -> Arc<Peers> {
         match self {
             Self::Mono(index) => index.full_peers(measure, user),
-            Self::Sharded {
-                matrix,
-                index,
-                min_overlap,
-            } => index.full_peers(
-                &ShardedRatingsSimilarity::new(matrix).with_min_overlap(*min_overlap),
-                user,
-            ),
+            Self::Sharded(index) => index.full_peers(measure, user),
         }
     }
 
@@ -243,7 +346,7 @@ impl PeerBackend {
     pub fn invalidate_all(&self) {
         match self {
             Self::Mono(index) => index.invalidate_all(),
-            Self::Sharded { index, .. } => index.invalidate_all(),
+            Self::Sharded(index) => index.invalidate_all(),
         }
     }
 
@@ -251,7 +354,7 @@ impl PeerBackend {
     pub fn as_mono(&self) -> Option<&PeerIndex> {
         match self {
             Self::Mono(index) => Some(index),
-            Self::Sharded { .. } => None,
+            Self::Sharded(_) => None,
         }
     }
 
@@ -259,7 +362,7 @@ impl PeerBackend {
     pub fn as_sharded(&self) -> Option<&ShardedPeerIndex> {
         match self {
             Self::Mono(_) => None,
-            Self::Sharded { index, .. } => Some(index),
+            Self::Sharded(index) => Some(index),
         }
     }
 }
@@ -268,7 +371,7 @@ impl std::fmt::Debug for PeerBackend {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::Mono(index) => f.debug_tuple("Mono").field(index).finish(),
-            Self::Sharded { index, .. } => f
+            Self::Sharded(index) => f
                 .debug_struct("Sharded")
                 .field("num_shards", &index.num_shards())
                 .field("num_cached", &index.num_cached())
@@ -281,14 +384,15 @@ impl std::fmt::Debug for PeerBackend {
 /// construction), and the shared [`PeerIndex`], and serves
 /// recommendations over them.
 pub struct RecommenderEngine {
-    matrix: Arc<RatingMatrix>,
+    store: RatingStore,
     profiles: Arc<PhrStore>,
     ontology: Arc<Ontology>,
     config: EngineConfig,
     /// tf-idf vectors are corpus-wide; built once.
     profile_sim: Arc<ProfileSimilarity>,
     /// The configured similarity backend, built once over `Arc`s of the
-    /// engine's data. Bulk-capable: cold peer fills run the backend's
+    /// engine's data — the scatter-gather sharded Pearson when the store
+    /// is partitioned. Bulk-capable: cold peer fills run the backend's
     /// one-vs-all path (the inverted-index kernel for `Ratings`, per-pair
     /// fallbacks elsewhere).
     measure: Box<dyn BulkUserSimilarity + Send + Sync>,
@@ -300,9 +404,9 @@ pub struct RecommenderEngine {
 impl std::fmt::Debug for RecommenderEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RecommenderEngine")
-            .field("num_users", &self.matrix.num_users())
-            .field("num_items", &self.matrix.num_items())
-            .field("num_ratings", &self.matrix.num_ratings())
+            .field("num_users", &self.store.num_users())
+            .field("num_items", &self.store.num_items())
+            .field("num_ratings", &self.store.num_ratings())
             .field("measure", &self.measure.name())
             .field("cached_peer_lists", &self.peers.num_cached())
             .field("config", &self.config)
@@ -313,7 +417,10 @@ impl std::fmt::Debug for RecommenderEngine {
 impl RecommenderEngine {
     /// Builds the engine: validates the configuration, builds the tf-idf
     /// profile vectors, the configured similarity backend, and a cold
-    /// [`PeerIndex`] — all exactly once.
+    /// [`PeerIndex`] — all exactly once. With
+    /// [`EngineConfig::num_shards`] set, the input matrix is partitioned
+    /// into the compacted sharded store and **dropped** — the sharded
+    /// engine keeps no monolithic copy.
     ///
     /// # Errors
     /// Propagates [`EngineConfig::validate`] failures.
@@ -324,28 +431,33 @@ impl RecommenderEngine {
         config: EngineConfig,
     ) -> Result<Self> {
         config.validate()?;
-        let matrix = Arc::new(matrix);
+        let store = match config.num_shards {
+            Some(shards) => {
+                let spec = ShardSpec::new(shards)?;
+                RatingStore::Sharded(Arc::new(ShardedRatingMatrix::from_matrix(&matrix, spec)?))
+            }
+            None => RatingStore::Mono(Arc::new(matrix)),
+        };
         let profiles = Arc::new(profiles);
         let ontology = Arc::new(ontology);
         let profile_sim = Arc::new(ProfileSimilarity::build(&profiles, &ontology));
-        let measure = Self::build_measure(&config, &matrix, &profiles, &ontology, &profile_sim);
+        let measure = Self::build_measure(&config, &store, &profiles, &ontology, &profile_sim);
         let mut selector = PeerSelector::new(config.delta)?;
         if let Some(cap) = config.max_peers {
             selector = selector.with_max_peers(cap);
         }
-        let peers = match config.num_shards {
-            Some(shards) => {
-                let spec = ShardSpec::new(shards)?;
-                PeerBackend::Sharded {
-                    matrix: ShardedRatingMatrix::from_matrix(&matrix, spec)?,
-                    index: ShardedPeerIndex::new(selector, spec, matrix.num_users()),
-                    min_overlap: config.min_overlap,
-                }
+        let peers = match &store {
+            RatingStore::Sharded(sharded) => PeerBackend::Sharded(ShardedPeerIndex::new(
+                selector,
+                sharded.spec(),
+                sharded.num_users(),
+            )),
+            RatingStore::Mono(matrix) => {
+                PeerBackend::Mono(PeerIndex::new(selector, matrix.num_users()))
             }
-            None => PeerBackend::Mono(PeerIndex::new(selector, matrix.num_users())),
         };
         Ok(Self {
-            matrix,
+            store,
             profiles,
             ontology,
             config,
@@ -357,18 +469,34 @@ impl RecommenderEngine {
 
     /// Builds the configured similarity backend over shared handles of
     /// the engine's data, so it lives as long as the engine without
-    /// self-referential borrows.
+    /// self-referential borrows. A sharded store gets the scatter-gather
+    /// sharded Pearson (config validation pins sharding to the `Ratings`
+    /// backend — the shard kernels are rating-matrix passes).
     fn build_measure(
         config: &EngineConfig,
-        matrix: &Arc<RatingMatrix>,
+        store: &RatingStore,
         profiles: &Arc<PhrStore>,
         ontology: &Arc<Ontology>,
         profile_sim: &Arc<ProfileSimilarity>,
     ) -> Box<dyn BulkUserSimilarity + Send + Sync> {
+        let mono = || {
+            Arc::clone(
+                store
+                    .as_mono()
+                    .expect("validated: non-ratings backends run on a monolithic store"),
+            )
+        };
         match config.similarity {
-            SimilarityKind::Ratings => Box::new(
-                RatingsSimilarity::new(Arc::clone(matrix)).with_min_overlap(config.min_overlap),
-            ),
+            SimilarityKind::Ratings => match store {
+                RatingStore::Mono(matrix) => Box::new(
+                    RatingsSimilarity::new(Arc::clone(matrix))
+                        .with_min_overlap(config.min_overlap),
+                ),
+                RatingStore::Sharded(sharded) => Box::new(
+                    ShardedRatingsSimilarity::new(Arc::clone(sharded))
+                        .with_min_overlap(config.min_overlap),
+                ),
+            },
             SimilarityKind::Profile => Box::new(Arc::clone(profile_sim)),
             SimilarityKind::Semantic => Box::new(SemanticSimilarity::new(
                 Arc::clone(profiles),
@@ -382,8 +510,7 @@ impl RecommenderEngine {
                 HybridSimilarity::new()
                     .with(
                         Rescale01::new(
-                            RatingsSimilarity::new(Arc::clone(matrix))
-                                .with_min_overlap(config.min_overlap),
+                            RatingsSimilarity::new(mono()).with_min_overlap(config.min_overlap),
                         ),
                         ratings,
                     )
@@ -396,9 +523,9 @@ impl RecommenderEngine {
         }
     }
 
-    /// The rating matrix.
-    pub fn matrix(&self) -> &RatingMatrix {
-        &self.matrix
+    /// The rating store (monolithic, or the compacted shard partition).
+    pub fn ratings(&self) -> &RatingStore {
+        &self.store
     }
 
     /// The profile store.
@@ -446,15 +573,22 @@ impl RecommenderEngine {
             PeerBackend::Mono(index) => {
                 index.warm_symmetric(&self.measure, self.config.parallelism)
             }
-            PeerBackend::Sharded {
-                matrix,
-                index,
-                min_overlap,
-            } => index.warm_symmetric(
-                &ShardedRatingsSimilarity::new(matrix).with_min_overlap(*min_overlap),
-                self.config.parallelism,
-            ),
+            PeerBackend::Sharded(index) => {
+                index.warm_symmetric(&self.sharded_measure(), self.config.parallelism)
+            }
         }
+    }
+
+    /// The concrete scatter-gather measure over the sharded store — the
+    /// typed handle the shard-pair warm needs (the boxed engine measure
+    /// is the same measure, type-erased). Only callable on a sharded
+    /// store; cheap (an `Arc` clone plus configuration).
+    fn sharded_measure(&self) -> ShardedRatingsSimilarity {
+        let sharded = self
+            .store
+            .as_sharded()
+            .expect("sharded measure requires the sharded store");
+        ShardedRatingsSimilarity::new(Arc::clone(sharded)).with_min_overlap(self.config.min_overlap)
     }
 
     /// Drops every cached peer list — the blanket maintenance path for
@@ -472,14 +606,7 @@ impl RecommenderEngine {
     fn group_peer_lists(&self, group: &[UserId]) -> Vec<(UserId, Peers)> {
         match &self.peers {
             PeerBackend::Mono(index) => index.group_peers(&self.measure, group),
-            PeerBackend::Sharded {
-                matrix,
-                index,
-                min_overlap,
-            } => index.group_peers(
-                &ShardedRatingsSimilarity::new(matrix).with_min_overlap(*min_overlap),
-                group,
-            ),
+            PeerBackend::Sharded(index) => index.group_peers(&self.measure, group),
         }
     }
 
@@ -528,7 +655,7 @@ impl RecommenderEngine {
         // mutation: `raw() + 1` sizing cannot represent them, and the
         // error contract promises an untouched engine.
         Self::validate_ingest_ids(user, item)?;
-        let is_update = self.matrix.has_rated(user, item);
+        let is_update = self.store.has_rated(user, item);
         let delta_capable = matches!(self.config.similarity, SimilarityKind::Ratings);
         // A brand-new rater under the delta-capable backend: grow the
         // index universe in place *before* the mutation. Every warm list
@@ -541,48 +668,37 @@ impl RecommenderEngine {
         }
         // Exactness precondition of `apply_delta`: the user's pre-change
         // list must be cached whenever any list is. Materialise it
-        // through the ordinary lazy-fill path while the matrix still
-        // holds pre-change data (a cache hit on a warm index); the
-        // sharded backend additionally seeds the user's shard-scoped
-        // lists into the non-owning shards.
+        // through the ordinary lazy-fill path while the store still
+        // holds pre-change data (a cache hit on a warm index; the
+        // sharded index fills only the owning shard's slot).
         if delta_capable && self.peers.num_cached() > 0 {
             match &self.peers {
                 PeerBackend::Mono(index) => {
                     let _ = index.full_peers(&self.measure, user);
                 }
-                PeerBackend::Sharded {
-                    matrix,
-                    index,
-                    min_overlap,
-                } => index.prepare_delta(
-                    &ShardedRatingsSimilarity::new(matrix).with_min_overlap(*min_overlap),
-                    user,
-                ),
+                PeerBackend::Sharded(index) => index.prepare_delta(&self.measure, user),
             }
         }
-        let previous = self.patch_matrix(|matrix| {
-            if is_update {
-                matrix.update_rating(user, item, rating).map(Some)
-            } else {
-                matrix.insert_rating(user, item, rating).map(|()| None)
+        // One write, to the one copy of the data: the sharded store
+        // routes the point mutation to the owning shard alone.
+        let previous = self.patch_store(|store| match store {
+            RatingStore::Mono(matrix) => {
+                let matrix = Arc::make_mut(matrix);
+                if is_update {
+                    matrix.update_rating(user, item, rating).map(Some)
+                } else {
+                    matrix.insert_rating(user, item, rating).map(|()| None)
+                }
+            }
+            RatingStore::Sharded(sharded) => {
+                let sharded = Arc::make_mut(sharded);
+                if is_update {
+                    sharded.update_rating(user, item, rating).map(Some)
+                } else {
+                    sharded.insert_rating(user, item, rating).map(|()| None)
+                }
             }
         })?;
-        // Keep the shard partition in lockstep with the just-patched
-        // matrix. The same pre-validated op on the same relation cannot
-        // fail here — a failure would mean the partition diverged, which
-        // is a logic bug worth stopping on, not an input error.
-        if let PeerBackend::Sharded { matrix, .. } = &mut self.peers {
-            if is_update {
-                matrix
-                    .update_rating(user, item, rating)
-                    .map(|_| ())
-                    .expect("shard partition is in lockstep with the matrix");
-            } else {
-                matrix
-                    .insert_rating(user, item, rating)
-                    .expect("shard partition is in lockstep with the matrix");
-            }
-        }
         let peers = self.refresh_peers_after(user, delta_capable);
         Ok(IngestReport {
             op: match previous {
@@ -626,37 +742,50 @@ impl RecommenderEngine {
             return Ok(0);
         }
         let applied = staged.len();
-        self.patch_matrix(|matrix| {
-            let mut relation: std::collections::BTreeMap<(UserId, ItemId), f64> = matrix
+        self.patch_store(|store| {
+            // Merge the batch into the current relation. The map sorts
+            // `(user, item)` — exactly the order the builders sum means
+            // in, so the rebuilt store is bitwise what per-entry point
+            // mutations would have produced.
+            let mut relation: std::collections::BTreeMap<(UserId, ItemId), Rating> = store
                 .to_triples()
                 .into_iter()
-                .map(|t| ((t.user, t.item), t.rating.value()))
+                .map(|t| ((t.user, t.item), t.rating))
                 .collect();
-            let (mut n_users, mut n_items) = (matrix.num_users(), matrix.num_items());
+            let (mut n_users, mut n_items) = (store.num_users(), store.num_items());
             for &(user, item, rating) in &staged {
-                relation.insert((user, item), rating.value());
+                relation.insert((user, item), rating);
                 n_users = n_users.max(user.raw() + 1);
                 n_items = n_items.max(item.raw() + 1);
             }
-            // The builder sorts `(user, item)` and sums means in exactly
-            // the order the map iterates, so the rebuilt matrix is
-            // bitwise what per-entry point mutations would have produced.
-            let mut builder =
-                RatingMatrixBuilder::with_capacity(relation.len()).reserve_ids(n_users, n_items);
-            for ((user, item), score) in relation {
-                builder.add_raw(user, item, score)?;
+            match store {
+                RatingStore::Mono(matrix) => {
+                    let mut builder = RatingMatrixBuilder::with_capacity(relation.len())
+                        .reserve_ids(n_users, n_items);
+                    for ((user, item), rating) in relation {
+                        builder.add(user, item, rating);
+                    }
+                    *matrix = Arc::new(builder.build()?);
+                }
+                RatingStore::Sharded(sharded) => {
+                    // Straight to the partitioned form — the batch path
+                    // never materialises a transient monolithic matrix.
+                    let triples: Vec<RatingTriple> = relation
+                        .into_iter()
+                        .map(|((user, item), rating)| RatingTriple { user, item, rating })
+                        .collect();
+                    *sharded = Arc::new(ShardedRatingMatrix::from_triples(
+                        &triples,
+                        sharded.spec(),
+                        n_users,
+                        n_items,
+                    )?);
+                }
             }
-            *matrix = builder.build()?;
             Ok(())
         })?;
-        // The blanket path re-partitions the shard matrices from the
-        // rebuilt relation in one pass (same cost shape as the global
-        // rebuild) before the index-side invalidation below.
-        if let PeerBackend::Sharded { matrix, .. } = &mut self.peers {
-            *matrix = ShardedRatingMatrix::from_matrix(&self.matrix, matrix.spec())?;
-        }
-        if self.matrix.num_users() > self.peers.num_users() {
-            self.rebuild_peers_cold(self.matrix.num_users());
+        if self.store.num_users() > self.peers.num_users() {
+            self.rebuild_peers_cold(self.store.num_users());
         } else if self.ratings_feed_measure() {
             self.peers.invalidate_all();
         }
@@ -671,7 +800,7 @@ impl RecommenderEngine {
                 let grown = index.grow_universe(num_users);
                 *index = grown;
             }
-            PeerBackend::Sharded { index, .. } => {
+            PeerBackend::Sharded(index) => {
                 let grown = index.grow_universe(num_users);
                 *index = grown;
             }
@@ -686,7 +815,7 @@ impl RecommenderEngine {
                 let rebuilt = index.rebuild_cold(num_users);
                 *index = rebuilt;
             }
-            PeerBackend::Sharded { index, .. } => {
+            PeerBackend::Sharded(index) => {
                 let rebuilt = index.rebuild_cold(num_users);
                 *index = rebuilt;
             }
@@ -721,21 +850,22 @@ impl RecommenderEngine {
         )
     }
 
-    /// Runs `patch` against the engine's matrix in place. The backend
-    /// holds an `Arc` clone of the matrix, so it is swapped for a
-    /// transient placeholder first (making the engine's handle unique —
-    /// no copy) and rebuilt afterwards; backend construction is cheap
+    /// Runs `patch` against the engine's rating store in place. The
+    /// backend holds an `Arc` clone of the store's data, so it is
+    /// swapped for a transient placeholder first (making the engine's
+    /// handle unique — `Arc::make_mut` inside `patch` mutates without a
+    /// copy) and rebuilt afterwards; backend construction is cheap
     /// (`Arc` clones plus configuration). The rebuild runs in a drop
     /// guard so that a panic inside `patch` cannot leave the placeholder
     /// installed — an engine caught mid-unwind by a per-request panic
     /// handler must not silently serve empty peer lists forever after.
-    fn patch_matrix<T>(&mut self, patch: impl FnOnce(&mut RatingMatrix) -> Result<T>) -> Result<T> {
+    fn patch_store<T>(&mut self, patch: impl FnOnce(&mut RatingStore) -> Result<T>) -> Result<T> {
         struct RestoreMeasure<'a>(&'a mut RecommenderEngine);
         impl Drop for RestoreMeasure<'_> {
             fn drop(&mut self) {
                 self.0.measure = RecommenderEngine::build_measure(
                     &self.0.config,
-                    &self.0.matrix,
+                    &self.0.store,
                     &self.0.profiles,
                     &self.0.ontology,
                     &self.0.profile_sim,
@@ -744,24 +874,43 @@ impl RecommenderEngine {
         }
         self.measure = Box::new(DetachedMeasure);
         let guard = RestoreMeasure(self);
-        patch(Arc::make_mut(&mut guard.0.matrix))
+        patch(&mut guard.0.store)
         // `guard` drops here (normally or on unwind), rebuilding the
-        // backend over whatever the matrix now holds.
+        // backend over whatever the store now holds.
     }
 
     /// Post-mutation peer maintenance for a single-rating change by
-    /// `user` (the matrix already holds the new data).
+    /// `user` (the store already holds the new data).
     fn refresh_peers_after(&mut self, user: UserId, delta_capable: bool) -> PeerMaintenance {
-        if self.matrix.num_users() > self.peers.num_users() {
-            // The id space grew past the index universe under a backend
-            // whose similarities do not derive from the rating relation
-            // alone (the delta-capable path grows in place *before* the
-            // mutation): a newly added id can score against existing
-            // users there, so cached lists over the old universe are
-            // stale — rebuild cold over the larger universe
-            // (generation-preserving, so downstream freshness tokens
-            // stay monotonic).
-            self.rebuild_peers_cold(self.matrix.num_users());
+        if self.store.num_users() > self.peers.num_users() {
+            // The id space grew past the index universe under a
+            // non-delta-capable backend (the delta-capable path grows in
+            // place *before* the mutation). A newly added id can score
+            // against existing users, so cached lists over the old
+            // universe are incomplete. `Profile` / `Semantic` measures
+            // are per-pair and unchanged by the rating write, so the
+            // warm lists are *revalidated* against the appended ids —
+            // bitwise what a cold rebuild would serve, without dropping
+            // the cache. `Hybrid` mixes the changed rating data into its
+            // scores and rebuilds cold over the larger universe. Both
+            // paths preserve generation monotonicity.
+            let num_users = self.store.num_users();
+            if matches!(
+                self.config.similarity,
+                SimilarityKind::Profile | SimilarityKind::Semantic
+            ) {
+                match &mut self.peers {
+                    PeerBackend::Mono(index) => {
+                        let grown = index.grow_universe_revalidated(&self.measure, num_users);
+                        *index = grown;
+                    }
+                    PeerBackend::Sharded(_) => {
+                        unreachable!("validated: non-ratings backends are monolithic")
+                    }
+                }
+                return PeerMaintenance::UniverseGrownRevalidated;
+            }
+            self.rebuild_peers_cold(num_users);
             return PeerMaintenance::UniverseGrown;
         }
         if !self.ratings_feed_measure() {
@@ -773,18 +922,7 @@ impl RecommenderEngine {
         }
         let outcome = match &self.peers {
             PeerBackend::Mono(index) => index.apply_delta(&self.measure, user),
-            PeerBackend::Sharded {
-                matrix,
-                index,
-                min_overlap,
-            } => {
-                index
-                    .apply_delta(
-                        &ShardedRatingsSimilarity::new(matrix).with_min_overlap(*min_overlap),
-                        user,
-                    )
-                    .outcome
-            }
+            PeerBackend::Sharded(index) => index.apply_delta(&self.measure, user).outcome,
         };
         match outcome {
             DeltaOutcome::Spliced { touched } => PeerMaintenance::DeltaSpliced { touched },
@@ -839,8 +977,8 @@ impl RecommenderEngine {
                     edge_producer: Default::default(),
                 };
                 let (preds, _report) = mapreduce_group_predictions(
-                    self.matrix.to_triples(),
-                    self.matrix.num_items(),
+                    self.store.to_triples(),
+                    self.store.num_items(),
                     group,
                     &pipeline,
                 )?;
@@ -861,16 +999,20 @@ impl RecommenderEngine {
     ) -> Result<GroupPredictions> {
         match &self.peers {
             PeerBackend::Mono(index) => {
-                compute_group_predictions_with_index(&self.matrix, &self.measure, index, group, cfg)
+                let matrix = self
+                    .store
+                    .as_mono()
+                    .expect("a monolithic peer index runs on a monolithic store");
+                compute_group_predictions_with_index(matrix, &self.measure, index, group, cfg)
             }
-            PeerBackend::Sharded { .. } => {
+            PeerBackend::Sharded(_) => {
                 for &m in group.members() {
-                    if m.raw() >= self.matrix.num_users() {
+                    if m.raw() >= self.store.num_users() {
                         return Err(FairrecError::UnknownUser { user: m });
                     }
                 }
                 compute_group_predictions_from_peers(
-                    &self.matrix,
+                    self.store.reads(),
                     self.group_peer_lists(group.members()),
                     group,
                     cfg,
@@ -1002,18 +1144,15 @@ impl RecommenderEngine {
     pub fn recommend_for_user(&self, user: UserId, k: usize) -> Result<Vec<ScoredItem>> {
         match &self.peers {
             PeerBackend::Mono(index) => {
-                single_user_top_k_with_index(&self.matrix, &self.measure, index, user, k)
+                let matrix = self
+                    .store
+                    .as_mono()
+                    .expect("a monolithic peer index runs on a monolithic store");
+                single_user_top_k_with_index(matrix, &self.measure, index, user, k)
             }
-            PeerBackend::Sharded {
-                matrix,
-                index,
-                min_overlap,
-            } => {
-                let peers = index.peers_of(
-                    &ShardedRatingsSimilarity::new(matrix).with_min_overlap(*min_overlap),
-                    user,
-                );
-                single_user_top_k_from_peers(&self.matrix, &peers, user, k)
+            PeerBackend::Sharded(index) => {
+                let peers = index.peers_of(&self.measure, user);
+                single_user_top_k_from_peers(self.store.reads(), &peers, user, k)
             }
         }
     }
@@ -1098,7 +1237,7 @@ mod tests {
             UserId::new(3),
         ];
         for &u in &members {
-            assert!(u.raw() < engine.matrix().num_users());
+            assert!(u.raw() < engine.ratings().num_users());
         }
         Group::new(GroupId::new(0), members).unwrap()
     }
@@ -1205,7 +1344,7 @@ mod tests {
         }
         // Never recommend something already rated.
         for s in &recs {
-            assert!(!e.matrix().has_rated(UserId::new(5), s.item));
+            assert!(!e.ratings().has_rated(UserId::new(5), s.item));
         }
     }
 
@@ -1229,7 +1368,7 @@ mod tests {
     /// over `matrix` with the same profiles/ontology/config.
     fn rebuilt_engine(reference: &RecommenderEngine) -> RecommenderEngine {
         RecommenderEngine::new(
-            reference.matrix().clone(),
+            reference.ratings().to_monolithic().unwrap(),
             reference.profiles().clone(),
             reference.ontology().clone(),
             *reference.config(),
@@ -1263,13 +1402,13 @@ mod tests {
         }
         assert_eq!(
             live.peer_index().num_cached(),
-            live.matrix().num_users() as usize,
+            live.ratings().num_users() as usize,
             "the index must stay fully warm through a delta stream"
         );
 
         let fresh = rebuilt_engine(&live);
         fresh.warm_peer_index();
-        for u in (0..live.matrix().num_users()).map(UserId::new) {
+        for u in (0..live.ratings().num_users()).map(UserId::new) {
             assert_eq!(
                 live.peer_index().cached_full(u),
                 fresh.peer_index().cached_full(u),
@@ -1304,7 +1443,7 @@ mod tests {
         // A brand-new rater under the Ratings backend grows the universe
         // *in place*: every warm list survives, the new user's slot is
         // filled, and the ordinary delta runs.
-        let grown = e.matrix().num_users() + 3;
+        let grown = e.ratings().num_users() + 3;
         let r = e
             .ingest_rating(UserId::new(grown - 1), ItemId::new(0), 3.0)
             .unwrap();
@@ -1335,16 +1474,60 @@ mod tests {
     }
 
     #[test]
-    fn universe_growth_rebuilds_cold_for_non_delta_backends() {
-        // A profile similarity can score a brand-new id against existing
-        // users, so growth must not preserve lists computed over the
-        // smaller universe.
+    fn universe_growth_revalidates_warm_lists_for_pairwise_backends() {
+        // Profile / semantic similarity is per-pair and independent of
+        // the rating relation, so a rating write that appends new ids
+        // must not throw away the warm cache: every preserved list is
+        // revalidated against the appended ids and stays bitwise what a
+        // cold rebuild over the grown universe would serve.
+        for similarity in [SimilarityKind::Profile, SimilarityKind::Semantic] {
+            let mut e = engine(EngineConfig {
+                similarity,
+                ..Default::default()
+            });
+            e.warm_peer_index();
+            let old_n = e.ratings().num_users();
+            let warm = e.peer_index().num_cached();
+            assert!(warm > 0, "warm_peer_index must fill the cache");
+            let grown = old_n + 2;
+            let r = e
+                .ingest_rating(UserId::new(grown - 1), ItemId::new(0), 3.0)
+                .unwrap();
+            assert_eq!(r.peers, PeerMaintenance::UniverseGrownRevalidated);
+            assert_eq!(e.peer_index().num_users(), grown);
+            assert_eq!(
+                e.peer_index().num_cached(),
+                warm,
+                "revalidated growth must keep every warm list ({similarity:?})"
+            );
+            // Pinned: the preserved lists match a fresh engine warmed
+            // over the grown universe, bitwise.
+            let fresh = rebuilt_engine(&e);
+            fresh.warm_peer_index();
+            for u in (0..old_n).map(UserId::new) {
+                assert_eq!(
+                    e.peer_index().cached_full(u).expect("preserved list"),
+                    fresh.peer_index().cached_full(u).expect("fresh warm list"),
+                    "peer list of {u} after revalidated growth ({similarity:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn universe_growth_rebuilds_cold_for_hybrid() {
+        // Hybrid mixes the (changed) rating relation into its scores, so
+        // lists computed over the smaller universe cannot be kept.
         let mut e = engine(EngineConfig {
-            similarity: SimilarityKind::Profile,
+            similarity: SimilarityKind::Hybrid {
+                ratings: 0.5,
+                profile: 0.3,
+                semantic: 0.2,
+            },
             ..Default::default()
         });
         e.warm_peer_index();
-        let grown = e.matrix().num_users() + 1;
+        let grown = e.ratings().num_users() + 1;
         let r = e
             .ingest_rating(UserId::new(grown - 1), ItemId::new(0), 3.0)
             .unwrap();
@@ -1454,7 +1637,7 @@ mod tests {
         assert_eq!(applied, 3);
         assert_eq!(live.peer_index().num_cached(), 0, "blanket path");
         assert_eq!(
-            live.matrix().rating(UserId::new(0), ItemId::new(140)),
+            live.ratings().rating(UserId::new(0), ItemId::new(140)),
             Some(2.0)
         );
         live.warm_peer_index();
@@ -1502,7 +1685,7 @@ mod tests {
             e.invalidate_peers();
             assert_eq!(
                 e.warm_peer_index(),
-                e.matrix().num_users() as usize,
+                e.ratings().num_users() as usize,
                 "S={shards}"
             );
             assert_eq!(
@@ -1510,7 +1693,7 @@ mod tests {
                 want,
                 "S={shards}, warm"
             );
-            for u in (0..e.matrix().num_users()).map(UserId::new) {
+            for u in (0..e.ratings().num_users()).map(UserId::new) {
                 assert_eq!(
                     e.peer_index().cached_full(u),
                     mono.peer_index().cached_full(u),
@@ -1537,7 +1720,7 @@ mod tests {
         let g = group(&live);
         // Inserts, an update, and a brand-new user growing the universe
         // in place — the same stream shape as the monolithic test.
-        let grown = live.matrix().num_users() + 2;
+        let grown = live.ratings().num_users() + 2;
         let events = [
             (UserId::new(0), ItemId::new(140), 4.5),
             (UserId::new(17), ItemId::new(3), 2.0),

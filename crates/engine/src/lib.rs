@@ -27,6 +27,6 @@ mod serving;
 pub use config::{EngineConfig, ExecutionPath, SelectionAlgorithm, SimilarityKind};
 pub use engine::{
     GroupRecommendation, IngestOp, IngestReport, MemberSatisfaction, PeerBackend, PeerMaintenance,
-    RecommendedItem, RecommenderEngine,
+    RatingStore, RecommendedItem, RecommenderEngine,
 };
 pub use serving::{Server, ServerConfig, ServerStats, Ticket};

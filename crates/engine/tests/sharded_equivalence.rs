@@ -1,0 +1,266 @@
+//! Sharded ↔ monolithic engine equivalence pins.
+//!
+//! The sharded backend keeps **no monolithic copy** of the rating
+//! relation — reads are owner-routed across per-shard compacted
+//! matrices, peer lists come off per-shard indexes over owned-user
+//! universes, and ingest mutates only the owning shard. These tests pin
+//! the contract that makes that safe:
+//!
+//! * for random operation streams (point ingests, batch ingests,
+//!   mid-stream warms, group and single-user serving), an engine sharded
+//!   at S ∈ {1, 2, 3, 8} produces **bitwise** the results of the
+//!   monolithic engine, including new-user growth mid-stream;
+//! * the per-shard metadata really is O(U/S): shard universes partition
+//!   the global id space, and no shard's user-axis footprint approaches
+//!   the monolithic one.
+
+use fairrec_core::group::Group;
+use fairrec_data::{SyntheticConfig, SyntheticDataset};
+use fairrec_engine::{EngineConfig, RecommenderEngine};
+use fairrec_ontology::snomed::clinical_fragment;
+use fairrec_types::{GroupId, ItemId, UserId};
+use proptest::prelude::*;
+use proptest::strategy::BoxedStrategy;
+
+const NUM_USERS: u32 = 32;
+const NUM_ITEMS: u32 = 60;
+const SHARD_COUNTS: [u32; 4] = [1, 2, 3, 8];
+
+fn engine(num_shards: Option<u32>) -> RecommenderEngine {
+    let ontology = clinical_fragment();
+    let data = SyntheticDataset::generate(
+        SyntheticConfig {
+            num_users: NUM_USERS,
+            num_items: NUM_ITEMS,
+            num_communities: 4,
+            ratings_per_user: 12,
+            seed: 23,
+            ..Default::default()
+        },
+        &ontology,
+    )
+    .unwrap();
+    RecommenderEngine::new(
+        data.matrix,
+        data.profiles,
+        ontology,
+        EngineConfig {
+            num_shards,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+/// One step of the random serving-plus-ingestion stream.
+#[derive(Debug, Clone)]
+enum Op {
+    /// `ingest_rating` — users can exceed the seeded universe, so the
+    /// stream exercises in-place growth too.
+    Ingest { user: u32, item: u32, score: f64 },
+    /// `ingest_ratings` (batch rebuild path).
+    IngestBatch(Vec<(u32, u32, f64)>),
+    /// Mid-stream symmetric warm on every engine.
+    Warm,
+    /// `recommend_for_group`, compared bitwise across engines.
+    Group { members: Vec<u32>, z: usize },
+    /// `recommend_for_user`, compared bitwise across engines.
+    User { user: u32, k: usize },
+}
+
+fn score_strategy() -> impl Strategy<Value = f64> {
+    // Half-steps in [1, 5]: always valid, and exercises distinct values.
+    (2u32..=10).prop_map(|s| f64::from(s) / 2.0)
+}
+
+fn rating_strategy() -> impl Strategy<Value = (u32, u32, f64)> {
+    (0..NUM_USERS + 4, 0..NUM_ITEMS + 4, score_strategy())
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Weighted choice over the op kinds (the shim has no `prop_oneof!`):
+    // 0–2 point ingest, 3 batch ingest, 4 warm, 5–7 group, 8–9 user.
+    (0u32..10).prop_flat_map(|kind| -> BoxedStrategy<Op> {
+        match kind {
+            0..=2 => rating_strategy()
+                .prop_map(|(user, item, score)| Op::Ingest { user, item, score })
+                .boxed(),
+            3 => proptest::collection::vec(rating_strategy(), 1..6)
+                .prop_map(Op::IngestBatch)
+                .boxed(),
+            4 => Just(Op::Warm).boxed(),
+            5..=7 => (proptest::collection::vec(0..NUM_USERS, 1..5), 2usize..8)
+                .prop_map(|(mut members, z)| {
+                    members.sort_unstable();
+                    members.dedup();
+                    Op::Group { members, z }
+                })
+                .boxed(),
+            _ => (0..NUM_USERS, 1usize..8)
+                .prop_map(|(user, k)| Op::User { user, k })
+                .boxed(),
+        }
+    })
+}
+
+fn group_of(members: &[u32], id: u32) -> Group {
+    Group::new(GroupId::new(id), members.iter().copied().map(UserId::new)).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The tentpole pin: a monolithic engine and sharded engines at
+    /// every shard count consume the same operation stream and must
+    /// never disagree — not in ingest outcomes, not in any served
+    /// result, not in the final batch APIs.
+    #[test]
+    fn sharded_engines_match_monolithic_bitwise(ops in proptest::collection::vec(op_strategy(), 1..20)) {
+        let mut mono = engine(None);
+        let mut sharded: Vec<RecommenderEngine> =
+            SHARD_COUNTS.iter().map(|&s| engine(Some(s))).collect();
+        let mut groups: Vec<Group> = Vec::new();
+
+        for (step, op) in ops.iter().enumerate() {
+            match op {
+                Op::Ingest { user, item, score } => {
+                    let expected = mono
+                        .ingest_rating(UserId::new(*user), ItemId::new(*item), *score)
+                        .unwrap();
+                    for (engine, s) in sharded.iter_mut().zip(SHARD_COUNTS) {
+                        let got = engine
+                            .ingest_rating(UserId::new(*user), ItemId::new(*item), *score)
+                            .unwrap();
+                        prop_assert_eq!(got.op, expected.op, "step {}: S={}", step, s);
+                    }
+                }
+                Op::IngestBatch(batch) => {
+                    let triples: Vec<(UserId, ItemId, f64)> = batch
+                        .iter()
+                        .map(|&(u, i, s)| (UserId::new(u), ItemId::new(i), s))
+                        .collect();
+                    let expected = mono.ingest_ratings(triples.iter().copied()).unwrap();
+                    for (engine, s) in sharded.iter_mut().zip(SHARD_COUNTS) {
+                        let got = engine.ingest_ratings(triples.iter().copied()).unwrap();
+                        prop_assert_eq!(got, expected, "step {}: S={}", step, s);
+                    }
+                }
+                Op::Warm => {
+                    mono.warm_peer_index();
+                    for engine in &sharded {
+                        engine.warm_peer_index();
+                    }
+                }
+                Op::Group { members, z } => {
+                    let g = group_of(members, step as u32);
+                    let expected = mono.recommend_for_group(&g, *z).unwrap();
+                    for (engine, s) in sharded.iter().zip(SHARD_COUNTS) {
+                        let got = engine.recommend_for_group(&g, *z).unwrap();
+                        prop_assert_eq!(&got, &expected, "step {}: S={}", step, s);
+                    }
+                    groups.push(g);
+                }
+                Op::User { user, k } => {
+                    let expected = mono.recommend_for_user(UserId::new(*user), *k).unwrap();
+                    for (engine, s) in sharded.iter().zip(SHARD_COUNTS) {
+                        let got = engine.recommend_for_user(UserId::new(*user), *k).unwrap();
+                        prop_assert_eq!(&got, &expected, "step {}: S={}", step, s);
+                    }
+                }
+            }
+        }
+
+        // The relation itself must have converged identically: the
+        // sharded store is the only copy, so compare via the canonical
+        // triple dump.
+        for (engine, s) in sharded.iter().zip(SHARD_COUNTS) {
+            prop_assert_eq!(engine.ratings().to_triples(), mono.ratings().to_triples(), "S={}", s);
+        }
+
+        // Batch serving funnels: same groups, one call, per-request
+        // results bitwise equal to the monolithic engine's.
+        if !groups.is_empty() {
+            let expected = mono.recommend_batch(&groups, 5).unwrap();
+            let requests: Vec<(Group, usize)> =
+                groups.iter().map(|g| (g.clone(), 4)).collect();
+            let expected_requests: Vec<_> = mono
+                .recommend_requests(&requests)
+                .into_iter()
+                .map(Result::unwrap)
+                .collect();
+            for (engine, s) in sharded.iter().zip(SHARD_COUNTS) {
+                prop_assert_eq!(
+                    &engine.recommend_batch(&groups, 5).unwrap(),
+                    &expected,
+                    "recommend_batch S={}",
+                    s
+                );
+                let got: Vec<_> = engine
+                    .recommend_requests(&requests)
+                    .into_iter()
+                    .map(Result::unwrap)
+                    .collect();
+                prop_assert_eq!(&got, &expected_requests, "recommend_requests S={}", s);
+            }
+        }
+    }
+}
+
+/// The compaction pin: per-shard state is sized by **owned** users, not
+/// by the global universe. Shard universes partition the id space, each
+/// shard's peer-index slots cover exactly its owned users, and no
+/// single shard's user-axis bytes approach the monolithic axis.
+#[test]
+fn sharded_metadata_is_owned_sized_not_global_sized() {
+    let e = engine(Some(8));
+    let n = e.ratings().num_users();
+    let store = e.ratings().as_sharded().expect("sharded store");
+    let index = e.peer_index().as_sharded().expect("sharded index");
+
+    let universes = index.shard_universes();
+    assert_eq!(universes.len(), 8);
+    assert_eq!(
+        universes.iter().sum::<u32>(),
+        n,
+        "shard universes must partition the global id space"
+    );
+    let per_shard = (n as usize).div_ceil(8);
+    for (s, &len) in universes.iter().enumerate() {
+        assert_eq!(
+            len as usize,
+            store.users_of_shard(s).len(),
+            "shard {s}: index universe must equal the owned-user list"
+        );
+        assert!(
+            (len as usize) <= 3 * per_shard,
+            "shard {s}: universe {len} is not O(U/S) of U={n}"
+        );
+    }
+    // An `IngestOp`-style growth keeps the partition exact.
+    let mut e = e;
+    let grown = n + 3;
+    e.ingest_rating(UserId::new(grown - 1), ItemId::new(0), 3.0)
+        .unwrap();
+    let index = e.peer_index().as_sharded().expect("sharded index");
+    assert_eq!(
+        index.shard_universes().iter().sum::<u32>(),
+        grown,
+        "growth must stay a partition"
+    );
+
+    // Memory: the largest shard's user axis is a fraction of the
+    // monolithic axis (≈ 20·U/S + c vs 16·U + c bytes).
+    let store = e.ratings().as_sharded().expect("sharded store");
+    let mono = engine(None);
+    let mono_axis = mono
+        .ratings()
+        .as_mono()
+        .expect("monolithic store")
+        .user_axis_bytes();
+    assert!(
+        store.max_shard_user_axis_bytes() * 2 < mono_axis,
+        "largest shard axis {} must be well under the monolithic axis {}",
+        store.max_shard_user_axis_bytes(),
+        mono_axis
+    );
+}

@@ -32,9 +32,12 @@ mod engine;
 pub mod jobs;
 pub mod pipeline;
 pub mod topk;
+pub mod warm;
 
 pub use engine::{run_job, JobConfig, JobMetrics, JobResult, Mapper, Reducer};
 pub use pipeline::{
-    incremental_sim_edges, kernel_sim_edges, mapreduce_group_predictions, sharded_sim_edges,
-    EdgeProducer, MapReducePipelineReport, PipelineConfig,
+    incremental_sim_edges, kernel_sim_edges, mapreduce_group_predictions,
+    sharded_distributed_sim_edges, sharded_sim_edges, EdgeProducer, MapReducePipelineReport,
+    PipelineConfig,
 };
+pub use warm::{distributed_warm, warm_schedule, DistributedWarmReport, WarmTask};

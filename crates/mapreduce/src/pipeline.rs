@@ -73,6 +73,23 @@ pub enum EdgeProducer {
         /// Number of user shards (≥ 1).
         num_shards: u32,
     },
+    /// The distributable form of [`Sharded`](Self::Sharded)
+    /// ([`sharded_distributed_sim_edges`]): same partitioning, but the
+    /// shard-pair warm schedule is serialised as self-contained
+    /// [`WarmTask`](crate::warm::WarmTask) descriptors and executed
+    /// through the MapReduce engine
+    /// ([`distributed_warm`](crate::warm::distributed_warm)), with the
+    /// reduced lists installed via
+    /// [`ShardedPeerIndex::adopt_full_lists`] — **bitwise identical** to
+    /// [`Sharded`](Self::Sharded) (and hence to
+    /// [`BulkKernel`](Self::BulkKernel)) because δ rides the wire as its
+    /// exact bit pattern and the pair kernels are the same code. This
+    /// variant proves the warm itself is a shippable job, not an
+    /// in-process loop.
+    ShardedDistributed {
+        /// Number of user shards (≥ 1).
+        num_shards: u32,
+    },
 }
 
 /// Pipeline knobs; mirrors the in-memory configuration exactly so the two
@@ -242,6 +259,46 @@ pub fn sharded_sim_edges(
     Ok(edges)
 }
 
+/// Produces the group's Definition-1 similarity edges like
+/// [`sharded_sim_edges`], except the shard-pair warm runs **as a
+/// MapReduce job**: the schedule is serialised into self-contained
+/// [`WarmTask`](crate::warm::WarmTask) descriptors, executed through
+/// [`run_job`] by [`distributed_warm`](crate::warm::distributed_warm),
+/// and the reduced lists are installed with
+/// [`ShardedPeerIndex::adopt_full_lists`]. Members' full lists are then
+/// read off their owning shards, **bitwise identical** to the in-process
+/// variant for any shard count — asserted by this module's tests.
+///
+/// # Errors
+/// Propagates matrix partitioning failures and rejects `num_shards = 0`.
+pub fn sharded_distributed_sim_edges(
+    matrix: &RatingMatrix,
+    members: &[UserId],
+    delta: f64,
+    min_overlap: usize,
+    num_shards: u32,
+    job: JobConfig,
+) -> Result<Vec<SimEdge>> {
+    let spec = ShardSpec::new(num_shards)?;
+    let sharded = ShardedRatingMatrix::from_matrix(matrix, spec)?;
+    let index = ShardedPeerIndex::new(PeerSelector::new(delta)?, spec, matrix.num_users());
+    let report = crate::warm::distributed_warm(&sharded, &index, min_overlap, job)?;
+    debug_assert_eq!(
+        report.installed,
+        Some(matrix.num_users() as usize),
+        "a freshly built index is fully cold; adoption must succeed"
+    );
+    let measure = ShardedRatingsSimilarity::new(&sharded).with_min_overlap(min_overlap);
+    let mut edges = Vec::new();
+    for &member in members {
+        let full = index.full_peers(&measure, member);
+        edges.extend(full.iter().filter_map(|&(peer, sim)| {
+            (!members.contains(&peer)).then_some(SimEdge { member, peer, sim })
+        }));
+    }
+    Ok(edges)
+}
+
 /// Metrics of each stage, for the scaling experiments (A4).
 #[derive(Debug, Clone, Default)]
 pub struct MapReducePipelineReport {
@@ -361,7 +418,8 @@ pub fn mapreduce_group_predictions(
         }
         producer @ (EdgeProducer::BulkKernel
         | EdgeProducer::Incremental { .. }
-        | EdgeProducer::Sharded { .. }) => {
+        | EdgeProducer::Sharded { .. }
+        | EdgeProducer::ShardedDistributed { .. }) => {
             // The in-memory producers replace the Job 0/partial/Job 2
             // chain; Job 1 runs candidates-only (the paper's grouping is
             // still what classifies items).
@@ -383,6 +441,17 @@ pub fn mapreduce_group_predictions(
                         config.delta,
                         config.min_overlap,
                         num_shards,
+                    )?
+                }
+                EdgeProducer::ShardedDistributed { num_shards } => {
+                    let matrix = RatingMatrix::from_triples(triples.iter().copied())?;
+                    sharded_distributed_sim_edges(
+                        &matrix,
+                        &members,
+                        config.delta,
+                        config.min_overlap,
+                        num_shards,
+                        config.job,
                     )?
                 }
                 _ => {
@@ -705,8 +774,19 @@ mod tests {
         for num_shards in [1u32, 2, 3, 8] {
             let mut sharded = sharded_sim_edges(&matrix, &members, -1.0, 2, num_shards).unwrap();
             sharded.sort_by_key(|e| (e.member, e.peer));
+            let mut distributed = sharded_distributed_sim_edges(
+                &matrix,
+                &members,
+                -1.0,
+                2,
+                num_shards,
+                JobConfig::default(),
+            )
+            .unwrap();
+            distributed.sort_by_key(|e| (e.member, e.peer));
             assert_eq!(kernel.len(), sharded.len(), "S={num_shards}");
-            for (a, b) in kernel.iter().zip(&sharded) {
+            assert_eq!(kernel.len(), distributed.len(), "S={num_shards} distributed");
+            for ((a, b), c) in kernel.iter().zip(&sharded).zip(&distributed) {
                 assert_eq!((a.member, a.peer), (b.member, b.peer), "S={num_shards}");
                 assert_eq!(
                     a.sim.to_bits(),
@@ -715,9 +795,21 @@ mod tests {
                     a.member,
                     a.peer
                 );
+                assert_eq!((a.member, a.peer), (c.member, c.peer), "S={num_shards}");
+                assert_eq!(
+                    a.sim.to_bits(),
+                    c.sim.to_bits(),
+                    "S={num_shards}: distributed-warm edge ({}, {}) must carry identical bits",
+                    a.member,
+                    a.peer
+                );
             }
         }
         assert!(sharded_sim_edges(&matrix, &members, -1.0, 2, 0).is_err());
+        assert!(
+            sharded_distributed_sim_edges(&matrix, &members, -1.0, 2, 0, JobConfig::default())
+                .is_err()
+        );
     }
 
     #[test]
@@ -741,6 +833,35 @@ mod tests {
     }
 
     #[test]
+    fn sharded_distributed_producer_agrees_end_to_end() {
+        // The warm runs as serialised MapReduce tasks here; the final
+        // predictions must still be bitwise the in-process sharded (and
+        // bulk-kernel) result, across shard and worker counts.
+        let group = Group::new(GroupId::new(0), [UserId::new(0), UserId::new(1)]).unwrap();
+        for (delta, num_shards, workers) in [(-1.0, 1, 1), (-1.0, 3, 4), (0.0, 2, 2), (0.5, 8, 4)]
+        {
+            let base = PipelineConfig {
+                delta,
+                job: JobConfig::with_workers(workers),
+                ..Default::default()
+            };
+            let sharded = PipelineConfig {
+                edge_producer: EdgeProducer::Sharded { num_shards },
+                ..base
+            };
+            let distributed = PipelineConfig {
+                edge_producer: EdgeProducer::ShardedDistributed { num_shards },
+                ..base
+            };
+            let (a, ra) = mapreduce_group_predictions(fixture(), 7, &group, &sharded).unwrap();
+            let (b, rb) =
+                mapreduce_group_predictions(fixture(), 7, &group, &distributed).unwrap();
+            assert_eq!(a, b, "delta {delta}, shards {num_shards}");
+            assert_eq!(ra.sim_edges, rb.sim_edges);
+        }
+    }
+
+    #[test]
     fn duplicate_pairs_are_rejected_by_both_producers() {
         let group = Group::new(GroupId::new(0), [UserId::new(0)]).unwrap();
         let mut dup = fixture();
@@ -750,6 +871,7 @@ mod tests {
             EdgeProducer::BulkKernel,
             EdgeProducer::Incremental { holdout: 2 },
             EdgeProducer::Sharded { num_shards: 3 },
+            EdgeProducer::ShardedDistributed { num_shards: 3 },
         ] {
             let cfg = PipelineConfig {
                 edge_producer,

@@ -86,6 +86,7 @@
 
 use crate::bulk::{BulkUserSimilarity, SimScratch};
 use crate::peers::{PeerSelector, Peers};
+use crate::UserSimilarity;
 use fairrec_types::{Parallelism, UserId};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
@@ -232,6 +233,30 @@ impl PeerIndex {
         num_users: u32,
         lists: impl IntoIterator<Item = (UserId, Peers)>,
     ) -> Self {
+        Self::from_mapped_full_lists(
+            selector,
+            num_users,
+            lists.into_iter().inspect(|(user, list)| {
+                debug_assert!(
+                    list.iter().all(|&(v, _)| v != *user),
+                    "from_full_lists requires self-edge-free lists for user {user}"
+                );
+            }),
+        )
+    }
+
+    /// [`from_full_lists`](Self::from_full_lists) for indexes whose slot
+    /// ids live in a *different* id space than the peer ids inside the
+    /// lists — the compacted sharded index stores shard-local slots whose
+    /// lists carry **global** peer ids, so the slot-vs-content self-edge
+    /// check of `from_full_lists` does not apply (the producing kernel
+    /// already skipped the self pair in global space). Canonical order
+    /// and δ-filtering are still asserted in debug builds.
+    pub(crate) fn from_mapped_full_lists(
+        selector: PeerSelector,
+        num_users: u32,
+        lists: impl IntoIterator<Item = (UserId, Peers)>,
+    ) -> Self {
         let index = Self::new(selector, num_users);
         for (user, list) in lists {
             debug_assert!(
@@ -240,8 +265,8 @@ impl PeerIndex {
                 "from_full_lists requires canonical order (sim desc, id asc) for user {user}"
             );
             debug_assert!(
-                list.iter().all(|&(v, s)| v != user && s >= selector.delta),
-                "from_full_lists requires δ-filtered, self-edge-free lists for user {user}"
+                list.iter().all(|&(_, s)| s >= selector.delta),
+                "from_full_lists requires δ-filtered lists for user {user}"
             );
             if let Some(slot) = index.slots.get(user.index()) {
                 let mut guard = slot.write().expect("peer slot poisoned");
@@ -285,6 +310,64 @@ impl PeerIndex {
             slots,
             generation: AtomicU64::new(self.generation()),
             cached: AtomicUsize::new(self.num_cached()),
+        }
+    }
+
+    /// Like [`grow_universe`](Self::grow_universe), but sound for
+    /// measures that **can** score the newly added ids against existing
+    /// users (profile, semantic): every cached list is *revalidated*
+    /// against the new ids instead of being trusted as-is. For each warm
+    /// user `v` the measure is asked for `simU(v, new)` for every new id;
+    /// qualifying edges are inserted at their canonical position, so each
+    /// preserved list is bitwise identical to a cold recompute over the
+    /// grown universe (same similarity bits, canonical order is a total
+    /// order over distinct ids). New slots start cold and fill lazily.
+    ///
+    /// Unlike `grow_universe` this **bumps** the generation: cached list
+    /// *contents* may change, so downstream caches keyed on the token
+    /// must revalidate.
+    ///
+    /// # Panics
+    /// Panics if `num_users` is smaller than the current universe.
+    pub fn grow_universe_revalidated<S: UserSimilarity + ?Sized>(
+        &self,
+        measure: &S,
+        num_users: u32,
+    ) -> Self {
+        let old_n = self.num_users();
+        assert!(
+            num_users >= old_n,
+            "universe can only grow ({old_n} -> {num_users})"
+        );
+        let delta = self.selector.delta;
+        let mut cached = 0usize;
+        let mut slots: Vec<RwLock<Option<Arc<Peers>>>> = Vec::with_capacity(num_users as usize);
+        for (idx, slot) in self.slots.iter().enumerate() {
+            let v = UserId::new(idx as u32);
+            let revalidated = slot
+                .read()
+                .expect("peer slot poisoned")
+                .as_ref()
+                .map(|list| {
+                    let mut list: Peers = list.as_ref().clone();
+                    for u in (old_n..num_users).map(UserId::new) {
+                        let Some(s) = measure.similarity(v, u).filter(|&s| s >= delta) else {
+                            continue;
+                        };
+                        let pos = list.partition_point(|&(w, sw)| sw > s || (sw == s && w < u));
+                        list.insert(pos, (u, s));
+                    }
+                    Arc::new(list)
+                });
+            cached += usize::from(revalidated.is_some());
+            slots.push(RwLock::new(revalidated));
+        }
+        slots.resize_with(num_users as usize, || RwLock::new(None));
+        Self {
+            selector: self.selector,
+            slots,
+            generation: AtomicU64::new(self.generation() + 1),
+            cached: AtomicUsize::new(cached),
         }
     }
 
@@ -682,9 +765,63 @@ impl PeerIndex {
         DeltaOutcome::Spliced { touched }
     }
 
+    /// Bumps the generation token and returns the **new** value — the
+    /// entry point for maintenance flows coordinated *outside* this type
+    /// (the sharded index bumps every shard before splicing any). The
+    /// returned token is what the coordinating caller passes back as
+    /// `expected_generation` to the splice primitives below.
+    pub(crate) fn bump_generation(&self) -> u64 {
+        self.generation.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Splices one refreshed `(peer, sim)` edge into `slot`'s cached
+    /// list: removes any existing `peer` entry, then — when `new_sim` is
+    /// `Some` — inserts it at its canonical position. The slot id and the
+    /// peer id may live in different id spaces (shard-local slots, global
+    /// contents). Returns `None` when a concurrent invalidation changed
+    /// the generation (the caller must abandon its remaining splices),
+    /// `Some(false)` when the slot was cold (skipped — it refills lazily
+    /// from current data), `Some(true)` when the list was patched.
+    pub(crate) fn splice_peer(
+        &self,
+        slot: UserId,
+        peer: UserId,
+        new_sim: Option<f64>,
+        expected_generation: u64,
+    ) -> Option<bool> {
+        let mut guard = self.slots[slot.index()]
+            .write()
+            .expect("peer slot poisoned");
+        if self.generation() != expected_generation {
+            return None;
+        }
+        let Some(list) = guard.as_ref() else {
+            return Some(false);
+        };
+        let mut patched: Peers = list.iter().copied().filter(|&(w, _)| w != peer).collect();
+        if let Some(sim) = new_sim {
+            let pos = patched.partition_point(|&(w, s)| s > sim || (s == sim && w < peer));
+            patched.insert(pos, (peer, sim));
+        }
+        self.store_slot(&mut guard, Some(Arc::new(patched)));
+        Some(true)
+    }
+
+    /// Stores a complete recomputed full list into `slot`, guarded by the
+    /// generation token like every other deferred write.
+    pub(crate) fn store_full_list(&self, slot: UserId, list: Arc<Peers>, expected_generation: u64) {
+        let Some(s) = self.slots.get(slot.index()) else {
+            return;
+        };
+        let mut guard = s.write().expect("peer slot poisoned");
+        if self.generation() == expected_generation {
+            self.store_slot(&mut guard, Some(list));
+        }
+    }
+
     /// Clears every slot without bumping the generation (callers on the
     /// maintenance paths have already bumped it).
-    fn clear_all_slots(&self) {
+    pub(crate) fn clear_all_slots(&self) {
         for slot in &self.slots {
             let mut guard = slot.write().expect("peer slot poisoned");
             self.store_slot(&mut guard, None);
@@ -1017,6 +1154,53 @@ mod tests {
             rebuilt.generation() > g,
             "a rebuild bumps the token — it never restarts at zero"
         );
+    }
+
+    #[test]
+    fn grow_revalidated_matches_a_cold_rebuild() {
+        // A measure that can score the new ids against existing users
+        // (the profile/semantic case): revalidated growth must leave
+        // every preserved list bitwise identical to a cold rebuild over
+        // the grown universe, while new slots start cold.
+        let mut rows = vec![vec![0.0; 7]; 7];
+        for u in 0..7usize {
+            for v in 0..7usize {
+                // Symmetric, some pairs undefined, some below δ, ties.
+                let s = match (u + v) % 5 {
+                    0 => -1.0, // undefined
+                    1 => 0.15, // below δ = 0.3
+                    2 => 0.6,
+                    3 => 0.6, // ties exercise the id tiebreak
+                    _ => 0.9,
+                };
+                rows[u][v] = s;
+            }
+        }
+        let m = Table(rows);
+        let sel = PeerSelector::new(0.3).unwrap();
+
+        let index = PeerIndex::new(sel, 4);
+        index.warm(&m, Parallelism::Sequential);
+        index.invalidate_user(UserId::new(3)); // one cold slot stays cold
+        let g = index.generation();
+
+        let grown = index.grow_universe_revalidated(&m, 7);
+        assert_eq!(grown.num_users(), 7);
+        assert!(grown.generation() > g, "contents changed: token must bump");
+        assert_eq!(grown.num_cached(), 3, "warm lists preserved, rest cold");
+
+        let cold = PeerIndex::new(sel, 7);
+        cold.warm(&m, Parallelism::Sequential);
+        for u in (0..3).map(UserId::new) {
+            assert_eq!(
+                grown.cached_full(u).unwrap(),
+                cold.cached_full(u).unwrap(),
+                "user {u}"
+            );
+        }
+        for u in (3..7).map(UserId::new) {
+            assert!(grown.cached_full(u).is_none(), "user {u} must be cold");
+        }
     }
 
     #[test]

@@ -38,7 +38,7 @@
 
 use crate::bulk::{BulkUserSimilarity, SimScratch};
 use crate::UserSimilarity;
-use fairrec_types::{RatingMatrix, UserId};
+use fairrec_types::{IdRemap, RatingMatrix, ShardMatrix, UserId};
 use std::borrow::Borrow;
 
 /// Pearson similarity over a [`RatingMatrix`].
@@ -96,8 +96,8 @@ impl<M: Borrow<RatingMatrix>> RatingsSimilarity<M> {
     ) {
         let matrix = self.matrix.borrow();
         cross_kernel(
-            matrix,
-            matrix,
+            KernelSide::whole(matrix),
+            KernelSide::whole(matrix),
             u,
             num_users,
             self.min_overlap,
@@ -105,6 +105,62 @@ impl<M: Borrow<RatingMatrix>> RatingsSimilarity<M> {
             out,
             above_only,
         );
+    }
+}
+
+/// One side of a cross-matrix kernel pass: a rating matrix plus the id
+/// translation that maps its rows back to the **global** user-id space.
+/// A monolithic matrix is its own id space (`remap: None`, every
+/// translation is the identity); a compacted shard carries its
+/// [`IdRemap`], whose monotonicity is what keeps local iteration order
+/// identical to global iteration order — the bitwise-equality linchpin.
+#[derive(Clone, Copy)]
+pub(crate) struct KernelSide<'a> {
+    matrix: &'a RatingMatrix,
+    remap: Option<&'a IdRemap>,
+}
+
+impl<'a> KernelSide<'a> {
+    /// A monolithic matrix: local ids *are* global ids.
+    pub(crate) fn whole(matrix: &'a RatingMatrix) -> Self {
+        Self {
+            matrix,
+            remap: None,
+        }
+    }
+
+    /// A compacted shard: dense local rows, translated at the boundary.
+    pub(crate) fn shard(shard: &'a ShardMatrix) -> Self {
+        Self {
+            matrix: shard.local(),
+            remap: Some(shard.remap()),
+        }
+    }
+
+    /// The local row of global user `u`, if this side holds one.
+    fn local_of(&self, u: UserId) -> Option<UserId> {
+        match self.remap {
+            None => Some(u),
+            Some(remap) => remap.local_of(u),
+        }
+    }
+
+    /// The global id of local row `local`.
+    fn global_of(&self, local: UserId) -> UserId {
+        match self.remap {
+            None => local,
+            Some(remap) => remap.global_of(local),
+        }
+    }
+
+    /// How many of this side's local rows have global id `< bound` —
+    /// the local image of a global id-space cutoff. Monotone remaps make
+    /// this a single partition point.
+    fn local_bound(&self, bound: u32) -> u32 {
+        match self.remap {
+            None => bound,
+            Some(remap) => remap.rank_of_bound(bound),
+        }
     }
 }
 
@@ -119,8 +175,8 @@ impl<M: Borrow<RatingMatrix>> RatingsSimilarity<M> {
 /// monolithic kernel restricted to the candidate matrix's users.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn cross_kernel(
-    source: &RatingMatrix,
-    candidates: &RatingMatrix,
+    source: KernelSide<'_>,
+    candidates: KernelSide<'_>,
     u: UserId,
     num_users: u32,
     min_overlap: usize,
@@ -128,31 +184,43 @@ pub(crate) fn cross_kernel(
     out: &mut Vec<(UserId, f64)>,
     above_only: bool,
 ) {
-    let items = source.items_of(u);
+    let Some(su) = source.local_of(u) else {
+        // The source side holds no row for `u` — same as an empty row.
+        return;
+    };
+    let items = source.matrix.items_of(su);
     if items.is_empty() {
         // No ratings ⇒ µ_u undefined ⇒ per-pair Pearson is None for
         // every candidate.
         return;
     }
-    let mu = source.user_means()[u.index()];
-    let means = candidates.user_means();
-    scratch.begin(candidates.num_users() as usize);
-    for (&i, &ru) in items.iter().zip(source.scores_of(u)) {
+    let mu = source.matrix.user_means()[su.index()];
+    let means = candidates.matrix.user_means();
+    // Translate the global cutoffs into the candidate side's local id
+    // space once, outside the hot loops: the universe bound, the
+    // above-only pivot (first local row with global id > u), and the
+    // self row to skip.
+    let local_n = candidates.local_bound(num_users);
+    let above_bound = candidates.local_bound(u.raw().saturating_add(1));
+    let self_local = candidates.local_of(u);
+    scratch.begin(candidates.matrix.num_users() as usize);
+    for (&i, &ru) in items.iter().zip(source.matrix.scores_of(su)) {
         let du = ru - mu;
-        let raters = candidates.users_of(i);
-        let scores = candidates.rater_scores_of(i);
-        // Columns are sorted by user id: in above-only mode start
-        // past `u`; in full mode only `u` itself needs skipping.
+        let raters = candidates.matrix.users_of(i);
+        let scores = candidates.matrix.rater_scores_of(i);
+        // Columns are sorted by (local ≡ global-order) user id: in
+        // above-only mode start past `u`; in full mode only `u` itself
+        // needs skipping.
         let start = if above_only {
-            raters.partition_point(|&v| v <= u)
+            raters.partition_point(|&v| v.raw() < above_bound)
         } else {
             0
         };
         for (&v, &rv) in raters[start..].iter().zip(&scores[start..]) {
-            if v == u {
+            if Some(v) == self_local {
                 continue;
             }
-            if v.raw() >= num_users {
+            if v.raw() >= local_n {
                 // Ascending ids: nothing further is in the universe.
                 break;
             }
@@ -168,7 +236,7 @@ pub(crate) fn cross_kernel(
             })
             .map(|(slot, _, num, den_u, den_v)| {
                 let sim = (num / (den_u.sqrt() * den_v.sqrt())).clamp(-1.0, 1.0);
-                (UserId::new(slot as u32), sim)
+                (candidates.global_of(UserId::new(slot as u32)), sim)
             }),
     );
 }
@@ -179,15 +247,17 @@ pub(crate) fn cross_kernel(
 /// of the two rows in ascending item order (the single-matrix
 /// `co_ratings` order, so the result is bitwise the monolithic one).
 pub(crate) fn cross_similarity(
-    source: &RatingMatrix,
-    candidates: &RatingMatrix,
+    source: KernelSide<'_>,
+    candidates: KernelSide<'_>,
     u: UserId,
     v: UserId,
     min_overlap: usize,
 ) -> Option<f64> {
-    let (mu, mv) = (source.user_mean(u)?, candidates.user_mean(v)?);
-    let (u_items, u_scores) = (source.items_of(u), source.scores_of(u));
-    let (v_items, v_scores) = (candidates.items_of(v), candidates.scores_of(v));
+    let (su, sv) = (source.local_of(u)?, candidates.local_of(v)?);
+    let (source, candidates) = (source.matrix, candidates.matrix);
+    let (mu, mv) = (source.user_mean(su)?, candidates.user_mean(sv)?);
+    let (u_items, u_scores) = (source.items_of(su), source.scores_of(su));
+    let (v_items, v_scores) = (candidates.items_of(sv), candidates.scores_of(sv));
     let mut n = 0usize;
     let (mut num, mut den_u, mut den_v) = (0.0f64, 0.0f64, 0.0f64);
     let (mut a, mut b) = (0usize, 0usize);

@@ -1,5 +1,6 @@
 //! Sharded Definition-1 serving: the peer index and kernel dispatch over
-//! a hash-partitioned user universe.
+//! a hash-partitioned user universe with **compacted shard-local id
+//! spaces**.
 //!
 //! The monolithic [`PeerIndex`] holds every user's peer list in one
 //! process; past ~10⁶ users both the warm-time arithmetic and the list
@@ -8,17 +9,21 @@
 //! * [`ShardedRatingsSimilarity`] — the Pearson measure over a
 //!   [`ShardedRatingMatrix`]. Its one-vs-all pass **scatters** one
 //!   shard-scoped kernel pass per shard (source row from the owning
-//!   shard's CSR, candidates from each shard's local CSC) and
+//!   shard's compacted CSR, candidates from each shard's local CSC) and
 //!   **gathers** the per-shard edge lists into one ascending-id stream.
 //!   Each candidate is owned by exactly one shard and its accumulator
 //!   sees the same co-rating contributions in the same ascending-item
-//!   order as the monolithic kernel, so the merged output is **bitwise
-//!   identical** to [`RatingsSimilarity`](crate::RatingsSimilarity) over
-//!   the unsharded matrix (pinned by `tests/sharded.rs`).
-//! * [`ShardedPeerIndex`] — one [`PeerIndex`] per shard, each over the
-//!   **global** universe under its own generation token. A shard's index
-//!   caches the **full global** peer lists of the users it owns; lookups
-//!   route to the owning shard, so serving reads stay one cache hit.
+//!   order as the monolithic kernel — the shard's monotone
+//!   [`IdRemap`] keeps local iteration order identical to global order —
+//!   so the merged output is **bitwise identical** to
+//!   [`RatingsSimilarity`](crate::RatingsSimilarity) over the unsharded
+//!   matrix (pinned by `tests/sharded.rs`).
+//! * [`ShardedPeerIndex`] — one [`PeerIndex`] per shard over the shard's
+//!   **owned** users only: slot `l` of shard `s` is the `l`-th owned
+//!   user, so per-shard slot arrays are O(U/S), not O(U). The cached
+//!   lists still carry **global** peer ids (they are served verbatim);
+//!   translation happens only at this type's boundary. Lookups route to
+//!   the owning shard, so serving reads stay one cache hit.
 //!
 //! ## The shard-pair symmetric warm
 //!
@@ -27,37 +32,39 @@
 //! pool: pair `(a, a)` runs the above-only kernel (each same-shard pair
 //! once), pair `(a, b)` with `a < b` runs the full shard-scoped kernel
 //! from `a`'s sources into `b`'s candidates (each cross-shard pair
-//! once). Qualifying edges are scattered straight into both endpoints'
-//! per-user lists and canonicalised once — exactly the monolithic
-//! scatter — then each shard's index is assembled from its owned users'
-//! finished lists via the sort-free [`PeerIndex::from_full_lists`]
-//! build, under each shard's recorded generation token (a concurrent
-//! invalidation makes that shard's swap a no-op). The result is bitwise
-//! identical to the monolithic [`PeerIndex::warm_symmetric`] for
-//! **any** shard count.
+//! once). One pair's work is [`shard_pair_edges`] — a free function over
+//! `(matrix, a, b, universe, overlap, δ)` precisely so the schedule can
+//! be serialized into self-contained task descriptors and executed
+//! remotely (the MapReduce pipeline's distributed warm rehearses this);
+//! [`ShardedPeerIndex::adopt_full_lists`] is the matching install path
+//! for lists assembled elsewhere. Qualifying edges are scattered
+//! straight into both endpoints' per-user lists and canonicalised once —
+//! exactly the monolithic scatter — then each shard's index is assembled
+//! from its owned users' finished lists via the sort-free mapped
+//! `from_full_lists` build, under each shard's recorded generation token
+//! (a concurrent invalidation makes that shard's swap a no-op). The
+//! result is bitwise identical to the monolithic
+//! [`PeerIndex::warm_symmetric`] for **any** shard count.
 //!
 //! ## The delta path
 //!
-//! [`ShardedPeerIndex::apply_delta`] reuses [`PeerIndex::apply_delta`]
-//! unchanged, once per shard: the owning shard takes the delta under the
-//! full (scatter-gather) measure — its lists are full global lists — and
-//! every other shard `t` takes it under the shard-scoped measure
-//! (candidates restricted to `t`), so `t`'s spliced endpoint lists
-//! receive exactly the edges they own and the total kernel work stays
-//! O(two global passes) instead of O(S) of them. The exactness
-//! precondition (the changed user's pre-change list cached wherever any
-//! list is) is established by [`ShardedPeerIndex::prepare_delta`], which
-//! the engine calls *before* mutating the matrix: the owning shard
-//! pre-caches the user's full list, every other shard its shard-scoped
-//! restriction. Those restricted lists live in non-owning shards purely
-//! as delta bookkeeping — serving lookups never read a non-owned slot.
+//! The delta is coordinated **centrally** instead of once per shard:
+//! [`ShardedPeerIndex::prepare_delta`] caches the changed user's full
+//! pre-change list in its owning slot (a cache hit on a warm index);
+//! after the mutation, [`ShardedPeerIndex::apply_delta`] bumps every
+//! shard's token, recomputes the user's full list with one scatter-gather
+//! pass, and splices the refreshed `(user, simU)` edges into the
+//! affected endpoints' lists, each routed to its owning shard's slot.
+//! Total kernel work is about two global passes regardless of `S`, no
+//! shard ever stores a non-owned user's list, and every warm list ends
+//! up bitwise identical to a cold rebuild against the current data.
 
 use crate::bulk::{BulkUserSimilarity, SimScratch};
 use crate::peer_index::{DeltaOutcome, PeerIndex};
 use crate::peers::{PeerSelector, Peers};
-use crate::ratings::{cross_kernel, cross_similarity};
+use crate::ratings::{cross_kernel, cross_similarity, KernelSide};
 use crate::UserSimilarity;
-use fairrec_types::{Parallelism, ShardSpec, ShardedRatingMatrix, UserId};
+use fairrec_types::{IdRemap, Parallelism, ShardMatrix, ShardSpec, ShardedRatingMatrix, UserId};
 use std::borrow::Borrow;
 use std::sync::{Arc, RwLock};
 
@@ -96,17 +103,6 @@ impl<M: Borrow<ShardedRatingMatrix>> ShardedRatingsSimilarity<M> {
         self.min_overlap
     }
 
-    /// The shard-scoped measure for pair `(source shard of u, candidate
-    /// shard t)` — one kernel pass of the scatter.
-    fn scoped<'a>(&'a self, user: UserId, candidate_shard: usize) -> ShardScopedRatings<'a> {
-        let sharded = self.matrix.borrow();
-        ShardScopedRatings {
-            source: sharded.owning_shard(user),
-            candidates: sharded.shard(candidate_shard),
-            min_overlap: self.min_overlap,
-        }
-    }
-
     /// One shard-scoped pass per shard, gathered and re-sorted into the
     /// ascending-candidate order the bulk contract promises.
     fn scatter_gather(
@@ -119,8 +115,13 @@ impl<M: Borrow<ShardedRatingMatrix>> ShardedRatingsSimilarity<M> {
     ) {
         let sharded = self.matrix.borrow();
         let from = out.len();
+        let source = sharded.owning_shard(u);
         for t in 0..sharded.num_shards() as usize {
-            let scoped = self.scoped(u, t);
+            let scoped = ShardScopedRatings {
+                source,
+                candidates: sharded.shard(t),
+                min_overlap: self.min_overlap,
+            };
             if above_only {
                 scoped.similarities_above(u, num_users, scratch, out);
             } else {
@@ -142,8 +143,8 @@ impl<M: Borrow<ShardedRatingMatrix>> UserSimilarity for ShardedRatingsSimilarity
             return sharded.owning_shard(u).user_mean(u).map(|_| 1.0);
         }
         cross_similarity(
-            sharded.owning_shard(u),
-            sharded.owning_shard(v),
+            KernelSide::shard(sharded.owning_shard(u)),
+            KernelSide::shard(sharded.owning_shard(v)),
             u,
             v,
             self.min_overlap,
@@ -183,13 +184,13 @@ impl<M: Borrow<ShardedRatingMatrix>> BulkUserSimilarity for ShardedRatingsSimila
     }
 }
 
-/// One leg of the scatter: source row from one shard matrix, candidates
-/// from (possibly) another. Only users owned by the candidate matrix can
-/// ever be emitted, in ascending id order.
+/// One leg of the scatter: source row from one compacted shard,
+/// candidates from (possibly) another. Only users owned by the candidate
+/// shard can ever be emitted, as **global** ids in ascending order.
 #[derive(Debug, Clone, Copy)]
 struct ShardScopedRatings<'a> {
-    source: &'a fairrec_types::RatingMatrix,
-    candidates: &'a fairrec_types::RatingMatrix,
+    source: &'a ShardMatrix,
+    candidates: &'a ShardMatrix,
     min_overlap: usize,
 }
 
@@ -198,7 +199,13 @@ impl UserSimilarity for ShardScopedRatings<'_> {
         if u == v {
             return self.source.user_mean(u).map(|_| 1.0);
         }
-        cross_similarity(self.source, self.candidates, u, v, self.min_overlap)
+        cross_similarity(
+            KernelSide::shard(self.source),
+            KernelSide::shard(self.candidates),
+            u,
+            v,
+            self.min_overlap,
+        )
     }
 
     fn name(&self) -> &'static str {
@@ -215,8 +222,8 @@ impl BulkUserSimilarity for ShardScopedRatings<'_> {
         out: &mut Vec<(UserId, f64)>,
     ) {
         cross_kernel(
-            self.source,
-            self.candidates,
+            KernelSide::shard(self.source),
+            KernelSide::shard(self.candidates),
             u,
             num_users,
             self.min_overlap,
@@ -234,8 +241,8 @@ impl BulkUserSimilarity for ShardScopedRatings<'_> {
         out: &mut Vec<(UserId, f64)>,
     ) {
         cross_kernel(
-            self.source,
-            self.candidates,
+            KernelSide::shard(self.source),
+            KernelSide::shard(self.candidates),
             u,
             num_users,
             self.min_overlap,
@@ -246,10 +253,110 @@ impl BulkUserSimilarity for ShardScopedRatings<'_> {
     }
 
     /// Where both directions are defined (both users in scope), the
-    /// values are the same bits — which is all
-    /// [`PeerIndex::apply_delta`]'s splice relies on.
+    /// values are the same bits.
     fn is_symmetric(&self) -> bool {
         true
+    }
+}
+
+/// One shard pair's slice of the symmetric warm: every qualifying
+/// Definition-1 edge `(u, v, simU)` with `u` owned by shard `a` and `v`
+/// owned by shard `b`, each unordered pair exactly once (the diagonal
+/// pair runs the above-only kernel; `a ≠ b` must be called with the
+/// pair once, not both orders). Edges are δ-filtered here because
+/// Definition-1 admission is per-pair.
+///
+/// This free function is the **unit of distribution**: it depends only
+/// on values a task descriptor can carry (`a`, `b`, the universe bound,
+/// `min_overlap`, `δ`) plus the partitioned matrix each worker holds, so
+/// the in-repo MapReduce engine can execute the same schedule off-process
+/// and [`ShardedPeerIndex::adopt_full_lists`] can install the result —
+/// bitwise identical to the in-process warm.
+pub fn shard_pair_edges(
+    matrix: &ShardedRatingMatrix,
+    a: usize,
+    b: usize,
+    num_users: u32,
+    min_overlap: usize,
+    delta: f64,
+) -> Vec<(UserId, UserId, f64)> {
+    let scoped = ShardScopedRatings {
+        source: matrix.shard(a),
+        candidates: matrix.shard(b),
+        min_overlap,
+    };
+    let mut scratch = SimScratch::new();
+    let mut buf: Peers = Vec::new();
+    let mut edges = Vec::new();
+    for &u in matrix.users_of_shard(a) {
+        if u.raw() >= num_users {
+            // Owned lists ascend: nothing further is in the universe.
+            break;
+        }
+        buf.clear();
+        if a == b {
+            scoped.similarities_above(u, num_users, &mut scratch, &mut buf);
+        } else {
+            scoped.similarities_from(u, num_users, &mut scratch, &mut buf);
+        }
+        edges.extend(
+            buf.iter()
+                .filter(|&&(_, s)| s >= delta)
+                .map(|&(v, s)| (u, v, s)),
+        );
+    }
+    edges
+}
+
+/// Adapts a **global**-universe bulk measure to one shard's local slot
+/// space: the per-shard [`PeerIndex`] computes slot `l`'s list by asking
+/// this adapter, which translates the slot to its global id and runs the
+/// inner measure over the full global universe — so the cached list
+/// contents stay global, exactly what serving returns verbatim.
+struct Localized<'a, S: ?Sized> {
+    inner: &'a S,
+    remap: &'a IdRemap,
+    /// The **global** universe bound substituted for the local one the
+    /// per-shard index passes down.
+    num_users: u32,
+}
+
+impl<S: UserSimilarity + ?Sized> UserSimilarity for Localized<'_, S> {
+    fn similarity(&self, u: UserId, v: UserId) -> Option<f64> {
+        self.inner
+            .similarity(self.remap.global_of(u), self.remap.global_of(v))
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+impl<S: BulkUserSimilarity + ?Sized> BulkUserSimilarity for Localized<'_, S> {
+    fn similarities_from(
+        &self,
+        u: UserId,
+        _local_universe: u32,
+        scratch: &mut SimScratch,
+        out: &mut Vec<(UserId, f64)>,
+    ) {
+        self.inner
+            .similarities_from(self.remap.global_of(u), self.num_users, scratch, out);
+    }
+
+    fn similarities_above(
+        &self,
+        u: UserId,
+        _local_universe: u32,
+        scratch: &mut SimScratch,
+        out: &mut Vec<(UserId, f64)>,
+    ) {
+        self.inner
+            .similarities_above(self.remap.global_of(u), self.num_users, scratch, out);
+    }
+
+    fn is_symmetric(&self) -> bool {
+        self.inner.is_symmetric()
     }
 }
 
@@ -258,23 +365,30 @@ impl BulkUserSimilarity for ShardScopedRatings<'_> {
 /// per-shard counts exist for tests and operational introspection.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardedDeltaReport {
-    /// Aggregate outcome over every shard: `Spliced` only when **every**
-    /// warm shard spliced exactly (touched = total endpoint lists
-    /// patched across shards), `InvalidatedAll` when any shard had to
-    /// fall back, `ColdIndex` when every shard was cold.
+    /// Aggregate outcome: `Spliced` when the central splice ran (touched
+    /// = total endpoint lists patched across shards), `InvalidatedAll`
+    /// when the exactness preconditions failed and every shard was
+    /// cleared, `ColdIndex` when every shard was cold.
     pub outcome: DeltaOutcome,
     /// Per-shard outcomes, in shard order.
     pub per_shard: Vec<DeltaOutcome>,
 }
 
-/// Hash-partitioned [`PeerIndex`]: one per-shard index over the global
-/// universe, each owning its users' full peer lists under its own
-/// generation token. See the module docs for the warm, serving, and
+/// Hash-partitioned [`PeerIndex`] with compacted per-shard universes:
+/// shard `s` holds one slot per **owned** user (O(U/S) metadata), each
+/// slot caching that user's full **global** peer list under the shard's
+/// own generation token. See the module docs for the warm, serving, and
 /// delta contracts.
 #[derive(Debug)]
 pub struct ShardedPeerIndex {
     spec: ShardSpec,
     selector: PeerSelector,
+    /// Size of the global user universe — no shard stores a
+    /// global-length array; this scalar is the only global-sized fact.
+    num_users: u32,
+    /// Per-shard owned-user tables (the same partition the compacted
+    /// matrix uses), translating slot ↔ global id at the boundary.
+    remaps: Vec<IdRemap>,
     shards: Vec<RwLock<PeerIndex>>,
 }
 
@@ -282,12 +396,17 @@ impl ShardedPeerIndex {
     /// An empty (cold) sharded index over `0..num_users` with
     /// `spec.num_shards()` shards, answering with `selector`.
     pub fn new(selector: PeerSelector, spec: ShardSpec, num_users: u32) -> Self {
+        let remaps = spec.partition(num_users);
+        let shards = remaps
+            .iter()
+            .map(|remap| RwLock::new(PeerIndex::new(selector, remap.len())))
+            .collect();
         Self {
             spec,
             selector,
-            shards: (0..spec.num_shards())
-                .map(|_| RwLock::new(PeerIndex::new(selector, num_users)))
-                .collect(),
+            num_users,
+            remaps,
+            shards,
         }
     }
 
@@ -308,7 +427,7 @@ impl ShardedPeerIndex {
 
     /// Size of the (global) user universe.
     pub fn num_users(&self) -> u32 {
-        self.read_shard(0).num_users()
+        self.num_users
     }
 
     /// The shard owning `user`'s serving slot.
@@ -316,13 +435,21 @@ impl ShardedPeerIndex {
         self.spec.shard_of(user)
     }
 
-    /// Total cached lists across shards. Counts both the owned serving
-    /// lists and any shard-scoped bookkeeping lists the delta path has
-    /// seeded into non-owning shards.
+    /// Total cached lists across shards — every one an owned user's
+    /// global serving list (the compacted layout has no bookkeeping
+    /// slots).
     pub fn num_cached(&self) -> usize {
         (0..self.shards.len())
             .map(|s| self.read_shard(s).num_cached())
             .sum()
+    }
+
+    /// Per-shard slot-universe sizes, in shard order — each shard's
+    /// owned-user count. These sum to [`num_users`](Self::num_users):
+    /// the compacted layout keeps every shard's metadata O(U/S), with no
+    /// global-length arrays anywhere (what the scale-out tests pin).
+    pub fn shard_universes(&self) -> Vec<u32> {
+        self.remaps.iter().map(IdRemap::len).collect()
     }
 
     /// Per-shard freshness tokens, in shard order.
@@ -344,38 +471,48 @@ impl ShardedPeerIndex {
         self.shards[s].read().expect("shard index poisoned")
     }
 
-    /// The raw cached full list of `user` from its owning shard, if
-    /// present.
-    pub fn cached_full(&self, user: UserId) -> Option<Arc<Peers>> {
-        if user.raw() >= self.num_users() {
+    /// `user`'s owning shard and local slot, when in the universe.
+    fn slot_of(&self, user: UserId) -> Option<(usize, UserId)> {
+        if user.raw() >= self.num_users {
             return None;
         }
-        self.read_shard(self.shard_of(user)).cached_full(user)
+        let s = self.shard_of(user);
+        let local = self.remaps[s]
+            .local_of(user)
+            .expect("every in-universe user has a slot in its owning shard");
+        Some((s, local))
+    }
+
+    /// The raw cached full (global) list of `user` from its owning
+    /// shard's slot, if present.
+    pub fn cached_full(&self, user: UserId) -> Option<Arc<Peers>> {
+        let (s, local) = self.slot_of(user)?;
+        self.read_shard(s).cached_full(local)
     }
 
     /// The memoized **full global** peer list of `user`, served by (and
-    /// cached in) the owning shard; a cold slot scatters one shard-scoped
-    /// kernel pass per shard and gathers the merged list. Users outside
-    /// the universe answer empty.
-    pub fn full_peers<M: Borrow<ShardedRatingMatrix>>(
+    /// cached in) the owning shard's slot; a cold slot runs one
+    /// one-vs-all pass of `measure` over the global universe. Users
+    /// outside the universe answer empty.
+    pub fn full_peers<S: BulkUserSimilarity + ?Sized>(
         &self,
-        measure: &ShardedRatingsSimilarity<M>,
+        measure: &S,
         user: UserId,
     ) -> Arc<Peers> {
-        if user.raw() >= self.num_users() {
+        let Some((s, local)) = self.slot_of(user) else {
             return Arc::new(Peers::new());
-        }
-        self.read_shard(self.shard_of(user))
-            .full_peers(measure, user)
+        };
+        let localized = Localized {
+            inner: measure,
+            remap: &self.remaps[s],
+            num_users: self.num_users,
+        };
+        self.read_shard(s).full_peers(&localized, local)
     }
 
     /// Definition 1 for one user — identical to the monolithic
     /// [`PeerIndex::peers_of`].
-    pub fn peers_of<M: Borrow<ShardedRatingMatrix>>(
-        &self,
-        measure: &ShardedRatingsSimilarity<M>,
-        user: UserId,
-    ) -> Peers {
+    pub fn peers_of<S: BulkUserSimilarity + ?Sized>(&self, measure: &S, user: UserId) -> Peers {
         self.selector.view(&self.full_peers(measure, user), &[])
     }
 
@@ -383,9 +520,9 @@ impl ShardedPeerIndex {
     /// the serving fan-out: each member's lookup routes to its owning
     /// shard, and the group view is a pure mask+cap over the cached full
     /// list, identical to [`PeerIndex::group_peers`].
-    pub fn group_peers<M: Borrow<ShardedRatingMatrix>>(
+    pub fn group_peers<S: BulkUserSimilarity + ?Sized>(
         &self,
-        measure: &ShardedRatingsSimilarity<M>,
+        measure: &S,
         group: &[UserId],
     ) -> Vec<(UserId, Peers)> {
         group
@@ -399,19 +536,18 @@ impl ShardedPeerIndex {
             .collect()
     }
 
-    /// Eagerly fills every cold **owned** slot through the ordinary
-    /// scatter-gather lazy path, fanned out across the configured
-    /// parallelism. Returns the number of lists computed. This is also
-    /// the fallback [`warm_symmetric`](Self::warm_symmetric) takes when
-    /// any shard is partially warm (a partial triangle cannot be
-    /// restricted to the cold subset, exactly as in the monolithic
-    /// index).
+    /// Eagerly fills every cold slot through the ordinary lazy path,
+    /// fanned out across the configured parallelism. Returns the number
+    /// of lists computed. This is also the fallback
+    /// [`warm_symmetric`](Self::warm_symmetric) takes when any shard is
+    /// partially warm (a partial triangle cannot be restricted to the
+    /// cold subset, exactly as in the monolithic index).
     pub fn warm<M: Borrow<ShardedRatingMatrix> + Sync>(
         &self,
         measure: &ShardedRatingsSimilarity<M>,
         parallelism: Parallelism,
     ) -> usize {
-        let cold: Vec<UserId> = (0..self.num_users())
+        let cold: Vec<UserId> = (0..self.num_users)
             .map(UserId::new)
             .filter(|&u| self.cached_full(u).is_none())
             .collect();
@@ -422,14 +558,14 @@ impl ShardedPeerIndex {
         computed
     }
 
-    /// Symmetric bulk warm decomposed into per-shard-pair kernel tasks on
-    /// the worker pool; see the module docs for the schedule. Only runs
-    /// the triangle on a fully cold index (falls back to
-    /// [`warm`](Self::warm) otherwise); the per-shard splices happen
-    /// under each shard's recorded generation token, so a concurrent
-    /// invalidation of a shard skips that shard's splice. Returns the
-    /// number of lists computed. Bitwise identical to the monolithic
-    /// [`PeerIndex::warm_symmetric`] for any shard count.
+    /// Symmetric bulk warm decomposed into per-shard-pair
+    /// [`shard_pair_edges`] tasks on the worker pool; see the module docs
+    /// for the schedule. Only runs the triangle on a fully cold index
+    /// (falls back to [`warm`](Self::warm) otherwise); the per-shard
+    /// installs happen under each shard's recorded generation token, so a
+    /// concurrent invalidation of a shard skips that shard's swap.
+    /// Returns the number of lists computed. Bitwise identical to the
+    /// monolithic [`PeerIndex::warm_symmetric`] for any shard count.
     pub fn warm_symmetric<M: Borrow<ShardedRatingMatrix> + Sync>(
         &self,
         measure: &ShardedRatingsSimilarity<M>,
@@ -440,11 +576,9 @@ impl ShardedPeerIndex {
             return self.warm(measure, parallelism);
         }
         let sharded = measure.matrix();
-        let n = self.num_users();
+        let n = self.num_users;
         let delta = self.selector.delta;
-        let generations: Vec<u64> = (0..num_shards)
-            .map(|s| self.read_shard(s).generation())
-            .collect();
+        let generations = self.generations();
 
         // One task per shard pair (a ≤ b): the diagonal runs the
         // above-only kernel (each same-shard pair once), off-diagonal
@@ -453,67 +587,65 @@ impl ShardedPeerIndex {
         let pairs: Vec<(usize, usize)> = (0..num_shards)
             .flat_map(|a| (a..num_shards).map(move |b| (a, b)))
             .collect();
-        type Edge = (UserId, UserId, f64);
-        let edge_sets: Vec<Vec<Edge>> = parallelism.map(pairs, |(a, b)| {
-            let scoped = ShardScopedRatings {
-                source: sharded.shard(a),
-                candidates: sharded.shard(b),
-                min_overlap: measure.min_overlap(),
-            };
-            let mut scratch = SimScratch::new();
-            let mut buf: Peers = Vec::new();
-            let mut edges: Vec<Edge> = Vec::new();
-            for u in sharded.users_of_shard(a) {
-                if u.raw() >= n {
-                    break;
-                }
-                buf.clear();
-                if a == b {
-                    scoped.similarities_above(u, n, &mut scratch, &mut buf);
-                } else {
-                    scoped.similarities_from(u, n, &mut scratch, &mut buf);
-                }
-                // Definition-1 admission is per-pair, so δ applies per
-                // edge here, exactly as in the monolithic triangle.
-                edges.extend(
-                    buf.iter()
-                        .filter(|&&(_, s)| s >= delta)
-                        .map(|&(v, s)| (u, v, s)),
-                );
-            }
-            edges
+        let edge_sets = parallelism.map(pairs, |(a, b)| {
+            shard_pair_edges(sharded, a, b, n, measure.min_overlap(), delta)
         });
 
         // Scatter every qualifying edge to both endpoints' per-user
         // lists and canonicalise each list exactly once, in parallel —
         // the same funnel as the monolithic scatter. The shard-pair
-        // schedule emits each unordered pair exactly once (diagonal
-        // pairs via the above-only kernel, cross pairs from the lower
-        // shard's sources) and δ was applied per edge above, so the
-        // lists are already duplicate-free, self-edge-free, and
-        // filtered: each shard's index is then assembled from its owned
-        // users' finished lists via the sort-free `from_full_lists`
-        // build under its recorded token. Earlier revisions re-funnelled
-        // the edges through `from_edges`, paying a second sort + dedup
-        // pass per list — the ×1.3 single-thread overhead over the
-        // monolithic warm.
+        // schedule emits each unordered pair exactly once and δ was
+        // applied per edge, so the lists arrive duplicate-free,
+        // self-edge-free, and filtered.
         let mut lists: Vec<Peers> = vec![Peers::new(); n as usize];
         for (u, v, sim) in edge_sets.into_iter().flatten() {
             lists[u.index()].push((v, sim));
             lists[v.index()].push((u, sim));
         }
-        let mut lists = parallelism.map(lists, |mut list| {
+        let lists = parallelism.map(lists, |mut list| {
             PeerSelector::canonicalize(&mut list);
             list
         });
+        self.install_lists(lists, &generations)
+    }
+
+    /// Installs externally computed **finished** full lists — indexed by
+    /// global user id over the whole universe, canonical, δ-filtered,
+    /// self-edge-free — into the owning shards' slots: the adoption path
+    /// for warms executed off-process (the MapReduce distributed warm
+    /// assembles exactly this shape from reduced edges). Same
+    /// preconditions as the triangle itself: the index must be fully
+    /// cold and `lists` must cover the universe; returns `None` without
+    /// touching anything otherwise. `Some(count)` is the number of lists
+    /// installed (shards whose generation moved concurrently are
+    /// skipped, exactly like the in-process warm).
+    pub fn adopt_full_lists(&self, lists: Vec<Peers>) -> Option<usize> {
+        if lists.len() != self.num_users as usize {
+            return None;
+        }
+        if (0..self.shards.len()).any(|s| self.read_shard(s).num_cached() != 0) {
+            return None;
+        }
+        let generations = self.generations();
+        Some(self.install_lists(lists, &generations))
+    }
+
+    /// Moves finished global-id-indexed lists into the per-shard indexes
+    /// (slot `l` of shard `s` ← list of the `l`-th owned user), swapping
+    /// each shard only if its token still matches `generations`.
+    fn install_lists(&self, mut lists: Vec<Peers>, generations: &[u64]) -> usize {
         let mut computed = 0usize;
-        for (s, (shard, &generation)) in self.shards.iter().zip(&generations).enumerate() {
-            let owned = self.spec.users_of_shard(s, n);
-            let shard_lists = owned
-                .iter()
-                .map(|&u| (u, std::mem::take(&mut lists[u.index()])));
-            let built = PeerIndex::from_full_lists(self.selector, n, shard_lists)
-                .with_generation(generation);
+        for (s, (shard, &generation)) in self.shards.iter().zip(generations).enumerate() {
+            let owned = self.remaps[s].owned();
+            let shard_lists = owned.iter().enumerate().map(|(local, &u)| {
+                (
+                    UserId::new(local as u32),
+                    std::mem::take(&mut lists[u.index()]),
+                )
+            });
+            let built =
+                PeerIndex::from_mapped_full_lists(self.selector, owned.len() as u32, shard_lists)
+                    .with_generation(generation);
             let mut guard = shard.write().expect("shard index poisoned");
             if guard.generation() == generation {
                 computed += owned.len();
@@ -523,85 +655,117 @@ impl ShardedPeerIndex {
         computed
     }
 
-    /// Establishes [`PeerIndex::apply_delta`]'s exactness precondition on
-    /// every shard **before** the underlying data changes: the owning
-    /// shard caches `user`'s full pre-change list (a cache hit on a warm
-    /// index), every other warm shard its shard-scoped restriction. Cold
-    /// shards are left cold (their delta degrades to the cold no-op).
-    pub fn prepare_delta<M: Borrow<ShardedRatingMatrix>>(
-        &self,
-        measure: &ShardedRatingsSimilarity<M>,
-        user: UserId,
-    ) {
-        if user.raw() >= self.num_users() {
+    /// Establishes [`apply_delta`](Self::apply_delta)'s exactness
+    /// precondition **before** the underlying data changes: caches
+    /// `user`'s full pre-change list in its owning slot (a cache hit on
+    /// a warm index). A fully cold index is left cold (its delta
+    /// degrades to the cold no-op).
+    pub fn prepare_delta<S: BulkUserSimilarity + ?Sized>(&self, measure: &S, user: UserId) {
+        if user.raw() >= self.num_users || self.num_cached() == 0 {
             return;
         }
-        let owning = self.shard_of(user);
-        for t in 0..self.shards.len() {
-            let shard = self.read_shard(t);
-            if shard.num_cached() == 0 {
-                continue;
-            }
-            if t == owning {
-                let _ = shard.full_peers(measure, user);
-            } else {
-                let _ = shard.full_peers(&measure.scoped(user, t), user);
-            }
-        }
+        let _ = self.full_peers(measure, user);
     }
 
-    /// Incrementally repairs every shard after a point change to `user`'s
-    /// ratings (call **after** the matrix mutation, with
-    /// [`prepare_delta`](Self::prepare_delta) called before it). Each
-    /// shard runs [`PeerIndex::apply_delta`] unchanged — the owning shard
-    /// under the full scatter-gather measure, the rest under their
-    /// shard-scoped measure — so the total kernel work is about two
-    /// global passes regardless of `S`, and every warm list ends up
-    /// bitwise identical to a cold rebuild against the current data.
-    pub fn apply_delta<M: Borrow<ShardedRatingMatrix>>(
+    /// Incrementally repairs the whole sharded index after a point change
+    /// to `user`'s ratings (call **after** the matrix mutation, with
+    /// [`prepare_delta`](Self::prepare_delta) called before it). One
+    /// central coordinator: every shard's token is bumped first (in-flight
+    /// fills against pre-change data can never land), then `user`'s full
+    /// list is recomputed with one one-vs-all pass of `measure` and the
+    /// refreshed edges are spliced into the affected endpoints' lists,
+    /// each routed to its owning shard's slot — about two global kernel
+    /// passes total, independent of `S`. Degrades to a blanket
+    /// invalidation when the measure is not bitwise symmetric or the
+    /// pre-change list is missing from a partially warm index, exactly
+    /// like [`PeerIndex::apply_delta`].
+    pub fn apply_delta<S: BulkUserSimilarity + ?Sized>(
         &self,
-        measure: &ShardedRatingsSimilarity<M>,
+        measure: &S,
         user: UserId,
     ) -> ShardedDeltaReport {
-        if user.raw() >= self.num_users() {
+        let num_shards = self.shards.len();
+        let Some((owning, local_u)) = self.slot_of(user) else {
             return ShardedDeltaReport {
                 outcome: DeltaOutcome::OutOfUniverse,
-                per_shard: vec![DeltaOutcome::OutOfUniverse; self.shards.len()],
+                per_shard: vec![DeltaOutcome::OutOfUniverse; num_shards],
+            };
+        };
+        // Bump every shard before touching any slot, exactly like the
+        // monolithic delta bumps its one token: the data already
+        // changed, so any fill still in flight is stale everywhere.
+        let tokens: Vec<u64> = (0..num_shards)
+            .map(|s| self.read_shard(s).bump_generation())
+            .collect();
+        if self.num_cached() == 0 {
+            return ShardedDeltaReport {
+                outcome: DeltaOutcome::ColdIndex,
+                per_shard: vec![DeltaOutcome::ColdIndex; num_shards],
             };
         }
-        let owning = self.shard_of(user);
-        let per_shard: Vec<DeltaOutcome> = (0..self.shards.len())
-            .map(|t| {
-                let shard = self.read_shard(t);
-                if t == owning {
-                    shard.apply_delta(measure, user)
-                } else {
-                    shard.apply_delta(&measure.scoped(user, t), user)
-                }
-            })
-            .collect();
-        let outcome = if per_shard
-            .iter()
-            .any(|o| matches!(o, DeltaOutcome::InvalidatedAll))
-        {
-            DeltaOutcome::InvalidatedAll
-        } else if per_shard
-            .iter()
-            .all(|o| matches!(o, DeltaOutcome::ColdIndex))
-        {
-            DeltaOutcome::ColdIndex
-        } else {
-            DeltaOutcome::Spliced {
-                touched: per_shard
-                    .iter()
-                    .map(|o| match o {
-                        DeltaOutcome::Spliced { touched } => *touched,
-                        _ => 0,
-                    })
-                    .sum(),
+        let old = self.read_shard(owning).cached_full(local_u);
+        let (Some(old), true) = (old, measure.is_symmetric()) else {
+            // Missing pre-change list in a partially warm index, or an
+            // asymmetric measure: the stale `(v, user)` edges cannot be
+            // enumerated/spliced — blanket fallback.
+            for s in 0..num_shards {
+                self.read_shard(s).clear_all_slots();
             }
+            return ShardedDeltaReport {
+                outcome: DeltaOutcome::InvalidatedAll,
+                per_shard: vec![DeltaOutcome::InvalidatedAll; num_shards],
+            };
         };
-        ShardedDeltaReport { outcome, per_shard }
+        // One global pass over the current data: the user's refreshed
+        // full list, uncapped and δ-filtered — bitwise what a monolithic
+        // `compute_full` would produce.
+        let uncapped = PeerSelector {
+            delta: self.selector.delta,
+            max_peers: None,
+        };
+        let new = Arc::new(uncapped.peers_of_bulk(
+            measure,
+            user,
+            self.num_users,
+            &[],
+            &mut SimScratch::new(),
+        ));
+
+        // The affected endpoints: every peer the user had or now has.
+        let mut affected: Vec<UserId> = old.iter().chain(new.iter()).map(|&(v, _)| v).collect();
+        affected.sort_unstable();
+        affected.dedup();
+        let mut new_by_id: Vec<(UserId, f64)> = new.as_ref().clone();
+        new_by_id.sort_unstable_by_key(|&(v, _)| v);
+
+        let mut touched = vec![0usize; num_shards];
+        for v in affected {
+            let (s, local_v) = self
+                .slot_of(v)
+                .expect("peer lists only mention in-universe users");
+            let sim = new_by_id
+                .binary_search_by_key(&v, |&(w, _)| w)
+                .ok()
+                .map(|idx| new_by_id[idx].1);
+            match self.read_shard(s).splice_peer(local_v, user, sim, tokens[s]) {
+                Some(true) => touched[s] += 1,
+                // Cold slot (refills lazily) or a concurrent
+                // invalidation of that one shard (supersedes its
+                // splices; other shards proceed under their own tokens).
+                Some(false) | None => {}
+            }
+        }
+        self.read_shard(owning)
+            .store_full_list(local_u, new, tokens[owning]);
+        ShardedDeltaReport {
+            outcome: DeltaOutcome::Spliced {
+                touched: touched.iter().sum(),
+            },
+            per_shard: touched
+                .into_iter()
+                .map(|t| DeltaOutcome::Spliced { touched: t })
+                .collect(),
+        }
     }
 
     /// Drops every cached list in every shard (each under its own bumped
@@ -613,31 +777,51 @@ impl ShardedPeerIndex {
     }
 
     /// Returns a sharded index over a larger universe, carrying every
-    /// shard's cached lists and token forward ([`PeerIndex::grow_universe`]
-    /// per shard — same soundness condition: only for growth triggered by
-    /// a brand-new user's first rating).
+    /// shard's cached lists and token forward: each new id is appended to
+    /// its owning shard's remap (hash owners never change, so existing
+    /// slots keep their positions) and that shard's local universe grows
+    /// by its share of the new ids ([`PeerIndex::grow_universe`] per
+    /// shard — same soundness condition: only for growth triggered by a
+    /// brand-new user's first rating).
     ///
     /// # Panics
     /// Panics if `num_users` is smaller than the current universe.
     pub fn grow_universe(&self, num_users: u32) -> Self {
+        assert!(
+            num_users >= self.num_users,
+            "universe can only grow ({} -> {num_users})",
+            self.num_users
+        );
+        let remaps = self.spec.partition(num_users);
+        let shards = remaps
+            .iter()
+            .enumerate()
+            .map(|(s, remap)| RwLock::new(self.read_shard(s).grow_universe(remap.len())))
+            .collect();
         Self {
             spec: self.spec,
             selector: self.selector,
-            shards: (0..self.shards.len())
-                .map(|s| RwLock::new(self.read_shard(s).grow_universe(num_users)))
-                .collect(),
+            num_users,
+            remaps,
+            shards,
         }
     }
 
     /// Returns a fully cold sharded index over `num_users` with every
     /// shard's token bumped ([`PeerIndex::rebuild_cold`] per shard).
     pub fn rebuild_cold(&self, num_users: u32) -> Self {
+        let remaps = self.spec.partition(num_users);
+        let shards = remaps
+            .iter()
+            .enumerate()
+            .map(|(s, remap)| RwLock::new(self.read_shard(s).rebuild_cold(remap.len())))
+            .collect();
         Self {
             spec: self.spec,
             selector: self.selector,
-            shards: (0..self.shards.len())
-                .map(|s| RwLock::new(self.read_shard(s).rebuild_cold(num_users)))
-                .collect(),
+            num_users,
+            remaps,
+            shards,
         }
     }
 }
@@ -731,6 +915,71 @@ mod tests {
     }
 
     #[test]
+    fn shard_universes_are_owned_sized_not_global_sized() {
+        let m = fixture();
+        let part = sharded(&m, 3);
+        let sel = PeerSelector::new(0.0).unwrap();
+        let index = ShardedPeerIndex::new(sel, part.spec(), m.num_users());
+        let mut total = 0u32;
+        for s in 0..3usize {
+            let local = index.read_shard(s).num_users();
+            assert_eq!(
+                local,
+                part.users_of_shard(s).len() as u32,
+                "shard {s} universe must be its owned count"
+            );
+            total += local;
+        }
+        assert_eq!(total, m.num_users(), "slots partition the universe");
+    }
+
+    #[test]
+    fn adopted_lists_serve_like_the_in_process_warm() {
+        let m = fixture();
+        let sel = PeerSelector::new(0.0).unwrap();
+        for s in [1u32, 2, 3, 8] {
+            let part = sharded(&m, s);
+            let measure = ShardedRatingsSimilarity::new(&part);
+            let warmed = ShardedPeerIndex::new(sel, part.spec(), m.num_users());
+            warmed.warm_symmetric(&measure, Parallelism::Sequential);
+
+            // Rebuild the finished lists from the distributable unit —
+            // the per-pair edge tasks — and adopt them cold.
+            let mut lists: Vec<Peers> = vec![Peers::new(); m.num_users() as usize];
+            for a in 0..s as usize {
+                for b in a..s as usize {
+                    for (u, v, sim) in
+                        shard_pair_edges(&part, a, b, m.num_users(), 2, sel.delta)
+                    {
+                        lists[u.index()].push((v, sim));
+                        lists[v.index()].push((u, sim));
+                    }
+                }
+            }
+            for list in &mut lists {
+                PeerSelector::canonicalize(list);
+            }
+            let adopted = ShardedPeerIndex::new(sel, part.spec(), m.num_users());
+            assert_eq!(
+                adopted.adopt_full_lists(lists.clone()),
+                Some(m.num_users() as usize)
+            );
+            for u in m.user_ids() {
+                assert_eq!(
+                    adopted.cached_full(u),
+                    warmed.cached_full(u),
+                    "S={s}, user {u}"
+                );
+            }
+            // A non-cold index refuses adoption.
+            assert_eq!(adopted.adopt_full_lists(lists), None);
+            // So does a universe-size mismatch.
+            let fresh = ShardedPeerIndex::new(sel, part.spec(), m.num_users());
+            assert_eq!(fresh.adopt_full_lists(Vec::new()), None);
+        }
+    }
+
+    #[test]
     fn lookups_route_to_the_owning_shard() {
         let m = fixture();
         let sel = PeerSelector::new(0.0).unwrap();
@@ -739,9 +988,12 @@ mod tests {
         let index = ShardedPeerIndex::new(sel, part.spec(), m.num_users());
         let u = UserId::new(2);
         let first = index.full_peers(&measure, u);
-        // Only the owning shard gained a cached slot.
+        // Only the owning shard gained a cached slot — at the user's
+        // *local* position.
         assert_eq!(index.num_cached(), 1);
-        assert!(index.read_shard(index.shard_of(u)).cached_full(u).is_some());
+        let s = index.shard_of(u);
+        assert_eq!(index.read_shard(s).num_cached(), 1);
+        assert!(index.cached_full(u).is_some());
         let again = index.full_peers(&measure, u);
         assert!(Arc::ptr_eq(&first, &again), "second read is a cache hit");
         // Out-of-universe users answer empty without caching anything.

@@ -27,6 +27,7 @@ mod ids;
 mod matrix;
 mod parallel;
 mod rating;
+mod reads;
 mod serving;
 mod shard;
 mod topk;
@@ -36,6 +37,7 @@ pub use ids::{ConceptId, GroupId, IdGen, ItemId, UserId};
 pub use matrix::{MatrixStats, RatingMatrix, RatingMatrixBuilder, RatingTriple};
 pub use parallel::Parallelism;
 pub use rating::{Rating, Relevance, RATING_MAX, RATING_MIN};
+pub use reads::RatingsRead;
 pub use serving::Deadline;
-pub use shard::{ShardSpec, ShardedRatingMatrix};
+pub use shard::{IdRemap, ShardMatrix, ShardSpec, ShardedRatingMatrix};
 pub use topk::{ScoredItem, TopK};

@@ -510,6 +510,29 @@ impl RatingMatrix {
         };
     }
 
+    /// Extends the user id space to at least `n_users` (empty rows).
+    ///
+    /// The shard layer drives this when a remap admits newly grown
+    /// global ids into a shard: the compacted local matrix must add a
+    /// dense row per admitted user before any of their ratings arrive.
+    /// A no-op when the space is already that large; never shrinks.
+    pub fn grow_user_space(&mut self, n_users: u32) {
+        if n_users > self.n_users {
+            self.grow_users(UserId::new(n_users - 1));
+        }
+    }
+
+    /// Bytes held by the user-axis metadata arrays (CSR offsets, cached
+    /// means, degrees) — the allocations that scale with the *id space*
+    /// rather than with the stored ratings. The shard-memory bench
+    /// ratio compares this figure per shard against the monolithic
+    /// matrix.
+    pub fn user_axis_bytes(&self) -> usize {
+        self.user_offsets.len() * std::mem::size_of::<u32>()
+            + self.user_means.len() * std::mem::size_of::<f64>()
+            + self.user_degrees.len() * std::mem::size_of::<u32>()
+    }
+
     /// Extends the user id space to cover `user` (empty rows).
     fn grow_users(&mut self, user: UserId) {
         if user.raw() < self.n_users {

@@ -5,31 +5,43 @@
 //! shards so that cold peer builds (and their memory) scale out instead
 //! of up. [`ShardedRatingMatrix`] hash-partitions the **user** dimension:
 //! every user is owned by exactly one shard ([`ShardSpec::shard_of`]),
-//! and each shard holds a [`RatingMatrix`] containing *only its users'
-//! triples* while keeping the **global** id spaces. That one decision
-//! buys three properties the similarity layer depends on:
+//! and each shard holds a [`ShardMatrix`] — a [`RatingMatrix`] over a
+//! *compacted local user-id space* plus the [`IdRemap`] that ties local
+//! rows back to global ids. A shard owning `k` of `U` users allocates
+//! user-axis metadata (CSR offsets, means, degrees) of length `k`, not
+//! `U`, so per-shard memory is O(U/S) and the partition genuinely
+//! spreads residency, not just CPU.
+//!
+//! The remap is **monotone**: `owned` is the ascending list of global
+//! ids a shard holds, and local id = rank in that list. Ascending local
+//! order therefore *is* ascending global order inside a shard, which
+//! buys the three properties the similarity layer depends on:
 //!
 //! * **CSR rows are exact.** A user's ratings live wholly in their
-//!   owning shard, so `shard.items_of(u)`, `shard.scores_of(u)`, and the
-//!   cached mean `µ_u` are bitwise identical to the unsharded matrix
-//!   (same triples, same sorted build order, same left-to-right mean
-//!   summation).
-//! * **CSC columns are the shard-local view.** `shard.users_of(i)` is
-//!   `U(i)` restricted to the shard's users, still ascending by global
-//!   user id — exactly the candidate stream a shard-scoped Pearson
-//!   kernel pass needs, in exactly the order the monolithic kernel would
-//!   have visited those candidates.
+//!   owning shard, so the local row (items, scores) and the cached mean
+//!   `µ_u` are bitwise identical to the unsharded matrix (same triples,
+//!   same sorted build order, same left-to-right mean summation).
+//! * **CSC columns preserve the global merge-join order.** A shard
+//!   column stores *local* rater ids, but because the remap is monotone
+//!   those locals ascend exactly as their globals do — a kernel walking
+//!   the column visits candidates in the same order the monolithic
+//!   kernel would, so the Pearson accumulation order (and hence every
+//!   bit of every similarity) is unchanged. Translation back to global
+//!   ids happens only at the kernel boundary ([`IdRemap::global_of`]).
 //! * **Point mutations route.** `insert`/`update`/`remove` forward to
-//!   the owning shard's [`RatingMatrix`] mutation (unchanged), so the
-//!   incremental-ingestion contract ("patched ≡ rebuilt, bitwise")
-//!   holds per shard by the existing proptests.
+//!   the owning shard's local [`RatingMatrix`] mutation (unchanged), so
+//!   the incremental-ingestion contract ("patched ≡ rebuilt, bitwise")
+//!   holds per shard by the existing proptests. Universe growth admits
+//!   each new global id to its hash owner *incrementally* — new ids are
+//!   larger than all existing ones, so appending keeps every remap
+//!   sorted without a rescan.
 //!
-//! Out-of-range lookups on a shard matrix answer empty (the
-//! [`RatingMatrix`] guard), so shards whose id spaces lag behind a
+//! Out-of-range item lookups on a shard matrix answer empty (the
+//! [`RatingMatrix`] guard), so shards whose item spaces lag behind a
 //! growth event degrade safely: a column a shard has never seen is an
 //! empty column, which is also what it holds.
 
-use crate::error::Result;
+use crate::error::{FairrecError, Result};
 use crate::ids::{ItemId, UserId};
 use crate::matrix::{RatingMatrix, RatingMatrixBuilder, RatingTriple};
 use crate::rating::Rating;
@@ -54,7 +66,7 @@ impl ShardSpec {
     /// Rejects zero shards.
     pub fn new(num_shards: u32) -> Result<Self> {
         if num_shards == 0 {
-            return Err(crate::error::FairrecError::invalid_parameter(
+            return Err(FairrecError::invalid_parameter(
                 "num_shards",
                 "must be ≥ 1",
             ));
@@ -76,7 +88,22 @@ impl ShardSpec {
         ((u64::from(mixed) * u64::from(self.num_shards)) >> 32) as usize
     }
 
+    /// One [`IdRemap`] per shard covering the universe `0..num_users` —
+    /// a single O(U) enumeration at construction time. Per-call lookups
+    /// go through the maintained remaps instead
+    /// ([`ShardedRatingMatrix::users_of_shard`] is O(1)).
+    pub fn partition(&self, num_users: u32) -> Vec<IdRemap> {
+        let mut remaps: Vec<IdRemap> = (0..self.num_shards).map(|_| IdRemap::new()).collect();
+        for u in (0..num_users).map(UserId::new) {
+            remaps[self.shard_of(u)].push(u);
+        }
+        remaps
+    }
+
     /// The users of `0..num_users` owned by `shard`, ascending.
+    ///
+    /// O(U) full-range scan — construction/oracle use only; steady-state
+    /// callers read the owned list maintained by the remap.
     pub fn users_of_shard(&self, shard: usize, num_users: u32) -> Vec<UserId> {
         (0..num_users)
             .map(UserId::new)
@@ -85,37 +112,272 @@ impl ShardSpec {
     }
 }
 
-/// A user-partitioned [`RatingMatrix`]: one shard-local matrix per
-/// shard, each holding only its users' triples over the **global** id
-/// spaces. See the module docs for the invariants.
+/// A shard's global↔local user-id translation table.
+///
+/// `owned` is the ascending list of global ids the shard holds; a
+/// user's local id is their rank in that list. Because new users are
+/// only ever admitted with ids larger than every existing one, growth
+/// is an append and the list stays sorted — which keeps the remap
+/// *monotone* (local order ≡ global order), the invariant the kernel
+/// merge-joins rely on.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IdRemap {
+    owned: Vec<UserId>,
+}
+
+impl IdRemap {
+    /// An empty remap (no owned users).
+    pub fn new() -> Self {
+        Self { owned: Vec::new() }
+    }
+
+    /// Number of owned users (the size of the local id space).
+    pub fn len(&self) -> u32 {
+        self.owned.len() as u32
+    }
+
+    /// True when the shard owns no users.
+    pub fn is_empty(&self) -> bool {
+        self.owned.is_empty()
+    }
+
+    /// The owned global ids, ascending. Local id `l` maps to
+    /// `owned()[l]`.
+    pub fn owned(&self) -> &[UserId] {
+        &self.owned
+    }
+
+    /// The global id behind local id `local`.
+    ///
+    /// # Panics
+    /// Panics when `local` is outside the local id space.
+    pub fn global_of(&self, local: UserId) -> UserId {
+        self.owned[local.index()]
+    }
+
+    /// The local id of `global`, or `None` when this shard does not own
+    /// it. O(log k) binary search over the owned list.
+    pub fn local_of(&self, global: UserId) -> Option<UserId> {
+        self.owned
+            .binary_search(&global)
+            .ok()
+            .map(|rank| UserId::new(rank as u32))
+    }
+
+    /// Number of owned users with global id strictly below `bound` —
+    /// equivalently, the first local id whose global id is `≥ bound`.
+    /// This is how a *global* universe bound (or an above-only pivot)
+    /// translates into the local id space.
+    pub fn rank_of_bound(&self, bound: u32) -> u32 {
+        self.owned.partition_point(|g| g.raw() < bound) as u32
+    }
+
+    /// Admits `global` as the next local id.
+    ///
+    /// # Panics
+    /// Debug-asserts monotonicity: `global` must exceed every owned id.
+    pub fn push(&mut self, global: UserId) {
+        debug_assert!(
+            self.owned.last().map_or(true, |&last| last < global),
+            "remap admissions must be ascending (got {global} after {:?})",
+            self.owned.last()
+        );
+        self.owned.push(global);
+    }
+}
+
+/// One shard of a [`ShardedRatingMatrix`]: a [`RatingMatrix`] whose
+/// user axis is the *compacted local id space* (dense rows
+/// `0..remap.len()`), plus the [`IdRemap`] back to global ids. The item
+/// axis stays global. Global-facing accessors translate at the edge;
+/// kernels that want the raw local view take [`local`](Self::local) and
+/// [`remap`](Self::remap) directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardMatrix {
+    remap: IdRemap,
+    local: RatingMatrix,
+}
+
+impl ShardMatrix {
+    /// The global↔local translation table.
+    pub fn remap(&self) -> &IdRemap {
+        &self.remap
+    }
+
+    /// The compacted local matrix (user axis `0..remap.len()`, item
+    /// axis global).
+    pub fn local(&self) -> &RatingMatrix {
+        &self.local
+    }
+
+    /// Items rated by global user `user`, ascending — empty when the
+    /// shard does not own the user.
+    pub fn items_of(&self, user: UserId) -> &[ItemId] {
+        self.remap
+            .local_of(user)
+            .map_or(&[], |l| self.local.items_of(l))
+    }
+
+    /// Scores parallel to [`items_of`](Self::items_of).
+    pub fn scores_of(&self, user: UserId) -> &[f64] {
+        self.remap
+            .local_of(user)
+            .map_or(&[], |l| self.local.scores_of(l))
+    }
+
+    /// `(item, score)` pairs of global user `user`, ascending by item.
+    pub fn ratings_of(&self, user: UserId) -> impl Iterator<Item = (ItemId, f64)> + '_ {
+        self.items_of(user)
+            .iter()
+            .copied()
+            .zip(self.scores_of(user).iter().copied())
+    }
+
+    /// Raters of `item` owned by this shard as `(global id, score)`,
+    /// ascending by global id (the column stores locals; the monotone
+    /// remap makes the translated stream ascend).
+    pub fn raters_of(&self, item: ItemId) -> impl Iterator<Item = (UserId, f64)> + '_ {
+        self.local
+            .raters_of(item)
+            .map(|(l, r)| (self.remap.global_of(l), r))
+    }
+
+    /// `rating(user, item)` for a global user id.
+    pub fn rating(&self, user: UserId, item: ItemId) -> Option<f64> {
+        self.remap
+            .local_of(user)
+            .and_then(|l| self.local.rating(l, item))
+    }
+
+    /// True when the shard stores `(user, item)`.
+    pub fn has_rated(&self, user: UserId, item: ItemId) -> bool {
+        self.rating(user, item).is_some()
+    }
+
+    /// `µ_user` for a global user id (`None` when unowned or rating-less).
+    pub fn user_mean(&self, user: UserId) -> Option<f64> {
+        self.remap.local_of(user).and_then(|l| self.local.user_mean(l))
+    }
+
+    /// Number of ratings by global user `user`.
+    pub fn degree_of(&self, user: UserId) -> usize {
+        self.remap
+            .local_of(user)
+            .map_or(0, |l| self.local.degree_of(l))
+    }
+
+    /// Stored ratings in this shard.
+    pub fn num_ratings(&self) -> usize {
+        self.local.num_ratings()
+    }
+
+    /// Bytes of user-axis metadata: the compacted local arrays plus the
+    /// remap table itself.
+    pub fn user_axis_bytes(&self) -> usize {
+        self.local.user_axis_bytes() + self.remap.owned().len() * std::mem::size_of::<UserId>()
+    }
+
+    /// This shard's triples under **global** ids, sorted `(user, item)`
+    /// (local user order is global order, so translation preserves the
+    /// sort).
+    pub fn to_triples(&self) -> Vec<RatingTriple> {
+        let mut out = self.local.to_triples();
+        for t in &mut out {
+            t.user = self.remap.global_of(t.user);
+        }
+        out
+    }
+
+    /// Admits global id `global` as the next local row (empty).
+    fn admit_user(&mut self, global: UserId) {
+        self.remap.push(global);
+        self.local.grow_user_space(self.remap.len());
+    }
+
+    /// Maps a mutation error's local user id back to the global id the
+    /// caller speaks.
+    fn globalize_err(&self, err: FairrecError, global: UserId) -> FairrecError {
+        match err {
+            FairrecError::DuplicateRating { item, .. } => FairrecError::DuplicateRating {
+                user: global,
+                item,
+            },
+            FairrecError::MissingRating { item, .. } => FairrecError::MissingRating {
+                user: global,
+                item,
+            },
+            other => other,
+        }
+    }
+}
+
+/// A user-partitioned [`RatingMatrix`]: one compacted [`ShardMatrix`]
+/// per shard. See the module docs for the invariants.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ShardedRatingMatrix {
     spec: ShardSpec,
-    shards: Vec<RatingMatrix>,
+    shards: Vec<ShardMatrix>,
     n_users: u32,
     n_items: u32,
 }
 
 impl ShardedRatingMatrix {
-    /// Partitions `matrix` into `spec.num_shards()` shard-local matrices.
+    /// Partitions `matrix` into `spec.num_shards()` compacted
+    /// shard-local matrices.
     ///
     /// # Errors
     /// Propagates shard-matrix build failures (cannot occur for a valid
     /// source matrix — its triples are already duplicate-free).
     pub fn from_matrix(matrix: &RatingMatrix, spec: ShardSpec) -> Result<Self> {
-        let (n_users, n_items) = (matrix.num_users(), matrix.num_items());
-        let mut builders: Vec<RatingMatrixBuilder> = (0..spec.num_shards())
-            .map(|_| RatingMatrixBuilder::new().reserve_ids(n_users, n_items))
+        Self::from_triples(&matrix.to_triples(), spec, matrix.num_users(), matrix.num_items())
+    }
+
+    /// Builds the partition directly from a triple relation — the
+    /// batch-ingest path, which must never materialise a transient
+    /// monolithic matrix. Dimensions are the larger of the occupied
+    /// space and the `min_*` floors.
+    ///
+    /// # Errors
+    /// Propagates shard-matrix build failures (duplicate pairs).
+    pub fn from_triples(
+        triples: &[RatingTriple],
+        spec: ShardSpec,
+        min_users: u32,
+        min_items: u32,
+    ) -> Result<Self> {
+        let n_users = triples
+            .iter()
+            .map(|t| t.user.raw() + 1)
+            .max()
+            .unwrap_or(0)
+            .max(min_users);
+        let n_items = triples
+            .iter()
+            .map(|t| t.item.raw() + 1)
+            .max()
+            .unwrap_or(0)
+            .max(min_items);
+        let remaps = spec.partition(n_users);
+        let mut builders: Vec<RatingMatrixBuilder> = remaps
+            .iter()
+            .map(|remap| RatingMatrixBuilder::new().reserve_ids(remap.len(), n_items))
             .collect();
-        for u in matrix.user_ids() {
-            let builder = &mut builders[spec.shard_of(u)];
-            for (item, score) in matrix.ratings_of(u) {
-                builder.add(u, item, Rating::saturating(score));
-            }
+        for t in triples {
+            let s = spec.shard_of(t.user);
+            let local = remaps[s]
+                .local_of(t.user)
+                .expect("partition covers the whole universe");
+            builders[s].add(local, t.item, t.rating);
         }
-        let shards = builders
+        let shards = remaps
             .into_iter()
-            .map(RatingMatrixBuilder::build)
+            .zip(builders)
+            .map(|(remap, builder)| {
+                Ok(ShardMatrix {
+                    remap,
+                    local: builder.build()?,
+                })
+            })
             .collect::<Result<Vec<_>>>()?;
         Ok(Self {
             spec,
@@ -144,17 +406,17 @@ impl ShardedRatingMatrix {
     ///
     /// # Panics
     /// Panics when `s ≥ num_shards`.
-    pub fn shard(&self, s: usize) -> &RatingMatrix {
+    pub fn shard(&self, s: usize) -> &ShardMatrix {
         &self.shards[s]
     }
 
     /// All shard-local matrices, in shard order.
-    pub fn shards(&self) -> &[RatingMatrix] {
+    pub fn shards(&self) -> &[ShardMatrix] {
         &self.shards
     }
 
     /// The shard matrix holding `user`'s CSR row (and mean).
-    pub fn owning_shard(&self, user: UserId) -> &RatingMatrix {
+    pub fn owning_shard(&self, user: UserId) -> &ShardMatrix {
         &self.shards[self.shard_of(user)]
     }
 
@@ -170,13 +432,30 @@ impl ShardedRatingMatrix {
 
     /// Total stored ratings across all shards.
     pub fn num_ratings(&self) -> usize {
-        self.shards.iter().map(RatingMatrix::num_ratings).sum()
+        self.shards.iter().map(ShardMatrix::num_ratings).sum()
+    }
+
+    /// Total user-axis metadata bytes across all shards (compacted
+    /// arrays + remap tables).
+    pub fn user_axis_bytes(&self) -> usize {
+        self.shards.iter().map(ShardMatrix::user_axis_bytes).sum()
+    }
+
+    /// The largest single shard's user-axis metadata bytes — the
+    /// per-process residency a distributed deployment would pay.
+    pub fn max_shard_user_axis_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(ShardMatrix::user_axis_bytes)
+            .max()
+            .unwrap_or(0)
     }
 
     /// The users owned by shard `s` within the global universe,
-    /// ascending.
-    pub fn users_of_shard(&self, s: usize) -> Vec<UserId> {
-        self.spec.users_of_shard(s, self.n_users)
+    /// ascending. O(1): this is the remap's maintained owned list, kept
+    /// exact across growth by the append-only admission rule.
+    pub fn users_of_shard(&self, s: usize) -> &[UserId] {
+        self.shards[s].remap.owned()
     }
 
     /// Looks up `rating(u, i)` in the owning shard.
@@ -184,16 +463,55 @@ impl ShardedRatingMatrix {
         self.owning_shard(user).rating(user, item)
     }
 
-    /// Inserts a rating into the owning shard (growing the global id
-    /// spaces when needed).
+    /// True when the owning shard stores `(user, item)`.
+    pub fn has_rated(&self, user: UserId, item: ItemId) -> bool {
+        self.owning_shard(user).has_rated(user, item)
+    }
+
+    /// `µ_user` from the owning shard.
+    pub fn user_mean(&self, user: UserId) -> Option<f64> {
+        self.owning_shard(user).user_mean(user)
+    }
+
+    /// Number of ratings by `user`.
+    pub fn degree_of(&self, user: UserId) -> usize {
+        self.owning_shard(user).degree_of(user)
+    }
+
+    /// Inserts a rating into the owning shard, growing the global id
+    /// spaces when needed. Growth admits every new global id
+    /// `n_users..=user` to its hash owner — an append per id, keeping
+    /// all remaps sorted without a rescan.
     ///
     /// # Errors
-    /// Propagates [`RatingMatrix::insert_rating`] errors; the sharded
-    /// matrix is untouched on error.
+    /// Propagates [`RatingMatrix::insert_rating`] errors (with global
+    /// user ids); the stored relation is untouched on error.
     pub fn insert_rating(&mut self, user: UserId, item: ItemId, rating: Rating) -> Result<()> {
-        let s = self.shard_of(user);
-        self.shards[s].insert_rating(user, item, rating)?;
+        if user.raw() == u32::MAX {
+            return Err(FairrecError::invalid_parameter(
+                "user",
+                "id u32::MAX is reserved",
+            ));
+        }
+        // Admit any universe growth first; admissions are per-id
+        // appends and harmless if the insert below then fails
+        // (admitting a user is not observable through the relation).
+        for g in self.n_users..=user.raw() {
+            let g = UserId::new(g);
+            let s = self.spec.shard_of(g);
+            self.shards[s].admit_user(g);
+        }
         self.n_users = self.n_users.max(user.raw() + 1);
+        let s = self.shard_of(user);
+        let shard = &mut self.shards[s];
+        let local = shard
+            .remap
+            .local_of(user)
+            .expect("owning shard admitted the user");
+        shard
+            .local
+            .insert_rating(local, item, rating)
+            .map_err(|e| shard.globalize_err(e, user))?;
         self.n_items = self.n_items.max(item.raw() + 1);
         Ok(())
     }
@@ -202,26 +520,42 @@ impl ShardedRatingMatrix {
     /// previous score.
     ///
     /// # Errors
-    /// Propagates [`RatingMatrix::update_rating`] errors.
+    /// Propagates [`RatingMatrix::update_rating`] errors (with global
+    /// user ids).
     pub fn update_rating(&mut self, user: UserId, item: ItemId, rating: Rating) -> Result<f64> {
         let s = self.shard_of(user);
-        self.shards[s].update_rating(user, item, rating)
+        let shard = &mut self.shards[s];
+        let Some(local) = shard.remap.local_of(user) else {
+            return Err(FairrecError::MissingRating { user, item });
+        };
+        shard
+            .local
+            .update_rating(local, item, rating)
+            .map_err(|e| shard.globalize_err(e, user))
     }
 
     /// Removes an existing rating from the owning shard; returns the
     /// removed score. Id spaces never shrink.
     ///
     /// # Errors
-    /// Propagates [`RatingMatrix::remove_rating`] errors.
+    /// Propagates [`RatingMatrix::remove_rating`] errors (with global
+    /// user ids).
     pub fn remove_rating(&mut self, user: UserId, item: ItemId) -> Result<f64> {
         let s = self.shard_of(user);
-        self.shards[s].remove_rating(user, item)
+        let shard = &mut self.shards[s];
+        let Some(local) = shard.remap.local_of(user) else {
+            return Err(FairrecError::MissingRating { user, item });
+        };
+        shard
+            .local
+            .remove_rating(local, item)
+            .map_err(|e| shard.globalize_err(e, user))
     }
 
     /// Re-materialises the full triple relation, sorted `(user, item)` —
     /// the union of every shard's relation.
     pub fn to_triples(&self) -> Vec<RatingTriple> {
-        let mut out: Vec<RatingTriple> = self.shards.iter().flat_map(|m| m.to_triples()).collect();
+        let mut out: Vec<RatingTriple> = self.shards.iter().flat_map(ShardMatrix::to_triples).collect();
         out.sort_unstable_by_key(|t| (t.user, t.item));
         out
     }
@@ -267,14 +601,38 @@ mod tests {
     }
 
     #[test]
+    fn remap_is_monotone_and_translates_both_ways() {
+        let spec = ShardSpec::new(3).unwrap();
+        let remaps = spec.partition(50);
+        for (s, remap) in remaps.iter().enumerate() {
+            assert_eq!(remap.owned(), spec.users_of_shard(s, 50).as_slice());
+            assert!(remap.owned().windows(2).all(|w| w[0] < w[1]), "sorted");
+            for (local, &global) in remap.owned().iter().enumerate() {
+                let local = UserId::new(local as u32);
+                assert_eq!(remap.global_of(local), global);
+                assert_eq!(remap.local_of(global), Some(local));
+            }
+            // A global bound translates to the local rank below it.
+            for bound in [0u32, 1, 17, 50, 60] {
+                let expect = remap.owned().iter().filter(|g| g.raw() < bound).count();
+                assert_eq!(remap.rank_of_bound(bound) as usize, expect);
+            }
+        }
+        let total: u32 = remaps.iter().map(IdRemap::len).sum();
+        assert_eq!(total, 50);
+    }
+
+    #[test]
     fn single_shard_is_the_whole_matrix() {
         let m = sample();
         let sharded = ShardedRatingMatrix::from_matrix(&m, ShardSpec::new(1).unwrap()).unwrap();
-        // Derived `PartialEq` cannot compare NaN mean slots; the relation
-        // plus the dimensions pin the equality.
+        // With one shard the remap is the identity, so the local matrix
+        // *is* the monolithic matrix. Derived `PartialEq` cannot compare
+        // NaN mean slots; the relation plus the dimensions pin the
+        // equality.
         assert_eq!(sharded.shard(0).to_triples(), m.to_triples());
-        assert_eq!(sharded.shard(0).num_users(), m.num_users());
-        assert_eq!(sharded.shard(0).num_items(), m.num_items());
+        assert_eq!(sharded.shard(0).local().num_users(), m.num_users());
+        assert_eq!(sharded.shard(0).local().num_items(), m.num_items());
         assert_eq!(sharded.num_ratings(), m.num_ratings());
     }
 
@@ -290,19 +648,41 @@ mod tests {
                 let owner = sharded.owning_shard(u);
                 assert_eq!(owner.items_of(u), m.items_of(u), "S={s}, row of {u}");
                 assert_eq!(owner.scores_of(u), m.scores_of(u), "S={s}, scores of {u}");
+                let local = owner.remap().local_of(u).expect("owned");
                 assert_eq!(
-                    owner.user_means()[u.index()].to_bits(),
+                    owner.local().user_means()[local.index()].to_bits(),
                     m.user_means()[u.index()].to_bits(),
                     "S={s}, mean of {u}"
                 );
-                // Every *other* shard holds an empty row for u.
+                // Every *other* shard neither owns u nor holds a row.
                 for (t, shard) in sharded.shards().iter().enumerate() {
                     if t != sharded.shard_of(u) {
+                        assert!(shard.remap().local_of(u).is_none(), "S={s}, shard {t}");
                         assert!(shard.items_of(u).is_empty(), "S={s}, shard {t}, user {u}");
                     }
                 }
             }
             assert_eq!(sharded.to_triples(), m.to_triples());
+        }
+    }
+
+    #[test]
+    fn shard_metadata_is_owned_sized_not_global_sized() {
+        let m = sample();
+        for s in [2u32, 3, 8] {
+            let sharded = ShardedRatingMatrix::from_matrix(&m, ShardSpec::new(s).unwrap()).unwrap();
+            let mut owned_total = 0u32;
+            for (t, shard) in sharded.shards().iter().enumerate() {
+                let owned = sharded.users_of_shard(t).len() as u32;
+                assert_eq!(
+                    shard.local().num_users(),
+                    owned,
+                    "S={s}: shard {t} user axis is owned-sized"
+                );
+                assert_eq!(shard.remap().len(), owned);
+                owned_total += owned;
+            }
+            assert_eq!(owned_total, m.num_users(), "S={s}: shards tile the universe");
         }
     }
 
@@ -320,10 +700,14 @@ mod tests {
             let full: Vec<(UserId, f64)> = m.raters_of(i).collect();
             assert_eq!(union, full, "column {i}");
             for (t, shard) in sharded.shards().iter().enumerate() {
+                // Columns hold only owned users, and the translated
+                // stream ascends by global id (monotone remap).
+                let col: Vec<UserId> = shard.raters_of(i).map(|(u, _)| u).collect();
                 assert!(
-                    shard.users_of(i).iter().all(|&u| sharded.shard_of(u) == t),
+                    col.iter().all(|&u| sharded.shard_of(u) == t),
                     "column {i} of shard {t} holds only owned users"
                 );
+                assert!(col.windows(2).all(|w| w[0] < w[1]), "column {i} ascends");
             }
         }
     }
@@ -353,5 +737,59 @@ mod tests {
         assert!(sharded
             .insert_rating(UserId::new(12), ItemId::new(9), r(1.0))
             .is_err());
+        // Errors speak global ids even though storage is local.
+        match sharded.insert_rating(UserId::new(12), ItemId::new(9), r(1.0)) {
+            Err(FairrecError::DuplicateRating { user, item }) => {
+                assert_eq!(user, UserId::new(12));
+                assert_eq!(item, ItemId::new(9));
+            }
+            other => panic!("expected DuplicateRating, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn growth_keeps_owned_lists_sorted_and_exact() {
+        let m = sample();
+        let spec = ShardSpec::new(3).unwrap();
+        let mut sharded = ShardedRatingMatrix::from_matrix(&m, spec).unwrap();
+        // Grow the universe in two uneven jumps; each new id must land
+        // in its hash owner's remap, in order, with no rescan drift.
+        sharded
+            .insert_rating(UserId::new(14), ItemId::new(2), r(3.0))
+            .unwrap();
+        sharded
+            .insert_rating(UserId::new(21), ItemId::new(0), r(4.5))
+            .unwrap();
+        let n = sharded.num_users();
+        assert_eq!(n, 22);
+        let mut total = 0usize;
+        for s in 0..spec.num_shards() as usize {
+            let owned = sharded.users_of_shard(s);
+            assert!(owned.windows(2).all(|w| w[0] < w[1]), "shard {s} sorted");
+            assert_eq!(
+                owned,
+                spec.users_of_shard(s, n).as_slice(),
+                "shard {s} exact vs the O(U) oracle"
+            );
+            // The local matrix grew in lockstep with the remap.
+            assert_eq!(sharded.shard(s).local().num_users(), owned.len() as u32);
+            total += owned.len();
+        }
+        assert_eq!(total, n as usize);
+    }
+
+    #[test]
+    fn from_triples_matches_from_matrix() {
+        let m = sample();
+        for s in [1u32, 2, 3, 8] {
+            let spec = ShardSpec::new(s).unwrap();
+            let via_matrix = ShardedRatingMatrix::from_matrix(&m, spec).unwrap();
+            let via_triples =
+                ShardedRatingMatrix::from_triples(&m.to_triples(), spec, m.num_users(), m.num_items())
+                    .unwrap();
+            assert_eq!(via_matrix.to_triples(), via_triples.to_triples());
+            assert_eq!(via_matrix.num_users(), via_triples.num_users());
+            assert_eq!(via_matrix.num_items(), via_triples.num_items());
+        }
     }
 }

@@ -36,7 +36,7 @@ fn caregiver_flow_with_default_model() {
     // Package items were never rated by any member.
     for item in &rec.items {
         for &member in group.members() {
-            assert!(!engine.matrix().has_rated(member, item.item));
+            assert!(!engine.ratings().has_rated(member, item.item));
         }
     }
     // Group relevance values are inside the rating range.
