@@ -489,8 +489,7 @@ impl RecommenderEngine {
         match config.similarity {
             SimilarityKind::Ratings => match store {
                 RatingStore::Mono(matrix) => Box::new(
-                    RatingsSimilarity::new(Arc::clone(matrix))
-                        .with_min_overlap(config.min_overlap),
+                    RatingsSimilarity::new(Arc::clone(matrix)).with_min_overlap(config.min_overlap),
                 ),
                 RatingStore::Sharded(sharded) => Box::new(
                     ShardedRatingsSimilarity::new(Arc::clone(sharded))
@@ -1187,6 +1186,23 @@ impl RecommenderEngine {
         &self,
         requests: &[(Group, usize)],
     ) -> Vec<Result<GroupRecommendation>> {
+        self.recommend_requests_budgeted(requests, &|_| true)
+    }
+
+    /// [`recommend_requests`](Self::recommend_requests) with a
+    /// cooperative deadline budget: `should_compute(idx)` is consulted
+    /// immediately before request `idx`'s kernel work would start, and a
+    /// `false` answer skips the request with
+    /// [`FairrecError::DeadlineExpired`] instead of computing it. This is
+    /// the checkpoint the serving dispatcher uses to stop burning kernel
+    /// time mid-batch once every remaining waiter's deadline has lapsed —
+    /// already-started requests run to completion (the kernel itself is
+    /// not interruptible), but no *further* request of the batch starts.
+    pub fn recommend_requests_budgeted(
+        &self,
+        requests: &[(Group, usize)],
+        should_compute: &(dyn Fn(usize) -> bool + Sync),
+    ) -> Vec<Result<GroupRecommendation>> {
         // One level of parallelism: when requests fan out across threads,
         // each request's inner stages run sequentially — nested fan-out
         // would oversubscribe the pool for no gain (a group is already a
@@ -1196,11 +1212,18 @@ impl RecommenderEngine {
         } else {
             self.config.parallelism
         };
-        self.config
-            .parallelism
-            .map(requests.to_vec(), |(group, z)| {
-                self.recommend_with(&group, z, inner)
-            })
+        let indexed: Vec<(usize, Group, usize)> = requests
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(idx, (group, z))| (idx, group, z))
+            .collect();
+        self.config.parallelism.map(indexed, |(idx, group, z)| {
+            if !should_compute(idx) {
+                return Err(FairrecError::DeadlineExpired);
+            }
+            self.recommend_with(&group, z, inner)
+        })
     }
 }
 

@@ -63,12 +63,23 @@
 
 use crate::engine::{GroupRecommendation, RecommenderEngine};
 use fairrec_core::group::Group;
+use fairrec_mapreduce::fault::{self, FaultSite};
 use fairrec_types::{Deadline, FairrecError, Result, UserId};
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
+
+/// Locks `mutex`, recovering from poison instead of amplifying the
+/// poisoning panic. Server state behind these locks is a plain value
+/// store (queues, maps, counters, option cells) that is never left
+/// mid-transition by the code that holds the lock, so the recovered
+/// guard is safe to use — and a waiter blocked on a poisoned lock gets
+/// its result (or a typed error) instead of a secondary panic.
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Knobs of the streaming front-end.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,6 +125,13 @@ pub struct ServerStats {
     pub rejected_queue_full: u64,
     /// Requests rejected at admission or dispatch with a lapsed deadline.
     pub rejected_deadline: u64,
+    /// Dispatcher panics caught and converted to typed rejections (the
+    /// dispatcher survives; every waiter of the batch gets an error).
+    pub panics_caught: u64,
+    /// Requests skipped by the mid-batch deadline-budget checkpoint:
+    /// their waiters had all lapsed after dispatch started, so no
+    /// further kernel time was spent on them.
+    pub budget_cancelled: u64,
 }
 
 #[derive(Debug, Default)]
@@ -124,6 +142,8 @@ struct Stats {
     batches: AtomicU64,
     rejected_queue_full: AtomicU64,
     rejected_deadline: AtomicU64,
+    panics_caught: AtomicU64,
+    budget_cancelled: AtomicU64,
 }
 
 impl Stats {
@@ -135,6 +155,8 @@ impl Stats {
             batches: self.batches.load(Ordering::Acquire),
             rejected_queue_full: self.rejected_queue_full.load(Ordering::Acquire),
             rejected_deadline: self.rejected_deadline.load(Ordering::Acquire),
+            panics_caught: self.panics_caught.load(Ordering::Acquire),
+            budget_cancelled: self.budget_cancelled.load(Ordering::Acquire),
         }
     }
 }
@@ -162,6 +184,10 @@ enum SlotPhase {
 struct SlotInner {
     phase: SlotPhase,
     waiters: Vec<Arc<Waiter>>,
+    /// Set by the first delivery; makes `finish_slot` idempotent so a
+    /// redelivery (e.g. along a panic-recovery path) cannot double-count
+    /// completions or re-notify waiters.
+    finished: bool,
 }
 
 /// One admitted `(group, z)` computation and everyone waiting on it.
@@ -194,9 +220,11 @@ impl Waiter {
     }
 
     /// First completion wins; later completions (benign races between a
-    /// triage rejection and a delivery) are dropped.
+    /// triage rejection and a delivery) are dropped. Poison on the cell
+    /// is recovered — a delivery must never be lost to someone else's
+    /// panic.
     fn complete(&self, outcome: Result<Arc<GroupRecommendation>>) {
-        let mut cell = self.result.lock().expect("response cell poisoned");
+        let mut cell = lock_recover(&self.result);
         if cell.is_none() {
             *cell = Some(outcome);
             self.ready.notify_all();
@@ -252,21 +280,33 @@ impl Ticket {
     ///
     /// # Errors
     /// [`FairrecError::DeadlineExpired`] when the budget ran out first;
-    /// otherwise whatever the computation produced (a rejection recorded
-    /// by the server arrives through the same channel).
+    /// [`FairrecError::Internal`] when the response cell was poisoned by
+    /// a panicking completer (the waiter degrades to a typed error
+    /// instead of amplifying the panic); otherwise whatever the
+    /// computation produced (a rejection recorded by the server arrives
+    /// through the same channel).
     pub fn wait(self) -> Result<Arc<GroupRecommendation>> {
-        let mut cell = self.waiter.result.lock().expect("response cell poisoned");
+        // A poisoned cell means a completer panicked mid-delivery; any
+        // result already stored is still readable, but waiting further
+        // could hang forever — surface a typed error instead.
+        let poisoned = || FairrecError::internal("response cell poisoned by a panicking completer");
+        let mut cell = match self.waiter.result.lock() {
+            Ok(cell) => cell,
+            Err(poison) => {
+                let cell = poison.into_inner();
+                return match cell.as_ref() {
+                    Some(outcome) => outcome.clone(),
+                    None => Err(poisoned()),
+                };
+            }
+        };
         loop {
             if let Some(outcome) = cell.as_ref() {
                 return outcome.clone();
             }
             match self.waiter.deadline.remaining() {
                 None => {
-                    cell = self
-                        .waiter
-                        .ready
-                        .wait(cell)
-                        .expect("response cell poisoned");
+                    cell = self.waiter.ready.wait(cell).map_err(|_| poisoned())?;
                 }
                 Some(left) if left.is_zero() => return Err(FairrecError::DeadlineExpired),
                 Some(left) => {
@@ -274,7 +314,7 @@ impl Ticket {
                         .waiter
                         .ready
                         .wait_timeout(cell, left)
-                        .expect("response cell poisoned")
+                        .map_err(|_| poisoned())?
                         .0;
                 }
             }
@@ -291,7 +331,7 @@ pub struct Server {
 
 impl std::fmt::Debug for Server {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let state = self.core.state.lock().expect("admission lock poisoned");
+        let state = lock_recover(&self.core.state);
         f.debug_struct("Server")
             .field("config", &self.core.config)
             .field("queued", &state.queue.len())
@@ -341,7 +381,7 @@ impl Server {
     /// and the request coalesces with nothing in flight.
     pub fn submit(&self, group: Group, z: usize, deadline: Deadline) -> Result<Ticket> {
         let core = &self.core;
-        let mut state = core.state.lock().expect("admission lock poisoned");
+        let mut state = lock_recover(&core.state);
         if state.shutdown {
             return Err(FairrecError::ServerShutdown);
         }
@@ -351,7 +391,7 @@ impl Server {
         }
         let key: CoalesceKey = (group.members().to_vec(), z);
         if let Some(slot) = state.pending.get(&key) {
-            let joinable = match slot.inner.lock().expect("slot poisoned").phase {
+            let joinable = match lock_recover(&slot.inner).phase {
                 SlotPhase::Queued => true,
                 // The generation key: a computation started under an
                 // older token must not absorb requests admitted after a
@@ -362,11 +402,7 @@ impl Server {
             };
             if joinable {
                 let waiter = Arc::new(Waiter::new(deadline));
-                slot.inner
-                    .lock()
-                    .expect("slot poisoned")
-                    .waiters
-                    .push(Arc::clone(&waiter));
+                lock_recover(&slot.inner).waiters.push(Arc::clone(&waiter));
                 core.stats.coalesced.fetch_add(1, Ordering::AcqRel);
                 return Ok(Ticket {
                     waiter,
@@ -393,6 +429,7 @@ impl Server {
             inner: Mutex::new(SlotInner {
                 phase: SlotPhase::Queued,
                 waiters: vec![Arc::clone(&waiter)],
+                finished: false,
             }),
         });
         state.pending.insert(key, Arc::clone(&slot));
@@ -439,7 +476,7 @@ impl Server {
     pub fn shutdown(&self) -> ServerStats {
         let core = &self.core;
         {
-            let mut state = core.state.lock().expect("admission lock poisoned");
+            let mut state = lock_recover(&core.state);
             state.shutdown = true;
         }
         // Help drain inline: with the flag up nothing new is admitted,
@@ -447,7 +484,7 @@ impl Server {
         // drain under `workers: 0`).
         loop {
             let batch = {
-                let mut state = core.state.lock().expect("admission lock poisoned");
+                let mut state = lock_recover(&core.state);
                 if state.queue.is_empty() {
                     break;
                 }
@@ -455,9 +492,12 @@ impl Server {
             };
             core.compute_and_deliver(&batch);
         }
-        let mut state = core.state.lock().expect("admission lock poisoned");
+        let mut state = lock_recover(&core.state);
         while state.dispatchers > 0 {
-            state = core.idle.wait(state).expect("admission lock poisoned");
+            state = core
+                .idle
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
         }
         drop(state);
         core.stats.snapshot()
@@ -470,20 +510,47 @@ impl Drop for Server {
     }
 }
 
+/// Unwind safety net for a dispatcher job: if the loop leaves by panic
+/// (nothing inside is expected to — computation panics are caught per
+/// batch), the head-count still drops and shutdown still wakes, instead
+/// of waiting forever on a dispatcher that no longer exists.
+struct DispatcherGuard<'a> {
+    core: &'a Arc<ServerCore>,
+    armed: bool,
+}
+
+impl Drop for DispatcherGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            let mut state = lock_recover(&self.core.state);
+            state.dispatchers = state.dispatchers.saturating_sub(1);
+            if state.dispatchers == 0 {
+                self.core.idle.notify_all();
+            }
+        }
+    }
+}
+
 impl ServerCore {
     /// Body of one dispatcher job on the worker pool: claim → fan out →
     /// deliver, until the queue is empty. The exit decision and the
     /// decrement happen under the admission lock, pairing exactly with
-    /// `submit`'s spawn check.
+    /// `submit`'s spawn check; [`DispatcherGuard`] covers the
+    /// never-expected unwind path.
     fn dispatcher_loop(self: &Arc<Self>) {
+        let mut guard = DispatcherGuard {
+            core: self,
+            armed: true,
+        };
         loop {
             let batch = {
-                let mut state = self.state.lock().expect("admission lock poisoned");
+                let mut state = lock_recover(&self.state);
                 if state.queue.is_empty() {
                     state.dispatchers -= 1;
                     if state.dispatchers == 0 {
                         self.idle.notify_all();
                     }
+                    guard.armed = false;
                     return;
                 }
                 self.claim_batch(&mut state)
@@ -507,7 +574,7 @@ impl ServerCore {
                 break;
             };
             let live = {
-                let mut inner = slot.inner.lock().expect("slot poisoned");
+                let mut inner = lock_recover(&slot.inner);
                 let before = inner.waiters.len();
                 inner.waiters.retain(|w| {
                     if w.deadline.expired_at(now) {
@@ -553,19 +620,46 @@ impl ServerCore {
         }
     }
 
-    /// One fan-out over the claimed batch, then per-slot delivery. A
-    /// panic inside the engine is caught and delivered as a typed error
-    /// to every waiter of the batch (the dispatcher survives).
+    /// One fan-out over the claimed batch, then per-slot delivery.
+    ///
+    /// Two degradation mechanisms run here. A panic inside the engine
+    /// (or injected at the `Dispatch` fault site) is caught and
+    /// delivered as a typed [`FairrecError::Internal`] to every waiter
+    /// of the batch — the dispatcher survives. And the fan-out runs
+    /// through the engine's deadline-budget checkpoints: before each
+    /// request's kernel work starts, the dispatcher re-checks whether
+    /// that slot still has a live waiter, so a batch whose waiters all
+    /// lapsed mid-dispatch stops burning kernel time instead of running
+    /// to completion.
     fn compute_and_deliver(self: &Arc<Self>, batch: &[Arc<RequestSlot>]) {
         if batch.is_empty() {
             return;
         }
-        self.stats.batches.fetch_add(1, Ordering::AcqRel);
+        let batch_seq = self.stats.batches.fetch_add(1, Ordering::AcqRel);
         let specs: Vec<(Group, usize)> = batch
             .iter()
             .map(|slot| (slot.group.clone(), slot.z))
             .collect();
-        let outcomes = catch_unwind(AssertUnwindSafe(|| self.engine.recommend_requests(&specs)));
+        let skipped = AtomicU64::new(0);
+        let should_compute = |idx: usize| -> bool {
+            let inner = lock_recover(&batch[idx].inner);
+            let live = inner.waiters.iter().any(|w| !w.deadline.expired());
+            if !live {
+                skipped.fetch_add(1, Ordering::AcqRel);
+            }
+            live
+        };
+        let outcomes = catch_unwind(AssertUnwindSafe(|| {
+            let _ = fault::perturb(FaultSite::Dispatch, batch_seq, 0);
+            self.engine
+                .recommend_requests_budgeted(&specs, &should_compute)
+        }));
+        let cancelled = skipped.load(Ordering::Acquire);
+        if cancelled > 0 {
+            self.stats
+                .budget_cancelled
+                .fetch_add(cancelled, Ordering::AcqRel);
+        }
         match outcomes {
             Ok(outcomes) => {
                 for (slot, outcome) in batch.iter().zip(outcomes) {
@@ -573,10 +667,8 @@ impl ServerCore {
                 }
             }
             Err(_) => {
-                let err = FairrecError::invalid_parameter(
-                    "serving",
-                    "request computation panicked; batch rejected",
-                );
+                self.stats.panics_caught.fetch_add(1, Ordering::AcqRel);
+                let err = FairrecError::internal("request computation panicked; batch rejected");
                 for slot in batch {
                     self.finish_slot(slot, Err(err.clone()));
                 }
@@ -588,15 +680,20 @@ impl ServerCore {
     /// entry is unregistered (under the admission lock) **before** the
     /// waiters are taken: joins only happen through the pending map
     /// under that same lock, so no waiter can be added after the
-    /// take — nobody is left undelivered.
+    /// take — nobody is left undelivered. Idempotent: a second delivery
+    /// for the same slot is a no-op (the `finished` flag), so
+    /// panic-recovery redelivery cannot double-count completions.
     fn finish_slot(&self, slot: &Arc<RequestSlot>, outcome: Result<Arc<GroupRecommendation>>) {
         {
-            let mut state: MutexGuard<'_, Admission> =
-                self.state.lock().expect("admission lock poisoned");
+            let mut state: MutexGuard<'_, Admission> = lock_recover(&self.state);
             Self::unregister(&mut state, slot);
         }
         let waiters = {
-            let mut inner = slot.inner.lock().expect("slot poisoned");
+            let mut inner = lock_recover(&slot.inner);
+            if inner.finished {
+                return;
+            }
+            inner.finished = true;
             std::mem::take(&mut inner.waiters)
         };
         for waiter in waiters {

@@ -1,0 +1,443 @@
+//! Deterministic, seeded fault injection.
+//!
+//! A [`FaultPlan`] is a list of [`FaultRule`]s evaluated at named
+//! [`FaultSite`]s inside the MapReduce workers, the `WarmTask` pipeline,
+//! and the serving dispatcher. Every decision is a pure function of
+//! `(seed, rule index, site, task, attempt)` — re-running the same plan
+//! over the same job injects exactly the same faults, which is what lets
+//! the chaos suite assert *bitwise* output equality under injected
+//! panics, stalls, and duplicated/dropped task results.
+//!
+//! When no plan is installed the sites compile down to one relaxed
+//! atomic load (see [`perturb`]), so the hooks are free in production
+//! builds. Plans install process-globally through [`FaultPlan::install`];
+//! the returned [`FaultGuard`] serialises concurrent chaos tests and
+//! uninstalls the plan on drop.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// A named injection site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum FaultSite {
+    /// One map-task attempt (task id = chunk index).
+    MapTask,
+    /// One reduce-task attempt (task id = partition index).
+    ReduceTask,
+    /// One `WarmMapper` record (task id = schedule position) — the
+    /// duplicated-emission site exercising reducer-level dedup.
+    WarmEmit,
+    /// One serving dispatcher batch computation (task id = batch seq).
+    Dispatch,
+}
+
+impl FaultSite {
+    fn code(self) -> u64 {
+        match self {
+            Self::MapTask => 0x6d61_7054,
+            Self::ReduceTask => 0x7265_6454,
+            Self::WarmEmit => 0x7761_726d,
+            Self::Dispatch => 0x6469_7370,
+        }
+    }
+}
+
+/// What a firing rule injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FaultKind {
+    /// Panic the attempt (caught by the engine's per-task
+    /// `catch_unwind`, or turned into a typed rejection by the serving
+    /// dispatcher).
+    Panic,
+    /// Sleep this long before proceeding — a straggler, recovered by
+    /// speculative re-execution.
+    Stall {
+        /// Sleep duration in milliseconds.
+        millis: u64,
+    },
+    /// Compute the result but never deliver it (lost message);
+    /// recovered by the straggler timeout re-issuing the task.
+    DropResult,
+    /// Deliver the result twice (at-least-once duplication); recovered
+    /// by result dedup / the `WarmTask` idempotence contract.
+    DuplicateResult,
+}
+
+/// The result-channel action [`perturb`] hands back to the caller.
+/// Panic and stall effects happen *inside* [`perturb`]; drop/duplicate
+/// must be honoured by the code that owns the result channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[must_use = "drop/duplicate actions must be honoured by the result-channel owner"]
+pub enum FaultAction {
+    /// Proceed normally.
+    #[default]
+    None,
+    /// Compute but do not send the result.
+    DropResult,
+    /// Send the result twice.
+    DuplicateResult,
+}
+
+/// One injection rule: at `site`, fire `kind` on a deterministic
+/// `rate_ppm` / 1 000 000 fraction of `(task, attempt)` pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRule {
+    /// Where to inject.
+    pub site: FaultSite,
+    /// What to inject.
+    pub kind: FaultKind,
+    /// Firing rate in parts per million (1_000_000 = always).
+    pub rate_ppm: u32,
+    /// Restrict the rule to attempt 0. Every rule of a *recoverable*
+    /// plan (other than stalls and duplications, which are harmless on
+    /// any attempt) sets this, guaranteeing retries succeed.
+    pub first_attempt_only: bool,
+}
+
+/// A seeded, deterministic fault plan.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: Vec<FaultRule>,
+}
+
+/// Counts of faults actually fired since the last [`FaultPlan::install`].
+/// Chaos tests assert these non-zero so a dead injection site (a site
+/// the engine stopped consulting) fails loudly instead of silently
+/// testing nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FiredCounts {
+    /// Panics injected.
+    pub panics: u64,
+    /// Stalls injected.
+    pub stalls: u64,
+    /// Results dropped.
+    pub drops: u64,
+    /// Results duplicated.
+    pub duplicates: u64,
+}
+
+impl FiredCounts {
+    /// Total faults fired.
+    pub fn total(&self) -> u64 {
+        self.panics + self.stalls + self.drops + self.duplicates
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static ACTIVE: Mutex<Option<FaultPlan>> = Mutex::new(None);
+/// Serialises chaos tests: only one plan may be installed at a time and
+/// the guard holds this lock for its lifetime.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+static FIRED_PANICS: AtomicU64 = AtomicU64::new(0);
+static FIRED_STALLS: AtomicU64 = AtomicU64::new(0);
+static FIRED_DROPS: AtomicU64 = AtomicU64::new(0);
+static FIRED_DUPS: AtomicU64 = AtomicU64::new(0);
+
+fn recover<T>(r: Result<T, PoisonError<T>>) -> T {
+    // Injected panics poison these locks by design; the protected state
+    // (an Option and a unit) cannot be left inconsistent.
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// splitmix64 — deterministic across platforms and runs.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl FaultPlan {
+    /// An empty plan with the given seed (no rules fire).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Adds a rule (builder style).
+    pub fn with_rule(mut self, rule: FaultRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// The standard *recoverable* chaos mix: first-attempt-only panics
+    /// and dropped results in both MapReduce phases, stalls, and
+    /// duplicated `WarmTask` emissions. Under this plan every task
+    /// succeeds within the retry budget, so `distributed_warm` must stay
+    /// bitwise equal to the in-process warm.
+    pub fn recoverable(seed: u64) -> Self {
+        Self::new(seed)
+            .with_rule(FaultRule {
+                site: FaultSite::MapTask,
+                kind: FaultKind::Panic,
+                rate_ppm: 350_000,
+                first_attempt_only: true,
+            })
+            .with_rule(FaultRule {
+                site: FaultSite::MapTask,
+                kind: FaultKind::Stall { millis: 15 },
+                rate_ppm: 200_000,
+                first_attempt_only: false,
+            })
+            .with_rule(FaultRule {
+                site: FaultSite::ReduceTask,
+                kind: FaultKind::Panic,
+                rate_ppm: 350_000,
+                first_attempt_only: true,
+            })
+            .with_rule(FaultRule {
+                site: FaultSite::ReduceTask,
+                kind: FaultKind::DropResult,
+                rate_ppm: 200_000,
+                first_attempt_only: true,
+            })
+            .with_rule(FaultRule {
+                site: FaultSite::MapTask,
+                kind: FaultKind::DuplicateResult,
+                rate_ppm: 250_000,
+                first_attempt_only: false,
+            })
+            .with_rule(FaultRule {
+                site: FaultSite::WarmEmit,
+                kind: FaultKind::DuplicateResult,
+                rate_ppm: 400_000,
+                first_attempt_only: false,
+            })
+    }
+
+    /// A deliberately *unrecoverable* plan: every map attempt panics,
+    /// exhausting the retry budget and forcing the in-process fallback.
+    pub fn unrecoverable(seed: u64) -> Self {
+        Self::new(seed).with_rule(FaultRule {
+            site: FaultSite::MapTask,
+            kind: FaultKind::Panic,
+            rate_ppm: 1_000_000,
+            first_attempt_only: false,
+        })
+    }
+
+    /// A plan with zero firing rules — installs the hooks (sites take
+    /// the slow path) without injecting anything. The bench satellite
+    /// uses this to price the hooks themselves.
+    pub fn zero(seed: u64) -> Self {
+        Self::new(seed).with_rule(FaultRule {
+            site: FaultSite::MapTask,
+            kind: FaultKind::Panic,
+            rate_ppm: 0,
+            first_attempt_only: false,
+        })
+    }
+
+    /// Builds the [`recoverable`](Self::recoverable) plan from the
+    /// `FAIRREC_FAULT_SEED` environment variable, if set and parseable.
+    /// This is how the CI chaos job steers the seed matrix.
+    pub fn from_env() -> Option<Self> {
+        let seed = std::env::var("FAIRREC_FAULT_SEED").ok()?.parse().ok()?;
+        Some(Self::recoverable(seed))
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Pure decision function: which fault (if any) fires at `site` for
+    /// `(task, attempt)`. First matching rule wins.
+    pub fn decide(&self, site: FaultSite, task: u64, attempt: u32) -> Option<FaultKind> {
+        for (idx, rule) in self.rules.iter().enumerate() {
+            if rule.site != site {
+                continue;
+            }
+            if rule.first_attempt_only && attempt != 0 {
+                continue;
+            }
+            let h = splitmix64(
+                self.seed
+                    ^ splitmix64(idx as u64 ^ site.code())
+                    ^ splitmix64(task.wrapping_mul(0x0100_0000_01b3) ^ u64::from(attempt)),
+            );
+            if h % 1_000_000 < u64::from(rule.rate_ppm) {
+                return Some(rule.kind);
+            }
+        }
+        None
+    }
+
+    /// Installs this plan process-globally. The returned guard holds an
+    /// exclusive install lock (concurrent installs block) and
+    /// uninstalls the plan — and resets the [`fired`] counters — when
+    /// dropped.
+    pub fn install(self) -> FaultGuard {
+        let lock = recover(SERIAL.lock());
+        FIRED_PANICS.store(0, Ordering::Relaxed);
+        FIRED_STALLS.store(0, Ordering::Relaxed);
+        FIRED_DROPS.store(0, Ordering::Relaxed);
+        FIRED_DUPS.store(0, Ordering::Relaxed);
+        *recover(ACTIVE.lock()) = Some(self);
+        ENABLED.store(true, Ordering::SeqCst);
+        FaultGuard { _lock: lock }
+    }
+}
+
+/// Uninstalls the active [`FaultPlan`] on drop; holds the global install
+/// lock so chaos tests in one binary serialise instead of observing each
+/// other's plans.
+pub struct FaultGuard {
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        ENABLED.store(false, Ordering::SeqCst);
+        *recover(ACTIVE.lock()) = None;
+    }
+}
+
+/// Whether a plan is currently installed (one relaxed load).
+pub fn plan_installed() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Counts of faults fired since the active plan was installed.
+pub fn fired() -> FiredCounts {
+    FiredCounts {
+        panics: FIRED_PANICS.load(Ordering::Relaxed),
+        stalls: FIRED_STALLS.load(Ordering::Relaxed),
+        drops: FIRED_DROPS.load(Ordering::Relaxed),
+        duplicates: FIRED_DUPS.load(Ordering::Relaxed),
+    }
+}
+
+/// Consults the active plan at `site` for `(task, attempt)`.
+///
+/// Panics and stalls take effect *here* (the injected panic unwinds out
+/// of this call, to be caught by the engine's per-attempt
+/// `catch_unwind`); drop/duplicate come back as a [`FaultAction`] for
+/// the result-channel owner to honour. With no plan installed this is a
+/// single relaxed atomic load.
+pub fn perturb(site: FaultSite, task: u64, attempt: u32) -> FaultAction {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return FaultAction::None;
+    }
+    let decision = recover(ACTIVE.lock())
+        .as_ref()
+        .and_then(|plan| plan.decide(site, task, attempt));
+    match decision {
+        None => FaultAction::None,
+        Some(FaultKind::Panic) => {
+            FIRED_PANICS.fetch_add(1, Ordering::Relaxed);
+            panic!("injected fault: panic at {site:?} task={task} attempt={attempt}");
+        }
+        Some(FaultKind::Stall { millis }) => {
+            FIRED_STALLS.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(Duration::from_millis(millis));
+            FaultAction::None
+        }
+        Some(FaultKind::DropResult) => {
+            FIRED_DROPS.fetch_add(1, Ordering::Relaxed);
+            FaultAction::DropResult
+        }
+        Some(FaultKind::DuplicateResult) => {
+            FIRED_DUPS.fetch_add(1, Ordering::Relaxed);
+            FaultAction::DuplicateResult
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let plan = FaultPlan::recoverable(42);
+        for site in [
+            FaultSite::MapTask,
+            FaultSite::ReduceTask,
+            FaultSite::WarmEmit,
+        ] {
+            for task in 0..64u64 {
+                for attempt in 0..3u32 {
+                    assert_eq!(
+                        plan.decide(site, task, attempt),
+                        plan.decide(site, task, attempt)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_change_decisions() {
+        let a = FaultPlan::recoverable(1);
+        let b = FaultPlan::recoverable(2);
+        let differs = (0..256u64).any(|task| {
+            a.decide(FaultSite::MapTask, task, 0) != b.decide(FaultSite::MapTask, task, 0)
+        });
+        assert!(differs, "different seeds should produce different plans");
+    }
+
+    #[test]
+    fn recoverable_rules_never_panic_past_first_attempt() {
+        let plan = FaultPlan::recoverable(7);
+        for site in [FaultSite::MapTask, FaultSite::ReduceTask] {
+            for task in 0..512u64 {
+                for attempt in 1..4u32 {
+                    let d = plan.decide(site, task, attempt);
+                    assert!(
+                        !matches!(d, Some(FaultKind::Panic) | Some(FaultKind::DropResult)),
+                        "attempt {attempt} of task {task} at {site:?} must be safe, got {d:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unrecoverable_always_panics_map_tasks() {
+        let plan = FaultPlan::unrecoverable(9);
+        for task in 0..32u64 {
+            for attempt in 0..5u32 {
+                assert_eq!(
+                    plan.decide(FaultSite::MapTask, task, attempt),
+                    Some(FaultKind::Panic)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_plan_fires_nothing() {
+        let plan = FaultPlan::zero(3);
+        for task in 0..256u64 {
+            assert_eq!(plan.decide(FaultSite::MapTask, task, 0), None);
+        }
+    }
+
+    #[test]
+    fn no_plan_is_a_noop() {
+        // Other tests in this binary may hold the install lock; take it
+        // briefly to be sure no plan is active, then release.
+        drop(FaultPlan::new(0).install());
+        assert!(!plan_installed());
+        assert_eq!(perturb(FaultSite::MapTask, 0, 0), FaultAction::None);
+    }
+
+    #[test]
+    fn install_guard_scopes_the_plan() {
+        let guard = FaultPlan::unrecoverable(1).install();
+        assert!(plan_installed());
+        let caught = std::panic::catch_unwind(|| perturb(FaultSite::MapTask, 0, 0));
+        assert!(caught.is_err(), "unrecoverable plan must panic the site");
+        assert!(fired().panics >= 1);
+        drop(guard);
+        assert!(!plan_installed());
+    }
+}

@@ -29,15 +29,20 @@
 #![warn(rust_2018_idioms)]
 
 mod engine;
+pub mod fault;
 pub mod jobs;
 pub mod pipeline;
 pub mod topk;
 pub mod warm;
 
-pub use engine::{run_job, JobConfig, JobMetrics, JobResult, Mapper, Reducer};
+pub use engine::{
+    run_job, try_run_job, JobConfig, JobFailure, JobMetrics, JobResult, Mapper, Reducer,
+    RetryPolicy,
+};
+pub use fault::{FaultGuard, FaultKind, FaultPlan, FaultRule, FaultSite};
 pub use pipeline::{
     incremental_sim_edges, kernel_sim_edges, mapreduce_group_predictions,
     sharded_distributed_sim_edges, sharded_sim_edges, EdgeProducer, MapReducePipelineReport,
     PipelineConfig,
 };
-pub use warm::{distributed_warm, warm_schedule, DistributedWarmReport, WarmTask};
+pub use warm::{distributed_warm, distributed_warm_with, warm_schedule, WarmReport, WarmTask};

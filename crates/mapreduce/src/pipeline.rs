@@ -785,7 +785,11 @@ mod tests {
             .unwrap();
             distributed.sort_by_key(|e| (e.member, e.peer));
             assert_eq!(kernel.len(), sharded.len(), "S={num_shards}");
-            assert_eq!(kernel.len(), distributed.len(), "S={num_shards} distributed");
+            assert_eq!(
+                kernel.len(),
+                distributed.len(),
+                "S={num_shards} distributed"
+            );
             for ((a, b), c) in kernel.iter().zip(&sharded).zip(&distributed) {
                 assert_eq!((a.member, a.peer), (b.member, b.peer), "S={num_shards}");
                 assert_eq!(
@@ -838,8 +842,7 @@ mod tests {
         // predictions must still be bitwise the in-process sharded (and
         // bulk-kernel) result, across shard and worker counts.
         let group = Group::new(GroupId::new(0), [UserId::new(0), UserId::new(1)]).unwrap();
-        for (delta, num_shards, workers) in [(-1.0, 1, 1), (-1.0, 3, 4), (0.0, 2, 2), (0.5, 8, 4)]
-        {
+        for (delta, num_shards, workers) in [(-1.0, 1, 1), (-1.0, 3, 4), (0.0, 2, 2), (0.5, 8, 4)] {
             let base = PipelineConfig {
                 delta,
                 job: JobConfig::with_workers(workers),
@@ -854,8 +857,7 @@ mod tests {
                 ..base
             };
             let (a, ra) = mapreduce_group_predictions(fixture(), 7, &group, &sharded).unwrap();
-            let (b, rb) =
-                mapreduce_group_predictions(fixture(), 7, &group, &distributed).unwrap();
+            let (b, rb) = mapreduce_group_predictions(fixture(), 7, &group, &distributed).unwrap();
             assert_eq!(a, b, "delta {delta}, shards {num_shards}");
             assert_eq!(ra.sim_edges, rb.sim_edges);
         }

@@ -20,9 +20,10 @@
 //! [`EdgeProducer::ShardedDistributed`](crate::pipeline::EdgeProducer)
 //! equality tests end-to-end).
 
-use crate::engine::{run_job, JobConfig, JobMetrics, Mapper, Reducer};
+use crate::engine::{try_run_job, JobConfig, JobMetrics, Mapper, Reducer, RetryPolicy};
+use crate::fault::{self, FaultAction, FaultSite};
 use fairrec_similarity::{shard_pair_edges, PeerSelector, Peers, ShardedPeerIndex};
-use fairrec_types::{FairrecError, Result, ShardedRatingMatrix, UserId};
+use fairrec_types::{FairrecError, Parallelism, Result, ShardedRatingMatrix, UserId};
 
 /// One shard pair's warm, as a value a task queue can carry: everything
 /// [`shard_pair_edges`] needs besides the partitioned matrix each worker
@@ -143,6 +144,18 @@ impl Mapper for WarmMapper<'_> {
 
     fn map(&self, record: String, emit: &mut dyn FnMut(UserId, (UserId, f64))) {
         let task = WarmTask::decode(&record).expect("descriptors validated before launch");
+        // At-least-once emission site: under an installed fault plan a
+        // task may scatter each edge twice — the reducer's idempotent
+        // dedup must erase the difference (the WarmTask idempotence
+        // contract).
+        let copies = match fault::perturb(
+            FaultSite::WarmEmit,
+            (u64::from(task.shard_a) << 32) | u64::from(task.shard_b),
+            0,
+        ) {
+            FaultAction::DuplicateResult => 2,
+            _ => 1,
+        };
         let edges = shard_pair_edges(
             self.matrix,
             task.shard_a as usize,
@@ -152,8 +165,10 @@ impl Mapper for WarmMapper<'_> {
             task.delta,
         );
         for (u, v, sim) in edges {
-            emit(u, (v, sim));
-            emit(v, (u, sim));
+            for _ in 0..copies {
+                emit(u, (v, sim));
+                emit(v, (u, sim));
+            }
         }
     }
 }
@@ -163,8 +178,12 @@ impl Mapper for WarmMapper<'_> {
 /// ascending), exactly the shape
 /// [`ShardedPeerIndex::adopt_full_lists`] installs. The shard-pair
 /// schedule emits each unordered pair exactly once and δ was applied per
-/// edge, so the group arrives duplicate-free, self-edge-free, and
-/// filtered; canonicalisation is the only remaining step.
+/// edge, so in a fault-free run the group arrives duplicate-free,
+/// self-edge-free, and filtered. Under at-least-once execution a task's
+/// emissions can arrive more than once; since every re-emission is
+/// bitwise identical (the kernel is deterministic), dropping exact
+/// duplicates after canonicalisation restores the exactly-once list —
+/// this is the dedup half of the `WarmTask` idempotence contract.
 pub struct WarmReducer;
 
 impl Reducer for WarmReducer {
@@ -175,20 +194,38 @@ impl Reducer for WarmReducer {
     fn reduce(&self, user: UserId, values: Vec<(UserId, f64)>, emit: &mut dyn FnMut(Self::Out)) {
         let mut list: Peers = values;
         PeerSelector::canonicalize(&mut list);
+        // Canonical order puts bitwise-identical duplicates adjacent.
+        list.dedup_by(|a, b| a.0 == b.0 && a.1.to_bits() == b.1.to_bits());
         emit((user, list));
     }
 }
 
-/// What one distributed warm did.
+/// The receipt of one distributed warm: what ran, what it cost in
+/// retries, and whether the degradation ladder was taken. Every field is
+/// truthful even when the MapReduce job failed — the metrics of the
+/// failed job are carried into the receipt, not discarded.
 #[derive(Debug, Clone, Copy)]
-pub struct DistributedWarmReport {
+pub struct WarmReport {
     /// Tasks in the schedule (`S·(S+1)/2`).
     pub tasks: usize,
     /// Lists installed into the index; `None` when the index rejected
     /// the adoption (it was not fully cold, or the universe moved
     /// between scheduling and installation).
     pub installed: Option<usize>,
-    /// MapReduce metrics of the warm job.
+    /// Task attempts launched across both phases (firsts + retries +
+    /// speculative re-executions).
+    pub attempts: usize,
+    /// Attempts launched because a prior attempt panicked.
+    pub retries: usize,
+    /// Worker panics caught and absorbed by the retry driver.
+    pub panics_caught: usize,
+    /// Straggler-triggered speculative re-executions.
+    pub speculative: usize,
+    /// `true` when the MapReduce job exhausted its retry budget and the
+    /// warm fell back to the in-process [`ShardedPeerIndex::warm_symmetric`].
+    pub fallback: bool,
+    /// MapReduce metrics of the warm job (of the *failed* job when
+    /// `fallback` is set).
     pub metrics: JobMetrics,
 }
 
@@ -216,7 +253,31 @@ pub fn distributed_warm(
     index: &ShardedPeerIndex,
     min_overlap: usize,
     config: JobConfig,
-) -> Result<DistributedWarmReport> {
+) -> Result<WarmReport> {
+    distributed_warm_with(matrix, index, min_overlap, config, RetryPolicy::default())
+}
+
+/// [`distributed_warm`] with an explicit [`RetryPolicy`] — the knob the
+/// chaos suite turns to exhaust the retry budget deterministically.
+///
+/// Degradation ladder: a panicking task attempt is retried with
+/// exponential backoff; a silent one is speculatively re-executed after
+/// the straggler timeout; and when a task still fails every permitted
+/// attempt the whole warm falls back to the in-process
+/// [`ShardedPeerIndex::warm_symmetric`] instead of surfacing the error —
+/// the caller always gets a warm index, plus a [`WarmReport`] saying
+/// which rung was reached.
+///
+/// # Errors
+/// Same as [`distributed_warm`]: only descriptor round-trip validation
+/// failures. Retry exhaustion is absorbed by the fallback.
+pub fn distributed_warm_with(
+    matrix: &ShardedRatingMatrix,
+    index: &ShardedPeerIndex,
+    min_overlap: usize,
+    config: JobConfig,
+    policy: RetryPolicy,
+) -> Result<WarmReport> {
     let num_users = index.num_users();
     let tasks = warm_schedule(
         matrix.spec().num_shards(),
@@ -231,8 +292,12 @@ pub fn distributed_warm(
     for (task, line) in tasks.iter().zip(&encoded) {
         let roundtrip = WarmTask::decode(line)?;
         if roundtrip.delta.to_bits() != task.delta.to_bits()
-            || (roundtrip.shard_a, roundtrip.shard_b, roundtrip.num_users, roundtrip.min_overlap)
-                != (task.shard_a, task.shard_b, task.num_users, task.min_overlap)
+            || (
+                roundtrip.shard_a,
+                roundtrip.shard_b,
+                roundtrip.num_users,
+                roundtrip.min_overlap,
+            ) != (task.shard_a, task.shard_b, task.num_users, task.min_overlap)
         {
             return Err(FairrecError::Parse {
                 line: None,
@@ -241,7 +306,40 @@ pub fn distributed_warm(
         }
     }
 
-    let job = run_job(&WarmMapper { matrix }, &WarmReducer, encoded, config);
+    let job = match try_run_job(
+        &WarmMapper { matrix },
+        &WarmReducer,
+        encoded,
+        config,
+        policy,
+    ) {
+        Ok(job) => job,
+        Err(failure) => {
+            // Retry budget exhausted: degrade to the in-process warm.
+            // The index is untouched by the failed job (adoption never
+            // ran), so the fallback starts from exactly the state the
+            // distributed warm saw.
+            let measure = fairrec_similarity::ShardedRatingsSimilarity::new(matrix)
+                .with_min_overlap(min_overlap);
+            let parallelism = if config.num_workers > 1 {
+                Parallelism::Threads(config.num_workers)
+            } else {
+                Parallelism::Sequential
+            };
+            index.warm_symmetric(&measure, parallelism);
+            let m = failure.metrics;
+            return Ok(WarmReport {
+                tasks: tasks.len(),
+                installed: Some(num_users as usize),
+                attempts: m.attempts,
+                retries: m.retries,
+                panics_caught: m.panics_caught,
+                speculative: m.speculative,
+                fallback: true,
+                metrics: m,
+            });
+        }
+    };
 
     // Users with no qualifying edges never reach the reducer; their
     // finished list is the empty canonical list.
@@ -249,10 +347,16 @@ pub fn distributed_warm(
     for (user, list) in job.output {
         lists[user.index()] = list;
     }
-    Ok(DistributedWarmReport {
+    let m = job.metrics;
+    Ok(WarmReport {
         tasks: tasks.len(),
         installed: index.adopt_full_lists(lists),
-        metrics: job.metrics,
+        attempts: m.attempts,
+        retries: m.retries,
+        panics_caught: m.panics_caught,
+        speculative: m.speculative,
+        fallback: false,
+        metrics: m,
     })
 }
 
@@ -361,8 +465,7 @@ mod tests {
             in_process.warm_symmetric(&measure, Parallelism::Sequential);
 
             let off_process = ShardedPeerIndex::new(selector, spec, n);
-            let report =
-                distributed_warm(&sharded, &off_process, 2, JobConfig::default()).unwrap();
+            let report = distributed_warm(&sharded, &off_process, 2, JobConfig::default()).unwrap();
             assert_eq!(report.tasks, (num_shards * (num_shards + 1) / 2) as usize);
             assert_eq!(
                 report.installed,

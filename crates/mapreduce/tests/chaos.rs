@@ -1,0 +1,425 @@
+//! Chaos suite for the fault-tolerant distributed warm.
+//!
+//! Each test installs a seeded [`FaultPlan`] (its own process-global
+//! guard serialises the suite) and asserts the robustness contracts:
+//!
+//! * under any **recoverable** plan — first-attempt panics, stalls,
+//!   dropped and duplicated results — `distributed_warm` stays
+//!   **bitwise** equal to the in-process warm, for S ∈ {1, 2, 3, 8};
+//! * the injected-fault counters come back non-zero, so a dead
+//!   injection site (one the engine stopped consulting) fails the suite
+//!   loudly instead of silently testing nothing;
+//! * a deliberately **unrecoverable** plan exhausts the retry budget and
+//!   degrades to the in-process fallback with a truthful [`WarmReport`]
+//!   — and the warmed index is still bitwise equal;
+//! * drop-only and duplicate-only plans pin the two recovery
+//!   mechanisms (speculative re-execution, first-result-wins dedup)
+//!   deterministically.
+//!
+//! The seed comes from `FAIRREC_FAULT_SEED` when set (the CI chaos job's
+//! seed matrix), defaulting to 42; a proptest sweeps more seeds.
+//!
+//! This is a dedicated integration binary so installed plans can never
+//! leak into the crate's unit tests running in another process.
+
+use std::sync::Once;
+use std::time::Duration;
+
+use fairrec_mapreduce::fault::{self, FaultSite};
+use fairrec_mapreduce::{
+    distributed_warm, distributed_warm_with, FaultKind, FaultPlan, FaultRule, JobConfig,
+    RetryPolicy, WarmReport,
+};
+use fairrec_similarity::{PeerSelector, Peers, ShardedPeerIndex, ShardedRatingsSimilarity};
+use fairrec_types::{
+    ItemId, Parallelism, Rating, RatingMatrix, RatingTriple, ShardSpec, ShardedRatingMatrix, UserId,
+};
+use proptest::prelude::*;
+
+/// Injected panics are expected here by the hundreds; silence their
+/// stack-trace spew (and only theirs) so real failures stay visible.
+fn quiet_injected_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let message = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !message.starts_with("injected fault") {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// The chaos seed: `FAIRREC_FAULT_SEED` when set (the CI matrix), 42
+/// otherwise.
+fn env_seed() -> u64 {
+    std::env::var("FAIRREC_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+fn triple(u: u32, i: u32, r: f64) -> RatingTriple {
+    RatingTriple {
+        user: UserId::new(u),
+        item: ItemId::new(i),
+        rating: Rating::new(r).unwrap(),
+    }
+}
+
+/// 12 users × 14 items with punched holes so overlaps vary — the same
+/// shape the warm module's own equality tests use.
+fn dataset() -> RatingMatrix {
+    let mut triples = Vec::new();
+    for u in 0..12u32 {
+        for i in 0..14u32 {
+            if (u * 7 + i * 3) % 4 == 0 {
+                continue;
+            }
+            let r = 1.0 + f64::from((u * 13 + i * 5) % 9) / 2.0;
+            triples.push(triple(u, i, r));
+        }
+    }
+    RatingMatrix::from_triples(triples).unwrap()
+}
+
+/// `PartialEq` on `f64` would let `-0.0 == 0.0` hide a drifting
+/// reduction order; compare the IEEE-754 bit patterns.
+fn assert_bitwise(got: &Peers, want: &Peers, label: &str) {
+    assert_eq!(got.len(), want.len(), "{label}: peer-list length");
+    for (pos, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(g.0, w.0, "{label}: peer id at {pos}");
+        assert_eq!(
+            g.1.to_bits(),
+            w.1.to_bits(),
+            "{label}: similarity bits at {pos}"
+        );
+    }
+}
+
+/// In-process reference warm for `num_shards` shards of `mono`.
+fn reference(
+    mono: &RatingMatrix,
+    selector: PeerSelector,
+    spec: ShardSpec,
+) -> (ShardedRatingMatrix, ShardedPeerIndex) {
+    let sharded = ShardedRatingMatrix::from_matrix(mono, spec).unwrap();
+    let index = ShardedPeerIndex::new(selector, spec, mono.num_users());
+    index.warm_symmetric(
+        &ShardedRatingsSimilarity::new(&sharded).with_min_overlap(2),
+        Parallelism::Sequential,
+    );
+    (sharded, index)
+}
+
+#[test]
+fn recoverable_chaos_is_bitwise_invisible_and_every_fault_kind_fires() {
+    quiet_injected_panics();
+    let mono = dataset();
+    let n = mono.num_users();
+    let selector = PeerSelector::new(0.1).unwrap();
+
+    let base = env_seed();
+    let mut reports: Vec<WarmReport> = Vec::new();
+    let mut fired = fault::FiredCounts::default();
+    for seed in [base, base ^ 0x9e37_79b9_7f4a_7c15, base.wrapping_add(13)] {
+        for num_shards in [1u32, 2, 3, 8] {
+            let spec = ShardSpec::new(num_shards).unwrap();
+            let (sharded, in_process) = reference(&mono, selector, spec);
+
+            let guard = FaultPlan::recoverable(seed).install();
+            let chaotic = ShardedPeerIndex::new(selector, spec, n);
+            let report = distributed_warm(
+                &sharded,
+                &chaotic,
+                2,
+                JobConfig {
+                    num_workers: 3,
+                    num_partitions: 4,
+                },
+            )
+            .unwrap();
+            let f = fault::fired();
+            drop(guard);
+
+            let label = format!("seed={seed} S={num_shards}");
+            assert!(
+                !report.fallback,
+                "{label}: recoverable plan must not degrade"
+            );
+            assert_eq!(report.installed, Some(n as usize), "{label}: full adoption");
+            for u in (0..n).map(UserId::new) {
+                assert_bitwise(
+                    &chaotic.cached_full(u).expect("warmed"),
+                    &in_process.cached_full(u).expect("warmed"),
+                    &format!("{label} user {u}"),
+                );
+            }
+            reports.push(report);
+            fired.panics += f.panics;
+            fired.stalls += f.stalls;
+            fired.drops += f.drops;
+            fired.duplicates += f.duplicates;
+        }
+    }
+
+    // Dead-site detection: across 12 chaotic warms each fault kind must
+    // actually have fired, and the engine must have observed (and
+    // survived) the recoverable ones.
+    assert!(fired.panics > 0, "no panic ever injected: {fired:?}");
+    assert!(fired.stalls > 0, "no stall ever injected: {fired:?}");
+    assert!(fired.drops > 0, "no drop ever injected: {fired:?}");
+    assert!(
+        fired.duplicates > 0,
+        "no duplication ever injected: {fired:?}"
+    );
+    let panics: usize = reports.iter().map(|r| r.panics_caught).sum();
+    let retries: usize = reports.iter().map(|r| r.retries).sum();
+    let speculative: usize = reports.iter().map(|r| r.speculative).sum();
+    assert!(panics > 0, "engine caught no injected panic");
+    assert!(retries > 0, "engine retried nothing");
+    assert!(
+        speculative > 0,
+        "no dropped result was speculatively recovered"
+    );
+}
+
+#[test]
+fn unrecoverable_plan_degrades_to_in_process_with_truthful_report() {
+    quiet_injected_panics();
+    let mono = dataset();
+    let n = mono.num_users();
+    let selector = PeerSelector::new(0.1).unwrap();
+    let spec = ShardSpec::new(3).unwrap();
+    let (sharded, in_process) = reference(&mono, selector, spec);
+
+    let policy = RetryPolicy {
+        max_attempts: 2,
+        backoff_base: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(4),
+        straggler_timeout: Some(Duration::from_millis(200)),
+    };
+    let guard = FaultPlan::unrecoverable(env_seed()).install();
+    let index = ShardedPeerIndex::new(selector, spec, n);
+    let report = distributed_warm_with(
+        &sharded,
+        &index,
+        2,
+        JobConfig {
+            num_workers: 2,
+            num_partitions: 4,
+        },
+        policy,
+    )
+    .unwrap();
+    let f = fault::fired();
+    drop(guard);
+
+    assert!(report.fallback, "every-attempt panics must exhaust retries");
+    assert_eq!(report.installed, Some(n as usize), "fallback still warms");
+    assert!(
+        report.panics_caught >= policy.max_attempts as usize,
+        "the failing task's every attempt was caught: {report:?}"
+    );
+    assert!(
+        report.retries >= 1,
+        "at least one retry was spent: {report:?}"
+    );
+    assert!(f.panics >= u64::from(policy.max_attempts), "fired: {f:?}");
+    // The degraded path answers bit-for-bit like the healthy one.
+    for u in (0..n).map(UserId::new) {
+        assert_bitwise(
+            &index.cached_full(u).expect("warmed by fallback"),
+            &in_process.cached_full(u).expect("warmed"),
+            &format!("fallback user {u}"),
+        );
+    }
+}
+
+#[test]
+fn dropped_results_are_recovered_by_speculative_reexecution() {
+    quiet_injected_panics();
+    let mono = dataset();
+    let n = mono.num_users();
+    let selector = PeerSelector::new(0.1).unwrap();
+    let spec = ShardSpec::new(2).unwrap();
+    let (sharded, in_process) = reference(&mono, selector, spec);
+
+    // Every reduce task loses its first result; only the straggler
+    // timer can recover it, so `speculative` is pinned exactly.
+    let plan = FaultPlan::new(env_seed()).with_rule(FaultRule {
+        site: FaultSite::ReduceTask,
+        kind: FaultKind::DropResult,
+        rate_ppm: 1_000_000,
+        first_attempt_only: true,
+    });
+    let policy = RetryPolicy {
+        straggler_timeout: Some(Duration::from_millis(40)),
+        ..RetryPolicy::default()
+    };
+    let partitions = 4usize;
+    let guard = plan.install();
+    let index = ShardedPeerIndex::new(selector, spec, n);
+    let report = distributed_warm_with(
+        &sharded,
+        &index,
+        2,
+        JobConfig {
+            num_workers: 2,
+            num_partitions: partitions,
+        },
+        policy,
+    )
+    .unwrap();
+    let f = fault::fired();
+    drop(guard);
+
+    assert!(!report.fallback);
+    assert_eq!(f.drops, partitions as u64, "one drop per reduce task");
+    assert!(
+        report.speculative >= partitions,
+        "each lost result needs a speculative re-issue: {report:?}"
+    );
+    for u in (0..n).map(UserId::new) {
+        assert_bitwise(
+            &index.cached_full(u).expect("warmed"),
+            &in_process.cached_full(u).expect("warmed"),
+            &format!("drop-recovery user {u}"),
+        );
+    }
+}
+
+#[test]
+fn duplicated_results_are_ignored_not_double_counted() {
+    quiet_injected_panics();
+    let mono = dataset();
+    let n = mono.num_users();
+    let selector = PeerSelector::new(0.1).unwrap();
+    let spec = ShardSpec::new(3).unwrap();
+    let (sharded, in_process) = reference(&mono, selector, spec);
+
+    // Every map task delivers twice and every WarmTask record scatters
+    // twice: at-least-once execution at both layers at once.
+    let plan = FaultPlan::new(env_seed())
+        .with_rule(FaultRule {
+            site: FaultSite::MapTask,
+            kind: FaultKind::DuplicateResult,
+            rate_ppm: 1_000_000,
+            first_attempt_only: false,
+        })
+        .with_rule(FaultRule {
+            site: FaultSite::WarmEmit,
+            kind: FaultKind::DuplicateResult,
+            rate_ppm: 1_000_000,
+            first_attempt_only: false,
+        });
+    let guard = plan.install();
+    let index = ShardedPeerIndex::new(selector, spec, n);
+    let report = distributed_warm(
+        &sharded,
+        &index,
+        2,
+        JobConfig {
+            num_workers: 2,
+            num_partitions: 4,
+        },
+    )
+    .unwrap();
+    let f = fault::fired();
+    drop(guard);
+
+    assert!(!report.fallback);
+    assert!(f.duplicates > 0, "no duplication injected: {f:?}");
+    assert!(
+        report.metrics.duplicate_results_ignored > 0,
+        "first-result-wins dedup never engaged: {report:?}"
+    );
+    for u in (0..n).map(UserId::new) {
+        assert_bitwise(
+            &index.cached_full(u).expect("warmed"),
+            &in_process.cached_full(u).expect("warmed"),
+            &format!("at-least-once user {u}"),
+        );
+    }
+}
+
+#[test]
+fn zero_rate_plan_is_observationally_free() {
+    quiet_injected_panics();
+    let mono = dataset();
+    let n = mono.num_users();
+    let selector = PeerSelector::new(0.1).unwrap();
+    let spec = ShardSpec::new(2).unwrap();
+    let (sharded, in_process) = reference(&mono, selector, spec);
+
+    let guard = FaultPlan::zero(env_seed()).install();
+    let index = ShardedPeerIndex::new(selector, spec, n);
+    let report = distributed_warm(&sharded, &index, 2, JobConfig::default()).unwrap();
+    let f = fault::fired();
+    drop(guard);
+
+    assert!(!report.fallback);
+    assert_eq!(f.total(), 0, "a zero-rate plan must fire nothing: {f:?}");
+    assert_eq!(report.retries, 0, "{report:?}");
+    assert_eq!(report.panics_caught, 0, "{report:?}");
+    assert_eq!(report.speculative, 0, "{report:?}");
+    for u in (0..n).map(UserId::new) {
+        assert_bitwise(
+            &index.cached_full(u).expect("warmed"),
+            &in_process.cached_full(u).expect("warmed"),
+            &format!("zero-plan user {u}"),
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    /// Any seed's recoverable plan keeps the distributed warm bitwise
+    /// equal to the in-process warm (S = 3 keeps the sweep fast; the
+    /// fixed-seed test above covers the full shard matrix).
+    #[test]
+    fn any_recoverable_seed_is_bitwise_invisible(seed in 0u64..u64::MAX) {
+        quiet_injected_panics();
+        let mono = dataset();
+        let n = mono.num_users();
+        let selector = PeerSelector::new(0.1).unwrap();
+        let spec = ShardSpec::new(3).unwrap();
+        let (sharded, in_process) = reference(&mono, selector, spec);
+
+        let guard = FaultPlan::recoverable(seed).install();
+        let index = ShardedPeerIndex::new(selector, spec, n);
+        let report = distributed_warm(
+            &sharded,
+            &index,
+            2,
+            JobConfig { num_workers: 3, num_partitions: 4 },
+        )
+        .unwrap();
+        drop(guard);
+
+        prop_assert!(!report.fallback, "seed {seed}: recoverable plan degraded");
+        prop_assert_eq!(report.installed, Some(n as usize));
+        for u in (0..n).map(UserId::new) {
+            let got = index.cached_full(u).expect("warmed");
+            let want = in_process.cached_full(u).expect("warmed");
+            prop_assert_eq!(got.len(), want.len(), "seed {} user {}", seed, u);
+            for (pos, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+                prop_assert_eq!(g.0, w.0, "seed {} user {} pos {}", seed, u, pos);
+                prop_assert_eq!(
+                    g.1.to_bits(),
+                    w.1.to_bits(),
+                    "seed {} user {} pos {}",
+                    seed,
+                    u,
+                    pos
+                );
+            }
+        }
+    }
+}

@@ -58,7 +58,9 @@ pub use peers::{PeerSelector, Peers};
 pub use profile::ProfileSimilarity;
 pub use ratings::RatingsSimilarity;
 pub use semantic::SemanticSimilarity;
-pub use sharded::{shard_pair_edges, ShardedDeltaReport, ShardedPeerIndex, ShardedRatingsSimilarity};
+pub use sharded::{
+    shard_pair_edges, ShardedDeltaReport, ShardedPeerIndex, ShardedRatingsSimilarity,
+};
 
 use fairrec_types::UserId;
 

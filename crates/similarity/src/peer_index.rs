@@ -1163,17 +1163,16 @@ mod tests {
         // every preserved list bitwise identical to a cold rebuild over
         // the grown universe, while new slots start cold.
         let mut rows = vec![vec![0.0; 7]; 7];
-        for u in 0..7usize {
-            for v in 0..7usize {
+        for (u, row) in rows.iter_mut().enumerate() {
+            for (v, cell) in row.iter_mut().enumerate() {
                 // Symmetric, some pairs undefined, some below δ, ties.
-                let s = match (u + v) % 5 {
+                *cell = match (u + v) % 5 {
                     0 => -1.0, // undefined
                     1 => 0.15, // below δ = 0.3
                     2 => 0.6,
                     3 => 0.6, // ties exercise the id tiebreak
                     _ => 0.9,
                 };
-                rows[u][v] = s;
             }
         }
         let m = Table(rows);

@@ -747,12 +747,15 @@ impl ShardedPeerIndex {
                 .binary_search_by_key(&v, |&(w, _)| w)
                 .ok()
                 .map(|idx| new_by_id[idx].1);
-            match self.read_shard(s).splice_peer(local_v, user, sim, tokens[s]) {
-                Some(true) => touched[s] += 1,
-                // Cold slot (refills lazily) or a concurrent
-                // invalidation of that one shard (supersedes its
-                // splices; other shards proceed under their own tokens).
-                Some(false) | None => {}
+            // Not spliced: a cold slot (refills lazily) or a concurrent
+            // invalidation of that one shard (supersedes its splices;
+            // other shards proceed under their own tokens).
+            if self
+                .read_shard(s)
+                .splice_peer(local_v, user, sim, tokens[s])
+                == Some(true)
+            {
+                touched[s] += 1;
             }
         }
         self.read_shard(owning)
@@ -948,9 +951,7 @@ mod tests {
             let mut lists: Vec<Peers> = vec![Peers::new(); m.num_users() as usize];
             for a in 0..s as usize {
                 for b in a..s as usize {
-                    for (u, v, sim) in
-                        shard_pair_edges(&part, a, b, m.num_users(), 2, sel.delta)
-                    {
+                    for (u, v, sim) in shard_pair_edges(&part, a, b, m.num_users(), 2, sel.delta) {
                         lists[u.index()].push((v, sim));
                         lists[v.index()].push((u, sim));
                     }

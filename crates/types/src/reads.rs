@@ -82,7 +82,7 @@ impl RatingsRead for ShardedRatingMatrix {
             let mut best: Option<(usize, UserId)> = None;
             for (idx, stream) in streams.iter_mut().enumerate() {
                 if let Some(&(u, _)) = stream.peek() {
-                    if best.map_or(true, |(_, bu)| u < bu) {
+                    if best.is_none_or(|(_, bu)| u < bu) {
                         best = Some((idx, u));
                     }
                 }

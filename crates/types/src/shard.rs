@@ -66,10 +66,7 @@ impl ShardSpec {
     /// Rejects zero shards.
     pub fn new(num_shards: u32) -> Result<Self> {
         if num_shards == 0 {
-            return Err(FairrecError::invalid_parameter(
-                "num_shards",
-                "must be ≥ 1",
-            ));
+            return Err(FairrecError::invalid_parameter("num_shards", "must be ≥ 1"));
         }
         Ok(Self { num_shards })
     }
@@ -178,7 +175,7 @@ impl IdRemap {
     /// Debug-asserts monotonicity: `global` must exceed every owned id.
     pub fn push(&mut self, global: UserId) {
         debug_assert!(
-            self.owned.last().map_or(true, |&last| last < global),
+            self.owned.last().is_none_or(|&last| last < global),
             "remap admissions must be ascending (got {global} after {:?})",
             self.owned.last()
         );
@@ -256,7 +253,9 @@ impl ShardMatrix {
 
     /// `µ_user` for a global user id (`None` when unowned or rating-less).
     pub fn user_mean(&self, user: UserId) -> Option<f64> {
-        self.remap.local_of(user).and_then(|l| self.local.user_mean(l))
+        self.remap
+            .local_of(user)
+            .and_then(|l| self.local.user_mean(l))
     }
 
     /// Number of ratings by global user `user`.
@@ -274,7 +273,7 @@ impl ShardMatrix {
     /// Bytes of user-axis metadata: the compacted local arrays plus the
     /// remap table itself.
     pub fn user_axis_bytes(&self) -> usize {
-        self.local.user_axis_bytes() + self.remap.owned().len() * std::mem::size_of::<UserId>()
+        self.local.user_axis_bytes() + std::mem::size_of_val(self.remap.owned())
     }
 
     /// This shard's triples under **global** ids, sorted `(user, item)`
@@ -298,14 +297,12 @@ impl ShardMatrix {
     /// caller speaks.
     fn globalize_err(&self, err: FairrecError, global: UserId) -> FairrecError {
         match err {
-            FairrecError::DuplicateRating { item, .. } => FairrecError::DuplicateRating {
-                user: global,
-                item,
-            },
-            FairrecError::MissingRating { item, .. } => FairrecError::MissingRating {
-                user: global,
-                item,
-            },
+            FairrecError::DuplicateRating { item, .. } => {
+                FairrecError::DuplicateRating { user: global, item }
+            }
+            FairrecError::MissingRating { item, .. } => {
+                FairrecError::MissingRating { user: global, item }
+            }
             other => other,
         }
     }
@@ -329,7 +326,12 @@ impl ShardedRatingMatrix {
     /// Propagates shard-matrix build failures (cannot occur for a valid
     /// source matrix — its triples are already duplicate-free).
     pub fn from_matrix(matrix: &RatingMatrix, spec: ShardSpec) -> Result<Self> {
-        Self::from_triples(&matrix.to_triples(), spec, matrix.num_users(), matrix.num_items())
+        Self::from_triples(
+            &matrix.to_triples(),
+            spec,
+            matrix.num_users(),
+            matrix.num_items(),
+        )
     }
 
     /// Builds the partition directly from a triple relation — the
@@ -555,7 +557,11 @@ impl ShardedRatingMatrix {
     /// Re-materialises the full triple relation, sorted `(user, item)` —
     /// the union of every shard's relation.
     pub fn to_triples(&self) -> Vec<RatingTriple> {
-        let mut out: Vec<RatingTriple> = self.shards.iter().flat_map(ShardMatrix::to_triples).collect();
+        let mut out: Vec<RatingTriple> = self
+            .shards
+            .iter()
+            .flat_map(ShardMatrix::to_triples)
+            .collect();
         out.sort_unstable_by_key(|t| (t.user, t.item));
         out
     }
@@ -682,7 +688,11 @@ mod tests {
                 assert_eq!(shard.remap().len(), owned);
                 owned_total += owned;
             }
-            assert_eq!(owned_total, m.num_users(), "S={s}: shards tile the universe");
+            assert_eq!(
+                owned_total,
+                m.num_users(),
+                "S={s}: shards tile the universe"
+            );
         }
     }
 
@@ -784,9 +794,13 @@ mod tests {
         for s in [1u32, 2, 3, 8] {
             let spec = ShardSpec::new(s).unwrap();
             let via_matrix = ShardedRatingMatrix::from_matrix(&m, spec).unwrap();
-            let via_triples =
-                ShardedRatingMatrix::from_triples(&m.to_triples(), spec, m.num_users(), m.num_items())
-                    .unwrap();
+            let via_triples = ShardedRatingMatrix::from_triples(
+                &m.to_triples(),
+                spec,
+                m.num_users(),
+                m.num_items(),
+            )
+            .unwrap();
             assert_eq!(via_matrix.to_triples(), via_triples.to_triples());
             assert_eq!(via_matrix.num_users(), via_triples.num_users());
             assert_eq!(via_matrix.num_items(), via_triples.num_items());

@@ -46,6 +46,15 @@ pub mod channel {
     #[derive(Debug, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The wait lapsed with the channel still empty (senders alive).
+        Timeout,
+        /// The channel is empty and every sender has dropped.
+        Disconnected,
+    }
+
     /// Creates an unbounded MPMC channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
@@ -118,6 +127,40 @@ pub mod channel {
                     return Err(RecvError);
                 }
                 inner = self.shared.ready.wait(inner).expect("channel poisoned");
+            }
+        }
+
+        /// Blocks until a value arrives, every sender drops, or `timeout`
+        /// lapses — the wait the MapReduce retry driver uses to multiplex
+        /// task results with backoff/straggler deadlines.
+        ///
+        /// # Errors
+        /// [`RecvTimeoutError::Timeout`] when the wait lapsed first,
+        /// [`RecvTimeoutError::Disconnected`] when the channel is empty
+        /// and every sender has dropped.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut inner = self.shared.inner.lock().expect("channel poisoned");
+            loop {
+                if let Some(value) = inner.queue.pop_front() {
+                    return Ok(value);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                let Some(left) = deadline
+                    .checked_duration_since(now)
+                    .filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, _timed_out) = self
+                    .shared
+                    .ready
+                    .wait_timeout(inner, left)
+                    .expect("channel poisoned");
+                inner = guard;
             }
         }
 
@@ -213,6 +256,22 @@ pub mod channel {
             });
             seen.sort_unstable();
             assert_eq!(seen, (0..n).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn recv_timeout_times_out_then_delivers() {
+            let (tx, rx) = unbounded::<u8>();
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(3).unwrap();
+            assert_eq!(rx.recv_timeout(std::time::Duration::from_millis(5)), Ok(3));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(5)),
+                Err(RecvTimeoutError::Disconnected)
+            );
         }
 
         #[test]
