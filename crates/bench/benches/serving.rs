@@ -18,12 +18,15 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fairrec_bench::{bench_thread_counts, bench_users};
 use fairrec_core::group::Group;
 use fairrec_data::{SyntheticConfig, SyntheticDataset};
-use fairrec_engine::{EngineConfig, RecommenderEngine, Server, ServerConfig};
+use fairrec_engine::{EngineConfig, IngestPolicy, RecommenderEngine, Server, ServerConfig};
 use fairrec_ontology::snomed::clinical_fragment;
-use fairrec_types::{Deadline, GroupId, Parallelism, UserId};
+use fairrec_similarity::{PeerIndex, PeerSelector, Peers, RatingsSimilarity};
+use fairrec_types::{Deadline, GroupId, ItemId, Parallelism, UserId};
+use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::hint::black_box;
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
 
 const NUM_GROUPS: u32 = 64;
 const REPEATS: usize = 4;
@@ -222,5 +225,222 @@ fn bench_load_replay(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_serving, bench_load_replay);
+/// Group-read latency under a concurrent full warm: the
+/// epoch-published [`PeerIndex`] (one pin amortised over the group via
+/// `cached_full_bulk`) against a bench-local replica of the pre-epoch
+/// design — one `RwLock<Option<Arc<Peers>>>` per slot, which can only
+/// serve a group by taking one reader lock *per member*. Both sides
+/// run the identical churn loop (blanket invalidation + full symmetric
+/// kernel warm, repeated) while reader threads time group-shaped
+/// snapshot reads over the hot members of the coalescing workload
+/// above; the p50/p95 rows land as scalars and
+/// `warm_under_load_epoch_vs_locked` freezes the p95 ratio — the
+/// serve-through-warms claim — into the trajectory file.
+fn bench_warm_under_load(c: &mut Criterion) {
+    let _ = c; // same signature as the timing benches; measures by hand
+    const READERS: usize = 4;
+    /// The duplicate-heavy serving shape: concurrent requests hit the
+    /// *same* few group members, so reader traffic concentrates on a
+    /// hot slot set.
+    const HOT_USERS: u32 = 8;
+    /// Members per timed read — the two-member groups of the serving
+    /// workload.
+    const GROUP: usize = 2;
+    const WARM_THREADS: usize = 4;
+    const WINDOW: Duration = Duration::from_millis(250);
+    let num_users = bench_users(1000);
+    let data = SyntheticDataset::generate(
+        SyntheticConfig {
+            num_users,
+            num_items: num_users * 2,
+            num_communities: 4,
+            ratings_per_user: 40,
+            seed: 23,
+            ..Default::default()
+        },
+        &clinical_fragment(),
+    )
+    .expect("valid config");
+    let measure = RatingsSimilarity::new(Arc::new(data.matrix));
+    let selector = PeerSelector::new(0.0).expect("finite δ");
+
+    // Shared reader harness: time every group read while `done` is clear.
+    type GroupLoad<'a> = dyn Fn(&[UserId]) -> Vec<Option<Arc<Peers>>> + Sync + 'a;
+    let run_readers = |load: &GroupLoad<'_>, done: &AtomicBool| {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..READERS)
+                .map(|r| {
+                    scope.spawn(move || {
+                        let mut rng = StdRng::seed_from_u64(0x9E37 + r as u64);
+                        let mut latencies = Vec::with_capacity(1 << 20);
+                        let started = Instant::now();
+                        while started.elapsed() < WINDOW {
+                            let group: [UserId; GROUP] =
+                                std::array::from_fn(|_| UserId::new(rng.gen_range(0..HOT_USERS)));
+                            let t0 = Instant::now();
+                            black_box(load(&group));
+                            latencies.push(t0.elapsed().as_nanos() as u64);
+                        }
+                        latencies
+                    })
+                })
+                .collect();
+            let mut all: Vec<u64> = handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("reader panicked"))
+                .collect();
+            done.store(true, Ordering::Release);
+            all.sort_unstable();
+            all
+        })
+    };
+
+    // Epoch side: the real index, churned through its own public surface.
+    let index = PeerIndex::new(selector, num_users);
+    index.warm_symmetric(&measure, Parallelism::Threads(WARM_THREADS));
+    let done = AtomicBool::new(false);
+    let epoch = std::thread::scope(|scope| {
+        scope.spawn(|| {
+            while !done.load(Ordering::Acquire) {
+                index.invalidate_all();
+                index.warm_symmetric(&measure, Parallelism::Threads(WARM_THREADS));
+            }
+        });
+        run_readers(&|group| index.cached_full_bulk(group), &done)
+    });
+
+    // Locked side: per-slot reader-writer locks, the same churn.
+    let slots: Vec<RwLock<Option<Arc<Peers>>>> =
+        (0..num_users).map(|_| RwLock::new(None)).collect();
+    {
+        let scratch = PeerIndex::new(selector, num_users);
+        scratch.warm_symmetric(&measure, Parallelism::Threads(WARM_THREADS));
+        for (u, slot) in slots.iter().enumerate() {
+            *slot.write().expect("unpoisoned") = scratch.cached_full(UserId::new(u as u32));
+        }
+    }
+    let done = AtomicBool::new(false);
+    let locked = std::thread::scope(|scope| {
+        scope.spawn(|| {
+            while !done.load(Ordering::Acquire) {
+                for slot in &slots {
+                    *slot.write().expect("unpoisoned") = None;
+                }
+                let scratch = PeerIndex::new(selector, num_users);
+                scratch.warm_symmetric(&measure, Parallelism::Threads(WARM_THREADS));
+                for (u, slot) in slots.iter().enumerate() {
+                    *slot.write().expect("unpoisoned") = scratch.cached_full(UserId::new(u as u32));
+                }
+            }
+        });
+        run_readers(
+            &|group| {
+                group
+                    .iter()
+                    .map(|u| slots[u.index()].read().expect("unpoisoned").clone())
+                    .collect()
+            },
+            &done,
+        )
+    });
+
+    for (side, latencies) in [("epoch", &epoch), ("locked", &locked)] {
+        let n = latencies.len();
+        criterion::record_scalar(
+            &format!("warm_under_load/{side}_p50"),
+            percentile(latencies, 50) as f64,
+            n,
+        );
+        criterion::record_scalar(
+            &format!("warm_under_load/{side}_p95"),
+            percentile(latencies, 95) as f64,
+            n,
+        );
+        println!(
+            "warm_under_load[{side}]: {n} reads, p50 {} ns, p95 {} ns, p99 {} ns",
+            percentile(latencies, 50),
+            percentile(latencies, 95),
+            percentile(latencies, 99),
+        );
+    }
+}
+
+/// Batch maintenance cost, model-picked vs forced-blanket: the same
+/// small batch (point updates on four users) against a warm engine,
+/// once under the default [`IngestPolicy::Adaptive`] (the kernel cost
+/// model routes it to per-event delta replays; the cache never cools)
+/// and once under [`IngestPolicy::AlwaysBlanket`] plus the
+/// `warm_peer_index` call the blanket then requires before serving
+/// resumes. The `ingest_adaptive_vs_blanket` trajectory ratio is the
+/// cost-model claim: adaptively-routed small batches undercut the
+/// blanket by orders of magnitude.
+fn bench_ingest_adaptive(c: &mut Criterion) {
+    let num_users = bench_users(1000);
+    let mut bench = c.benchmark_group("ingest_adaptive");
+    bench.sample_size(10);
+    let build = |policy: IngestPolicy| {
+        let data = SyntheticDataset::generate(
+            SyntheticConfig {
+                num_users,
+                num_items: num_users * 2,
+                num_communities: 4,
+                ratings_per_user: 40,
+                seed: 23,
+                ..Default::default()
+            },
+            &clinical_fragment(),
+        )
+        .expect("valid config");
+        let engine = RecommenderEngine::new(
+            data.matrix,
+            data.profiles,
+            clinical_fragment(),
+            EngineConfig {
+                parallelism: Parallelism::Threads(4),
+                ingest_policy: policy,
+                ..Default::default()
+            },
+        )
+        .expect("valid engine");
+        engine.warm_peer_index();
+        engine
+    };
+    // Same-score updates: idempotent, so iterations compose and both
+    // engines keep serving the identical relation.
+    let batch: Vec<(UserId, ItemId, f64)> = (0..4)
+        .map(|k| (UserId::new(k * 7), ItemId::new(k * 11), 3.5))
+        .collect();
+
+    let mut engine = build(IngestPolicy::Adaptive);
+    bench.bench_function("model_picked", |b| {
+        b.iter(|| {
+            black_box(
+                engine
+                    .ingest_ratings(batch.iter().copied())
+                    .expect("valid batch"),
+            )
+        })
+    });
+
+    let mut engine = build(IngestPolicy::AlwaysBlanket);
+    bench.bench_function("forced_blanket", |b| {
+        b.iter(|| {
+            black_box(
+                engine
+                    .ingest_ratings(batch.iter().copied())
+                    .expect("valid batch"),
+            );
+            black_box(engine.warm_peer_index())
+        })
+    });
+    bench.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_serving,
+    bench_load_replay,
+    bench_warm_under_load,
+    bench_ingest_adaptive
+);
 criterion_main!(benches);

@@ -41,6 +41,25 @@ pub enum SelectionAlgorithm {
     PlainTopZ,
 }
 
+/// How [`RecommenderEngine::ingest_ratings`] keeps the peer cache fresh
+/// for a batch.
+///
+/// [`RecommenderEngine::ingest_ratings`]:
+///     crate::RecommenderEngine::ingest_ratings
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IngestPolicy {
+    /// The kernel cost model decides per batch: replay the batch as
+    /// per-event deltas when their estimated co-rating mass undercuts
+    /// one symmetric rewarm, blanket-invalidate otherwise. Both routes
+    /// serve bitwise-identical results; only the work differs.
+    #[default]
+    Adaptive,
+    /// Always take the blanket invalidation (the pre-model behaviour) —
+    /// the baseline the cost-model regression tests and benches compare
+    /// against.
+    AlwaysBlanket,
+}
+
 /// Whether predictions run in memory or through the MapReduce pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecutionPath {
@@ -95,6 +114,10 @@ pub struct EngineConfig {
     /// not shard their work. `None` (the default) keeps the monolithic
     /// [`fairrec_similarity::PeerIndex`].
     pub num_shards: Option<u32>,
+    /// Batch-ingestion maintenance route: cost-model-driven
+    /// ([`IngestPolicy::Adaptive`], the default) or the unconditional
+    /// blanket invalidation.
+    pub ingest_policy: IngestPolicy,
 }
 
 impl Default for EngineConfig {
@@ -113,6 +136,7 @@ impl Default for EngineConfig {
             execution: ExecutionPath::InMemory,
             parallelism: Parallelism::default(),
             num_shards: None,
+            ingest_policy: IngestPolicy::default(),
         }
     }
 }

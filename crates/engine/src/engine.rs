@@ -10,12 +10,16 @@
 //! [`RecommenderEngine::ingest_rating`], which patches the matrix in
 //! place and repairs the peer cache incrementally
 //! ([`fairrec_similarity::PeerIndex::apply_delta`]) instead of dropping
-//! it; [`RecommenderEngine::ingest_ratings`] takes the blanket
-//! invalidation path for bulk loads, and
-//! [`RecommenderEngine::invalidate_peers`] remains the manual fallback
-//! (the index docs spell out the full update-path contract).
+//! it; [`RecommenderEngine::remove_rating`] is the shrink counterpart
+//! over the same delta machinery; [`RecommenderEngine::ingest_ratings`]
+//! routes bulk loads through a kernel cost model — per-event delta
+//! replay below the computed mass threshold, blanket invalidation above
+//! it — and [`RecommenderEngine::invalidate_peers`] remains the manual
+//! fallback (the index docs spell out the full update-path contract).
 
-use crate::config::{EngineConfig, ExecutionPath, SelectionAlgorithm, SimilarityKind};
+use crate::config::{
+    EngineConfig, ExecutionPath, IngestPolicy, SelectionAlgorithm, SimilarityKind,
+};
 use fairrec_core::brute_force::brute_force;
 use fairrec_core::fairness::FairnessEvaluator;
 use fairrec_core::greedy::{algorithm1, plain_top_z, Selection};
@@ -87,7 +91,8 @@ pub struct GroupRecommendation {
     pub pool_size: usize,
 }
 
-/// What [`RecommenderEngine::ingest_rating`] did to the rating relation.
+/// What [`RecommenderEngine::ingest_rating`] /
+/// [`RecommenderEngine::remove_rating`] did to the rating relation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum IngestOp {
     /// A new `(user, item)` fact was inserted.
@@ -95,6 +100,12 @@ pub enum IngestOp {
     /// An existing fact's score was replaced.
     Updated {
         /// The score that was replaced.
+        previous: f64,
+    },
+    /// An existing fact was deleted
+    /// ([`RecommenderEngine::remove_rating`]).
+    Removed {
+        /// The score that was removed.
         previous: f64,
     },
 }
@@ -146,6 +157,47 @@ pub struct IngestReport {
     pub op: IngestOp,
     /// What happened to the cached peer lists.
     pub peers: PeerMaintenance,
+}
+
+/// How [`RecommenderEngine::ingest_ratings`] maintained the peer cache —
+/// the cost model's routing decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchPeerMaintenance {
+    /// The model priced the batch's per-event deltas below one rewarm
+    /// (and the policy allowed it): every event replayed through the
+    /// exact delta path, warm lists stayed warm, `touched` endpoint
+    /// lists were spliced in place across the batch.
+    DeltaReplayed {
+        /// Warm peer lists (beyond the writing users' own) patched.
+        touched: usize,
+    },
+    /// The relation was rebuilt in one pass and the blanket
+    /// invalidation ran — the model priced the deltas at or above one
+    /// rewarm, the policy forced it
+    /// ([`IngestPolicy::AlwaysBlanket`](crate::IngestPolicy)), the
+    /// backend is not delta-capable, or the cache was already cold.
+    Blanket,
+    /// The batch was empty — nothing changed anywhere.
+    Untouched,
+}
+
+/// Receipt of one [`RecommenderEngine::ingest_ratings`] call: what was
+/// applied, which maintenance route ran, and the cost-model masses that
+/// drove the choice (comparable across runs — they derive only from the
+/// pre-batch relation shape).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchIngestReport {
+    /// Ratings applied (inserts + updates).
+    pub applied: usize,
+    /// The maintenance route taken.
+    pub peers: BatchPeerMaintenance,
+    /// Estimated kernel work of replaying the batch as per-event
+    /// deltas: `Σ_events co_rating_mass(user)` over the pre-batch
+    /// store.
+    pub delta_mass: u64,
+    /// Estimated kernel work of one symmetric rewarm:
+    /// `total_co_rating_mass() / 2` over the pre-batch store.
+    pub blanket_mass: u64,
 }
 
 /// Transient backend installed while the matrix is patched: dropping the
@@ -226,6 +278,28 @@ impl RatingStore {
         match self {
             Self::Mono(m) => m.to_triples(),
             Self::Sharded(s) => s.to_triples(),
+        }
+    }
+
+    /// Co-rating mass of `user` — `Σ_{i ∈ I(user)} |U(i)|`, the stored
+    /// ratings one one-vs-all kernel pass from `user` scans (see
+    /// [`RatingMatrix::co_rating_mass`]; owner-routed degrees when
+    /// sharded). The ingestion cost model prices one delta replay at
+    /// this figure.
+    pub fn co_rating_mass(&self, user: UserId) -> u64 {
+        match self {
+            Self::Mono(m) => m.co_rating_mass(user),
+            Self::Sharded(s) => s.co_rating_mass(user),
+        }
+    }
+
+    /// Total co-rating mass `Σ_i |U(i)|²` — see
+    /// [`RatingMatrix::total_co_rating_mass`]. Half of it prices the
+    /// symmetric rewarm a blanket invalidation implies.
+    pub fn total_co_rating_mass(&self) -> u64 {
+        match self {
+            Self::Mono(m) => m.total_co_rating_mass(),
+            Self::Sharded(s) => s.total_co_rating_mass(),
         }
     }
 
@@ -654,6 +728,14 @@ impl RecommenderEngine {
         // mutation: `raw() + 1` sizing cannot represent them, and the
         // error contract promises an untouched engine.
         Self::validate_ingest_ids(user, item)?;
+        self.ingest_one(user, item, rating)
+    }
+
+    /// The validated single-event ingest: everything
+    /// [`ingest_rating`](Self::ingest_rating) does after its input
+    /// guards — also the per-event unit the adaptive batch path
+    /// ([`ingest_ratings`](Self::ingest_ratings)) replays.
+    fn ingest_one(&mut self, user: UserId, item: ItemId, rating: Rating) -> Result<IngestReport> {
         let is_update = self.store.has_rated(user, item);
         let delta_capable = matches!(self.config.similarity, SimilarityKind::Ratings);
         // A brand-new rater under the delta-capable backend: grow the
@@ -708,23 +790,78 @@ impl RecommenderEngine {
         })
     }
 
+    /// Deletes one stored rating — the shrink half of the live update
+    /// path (a patient ending care walks out of the co-rating relation
+    /// one rating at a time). The peer maintenance is the same exact
+    /// machinery as [`ingest_rating`](Self::ingest_rating): the user's
+    /// pre-change list is materialised, the matrix row shrinks in
+    /// place, and [`PeerIndex::apply_delta`] splices the refreshed
+    /// edges into every warm endpoint list — subsequent requests serve
+    /// bitwise what a fresh engine over the shrunk relation would. The
+    /// id spaces never shrink (the user keeps existing, possibly with
+    /// zero ratings), so the index universe is untouched.
+    ///
+    /// # Errors
+    /// Returns [`fairrec_types::FairrecError::MissingRating`] when
+    /// `(user, item)` holds no rating. The engine is unchanged on
+    /// error.
+    pub fn remove_rating(&mut self, user: UserId, item: ItemId) -> Result<IngestReport> {
+        // Reject before the pre-cache fill below so an erroneous call
+        // leaves the engine bit-for-bit untouched.
+        if !self.store.has_rated(user, item) {
+            return Err(FairrecError::MissingRating { user, item });
+        }
+        let delta_capable = matches!(self.config.similarity, SimilarityKind::Ratings);
+        // Same exactness precondition as the insert/update path: the
+        // pre-change list must be cached whenever any list is.
+        if delta_capable && self.peers.num_cached() > 0 {
+            match &self.peers {
+                PeerBackend::Mono(index) => {
+                    let _ = index.full_peers(&self.measure, user);
+                }
+                PeerBackend::Sharded(index) => index.prepare_delta(&self.measure, user),
+            }
+        }
+        let previous = self.patch_store(|store| match store {
+            RatingStore::Mono(matrix) => Arc::make_mut(matrix).remove_rating(user, item),
+            RatingStore::Sharded(sharded) => Arc::make_mut(sharded).remove_rating(user, item),
+        })?;
+        let peers = self.refresh_peers_after(user, delta_capable);
+        Ok(IngestReport {
+            op: IngestOp::Removed { previous },
+            peers,
+        })
+    }
+
     /// Batch ingestion: applies every `(user, item, score)` as an insert
     /// (or update when the pair exists; later duplicates in the batch
-    /// win), then refreshes the peer cache **once** with the blanket
-    /// invalidation instead of per-event deltas — the right trade once a
-    /// batch stops being small, since each delta pays one kernel pass
-    /// while an invalidate-plus-
-    /// [`warm_peer_index`](Self::warm_peer_index) pays roughly one pass
-    /// per user total. The matrix side is amortised too: instead of one
-    /// array-memmove point mutation per entry (O(batch · |R|)), the
-    /// final relation is rebuilt once — O(|R| + batch). Returns the
-    /// number of ratings applied.
+    /// win), keeping the peer cache fresh along whichever maintenance
+    /// route the kernel cost model prices cheaper (under the default
+    /// [`IngestPolicy::Adaptive`](crate::IngestPolicy)):
+    ///
+    /// * **Delta replay** — each event runs the exact
+    ///   [`ingest_rating`](Self::ingest_rating) delta, priced at its
+    ///   user's co-rating mass `Σ_{i ∈ I(u)} |U(i)|` (the ratings one
+    ///   one-vs-all kernel pass scans, read off the maintained degree
+    ///   arrays). Warm lists stay warm throughout.
+    /// * **Blanket** — the final relation is rebuilt in one pass
+    ///   (O(|R| + batch) instead of per-entry memmoves) and every
+    ///   cached list is dropped for the next
+    ///   [`warm_peer_index`](Self::warm_peer_index), priced at the
+    ///   symmetric warm's `total_co_rating_mass() / 2`.
+    ///
+    /// The batch takes the delta route iff the summed delta mass
+    /// undercuts the rewarm mass, the backend is delta-capable
+    /// (`Ratings`), and any list is warm to preserve — otherwise
+    /// blanket. Both routes leave the engine serving **bitwise
+    /// identical** results; only the work differs. The decision and
+    /// both masses are surfaced in the returned [`BatchIngestReport`].
     ///
     /// # Errors
     /// All-or-nothing: an invalid score or an unstorable sentinel id
     /// (`u32::MAX`) rejects the whole batch, and the engine (matrix
     /// *and* warm peer cache) is left untouched.
-    pub fn ingest_ratings<I>(&mut self, batch: I) -> Result<usize>
+    pub fn ingest_ratings<I>(&mut self, batch: I) -> Result<BatchIngestReport>
     where
         I: IntoIterator<Item = (UserId, ItemId, f64)>,
     {
@@ -738,9 +875,46 @@ impl RecommenderEngine {
             })
             .collect::<Result<_>>()?;
         if staged.is_empty() {
-            return Ok(0);
+            return Ok(BatchIngestReport {
+                applied: 0,
+                peers: BatchPeerMaintenance::Untouched,
+                delta_mass: 0,
+                blanket_mass: 0,
+            });
         }
         let applied = staged.len();
+        // Price both routes off the pre-batch relation shape: a delta
+        // replay for `u` scans the ratings co-rated with `u`'s items,
+        // a blanket costs one symmetric rewarm over every co-rating
+        // pair. Estimates, not exact counts — the batch itself shifts
+        // the degrees as it lands — but the error is O(batch) against
+        // masses of O(|R|·degree).
+        let delta_mass: u64 = staged
+            .iter()
+            .map(|&(user, _, _)| self.store.co_rating_mass(user))
+            .sum();
+        let blanket_mass = self.store.total_co_rating_mass() / 2;
+        let delta_capable = matches!(self.config.similarity, SimilarityKind::Ratings);
+        if self.config.ingest_policy == IngestPolicy::Adaptive
+            && delta_capable
+            && self.peers.num_cached() > 0
+            && delta_mass < blanket_mass
+        {
+            let mut touched = 0usize;
+            for (user, item, rating) in staged {
+                if let PeerMaintenance::DeltaSpliced { touched: t } =
+                    self.ingest_one(user, item, rating)?.peers
+                {
+                    touched += t;
+                }
+            }
+            return Ok(BatchIngestReport {
+                applied,
+                peers: BatchPeerMaintenance::DeltaReplayed { touched },
+                delta_mass,
+                blanket_mass,
+            });
+        }
         self.patch_store(|store| {
             // Merge the batch into the current relation. The map sorts
             // `(user, item)` — exactly the order the builders sum means
@@ -788,7 +962,12 @@ impl RecommenderEngine {
         } else if self.ratings_feed_measure() {
             self.peers.invalidate_all();
         }
-        Ok(applied)
+        Ok(BatchIngestReport {
+            applied,
+            peers: BatchPeerMaintenance::Blanket,
+            delta_mass,
+            blanket_mass,
+        })
     }
 
     /// Grows the peer universe in place (warm lists preserved — see
@@ -1593,7 +1772,9 @@ mod tests {
             e.warm_peer_index();
             let warm = e.peer_index().num_cached();
             let generation = e.peer_index().generation();
-            assert_eq!(e.ingest_ratings(std::iter::empty()).unwrap(), 0);
+            let report = e.ingest_ratings(std::iter::empty()).unwrap();
+            assert_eq!(report.applied, 0);
+            assert_eq!(report.peers, BatchPeerMaintenance::Untouched);
             assert_eq!(e.peer_index().num_cached(), warm, "no-op batch");
             assert_eq!(
                 e.peer_index().generation(),
@@ -1648,16 +1829,22 @@ mod tests {
 
     #[test]
     fn batch_ingestion_invalidates_once_and_matches_fresh() {
-        let mut live = engine(EngineConfig::default());
+        // Pin the pre-model blanket baseline explicitly — the adaptive
+        // routing itself is covered by the cost-model regression tests.
+        let mut live = engine(EngineConfig {
+            ingest_policy: IngestPolicy::AlwaysBlanket,
+            ..Default::default()
+        });
         live.warm_peer_index();
-        let applied = live
+        let report = live
             .ingest_ratings([
                 (UserId::new(0), ItemId::new(140), 4.0),
                 (UserId::new(1), ItemId::new(140), 3.0),
                 (UserId::new(0), ItemId::new(140), 2.0), // update
             ])
             .unwrap();
-        assert_eq!(applied, 3);
+        assert_eq!(report.applied, 3);
+        assert_eq!(report.peers, BatchPeerMaintenance::Blanket);
         assert_eq!(live.peer_index().num_cached(), 0, "blanket path");
         assert_eq!(
             live.ratings().rating(UserId::new(0), ItemId::new(140)),
@@ -1781,14 +1968,18 @@ mod tests {
             "served packages must match a from-scratch sharded engine"
         );
 
-        // Batch path: blanket invalidation + shard re-partition.
-        let applied = live
+        // Batch path, blanket route forced: one invalidation + shard
+        // re-partition (the adaptive model would pick deltas for a
+        // batch this small — that route is pinned elsewhere).
+        live.config.ingest_policy = IngestPolicy::AlwaysBlanket;
+        let report = live
             .ingest_ratings([
                 (UserId::new(1), ItemId::new(141), 2.0),
                 (UserId::new(2), ItemId::new(141), 4.0),
             ])
             .unwrap();
-        assert_eq!(applied, 2);
+        assert_eq!(report.applied, 2);
+        assert_eq!(report.peers, BatchPeerMaintenance::Blanket);
         assert_eq!(live.peer_index().num_cached(), 0, "blanket path");
         live.warm_peer_index();
         let fresh = rebuilt_engine(&live);

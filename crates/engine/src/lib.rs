@@ -24,9 +24,10 @@ mod engine;
 pub mod evaluation;
 mod serving;
 
-pub use config::{EngineConfig, ExecutionPath, SelectionAlgorithm, SimilarityKind};
+pub use config::{EngineConfig, ExecutionPath, IngestPolicy, SelectionAlgorithm, SimilarityKind};
 pub use engine::{
-    GroupRecommendation, IngestOp, IngestReport, MemberSatisfaction, PeerBackend, PeerMaintenance,
-    RatingStore, RecommendedItem, RecommenderEngine,
+    BatchIngestReport, BatchPeerMaintenance, GroupRecommendation, IngestOp, IngestReport,
+    MemberSatisfaction, PeerBackend, PeerMaintenance, RatingStore, RecommendedItem,
+    RecommenderEngine,
 };
 pub use serving::{Server, ServerConfig, ServerStats, Ticket};

@@ -1,0 +1,169 @@
+//! Cost-model regression for adaptive batch ingestion.
+//!
+//! [`RecommenderEngine::ingest_ratings`] prices a batch two ways off
+//! the maintained degree arrays — the summed co-rating mass of
+//! per-event delta replays vs one symmetric rewarm — and routes
+//! accordingly. These tests pin the decision surface:
+//!
+//! * a 1-entry batch into a warm engine takes the **delta** route and
+//!   keeps the cache warm;
+//! * a full-relation batch takes the **blanket** route (the summed
+//!   per-event masses provably reach `Σ_u deg(u)·mass(u) ≥ 2·blanket`);
+//! * both surfaced masses equal the hand-computed figures on the
+//!   pre-batch store;
+//! * either route serves **bitwise** what the forced-blanket baseline
+//!   ([`IngestPolicy::AlwaysBlanket`]) serves after its rewarm.
+//!
+//! Runs over the monolithic and the sharded backend.
+
+use fairrec_core::group::Group;
+use fairrec_data::{SyntheticConfig, SyntheticDataset};
+use fairrec_engine::{BatchPeerMaintenance, EngineConfig, IngestPolicy, RecommenderEngine};
+use fairrec_ontology::snomed::clinical_fragment;
+use fairrec_types::{GroupId, ItemId, UserId};
+
+const NUM_USERS: u32 = 32;
+const NUM_ITEMS: u32 = 48;
+
+fn engine(num_shards: Option<u32>, policy: IngestPolicy) -> RecommenderEngine {
+    let ontology = clinical_fragment();
+    let data = SyntheticDataset::generate(
+        SyntheticConfig {
+            num_users: NUM_USERS,
+            num_items: NUM_ITEMS,
+            num_communities: 4,
+            ratings_per_user: 10,
+            seed: 61,
+            ..Default::default()
+        },
+        &ontology,
+    )
+    .unwrap();
+    RecommenderEngine::new(
+        data.matrix,
+        data.profiles,
+        ontology,
+        EngineConfig {
+            num_shards,
+            ingest_policy: policy,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+/// Serving fingerprint compared bitwise between the adaptive engine and
+/// the forced-blanket baseline.
+fn serve(engine: &RecommenderEngine) -> Vec<String> {
+    let mut out = Vec::new();
+    for (gid, members) in [
+        (0u32, vec![0u32, 5, 9]),
+        (1, vec![2, 11, 17, 23]),
+        (2, vec![30]),
+    ] {
+        let group = Group::new(GroupId::new(gid), members.into_iter().map(UserId::new)).unwrap();
+        out.push(format!(
+            "{:?}",
+            engine.recommend_for_group(&group, 6).unwrap()
+        ));
+    }
+    for u in [0u32, 7, 19, 31] {
+        out.push(format!(
+            "{:?}",
+            engine.recommend_for_user(UserId::new(u), 5).unwrap()
+        ));
+    }
+    out
+}
+
+fn cost_model_routes_and_reports(num_shards: Option<u32>) {
+    let mut adaptive = engine(num_shards, IngestPolicy::Adaptive);
+    let mut baseline = engine(num_shards, IngestPolicy::AlwaysBlanket);
+    adaptive.warm_peer_index();
+    baseline.warm_peer_index();
+    let warm_count = adaptive.peer_index().num_cached();
+    assert!(warm_count > 0);
+
+    // --- 1-entry batch: the model must pick the delta replay. ---
+    let event = (UserId::new(3), ItemId::new(40), 4.5);
+    let want_delta = adaptive.ratings().co_rating_mass(event.0);
+    let want_blanket = adaptive.ratings().total_co_rating_mass() / 2;
+    let report = adaptive.ingest_ratings([event]).unwrap();
+    assert_eq!(report.applied, 1);
+    assert!(
+        matches!(report.peers, BatchPeerMaintenance::DeltaReplayed { .. }),
+        "1-entry batch must replay as a delta, got {:?}",
+        report.peers
+    );
+    assert_eq!(report.delta_mass, want_delta, "surfaced delta mass");
+    assert_eq!(report.blanket_mass, want_blanket, "surfaced blanket mass");
+    assert!(report.delta_mass < report.blanket_mass);
+    assert_eq!(
+        adaptive.peer_index().num_cached(),
+        warm_count,
+        "the delta route must keep every warm list warm"
+    );
+
+    let b = baseline.ingest_ratings([event]).unwrap();
+    assert_eq!(
+        b.peers,
+        BatchPeerMaintenance::Blanket,
+        "forced-blanket baseline"
+    );
+    assert_eq!((b.delta_mass, b.blanket_mass), (want_delta, want_blanket));
+    assert_eq!(
+        baseline.peer_index().num_cached(),
+        0,
+        "the blanket route drops the cache"
+    );
+    baseline.warm_peer_index();
+    assert_eq!(
+        serve(&adaptive),
+        serve(&baseline),
+        "delta vs rewarmed blanket"
+    );
+
+    // --- Full-relation batch: the model must pick the blanket. ---
+    // Re-ingest every stored triple with a tweaked score: each event by
+    // user u costs mass(u), so the sum is Σ_u deg(u)·mass(u) ≥
+    // Σ_u mass(u) = 2·blanket — the delta route can never win here.
+    let rewrite: Vec<(UserId, ItemId, f64)> = adaptive
+        .ratings()
+        .to_triples()
+        .into_iter()
+        .map(|t| {
+            let s = t.rating.value();
+            (t.user, t.item, if s >= 3.0 { s - 0.5 } else { s + 0.5 })
+        })
+        .collect();
+    let want_delta: u64 = rewrite
+        .iter()
+        .map(|&(u, _, _)| adaptive.ratings().co_rating_mass(u))
+        .sum();
+    let want_blanket = adaptive.ratings().total_co_rating_mass() / 2;
+    let report = adaptive.ingest_ratings(rewrite.iter().copied()).unwrap();
+    assert_eq!(report.applied, rewrite.len());
+    assert_eq!(
+        report.peers,
+        BatchPeerMaintenance::Blanket,
+        "full-relation batch must take the blanket"
+    );
+    assert_eq!(report.delta_mass, want_delta, "surfaced delta mass");
+    assert_eq!(report.blanket_mass, want_blanket, "surfaced blanket mass");
+    assert!(report.delta_mass >= report.blanket_mass);
+
+    baseline.ingest_ratings(rewrite.iter().copied()).unwrap();
+    adaptive.warm_peer_index();
+    baseline.warm_peer_index();
+    assert_eq!(serve(&adaptive), serve(&baseline), "post-blanket serving");
+}
+
+#[test]
+fn cost_model_routes_and_reports_mono() {
+    cost_model_routes_and_reports(None);
+}
+
+#[test]
+fn cost_model_routes_and_reports_sharded() {
+    cost_model_routes_and_reports(Some(3));
+}

@@ -6,10 +6,12 @@
 //! universes, and ingest mutates only the owning shard. These tests pin
 //! the contract that makes that safe:
 //!
-//! * for random operation streams (point ingests, batch ingests,
-//!   mid-stream warms, group and single-user serving), an engine sharded
-//!   at S ∈ {1, 2, 3, 8} produces **bitwise** the results of the
-//!   monolithic engine, including new-user growth mid-stream;
+//! * for random operation streams (point ingests, removals, batch
+//!   ingests, mid-stream warms, group and single-user serving), an
+//!   engine sharded at S ∈ {1, 2, 3, 8} produces **bitwise** the
+//!   results of the monolithic engine, including new-user growth
+//!   mid-stream and `max_peers`-capped configurations (where the
+//!   capped splice rules and saturation degrades must agree too);
 //! * the per-shard metadata really is O(U/S): shard universes partition
 //!   the global id space, and no shard's user-axis footprint approaches
 //!   the monolithic one.
@@ -26,7 +28,7 @@ const NUM_USERS: u32 = 32;
 const NUM_ITEMS: u32 = 60;
 const SHARD_COUNTS: [u32; 4] = [1, 2, 3, 8];
 
-fn engine(num_shards: Option<u32>) -> RecommenderEngine {
+fn engine_with(num_shards: Option<u32>, max_peers: Option<usize>) -> RecommenderEngine {
     let ontology = clinical_fragment();
     let data = SyntheticDataset::generate(
         SyntheticConfig {
@@ -46,10 +48,15 @@ fn engine(num_shards: Option<u32>) -> RecommenderEngine {
         ontology,
         EngineConfig {
             num_shards,
+            max_peers,
             ..Default::default()
         },
     )
     .unwrap()
+}
+
+fn engine(num_shards: Option<u32>) -> RecommenderEngine {
+    engine_with(num_shards, None)
 }
 
 /// One step of the random serving-plus-ingestion stream.
@@ -58,6 +65,9 @@ enum Op {
     /// `ingest_rating` — users can exceed the seeded universe, so the
     /// stream exercises in-place growth too.
     Ingest { user: u32, item: u32, score: f64 },
+    /// `remove_rating` — shrinks through the delta machinery; misses
+    /// must fail identically on every engine.
+    Remove { user: u32, item: u32 },
     /// `ingest_ratings` (batch rebuild path).
     IngestBatch(Vec<(u32, u32, f64)>),
     /// Mid-stream symmetric warm on every engine.
@@ -79,11 +89,15 @@ fn rating_strategy() -> impl Strategy<Value = (u32, u32, f64)> {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     // Weighted choice over the op kinds (the shim has no `prop_oneof!`):
-    // 0–2 point ingest, 3 batch ingest, 4 warm, 5–7 group, 8–9 user.
+    // 0–1 point ingest, 2 removal, 3 batch ingest, 4 warm, 5–7 group,
+    // 8–9 user.
     (0u32..10).prop_flat_map(|kind| -> BoxedStrategy<Op> {
         match kind {
-            0..=2 => rating_strategy()
+            0..=1 => rating_strategy()
                 .prop_map(|(user, item, score)| Op::Ingest { user, item, score })
+                .boxed(),
+            2 => (0..NUM_USERS, 0..NUM_ITEMS)
+                .prop_map(|(user, item)| Op::Remove { user, item })
                 .boxed(),
             3 => proptest::collection::vec(rating_strategy(), 1..6)
                 .prop_map(Op::IngestBatch)
@@ -112,13 +126,20 @@ proptest! {
 
     /// The tentpole pin: a monolithic engine and sharded engines at
     /// every shard count consume the same operation stream and must
-    /// never disagree — not in ingest outcomes, not in any served
-    /// result, not in the final batch APIs.
+    /// never disagree — not in ingest outcomes, not in removal
+    /// outcomes, not in any served result, not in the final batch
+    /// APIs. `cap` additionally runs the whole stream under a
+    /// `max_peers` cap, where the pre-capped cache, the capped splice
+    /// rules, and the saturation degrades must also agree bitwise.
     #[test]
-    fn sharded_engines_match_monolithic_bitwise(ops in proptest::collection::vec(op_strategy(), 1..20)) {
-        let mut mono = engine(None);
+    fn sharded_engines_match_monolithic_bitwise(
+        ops in proptest::collection::vec(op_strategy(), 1..20),
+        cap in 0usize..4,
+    ) {
+        let max_peers = [None, Some(2), Some(3), Some(5)][cap];
+        let mut mono = engine_with(None, max_peers);
         let mut sharded: Vec<RecommenderEngine> =
-            SHARD_COUNTS.iter().map(|&s| engine(Some(s))).collect();
+            SHARD_COUNTS.iter().map(|&s| engine_with(Some(s), max_peers)).collect();
         let mut groups: Vec<Group> = Vec::new();
 
         for (step, op) in ops.iter().enumerate() {
@@ -132,6 +153,23 @@ proptest! {
                             .ingest_rating(UserId::new(*user), ItemId::new(*item), *score)
                             .unwrap();
                         prop_assert_eq!(got.op, expected.op, "step {}: S={}", step, s);
+                    }
+                }
+                Op::Remove { user, item } => {
+                    let expected = mono.remove_rating(UserId::new(*user), ItemId::new(*item));
+                    for (engine, s) in sharded.iter_mut().zip(SHARD_COUNTS) {
+                        let got = engine.remove_rating(UserId::new(*user), ItemId::new(*item));
+                        match (&expected, &got) {
+                            (Ok(e), Ok(g)) => {
+                                prop_assert_eq!(g.op, e.op, "step {}: S={}", step, s);
+                            }
+                            (Err(_), Err(_)) => {}
+                            _ => prop_assert!(
+                                false,
+                                "step {}: S={} removal diverged: mono {:?} vs {:?}",
+                                step, s, expected.is_ok(), got.is_ok()
+                            ),
+                        }
                     }
                 }
                 Op::IngestBatch(batch) => {

@@ -71,25 +71,56 @@
 //!
 //! Every maintenance call — all three above — bumps
 //! [`generation`](PeerIndex::generation) **before** touching any slot.
-//! The token is the staleness rule for in-flight work: a lazy fill or
-//! eager warm records the generation before computing and re-checks it
-//! under the slot lock before storing, so a list computed against
-//! pre-change data can never be written back after the change. Downstream
-//! caches can use the same token as a freshness check. Maintenance calls
-//! must be externally serialized with each other (the engine does this by
-//! taking `&mut self` on its ingest path); concurrent *readers* are
-//! always safe and simply see each list pre- or post-change.
+//! Downstream caches use the token as their freshness check (the serving
+//! front-end keys request coalescing on it). Maintenance calls must be
+//! externally serialized with each other (the engine does this by taking
+//! `&mut self` on its ingest path); concurrent *readers* are always safe
+//! and simply see each list pre- or post-change.
 //!
-//! All methods take `&self`; interior mutability is per-user
-//! `RwLock` slots, so concurrent readers (batched serving) proceed
-//! without contention and lazy fills block only the slot being computed.
+//! ## Epoch publication: the lock-free slot protocol
+//!
+//! Slots are *not* locks. Each one is a versioned atomic `Arc` cell
+//! (`crossbeam::atomic::ArcCell` over epoch-based reclamation), so the
+//! read path — serving traffic — is **wait-free**: one epoch pin, one
+//! pointer load, one `Arc` clone. No reader ever blocks on a warm, an
+//! invalidation, or a delta splice; it sees each slot's list entirely
+//! pre- or entirely post-publication, never a torn intermediate.
+//!
+//! Writers build replacement lists off to the side and publish each with
+//! a single pointer swap. Two write shapes exist:
+//!
+//! * **Optimistic fills** (lazy [`full_peers`](PeerIndex::full_peers)
+//!   misses, eager [`warm`](PeerIndex::warm)/
+//!   [`warm_symmetric`](PeerIndex::warm_symmetric) installs) observe the
+//!   slot's version *before* computing and publish with a version
+//!   compare-and-swap. The invariant making this sound: **every
+//!   maintenance write that can change a slot's correct content bumps
+//!   that slot's version** — invalidations swap every cleared slot (even
+//!   `None` over `None`), and a delta splice refreshes *cold* affected
+//!   slots too. A fill computed against pre-change data therefore always
+//!   fails its CAS; a fill racing another fill of the same slot loses
+//!   benignly (both computed the identical list). Slot versions are
+//!   strictly monotonic, so a matching version names exactly the node
+//!   that was observed (no ABA).
+//! * **Serialized maintenance** (invalidations, delta splices) swaps
+//!   unconditionally — external serialization means the only concurrent
+//!   writers are fills, and a splice landing over a just-filled list
+//!   patches data the fill computed from the same current state.
+//!
+//! Capped selectors cache a *bounded* full list — the canonical top
+//! [`PeerSelector::cache_bound`] (`max_peers + 64` mask slack) — so power
+//! users cannot blow up warm-list sizes; the delta path splices exactly
+//! while lists are unsaturated and degrades to per-slot (or, for the
+//! changed user's own saturated list, full) invalidation when a
+//! saturated list's beyond-boundary promotion would be needed.
 
 use crate::bulk::{BulkUserSimilarity, SimScratch};
 use crate::peers::{PeerSelector, Peers};
 use crate::UserSimilarity;
+use crossbeam::atomic::ArcCell;
 use fairrec_types::{Parallelism, UserId};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 
 /// Chunk size for eager warms: each parallel task computes one chunk of
 /// users with a single [`SimScratch`], so scratch reuse matches worker
@@ -115,7 +146,9 @@ pub enum DeltaOutcome {
     /// `touched` warm endpoint lists. Every cached list is now bitwise
     /// identical to a cold rebuild against the current data.
     Spliced {
-        /// Warm peer lists (other than the user's own) patched in place.
+        /// Warm peer lists (other than the user's own) modified: patched
+        /// in place, or — for saturated bounded lists whose exact patch
+        /// would need beyond-boundary entries — cleared for lazy refill.
         touched: usize,
     },
     /// Every slot was cold — nothing to splice. The generation was still
@@ -132,16 +165,37 @@ pub enum DeltaOutcome {
     InvalidatedAll,
 }
 
+/// What a single [`PeerIndex::splice_peer`] call did to its slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SpliceOutcome {
+    /// The slot was cold; its version was bumped (a `None`-over-`None`
+    /// swap) so an in-flight fill computed against pre-delta data cannot
+    /// land, and it will refill lazily from current data.
+    ColdRefreshed,
+    /// The warm list was patched exactly.
+    Patched,
+    /// The warm list was saturated at the cache bound and the exact patch
+    /// would need an entry beyond the boundary — the slot was cleared for
+    /// lazy recomputation instead.
+    Invalidated,
+    /// The slot's bounded top list is provably unchanged by this edge
+    /// (the edge sits beyond a saturated list's boundary both before and
+    /// after); nothing was written.
+    Untouched,
+}
+
 /// Memoized Definition-1 peer lists over a fixed user universe
-/// `0..num_users`. See the module docs for the caching contract.
+/// `0..num_users`. See the module docs for the caching contract and the
+/// epoch-publication slot protocol.
 #[derive(Debug)]
 pub struct PeerIndex {
     selector: PeerSelector,
-    slots: Vec<RwLock<Option<Arc<Peers>>>>,
+    slots: Vec<ArcCell<Peers>>,
     generation: AtomicU64,
-    /// O(1) count of `Some` slots, kept in sync by [`Self::store_slot`]
-    /// — `num_cached` sits on the per-ingest hot path (the engine checks
-    /// it before every delta), so it must not scan `slots`.
+    /// O(1) count of `Some` slots, kept in sync by the slot-write helpers
+    /// [`Self::swap_slot`]/[`Self::cas_slot`] — `num_cached` sits on the
+    /// per-ingest hot path (the engine checks it before every delta), so
+    /// it must not scan `slots`.
     cached: AtomicUsize,
 }
 
@@ -151,17 +205,16 @@ impl PeerIndex {
     pub fn new(selector: PeerSelector, num_users: u32) -> Self {
         Self {
             selector,
-            slots: (0..num_users).map(|_| RwLock::new(None)).collect(),
+            slots: (0..num_users).map(|_| ArcCell::new(None)).collect(),
             generation: AtomicU64::new(0),
             cached: AtomicUsize::new(0),
         }
     }
 
-    /// Stores `value` into a slot guard, keeping the O(1) cached count in
-    /// sync with the `Some`/`None` transition. Every slot write in this
-    /// type funnels through here; callers hold the slot's write lock.
-    fn store_slot(&self, guard: &mut Option<Arc<Peers>>, value: Option<Arc<Peers>>) {
-        match (guard.is_some(), value.is_some()) {
+    /// Keeps the O(1) cached count in sync after a successful slot write
+    /// that displaced `displaced_some` with `stored_some`.
+    fn adjust_cached(&self, displaced_some: bool, stored_some: bool) {
+        match (displaced_some, stored_some) {
             (false, true) => {
                 self.cached.fetch_add(1, Ordering::AcqRel);
             }
@@ -170,7 +223,36 @@ impl PeerIndex {
             }
             _ => {}
         }
-        *guard = value;
+    }
+
+    /// Unconditional slot publication (serialized-maintenance writes).
+    /// Returns the displaced value.
+    fn swap_slot(&self, idx: usize, value: Option<Arc<Peers>>) -> Option<Arc<Peers>> {
+        let stored_some = value.is_some();
+        let displaced = self.slots[idx].swap(value);
+        self.adjust_cached(displaced.is_some(), stored_some);
+        displaced
+    }
+
+    /// Optimistic slot publication: installs `value` only if the slot is
+    /// still at `expected_version` (as observed by the caller's
+    /// `load_versioned`, whose value had someness `displaced_some` —
+    /// version uniqueness guarantees that observation *is* the displaced
+    /// node). Returns whether the install happened.
+    fn cas_slot(
+        &self,
+        idx: usize,
+        displaced_some: bool,
+        expected_version: u64,
+        value: Option<Arc<Peers>>,
+    ) -> bool {
+        let stored_some = value.is_some();
+        if self.slots[idx].compare_version_swap(expected_version, value) {
+            self.adjust_cached(displaced_some, stored_some);
+            true
+        } else {
+            false
+        }
     }
 
     /// Builds an index whose entries come from precomputed similarity
@@ -211,9 +293,11 @@ impl PeerIndex {
             });
             list.dedup_by_key(|&mut (peer, _)| peer);
             PeerSelector::canonicalize(&mut list);
-            if let Some(slot) = index.slots.get(user.index()) {
-                let mut guard = slot.write().expect("peer slot poisoned");
-                index.store_slot(&mut guard, Some(Arc::new(list)));
+            if let Some(bound) = selector.cache_bound() {
+                list.truncate(bound);
+            }
+            if user.index() < index.slots.len() {
+                index.swap_slot(user.index(), Some(Arc::new(list)));
             }
         }
         index
@@ -258,7 +342,7 @@ impl PeerIndex {
         lists: impl IntoIterator<Item = (UserId, Peers)>,
     ) -> Self {
         let index = Self::new(selector, num_users);
-        for (user, list) in lists {
+        for (user, mut list) in lists {
             debug_assert!(
                 list.windows(2)
                     .all(|w| w[0].1 > w[1].1 || (w[0].1 == w[1].1 && w[0].0 < w[1].0)),
@@ -268,9 +352,11 @@ impl PeerIndex {
                 list.iter().all(|&(_, s)| s >= selector.delta),
                 "from_full_lists requires δ-filtered lists for user {user}"
             );
-            if let Some(slot) = index.slots.get(user.index()) {
-                let mut guard = slot.write().expect("peer slot poisoned");
-                index.store_slot(&mut guard, Some(Arc::new(list)));
+            if let Some(bound) = selector.cache_bound() {
+                list.truncate(bound);
+            }
+            if user.index() < index.slots.len() {
+                index.swap_slot(user.index(), Some(Arc::new(list)));
             }
         }
         index
@@ -298,18 +384,19 @@ impl PeerIndex {
             "universe can only grow ({} -> {num_users})",
             self.num_users()
         );
-        let mut slots: Vec<RwLock<Option<Arc<Peers>>>> = Vec::with_capacity(num_users as usize);
+        let mut cached = 0usize;
+        let mut slots: Vec<ArcCell<Peers>> = Vec::with_capacity(num_users as usize);
         for slot in &self.slots {
-            slots.push(RwLock::new(
-                slot.read().expect("peer slot poisoned").clone(),
-            ));
+            let value = slot.load();
+            cached += usize::from(value.is_some());
+            slots.push(ArcCell::new(value));
         }
-        slots.resize_with(num_users as usize, || RwLock::new(None));
+        slots.resize_with(num_users as usize, || ArcCell::new(None));
         Self {
             selector: self.selector,
             slots,
             generation: AtomicU64::new(self.generation()),
-            cached: AtomicUsize::new(self.num_cached()),
+            cached: AtomicUsize::new(cached),
         }
     }
 
@@ -340,29 +427,33 @@ impl PeerIndex {
             "universe can only grow ({old_n} -> {num_users})"
         );
         let delta = self.selector.delta;
+        let bound = self.selector.cache_bound();
         let mut cached = 0usize;
-        let mut slots: Vec<RwLock<Option<Arc<Peers>>>> = Vec::with_capacity(num_users as usize);
+        let mut slots: Vec<ArcCell<Peers>> = Vec::with_capacity(num_users as usize);
         for (idx, slot) in self.slots.iter().enumerate() {
             let v = UserId::new(idx as u32);
-            let revalidated = slot
-                .read()
-                .expect("peer slot poisoned")
-                .as_ref()
-                .map(|list| {
-                    let mut list: Peers = list.as_ref().clone();
-                    for u in (old_n..num_users).map(UserId::new) {
-                        let Some(s) = measure.similarity(v, u).filter(|&s| s >= delta) else {
-                            continue;
-                        };
-                        let pos = list.partition_point(|&(w, sw)| sw > s || (sw == s && w < u));
-                        list.insert(pos, (u, s));
-                    }
-                    Arc::new(list)
-                });
+            let revalidated = slot.load().map(|list| {
+                let mut list: Peers = list.as_ref().clone();
+                for u in (old_n..num_users).map(UserId::new) {
+                    let Some(s) = measure.similarity(v, u).filter(|&s| s >= delta) else {
+                        continue;
+                    };
+                    let pos = list.partition_point(|&(w, sw)| sw > s || (sw == s && w < u));
+                    list.insert(pos, (u, s));
+                }
+                // New edges only add entries, so the bounded top list of
+                // the grown universe is a prefix of this merged list —
+                // re-truncating keeps the cache bitwise equal to a cold
+                // bounded recompute.
+                if let Some(bound) = bound {
+                    list.truncate(bound);
+                }
+                Arc::new(list)
+            });
             cached += usize::from(revalidated.is_some());
-            slots.push(RwLock::new(revalidated));
+            slots.push(ArcCell::new(revalidated));
         }
-        slots.resize_with(num_users as usize, || RwLock::new(None));
+        slots.resize_with(num_users as usize, || ArcCell::new(None));
         Self {
             selector: self.selector,
             slots,
@@ -382,7 +473,7 @@ impl PeerIndex {
     pub fn rebuild_cold(&self, num_users: u32) -> Self {
         Self {
             selector: self.selector,
-            slots: (0..num_users).map(|_| RwLock::new(None)).collect(),
+            slots: (0..num_users).map(|_| ArcCell::new(None)).collect(),
             generation: AtomicU64::new(self.generation() + 1),
             cached: AtomicUsize::new(0),
         }
@@ -432,15 +523,14 @@ impl PeerIndex {
     /// splice) or [`invalidate_all`](Self::invalidate_all) (blanket) for
     /// data changes. See the module-level update-path contract.
     ///
-    /// The generation is bumped *before* the slot is cleared: in-flight
-    /// fills re-check the generation under the slot lock before storing,
-    /// so a list computed against pre-invalidation data can never be
-    /// written back after the clear.
+    /// The generation is bumped *before* the slot is cleared, and the
+    /// clear is a version-bumping swap even when the slot was already
+    /// cold: an in-flight fill computed against pre-invalidation data
+    /// CASes on the pre-swap version and can never land afterwards.
     pub fn invalidate_user(&self, user: UserId) {
-        if let Some(slot) = self.slots.get(user.index()) {
+        if user.index() < self.slots.len() {
             self.generation.fetch_add(1, Ordering::AcqRel);
-            let mut guard = slot.write().expect("peer slot poisoned");
-            self.store_slot(&mut guard, None);
+            self.swap_slot(user.index(), None);
         }
     }
 
@@ -456,11 +546,31 @@ impl PeerIndex {
     /// and unmasked; most callers want [`peers_of`](Self::peers_of) or
     /// [`group_peers`](Self::group_peers) instead.
     pub fn cached_full(&self, user: UserId) -> Option<Arc<Peers>> {
-        self.slots
-            .get(user.index())?
-            .read()
-            .expect("peer slot poisoned")
-            .clone()
+        self.slots.get(user.index())?.load()
+    }
+
+    /// [`cached_full`](Self::cached_full) under a caller-held epoch pin
+    /// — the building block of the bulk accessors.
+    pub(crate) fn cached_full_with(
+        &self,
+        user: UserId,
+        guard: &crossbeam::epoch::Guard,
+    ) -> Option<Arc<Peers>> {
+        self.slots.get(user.index())?.load_with(guard)
+    }
+
+    /// The cached full lists of every user in `users` under **one**
+    /// epoch pin. The pin (a seqcst announcement round-trip) is the
+    /// dominant cost of a snapshot load, so group-shaped reads — the
+    /// request path reads every member's list — pay it once here
+    /// instead of once per member. Bitwise the same answers as
+    /// per-member [`cached_full`](Self::cached_full) calls.
+    pub fn cached_full_bulk(&self, users: &[UserId]) -> Vec<Option<Arc<Peers>>> {
+        let guard = crossbeam::epoch::pin();
+        users
+            .iter()
+            .map(|&u| self.cached_full_with(u, &guard))
+            .collect()
     }
 
     /// The memoized full peer list of `user`, computing and caching it on
@@ -473,23 +583,20 @@ impl PeerIndex {
         let Some(slot) = self.slots.get(user.index()) else {
             return Arc::new(Peers::new());
         };
-        if let Some(cached) = slot.read().expect("peer slot poisoned").clone() {
+        let (cached, version) = slot.load_versioned();
+        if let Some(cached) = cached {
             return cached;
         }
-        // Compute outside any lock: peer scans are the expensive part and
-        // other users' slots must stay readable meanwhile. A concurrent
-        // filler may race us here; both compute the same deterministic
-        // list, so last-write-wins is benign. An *invalidation* racing us
-        // is not: a list computed before `invalidate_*` ran must not be
-        // written back afterwards, so the store is guarded by the
-        // generation token (the value is still returned — it was correct
-        // when computed — it just isn't cached).
-        let generation = self.generation();
+        // Optimistic fill: compute off to the side, publish with a
+        // version CAS against the pre-compute observation. A concurrent
+        // filler computes the identical list, so losing that race is
+        // benign; any *maintenance* write in between bumped the slot
+        // version (invalidations and delta refreshes swap even cold
+        // slots), so a list computed against pre-change data always fails
+        // the CAS. The value is still returned either way — it was
+        // correct when computed — it just isn't cached.
         let full = Arc::new(self.compute_full(measure, user));
-        let mut guard = slot.write().expect("peer slot poisoned");
-        if self.generation() == generation {
-            self.store_slot(&mut guard, Some(Arc::clone(&full)));
-        }
+        let _ = self.cas_slot(user.index(), false, version, Some(Arc::clone(&full)));
         full
     }
 
@@ -507,13 +614,15 @@ impl PeerIndex {
         measure: &S,
         group: &[UserId],
     ) -> Vec<(UserId, Peers)> {
+        // One pinned pass over the warm slots; only misses fall back to
+        // the (pin-per-call) computing path.
+        let cached = self.cached_full_bulk(group);
         group
             .iter()
-            .map(|&member| {
-                (
-                    member,
-                    self.selector.view(&self.full_peers(measure, member), group),
-                )
+            .zip(cached)
+            .map(|(&member, cached)| {
+                let full = cached.unwrap_or_else(|| self.full_peers(measure, member));
+                (member, self.selector.view(&full, group))
             })
             .collect()
     }
@@ -523,10 +632,12 @@ impl PeerIndex {
     /// accessor for indexes built with [`from_edges`](Self::from_edges),
     /// where no measure exists to fill misses.
     pub fn group_peers_cached(&self, group: &[UserId]) -> Vec<(UserId, Peers)> {
+        let cached = self.cached_full_bulk(group);
         group
             .iter()
-            .map(|&member| {
-                let view = match self.cached_full(member) {
+            .zip(cached)
+            .map(|(&member, cached)| {
+                let view = match cached {
                     Some(full) => self.selector.view(&full, group),
                     None => Peers::new(),
                 };
@@ -543,38 +654,38 @@ impl PeerIndex {
         measure: &S,
         parallelism: Parallelism,
     ) -> usize {
-        let cold: Vec<UserId> = (0..self.num_users())
+        // Scan the cold slots *with their versions*: each install below
+        // CASes against its scan-time observation, so any maintenance
+        // write in between (which always bumps the touched slot's
+        // version) makes the stale install fail — the same guard as
+        // `full_peers`, per slot instead of global.
+        let cold: Vec<(UserId, u64)> = (0..self.num_users())
             .map(UserId::new)
-            .filter(|u| self.cached_full(*u).is_none())
+            .filter_map(|u| {
+                let (value, version) = self.slots[u.index()].load_versioned();
+                value.is_none().then_some((u, version))
+            })
             .collect();
         let computed = cold.len();
-        // Same stale-write-back guard as `full_peers`: lists computed
-        // before a concurrent invalidation must not repopulate the cache.
-        let generation = self.generation();
-        let chunks: Vec<Vec<UserId>> = cold
+        let chunks: Vec<Vec<(UserId, u64)>> = cold
             .chunks(warm_chunk_size(cold.len(), parallelism))
-            .map(<[UserId]>::to_vec)
+            .map(<[(UserId, u64)]>::to_vec)
             .collect();
         let lists = parallelism.map(chunks, |chunk| {
             let mut scratch = SimScratch::new();
             chunk
                 .into_iter()
-                .map(|u| {
+                .map(|(u, version)| {
                     (
                         u,
+                        version,
                         Arc::new(self.compute_full_with(measure, u, &mut scratch)),
                     )
                 })
                 .collect::<Vec<_>>()
         });
-        for (user, full) in lists.into_iter().flatten() {
-            let mut guard = self.slots[user.index()]
-                .write()
-                .expect("peer slot poisoned");
-            if self.generation() != generation {
-                break;
-            }
-            self.store_slot(&mut guard, Some(full));
+        for (user, version, full) in lists.into_iter().flatten() {
+            let _ = self.cas_slot(user.index(), false, version, Some(full));
         }
         computed
     }
@@ -600,7 +711,18 @@ impl PeerIndex {
             return self.warm(measure, parallelism);
         }
         let n = self.num_users();
-        let generation = self.generation();
+        // Per-slot scan-time snapshots: installs CAS against these, so a
+        // concurrent invalidation (or a fill that raced in — whose list
+        // is bitwise identical, making the overwrite benign) is detected
+        // per slot.
+        let snapshots: Vec<(bool, u64)> = self
+            .slots
+            .iter()
+            .map(|slot| {
+                let (value, version) = slot.load_versioned();
+                (value.is_some(), version)
+            })
+            .collect();
         let delta = self.selector.delta;
         // Upper-triangle pass: Definition-1 admission (simU ≥ δ) is
         // per-pair, so the threshold can be applied per edge here. One
@@ -635,16 +757,17 @@ impl PeerIndex {
                 lists[v.index()].push((u, s));
             }
         }
+        let bound = self.selector.cache_bound();
         let lists = parallelism.map(lists, |mut list| {
             PeerSelector::canonicalize(&mut list);
+            if let Some(bound) = bound {
+                list.truncate(bound);
+            }
             Arc::new(list)
         });
         for (idx, full) in lists.into_iter().enumerate() {
-            let mut guard = self.slots[idx].write().expect("peer slot poisoned");
-            if self.generation() != generation {
-                break;
-            }
-            self.store_slot(&mut guard, Some(full));
+            let (was_some, version) = snapshots[idx];
+            let _ = self.cas_slot(idx, was_some, version, Some(full));
         }
         n as usize
     }
@@ -721,47 +844,52 @@ impl PeerIndex {
             self.clear_all_slots();
             return DeltaOutcome::InvalidatedAll;
         }
-        let new = Arc::new(self.compute_full(measure, user));
+        if self.selector.cache_bound().is_some_and(|b| old.len() >= b) {
+            // The user's own stored list is saturated at the cache bound:
+            // peers beyond the boundary were dropped, so the stale
+            // (v, user) edges cannot all be enumerated. Blanket fallback.
+            self.clear_all_slots();
+            return DeltaOutcome::InvalidatedAll;
+        }
+        // The *uncapped* new list: affected-endpoint enumeration and the
+        // per-endpoint splices need every qualifying edge, not just the
+        // bounded top (an edge below the user's own boundary can still
+        // sit inside another endpoint's bounded list).
+        let new = self.compute_full_uncapped(measure, user);
 
         // The affected endpoints: every peer the user had or now has.
         // Cached lists are symmetric-consistent (same measure, same δ,
         // bitwise-symmetric values), so a warm list contains a stale
-        // `user` edge iff its owner appears in the user's old list.
+        // `user` edge iff its owner appears in the user's old list. (The
+        // saturation check above guarantees `old` is the complete old
+        // edge set.)
         let mut affected: Vec<UserId> = old.iter().chain(new.iter()).map(|&(v, _)| v).collect();
         affected.sort_unstable();
         affected.dedup();
         // Id-sorted copy of the new list for O(log n) edge lookups.
-        let mut new_by_id: Vec<(UserId, f64)> = new.as_ref().clone();
+        let mut new_by_id: Vec<(UserId, f64)> = new.clone();
         new_by_id.sort_unstable_by_key(|&(v, _)| v);
 
         let mut touched = 0usize;
         for v in affected {
-            let mut guard = self.slots[v.index()].write().expect("peer slot poisoned");
-            if self.generation() != generation {
-                // A concurrent invalidation supersedes this splice.
-                return DeltaOutcome::Spliced { touched };
+            let sim = new_by_id
+                .binary_search_by_key(&v, |&(w, _)| w)
+                .ok()
+                .map(|slot| new_by_id[slot].1);
+            match self.splice_peer(v, user, sim, generation) {
+                None => {
+                    // A concurrent invalidation supersedes this splice.
+                    return DeltaOutcome::Spliced { touched };
+                }
+                Some(SpliceOutcome::Patched | SpliceOutcome::Invalidated) => touched += 1,
+                Some(SpliceOutcome::ColdRefreshed | SpliceOutcome::Untouched) => {}
             }
-            let Some(list) = guard.as_ref() else {
-                continue; // cold slots refill lazily from current data
-            };
-            let mut patched: Peers = list.iter().copied().filter(|&(w, _)| w != user).collect();
-            if let Ok(slot) = new_by_id.binary_search_by_key(&v, |&(w, _)| w) {
-                let sim = new_by_id[slot].1;
-                // Canonical order (sim desc, id asc) is total over
-                // distinct ids, so the sorted insert reproduces exactly
-                // what a full re-canonicalization would.
-                let pos = patched.partition_point(|&(w, s)| s > sim || (s == sim && w < user));
-                patched.insert(pos, (user, sim));
-            }
-            self.store_slot(&mut guard, Some(Arc::new(patched)));
-            touched += 1;
         }
-        let mut guard = self.slots[user.index()]
-            .write()
-            .expect("peer slot poisoned");
-        if self.generation() == generation {
-            self.store_slot(&mut guard, Some(new));
+        let mut own = new;
+        if let Some(bound) = self.selector.cache_bound() {
+            own.truncate(bound);
         }
+        self.store_full_list(user, Arc::new(own), generation);
         DeltaOutcome::Spliced { touched }
     }
 
@@ -779,52 +907,138 @@ impl PeerIndex {
     /// `Some` — inserts it at its canonical position. The slot id and the
     /// peer id may live in different id spaces (shard-local slots, global
     /// contents). Returns `None` when a concurrent invalidation changed
-    /// the generation (the caller must abandon its remaining splices),
-    /// `Some(false)` when the slot was cold (skipped — it refills lazily
-    /// from current data), `Some(true)` when the list was patched.
+    /// the generation (the caller must abandon its remaining splices);
+    /// otherwise reports what happened via [`SpliceOutcome`].
+    ///
+    /// Bounded (capped-selector) lists are handled exactly: an
+    /// unsaturated list is the endpoint's complete edge set, so the
+    /// splice is exact as in the uncapped case. A *saturated* list (at
+    /// the cache bound) is a truncation, so only edges ranking at or
+    /// above its boundary key can be patched exactly — a new edge
+    /// outranking the boundary splices in (re-truncated), an edge beyond
+    /// the boundary provably leaves the bounded top unchanged, and a
+    /// removal *from within* the list would need the unknown
+    /// beyond-boundary promotion, so the slot is cleared for lazy
+    /// recomputation instead.
     pub(crate) fn splice_peer(
         &self,
         slot: UserId,
         peer: UserId,
         new_sim: Option<f64>,
         expected_generation: u64,
-    ) -> Option<bool> {
-        let mut guard = self.slots[slot.index()]
-            .write()
-            .expect("peer slot poisoned");
-        if self.generation() != expected_generation {
-            return None;
+    ) -> Option<SpliceOutcome> {
+        let idx = slot.index();
+        let bound = self.selector.cache_bound();
+        loop {
+            let (cur, version) = self.slots[idx].load_versioned();
+            if self.generation() != expected_generation {
+                return None;
+            }
+            let Some(list) = cur else {
+                // Refresh the cold slot: the None-over-None CAS bumps its
+                // version so an in-flight fill computed against pre-delta
+                // data cannot land; the slot refills lazily from current
+                // data.
+                if self.cas_slot(idx, false, version, None) {
+                    return Some(SpliceOutcome::ColdRefreshed);
+                }
+                continue; // lost to a concurrent fill; re-observe
+            };
+            let saturated = bound.is_some_and(|b| list.len() >= b);
+            let (value, outcome) = if saturated {
+                let &(last_peer, last_sim) = list.last().expect("saturated list is non-empty");
+                let outranks_boundary =
+                    new_sim.is_some_and(|s| s > last_sim || (s == last_sim && peer < last_peer));
+                if outranks_boundary {
+                    let sim = new_sim.expect("outranking edge exists");
+                    let mut patched: Peers =
+                        list.iter().copied().filter(|&(w, _)| w != peer).collect();
+                    let pos = patched.partition_point(|&(w, s)| s > sim || (s == sim && w < peer));
+                    patched.insert(pos, (peer, sim));
+                    patched.truncate(bound.expect("saturated implies bounded"));
+                    (Some(Arc::new(patched)), SpliceOutcome::Patched)
+                } else if list.iter().any(|&(w, _)| w == peer) {
+                    // The edge leaves (or falls below) the boundary: the
+                    // promotion from beyond the bound is unknown.
+                    (None, SpliceOutcome::Invalidated)
+                } else {
+                    // Beyond the boundary before and after: the bounded
+                    // top is unchanged, leave the slot (and version) be.
+                    return Some(SpliceOutcome::Untouched);
+                }
+            } else {
+                let mut patched: Peers = list.iter().copied().filter(|&(w, _)| w != peer).collect();
+                if let Some(sim) = new_sim {
+                    let pos = patched.partition_point(|&(w, s)| s > sim || (s == sim && w < peer));
+                    patched.insert(pos, (peer, sim));
+                }
+                (Some(Arc::new(patched)), SpliceOutcome::Patched)
+            };
+            if self.cas_slot(idx, true, version, value) {
+                return Some(outcome);
+            }
+            // Lost a race with a concurrent fill (or a superseding
+            // invalidation — the generation re-check above catches that
+            // next turn). Re-observe and retry.
         }
-        let Some(list) = guard.as_ref() else {
-            return Some(false);
-        };
-        let mut patched: Peers = list.iter().copied().filter(|&(w, _)| w != peer).collect();
-        if let Some(sim) = new_sim {
-            let pos = patched.partition_point(|&(w, s)| s > sim || (s == sim && w < peer));
-            patched.insert(pos, (peer, sim));
-        }
-        self.store_slot(&mut guard, Some(Arc::new(patched)));
-        Some(true)
     }
 
     /// Stores a complete recomputed full list into `slot`, guarded by the
     /// generation token like every other deferred write.
     pub(crate) fn store_full_list(&self, slot: UserId, list: Arc<Peers>, expected_generation: u64) {
-        let Some(s) = self.slots.get(slot.index()) else {
+        if slot.index() >= self.slots.len() {
             return;
-        };
-        let mut guard = s.write().expect("peer slot poisoned");
-        if self.generation() == expected_generation {
-            self.store_slot(&mut guard, Some(list));
+        }
+        loop {
+            let (cur, version) = self.slots[slot.index()].load_versioned();
+            if self.generation() != expected_generation {
+                return;
+            }
+            if self.cas_slot(
+                slot.index(),
+                cur.is_some(),
+                version,
+                Some(Arc::clone(&list)),
+            ) {
+                return;
+            }
         }
     }
 
+    /// Installs a complete full list into `slot` iff the generation still
+    /// matches — the per-slot form of a swap-based warm install (the
+    /// sharded symmetric warm publishes each computed list through here,
+    /// so a whole-shard warm never excludes concurrent readers). The
+    /// version-load → generation-check → CAS order makes every
+    /// interleaving with an invalidation safe: an invalidation bumps the
+    /// generation *before* swapping slots, so either the check here fails
+    /// or the invalidation's swap bumps the version after our load and
+    /// the CAS fails. Returns whether the install happened.
+    pub(crate) fn try_install_list(
+        &self,
+        slot: UserId,
+        list: Arc<Peers>,
+        expected_generation: u64,
+    ) -> bool {
+        if slot.index() >= self.slots.len() {
+            return false;
+        }
+        let (cur, version) = self.slots[slot.index()].load_versioned();
+        if self.generation() != expected_generation {
+            return false;
+        }
+        // A concurrent fill may have landed the identical list already;
+        // overwriting it is benign (same data) and keeps one code path.
+        self.cas_slot(slot.index(), cur.is_some(), version, Some(list))
+    }
+
     /// Clears every slot without bumping the generation (callers on the
-    /// maintenance paths have already bumped it).
+    /// maintenance paths have already bumped it). Every clear is a
+    /// version-bumping swap — including `None` over `None` — so no
+    /// in-flight fill computed against pre-change data can land.
     pub(crate) fn clear_all_slots(&self) {
-        for slot in &self.slots {
-            let mut guard = slot.write().expect("peer slot poisoned");
-            self.store_slot(&mut guard, None);
+        for idx in 0..self.slots.len() {
+            self.swap_slot(idx, None);
         }
     }
 
@@ -835,17 +1049,37 @@ impl PeerIndex {
         self.compute_full_with(measure, user, &mut SimScratch::new())
     }
 
+    /// The cached form of a user's full list: δ-filtered, canonical, and
+    /// truncated to the selector's [`PeerSelector::cache_bound`] (the
+    /// whole list when uncapped). Capped selectors go through the
+    /// kernel-side top-cap heap, so a power user's list costs
+    /// O(n log bound), not a full sort.
     fn compute_full_with<S: BulkUserSimilarity + ?Sized>(
         &self,
         measure: &S,
         user: UserId,
         scratch: &mut SimScratch,
     ) -> Peers {
+        let bounded = PeerSelector {
+            delta: self.selector.delta,
+            max_peers: self.selector.cache_bound(),
+        };
+        bounded.peers_of_bulk(measure, user, self.num_users(), &[], scratch)
+    }
+
+    /// The truly uncapped full list — the delta path's edge enumeration,
+    /// which must see every qualifying edge regardless of the cache
+    /// bound.
+    fn compute_full_uncapped<S: BulkUserSimilarity + ?Sized>(
+        &self,
+        measure: &S,
+        user: UserId,
+    ) -> Peers {
         let uncapped = PeerSelector {
             delta: self.selector.delta,
             max_peers: None,
         };
-        uncapped.peers_of_bulk(measure, user, self.num_users(), &[], scratch)
+        uncapped.peers_of_bulk(measure, user, self.num_users(), &[], &mut SimScratch::new())
     }
 }
 

@@ -14,10 +14,20 @@
 use crate::bulk::{BulkUserSimilarity, SimScratch};
 use crate::UserSimilarity;
 use fairrec_types::{FairrecError, Result, UserId};
+use std::collections::BinaryHeap;
 
 /// One user's peer list: `(peer, simU)` sorted by descending similarity,
 /// ties broken by ascending user id.
 pub type Peers = Vec<(UserId, f64)>;
+
+/// Slack kept beyond `max_peers` in cached peer lists (the
+/// [`PeerSelector::cache_bound`]). A cached list must survive masking:
+/// the group view filters co-members *before* capping, so a capped cache
+/// needs `max_peers` survivors after up to one exclusion per group
+/// member. The engine's fairness layer hard-rejects groups larger than
+/// 64 members (its membership masks are `u64` bit sets), so
+/// `max_peers + 64` entries keep every mask-then-cap view exact.
+pub const GROUP_MASK_SLACK: usize = 64;
 
 /// Threshold-based peer selection.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -50,6 +60,19 @@ impl PeerSelector {
     pub fn with_max_peers(mut self, max_peers: usize) -> Self {
         self.max_peers = Some(max_peers);
         self
+    }
+
+    /// How many entries a cached **full** list needs to answer every view
+    /// of this selector exactly: `None` (store everything) when uncapped,
+    /// `max_peers + GROUP_MASK_SLACK` when capped. Entries beyond the
+    /// first `max_peers` exist only to refill the capped window when a
+    /// group mask removes up to `GROUP_MASK_SLACK` co-members, so the
+    /// bound keeps [`view`](Self::view) bitwise equal to a fresh
+    /// uncapped-scan-then-mask-then-cap for every group the engine
+    /// admits, while power users' cached lists stay O(`max_peers`).
+    pub fn cache_bound(&self) -> Option<usize> {
+        self.max_peers
+            .map(|cap| cap.saturating_add(GROUP_MASK_SLACK))
     }
 
     /// Peers of `u` within `universe` (typically all users), excluding `u`
@@ -116,9 +139,9 @@ impl PeerSelector {
         let mut peers: Peers = Vec::new();
         measure.similarities_from(u, num_users, scratch, &mut peers);
         peers.retain(|&(v, s)| s >= self.delta && !exclude.contains(&v));
-        Self::canonicalize(&mut peers);
-        if let Some(cap) = self.max_peers {
-            peers.truncate(cap);
+        match self.max_peers {
+            Some(cap) => top_cap(&mut peers, cap),
+            None => Self::canonicalize(&mut peers),
         }
         peers
     }
@@ -175,6 +198,64 @@ impl PeerSelector {
             .copied()
             .collect()
     }
+}
+
+/// Canonical-rank heap entry ordered worst-first, so a max-heap keeps the
+/// *worst retained* peer at its top — the one the next candidate must
+/// outrank to enter. `total_cmp` so the heap never panics mid-selection;
+/// the final [`PeerSelector::canonicalize`] still enforces finiteness on
+/// everything kept.
+struct WorstFirst((UserId, f64));
+
+impl Ord for WorstFirst {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Lower similarity = worse = greater; ties: higher id = worse.
+        other
+            .0
+             .1
+            .total_cmp(&self.0 .1)
+            .then(self.0 .0.cmp(&other.0 .0))
+    }
+}
+impl PartialOrd for WorstFirst {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl PartialEq for WorstFirst {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for WorstFirst {}
+
+/// Keeps the `cap` canonically best entries of `peers` and sorts them
+/// canonically — **bitwise identical** to
+/// [`PeerSelector::canonicalize`]` + truncate(cap)` (the canonical order
+/// is total over distinct ids, so "the first `cap` of the full sort" is a
+/// unique set), but O(n log cap) instead of O(n log n): a bounded
+/// worst-at-top heap admits a candidate only when it outranks the worst
+/// peer currently kept. This is the kernel-side top-cap for capped
+/// selectors, where n is the whole qualifying universe of a power user
+/// and `cap` is small.
+pub(crate) fn top_cap(peers: &mut Peers, cap: usize) {
+    if cap == 0 {
+        peers.clear();
+        return;
+    }
+    if peers.len() > cap {
+        let overflow = peers.split_off(cap);
+        let mut heap: BinaryHeap<WorstFirst> = peers.drain(..).map(WorstFirst).collect();
+        for entry in overflow {
+            let candidate = WorstFirst(entry);
+            if candidate < *heap.peek().expect("cap > 0") {
+                heap.pop();
+                heap.push(candidate);
+            }
+        }
+        peers.extend(heap.into_iter().map(|w| w.0));
+    }
+    PeerSelector::canonicalize(peers);
 }
 
 #[cfg(test)]
@@ -277,6 +358,35 @@ mod tests {
     }
 
     impl crate::bulk::BulkUserSimilarity for Table {}
+
+    #[test]
+    fn top_cap_matches_sort_then_truncate() {
+        // Deterministic pseudo-random list with plenty of ties.
+        let mut state = 0x9e37u32;
+        let mut next = || {
+            state = state.wrapping_mul(48271) % 0x7fff_ffff;
+            state
+        };
+        let base: Peers = (0..500)
+            .map(|id| (UserId::new(id), f64::from(next() % 17) / 16.0))
+            .collect();
+        for cap in [0, 1, 7, 64, 499, 500, 600] {
+            let mut expected = base.clone();
+            PeerSelector::canonicalize(&mut expected);
+            expected.truncate(cap);
+            let mut heaped = base.clone();
+            top_cap(&mut heaped, cap);
+            assert_eq!(heaped, expected, "cap {cap}");
+        }
+    }
+
+    #[test]
+    fn cache_bound_adds_the_mask_slack() {
+        let uncapped = PeerSelector::new(0.0).unwrap();
+        assert_eq!(uncapped.cache_bound(), None);
+        let capped = uncapped.with_max_peers(10);
+        assert_eq!(capped.cache_bound(), Some(10 + GROUP_MASK_SLACK));
+    }
 
     #[test]
     fn bulk_entry_points_match_per_pair_paths() {

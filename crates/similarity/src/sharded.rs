@@ -60,13 +60,13 @@
 //! up bitwise identical to a cold rebuild against the current data.
 
 use crate::bulk::{BulkUserSimilarity, SimScratch};
-use crate::peer_index::{DeltaOutcome, PeerIndex};
+use crate::peer_index::{DeltaOutcome, PeerIndex, SpliceOutcome};
 use crate::peers::{PeerSelector, Peers};
 use crate::ratings::{cross_kernel, cross_similarity, KernelSide};
 use crate::UserSimilarity;
 use fairrec_types::{IdRemap, Parallelism, ShardMatrix, ShardSpec, ShardedRatingMatrix, UserId};
 use std::borrow::Borrow;
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 
 /// Pearson over a [`ShardedRatingMatrix`]: the scatter-gather bulk
 /// measure of the sharding layer. Bitwise interchangeable with
@@ -389,7 +389,7 @@ pub struct ShardedPeerIndex {
     /// Per-shard owned-user tables (the same partition the compacted
     /// matrix uses), translating slot ↔ global id at the boundary.
     remaps: Vec<IdRemap>,
-    shards: Vec<RwLock<PeerIndex>>,
+    shards: Vec<PeerIndex>,
 }
 
 impl ShardedPeerIndex {
@@ -399,7 +399,7 @@ impl ShardedPeerIndex {
         let remaps = spec.partition(num_users);
         let shards = remaps
             .iter()
-            .map(|remap| RwLock::new(PeerIndex::new(selector, remap.len())))
+            .map(|remap| PeerIndex::new(selector, remap.len()))
             .collect();
         Self {
             spec,
@@ -439,9 +439,7 @@ impl ShardedPeerIndex {
     /// global serving list (the compacted layout has no bookkeeping
     /// slots).
     pub fn num_cached(&self) -> usize {
-        (0..self.shards.len())
-            .map(|s| self.read_shard(s).num_cached())
-            .sum()
+        self.shards.iter().map(PeerIndex::num_cached).sum()
     }
 
     /// Per-shard slot-universe sizes, in shard order — each shard's
@@ -454,9 +452,7 @@ impl ShardedPeerIndex {
 
     /// Per-shard freshness tokens, in shard order.
     pub fn generations(&self) -> Vec<u64> {
-        (0..self.shards.len())
-            .map(|s| self.read_shard(s).generation())
-            .collect()
+        self.shards.iter().map(PeerIndex::generation).collect()
     }
 
     /// Aggregate freshness token: the sum of the per-shard tokens. Every
@@ -467,8 +463,8 @@ impl ShardedPeerIndex {
         self.generations().iter().sum()
     }
 
-    fn read_shard(&self, s: usize) -> std::sync::RwLockReadGuard<'_, PeerIndex> {
-        self.shards[s].read().expect("shard index poisoned")
+    fn shard(&self, s: usize) -> &PeerIndex {
+        &self.shards[s]
     }
 
     /// `user`'s owning shard and local slot, when in the universe.
@@ -487,7 +483,23 @@ impl ShardedPeerIndex {
     /// shard's slot, if present.
     pub fn cached_full(&self, user: UserId) -> Option<Arc<Peers>> {
         let (s, local) = self.slot_of(user)?;
-        self.read_shard(s).cached_full(local)
+        self.shard(s).cached_full(local)
+    }
+
+    /// The cached full lists of every user in `users` under **one**
+    /// epoch pin, owner-routed per user — see
+    /// [`PeerIndex::cached_full_bulk`] for why group-shaped reads
+    /// amortise the pin. The pin is process-global, so one announcement
+    /// covers slot loads across every shard.
+    pub fn cached_full_bulk(&self, users: &[UserId]) -> Vec<Option<Arc<Peers>>> {
+        let guard = crossbeam::epoch::pin();
+        users
+            .iter()
+            .map(|&u| {
+                let (s, local) = self.slot_of(u)?;
+                self.shard(s).cached_full_with(local, &guard)
+            })
+            .collect()
     }
 
     /// The memoized **full global** peer list of `user`, served by (and
@@ -507,7 +519,7 @@ impl ShardedPeerIndex {
             remap: &self.remaps[s],
             num_users: self.num_users,
         };
-        self.read_shard(s).full_peers(&localized, local)
+        self.shard(s).full_peers(&localized, local)
     }
 
     /// Definition 1 for one user — identical to the monolithic
@@ -525,13 +537,15 @@ impl ShardedPeerIndex {
         measure: &S,
         group: &[UserId],
     ) -> Vec<(UserId, Peers)> {
+        // One pinned pass over the warm slots (owner-routed); only
+        // misses fall back to the computing path.
+        let cached = self.cached_full_bulk(group);
         group
             .iter()
-            .map(|&member| {
-                (
-                    member,
-                    self.selector.view(&self.full_peers(measure, member), group),
-                )
+            .zip(cached)
+            .map(|(&member, cached)| {
+                let full = cached.unwrap_or_else(|| self.full_peers(measure, member));
+                (member, self.selector.view(&full, group))
             })
             .collect()
     }
@@ -572,7 +586,7 @@ impl ShardedPeerIndex {
         parallelism: Parallelism,
     ) -> usize {
         let num_shards = self.shards.len();
-        if (0..num_shards).any(|s| self.read_shard(s).num_cached() != 0) {
+        if self.shards.iter().any(|shard| shard.num_cached() != 0) {
             return self.warm(measure, parallelism);
         }
         let sharded = measure.matrix();
@@ -623,33 +637,35 @@ impl ShardedPeerIndex {
         if lists.len() != self.num_users as usize {
             return None;
         }
-        if (0..self.shards.len()).any(|s| self.read_shard(s).num_cached() != 0) {
+        if self.shards.iter().any(|shard| shard.num_cached() != 0) {
             return None;
         }
         let generations = self.generations();
         Some(self.install_lists(lists, &generations))
     }
 
-    /// Moves finished global-id-indexed lists into the per-shard indexes
-    /// (slot `l` of shard `s` ← list of the `l`-th owned user), swapping
-    /// each shard only if its token still matches `generations`.
+    /// Publishes finished global-id-indexed lists into the per-shard
+    /// indexes (slot `l` of shard `s` ← list of the `l`-th owned user),
+    /// one epoch-swapped slot at a time: each install is a per-slot
+    /// pointer CAS under that shard's recorded token, so concurrent
+    /// readers keep serving throughout — they see either the cold slot
+    /// (and fill it lazily with the identical list) or the published
+    /// one, never a lock. A shard whose token moved mid-install skips
+    /// its remaining slots' swaps (the CAS-internal generation check),
+    /// exactly like the monolithic warm. Returns the number of lists
+    /// actually installed.
     fn install_lists(&self, mut lists: Vec<Peers>, generations: &[u64]) -> usize {
+        let bound = self.selector.cache_bound();
         let mut computed = 0usize;
         for (s, (shard, &generation)) in self.shards.iter().zip(generations).enumerate() {
-            let owned = self.remaps[s].owned();
-            let shard_lists = owned.iter().enumerate().map(|(local, &u)| {
-                (
-                    UserId::new(local as u32),
-                    std::mem::take(&mut lists[u.index()]),
-                )
-            });
-            let built =
-                PeerIndex::from_mapped_full_lists(self.selector, owned.len() as u32, shard_lists)
-                    .with_generation(generation);
-            let mut guard = shard.write().expect("shard index poisoned");
-            if guard.generation() == generation {
-                computed += owned.len();
-                *guard = built;
+            for (local, &u) in self.remaps[s].owned().iter().enumerate() {
+                let mut list = std::mem::take(&mut lists[u.index()]);
+                if let Some(bound) = bound {
+                    list.truncate(bound);
+                }
+                if shard.try_install_list(UserId::new(local as u32), Arc::new(list), generation) {
+                    computed += 1;
+                }
             }
         }
         computed
@@ -694,22 +710,24 @@ impl ShardedPeerIndex {
         // Bump every shard before touching any slot, exactly like the
         // monolithic delta bumps its one token: the data already
         // changed, so any fill still in flight is stale everywhere.
-        let tokens: Vec<u64> = (0..num_shards)
-            .map(|s| self.read_shard(s).bump_generation())
-            .collect();
+        let tokens: Vec<u64> = self.shards.iter().map(PeerIndex::bump_generation).collect();
         if self.num_cached() == 0 {
             return ShardedDeltaReport {
                 outcome: DeltaOutcome::ColdIndex,
                 per_shard: vec![DeltaOutcome::ColdIndex; num_shards],
             };
         }
-        let old = self.read_shard(owning).cached_full(local_u);
-        let (Some(old), true) = (old, measure.is_symmetric()) else {
-            // Missing pre-change list in a partially warm index, or an
-            // asymmetric measure: the stale `(v, user)` edges cannot be
-            // enumerated/spliced — blanket fallback.
-            for s in 0..num_shards {
-                self.read_shard(s).clear_all_slots();
+        let old = self.shard(owning).cached_full(local_u);
+        let usable = old
+            .as_ref()
+            .is_some_and(|old| self.selector.cache_bound().is_none_or(|b| old.len() < b));
+        let (Some(old), true) = (old.filter(|_| usable), measure.is_symmetric()) else {
+            // Missing pre-change list in a partially warm index, a
+            // saturated (bound-truncated) own list whose beyond-boundary
+            // edges cannot be enumerated, or an asymmetric measure: the
+            // stale `(v, user)` edges are unknowable — blanket fallback.
+            for shard in &self.shards {
+                shard.clear_all_slots();
             }
             return ShardedDeltaReport {
                 outcome: DeltaOutcome::InvalidatedAll,
@@ -747,19 +765,28 @@ impl ShardedPeerIndex {
                 .binary_search_by_key(&v, |&(w, _)| w)
                 .ok()
                 .map(|idx| new_by_id[idx].1);
-            // Not spliced: a cold slot (refills lazily) or a concurrent
-            // invalidation of that one shard (supersedes its splices;
-            // other shards proceed under their own tokens).
-            if self
-                .read_shard(s)
-                .splice_peer(local_v, user, sim, tokens[s])
-                == Some(true)
-            {
+            // `Patched`/`Invalidated` changed the slot's contents and
+            // count as touched; a cold refresh or a provably unchanged
+            // bounded top does not, and `None` means a concurrent
+            // invalidation of that one shard superseded its splices
+            // (other shards proceed under their own tokens).
+            if matches!(
+                self.shard(s).splice_peer(local_v, user, sim, tokens[s]),
+                Some(SpliceOutcome::Patched | SpliceOutcome::Invalidated)
+            ) {
                 touched[s] += 1;
             }
         }
-        self.read_shard(owning)
-            .store_full_list(local_u, new, tokens[owning]);
+        let own = match self.selector.cache_bound() {
+            Some(bound) if new.len() > bound => {
+                let mut truncated = new.as_ref().clone();
+                truncated.truncate(bound);
+                Arc::new(truncated)
+            }
+            _ => Arc::clone(&new),
+        };
+        self.shard(owning)
+            .store_full_list(local_u, own, tokens[owning]);
         ShardedDeltaReport {
             outcome: DeltaOutcome::Spliced {
                 touched: touched.iter().sum(),
@@ -774,8 +801,8 @@ impl ShardedPeerIndex {
     /// Drops every cached list in every shard (each under its own bumped
     /// token) — the blanket maintenance path.
     pub fn invalidate_all(&self) {
-        for s in 0..self.shards.len() {
-            self.read_shard(s).invalidate_all();
+        for shard in &self.shards {
+            shard.invalidate_all();
         }
     }
 
@@ -799,7 +826,7 @@ impl ShardedPeerIndex {
         let shards = remaps
             .iter()
             .enumerate()
-            .map(|(s, remap)| RwLock::new(self.read_shard(s).grow_universe(remap.len())))
+            .map(|(s, remap)| self.shard(s).grow_universe(remap.len()))
             .collect();
         Self {
             spec: self.spec,
@@ -817,7 +844,7 @@ impl ShardedPeerIndex {
         let shards = remaps
             .iter()
             .enumerate()
-            .map(|(s, remap)| RwLock::new(self.read_shard(s).rebuild_cold(remap.len())))
+            .map(|(s, remap)| self.shard(s).rebuild_cold(remap.len()))
             .collect();
         Self {
             spec: self.spec,
@@ -925,7 +952,7 @@ mod tests {
         let index = ShardedPeerIndex::new(sel, part.spec(), m.num_users());
         let mut total = 0u32;
         for s in 0..3usize {
-            let local = index.read_shard(s).num_users();
+            let local = index.shard(s).num_users();
             assert_eq!(
                 local,
                 part.users_of_shard(s).len() as u32,
@@ -993,7 +1020,7 @@ mod tests {
         // *local* position.
         assert_eq!(index.num_cached(), 1);
         let s = index.shard_of(u);
-        assert_eq!(index.read_shard(s).num_cached(), 1);
+        assert_eq!(index.shard(s).num_cached(), 1);
         assert!(index.cached_full(u).is_some());
         let again = index.full_peers(&measure, u);
         assert!(Arc::ptr_eq(&first, &again), "second read is a cache hit");

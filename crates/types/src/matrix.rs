@@ -346,6 +346,42 @@ impl RatingMatrix {
         &self.user_degrees
     }
 
+    /// Number of users who rated `i` — the column degree `|U(i)|` (an
+    /// O(1) offset subtraction on the CSC view). Unknown items answer 0.
+    pub fn item_degree(&self, i: ItemId) -> usize {
+        if i.raw() >= self.n_items {
+            return 0;
+        }
+        let (lo, hi) = self.item_range(i);
+        hi - lo
+    }
+
+    /// Co-rating mass of `u`: `Σ_{i ∈ I(u)} |U(i)|` — the number of
+    /// stored ratings sharing an item with `u`, which is exactly the
+    /// work one one-vs-all similarity pass from `u` scans (the CSC walk
+    /// of the bulk kernel). The ingestion cost model prices a delta
+    /// replay for `u` at this figure.
+    pub fn co_rating_mass(&self, u: UserId) -> u64 {
+        self.items_of(u)
+            .iter()
+            .map(|&i| self.item_degree(i) as u64)
+            .sum()
+    }
+
+    /// Total co-rating mass: `Σ_i |U(i)|²` — every item's column degree
+    /// squared, i.e. the number of (ordered) co-rating pairs in the whole
+    /// relation. Half of it is the pair count a symmetric warm kernel
+    /// actually visits, which is what the ingestion cost model prices a
+    /// blanket invalidation + rewarm at.
+    pub fn total_co_rating_mass(&self) -> u64 {
+        (0..self.n_items)
+            .map(|raw| {
+                let d = self.item_degree(ItemId::new(raw)) as u64;
+                d * d
+            })
+            .sum()
+    }
+
     /// Merge-join over the co-rated items of `u` and `v`, yielding
     /// `(item, rating(u, item), rating(v, item))` in item order.
     ///

@@ -270,6 +270,13 @@ impl ShardMatrix {
         self.local.num_ratings()
     }
 
+    /// Number of **owned** users who rated `item` — this shard's share
+    /// of the global column degree `|U(i)|` (items are global ids in
+    /// every shard).
+    pub fn item_degree(&self, item: ItemId) -> usize {
+        self.local.item_degree(item)
+    }
+
     /// Bytes of user-axis metadata: the compacted local arrays plus the
     /// remap table itself.
     pub fn user_axis_bytes(&self) -> usize {
@@ -478,6 +485,38 @@ impl ShardedRatingMatrix {
     /// Number of ratings by `user`.
     pub fn degree_of(&self, user: UserId) -> usize {
         self.owning_shard(user).degree_of(user)
+    }
+
+    /// Global column degree `|U(i)|`: the sum of every shard's share
+    /// (each shard stores its owned users' ratings of `item`).
+    pub fn item_degree(&self, item: ItemId) -> usize {
+        self.shards.iter().map(|s| s.item_degree(item)).sum()
+    }
+
+    /// Co-rating mass of `user` — `Σ_{i ∈ I(user)} |U(i)|` over global
+    /// column degrees, identical to [`RatingMatrix::co_rating_mass`] on
+    /// the equivalent monolithic matrix. The ingestion cost model
+    /// prices a delta replay for `user` at this figure.
+    pub fn co_rating_mass(&self, user: UserId) -> u64 {
+        self.owning_shard(user)
+            .items_of(user)
+            .iter()
+            .map(|&i| self.item_degree(i) as u64)
+            .sum()
+    }
+
+    /// Total co-rating mass `Σ_i |U(i)|²` over global column degrees —
+    /// identical to [`RatingMatrix::total_co_rating_mass`] on the
+    /// equivalent monolithic matrix; the cost model's price for a
+    /// blanket invalidation + symmetric rewarm (halved by the caller:
+    /// the warm visits each unordered pair once).
+    pub fn total_co_rating_mass(&self) -> u64 {
+        (0..self.n_items)
+            .map(|raw| {
+                let d = self.item_degree(ItemId::new(raw)) as u64;
+                d * d
+            })
+            .sum()
     }
 
     /// Inserts a rating into the owning shard, growing the global id

@@ -89,11 +89,15 @@
 //!   `RecommenderEngine::ingest_rating` patches the matrix in place and
 //!   repairs the warm index exactly with `PeerIndex::apply_delta` (one
 //!   kernel pass for the changed user, spliced into the affected lists
-//!   — bitwise identical to a cold rebuild). Bulk loads take
-//!   `ingest_ratings` + the blanket `invalidate_peers`;
-//!   `PeerIndex::generation` is the freshness token guarding in-flight
-//!   fills. `docs/ARCHITECTURE.md` documents the three peer-build paths
-//!   and the full update-path contract.
+//!   — bitwise identical to a cold rebuild); `remove_rating` shrinks
+//!   through the same machinery. Bulk loads go through
+//!   `ingest_ratings`, whose kernel cost model (co-rating mass of the
+//!   per-event deltas vs one symmetric rewarm) picks delta replay or
+//!   the blanket invalidation per batch; `PeerIndex::generation` is
+//!   the freshness token guarding in-flight fills, and slots publish
+//!   epoch-style (wait-free reader loads, CAS installs), so warms
+//!   overlap serving. `docs/ARCHITECTURE.md` documents the three
+//!   peer-build paths and the full update-path contract.
 //! * **Parallelism.** Every parallel loop (index warming, per-candidate
 //!   Equation 1, `recommend_batch` group fan-out) is an order-preserving
 //!   pure map, so results are bitwise identical across
