@@ -901,19 +901,38 @@ impl RecommenderEngine {
             && delta_mass < blanket_mass
         {
             let mut touched = 0usize;
-            for (user, item, rating) in staged {
-                if let PeerMaintenance::DeltaSpliced { touched: t } =
-                    self.ingest_one(user, item, rating)?.peers
-                {
-                    touched += t;
+            let mut replay_ok = true;
+            for &(user, item, rating) in &staged {
+                match self.ingest_one(user, item, rating) {
+                    Ok(report) => {
+                        if let PeerMaintenance::DeltaSpliced { touched: t } = report.peers {
+                            touched += t;
+                        }
+                    }
+                    Err(_) => {
+                        // Unreachable today — `ingest_one`'s only fallible
+                        // step re-checks what the up-front validation
+                        // already admitted — but a future fallible path
+                        // must not strand a half-replayed batch. Falling
+                        // through to the blanket rebuild re-merges the
+                        // *whole* staged batch over whatever prefix
+                        // already landed (the merge is idempotent), so
+                        // the final relation and the dropped cache are
+                        // exactly the always-blanket outcome and the
+                        // all-or-nothing contract holds by construction.
+                        replay_ok = false;
+                        break;
+                    }
                 }
             }
-            return Ok(BatchIngestReport {
-                applied,
-                peers: BatchPeerMaintenance::DeltaReplayed { touched },
-                delta_mass,
-                blanket_mass,
-            });
+            if replay_ok {
+                return Ok(BatchIngestReport {
+                    applied,
+                    peers: BatchPeerMaintenance::DeltaReplayed { touched },
+                    delta_mass,
+                    blanket_mass,
+                });
+            }
         }
         self.patch_store(|store| {
             // Merge the batch into the current relation. The map sorts

@@ -6,13 +6,24 @@
 //! - [`epoch`]: epoch-based memory reclamation (pin / defer / collect) for
 //!   the lock-free peer-publication path. Unlike `crossbeam-epoch` this is
 //!   a compact registry-scan design: reclamation is amortised over
-//!   [`epoch::Guard::defer`] calls and [`epoch::collect`], and safety comes from
-//!   the *minimum pinned epoch* rule (a deferred destructor runs only once
-//!   every pin that could have observed the unlinked value has ended).
+//!   [`epoch::Guard::defer`] calls and [`epoch::collect`], and safety comes
+//!   from the *two-epoch margin* rule (a deferred destructor runs only once
+//!   its retirement epoch is at least two behind the reclamation bound, so
+//!   every pin that could have observed the unlinked value has ended —
+//!   including pins the collection scan raced past).
 //! - [`atomic`]: [`atomic::ArcCell`], a versioned atomic `Option<Arc<T>>`
 //!   slot built on [`epoch`] — wait-free snapshot loads plus versioned
 //!   compare-and-swap publication (the arc-swap shape `PeerIndex` slots
 //!   need).
+
+/// Serializes tests whose assertions depend on reclamation timing: the
+/// epoch registry is process-global, so a concurrently running test that
+/// pins or collects can otherwise advance/stall the epoch mid-assertion.
+#[cfg(test)]
+pub(crate) fn epoch_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// Multi-producer multi-consumer channels (mirror of `crossbeam::channel`).
 pub mod channel {
@@ -314,23 +325,32 @@ pub mod channel {
 ///
 /// Every operation on participant state, the global epoch, and shared
 /// pointers uses `SeqCst`, so all of them fall in one total order. A pin
-/// (1) loads the global epoch `e` and (2) announces `pinned@e`; only then
-/// does the reader load shared pointers. A writer's unlink (swap) therefore
-/// follows any pin whose reader can still hold the old pointer, and a
-/// deferred destructor is tagged with the global epoch at defer time, which
-/// is `>= e` for every such pin. [`collect`](epoch::collect) frees a
-/// deferred item only
-/// when its tag is **strictly below the minimum epoch announced by any
-/// currently-pinned participant** — a reader still inside a pin that could
-/// have observed the unlinked value keeps the minimum at or below the tag,
-/// blocking the free. Unpinned participants don't constrain reclamation;
-/// with nobody pinned the current global epoch is the bound.
+/// announces `pinned@e` for the loaded global epoch `e`, then re-reads the
+/// global epoch and re-announces until the two agree (the `crossbeam-epoch`
+/// validation loop); only after that does the reader load shared pointers.
+/// A deferred destructor is tagged with the global epoch at defer time.
+///
+/// [`collect`](epoch::collect) computes a reclamation bound `safe` — the
+/// minimum epoch announced by any participant pinned at scan time, or the
+/// (possibly just-advanced) global epoch when none is — and frees a
+/// deferred item only when its tag is **at least two epochs behind**
+/// (`tag + 1 < safe`). The margin is what makes the registry scan sound
+/// against pins it races past: a reader whose announcement lands *after*
+/// the scan is invisible to this pass, but its announcement follows the
+/// pass's load of the global epoch `cur` in the total order, so every
+/// pointer it can still hold was unlinked after that (`tag >= cur`), while
+/// the pass advances the epoch once at most (`safe <= cur + 1`) — hence
+/// `tag + 1 >= safe` and the item survives. Once the announcement is
+/// visible every later scan counts it, `safe` stays at or below the
+/// reader's epoch, and nothing it can observe reclaims.
 ///
 /// The global epoch only advances ([`collect`](epoch::collect)) when
 /// every pinned
 /// participant has announced the current epoch, so the minimum lags the
 /// global epoch by at most one step and reclamation cannot starve while
-/// guards keep being dropped.
+/// guards keep being dropped; the pin-time re-validation keeps
+/// announcements fresh so the extra margin costs one collection pass, not
+/// a stalled backlog.
 pub mod epoch {
     use std::cell::RefCell;
     use std::collections::VecDeque;
@@ -404,8 +424,22 @@ pub mod epoch {
         LOCAL.with(|local| {
             let mut local = local.borrow_mut();
             if local.pin_depth == 0 {
-                let e = global().epoch.load(SeqCst);
-                local.participant.state.store((e << 1) | 1, SeqCst);
+                // Announce-then-revalidate: re-read the global epoch
+                // after publishing the announcement and re-announce
+                // until both agree, so a pin never sits at an epoch
+                // that was already stale when its announcement became
+                // visible (which would stall reclamation for as long
+                // as the guard lives).
+                let g = global();
+                let mut e = g.epoch.load(SeqCst);
+                loop {
+                    local.participant.state.store((e << 1) | 1, SeqCst);
+                    let now = g.epoch.load(SeqCst);
+                    if now == e {
+                        break;
+                    }
+                    e = now;
+                }
             }
             local.pin_depth += 1;
         });
@@ -449,9 +483,10 @@ pub mod epoch {
     }
 
     /// Tries to advance the global epoch and frees every deferred item
-    /// retired strictly before the minimum pinned epoch (the global epoch
-    /// when nobody is pinned). Safe to call from any thread, pinned or
-    /// not; destructors run outside all internal locks.
+    /// retired at least two epochs behind the reclamation bound (the
+    /// minimum pinned epoch, or the global epoch when nobody is pinned).
+    /// Safe to call from any thread, pinned or not; destructors run
+    /// outside all internal locks.
     pub fn collect() {
         let g = global();
         let cur = g.epoch.load(SeqCst);
@@ -477,7 +512,15 @@ pub mod epoch {
             let drained = std::mem::take(&mut *garbage);
             let mut ready = Vec::new();
             for (e, f) in drained {
-                if e < safe {
+                // Two-epoch safety margin, NOT `e < safe`: a reader that
+                // pinned after the participant scan above is invisible
+                // to this pass, but its announcement postdates this
+                // pass's `cur` load, so anything it can still hold was
+                // retired at tag >= cur while this pass advances `safe`
+                // to at most cur + 1. Freeing only two-behind keeps that
+                // raced-past pin's pointers alive (see the module-level
+                // safety argument).
+                if e + 1 < safe {
                     ready.push(f);
                 } else {
                     garbage.push_back((e, f));
@@ -498,6 +541,10 @@ pub mod epoch {
             if before == 0 {
                 return;
             }
+            // Two passes per round: the two-epoch safety margin means a
+            // freshly deferred item needs the epoch advanced twice past
+            // its tag before it may be freed.
+            collect();
             collect();
             let after = global().garbage.lock().expect("epoch poisoned").len();
             if after >= before {
@@ -513,6 +560,7 @@ pub mod epoch {
 
         #[test]
         fn deferred_destructor_runs_after_unpin() {
+            let _serial = crate::epoch_test_lock();
             static RAN: AtomicUsize = AtomicUsize::new(0);
             {
                 let guard = pin();
@@ -525,7 +573,29 @@ pub mod epoch {
         }
 
         #[test]
+        fn reclamation_keeps_a_two_epoch_margin() {
+            let _serial = crate::epoch_test_lock();
+            let ran = Arc::new(AtomicUsize::new(0));
+            {
+                let guard = pin();
+                let ran = Arc::clone(&ran);
+                guard.defer(move || {
+                    ran.fetch_add(1, SeqCst);
+                });
+            }
+            // One pass advances the epoch once past the tag — exactly the
+            // slack a reader pinned behind the participant scan may sit
+            // in, so the item must survive it.
+            collect();
+            assert_eq!(ran.load(SeqCst), 0, "freed with one epoch of slack");
+            // A second advance puts the tag two behind; now it frees.
+            collect();
+            assert_eq!(ran.load(SeqCst), 1);
+        }
+
+        #[test]
         fn pinned_reader_blocks_reclamation() {
+            let _serial = crate::epoch_test_lock();
             let ran = Arc::new(AtomicUsize::new(0));
             let (started_tx, started_rx) = std::sync::mpsc::channel();
             let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
@@ -553,6 +623,7 @@ pub mod epoch {
 
         #[test]
         fn nested_pins_share_one_announcement() {
+            let _serial = crate::epoch_test_lock();
             let outer = pin();
             let inner = pin();
             drop(inner);
@@ -759,6 +830,7 @@ pub mod atomic {
 
         #[test]
         fn load_returns_what_was_stored() {
+            let _serial = crate::epoch_test_lock();
             let cell = ArcCell::new(Some(Arc::new(7u32)));
             assert_eq!(cell.load().as_deref(), Some(&7));
             let (value, version) = cell.load_versioned();
@@ -768,6 +840,7 @@ pub mod atomic {
 
         #[test]
         fn load_with_shares_one_pin_across_slots() {
+            let _serial = crate::epoch_test_lock();
             let a = ArcCell::new(Some(Arc::new(1u32)));
             let b = ArcCell::new(Some(Arc::new(2u32)));
             let guard = epoch::pin();
@@ -785,6 +858,7 @@ pub mod atomic {
 
         #[test]
         fn swap_bumps_version_and_returns_displaced() {
+            let _serial = crate::epoch_test_lock();
             let cell = ArcCell::new(None::<Arc<u32>>);
             assert_eq!(cell.swap(Some(Arc::new(1))), None);
             assert_eq!(cell.swap(Some(Arc::new(2))).as_deref(), Some(&1));
@@ -795,6 +869,7 @@ pub mod atomic {
 
         #[test]
         fn compare_version_swap_rejects_stale_version() {
+            let _serial = crate::epoch_test_lock();
             let cell = ArcCell::new(None::<Arc<u32>>);
             let (_, v0) = cell.load_versioned();
             assert!(cell.compare_version_swap(v0, Some(Arc::new(10))));
@@ -805,6 +880,7 @@ pub mod atomic {
 
         #[test]
         fn loads_stay_consistent_under_concurrent_swaps() {
+            let _serial = crate::epoch_test_lock();
             let cell = Arc::new(ArcCell::new(Some(Arc::new(0u64))));
             std::thread::scope(|scope| {
                 for _ in 0..3 {
@@ -837,6 +913,7 @@ pub mod atomic {
 
         #[test]
         fn racing_version_swaps_admit_exactly_one_winner() {
+            let _serial = crate::epoch_test_lock();
             let cell = Arc::new(ArcCell::new(None::<Arc<u32>>));
             let (_, v) = cell.load_versioned();
             let winners: usize = std::thread::scope(|scope| {
