@@ -1,0 +1,110 @@
+//! Fairness-metric rows for the committed trajectory: evaluates a
+//! deterministic recommend run with `fairrec-metrics` and records the
+//! metric *values* (not timings) as `fairness/…` scalar rows.
+//!
+//! Every metric is a fixed-order fold over bitwise-deterministic engine
+//! output, so the rows are identical across machines, thread counts,
+//! and store layouts — which is why `scripts/bench_summary` can gate
+//! their drift far tighter than the perf ratios (symmetric relative
+//! tolerance vs. the ×1.5 timing bar). The fixture
+//! ([`fairrec_bench::fairness_fixture`]) is deliberately fixed — no
+//! `FAIRREC_BENCH_USERS` scaling — so the rows stay comparable across
+//! trajectory entries.
+//!
+//! The bench also runs the serving-path [`FairnessMonitor`] over the
+//! same request stream and asserts its threshold report passes — a
+//! fairness regression fails this bench (and the CI `fairness` job)
+//! even before the drift gate sees the numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fairrec_bench::fairness_fixture;
+use fairrec_core::group::Group;
+use fairrec_engine::{EngineConfig, RecommendationObserver, RecommenderEngine};
+use fairrec_metrics::{evaluate, tradeoff_curve, FairnessMonitor, MonitorConfig};
+use fairrec_ontology::snomed::clinical_fragment;
+use std::sync::Arc;
+
+/// Package sizes the trade-off sweep covers (|G| = 4 sits inside the
+/// range, so the rows straddle the Proposition-1 boundary).
+const ZS: [usize; 3] = [2, 4, 8];
+
+fn bench_fairness(c: &mut Criterion) {
+    let _ = c; // value rows, not timings; recorded by hand
+    let (data, groups) = fairness_fixture();
+    let mut engine = RecommenderEngine::new(
+        data.matrix,
+        data.profiles,
+        clinical_fragment(),
+        EngineConfig::default(),
+    )
+    .expect("valid engine");
+
+    // The trade-off sweep: one row set per z.
+    let curve = tradeoff_curve(&engine, &groups, &ZS).expect("evaluation succeeds");
+    for (&z, point) in ZS.iter().zip(&curve) {
+        let summary = evaluate(&engine, &groups, z).expect("evaluation succeeds");
+        let n = summary.evaluated as usize;
+        assert_eq!(point.fairness, summary.mean_fairness, "curve ≡ summary");
+        for (name, value) in [
+            ("mean_fairness", summary.mean_fairness),
+            ("mean_value", summary.mean_value),
+            ("mean_member_utility", summary.mean_member_utility),
+            ("worst_member_utility", summary.worst_member_utility),
+            ("max_member_cv", summary.max_member_cv),
+            ("max_disparity", summary.max_group_member_disparity),
+            ("exposure_gap", summary.exposure.gap),
+        ] {
+            criterion::record_scalar(&format!("fairness/{name}/z{z}"), value, n);
+        }
+        println!(
+            "fairness[z={z}]: fairness {:.4}, value {:.4}, member utility {:.4} \
+             (worst {:.4}), exposure gap {:.4}",
+            summary.mean_fairness,
+            summary.mean_value,
+            summary.mean_member_utility,
+            summary.worst_member_utility,
+            summary.exposure.gap,
+        );
+    }
+
+    // The serving-path monitor over the same stream (every request
+    // evaluated, so the counters are order-independent and exact).
+    let monitor = Arc::new(FairnessMonitor::new(
+        MonitorConfig::default(),
+        engine.ratings().reads(),
+    ));
+    engine.set_observer(Arc::clone(&monitor) as Arc<dyn RecommendationObserver>);
+    let requests: Vec<(Group, usize)> = groups.iter().map(|g| (g.clone(), 4)).collect();
+    for outcome in engine.recommend_requests(&requests) {
+        outcome.expect("requests succeed");
+    }
+    let stats = monitor.stats();
+    assert_eq!(stats.observed, groups.len() as u64);
+    let report = monitor.report();
+    for check in &report.checks {
+        println!(
+            "monitor check {:<28} {:>8.4} vs {:>6.2} → {}",
+            check.name,
+            check.value,
+            check.threshold,
+            if check.passed { "pass" } else { "FAIL" },
+        );
+        criterion::record_scalar(
+            &format!("fairness/monitor/{}", check.name),
+            check.value,
+            stats.evaluated as usize,
+        );
+    }
+    criterion::record_scalar(
+        "fairness/monitor/violation_rate",
+        stats.violations as f64 / stats.evaluated.max(1) as f64,
+        stats.evaluated as usize,
+    );
+    assert!(
+        report.passed,
+        "serving-path fairness thresholds breached: {report:?}"
+    );
+}
+
+criterion_group!(benches, bench_fairness);
+criterion_main!(benches);

@@ -218,6 +218,31 @@ impl UserSimilarity for DetachedMeasure {
 
 impl BulkUserSimilarity for DetachedMeasure {}
 
+/// Observer of served group recommendations — the runtime-monitoring
+/// hook of the serving path. Every successful group recommendation,
+/// whatever surface produced it (`recommend_for_group`, the batched
+/// fan-outs, the streaming [`Server`](crate::Server)), is reported to
+/// the installed observer *after* assembly and *before* the result is
+/// returned, together with a [`RatingsRead`] view of the engine's
+/// store (monolithic or sharded — the observer never sees the
+/// difference).
+///
+/// Implementations are called concurrently from the request fan-out and
+/// must be cheap on the common path — `fairrec-metrics`'
+/// `FairnessMonitor` samples every Nth request and keeps atomic
+/// counters, exactly like [`ServerStats`](crate::ServerStats). An
+/// observer must never panic: it runs inside the serving path.
+pub trait RecommendationObserver: Send + Sync {
+    /// Called with the served package for `(group, z)`.
+    fn observe_recommendation(
+        &self,
+        group: &Group,
+        z: usize,
+        recommendation: &GroupRecommendation,
+        reads: &dyn RatingsRead,
+    );
+}
+
 /// The engine's rating relation: monolithic, or hash-partitioned into
 /// compacted per-shard matrices ([`EngineConfig::num_shards`]). The
 /// sharded form is **the only copy** of the data — every read routes to
@@ -473,6 +498,9 @@ pub struct RecommenderEngine {
     /// Cached Definition-1 peer lists (monolithic or sharded); every
     /// request path goes through it.
     peers: PeerBackend,
+    /// The runtime-monitoring hook: every successful group
+    /// recommendation is reported here (see [`RecommendationObserver`]).
+    observer: Option<Arc<dyn RecommendationObserver>>,
 }
 
 impl std::fmt::Debug for RecommenderEngine {
@@ -538,7 +566,26 @@ impl RecommenderEngine {
             profile_sim,
             measure,
             peers,
+            observer: None,
         })
+    }
+
+    /// Installs the serving-path observer (replacing any previous one).
+    /// Every subsequent successful group recommendation — single-call,
+    /// batched, or via the streaming [`Server`](crate::Server) — is
+    /// reported to it. See [`RecommendationObserver`] for the contract.
+    pub fn set_observer(&mut self, observer: Arc<dyn RecommendationObserver>) {
+        self.observer = Some(observer);
+    }
+
+    /// Removes the serving-path observer, returning it.
+    pub fn clear_observer(&mut self) -> Option<Arc<dyn RecommendationObserver>> {
+        self.observer.take()
+    }
+
+    /// The installed serving-path observer, if any.
+    pub fn observer(&self) -> Option<&Arc<dyn RecommendationObserver>> {
+        self.observer.as_ref()
     }
 
     /// Builds the configured similarity backend over shared handles of
@@ -1267,7 +1314,11 @@ impl RecommenderEngine {
             }
         }
 
-        Ok(self.assemble(group, &pool, &evaluator, &selection, padded_from))
+        let recommendation = self.assemble(group, &pool, &evaluator, &selection, padded_from);
+        if let Some(observer) = &self.observer {
+            observer.observe_recommendation(group, z, &recommendation, self.store.reads());
+        }
+        Ok(recommendation)
     }
 
     fn assemble(
@@ -2006,6 +2057,60 @@ mod tests {
             live.recommend_for_group(&g, 6).unwrap(),
             fresh.recommend_for_group(&g, 6).unwrap()
         );
+    }
+
+    #[test]
+    fn observer_sees_every_successful_recommendation() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        #[derive(Default)]
+        struct Counting {
+            seen: AtomicU64,
+            members: AtomicU64,
+        }
+        impl RecommendationObserver for Counting {
+            fn observe_recommendation(
+                &self,
+                group: &Group,
+                z: usize,
+                rec: &GroupRecommendation,
+                reads: &dyn RatingsRead,
+            ) {
+                assert_eq!(rec.members.len(), group.members().len());
+                assert!(rec.items.len() <= z.max(rec.items.len()));
+                assert!(reads.num_users() > 0);
+                self.seen.fetch_add(1, Ordering::Relaxed);
+                self.members
+                    .fetch_add(group.members().len() as u64, Ordering::Relaxed);
+            }
+        }
+
+        for num_shards in [None, Some(3)] {
+            let mut e = engine(EngineConfig {
+                num_shards,
+                ..Default::default()
+            });
+            let counting = Arc::new(Counting::default());
+            e.set_observer(Arc::clone(&counting) as Arc<dyn RecommendationObserver>);
+            let g = group(&e);
+            e.recommend_for_group(&g, 5).unwrap();
+            assert_eq!(counting.seen.load(Ordering::Relaxed), 1);
+            // Batched fan-outs funnel through the same hook, once per
+            // request — including the mixed-z path the Server uses.
+            e.recommend_batch(&[g.clone(), g.clone()], 4).unwrap();
+            assert_eq!(counting.seen.load(Ordering::Relaxed), 3);
+            let outcomes = e.recommend_requests(&[(g.clone(), 3), (g.clone(), 6)]);
+            assert!(outcomes.iter().all(Result::is_ok));
+            assert_eq!(counting.seen.load(Ordering::Relaxed), 5);
+            assert_eq!(counting.members.load(Ordering::Relaxed), 5 * 4);
+            // A failing request never reaches the observer.
+            let bad = Group::new(GroupId::new(9), [UserId::new(u32::MAX - 1)]).unwrap();
+            assert!(e.recommend_for_group(&bad, 3).is_err());
+            assert_eq!(counting.seen.load(Ordering::Relaxed), 5);
+            assert!(e.clear_observer().is_some());
+            e.recommend_for_group(&g, 5).unwrap();
+            assert_eq!(counting.seen.load(Ordering::Relaxed), 5, "detached");
+        }
     }
 
     #[test]

@@ -27,7 +27,7 @@ mod serving;
 pub use config::{EngineConfig, ExecutionPath, IngestPolicy, SelectionAlgorithm, SimilarityKind};
 pub use engine::{
     BatchIngestReport, BatchPeerMaintenance, GroupRecommendation, IngestOp, IngestReport,
-    MemberSatisfaction, PeerBackend, PeerMaintenance, RatingStore, RecommendedItem,
-    RecommenderEngine,
+    MemberSatisfaction, PeerBackend, PeerMaintenance, RatingStore, RecommendationObserver,
+    RecommendedItem, RecommenderEngine,
 };
 pub use serving::{Server, ServerConfig, ServerStats, Ticket};

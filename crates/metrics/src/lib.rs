@@ -1,0 +1,41 @@
+//! Fairness evaluation and runtime monitoring for `fairrec`.
+//!
+//! The engine *optimises* Definition-1/3 fairness on every request;
+//! this crate *measures* the outcomes it produces — the paper's claim
+//! ("group fairness without destroying per-member quality") as a set of
+//! regression-gated numbers rather than an assumption:
+//!
+//! * [`package_metrics`] / [`member_utilities`] — per-package and
+//!   per-member metrics from a served [`GroupRecommendation`]:
+//!   group↔member disparity, worst-member utility, member coefficient
+//!   of variation ([`package`] documents the exact formulas),
+//! * [`SegmentSpec`] / [`ExposureTracker`] — statistical-parity-style
+//!   exposure across user-activity terciles, computed through
+//!   [`RatingsRead`](fairrec_types::RatingsRead) so monolithic and
+//!   sharded stores segment identically,
+//! * [`FairnessMonitor`] — a sampled, threshold-checked
+//!   [`RecommendationObserver`](fairrec_engine::RecommendationObserver)
+//!   for the serving path, with `ServerStats`-style counters and a
+//!   pass/fail [`FairnessReport`](fairrec_types::FairnessReport),
+//! * [`evaluate`] / [`tradeoff_curve`] — the offline evaluation harness
+//!   behind `examples/fairness_eval` and `benches/fairness.rs`, whose
+//!   rows the committed `BENCH_*.json` trajectory gates in CI.
+//!
+//! Every computation is a fixed-order fold, so metric values are
+//! bitwise identical across store layouts and thread counts — which is
+//! what lets CI gate them as tightly as the perf ratios.
+//!
+//! [`GroupRecommendation`]: fairrec_engine::GroupRecommendation
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod eval;
+mod monitor;
+pub mod package;
+mod segments;
+
+pub use eval::{evaluate, tradeoff_curve, EvalAccumulator, EvalSummary};
+pub use monitor::{FairnessMonitor, FairnessThresholds, MonitorConfig};
+pub use package::{member_utilities, normalize, package_metrics};
+pub use segments::{parity_gap, ExposureTracker, SegmentSpec, NUM_SEGMENTS};

@@ -1,0 +1,288 @@
+//! Runtime fairness monitoring: a threshold-checked
+//! [`RecommendationObserver`] that rides the engine's serving path.
+//!
+//! Modelled on the `HealthcareFairness` evaluator pattern: a fixed set
+//! of named checks, each a `{value, threshold, passed}` triple, rolled
+//! into one pass/fail [`FairnessReport`]. Counters follow the
+//! `ServerStats` idiom — monotone atomics, snapshotted, never reset —
+//! so the monitor is safe to share across the serving fan-out.
+
+use crate::package::package_metrics;
+use crate::segments::{parity_gap, SegmentSpec, NUM_SEGMENTS};
+use fairrec_core::group::Group;
+use fairrec_engine::{GroupRecommendation, RecommendationObserver};
+use fairrec_types::{FairnessReport, MetricCheck, MonitorStats, RatingsRead, SegmentExposure};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The monitor's pass/fail thresholds, one per check.
+///
+/// The defaults encode the paper's promise — *group fairness without
+/// destroying per-member quality* — loosely enough to hold on any
+/// reasonable configuration; tighten them per deployment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FairnessThresholds {
+    /// Floor on the lowest Definition-3 fairness served.
+    pub min_fairness: f64,
+    /// Floor on the lowest worst-member utility served.
+    pub min_worst_member_utility: f64,
+    /// Ceiling on the member coefficient of variation.
+    pub max_member_cv: f64,
+    /// Ceiling on the group↔member disparity.
+    pub max_group_member_disparity: f64,
+    /// Ceiling on the segment exposure parity gap.
+    pub max_exposure_gap: f64,
+}
+
+impl Default for FairnessThresholds {
+    fn default() -> Self {
+        Self {
+            min_fairness: 0.25,
+            min_worst_member_utility: 0.05,
+            max_member_cv: 1.0,
+            max_group_member_disparity: 0.5,
+            max_exposure_gap: 0.5,
+        }
+    }
+}
+
+/// Monitor construction knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonitorConfig {
+    /// Evaluate every `sample_every`-th observed request (1 = all).
+    /// Values below 1 are treated as 1.
+    pub sample_every: u64,
+    /// The pass/fail thresholds.
+    pub thresholds: FairnessThresholds,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        Self {
+            sample_every: 1,
+            thresholds: FairnessThresholds::default(),
+        }
+    }
+}
+
+/// Lock-free f64 extremum cells (bit-cast through `AtomicU64`).
+struct AtomicF64(AtomicU64);
+
+impl AtomicF64 {
+    fn new(v: f64) -> Self {
+        Self(AtomicU64::new(v.to_bits()))
+    }
+
+    fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Monotone update: keeps the more extreme of the current and new
+    /// value under `keep_new` (finite values only — metrics are).
+    fn update(&self, new: f64, keep_new: impl Fn(f64, f64) -> bool) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        while keep_new(f64::from_bits(cur), new) {
+            match self.0.compare_exchange_weak(
+                cur,
+                new.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+/// A sampled, threshold-checked fairness monitor for the serving path.
+///
+/// **Sampling contract.** The monitor counts every request its engine
+/// serves (`observed`) and fully evaluates every `sample_every`-th one
+/// (`evaluated`), starting with the first. Evaluation is a fixed-order
+/// fold over the already-assembled recommendation plus O(|G|) segment
+/// lookups against a user→segment assignment **frozen at construction
+/// time** from the store snapshot passed to [`FairnessMonitor::new`] —
+/// the hook never re-reads the rating store, so its cost is independent
+/// of dataset size and it never perturbs the engine's own outputs.
+/// Users ingested after construction fall into segment 0 (least
+/// active) until a new monitor is built.
+pub struct FairnessMonitor {
+    config: MonitorConfig,
+    segments: SegmentSpec,
+    observed: AtomicU64,
+    evaluated: AtomicU64,
+    violations: AtomicU64,
+    min_fairness: AtomicF64,
+    min_worst_member_utility: AtomicF64,
+    max_member_cv: AtomicF64,
+    max_group_member_disparity: AtomicF64,
+    seg_observed: [AtomicU64; NUM_SEGMENTS],
+    seg_satisfied: [AtomicU64; NUM_SEGMENTS],
+}
+
+impl FairnessMonitor {
+    /// Builds a monitor, freezing the activity segmentation from the
+    /// given store snapshot (pass `engine.ratings().reads()`).
+    pub fn new(config: MonitorConfig, reads: &dyn RatingsRead) -> Self {
+        Self {
+            config,
+            segments: SegmentSpec::activity_terciles(reads),
+            observed: AtomicU64::new(0),
+            evaluated: AtomicU64::new(0),
+            violations: AtomicU64::new(0),
+            min_fairness: AtomicF64::new(1.0),
+            min_worst_member_utility: AtomicF64::new(1.0),
+            max_member_cv: AtomicF64::new(0.0),
+            max_group_member_disparity: AtomicF64::new(0.0),
+            seg_observed: Default::default(),
+            seg_satisfied: Default::default(),
+        }
+    }
+
+    /// The configured thresholds.
+    pub fn thresholds(&self) -> &FairnessThresholds {
+        &self.config.thresholds
+    }
+
+    /// The frozen segmentation the monitor judges exposure against.
+    pub fn segments(&self) -> &SegmentSpec {
+        &self.segments
+    }
+
+    /// Snapshot of the monotone counters.
+    pub fn stats(&self) -> MonitorStats {
+        MonitorStats {
+            observed: self.observed.load(Ordering::Relaxed),
+            evaluated: self.evaluated.load(Ordering::Relaxed),
+            violations: self.violations.load(Ordering::Relaxed),
+            min_fairness: self.min_fairness.get(),
+            min_worst_member_utility: self.min_worst_member_utility.get(),
+            max_member_cv: self.max_member_cv.get(),
+            max_group_member_disparity: self.max_group_member_disparity.get(),
+        }
+    }
+
+    /// Per-segment exposure snapshot.
+    pub fn exposure(&self) -> [SegmentExposure; NUM_SEGMENTS] {
+        let mut out = [SegmentExposure::default(); NUM_SEGMENTS];
+        for (i, slot) in out.iter_mut().enumerate() {
+            slot.observed = self.seg_observed[i].load(Ordering::Relaxed);
+            slot.satisfied = self.seg_satisfied[i].load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// The pass/fail verdict over everything evaluated so far: one
+    /// check per threshold against the running extrema plus the
+    /// exposure parity gap. Passes vacuously before any evaluation.
+    pub fn report(&self) -> FairnessReport {
+        let stats = self.stats();
+        let t = &self.config.thresholds;
+        let checks = vec![
+            MetricCheck::new("min_fairness", stats.min_fairness, t.min_fairness, true),
+            MetricCheck::new(
+                "min_worst_member_utility",
+                stats.min_worst_member_utility,
+                t.min_worst_member_utility,
+                true,
+            ),
+            MetricCheck::new("max_member_cv", stats.max_member_cv, t.max_member_cv, false),
+            MetricCheck::new(
+                "max_group_member_disparity",
+                stats.max_group_member_disparity,
+                t.max_group_member_disparity,
+                false,
+            ),
+            MetricCheck::new(
+                "exposure_gap",
+                parity_gap(&self.exposure()),
+                t.max_exposure_gap,
+                false,
+            ),
+        ];
+        let passed = stats.evaluated == 0 || checks.iter().all(|c| c.passed);
+        FairnessReport {
+            checks,
+            observed: stats.observed,
+            evaluated: stats.evaluated,
+            passed,
+        }
+    }
+}
+
+impl RecommendationObserver for FairnessMonitor {
+    fn observe_recommendation(
+        &self,
+        group: &Group,
+        _z: usize,
+        recommendation: &GroupRecommendation,
+        _reads: &dyn RatingsRead,
+    ) {
+        let seen = self.observed.fetch_add(1, Ordering::Relaxed);
+        if !seen.is_multiple_of(self.config.sample_every.max(1)) {
+            return;
+        }
+        self.evaluated.fetch_add(1, Ordering::Relaxed);
+
+        let metrics = package_metrics(recommendation);
+        self.min_fairness
+            .update(metrics.fairness, |cur, new| new < cur);
+        self.min_worst_member_utility
+            .update(metrics.worst_member_utility, |cur, new| new < cur);
+        self.max_member_cv
+            .update(metrics.member_cv, |cur, new| new > cur);
+        self.max_group_member_disparity
+            .update(metrics.group_member_disparity, |cur, new| new > cur);
+
+        for (member, sat) in group.members().iter().zip(&recommendation.members) {
+            let seg = self.segments.segment(*member);
+            self.seg_observed[seg].fetch_add(1, Ordering::Relaxed);
+            self.seg_satisfied[seg].fetch_add(u64::from(sat.satisfied), Ordering::Relaxed);
+        }
+
+        let t = &self.config.thresholds;
+        let breached = metrics.fairness < t.min_fairness
+            || metrics.worst_member_utility < t.min_worst_member_utility
+            || metrics.member_cv > t.max_member_cv
+            || metrics.group_member_disparity > t.max_group_member_disparity;
+        if breached {
+            self.violations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairrec_types::{ItemId, Rating, RatingMatrix, RatingMatrixBuilder, UserId};
+
+    fn tiny_store() -> RatingMatrix {
+        let mut b = RatingMatrixBuilder::new().reserve_ids(4, 3);
+        for (u, i, s) in [(0u32, 0u32, 5.0), (1, 0, 3.0), (2, 1, 4.0), (3, 2, 2.0)] {
+            b.add(UserId::new(u), ItemId::new(i), Rating::new(s).unwrap());
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn vacuous_report_passes() {
+        let m = FairnessMonitor::new(MonitorConfig::default(), &tiny_store());
+        let report = m.report();
+        assert!(report.passed);
+        assert_eq!(report.evaluated, 0);
+        assert_eq!(report.checks.len(), 5);
+        assert_eq!(m.stats(), MonitorStats::default());
+    }
+
+    #[test]
+    fn atomic_extrema_track_both_directions() {
+        let cell = AtomicF64::new(1.0);
+        cell.update(0.5, |cur, new| new < cur);
+        cell.update(0.8, |cur, new| new < cur);
+        assert_eq!(cell.get(), 0.5);
+        let cell = AtomicF64::new(0.0);
+        cell.update(0.3, |cur, new| new > cur);
+        cell.update(0.1, |cur, new| new > cur);
+        assert_eq!(cell.get(), 0.3);
+    }
+}

@@ -1,0 +1,122 @@
+//! Per-package metric computation: one `GroupRecommendation` in, one
+//! [`PackageFairnessMetrics`] out.
+//!
+//! Every formula is a fixed-order fold over the package, so two
+//! bitwise-identical recommendations produce bitwise-identical metrics
+//! regardless of store layout or thread count — the property the
+//! mono-vs-sharded equivalence tests pin.
+
+use fairrec_engine::GroupRecommendation;
+use fairrec_types::{MemberUtility, PackageFairnessMetrics, RATING_MAX, RATING_MIN};
+
+/// Maps a rating-domain score into `[0, 1]`.
+///
+/// Relevance predictions are weighted means of ratings (Equation 1), so
+/// they already live in `[RATING_MIN, RATING_MAX]`; the clamp only
+/// guards against future score sources.
+pub fn normalize(score: f64) -> f64 {
+    ((score - RATING_MIN) / (RATING_MAX - RATING_MIN)).clamp(0.0, 1.0)
+}
+
+/// Per-member utility breakdown of one package, in group member order.
+///
+/// A member's utility is the mean normalised relevance of the package
+/// items *defined* for them (Equation 1 can be undefined when none of
+/// the member's peers rated an item); a member with no defined item
+/// scores 0 — the conservative reading: an invisible member is an
+/// unfairly treated one, not a missing data point.
+pub fn member_utilities(recommendation: &GroupRecommendation) -> Vec<MemberUtility> {
+    recommendation
+        .members
+        .iter()
+        .enumerate()
+        .map(|(m, sat)| {
+            let mut sum = 0.0;
+            let mut defined = 0u32;
+            for item in &recommendation.items {
+                if let Some(score) = item.member_relevance[m] {
+                    sum += normalize(score);
+                    defined += 1;
+                }
+            }
+            let utility = if defined == 0 {
+                0.0
+            } else {
+                sum / f64::from(defined)
+            };
+            MemberUtility {
+                user: sat.user,
+                utility,
+                defined_items: defined,
+                satisfied: sat.satisfied,
+            }
+        })
+        .collect()
+}
+
+/// Computes every per-package metric of one served recommendation.
+///
+/// Formulas (all utilities normalised into `[0, 1]` via [`normalize`]):
+///
+/// * `fairness`, `value` — copied from the package (Definition 3),
+/// * `mean_member_utility` — mean over members of [`member_utilities`],
+/// * `worst_member_utility` — the minimum (the Rawlsian floor),
+/// * `member_cv` — population σ / mean of member utilities, 0 when the
+///   mean is 0 (an all-undefined package carries no dispersion signal),
+/// * `group_member_disparity` — |mean normalised `group_relevance` over
+///   package items − `mean_member_utility`|; an empty package scores 0
+///   on both sides.
+pub fn package_metrics(recommendation: &GroupRecommendation) -> PackageFairnessMetrics {
+    let utilities = member_utilities(recommendation);
+    let num_members = utilities.len() as u32;
+    let satisfied_members = utilities.iter().filter(|u| u.satisfied).count() as u32;
+
+    let mean_member_utility = if utilities.is_empty() {
+        0.0
+    } else {
+        utilities.iter().map(|u| u.utility).sum::<f64>() / f64::from(num_members)
+    };
+    let worst_member_utility = utilities
+        .iter()
+        .map(|u| u.utility)
+        .fold(f64::INFINITY, f64::min)
+        .min(1.0); // empty group: INFINITY → the neutral 1.0
+
+    let member_cv = if utilities.is_empty() || mean_member_utility == 0.0 {
+        0.0
+    } else {
+        let variance = utilities
+            .iter()
+            .map(|u| {
+                let d = u.utility - mean_member_utility;
+                d * d
+            })
+            .sum::<f64>()
+            / f64::from(num_members);
+        variance.sqrt() / mean_member_utility
+    };
+
+    let group_score = if recommendation.items.is_empty() {
+        0.0
+    } else {
+        recommendation
+            .items
+            .iter()
+            .map(|i| normalize(i.group_relevance))
+            .sum::<f64>()
+            / recommendation.items.len() as f64
+    };
+    let group_member_disparity = (group_score - mean_member_utility).abs();
+
+    PackageFairnessMetrics {
+        fairness: recommendation.fairness,
+        value: recommendation.value,
+        mean_member_utility,
+        worst_member_utility,
+        member_cv,
+        group_member_disparity,
+        satisfied_members,
+        num_members,
+        package_len: recommendation.items.len() as u32,
+    }
+}

@@ -1,0 +1,156 @@
+//! User segmentation for statistical-parity-style exposure.
+//!
+//! The health-domain fairness literature (Rampisela et al.) tracks
+//! whether a recommender serves *low-activity* users — patients with
+//! few ratings — as well as it serves prolific ones. [`SegmentSpec`]
+//! splits the user population into activity terciles from rating
+//! degrees read through [`RatingsRead`], so the same segmentation is
+//! computed, bit for bit, on monolithic and sharded stores.
+
+use fairrec_types::{ExposureParity, RatingsRead, SegmentExposure, UserId};
+
+/// Number of activity segments (terciles).
+pub const NUM_SEGMENTS: usize = 3;
+
+/// A frozen user → activity-segment assignment.
+///
+/// Built once from a rating store snapshot; requests evaluated later
+/// are judged against this frozen segmentation (the monitor's sampling
+/// contract — see `FairnessMonitor`). Users that did not exist at
+/// freeze time had no ratings then, so they map to segment 0 (least
+/// active).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentSpec {
+    segment_of: Vec<u8>,
+}
+
+impl SegmentSpec {
+    /// Splits the store's users into activity terciles by rating degree
+    /// (number of ratings a user has left).
+    ///
+    /// Cutoffs are the degrees at ranks ⌊n/3⌋ and ⌊2n/3⌋ of the sorted
+    /// degree sequence; a user lands in the highest segment whose
+    /// cutoff their degree reaches. Ties therefore resolve identically
+    /// everywhere — the assignment depends only on the degree
+    /// multiset, which mono and sharded reads agree on exactly.
+    pub fn activity_terciles(reads: &dyn RatingsRead) -> Self {
+        let num_users = reads.num_users() as usize;
+        let mut degrees = vec![0u32; num_users];
+        for raw in 0..reads.num_items() {
+            reads.for_each_rater(fairrec_types::ItemId::new(raw), &mut |user, _| {
+                degrees[user.index()] += 1;
+            });
+        }
+        let mut sorted = degrees.clone();
+        sorted.sort_unstable();
+        let cutoff = |rank: usize| sorted.get(rank).copied().unwrap_or(u32::MAX);
+        let (lo, hi) = (cutoff(num_users / 3), cutoff(2 * num_users / 3));
+        let segment_of = degrees
+            .iter()
+            .map(|&d| {
+                if d >= hi {
+                    2
+                } else if d >= lo {
+                    1
+                } else {
+                    0
+                }
+            })
+            .collect();
+        Self { segment_of }
+    }
+
+    /// The segment of `user` (0 = least active). Users unknown at
+    /// freeze time map to segment 0.
+    pub fn segment(&self, user: UserId) -> usize {
+        self.segment_of.get(user.index()).map_or(0, |&s| s as usize)
+    }
+
+    /// Users covered by the frozen assignment.
+    pub fn num_users(&self) -> usize {
+        self.segment_of.len()
+    }
+}
+
+/// Plain (single-threaded) exposure accumulator: counts, per segment,
+/// how many member-slots were observed and how many of those the
+/// served package satisfied. The monitor keeps the same counts in
+/// atomics; this form backs the offline evaluation harness.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExposureTracker {
+    segments: [SegmentExposure; NUM_SEGMENTS],
+}
+
+impl ExposureTracker {
+    /// Records one member outcome.
+    pub fn record(&mut self, segment: usize, satisfied: bool) {
+        let slot = &mut self.segments[segment.min(NUM_SEGMENTS - 1)];
+        slot.observed += 1;
+        slot.satisfied += u64::from(satisfied);
+    }
+
+    /// The accumulated per-segment exposures and their parity gap.
+    pub fn parity(&self) -> ExposureParity {
+        ExposureParity {
+            segments: self.segments.to_vec(),
+            gap: parity_gap(&self.segments),
+        }
+    }
+}
+
+/// `max − min` satisfaction rate over segments with observations; 0
+/// when at most one segment was observed (a gap needs two rates to
+/// compare).
+pub fn parity_gap(segments: &[SegmentExposure]) -> f64 {
+    let mut rates = segments
+        .iter()
+        .filter(|s| s.observed > 0)
+        .map(SegmentExposure::exposure);
+    let Some(first) = rates.next() else {
+        return 0.0;
+    };
+    let (min, max) = rates.fold((first, first), |(lo, hi), r| (lo.min(r), hi.max(r)));
+    max - min
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairrec_types::{ItemId, Rating, RatingMatrixBuilder};
+
+    #[test]
+    fn terciles_split_by_degree() {
+        // Degrees: u0=1, u1=1, u2=2, u3=3, u4=4, u5=5. Sorted cutoffs
+        // at ranks 2 and 4: lo=2, hi=4.
+        let mut b = RatingMatrixBuilder::new().reserve_ids(6, 5);
+        let degrees = [1u32, 1, 2, 3, 4, 5];
+        for (u, &d) in degrees.iter().enumerate() {
+            for i in 0..d {
+                b.add(
+                    UserId::new(u as u32),
+                    ItemId::new(i),
+                    Rating::new(3.0).unwrap(),
+                );
+            }
+        }
+        let m = b.build().unwrap();
+        let spec = SegmentSpec::activity_terciles(&m);
+        let got: Vec<usize> = (0..6).map(|u| spec.segment(UserId::new(u))).collect();
+        assert_eq!(got, vec![0, 0, 1, 1, 2, 2]);
+        // Unknown-at-freeze users are least-active by definition.
+        assert_eq!(spec.segment(UserId::new(99)), 0);
+    }
+
+    #[test]
+    fn parity_gap_ignores_unobserved_segments() {
+        let mut t = ExposureTracker::default();
+        assert_eq!(t.parity().gap, 0.0);
+        t.record(0, true);
+        t.record(0, false);
+        assert_eq!(t.parity().gap, 0.0, "one observed segment: no gap");
+        t.record(2, true);
+        let p = t.parity();
+        assert_eq!(p.gap, 0.5);
+        assert_eq!(p.segments[1].observed, 0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Bitwise-equivalence pins for the fairness evaluation pipeline.
+//!
+//! The engine's determinism contract says mono vs. sharded stores and
+//! `recommend_batch` vs. `recommend_requests` produce bitwise-identical
+//! recommendations; every metric here is a fixed-order fold over those
+//! recommendations, so the *metric reports* must be bitwise identical
+//! too — that is what lets CI gate the committed fairness trajectory
+//! at a tight tolerance regardless of which store layout or serving
+//! path produced it. These proptests pin that end to end:
+//!
+//! * [`evaluate`] over a monolithic engine equals, bit for bit, the
+//!   same evaluation over engines sharded at S ∈ {1, 2, 3, 8}, and a
+//!   manual `recommend_requests` + [`EvalAccumulator`] replay of the
+//!   same workload;
+//! * a [`FairnessMonitor`] observing `recommend_batch` finishes with
+//!   exactly the stats and report of one observing
+//!   `recommend_requests`, on every store layout (with `sample_every
+//!   = 1` every counter is an order-independent sum/min/max, so even
+//!   the parallel serving path cannot perturb them).
+
+use fairrec_core::group::Group;
+use fairrec_data::{SyntheticConfig, SyntheticDataset};
+use fairrec_engine::{EngineConfig, RecommendationObserver, RecommenderEngine};
+use fairrec_metrics::{evaluate, EvalAccumulator, FairnessMonitor, MonitorConfig, SegmentSpec};
+use fairrec_ontology::snomed::clinical_fragment;
+use fairrec_types::{GroupId, UserId};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const NUM_USERS: u32 = 32;
+const NUM_ITEMS: u32 = 60;
+const SHARD_COUNTS: [u32; 4] = [1, 2, 3, 8];
+
+fn engine(num_shards: Option<u32>) -> RecommenderEngine {
+    let ontology = clinical_fragment();
+    let data = SyntheticDataset::generate(
+        SyntheticConfig {
+            num_users: NUM_USERS,
+            num_items: NUM_ITEMS,
+            num_communities: 4,
+            ratings_per_user: 12,
+            seed: 23,
+            ..Default::default()
+        },
+        &ontology,
+    )
+    .unwrap();
+    RecommenderEngine::new(
+        data.matrix,
+        data.profiles,
+        ontology,
+        EngineConfig {
+            num_shards,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+fn groups_strategy() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    proptest::collection::vec(proptest::collection::vec(0..NUM_USERS, 1..5), 1..5)
+}
+
+fn build_groups(raw: &[Vec<u32>]) -> Vec<Group> {
+    raw.iter()
+        .enumerate()
+        .map(|(i, members)| {
+            let mut m = members.clone();
+            m.sort_unstable();
+            m.dedup();
+            Group::new(GroupId::new(i as u32), m.into_iter().map(UserId::new)).unwrap()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// `evaluate` is store-layout- and serving-path-invariant, bitwise.
+    #[test]
+    fn eval_summary_is_store_and_path_invariant(
+        raw in groups_strategy(),
+        z in 2usize..8,
+    ) {
+        let groups = build_groups(&raw);
+        let mono = engine(None);
+        let expected = evaluate(&mono, &groups, z).unwrap();
+
+        // Same workload through `recommend_requests` + a manual
+        // accumulator replay: identical summary, bit for bit.
+        let spec = SegmentSpec::activity_terciles(mono.ratings().reads());
+        let requests: Vec<(Group, usize)> =
+            groups.iter().map(|g| (g.clone(), z)).collect();
+        let mut acc = EvalAccumulator::new(spec);
+        for (req, outcome) in requests.iter().zip(mono.recommend_requests(&requests)) {
+            acc.record(&req.0, &outcome.unwrap());
+        }
+        prop_assert_eq!(&acc.summary(), &expected, "recommend_requests replay");
+
+        for s in SHARD_COUNTS {
+            let sharded = engine(Some(s));
+            prop_assert_eq!(
+                &evaluate(&sharded, &groups, z).unwrap(),
+                &expected,
+                "sharded S={}",
+                s
+            );
+        }
+    }
+
+    /// A serving-path monitor finishes with identical stats and an
+    /// identical threshold report whichever store layout and batch API
+    /// carried the workload.
+    #[test]
+    fn monitor_report_is_store_and_path_invariant(
+        raw in groups_strategy(),
+        z in 2usize..8,
+    ) {
+        let groups = build_groups(&raw);
+        let requests: Vec<(Group, usize)> =
+            groups.iter().map(|g| (g.clone(), z)).collect();
+
+        let run = |num_shards: Option<u32>, batch: bool| {
+            let mut e = engine(num_shards);
+            let monitor = Arc::new(FairnessMonitor::new(
+                MonitorConfig::default(),
+                e.ratings().reads(),
+            ));
+            e.set_observer(Arc::clone(&monitor) as Arc<dyn RecommendationObserver>);
+            if batch {
+                e.recommend_batch(&groups, z).unwrap();
+            } else {
+                for outcome in e.recommend_requests(&requests) {
+                    outcome.unwrap();
+                }
+            }
+            (monitor.stats(), monitor.report())
+        };
+
+        let expected = run(None, true);
+        prop_assert_eq!(&run(None, false), &expected, "mono, recommend_requests");
+        for s in SHARD_COUNTS {
+            prop_assert_eq!(&run(Some(s), true), &expected, "S={}, recommend_batch", s);
+            prop_assert_eq!(&run(Some(s), false), &expected, "S={}, recommend_requests", s);
+        }
+    }
+}

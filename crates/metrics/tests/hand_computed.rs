@@ -1,0 +1,232 @@
+//! Hand-computed metric pins: every formula in `fairrec-metrics`
+//! checked against values worked out on paper for a two-member,
+//! two-item package (the same worked example docs/ARCHITECTURE.md
+//! walks through).
+//!
+//! The fixture is chosen so every intermediate value is exactly
+//! representable in binary floating point (quarters and sixteenths),
+//! which lets the pins use `assert_eq!` instead of epsilon comparisons
+//! — the metrics feed a tight CI drift gate, so their exactness is part
+//! of the contract.
+
+use fairrec_core::group::Group;
+use fairrec_engine::{GroupRecommendation, MemberSatisfaction, RecommendedItem};
+use fairrec_metrics::{
+    member_utilities, normalize, package_metrics, parity_gap, EvalAccumulator, SegmentSpec,
+};
+use fairrec_types::{GroupId, ItemId, Rating, RatingMatrixBuilder, SegmentExposure, UserId};
+
+fn member(user: u32, satisfied: bool) -> MemberSatisfaction {
+    MemberSatisfaction {
+        user: UserId::new(user),
+        satisfied,
+        best_package_rank: None,
+        personal_best: None,
+    }
+}
+
+fn item(id: u32, group_relevance: f64, member_relevance: Vec<Option<f64>>) -> RecommendedItem {
+    RecommendedItem {
+        item: ItemId::new(id),
+        group_relevance,
+        member_relevance,
+        padded: false,
+    }
+}
+
+/// The worked example. Normalised scores (via `(r − 1) / 4`):
+///
+/// |        | group | member 0 | member 1 |
+/// |--------|-------|----------|----------|
+/// | item 0 | 1.0   | 1.0      | 0.5      |
+/// | item 1 | 0.5   | 0.75     | undefined|
+///
+/// * member utilities: `(1.0 + 0.75) / 2 = 0.875` and `0.5 / 1 = 0.5`,
+/// * mean member utility: `(0.875 + 0.5) / 2 = 0.6875`,
+/// * worst member utility: `0.5`,
+/// * member CV: deviations ±0.1875, population σ = 0.1875,
+///   CV = `0.1875 / 0.6875` (= 3/11),
+/// * group score: `(1.0 + 0.5) / 2 = 0.75`,
+///   disparity = `|0.75 − 0.6875| = 0.0625`.
+fn worked_example() -> GroupRecommendation {
+    GroupRecommendation {
+        items: vec![
+            item(0, 5.0, vec![Some(5.0), Some(3.0)]),
+            item(1, 3.0, vec![Some(4.0), None]),
+        ],
+        fairness: 0.5,
+        value: 7.25,
+        members: vec![member(0, true), member(1, false)],
+        pool_size: 10,
+    }
+}
+
+#[test]
+fn normalize_maps_the_rating_domain_onto_the_unit_interval() {
+    assert_eq!(normalize(1.0), 0.0);
+    assert_eq!(normalize(3.0), 0.5);
+    assert_eq!(normalize(5.0), 1.0);
+    // Out-of-domain scores clamp rather than leak past the interval.
+    assert_eq!(normalize(0.0), 0.0);
+    assert_eq!(normalize(9.0), 1.0);
+}
+
+#[test]
+fn member_utilities_match_hand_computation() {
+    let utilities = member_utilities(&worked_example());
+    assert_eq!(utilities.len(), 2);
+
+    assert_eq!(utilities[0].user, UserId::new(0));
+    assert_eq!(utilities[0].utility, 0.875);
+    assert_eq!(utilities[0].defined_items, 2);
+    assert!(utilities[0].satisfied);
+
+    assert_eq!(utilities[1].user, UserId::new(1));
+    assert_eq!(utilities[1].utility, 0.5);
+    assert_eq!(utilities[1].defined_items, 1);
+    assert!(!utilities[1].satisfied);
+}
+
+#[test]
+fn package_metrics_match_hand_computation() {
+    let m = package_metrics(&worked_example());
+    assert_eq!(m.fairness, 0.5);
+    assert_eq!(m.value, 7.25);
+    assert_eq!(m.mean_member_utility, 0.6875);
+    assert_eq!(m.worst_member_utility, 0.5);
+    assert_eq!(m.member_cv, 0.1875 / 0.6875);
+    assert_eq!(m.group_member_disparity, 0.0625);
+    assert_eq!(m.satisfied_members, 1);
+    assert_eq!(m.num_members, 2);
+    assert_eq!(m.package_len, 2);
+}
+
+#[test]
+fn invisible_member_scores_zero_and_dominates_the_floor() {
+    // Member 1 has no defined item at all: utility 0 (the conservative
+    // reading), so utilities are [1.0, 0.0] → mean 0.5, σ = 0.5,
+    // CV = 1.0 exactly, and the Rawlsian floor collapses to 0.
+    let rec = GroupRecommendation {
+        items: vec![item(0, 5.0, vec![Some(5.0), None])],
+        fairness: 0.5,
+        value: 1.0,
+        members: vec![member(0, true), member(1, false)],
+        pool_size: 4,
+    };
+    let m = package_metrics(&rec);
+    assert_eq!(m.mean_member_utility, 0.5);
+    assert_eq!(m.worst_member_utility, 0.0);
+    assert_eq!(m.member_cv, 1.0);
+    // group score 1.0 vs mean member utility 0.5.
+    assert_eq!(m.group_member_disparity, 0.5);
+}
+
+#[test]
+fn degenerate_packages_take_the_documented_neutral_values() {
+    // All-undefined package: mean 0 → CV defined as 0 (no dispersion
+    // signal), disparity is the full group score.
+    let rec = GroupRecommendation {
+        items: vec![item(0, 3.0, vec![None, None])],
+        fairness: 0.0,
+        value: 0.0,
+        members: vec![member(0, false), member(1, false)],
+        pool_size: 4,
+    };
+    let m = package_metrics(&rec);
+    assert_eq!(m.mean_member_utility, 0.0);
+    assert_eq!(m.worst_member_utility, 0.0);
+    assert_eq!(m.member_cv, 0.0);
+    assert_eq!(m.group_member_disparity, 0.5);
+
+    // Empty package over an empty group: everything neutral, and the
+    // worst-member floor is 1.0 (min over nothing must not trip the
+    // threshold monitor).
+    let empty = GroupRecommendation {
+        items: vec![],
+        fairness: 0.0,
+        value: 0.0,
+        members: vec![],
+        pool_size: 0,
+    };
+    let m = package_metrics(&empty);
+    assert_eq!(m.mean_member_utility, 0.0);
+    assert_eq!(m.worst_member_utility, 1.0);
+    assert_eq!(m.member_cv, 0.0);
+    assert_eq!(m.group_member_disparity, 0.0);
+    assert_eq!(m.package_len, 0);
+}
+
+#[test]
+fn parity_gap_matches_hand_computation() {
+    let segments = [
+        SegmentExposure {
+            observed: 4,
+            satisfied: 2,
+        },
+        SegmentExposure::default(),
+        SegmentExposure {
+            observed: 5,
+            satisfied: 5,
+        },
+    ];
+    // Observed rates 0.5 and 1.0; the unobserved middle segment is
+    // skipped, not treated as 1.0.
+    assert_eq!(parity_gap(&segments), 0.5);
+}
+
+#[test]
+fn eval_accumulator_aggregates_exactly() {
+    // Degrees [1, 1, 2, 3, 4, 5] → tercile cutoffs lo=2, hi=4 →
+    // segments [0, 0, 1, 1, 2, 2] (pinned in fairrec-metrics's own
+    // segment tests; re-derived here so the aggregate is end-to-end
+    // hand-checkable).
+    let mut b = RatingMatrixBuilder::new().reserve_ids(6, 5);
+    for (u, &d) in [1u32, 1, 2, 3, 4, 5].iter().enumerate() {
+        for i in 0..d {
+            b.add(
+                UserId::new(u as u32),
+                ItemId::new(i),
+                Rating::new(3.0).unwrap(),
+            );
+        }
+    }
+    let spec = SegmentSpec::activity_terciles(&b.build().unwrap());
+    let mut acc = EvalAccumulator::new(spec);
+
+    // Run 1: the worked example served to users {0, 4} — segments 0
+    // and 2, satisfied flags (true, false).
+    let g1 = Group::new(GroupId::new(1), [0u32, 4].into_iter().map(UserId::new)).unwrap();
+    acc.record(&g1, &worked_example());
+
+    // Run 2: the invisible-member package served to users {2, 3} —
+    // both segment 1, both satisfied.
+    let g2 = Group::new(GroupId::new(2), [2u32, 3].into_iter().map(UserId::new)).unwrap();
+    let rec2 = GroupRecommendation {
+        items: vec![item(0, 5.0, vec![Some(5.0), None])],
+        fairness: 1.0,
+        value: 2.0,
+        members: vec![member(2, true), member(3, true)],
+        pool_size: 4,
+    };
+    acc.record(&g2, &rec2);
+
+    let s = acc.summary();
+    assert_eq!(s.evaluated, 2);
+    assert_eq!(s.mean_fairness, 0.75); // (0.5 + 1.0) / 2
+    assert_eq!(s.mean_value, 4.625); // (7.25 + 2.0) / 2
+    assert_eq!(s.mean_member_utility, 0.59375); // (0.6875 + 0.5) / 2
+    assert_eq!(s.worst_member_utility, 0.0); // run 2's invisible member
+    assert_eq!(s.max_member_cv, 1.0); // max(3/11, 1.0)
+    assert_eq!(s.max_group_member_disparity, 0.5); // max(0.0625, 0.5)
+
+    // Exposure: segment 0 = {1 observed, 1 satisfied} (user 0),
+    // segment 1 = {2, 2} (users 2, 3), segment 2 = {1, 0} (user 4) —
+    // rates 1.0, 1.0, 0.0 → gap 1.0.
+    assert_eq!(s.exposure.segments[0].observed, 1);
+    assert_eq!(s.exposure.segments[0].satisfied, 1);
+    assert_eq!(s.exposure.segments[1].observed, 2);
+    assert_eq!(s.exposure.segments[1].satisfied, 2);
+    assert_eq!(s.exposure.segments[2].observed, 1);
+    assert_eq!(s.exposure.segments[2].satisfied, 0);
+    assert_eq!(s.exposure.gap, 1.0);
+}

@@ -25,6 +25,7 @@
 mod error;
 mod ids;
 mod matrix;
+mod metrics;
 mod parallel;
 mod rating;
 mod reads;
@@ -35,6 +36,10 @@ mod topk;
 pub use error::{FairrecError, Result};
 pub use ids::{ConceptId, GroupId, IdGen, ItemId, UserId};
 pub use matrix::{MatrixStats, RatingMatrix, RatingMatrixBuilder, RatingTriple};
+pub use metrics::{
+    ExposureParity, FairnessReport, MemberUtility, MetricCheck, MonitorStats,
+    PackageFairnessMetrics, SegmentExposure, TradeoffPoint,
+};
 pub use parallel::Parallelism;
 pub use rating::{Rating, Relevance, RATING_MAX, RATING_MIN};
 pub use reads::RatingsRead;

@@ -1,0 +1,252 @@
+//! Fairness-evaluation vocabulary: per-package metric values, segment
+//! exposure, threshold checks, and the aggregate report.
+//!
+//! The engine *optimises* Definition-1 fairness on every request; these
+//! types are how the system *measures* the outcomes it produces. They
+//! are deliberately plain data — the computation lives in
+//! `fairrec-metrics`, the serving hook in `fairrec-engine` — so every
+//! layer (engine observer, offline evaluation harness, bench rows,
+//! committed trajectory files) speaks the same vocabulary.
+//!
+//! All utility-flavoured values are normalised into `[0, 1]` from the
+//! rating domain `[RATING_MIN, RATING_MAX]` so thresholds and committed
+//! trajectories are comparable across datasets.
+
+use crate::ids::UserId;
+
+/// Fairness and quality measurements of one served package, derived
+/// from a `GroupRecommendation` (items with group/member relevance) —
+/// see `fairrec_metrics::package_metrics` for the exact formulas.
+///
+/// Determinism: every field is a fixed-order fold over the package, so
+/// two bitwise-identical recommendations produce bitwise-identical
+/// metrics (the property the mono-vs-sharded equivalence tests pin).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PackageFairnessMetrics {
+    /// `fairness(G, D)` — Definition 3, copied from the served package.
+    pub fairness: f64,
+    /// `value(G, D)` — the paper's objective, copied from the package.
+    pub value: f64,
+    /// Mean over members of the member utility (mean normalised
+    /// relevance of the package items defined for that member; a member
+    /// with no defined item scores 0 — the conservative reading of
+    /// Definition 3: an invisible member is an unfairly treated one).
+    pub mean_member_utility: f64,
+    /// The worst-off member's utility — the Rawlsian floor.
+    pub worst_member_utility: f64,
+    /// Coefficient of variation (population σ / mean) of member
+    /// utilities — 0 when every member is served equally well, 0 when
+    /// the mean is 0 (all-undefined packages carry no dispersion
+    /// signal).
+    pub member_cv: f64,
+    /// |normalised group score − mean member utility| — how far the
+    /// group-level aggregate drifts from what members individually
+    /// receive ("group fairness without destroying per-member quality"
+    /// is exactly this gap staying small).
+    pub group_member_disparity: f64,
+    /// Members whose top-k list intersects the package (Definition 3's
+    /// `|G_D|`).
+    pub satisfied_members: u32,
+    /// `|G|`.
+    pub num_members: u32,
+    /// Package length actually served (including padding).
+    pub package_len: u32,
+}
+
+/// Exposure bookkeeping of one user-activity segment: how often members
+/// of the segment appeared in evaluated requests and how often the
+/// served package satisfied them (Definition 3 per member).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SegmentExposure {
+    /// Member-slots of this segment across evaluated requests.
+    pub observed: u64,
+    /// Of those, members the package satisfied.
+    pub satisfied: u64,
+}
+
+impl SegmentExposure {
+    /// Satisfaction rate of the segment (`NaN`-free: 1.0 for an
+    /// unobserved segment, so empty segments never widen the parity
+    /// gap).
+    pub fn exposure(&self) -> f64 {
+        if self.observed == 0 {
+            1.0
+        } else {
+            self.satisfied as f64 / self.observed as f64
+        }
+    }
+}
+
+/// Statistical-parity-style exposure across user segments: the spread
+/// of per-segment satisfaction rates over an evaluation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExposureParity {
+    /// Per-segment exposure, in segment order (segment 0 = least
+    /// active users).
+    pub segments: Vec<SegmentExposure>,
+    /// `max − min` exposure over segments with observations (0 when at
+    /// most one segment was observed).
+    pub gap: f64,
+}
+
+/// One point of the fairness/quality trade-off curve over the package
+/// size `z`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TradeoffPoint {
+    /// The package size requested.
+    pub z: usize,
+    /// Mean Definition-3 fairness at this `z`.
+    pub fairness: f64,
+    /// Mean `value(G, D)` at this `z`.
+    pub value: f64,
+    /// Mean member utility at this `z`.
+    pub mean_member_utility: f64,
+    /// Worst member utility observed at this `z`.
+    pub worst_member_utility: f64,
+}
+
+/// One threshold check of a [`FairnessReport`] — the
+/// `HealthcareFairness`-style `{value, threshold, passed}` triple, plus
+/// the direction the threshold guards.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricCheck {
+    /// Stable metric name (also the bench-row / trajectory key).
+    pub name: &'static str,
+    /// The measured value.
+    pub value: f64,
+    /// The configured threshold.
+    pub threshold: f64,
+    /// `true` when larger values are better (the check is
+    /// `value ≥ threshold`); `false` guards an upper bound
+    /// (`value ≤ threshold`).
+    pub higher_is_better: bool,
+    /// Whether the check passed.
+    pub passed: bool,
+}
+
+impl MetricCheck {
+    /// Builds a check, deriving `passed` from the direction.
+    pub fn new(name: &'static str, value: f64, threshold: f64, higher_is_better: bool) -> Self {
+        let passed = if higher_is_better {
+            value >= threshold
+        } else {
+            value <= threshold
+        };
+        Self {
+            name,
+            value,
+            threshold,
+            higher_is_better,
+            passed,
+        }
+    }
+}
+
+/// The monitor's pass/fail verdict over everything it evaluated: one
+/// [`MetricCheck`] per configured threshold, plus the evaluation
+/// counts. An empty report (nothing evaluated yet) passes vacuously.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FairnessReport {
+    /// The individual threshold checks.
+    pub checks: Vec<MetricCheck>,
+    /// Requests the hook saw (sampled or not).
+    pub observed: u64,
+    /// Requests actually evaluated (the sampled subset).
+    pub evaluated: u64,
+    /// `true` iff every check passed.
+    pub passed: bool,
+}
+
+impl FairnessReport {
+    /// The check named `name`, if present.
+    pub fn check(&self, name: &str) -> Option<&MetricCheck> {
+        self.checks.iter().find(|c| c.name == name)
+    }
+}
+
+/// ServerStats-style monotone counters of a fairness monitor's life —
+/// snapshotted, never reset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonitorStats {
+    /// Requests the serving hook saw.
+    pub observed: u64,
+    /// Requests the sampler selected and evaluated.
+    pub evaluated: u64,
+    /// Evaluations that breached at least one threshold.
+    pub violations: u64,
+    /// Lowest Definition-3 fairness seen (`1.0` before any evaluation).
+    pub min_fairness: f64,
+    /// Lowest worst-member utility seen (`1.0` before any evaluation).
+    pub min_worst_member_utility: f64,
+    /// Highest member coefficient of variation seen.
+    pub max_member_cv: f64,
+    /// Highest group↔member disparity seen.
+    pub max_group_member_disparity: f64,
+}
+
+impl Default for MonitorStats {
+    fn default() -> Self {
+        Self {
+            observed: 0,
+            evaluated: 0,
+            violations: 0,
+            min_fairness: 1.0,
+            min_worst_member_utility: 1.0,
+            max_member_cv: 0.0,
+            max_group_member_disparity: 0.0,
+        }
+    }
+}
+
+/// Per-member utility breakdown of one package (the transparency
+/// companion of [`PackageFairnessMetrics`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemberUtility {
+    /// The member.
+    pub user: UserId,
+    /// Mean normalised relevance of the package items defined for the
+    /// member (0 when none is defined).
+    pub utility: f64,
+    /// Package items with a defined relevance for the member.
+    pub defined_items: u32,
+    /// Whether the package satisfied the member (Definition 3).
+    pub satisfied: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_check_directions() {
+        assert!(MetricCheck::new("floor", 0.8, 0.5, true).passed);
+        assert!(!MetricCheck::new("floor", 0.4, 0.5, true).passed);
+        assert!(MetricCheck::new("ceiling", 0.4, 0.5, false).passed);
+        assert!(!MetricCheck::new("ceiling", 0.6, 0.5, false).passed);
+        // Boundary values pass in both directions.
+        assert!(MetricCheck::new("floor", 0.5, 0.5, true).passed);
+        assert!(MetricCheck::new("ceiling", 0.5, 0.5, false).passed);
+    }
+
+    #[test]
+    fn unobserved_segment_exposure_is_neutral() {
+        assert_eq!(SegmentExposure::default().exposure(), 1.0);
+        let s = SegmentExposure {
+            observed: 4,
+            satisfied: 3,
+        };
+        assert_eq!(s.exposure(), 0.75);
+    }
+
+    #[test]
+    fn report_lookup_finds_checks() {
+        let report = FairnessReport {
+            checks: vec![MetricCheck::new("a", 1.0, 0.5, true)],
+            observed: 10,
+            evaluated: 5,
+            passed: true,
+        };
+        assert_eq!(report.check("a").unwrap().value, 1.0);
+        assert!(report.check("b").is_none());
+    }
+}

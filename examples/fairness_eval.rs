@@ -1,0 +1,114 @@
+//! Fairness evaluation harness: runs a deterministic recommend stream
+//! through the serving-path [`FairnessMonitor`], prints the offline
+//! evaluation summary, the z trade-off curve, and the monitor's
+//! threshold report — and **exits non-zero when a threshold is
+//! breached**, which is how the CI `fairness` job turns the paper's
+//! claim ("group fairness without destroying per-member quality") into
+//! a hard gate.
+//!
+//! The workload is [`fairrec_bench::fairness_fixture`] — the same input
+//! whose metric rows `benches/fairness.rs` freezes into the committed
+//! `BENCH_*.json` trajectory.
+//!
+//! ```sh
+//! cargo run --release --example fairness_eval
+//! ```
+//!
+//! [`FairnessMonitor`]: fairrec::metrics::FairnessMonitor
+
+use fairrec::engine::RecommendationObserver;
+use fairrec::metrics::{evaluate, tradeoff_curve, FairnessMonitor, MonitorConfig};
+use fairrec::prelude::*;
+use fairrec_bench::fairness_fixture;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => {
+            eprintln!("fairness_eval: monitor report FAILED");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("fairness_eval: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<bool> {
+    let (data, groups) = fairness_fixture();
+    let mut engine = RecommenderEngine::new(
+        data.matrix,
+        data.profiles,
+        fairrec::ontology::snomed::clinical_fragment(),
+        EngineConfig::default(),
+    )?;
+
+    // Offline evaluation + the z trade-off curve.
+    println!(
+        "{:>3} | {:>10} {:>10} {:>12} {:>12}",
+        "z", "fairness", "value", "member util", "worst member"
+    );
+    for point in tradeoff_curve(&engine, &groups, &[2, 4, 8])? {
+        println!(
+            "{:>3} | {:>10.4} {:>10.4} {:>12.4} {:>12.4}",
+            point.z,
+            point.fairness,
+            point.value,
+            point.mean_member_utility,
+            point.worst_member_utility,
+        );
+    }
+    let summary = evaluate(&engine, &groups, 4)?;
+    println!(
+        "\nrun summary (z = 4, {} groups): exposure gap {:.4}, max member CV {:.4}, \
+         max group↔member disparity {:.4}",
+        summary.evaluated,
+        summary.exposure.gap,
+        summary.max_member_cv,
+        summary.max_group_member_disparity,
+    );
+    for (i, seg) in summary.exposure.segments.iter().enumerate() {
+        println!(
+            "  activity segment {i}: {:>4} member-slots observed, {:>4} satisfied \
+             (exposure {:.4})",
+            seg.observed,
+            seg.satisfied,
+            seg.exposure()
+        );
+    }
+
+    // The serving-path monitor over the same stream.
+    let monitor = Arc::new(FairnessMonitor::new(
+        MonitorConfig::default(),
+        engine.ratings().reads(),
+    ));
+    engine.set_observer(Arc::clone(&monitor) as Arc<dyn RecommendationObserver>);
+    let requests: Vec<(Group, usize)> = groups.iter().map(|g| (g.clone(), 4)).collect();
+    for outcome in engine.recommend_requests(&requests) {
+        outcome?;
+    }
+
+    let stats = monitor.stats();
+    let report = monitor.report();
+    println!(
+        "\nmonitor: {} observed, {} evaluated, {} violations",
+        stats.observed, stats.evaluated, stats.violations
+    );
+    for check in &report.checks {
+        println!(
+            "  {:<28} {:>8.4} vs threshold {:>6.2} → {}",
+            check.name,
+            check.value,
+            check.threshold,
+            if check.passed { "pass" } else { "FAIL" },
+        );
+    }
+    println!(
+        "\nreport: {}",
+        if report.passed { "PASSED" } else { "FAILED" }
+    );
+    Ok(report.passed)
+}

@@ -263,8 +263,12 @@ fn write_json(id: &str, mean: f64, median: f64, min: f64, max: f64, samples: usi
         }
     }
     let line = format!(
-        "{{\"id\":{},\"mean_ns\":{mean:.1},\"median_ns\":{median:.1},\"min_ns\":{min:.1},\"max_ns\":{max:.1},\"samples\":{samples},\"iters_per_sample\":{iters}}}\n",
+        "{{\"id\":{},\"mean_ns\":{},\"median_ns\":{},\"min_ns\":{},\"max_ns\":{},\"samples\":{samples},\"iters_per_sample\":{iters}}}\n",
         json_string(id),
+        json_f64(mean),
+        json_f64(median),
+        json_f64(min),
+        json_f64(max),
     );
     let result = std::fs::OpenOptions::new()
         .create(true)
@@ -284,8 +288,22 @@ fn write_json(id: &str, mean: f64, median: f64, min: f64, max: f64, samples: usi
 /// `median_ns` like any other row; `samples` carries how many
 /// observations backed it.
 pub fn record_scalar(id: &str, value: f64, samples: usize) {
-    println!("{id:<50} scalar {value:>14.1}  ({samples} observations)");
+    println!("{id:<50} scalar {value:>14.6}  ({samples} observations)");
     write_json(id, value, value, value, value, samples, 1);
+}
+
+/// Serialises an f64 as a JSON number at full round-trip precision —
+/// Rust's float `Display` is the shortest representation that parses
+/// back to the same bits, which is what lets `record_scalar` carry
+/// exact metric *values* (not just nanosecond timings) through the
+/// JSONL stream. Non-finite values (impossible for timings, guarded
+/// against for scalars) fall back to `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
 }
 
 /// Escapes a string as a JSON string literal (ids are benchmark names —
@@ -358,6 +376,14 @@ mod tests {
     #[test]
     fn json_escaping() {
         assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+
+    #[test]
+    fn json_numbers_round_trip() {
+        assert_eq!(json_f64(0.8586478), "0.8586478");
+        assert_eq!(json_f64(42.0), "42");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
     }
 
     #[test]

@@ -22,7 +22,8 @@
 #[cfg(test)]
 pub(crate) fn epoch_test_lock() -> std::sync::MutexGuard<'static, ()> {
     static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
-    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Multi-producer multi-consumer channels (mirror of `crossbeam::channel`).

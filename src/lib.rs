@@ -47,6 +47,7 @@
 //! | [`search`] | `fairrec-search` | curated document search (BM25) |
 //! | [`data`] | `fairrec-data` | synthetic workloads, TSV persistence |
 //! | [`engine`] | `fairrec-engine` | end-to-end facade, batch serving, evaluation |
+//! | [`metrics`] | `fairrec-metrics` | fairness metrics, exposure parity, serving-path monitor |
 //!
 //! ## Serving architecture
 //!
@@ -113,6 +114,7 @@ pub use fairrec_core as core;
 pub use fairrec_data as data;
 pub use fairrec_engine as engine;
 pub use fairrec_mapreduce as mapreduce;
+pub use fairrec_metrics as metrics;
 pub use fairrec_ontology as ontology;
 pub use fairrec_phr as phr;
 pub use fairrec_search as search;
